@@ -1,0 +1,350 @@
+(* Command-line interface to the FANNet reproduction.
+
+   fannet train        -- build the case-study pipeline, report accuracies
+   fannet validate     -- P1: noise-free validation of the integer model
+   fannet translate    -- emit the nuXmv-compatible SMV model
+   fannet tolerance    -- network noise tolerance (paper Sec. V-C.1)
+   fannet sweep        -- misclassifications per noise range (Fig. 4)
+   fannet extract      -- adversarial noise vectors for one input (P3)
+   fannet sensitivity  -- input-node sensitivity (paper Sec. V-C.4)
+   fannet boundary     -- classification-boundary estimation (Sec. V-C.2)
+   fannet bias         -- training-bias analysis (paper Sec. V-C.3)
+   fannet fsm          -- explicit state-space statistics (Fig. 3) *)
+
+open Cmdliner
+
+(* ---------- shared options ---------- *)
+
+let dataset_seed =
+  let doc = "Seed for the synthetic Golub-like dataset." in
+  Arg.(value & opt int 2028 & info [ "dataset-seed" ] ~docv:"SEED" ~doc)
+
+let init_seed =
+  let doc = "Seed for the network weight initialisation." in
+  Arg.(value & opt int 7 & info [ "init-seed" ] ~docv:"SEED" ~doc)
+
+let delta =
+  let doc = "Symmetric noise percent bound (noise in [-DELTA, +DELTA])." in
+  Arg.(value & opt int 15 & info [ "d"; "delta" ] ~docv:"DELTA" ~doc)
+
+let max_delta =
+  let doc = "Largest noise percent probed." in
+  Arg.(value & opt int 50 & info [ "max-delta" ] ~docv:"DELTA" ~doc)
+
+let no_bias_noise =
+  let doc = "Do not perturb the bias input node (the paper perturbs all six input nodes)." in
+  Arg.(value & flag & info [ "no-bias-noise" ] ~doc)
+
+let backend =
+  let parse = function
+    | "bnb" -> Ok Fannet.Backend.Bnb
+    | "smt" -> Ok Fannet.Backend.Smt
+    | "explicit" -> Ok (Fannet.Backend.Explicit { limit = Fannet.Backend.default_explicit_limit })
+    | "interval" -> Ok Fannet.Backend.Interval
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (bnb|smt|explicit|interval)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with
+      | Fannet.Backend.Bnb -> "bnb"
+      | Fannet.Backend.Smt -> "smt"
+      | Fannet.Backend.Explicit _ -> "explicit"
+      | Fannet.Backend.Interval -> "interval")
+  in
+  let backend_conv = Arg.conv (parse, print) in
+  let doc = "Analysis backend: bnb (default), smt, explicit or interval." in
+  Arg.(value & opt backend_conv Fannet.Backend.Bnb & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let limit =
+  let doc = "Maximum number of counterexamples to extract." in
+  Arg.(value & opt int 100 & info [ "limit" ] ~docv:"N" ~doc)
+
+let input_index =
+  let doc = "Index of the analysed (correctly classified) test input." in
+  Arg.(value & opt int 0 & info [ "input" ] ~docv:"INDEX" ~doc)
+
+let output_file =
+  let doc = "Write output to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let pipeline dataset_seed init_seed =
+  let config = { Fannet.Pipeline.default_config with dataset_seed; init_seed } in
+  Fannet.Pipeline.run ~config ()
+
+let bias_flag no_bias_noise = not no_bias_noise
+
+(* ---------- commands ---------- *)
+
+let save_model =
+  let doc = "Also save the quantized integer model to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "save-model" ] ~docv:"FILE" ~doc)
+
+let train_cmd =
+  let run dataset_seed init_seed save_model =
+    let p = pipeline dataset_seed init_seed in
+    Printf.printf "selected genes (mRMR): %s\n"
+      (String.concat ", " (Array.to_list (Array.map string_of_int p.selected_genes)));
+    Printf.printf "training accuracy (quantized): %.2f%%\n" (100. *. p.train_accuracy);
+    Printf.printf "test accuracy (quantized):     %.2f%%\n" (100. *. p.test_accuracy);
+    Printf.printf "P1 validation: %d/%d test inputs correctly classified\n"
+      p.p1.Fannet.Validate.n_correct p.p1.Fannet.Validate.n_total;
+    Printf.printf "float/quantized agreement:     %.2f%%\n"
+      (100. *. Fannet.Validate.float_agreement p.network p.qnet ~inputs:p.test_inputs);
+    match save_model with
+    | None -> ()
+    | Some path ->
+        Nn.Qnet.save path p.qnet;
+        Printf.printf "quantized model written to %s\n" path
+  in
+  let doc = "Train the Leukemia network and report accuracies (paper Sec. V-A)." in
+  Cmd.v (Cmd.info "train" ~doc) Term.(const run $ dataset_seed $ init_seed $ save_model)
+
+let validate_cmd =
+  let run dataset_seed init_seed =
+    let p = pipeline dataset_seed init_seed in
+    let r = p.p1 in
+    Printf.printf "P1: %d/%d correct (%.2f%%)\n" r.Fannet.Validate.n_correct
+      r.Fannet.Validate.n_total (100. *. r.Fannet.Validate.accuracy);
+    List.iter
+      (fun (i, predicted) ->
+        let _, label = p.test_inputs.(i) in
+        Printf.printf "  mismatch: test input %d, true L%d -> predicted L%d\n" i label predicted)
+      r.Fannet.Validate.mismatches
+  in
+  let doc = "P1: validate the integer model on the test set without noise." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ dataset_seed $ init_seed)
+
+let translate_cmd =
+  let run dataset_seed init_seed delta no_bias_noise input_index output =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    if input_index < 0 || input_index >= Array.length inputs then
+      failwith "input index out of range";
+    let input, label = inputs.(input_index) in
+    let prog =
+      Smv.Translate.network_program p.qnet
+        (Smv.Translate.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise)
+           ~samples:[ (input, label) ])
+    in
+    let text = Smv.Printer.program_to_string prog in
+    match output with
+    | None -> print_string text
+    | Some path ->
+        Smv.Printer.write_file path prog;
+        Printf.printf "SMV model written to %s\n" path
+  in
+  let doc = "Translate the network + noise model to nuXmv-compatible SMV." in
+  Cmd.v (Cmd.info "translate" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ output_file)
+
+let tolerance_cmd =
+  let run dataset_seed init_seed max_delta no_bias_noise backend =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let tol =
+      Fannet.Tolerance.network_tolerance backend p.qnet
+        ~bias_noise:(bias_flag no_bias_noise) ~max_delta ~inputs
+    in
+    Printf.printf "network noise tolerance: +-%d%% (probed up to +-%d%%, %d inputs)\n"
+      tol max_delta (Array.length inputs)
+  in
+  let doc = "Compute the network noise tolerance (paper: +-11%)." in
+  Cmd.v (Cmd.info "tolerance" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend)
+
+let sweep_cmd =
+  let run dataset_seed init_seed no_bias_noise backend =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let sweep =
+      Fannet.Tolerance.sweep backend p.qnet ~bias_noise:(bias_flag no_bias_noise)
+        ~deltas:[ 5; 10; 15; 20; 25; 30; 35; 40 ] ~inputs
+    in
+    let table = Util.Table.create ~header:[ "noise range"; "misclassified"; "of" ] in
+    List.iter
+      (fun (pt : Fannet.Tolerance.sweep_point) ->
+        Util.Table.add_row table
+          [
+            Printf.sprintf "[-%d,+%d]%%" pt.delta pt.delta;
+            string_of_int pt.n_misclassified;
+            string_of_int (Array.length inputs);
+          ])
+      sweep;
+    Util.Table.print table
+  in
+  let doc = "Misclassification counts per noise range (Fig. 4 left panel)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ no_bias_noise $ backend)
+
+let extract_cmd =
+  let run dataset_seed init_seed delta no_bias_noise input_index limit =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    if input_index < 0 || input_index >= Array.length inputs then
+      failwith "input index out of range";
+    let input, label = inputs.(input_index) in
+    let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
+    let cexs, status =
+      Fannet.Extract.for_input ~limit p.qnet spec ~input ~label ~input_index
+    in
+    Printf.printf "input %d (true L%d), noise +-%d%%: %d adversarial vectors%s\n"
+      input_index label delta (List.length cexs)
+      (match status with
+      | Fannet.Extract.Complete -> " (complete)"
+      | Fannet.Extract.Truncated -> " (truncated)"
+      | Fannet.Extract.Budget -> " (budget)");
+    List.iteri
+      (fun k (c : Fannet.Extract.counterexample) ->
+        if k < 20 then
+          Printf.printf "  -> L%d with %s\n" c.predicted (Fannet.Noise.to_string c.vector))
+      cexs;
+    if List.length cexs > 20 then
+      Printf.printf "  ... (%d more)\n" (List.length cexs - 20)
+  in
+  let doc = "P3: extract the adversarial noise vectors for one input." in
+  Cmd.v (Cmd.info "extract" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ limit)
+
+let sensitivity_cmd =
+  let run dataset_seed init_seed delta no_bias_noise limit =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let bias_noise = bias_flag no_bias_noise in
+    let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
+    let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs in
+    let stats = Fannet.Sensitivity.per_node spec ~n_inputs:5 cexs in
+    Array.iter (fun s -> print_endline (Fannet.Sensitivity.stats_to_string s)) stats;
+    let sides = Fannet.Sensitivity.formal_sidedness p.qnet spec ~inputs in
+    Array.iter
+      (fun (f : Fannet.Sensitivity.formal_side) ->
+        Printf.printf "node %d: positive-side flips %b, negative-side flips %b\n"
+          f.fs_node f.positive_flip f.negative_flip)
+      sides
+  in
+  let doc = "Input-node sensitivity: corpus statistics and formal sidedness." in
+  Cmd.v (Cmd.info "sensitivity" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit)
+
+let boundary_cmd =
+  let run dataset_seed init_seed max_delta no_bias_noise backend =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let points =
+      Fannet.Boundary.analyze backend p.qnet ~bias_noise:(bias_flag no_bias_noise)
+        ~max_delta ~inputs
+    in
+    let table = Util.Table.create ~header:[ "input"; "true"; "min flip"; "margin" ] in
+    Array.iter
+      (fun (pt : Fannet.Boundary.point) ->
+        Util.Table.add_row table
+          [
+            string_of_int pt.input_index;
+            Printf.sprintf "L%d" pt.true_label;
+            (match pt.min_flip_delta with
+            | Some d -> Printf.sprintf "+-%d%%" d
+            | None -> Printf.sprintf ">+-%d%%" max_delta);
+            string_of_int pt.margin;
+          ])
+      points;
+    Util.Table.print table;
+    Printf.printf "margin/min-flip correlation: %.3f\n"
+      (Fannet.Boundary.margin_flip_correlation points)
+  in
+  let doc = "Per-input minimal flipping noise (classification boundary)." in
+  Cmd.v (Cmd.info "boundary" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend)
+
+let bias_cmd =
+  let run dataset_seed init_seed delta no_bias_noise limit =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
+    let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs in
+    let report =
+      Fannet.Bias.analyze ~n_classes:2
+        ~training_labels:(Fannet.Pipeline.training_labels p)
+        ~analysed_labels:(Array.map snd inputs) cexs
+    in
+    print_endline (Fannet.Bias.report_to_string report)
+  in
+  let doc = "Training-bias analysis over the counterexample corpus." in
+  Cmd.v (Cmd.info "bias" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit)
+
+let minflip_cmd =
+  let run dataset_seed init_seed delta no_bias_noise =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
+    let table =
+      Util.Table.create ~header:[ "input"; "true"; "min L1 noise"; "cheapest vector" ]
+    in
+    Array.iteri
+      (fun i (input, label) ->
+        match Fannet.Bnb.min_l1_flip p.qnet spec ~input ~label with
+        | None ->
+            Util.Table.add_row table
+              [ string_of_int i; Printf.sprintf "L%d" label; "robust"; "-" ]
+        | Some (v, norm) ->
+            Util.Table.add_row table
+              [
+                string_of_int i;
+                Printf.sprintf "L%d" label;
+                string_of_int norm;
+                Fannet.Noise.to_string v;
+              ])
+      inputs;
+    Util.Table.print table
+  in
+  let doc = "Cheapest (minimum-L1) adversarial noise vector per input — the paper's (Δx)min." in
+  Cmd.v (Cmd.info "minflip" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise)
+
+let fsm_cmd =
+  let run dataset_seed init_seed delta no_bias_noise input_index =
+    let p = pipeline dataset_seed init_seed in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    if input_index < 0 || input_index >= Array.length inputs then
+      failwith "input index out of range";
+    let input, label = inputs.(input_index) in
+    let prog =
+      Smv.Translate.network_program p.qnet
+        (Smv.Translate.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise)
+           ~samples:[ (input, label) ])
+    in
+    match Smv.Fsm.explore ~state_limit:2_000_000 prog with
+    | Ok o ->
+        Printf.printf "states: %d, transitions: %d\n" o.stats.n_states o.stats.n_transitions;
+        if o.violations = [] then print_endline "P2 holds: no misclassifying noise vector"
+        else
+          List.iter
+            (fun (name, trace) ->
+              Printf.printf "%s violated; counterexample trace length %d\n" name
+                (List.length trace))
+            o.violations
+    | Error e -> Printf.printf "exploration failed: %s\n" e
+  in
+  let doc = "Explicit-state statistics of the SMV model (Fig. 3); keep DELTA small." in
+  Cmd.v (Cmd.info "fsm" ~doc)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index)
+
+let () =
+  let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
+  let info = Cmd.info "fannet" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            train_cmd;
+            validate_cmd;
+            translate_cmd;
+            tolerance_cmd;
+            sweep_cmd;
+            extract_cmd;
+            sensitivity_cmd;
+            boundary_cmd;
+            bias_cmd;
+            minflip_cmd;
+            fsm_cmd;
+          ]))

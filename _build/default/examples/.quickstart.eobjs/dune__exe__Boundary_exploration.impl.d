@@ -1,0 +1,1 @@
+examples/boundary_exploration.ml: Array Fannet Printf String

@@ -1,0 +1,1 @@
+examples/input_sensitivity.ml: Array Fannet List Printf

@@ -1,0 +1,1 @@
+examples/leukemia_case_study.mli:

@@ -1,0 +1,1 @@
+examples/multiclass_subtypes.ml: Array Dataset Fannet List Nn Printf String Util

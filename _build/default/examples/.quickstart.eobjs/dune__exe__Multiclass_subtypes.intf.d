@@ -1,0 +1,1 @@
+examples/multiclass_subtypes.mli:

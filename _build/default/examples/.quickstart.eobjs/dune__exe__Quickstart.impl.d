@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fannet List Nn Printf Smv String

@@ -1,0 +1,70 @@
+(* The paper's full case study (Sec. V): synthesise the Golub-like
+   Leukemia dataset, select 5 genes with mRMR, train the 5-20-2 ReLU
+   network, quantize it, validate it (P1), and run the noise-tolerance,
+   training-bias and adversarial-extraction analyses.
+
+   Run with: dune exec examples/leukemia_case_study.exe *)
+
+let () =
+  print_endline "FANNet case study: Leukemia diagnosis (paper Sec. V)";
+  print_endline "----------------------------------------------------";
+
+  (* 1. Behaviour extraction: dataset -> features -> training -> integer
+     model. *)
+  let p = Fannet.Pipeline.run () in
+  Printf.printf "dataset: %d genes, %d train / %d test samples\n"
+    p.dataset.Dataset.Golub.n_genes
+    (Array.length p.dataset.Dataset.Golub.train)
+    (Array.length p.dataset.Dataset.Golub.test);
+  Printf.printf "majority class share in training: %.1f%% (the bias source)\n"
+    (100. *. Dataset.Sample.class_share p.dataset.Dataset.Golub.train Dataset.Sample.L1);
+  Printf.printf "mRMR-selected genes: %s\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int p.selected_genes)));
+  Printf.printf "training accuracy: %.2f%%, test accuracy: %.2f%% (paper: 100%% / 94.12%%)\n"
+    (100. *. p.train_accuracy) (100. *. p.test_accuracy);
+  Printf.printf "P1 validation: %d/%d test inputs correct\n\n"
+    p.p1.Fannet.Validate.n_correct p.p1.Fannet.Validate.n_total;
+
+  let inputs = Fannet.Pipeline.analysis_inputs p in
+  let bias_noise = true in
+
+  (* 2. Noise tolerance (paper: +-11%). *)
+  let tol =
+    Fannet.Tolerance.network_tolerance Fannet.Backend.Bnb p.qnet ~bias_noise
+      ~max_delta:60 ~inputs
+  in
+  Printf.printf "network noise tolerance: +-%d%% (paper: +-11%%)\n\n" tol;
+
+  (* 3. Misclassification growth with the noise range (Fig. 4). *)
+  print_endline "misclassified inputs per noise range:";
+  Fannet.Tolerance.sweep Fannet.Backend.Bnb p.qnet ~bias_noise
+    ~deltas:[ 10; 15; 20; 25; 30 ] ~inputs
+  |> List.iter (fun (pt : Fannet.Tolerance.sweep_point) ->
+         Printf.printf "  +-%2d%%: %2d of %d\n" pt.delta pt.n_misclassified
+           (Array.length inputs));
+
+  (* 4. Adversarial noise-vector extraction (P3) and training bias. *)
+  let delta = tol + 5 in
+  let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
+  let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:200 p.qnet spec ~inputs in
+  Printf.printf "\nadversarial corpus at +-%d%%: %d noise vectors\n" delta
+    (List.length cexs);
+  let report =
+    Fannet.Bias.analyze ~n_classes:2
+      ~training_labels:(Fannet.Pipeline.training_labels p)
+      ~analysed_labels:(Array.map snd inputs) cexs
+  in
+  print_endline (Fannet.Bias.report_to_string report);
+
+  (* 5. One concrete counterexample, shown end to end. *)
+  match cexs with
+  | [] -> print_endline "no counterexamples at this range"
+  | (c : Fannet.Extract.counterexample) :: _ ->
+      let input, _ = inputs.(c.input_index) in
+      Printf.printf
+        "\nexample: test input %d (true L%d) becomes L%d under noise %s\n"
+        c.input_index c.true_label c.predicted
+        (Fannet.Noise.to_string c.vector);
+      let noisy_outputs = Fannet.Noise.apply p.qnet spec ~input c.vector in
+      Printf.printf "noisy output nodes (x100 scale): [%s]\n"
+        (String.concat "; " (Array.to_list (Array.map string_of_int noisy_outputs)))

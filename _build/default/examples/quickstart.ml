@@ -1,0 +1,54 @@
+(* Quickstart: formally analyse a small integer network under relative
+   input noise.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 2-input, 2-hidden (ReLU), 2-output integer network. In a real
+     application this comes from Nn.Quantize.quantize applied to a trained
+     float network; here we write it down directly. *)
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
+        { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+      |]
+  in
+  let input = [| 10; 12 |] in
+  let label = Nn.Qnet.predict net input in
+  Printf.printf "noise-free prediction for [10; 12]: L%d\n\n" label;
+
+  (* Question (paper P2): can an integer-percent noise of at most +-DELTA
+     on every input flip the classification? *)
+  List.iter
+    (fun delta ->
+      let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+      match Fannet.Backend.exists_flip Fannet.Backend.Bnb net spec ~input ~label with
+      | Fannet.Backend.Robust ->
+          Printf.printf "+-%2d%%: robust (no noise vector flips the label)\n" delta
+      | Fannet.Backend.Flip v ->
+          Printf.printf "+-%2d%%: FLIPS to L%d with noise %s\n" delta
+            (Fannet.Noise.predict net spec ~input v)
+            (Fannet.Noise.to_string v)
+      | Fannet.Backend.Unknown -> Printf.printf "+-%2d%%: unknown\n" delta)
+    [ 5; 10; 20; 30; 40 ];
+
+  (* The noise tolerance is the largest range that is provably safe. *)
+  let tol =
+    Fannet.Tolerance.network_tolerance Fannet.Backend.Bnb net ~bias_noise:false
+      ~max_delta:60
+      ~inputs:[| (input, label) |]
+  in
+  Printf.printf "\nnoise tolerance of this input: +-%d%%\n" tol;
+
+  (* The same model as nuXmv-compatible SMV text (paper Fig. 2, behaviour
+     extraction). *)
+  let prog =
+    Smv.Translate.network_program net
+      (Smv.Translate.symmetric ~delta:1 ~bias_noise:false ~samples:[ (input, label) ])
+  in
+  print_endline "\nSMV model (first lines):";
+  Smv.Printer.program_to_string prog
+  |> String.split_on_char '\n'
+  |> List.filteri (fun i _ -> i < 10)
+  |> List.iter print_endline

@@ -1,0 +1,1 @@
+lib/bitblast/bv.ml: Array Cnf Printf Sat

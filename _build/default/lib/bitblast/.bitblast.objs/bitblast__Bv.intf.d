@@ -1,0 +1,1 @@
+lib/bitblast/bv.mli: Cnf Sat

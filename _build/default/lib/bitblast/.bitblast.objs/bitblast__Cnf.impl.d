@@ -1,0 +1,1 @@
+lib/bitblast/cnf.ml: List Sat

@@ -1,0 +1,1 @@
+lib/bitblast/cnf.mli: Sat

@@ -1,0 +1,122 @@
+type t = { bits : Sat.Lit.t array }
+
+let width v = Array.length v.bits
+
+let bits v = v.bits
+
+let sign v = v.bits.(width v - 1)
+
+let fits ~width value =
+  width >= 1 && width <= 62
+  && value >= -(1 lsl (width - 1))
+  && value <= (1 lsl (width - 1)) - 1
+
+let const b ~width value =
+  if not (fits ~width value) then
+    invalid_arg (Printf.sprintf "Bv.const: %d does not fit %d bits" value width);
+  { bits = Array.init width (fun i -> Cnf.of_bool b ((value lsr i) land 1 = 1)) }
+
+let fresh b ~width =
+  if width < 1 then invalid_arg "Bv.fresh: width";
+  { bits = Array.init width (fun _ -> Cnf.fresh b) }
+
+let of_bits bits =
+  if Array.length bits = 0 then invalid_arg "Bv.of_bits: empty";
+  { bits }
+
+let sign_extend v w =
+  let cur = width v in
+  if w < cur then invalid_arg "Bv.sign_extend: narrower target";
+  if w = cur then v
+  else
+    let s = sign v in
+    { bits = Array.init w (fun i -> if i < cur then v.bits.(i) else s) }
+
+let check_same_width name x y =
+  if width x <> width y then invalid_arg (name ^ ": width mismatch")
+
+let add b x y =
+  check_same_width "Bv.add" x y;
+  let w = width x in
+  let out = Array.make w (Cnf.bfalse b) in
+  let carry = ref (Cnf.bfalse b) in
+  for i = 0 to w - 1 do
+    let sum, cout = Cnf.g_full_adder b x.bits.(i) y.bits.(i) !carry in
+    out.(i) <- sum;
+    carry := cout
+  done;
+  { bits = out }
+
+let lognot v = { bits = Array.map Cnf.g_not v.bits }
+
+let neg b v =
+  (* -v = ~v + 1 *)
+  let w = width v in
+  let inverted = lognot v in
+  let out = Array.make w (Cnf.bfalse b) in
+  let carry = ref (Cnf.btrue b) in
+  for i = 0 to w - 1 do
+    let sum, cout = Cnf.g_full_adder b inverted.bits.(i) (Cnf.bfalse b) !carry in
+    out.(i) <- sum;
+    carry := cout
+  done;
+  { bits = out }
+
+let sub b x y = add b x (neg b y)
+
+let shift_left b v k =
+  if k < 0 then invalid_arg "Bv.shift_left: negative shift";
+  let w = width v in
+  { bits = Array.init w (fun i -> if i < k then Cnf.bfalse b else v.bits.(i - k)) }
+
+let zero b ~width = const b ~width 0
+
+let mul_const b v c =
+  let w = width v in
+  if c = 0 then zero b ~width:w
+  else begin
+    let magnitude = abs c in
+    let acc = ref None in
+    let k = ref 0 in
+    let m = ref magnitude in
+    while !m > 0 do
+      if !m land 1 = 1 then begin
+        let shifted = shift_left b v !k in
+        acc := Some (match !acc with None -> shifted | Some a -> add b a shifted)
+      end;
+      m := !m lsr 1;
+      incr k
+    done;
+    let total = match !acc with Some a -> a | None -> assert false in
+    if c > 0 then total else neg b total
+  end
+
+let eq b x y =
+  check_same_width "Bv.eq" x y;
+  let pairs = Array.to_list (Array.mapi (fun i xi -> Cnf.g_iff b xi y.bits.(i)) x.bits) in
+  Cnf.g_and_list b pairs
+
+let slt b x y =
+  (* Sign bit of x - y; the compiler guarantees the difference fits. *)
+  check_same_width "Bv.slt" x y;
+  sign (sub b x y)
+
+let sle b x y = Cnf.g_not (slt b y x)
+
+let ite b sel x y =
+  check_same_width "Bv.ite" x y;
+  { bits = Array.mapi (fun i xi -> Cnf.g_mux b ~sel ~if_true:xi ~if_false:y.bits.(i)) x.bits }
+
+let relu b v =
+  let w = width v in
+  ite b (sign v) (zero b ~width:w) v
+
+let smax b x y = ite b (slt b x y) y x
+
+let to_int b v =
+  let w = width v in
+  let magnitude = ref 0 in
+  for i = w - 2 downto 0 do
+    magnitude := (2 * !magnitude) + if Cnf.lit_value b v.bits.(i) then 1 else 0
+  done;
+  if Cnf.lit_value b (sign v) then !magnitude - (1 lsl (w - 1)) else !magnitude

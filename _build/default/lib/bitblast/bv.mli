@@ -1,0 +1,60 @@
+(** Two's-complement bit-vectors over the Tseitin builder.
+
+    Bits are least-significant first. Operations require equal widths
+    unless stated otherwise — the caller (the smtlite compiler) chooses
+    widths from interval analysis so that results never overflow; under
+    that contract modular arithmetic equals exact integer arithmetic. *)
+
+type t
+
+val width : t -> int
+val bits : t -> Sat.Lit.t array
+val sign : t -> Sat.Lit.t
+(** Most significant bit. *)
+
+val const : Cnf.t -> width:int -> int -> t
+(** Two's-complement constant; raises [Invalid_argument] if the value does
+    not fit the width. *)
+
+val fresh : Cnf.t -> width:int -> t
+(** A vector of fresh bits. *)
+
+val of_bits : Sat.Lit.t array -> t
+
+val sign_extend : t -> int -> t
+(** [sign_extend v w] with [w >= width v]. *)
+
+val add : Cnf.t -> t -> t -> t
+(** Same-width ripple-carry addition, carry-out dropped (exact when the
+    result fits the width). *)
+
+val neg : Cnf.t -> t -> t
+(** Two's-complement negation at the same width. *)
+
+val sub : Cnf.t -> t -> t -> t
+
+val shift_left : Cnf.t -> t -> int -> t
+(** Logical left shift within the same width (low bits zero-filled, top
+    bits dropped — exact when the result fits). *)
+
+val mul_const : Cnf.t -> t -> int -> t
+(** Multiplication by an integer constant via shift-and-add, at the input
+    width (caller guarantees fit). *)
+
+val eq : Cnf.t -> t -> t -> Sat.Lit.t
+val slt : Cnf.t -> t -> t -> Sat.Lit.t
+(** Signed less-than on equal widths whose operand difference also fits
+    the width — the compiler extends operands by one bit to ensure this. *)
+
+val sle : Cnf.t -> t -> t -> Sat.Lit.t
+
+val ite : Cnf.t -> Sat.Lit.t -> t -> t -> t
+(** Bitwise mux of two equal-width vectors. *)
+
+val relu : Cnf.t -> t -> t
+(** [max(0, v)]: zero when the sign bit is set. *)
+
+val smax : Cnf.t -> t -> t -> t
+
+val to_int : Cnf.t -> t -> int
+(** Decode the vector under the solver's current model. *)

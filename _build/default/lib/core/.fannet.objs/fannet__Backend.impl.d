@@ -1,0 +1,1 @@
+lib/core/backend.ml: Array Bnb Encode Fun Nn Noise Printf Smtlite

@@ -1,0 +1,1 @@
+lib/core/bias.ml: Array Buffer Extract Fun Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/core/bias.mli: Extract

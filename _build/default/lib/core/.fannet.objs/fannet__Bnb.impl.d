@@ -1,0 +1,1 @@
+lib/core/bnb.ml: Array Fun List Map Nn Noise

@@ -1,0 +1,1 @@
+lib/core/bnb.mli: Nn Noise

@@ -1,0 +1,1 @@
+lib/core/boundary.ml: Array List Nn Tolerance Util

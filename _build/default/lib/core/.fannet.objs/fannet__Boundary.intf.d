@@ -1,0 +1,1 @@
+lib/core/boundary.mli: Backend Nn Validate

@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Fun List Nn Noise Printf Smtlite

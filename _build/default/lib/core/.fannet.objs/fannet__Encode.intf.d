@@ -1,0 +1,1 @@
+lib/core/encode.mli: Nn Noise Smtlite

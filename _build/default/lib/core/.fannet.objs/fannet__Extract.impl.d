@@ -1,0 +1,1 @@
+lib/core/extract.ml: Array Bnb Encode List Noise Printf Smtlite

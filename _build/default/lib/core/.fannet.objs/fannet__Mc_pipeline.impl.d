@@ -1,0 +1,1 @@
+lib/core/mc_pipeline.ml: Array Dataset Nn Util Validate

@@ -1,0 +1,1 @@
+lib/core/mc_pipeline.mli: Dataset Nn Validate

@@ -1,0 +1,1 @@
+lib/core/noise.ml: Array Int Nn Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Bnb Extract Fun List Noise Printf

@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Array Backend List Nn Noise

@@ -1,0 +1,106 @@
+module T = Smtlite.Term
+module I = Smtlite.Interval
+
+type t = Bnb | Smt | Explicit of { limit : int } | Interval
+
+type verdict = Robust | Flip of Noise.vector | Unknown
+
+let default_explicit_limit = 2_000_000
+
+let validate_flip net spec ~input ~label v =
+  if not (Noise.in_range spec v) then
+    failwith "Backend: witness outside the noise range";
+  if Noise.predict net spec ~input v = label then
+    failwith "Backend: witness does not actually misclassify";
+  Flip v
+
+let smt_exists_flip net spec ~input ~label =
+  let enc = Encode.encode net ~input spec in
+  match Smtlite.Solve.check (Encode.misclassified enc ~true_label:label) with
+  | Smtlite.Solve.Sat model ->
+      validate_flip net spec ~input ~label (Encode.vector_of_model enc model)
+  | Smtlite.Solve.Unsat -> Robust
+  | Smtlite.Solve.Unknown -> Unknown
+
+exception Found of Noise.vector
+
+let explicit_exists_flip ~limit net spec ~input ~label =
+  let size = Noise.spec_size spec ~n_inputs:(Array.length input) in
+  if size > limit then
+    invalid_arg
+      (Printf.sprintf "Backend.Explicit: %d vectors exceed limit %d" size limit);
+  try
+    Noise.iter_vectors spec ~n_inputs:(Array.length input) (fun v ->
+        if Noise.predict net spec ~input v <> label then raise (Found v));
+    Robust
+  with Found v -> validate_flip net spec ~input ~label v
+
+(* Interval propagation through the two layers at the spec's scale. *)
+let output_bounds (net : Nn.Qnet.t) (spec : Noise.spec) ~input =
+  if Nn.Qnet.n_layers net <> 2 then
+    invalid_arg "Backend.output_bounds: two-layer networks only";
+  let scale = Noise.scale_of spec in
+  let delta = I.make spec.Noise.delta_lo spec.Noise.delta_hi in
+  let bias_factor =
+    if spec.Noise.bias_noise then I.add (I.point scale) delta
+    else I.point scale
+  in
+  let noisy =
+    match spec.Noise.kind with
+    | Noise.Relative ->
+        let factor = I.add (I.point scale) delta in
+        Array.map (fun x -> I.mulc x factor) input
+    | Noise.Absolute -> Array.map (fun x -> I.add (I.point x) delta) input
+  in
+  let layer1 = net.Nn.Qnet.layers.(0) in
+  let layer2 = net.Nn.Qnet.layers.(1) in
+  let hidden =
+    Array.mapi
+      (fun k row ->
+        let acc = ref (I.mulc layer1.Nn.Qnet.bias.(k) bias_factor) in
+        Array.iteri (fun i w -> acc := I.add !acc (I.mulc w noisy.(i))) row;
+        if layer1.Nn.Qnet.relu then I.relu !acc else !acc)
+      layer1.Nn.Qnet.weights
+  in
+  let outputs =
+    Array.mapi
+      (fun j row ->
+        let acc = ref (I.point (layer2.Nn.Qnet.bias.(j) * scale)) in
+        Array.iteri (fun k w -> acc := I.add !acc (I.mulc w hidden.(k))) row;
+        if layer2.Nn.Qnet.relu then I.relu !acc else !acc)
+      layer2.Nn.Qnet.weights
+  in
+  Array.map (fun (iv : I.t) -> (iv.I.lo, iv.I.hi)) outputs
+
+let interval_exists_flip net spec ~input ~label =
+  let bounds = output_bounds net spec ~input in
+  let lo_label, _ = bounds.(label) in
+  let provably_wins =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun j (_, hi_j) ->
+           if j = label then true
+           else if j > label then lo_label >= hi_j
+           else lo_label > hi_j)
+         bounds)
+  in
+  if provably_wins then Robust else Unknown
+
+let exists_flip backend net spec ~input ~label =
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Backend.exists_flip: input size mismatch";
+  if label < 0 || label >= Nn.Qnet.out_dim net then
+    invalid_arg "Backend.exists_flip: label out of range";
+  match backend with
+  | Bnb -> (
+      match Bnb.exists_flip net spec ~input ~label with
+      | Bnb.Robust -> Robust
+      | Bnb.Flip v -> validate_flip net spec ~input ~label v)
+  | Smt -> smt_exists_flip net spec ~input ~label
+  | Explicit { limit } -> explicit_exists_flip ~limit net spec ~input ~label
+  | Interval -> interval_exists_flip net spec ~input ~label
+
+let verdict_to_string = function
+  | Robust -> "robust"
+  | Flip v -> "flip " ^ Noise.to_string v
+  | Unknown -> "unknown"

@@ -1,0 +1,41 @@
+(** Analysis backends answering the paper's P2 query: does some noise
+    vector in the range flip this input's classification?
+
+    - [Bnb]: branch-and-bound with symbolic linear bounds ({!Bnb}) —
+      complete and fast; the default workhorse.
+    - [Smt]: bit-blast the encoding and search with the CDCL solver —
+      complete, the role of nuXmv's SAT engine; practical for small noise
+      ranges, compared against [Bnb] in the backend ablation.
+    - [Explicit]: enumerate every noise vector — complete but exponential;
+      usable for tiny ranges and as a cross-check oracle.
+    - [Interval]: sound interval propagation — fast, can prove robustness
+      but never produces a counterexample ([Unknown] when inconclusive). *)
+
+type t =
+  | Bnb
+  | Smt
+  | Explicit of { limit : int }  (** refuses ranges above [limit] vectors *)
+  | Interval
+
+type verdict =
+  | Robust                 (** no vector in the range flips the input *)
+  | Flip of Noise.vector   (** witness causing misclassification *)
+  | Unknown                (** backend could not decide *)
+
+val default_explicit_limit : int
+
+val exists_flip :
+  t -> Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> verdict
+(** The input must be classified as [label] by the noise-free network for
+    the paper's reading of the verdict ("noise tolerance of correctly
+    classified inputs"); this is not enforced here. Any [Flip] witness is
+    re-validated against the concrete {!Noise.predict} before being
+    returned (defence against encoding bugs); a mismatch raises
+    [Failure]. *)
+
+val output_bounds :
+  Nn.Qnet.t -> Noise.spec -> input:int array -> (int * int) array
+(** Interval backend's per-output-node bounds over the whole noise range
+    (x100 scale) — also used by the classification-boundary analysis. *)
+
+val verdict_to_string : verdict -> string

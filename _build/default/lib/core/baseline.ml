@@ -1,0 +1,32 @@
+type result = {
+  budget : int;
+  found : Noise.vector list;
+  first_found_at : int option;
+}
+
+let random_vector ~rng (spec : Noise.spec) ~n_inputs =
+  let draw () = Util.Rng.int_in rng spec.Noise.delta_lo spec.Noise.delta_hi in
+  {
+    Noise.bias = (if spec.Noise.bias_noise then draw () else 0);
+    inputs = Array.init n_inputs (fun _ -> draw ());
+  }
+
+let random_search ~rng net spec ~input ~label ~budget =
+  if budget <= 0 then invalid_arg "Baseline.random_search: budget";
+  let module VSet = Set.Make (struct
+    type t = Noise.vector
+
+    let compare = Noise.compare
+  end) in
+  let found = ref VSet.empty in
+  let first = ref None in
+  for trial = 1 to budget do
+    let v = random_vector ~rng spec ~n_inputs:(Array.length input) in
+    if Noise.predict net spec ~input v <> label then begin
+      if !first = None then first := Some trial;
+      found := VSet.add v !found
+    end
+  done;
+  { budget; found = VSet.elements !found; first_found_at = !first }
+
+let success_rate r = float_of_int (List.length r.found) /. float_of_int r.budget

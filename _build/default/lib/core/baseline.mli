@@ -1,0 +1,25 @@
+(** Random-testing baseline (ablation E8 in DESIGN.md).
+
+    The paper motivates formal analysis by the insufficiency of testing;
+    this baseline quantifies it: sample random noise vectors and count how
+    many adversarial ones a given budget finds, versus the formal
+    extraction which is exhaustive. *)
+
+type result = {
+  budget : int;             (** vectors sampled *)
+  found : Noise.vector list;(** distinct flipping vectors discovered *)
+  first_found_at : int option;
+      (** 1-based index of the first successful sample *)
+}
+
+val random_search :
+  rng:Util.Rng.t ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  budget:int ->
+  result
+
+val success_rate : result -> float
+(** Distinct flipping vectors found divided by budget. *)

@@ -1,0 +1,410 @@
+type verdict = Robust | Flip of Noise.vector
+
+(* Linear view of the noisy network for one input (see the interface):
+   pre_k = pre_const.(k) + sum_d pre_coef.(k).(d) * delta_d over noise
+   dimensions d (bias node first when enabled). For every adversary class
+   j <> label there is one margin
+     m_j = out_const.(j) + sum_k out_coef.(j).(k) * relu(pre_k)
+   and the input flips iff m_j < thr.(j) for some j. *)
+type model = {
+  n_dims : int;
+  pre_const : int array;
+  pre_coef : int array array;
+  out_coef : int array array;   (* per adversary *)
+  out_const : int array;
+  thr : int array;
+}
+
+let build (net : Nn.Qnet.t) (spec : Noise.spec) ~input ~label =
+  if Nn.Qnet.n_layers net <> 2 then invalid_arg "Bnb: two-layer networks only";
+  let n_out = Nn.Qnet.out_dim net in
+  if n_out < 2 then invalid_arg "Bnb: at least two outputs required";
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Bnb: input size mismatch";
+  if label < 0 || label >= n_out then invalid_arg "Bnb: label out of range";
+  let layer1 = net.Nn.Qnet.layers.(0) in
+  let layer2 = net.Nn.Qnet.layers.(1) in
+  if not layer1.Nn.Qnet.relu then invalid_arg "Bnb: hidden layer must be ReLU";
+  if layer2.Nn.Qnet.relu then invalid_arg "Bnb: output layer must be identity";
+  let scale = Noise.scale_of spec in
+  let n_inputs = Array.length input in
+  let bias_dim = if spec.Noise.bias_noise then 1 else 0 in
+  let n_dims = n_inputs + bias_dim in
+  let n_hidden = Array.length layer1.Nn.Qnet.weights in
+  let pre_const = Array.make n_hidden 0 in
+  let pre_coef = Array.make_matrix n_hidden n_dims 0 in
+  for k = 0 to n_hidden - 1 do
+    let b = layer1.Nn.Qnet.bias.(k) in
+    let row = layer1.Nn.Qnet.weights.(k) in
+    let affine = ref (b * scale) in
+    if spec.Noise.bias_noise then pre_coef.(k).(0) <- b;
+    Array.iteri
+      (fun i w ->
+        affine := !affine + (w * input.(i) * scale);
+        pre_coef.(k).(bias_dim + i) <-
+          (match spec.Noise.kind with
+          | Noise.Relative -> w * input.(i)
+          | Noise.Absolute -> w))
+      row;
+    pre_const.(k) <- !affine
+  done;
+  let adversaries =
+    List.filter (fun j -> j <> label) (List.init n_out Fun.id)
+  in
+  let out_coef =
+    Array.of_list
+      (List.map
+         (fun j ->
+           Array.init n_hidden (fun k ->
+               layer2.Nn.Qnet.weights.(label).(k) - layer2.Nn.Qnet.weights.(j).(k)))
+         adversaries)
+  in
+  let out_const =
+    Array.of_list
+      (List.map
+         (fun j -> (layer2.Nn.Qnet.bias.(label) - layer2.Nn.Qnet.bias.(j)) * scale)
+         adversaries)
+  in
+  (* Ties go to the lower class index: against a higher class the label
+     keeps on equality (flip iff margin < 0); against a lower class it
+     needs a strict win (flip iff margin < 1). *)
+  let thr =
+    Array.of_list (List.map (fun j -> if j > label then 0 else 1) adversaries)
+  in
+  { n_dims; pre_const; pre_coef; out_coef; out_const; thr }
+
+let n_margins m = Array.length m.out_coef
+
+(* Hidden activations at a concrete noise point. *)
+let hidden_at m point =
+  Array.mapi
+    (fun k const ->
+      let pre = ref const in
+      Array.iteri (fun d coef -> pre := !pre + (coef * point.(d))) m.pre_coef.(k);
+      if !pre > 0 then !pre else 0)
+    m.pre_const
+
+let flips_at_point m point =
+  let h = hidden_at m point in
+  let rec check j =
+    j < n_margins m
+    &&
+    let margin = ref m.out_const.(j) in
+    Array.iteri (fun k c -> margin := !margin + (c * h.(k))) m.out_coef.(j);
+    !margin < m.thr.(j) || check (j + 1)
+  in
+  check 0
+
+(* Per-hidden-neuron pre-activation bounds over a box, shared by all
+   margins. *)
+let pre_bounds m ~lo ~hi =
+  Array.init (Array.length m.pre_const) (fun k ->
+      let coefs = m.pre_coef.(k) in
+      let pre_lo = ref m.pre_const.(k) and pre_hi = ref m.pre_const.(k) in
+      Array.iteri
+        (fun d a ->
+          if a >= 0 then begin
+            pre_lo := !pre_lo + (a * lo.(d));
+            pre_hi := !pre_hi + (a * hi.(d))
+          end
+          else begin
+            pre_lo := !pre_lo + (a * hi.(d));
+            pre_hi := !pre_hi + (a * lo.(d))
+          end)
+        coefs;
+      (!pre_lo, !pre_hi))
+
+(* Bounds of margin [j] over a box. Stable ReLUs stay linear so their
+   noise coefficients recombine across neurons; unstable ReLUs use the
+   adaptive one-sided relaxations h >= pre, h >= 0, h <= pre_hi. *)
+let margin_bounds m pres j ~lo ~hi =
+  let lo_coef = Array.make m.n_dims 0 in
+  let hi_coef = Array.make m.n_dims 0 in
+  let lo_const = ref m.out_const.(j) and hi_const = ref m.out_const.(j) in
+  let add_linear coef_acc const_acc c k =
+    const_acc := !const_acc + (c * m.pre_const.(k));
+    Array.iteri (fun d a -> coef_acc.(d) <- coef_acc.(d) + (c * a)) m.pre_coef.(k)
+  in
+  Array.iteri
+    (fun k c ->
+      if c <> 0 then begin
+        let pre_lo, pre_hi = pres.(k) in
+        if pre_lo >= 0 then begin
+          add_linear lo_coef lo_const c k;
+          add_linear hi_coef hi_const c k
+        end
+        else if pre_hi <= 0 then ()
+        else begin
+          let keep_linear = pre_hi >= -pre_lo in
+          if c > 0 then begin
+            if keep_linear then add_linear lo_coef lo_const c k;
+            hi_const := !hi_const + (c * pre_hi)
+          end
+          else begin
+            lo_const := !lo_const + (c * pre_hi);
+            if keep_linear then add_linear hi_coef hi_const c k
+          end
+        end
+      end)
+    m.out_coef.(j);
+  let bound coef base ~lower =
+    let acc = ref base in
+    Array.iteri
+      (fun d c ->
+        let pick_lo = if lower then c >= 0 else c < 0 in
+        acc := !acc + (c * if pick_lo then lo.(d) else hi.(d)))
+      coef;
+    !acc
+  in
+  (bound lo_coef !lo_const ~lower:true, bound hi_coef !hi_const ~lower:false)
+
+(* Box classification: [`Robust] (no point flips), [`All_flip] (every
+   point flips), or [`Split] with the worst lower-bound slack (used to
+   order children). *)
+let classify m ~lo ~hi =
+  let pres = pre_bounds m ~lo ~hi in
+  let robust = ref true in
+  let worst_slack = ref max_int in
+  let all_flip = ref false in
+  for j = 0 to n_margins m - 1 do
+    if not !all_flip then begin
+      let d_lo, d_hi = margin_bounds m pres j ~lo ~hi in
+      if d_hi < m.thr.(j) then all_flip := true
+      else begin
+        if d_lo < m.thr.(j) then robust := false;
+        let slack = d_lo - m.thr.(j) in
+        if slack < !worst_slack then worst_slack := slack
+      end
+    end
+  done;
+  if !all_flip then `All_flip
+  else if !robust then `Robust
+  else `Split !worst_slack
+
+let vector_of_point (spec : Noise.spec) ~n_inputs point =
+  if spec.Noise.bias_noise then
+    { Noise.bias = point.(0); inputs = Array.sub point 1 n_inputs }
+  else { Noise.bias = 0; inputs = Array.copy point }
+
+let widest_dim ~lo ~hi =
+  let best = ref 0 in
+  for d = 1 to Array.length lo - 1 do
+    if hi.(d) - lo.(d) > hi.(!best) - lo.(!best) then best := d
+  done;
+  !best
+
+let is_point ~lo ~hi =
+  let rec go d = d >= Array.length lo || (lo.(d) = hi.(d) && go (d + 1)) in
+  go 0
+
+let midpoint ~lo ~hi = Array.init (Array.length lo) (fun d -> (lo.(d) + hi.(d)) / 2)
+
+let split ~lo ~hi =
+  let d = widest_dim ~lo ~hi in
+  (* Floor division: plain (lo+hi)/2 truncates toward zero and can return
+     hi on negative ranges, recreating the same box forever. *)
+  let mid = (lo.(d) + hi.(d)) asr 1 in
+  let hi1 = Array.copy hi and lo2 = Array.copy lo in
+  hi1.(d) <- mid;
+  lo2.(d) <- mid + 1;
+  ((lo, hi1), (lo2, hi))
+
+let initial_box ?box m (spec : Noise.spec) =
+  match box with
+  | None ->
+      ( Array.make m.n_dims spec.Noise.delta_lo,
+        Array.make m.n_dims spec.Noise.delta_hi )
+  | Some ranges ->
+      if Array.length ranges <> m.n_dims then
+        invalid_arg "Bnb: box dimension mismatch";
+      Array.iter
+        (fun (lo, hi) ->
+          if lo > hi || lo < spec.Noise.delta_lo || hi > spec.Noise.delta_hi
+          then invalid_arg "Bnb: box outside the noise range")
+        ranges;
+      (Array.map fst ranges, Array.map snd ranges)
+
+exception Found of int array
+
+exception Budget_exceeded
+
+let exists_flip ?box ?max_boxes net spec ~input ~label =
+  let m = build net spec ~input ~label in
+  let budget = ref (match max_boxes with Some b -> b | None -> max_int) in
+  let spend () =
+    decr budget;
+    if !budget < 0 then raise Budget_exceeded
+  in
+  let rec go ~lo ~hi =
+    spend ();
+    match classify m ~lo ~hi with
+    | `Robust -> ()
+    | `All_flip -> raise (Found (midpoint ~lo ~hi))
+    | `Split _ ->
+        if is_point ~lo ~hi then begin
+          if flips_at_point m lo then raise (Found (Array.copy lo))
+        end
+        else begin
+          let (lo1, hi1), (lo2, hi2) = split ~lo ~hi in
+          (* Explore the child with the weaker margin slack first: more
+             likely to contain a flip, so witnesses surface early. *)
+          let slack (lo, hi) =
+            match classify m ~lo ~hi with
+            | `All_flip -> min_int
+            | `Robust -> max_int
+            | `Split s -> s
+          in
+          if slack (lo1, hi1) <= slack (lo2, hi2) then begin
+            go ~lo:lo1 ~hi:hi1;
+            go ~lo:lo2 ~hi:hi2
+          end
+          else begin
+            go ~lo:lo2 ~hi:hi2;
+            go ~lo:lo1 ~hi:hi1
+          end
+        end
+  in
+  let lo, hi = initial_box ?box m spec in
+  match go ~lo ~hi with
+  | () -> Robust
+  | exception Found point ->
+      let v = vector_of_point spec ~n_inputs:(Array.length input) point in
+      if Noise.predict net spec ~input v = label then
+        failwith "Bnb: witness does not actually misclassify";
+      Flip v
+
+(* Smallest possible L1 norm of a point in the box: per dimension the
+   distance of the interval to zero. *)
+let box_l1_lower ~lo ~hi =
+  let acc = ref 0 in
+  Array.iteri
+    (fun d l ->
+      let h = hi.(d) in
+      if l > 0 then acc := !acc + l else if h < 0 then acc := !acc - h)
+    lo;
+  !acc
+
+let point_l1 point = Array.fold_left (fun acc d -> acc + abs d) 0 point
+
+let min_l1_flip net spec ~input ~label =
+  let m = build net spec ~input ~label in
+  (* Best-first over boxes keyed by (L1 lower bound, unique id). *)
+  let module Pq = Map.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let queue = ref Pq.empty in
+  let counter = ref 0 in
+  let push box =
+    let lo, hi = box in
+    incr counter;
+    queue := Pq.add (box_l1_lower ~lo ~hi, !counter) box !queue
+  in
+  let pop () =
+    match Pq.min_binding_opt !queue with
+    | None -> None
+    | Some (key, box) ->
+        queue := Pq.remove key !queue;
+        Some box
+  in
+  push (initial_box m spec);
+  let rec search () =
+    match pop () with
+    | None -> None
+    | Some (lo, hi) -> (
+        match classify m ~lo ~hi with
+        | `Robust -> search ()
+        | `All_flip | `Split _ ->
+            if is_point ~lo ~hi then
+              if flips_at_point m lo then
+                (* Best-first order: the first flipping point popped has
+                   the minimal L1 bound, hence minimal norm. *)
+                Some (Array.copy lo)
+              else search ()
+            else begin
+              let (lo1, hi1), (lo2, hi2) = split ~lo ~hi in
+              push (lo1, hi1);
+              push (lo2, hi2);
+              search ()
+            end)
+  in
+  match search () with
+  | None -> None
+  | Some point ->
+      let v = vector_of_point spec ~n_inputs:(Array.length input) point in
+      if Noise.predict net spec ~input v = label then
+        failwith "Bnb: witness does not actually misclassify";
+      Some (v, point_l1 point)
+
+exception Limit_reached
+
+let box_volume ~lo ~hi =
+  Array.fold_left ( * ) 1 (Array.init (Array.length lo) (fun d -> hi.(d) - lo.(d) + 1))
+
+let iter_box ~lo ~hi f =
+  let n = Array.length lo in
+  let point = Array.copy lo in
+  let rec go d =
+    if d = n then f point
+    else
+      for v = lo.(d) to hi.(d) do
+        point.(d) <- v;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let enumerate_flips ?(limit = 10_000) net spec ~input ~label =
+  let m = build net spec ~input ~label in
+  let acc = ref [] in
+  let count = ref 0 in
+  let add point =
+    if !count >= limit then raise Limit_reached;
+    incr count;
+    acc := vector_of_point spec ~n_inputs:(Array.length input) point :: !acc
+  in
+  let rec go ~lo ~hi =
+    match classify m ~lo ~hi with
+    | `Robust -> ()
+    | `All_flip -> iter_box ~lo ~hi add
+    | `Split _ ->
+        if is_point ~lo ~hi then begin
+          if flips_at_point m lo then add lo
+        end
+        else begin
+          let (lo1, hi1), (lo2, hi2) = split ~lo ~hi in
+          go ~lo:lo1 ~hi:hi1;
+          go ~lo:lo2 ~hi:hi2
+        end
+  in
+  let lo, hi = initial_box m spec in
+  match go ~lo ~hi with
+  | () -> (List.rev !acc, `Complete)
+  | exception Limit_reached -> (List.rev !acc, `Truncated)
+
+let count_flips ?(limit = max_int) net spec ~input ~label =
+  let m = build net spec ~input ~label in
+  let count = ref 0 in
+  let add n =
+    count := !count + n;
+    if !count >= limit then raise Limit_reached
+  in
+  let rec go ~lo ~hi =
+    match classify m ~lo ~hi with
+    | `Robust -> ()
+    | `All_flip -> add (box_volume ~lo ~hi)
+    | `Split _ ->
+        if is_point ~lo ~hi then begin
+          if flips_at_point m lo then add 1
+        end
+        else begin
+          let (lo1, hi1), (lo2, hi2) = split ~lo ~hi in
+          go ~lo:lo1 ~hi:hi1;
+          go ~lo:lo2 ~hi:hi2
+        end
+  in
+  let lo, hi = initial_box m spec in
+  match go ~lo ~hi with
+  | () -> (!count, `Complete)
+  | exception Limit_reached -> (!count, `Truncated)

@@ -1,0 +1,102 @@
+module T = Smtlite.Term
+
+type t = {
+  bias_var : T.var option;
+  input_vars : T.var array;
+  outputs : T.term array;
+}
+
+let encode (net : Nn.Qnet.t) ~input (spec : Noise.spec) =
+  if Nn.Qnet.n_layers net <> 2 then
+    invalid_arg "Encode.encode: two-layer networks only";
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Encode.encode: input size mismatch";
+  if spec.Noise.delta_lo > 0 || spec.Noise.delta_hi < 0 then
+    invalid_arg "Encode.encode: noise range must contain 0";
+  let scale = Noise.scale_of spec in
+  let mkvar name = T.var ~name ~lo:spec.Noise.delta_lo ~hi:spec.Noise.delta_hi in
+  let bias_var = if spec.Noise.bias_noise then Some (mkvar "d0") else None in
+  let input_vars =
+    Array.init (Array.length input) (fun i -> mkvar (Printf.sprintf "d%d" (i + 1)))
+  in
+  (* Relative: x_i = X_i*100 + X_i*d_i; absolute: x_i = X_i + d_i
+     (constants folded by the smart constructors). *)
+  let noisy =
+    Array.mapi
+      (fun i x ->
+        let coeff =
+          match spec.Noise.kind with Noise.Relative -> x | Noise.Absolute -> 1
+        in
+        T.add (T.const (x * scale)) (T.mulc coeff (T.of_var input_vars.(i))))
+      input
+  in
+  let layer1 = net.Nn.Qnet.layers.(0) in
+  let layer2 = net.Nn.Qnet.layers.(1) in
+  let hidden =
+    Array.mapi
+      (fun k row ->
+        let b = layer1.Nn.Qnet.bias.(k) in
+        let bias_term =
+          match bias_var with
+          | Some d0 -> T.add (T.const (b * scale)) (T.mulc b (T.of_var d0))
+          | None -> T.const (b * scale)
+        in
+        let pre =
+          T.sum
+            (bias_term
+            :: List.init (Array.length row) (fun i -> T.mulc row.(i) noisy.(i)))
+        in
+        if layer1.Nn.Qnet.relu then T.relu pre else pre)
+      layer1.Nn.Qnet.weights
+  in
+  let outputs =
+    Array.mapi
+      (fun j row ->
+        let pre =
+          T.sum
+            (T.const (layer2.Nn.Qnet.bias.(j) * scale)
+            :: List.init (Array.length row) (fun k -> T.mulc row.(k) hidden.(k)))
+        in
+        if layer2.Nn.Qnet.relu then T.relu pre else pre)
+      layer2.Nn.Qnet.weights
+  in
+  { bias_var; input_vars; outputs }
+
+let noise_vars t =
+  (match t.bias_var with Some v -> [ v ] | None -> [])
+  @ Array.to_list t.input_vars
+
+let predicted_is t c =
+  let n = Array.length t.outputs in
+  if c < 0 || c >= n then invalid_arg "Encode.predicted_is: class out of range";
+  (* Ties go to the lower index: class c wins iff o_c > o_j for j < c and
+     o_c >= o_j for j > c. *)
+  T.and_
+    (List.filter_map
+       (fun j ->
+         if j = c then None
+         else if j < c then Some (T.gt t.outputs.(c) t.outputs.(j))
+         else Some (T.ge t.outputs.(c) t.outputs.(j)))
+       (List.init n Fun.id))
+
+let misclassified t ~true_label = T.not_ (predicted_is t true_label)
+
+let vector_of_model t model =
+  {
+    Noise.bias =
+      (match t.bias_var with Some v -> T.lookup model v | None -> 0);
+    inputs = Array.map (fun v -> T.lookup model v) t.input_vars;
+  }
+
+let vector_excluded t (v : Noise.vector) =
+  let diffs =
+    (match t.bias_var with
+    | Some d0 -> [ T.not_ (T.eq (T.of_var d0) (T.const v.Noise.bias)) ]
+    | None -> [])
+    @ Array.to_list
+        (Array.mapi
+           (fun i var ->
+             T.not_ (T.eq (T.of_var var) (T.const v.Noise.inputs.(i))))
+           t.input_vars)
+  in
+  T.or_ diffs

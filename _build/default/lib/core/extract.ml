@@ -1,0 +1,75 @@
+type counterexample = {
+  input_index : int;
+  true_label : int;
+  predicted : int;
+  vector : Noise.vector;
+}
+
+type status = Complete | Truncated | Budget
+
+let make_counterexample net spec ~input ~label ~input_index vector =
+  if not (Noise.in_range spec vector) then
+    failwith "Extract: vector outside the noise range";
+  let predicted = Noise.predict net spec ~input vector in
+  if predicted = label then
+    failwith "Extract: vector does not actually misclassify";
+  { input_index; true_label = label; predicted; vector }
+
+let for_input ?(limit = 10_000) net spec ~input ~label ~input_index =
+  let vectors, st = Bnb.enumerate_flips ~limit net spec ~input ~label in
+  let cexs =
+    List.map (make_counterexample net spec ~input ~label ~input_index) vectors
+  in
+  (cexs, match st with `Complete -> Complete | `Truncated -> Truncated)
+
+let smt_for_input ?(limit = 10_000) ?max_conflicts net spec ~input ~label ~input_index =
+  let enc = Encode.encode net ~input spec in
+  let project = Encode.noise_vars enc in
+  let session =
+    Smtlite.Solve.open_session (Encode.misclassified enc ~true_label:label)
+  in
+  let rec loop acc n =
+    if n >= limit then (List.rev acc, Truncated)
+    else
+      match Smtlite.Solve.solve ?max_conflicts session with
+      | Smtlite.Solve.Unsat -> (List.rev acc, Complete)
+      | Smtlite.Solve.Unknown -> (List.rev acc, Budget)
+      | Smtlite.Solve.Sat model ->
+          let vector = Encode.vector_of_model enc model in
+          let cex = make_counterexample net spec ~input ~label ~input_index vector in
+          Smtlite.Solve.block session project;
+          loop (cex :: acc) (n + 1)
+  in
+  loop [] 0
+
+let weakest a b =
+  match (a, b) with
+  | Budget, _ | _, Budget -> Budget
+  | Truncated, _ | _, Truncated -> Truncated
+  | Complete, Complete -> Complete
+
+let for_inputs ?(limit_per_input = 10_000) net spec ~inputs =
+  let all = ref [] in
+  let status = ref Complete in
+  Array.iteri
+    (fun input_index (input, label) ->
+      let cexs, st =
+        for_input ~limit:limit_per_input net spec ~input ~label ~input_index
+      in
+      all := !all @ cexs;
+      status := weakest !status st)
+    inputs;
+  (!all, !status)
+
+let explicit_for_input net spec ~input ~label ~input_index ~limit =
+  let size = Noise.spec_size spec ~n_inputs:(Array.length input) in
+  if size > limit then
+    invalid_arg
+      (Printf.sprintf "Extract.explicit_for_input: %d vectors exceed %d" size limit);
+  let acc = ref [] in
+  Noise.iter_vectors spec ~n_inputs:(Array.length input) (fun v ->
+      let predicted = Noise.predict net spec ~input v in
+      if predicted <> label then
+        acc :=
+          { input_index; true_label = label; predicted; vector = v } :: !acc);
+  List.rev !acc

@@ -1,0 +1,66 @@
+(** Property P3: adversarial noise-vector extraction.
+
+    Collects the distinct noise vectors that misclassify each input — the
+    noise matrix [e] of the paper's Fig. 2. Two engines answer the same
+    enumeration query:
+
+    - {!for_input} / {!for_inputs} use the branch-and-bound engine
+      ({!Bnb.enumerate_flips}) — fast at every noise range;
+    - {!smt_for_input} runs the paper's literal P3 loop: SAT query,
+      counterexample, blocking clause [!e], re-query — on the bit-blasted
+      encoding. Practical for small ranges; used as a cross-check.
+
+    Every returned vector is re-validated against the concrete
+    {!Noise.predict}. *)
+
+type counterexample = {
+  input_index : int;         (** position in the analysed input set *)
+  true_label : int;
+  predicted : int;           (** class the noisy network outputs *)
+  vector : Noise.vector;
+}
+
+type status = Complete | Truncated | Budget
+
+val for_input :
+  ?limit:int ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  input_index:int ->
+  counterexample list * status
+(** All distinct adversarial noise vectors for one input ([limit] defaults
+    to 10_000; [Truncated] when it bites). *)
+
+val for_inputs :
+  ?limit_per_input:int ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  inputs:Validate.labelled array ->
+  counterexample list * status
+(** Concatenation over an input set (the paper's "repeated for all inputs
+    in the dataset"); the status is the weakest over all inputs. *)
+
+val smt_for_input :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  input_index:int ->
+  counterexample list * status
+(** The paper's P3 blocking loop on the CDCL engine. [Budget] when
+    [max_conflicts] ran out. *)
+
+val explicit_for_input :
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  input_index:int ->
+  limit:int ->
+  counterexample list
+(** Brute-force oracle; raises [Invalid_argument] if the range has more
+    than [limit] vectors. *)

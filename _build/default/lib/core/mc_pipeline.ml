@@ -1,0 +1,84 @@
+type config = {
+  dataset_params : Dataset.Multiclass.params;
+  dataset_seed : int;
+  init_seed : int;
+  train_config : Nn.Train.config;
+  k_features : int;
+  mi_bins : int;
+  hidden : int;
+  weight_bits : int;
+}
+
+let default_config =
+  {
+    dataset_params = Dataset.Multiclass.default_params;
+    dataset_seed = 41;
+    init_seed = 5;
+    train_config = Nn.Train.default_config;
+    k_features = 6;
+    mi_bins = 3;
+    hidden = 16;
+    weight_bits = 12;
+  }
+
+type t = {
+  config : config;
+  data : Dataset.Multiclass.t;
+  selected_genes : int array;
+  network : Nn.Network.t;
+  qnet : Nn.Qnet.t;
+  train_inputs : Validate.labelled array;
+  test_inputs : Validate.labelled array;
+  train_accuracy : float;
+  test_accuracy : float;
+  p1 : Validate.result;
+}
+
+let accuracy qnet inputs =
+  let correct =
+    Array.fold_left
+      (fun acc (x, l) -> if Nn.Qnet.predict qnet x = l then acc + 1 else acc)
+      0 inputs
+  in
+  float_of_int correct /. float_of_int (Array.length inputs)
+
+let run ?(config = default_config) () =
+  let data =
+    Dataset.Multiclass.generate ~params:config.dataset_params ~seed:config.dataset_seed ()
+  in
+  let selected_genes =
+    Dataset.Multiclass.select_genes data ~k:config.k_features ~bins:config.mi_bins
+  in
+  let projected = Dataset.Multiclass.project data ~genes:selected_genes in
+  let train_inputs = projected.Dataset.Multiclass.train in
+  let test_inputs = projected.Dataset.Multiclass.test in
+  let norm = Nn.Normalize.fit (Array.map fst train_inputs) in
+  let vecs = Array.map (fun (x, _) -> Nn.Normalize.apply norm x) train_inputs in
+  let labels = Array.map snd train_inputs in
+  let rng = Util.Rng.create config.init_seed in
+  let raw =
+    Nn.Network.create ~rng
+      ~spec:[ config.k_features; config.hidden; data.Dataset.Multiclass.n_classes ]
+      ~hidden_activation:Nn.Activation.Relu
+  in
+  ignore (Nn.Train.train ~config:config.train_config raw ~inputs:vecs ~labels);
+  let shift, scale = Nn.Normalize.shift_scale norm in
+  let network = Nn.Network.fold_input_affine raw ~shift ~scale in
+  let qnet = Nn.Quantize.quantize network ~weight_bits:config.weight_bits in
+  let p1 = Validate.p1 qnet ~inputs:test_inputs in
+  {
+    config;
+    data;
+    selected_genes;
+    network;
+    qnet;
+    train_inputs;
+    test_inputs;
+    train_accuracy = accuracy qnet train_inputs;
+    test_accuracy = accuracy qnet test_inputs;
+    p1;
+  }
+
+let analysis_inputs t = t.p1.Validate.correct
+
+let training_labels t = Array.map snd t.train_inputs

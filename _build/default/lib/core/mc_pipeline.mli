@@ -1,0 +1,39 @@
+(** Multi-class extension of the case-study pipeline.
+
+    The paper's methodology is binary (ALL vs AML); this pipeline runs the
+    identical stages — synthetic data, mRMR-style gene selection,
+    standardised training, normalisation folding, quantization, P1 — for
+    [k]-class problems (e.g. a three-way leukemia subtype panel), feeding
+    the multi-class branch-and-bound analyses. *)
+
+type config = {
+  dataset_params : Dataset.Multiclass.params;
+  dataset_seed : int;
+  init_seed : int;
+  train_config : Nn.Train.config;
+  k_features : int;
+  mi_bins : int;
+  hidden : int;
+  weight_bits : int;
+}
+
+val default_config : config
+(** Three classes (18/10/6 training imbalance), 6 genes, 6-16-3 ReLU
+    network. *)
+
+type t = {
+  config : config;
+  data : Dataset.Multiclass.t;
+  selected_genes : int array;
+  network : Nn.Network.t;       (** folded: raw integer inputs *)
+  qnet : Nn.Qnet.t;
+  train_inputs : Validate.labelled array;
+  test_inputs : Validate.labelled array;
+  train_accuracy : float;
+  test_accuracy : float;
+  p1 : Validate.result;
+}
+
+val run : ?config:config -> unit -> t
+val analysis_inputs : t -> Validate.labelled array
+val training_labels : t -> int array

@@ -1,0 +1,115 @@
+type kind = Relative | Absolute
+
+type spec = {
+  delta_lo : int;
+  delta_hi : int;
+  bias_noise : bool;
+  kind : kind;
+}
+
+let symmetric ~delta ~bias_noise =
+  if delta < 0 then invalid_arg "Noise.symmetric: negative delta";
+  { delta_lo = -delta; delta_hi = delta; bias_noise; kind = Relative }
+
+let absolute ~delta ~bias_noise =
+  if delta < 0 then invalid_arg "Noise.absolute: negative delta";
+  { delta_lo = -delta; delta_hi = delta; bias_noise; kind = Absolute }
+
+let scale_of spec = match spec.kind with Relative -> 100 | Absolute -> 1
+
+let check_spec spec =
+  if spec.delta_lo > 0 || spec.delta_hi < 0 then
+    invalid_arg "Noise: range must contain 0"
+
+let n_nodes spec ~n_inputs = n_inputs + if spec.bias_noise then 1 else 0
+
+let spec_size spec ~n_inputs =
+  check_spec spec;
+  let base = spec.delta_hi - spec.delta_lo + 1 in
+  let nodes = n_nodes spec ~n_inputs in
+  let rec power acc k =
+    if k = 0 then acc
+    else if acc > max_int / base then max_int
+    else power (acc * base) (k - 1)
+  in
+  power 1 nodes
+
+type vector = { bias : int; inputs : int array }
+
+let zero ~n_inputs = { bias = 0; inputs = Array.make n_inputs 0 }
+
+let in_range spec v =
+  let ok d = spec.delta_lo <= d && d <= spec.delta_hi in
+  ok v.bias
+  && (spec.bias_noise || v.bias = 0)
+  && Array.for_all ok v.inputs
+
+let equal a b = a.bias = b.bias && a.inputs = b.inputs
+
+let compare a b =
+  match Int.compare a.bias b.bias with
+  | 0 -> Stdlib.compare a.inputs b.inputs
+  | c -> c
+
+let to_string v =
+  Printf.sprintf "[bias %+d; %s]" v.bias
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%+d") v.inputs)))
+
+let apply (net : Nn.Qnet.t) spec ~input v =
+  if Nn.Qnet.n_layers net <> 2 then
+    invalid_arg "Noise.apply: two-layer networks only";
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Noise.apply: input size mismatch";
+  if Array.length v.inputs <> Array.length input then
+    invalid_arg "Noise.apply: noise vector size mismatch";
+  let scale = scale_of spec in
+  let layer1 = net.Nn.Qnet.layers.(0) in
+  let layer2 = net.Nn.Qnet.layers.(1) in
+  (* Relative: x*(100 + d); Absolute: x + d (scale = 1). *)
+  let noisy =
+    match spec.kind with
+    | Relative -> Array.mapi (fun i x -> x * (scale + v.inputs.(i))) input
+    | Absolute -> Array.mapi (fun i x -> x + v.inputs.(i)) input
+  in
+  let hidden =
+    Array.mapi
+      (fun k row ->
+        let acc = ref (layer1.Nn.Qnet.bias.(k) * (scale + v.bias)) in
+        Array.iteri (fun i w -> acc := !acc + (w * noisy.(i))) row;
+        if layer1.Nn.Qnet.relu && !acc < 0 then 0 else !acc)
+      layer1.Nn.Qnet.weights
+  in
+  Array.mapi
+    (fun j row ->
+      let acc = ref (layer2.Nn.Qnet.bias.(j) * scale) in
+      Array.iteri (fun k w -> acc := !acc + (w * hidden.(k))) row;
+      if layer2.Nn.Qnet.relu && !acc < 0 then 0 else !acc)
+    layer2.Nn.Qnet.weights
+
+let predict net spec ~input v =
+  let out = apply net spec ~input v in
+  let best = ref 0 in
+  for j = 1 to Array.length out - 1 do
+    if out.(j) > out.(!best) then best := j
+  done;
+  !best
+
+let iter_vectors spec ~n_inputs f =
+  check_spec spec;
+  let nodes = n_nodes spec ~n_inputs in
+  let current = Array.make nodes spec.delta_lo in
+  let emit () =
+    if spec.bias_noise then
+      f { bias = current.(0); inputs = Array.sub current 1 n_inputs }
+    else f { bias = 0; inputs = Array.copy current }
+  in
+  let rec loop i =
+    if i = nodes then emit ()
+    else
+      for d = spec.delta_lo to spec.delta_hi do
+        current.(i) <- d;
+        loop (i + 1)
+      done
+  in
+  loop 0

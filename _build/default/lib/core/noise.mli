@@ -1,0 +1,63 @@
+(** Input-noise models.
+
+    The paper's model is {b relative} integer-percent noise: input [x_i]
+    becomes [x_i ± x_i*(d_i/100)] — implemented exactly by scaling the
+    whole network by 100 ([x_i*(100 + d_i)] with every bias scaled by 100;
+    uniform scaling commutes with FC/ReLU/argmax, see
+    {!Nn.Qnet.scale_biases}).
+
+    An {b absolute} model is also provided (the L∞-ball setting of the
+    robustness literature the paper cites): [x_i + d_i] in raw input
+    units, no scaling needed. Both models optionally perturb the bias
+    input node (the network's sixth input in the paper's Fig. 3a): under
+    relative noise the layer-1 biases become [b*(100 + d0)], under
+    absolute noise [b*(1 + d0)] — the constant-one input becoming
+    [1 + d0]. *)
+
+type kind =
+  | Relative  (** percent of each input's value — the paper's model *)
+  | Absolute  (** raw input units *)
+
+type spec = {
+  delta_lo : int;    (** lower bound; requires [delta_lo <= 0] *)
+  delta_hi : int;    (** upper bound; requires [delta_hi >= 0] *)
+  bias_noise : bool; (** include a noise node on the bias input *)
+  kind : kind;
+}
+
+val symmetric : delta:int -> bias_noise:bool -> spec
+(** Relative noise in [-delta, +delta]; [delta >= 0]. *)
+
+val absolute : delta:int -> bias_noise:bool -> spec
+(** Absolute noise in [-delta, +delta] input units. *)
+
+val scale_of : spec -> int
+(** The uniform network scale the model evaluates at: 100 for [Relative],
+    1 for [Absolute]. Outputs of {!apply} are at this scale. *)
+
+val spec_size : spec -> n_inputs:int -> int
+(** Number of noise vectors in the range ([(hi-lo+1)^nodes]); saturates at
+    [max_int] on overflow. *)
+
+type vector = {
+  bias : int;        (** 0 when the spec has no bias noise *)
+  inputs : int array;
+}
+(** One concrete noise assignment. *)
+
+val zero : n_inputs:int -> vector
+val in_range : spec -> vector -> bool
+val equal : vector -> vector -> bool
+val compare : vector -> vector -> int
+val to_string : vector -> string
+
+val apply : Nn.Qnet.t -> spec -> input:int array -> vector -> int array
+(** Noisy forward pass: output-node values at {!scale_of} the spec.
+    Two-layer ReLU/identity networks only. *)
+
+val predict : Nn.Qnet.t -> spec -> input:int array -> vector -> int
+(** Argmax of {!apply} (ties to the lower class, like the paper). *)
+
+val iter_vectors : spec -> n_inputs:int -> (vector -> unit) -> unit
+(** Enumerate every vector in the range (exponential; guard with
+    {!spec_size} first). *)

@@ -1,0 +1,94 @@
+type config = {
+  dataset_params : Dataset.Golub.params;
+  dataset_seed : int;
+  init_seed : int;
+  train_config : Nn.Train.config;
+  k_features : int;
+  mi_bins : int;
+  hidden : int;
+  weight_bits : int;
+}
+
+let default_config =
+  {
+    dataset_params = Dataset.Golub.default_params;
+    dataset_seed = 2028;
+    init_seed = 7;
+    train_config = Nn.Train.default_config;
+    k_features = 5;
+    mi_bins = 3;
+    hidden = 20;
+    weight_bits = 12;
+  }
+
+let fast_config =
+  {
+    default_config with
+    dataset_params = Dataset.Golub.tiny_params;
+    dataset_seed = 11;
+  }
+
+type t = {
+  config : config;
+  dataset : Dataset.Golub.t;
+  selected_genes : int array;
+  network : Nn.Network.t;
+  qnet : Nn.Qnet.t;
+  history : Nn.Train.history;
+  train_inputs : Validate.labelled array;
+  test_inputs : Validate.labelled array;
+  train_accuracy : float;
+  test_accuracy : float;
+  p1 : Validate.result;
+}
+
+let quantized_accuracy qnet inputs =
+  let correct =
+    Array.fold_left
+      (fun acc (x, l) -> if Nn.Qnet.predict qnet x = l then acc + 1 else acc)
+      0 inputs
+  in
+  float_of_int correct /. float_of_int (Array.length inputs)
+
+let run ?(config = default_config) () =
+  let dataset = Dataset.Golub.generate ~params:config.dataset_params ~seed:config.dataset_seed () in
+  let selected_genes =
+    Dataset.Mrmr.select dataset.Dataset.Golub.train ~k:config.k_features
+      ~bins:config.mi_bins
+  in
+  let train_inputs = Validate.of_samples dataset.Dataset.Golub.train ~genes:selected_genes in
+  let test_inputs = Validate.of_samples dataset.Dataset.Golub.test ~genes:selected_genes in
+  (* Standardise on the training set, train, then fold the transform back. *)
+  let norm = Nn.Normalize.fit (Array.map fst train_inputs) in
+  let train_vecs = Array.map (fun (x, _) -> Nn.Normalize.apply norm x) train_inputs in
+  let labels = Array.map snd train_inputs in
+  let rng = Util.Rng.create config.init_seed in
+  let raw_network =
+    Nn.Network.create ~rng
+      ~spec:[ config.k_features; config.hidden; 2 ]
+      ~hidden_activation:Nn.Activation.Relu
+  in
+  let history =
+    Nn.Train.train ~config:config.train_config raw_network ~inputs:train_vecs ~labels
+  in
+  let shift, scale = Nn.Normalize.shift_scale norm in
+  let network = Nn.Network.fold_input_affine raw_network ~shift ~scale in
+  let qnet = Nn.Quantize.quantize network ~weight_bits:config.weight_bits in
+  let p1 = Validate.p1 qnet ~inputs:test_inputs in
+  {
+    config;
+    dataset;
+    selected_genes;
+    network;
+    qnet;
+    history;
+    train_inputs;
+    test_inputs;
+    train_accuracy = quantized_accuracy qnet train_inputs;
+    test_accuracy = quantized_accuracy qnet test_inputs;
+    p1;
+  }
+
+let training_labels t = Array.map snd t.train_inputs
+
+let analysis_inputs t = t.p1.Validate.correct

@@ -1,0 +1,48 @@
+(** End-to-end case-study pipeline (paper §V-A/B).
+
+    Reproduces the paper's setup: synthesise the Golub-like Leukemia
+    dataset, select the top-5 genes with mRMR, train the 5-20-2 ReLU
+    network with the two-phase learning-rate schedule, fold the feature
+    standardisation back into the first layer so the deployed network
+    consumes raw integer gene expressions, and quantize it to the integer
+    model the formal analysis operates on. *)
+
+type config = {
+  dataset_params : Dataset.Golub.params;
+  dataset_seed : int;
+  init_seed : int;          (** weight initialisation *)
+  train_config : Nn.Train.config;
+  k_features : int;         (** paper: 5 *)
+  mi_bins : int;            (** quantile bins for mRMR *)
+  hidden : int;             (** paper: 20 *)
+  weight_bits : int;        (** fixed-point weight precision *)
+}
+
+val default_config : config
+(** The paper's configuration (7129 genes, 38/34 split, 5 features via
+    mRMR, 5-20-2 network, lr 0.5 x40 then 0.2 x40 epochs, 12-bit
+    weights). *)
+
+val fast_config : config
+(** A small-dataset variant for tests: 64 genes, same downstream shape. *)
+
+type t = {
+  config : config;
+  dataset : Dataset.Golub.t;
+  selected_genes : int array;        (** in mRMR selection order *)
+  network : Nn.Network.t;            (** folded: takes raw integer inputs *)
+  qnet : Nn.Qnet.t;                  (** quantized integer model *)
+  history : Nn.Train.history;
+  train_inputs : Validate.labelled array;
+  test_inputs : Validate.labelled array;
+  train_accuracy : float;            (** quantized model, training set *)
+  test_accuracy : float;             (** quantized model, test set *)
+  p1 : Validate.result;              (** noise-free test-set validation *)
+}
+
+val run : ?config:config -> unit -> t
+
+val training_labels : t -> int array
+val analysis_inputs : t -> Validate.labelled array
+(** The correctly classified test inputs — the set the paper analyses
+    under noise. *)

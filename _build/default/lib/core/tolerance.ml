@@ -1,0 +1,97 @@
+type flip = { input_index : int; vector : Noise.vector; predicted : int }
+
+type sweep_point = {
+  delta : int;
+  n_misclassified : int;
+  flips : flip list;
+}
+
+let misclassified_at backend net ~bias_noise ~delta ~inputs =
+  let spec = Noise.symmetric ~delta ~bias_noise in
+  let flips = ref [] in
+  Array.iteri
+    (fun input_index (input, label) ->
+      match Backend.exists_flip backend net spec ~input ~label with
+      | Backend.Flip vector ->
+          let predicted = Noise.predict net spec ~input vector in
+          flips := { input_index; vector; predicted } :: !flips
+      | Backend.Robust | Backend.Unknown -> ())
+    inputs;
+  List.rev !flips
+
+let sweep backend net ~bias_noise ~deltas ~inputs =
+  List.map
+    (fun delta ->
+      let flips = misclassified_at backend net ~bias_noise ~delta ~inputs in
+      { delta; n_misclassified = List.length flips; flips })
+    deltas
+
+let flips_at backend net ~bias_noise ~delta ~input ~label =
+  let spec = Noise.symmetric ~delta ~bias_noise in
+  match Backend.exists_flip backend net spec ~input ~label with
+  | Backend.Flip _ -> true
+  | Backend.Robust -> false
+  | Backend.Unknown ->
+      failwith "Tolerance: backend cannot decide; use a complete backend"
+
+let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
+  if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
+  if not (flips_at backend net ~bias_noise ~delta:max_delta ~input ~label) then
+    None
+  else if flips_at backend net ~bias_noise ~delta:0 ~input ~label then
+    (* Misclassified even without noise. *)
+    Some 0
+  else begin
+    (* Monotone in delta: binary search for the smallest flipping range. *)
+    let rec search lo hi =
+      (* Invariant: no flip at lo (or lo = -1 impossible... lo flips? ): we
+         keep lo = a delta with no flip, hi = a delta with a flip. *)
+      if hi - lo <= 1 then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if flips_at backend net ~bias_noise ~delta:mid ~input ~label then
+          search lo mid
+        else search mid hi
+    in
+    (* Delta 0 never flips a correctly classified input. *)
+    Some (search 0 max_delta)
+  end
+
+let certified_accuracy backend net ~bias_noise ~delta ~inputs =
+  if Array.length inputs = 0 then invalid_arg "Tolerance.certified_accuracy: empty";
+  let spec = Noise.symmetric ~delta ~bias_noise in
+  let certified =
+    Array.fold_left
+      (fun acc (input, label) ->
+        if Nn.Qnet.predict net input <> label then acc
+        else
+          match Backend.exists_flip backend net spec ~input ~label with
+          | Backend.Robust -> acc + 1
+          | Backend.Flip _ | Backend.Unknown -> acc)
+      0 inputs
+  in
+  float_of_int certified /. float_of_int (Array.length inputs)
+
+let paper_iterative_tolerance backend net ~bias_noise ~max_delta ~inputs =
+  if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
+  let any_flip delta =
+    Array.exists
+      (fun (input, label) -> flips_at backend net ~bias_noise ~delta ~input ~label)
+      inputs
+  in
+  let rec reduce delta =
+    if delta = 0 then 0
+    else if any_flip delta then reduce (delta - 1)
+    else delta
+  in
+  reduce max_delta
+
+let network_tolerance backend net ~bias_noise ~max_delta ~inputs =
+  Array.fold_left
+    (fun acc (input, label) ->
+      match
+        input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label
+      with
+      | None -> acc
+      | Some d -> min acc (d - 1))
+    max_delta inputs

@@ -1,0 +1,86 @@
+(** Noise-tolerance analysis (paper §IV-B, Fig. 4 left panel).
+
+    The noise tolerance of the network is the largest symmetric percent
+    range ±Δ under which no correctly classified input can be flipped by
+    any noise vector (the paper reports ±11 % for its network). *)
+
+type flip = { input_index : int; vector : Noise.vector; predicted : int }
+
+type sweep_point = {
+  delta : int;
+  n_misclassified : int;    (** inputs with at least one flipping vector *)
+  flips : flip list;        (** one witness per flipped input *)
+}
+
+val misclassified_at :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  delta:int ->
+  inputs:Validate.labelled array ->
+  flip list
+(** One witness per input that some vector in ±delta flips. With the
+    [Interval] backend, inputs that cannot be proven robust are *not*
+    reported as flips (it has no witnesses) — use a complete backend for
+    counting. *)
+
+val sweep :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  deltas:int list ->
+  inputs:Validate.labelled array ->
+  sweep_point list
+(** Misclassification counts per noise range — the data behind the paper's
+    Fig. 4 scatter (ranges ±5 ... ±40). *)
+
+val network_tolerance :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  inputs:Validate.labelled array ->
+  int
+(** Largest Δ in [0, max_delta] with zero flips across all inputs.
+    Computed as [min over inputs of (min flipping Δ) - 1] using binary
+    search per input (sound because flip-ability is monotone in Δ), which
+    matches the paper's iterative reduce-the-noise procedure but with
+    logarithmically many solver queries. Returns [max_delta] when even the
+    full range is safe. *)
+
+val certified_accuracy :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  delta:int ->
+  inputs:Validate.labelled array ->
+  float
+(** Fraction of inputs that are both correctly classified without noise
+    AND provably robust for every noise vector in ±delta — the standard
+    certified-accuracy metric of the robustness literature, computed here
+    exactly (no relaxation gap) thanks to the complete backends. With the
+    [Interval] backend the result is a sound lower bound. *)
+
+val paper_iterative_tolerance :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  inputs:Validate.labelled array ->
+  int
+(** The literal procedure of the paper's Fig. 2: start from the large
+    range ±max_delta and reduce the noise one percent at a time until the
+    model checker finds no counterexample for any input. Same result as
+    {!network_tolerance} (asserted by tests) with linearly many queries —
+    kept for methodological fidelity. *)
+
+val input_min_flip_delta :
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  input:int array ->
+  label:int ->
+  int option
+(** Smallest Δ whose range ±Δ contains a flipping vector for this input,
+    or [None] if robust up to ±max_delta. *)

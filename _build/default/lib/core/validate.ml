@@ -1,0 +1,39 @@
+type labelled = int array * int
+
+type result = {
+  n_total : int;
+  n_correct : int;
+  accuracy : float;
+  correct : labelled array;
+  mismatches : (int * int) list;
+}
+
+let p1 net ~inputs =
+  let n_total = Array.length inputs in
+  if n_total = 0 then invalid_arg "Validate.p1: no inputs";
+  let correct = ref [] in
+  let mismatches = ref [] in
+  Array.iteri
+    (fun i (features, label) ->
+      let predicted = Nn.Qnet.predict net features in
+      if predicted = label then correct := (features, label) :: !correct
+      else mismatches := (i, predicted) :: !mismatches)
+    inputs;
+  let correct = Array.of_list (List.rev !correct) in
+  {
+    n_total;
+    n_correct = Array.length correct;
+    accuracy = float_of_int (Array.length correct) /. float_of_int n_total;
+    correct;
+    mismatches = List.rev !mismatches;
+  }
+
+let of_samples samples ~genes =
+  Array.map
+    (fun (s : Dataset.Sample.t) ->
+      let projected = Dataset.Sample.project s genes in
+      (projected.Dataset.Sample.features, Dataset.Sample.label_to_int s.label))
+    samples
+
+let float_agreement net qnet ~inputs =
+  Nn.Quantize.agreement net qnet ~inputs:(Array.map fst inputs)

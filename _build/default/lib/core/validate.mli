@@ -1,0 +1,28 @@
+(** Property P1: noise-free validation of the translated model.
+
+    The paper checks the SMV model's computed class [OC] against the true
+    labels before any noise analysis, and only carries the correctly
+    classified inputs forward. *)
+
+type labelled = int array * int
+(** (features, true label). *)
+
+type result = {
+  n_total : int;
+  n_correct : int;
+  accuracy : float;
+  correct : labelled array;     (** inputs the network classifies right *)
+  mismatches : (int * int) list;
+      (** (input index, predicted class) for the failures *)
+}
+
+val p1 : Nn.Qnet.t -> inputs:labelled array -> result
+
+val of_samples : Dataset.Sample.t array -> genes:int array -> labelled array
+(** Project dataset samples onto the selected genes and pair them with
+    integer labels. *)
+
+val float_agreement : Nn.Network.t -> Nn.Qnet.t -> inputs:labelled array -> float
+(** Fraction of inputs where the quantized network matches the float
+    network's prediction (quantization fidelity, part of behaviour
+    extraction). *)

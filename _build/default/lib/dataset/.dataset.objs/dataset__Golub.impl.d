@@ -1,0 +1,1 @@
+lib/dataset/golub.ml: Array Csv Filename Float Sample Util

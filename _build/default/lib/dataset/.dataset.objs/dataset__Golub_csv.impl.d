@@ -1,0 +1,1 @@
+lib/dataset/golub_csv.ml: Array Float Fun Golub List Printf Result Sample String

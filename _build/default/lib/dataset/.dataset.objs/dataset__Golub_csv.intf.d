@@ -1,0 +1,1 @@
+lib/dataset/golub_csv.mli: Golub

@@ -1,0 +1,1 @@
+lib/dataset/mrmr.ml: Array List Mutual_info Sample

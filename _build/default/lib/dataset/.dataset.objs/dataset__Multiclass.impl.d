@@ -1,0 +1,1 @@
+lib/dataset/multiclass.ml: Array Float Hashtbl List Mutual_info Util

@@ -1,0 +1,1 @@
+lib/dataset/mutual_info.mli:

@@ -1,0 +1,1 @@
+lib/dataset/sample.ml: Array Printf

@@ -1,0 +1,43 @@
+let check_cell cell =
+  if String.contains cell ',' || String.contains cell '\n' then
+    invalid_arg ("Csv.write: cell contains separator: " ^ cell)
+
+let write path rows =
+  let oc = open_out path in
+  let write_row row =
+    List.iter check_cell row;
+    output_string oc (String.concat "," row);
+    output_char oc '\n'
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> List.iter write_row rows)
+
+let read path =
+  let ic = open_in path in
+  let read_all () =
+    let rec loop acc =
+      match input_line ic with
+      | line ->
+          if String.length line = 0 then loop acc
+          else loop (String.split_on_char ',' line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    loop []
+  in
+  Fun.protect ~finally:(fun () -> close_in ic) read_all
+
+let write_int_table path table =
+  let rows =
+    Array.to_list table
+    |> List.map (fun row -> Array.to_list row |> List.map string_of_int)
+  in
+  write path rows
+
+let read_int_table path =
+  let cell_to_int c =
+    match int_of_string_opt (String.trim c) with
+    | Some v -> v
+    | None -> failwith ("Csv.read_int_table: not an integer: " ^ c)
+  in
+  read path
+  |> List.map (fun row -> Array.of_list (List.map cell_to_int row))
+  |> Array.of_list

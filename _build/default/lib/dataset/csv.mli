@@ -1,0 +1,15 @@
+(** Minimal CSV reader/writer.
+
+    Supports the unquoted comma-separated tables used to persist datasets
+    and experiment rows. Cells must not contain commas or newlines; [write]
+    raises [Invalid_argument] if they do. *)
+
+val write : string -> string list list -> unit
+(** [write path rows] writes one line per row. *)
+
+val read : string -> string list list
+(** [read path] splits each non-empty line on commas. *)
+
+val write_int_table : string -> int array array -> unit
+val read_int_table : string -> int array array
+(** Raises [Failure] if a cell is not an integer. *)

@@ -1,0 +1,154 @@
+type t = {
+  train : Sample.t array;
+  test : Sample.t array;
+  n_genes : int;
+  informative : int array;
+}
+
+type params = {
+  n_genes : int;
+  n_informative : int;
+  n_train_l0 : int;
+  n_train_l1 : int;
+  n_test_l0 : int;
+  n_test_l1 : int;
+  separation : float;
+  noise_sigma : float;
+  minority_spread : float;
+  n_test_outliers : int;
+}
+
+let default_params =
+  {
+    n_genes = 7129;
+    n_informative = 25;
+    n_train_l0 = 11;
+    n_train_l1 = 27;
+    n_test_l0 = 14;
+    n_test_l1 = 20;
+    separation = 0.9;
+    noise_sigma = 0.45;
+    minority_spread = 1.05;
+    n_test_outliers = 1;
+  }
+
+let tiny_params =
+  {
+    n_genes = 64;
+    n_informative = 8;
+    n_train_l0 = 6;
+    n_train_l1 = 14;
+    n_test_l0 = 5;
+    n_test_l1 = 10;
+    separation = 1.0;
+    noise_sigma = 0.35;
+    minority_spread = 1.4;
+    n_test_outliers = 1;
+  }
+
+(* Per-gene model: expression = round(exp(base + class_shift + noise)),
+   clipped to [1, 50000]. Informative genes carry a +/- separation/2 shift
+   whose sign depends on the class; all other genes are class-independent. *)
+
+type gene_model = { base : float; shift_l0 : float; shift_l1 : float }
+
+let clip_expression v = max 1 (min 50000 v)
+
+let sample_expression rng model label ~noise_sigma =
+  let shift =
+    match (label : Sample.label) with
+    | L0 -> model.shift_l0
+    | L1 -> model.shift_l1
+  in
+  let log_level =
+    model.base +. shift +. Util.Rng.gaussian_mu_sigma rng ~mu:0. ~sigma:noise_sigma
+  in
+  clip_expression (int_of_float (Float.round (exp log_level)))
+
+let make_gene_models rng params =
+  let informative = Array.make params.n_genes false in
+  (* Choose the informative gene indices by a deterministic shuffle. *)
+  let indices = Array.init params.n_genes (fun i -> i) in
+  Util.Rng.shuffle rng indices;
+  let chosen = Array.sub indices 0 params.n_informative in
+  Array.iter (fun g -> informative.(g) <- true) chosen;
+  let model _g is_informative =
+    let base = Util.Rng.gaussian_mu_sigma rng ~mu:(log 500.) ~sigma:0.8 in
+    if is_informative then
+      let half = params.separation /. 2. in
+      (* Random orientation: some genes are over-expressed in L0, others in
+         L1, as in real microarray signatures. *)
+      if Util.Rng.bool rng then
+        { base; shift_l0 = half; shift_l1 = -.half }
+      else { base; shift_l0 = -.half; shift_l1 = half }
+    else { base; shift_l0 = 0.; shift_l1 = 0. }
+  in
+  let models = Array.init params.n_genes (fun g -> model g informative.(g)) in
+  (models, chosen)
+
+let make_sample rng models label ~noise_sigma =
+  let features =
+    Array.map (fun m -> sample_expression rng m label ~noise_sigma) models
+  in
+  { Sample.features; label }
+
+let class_sigma params (label : Sample.label) =
+  match label with
+  | Sample.L0 -> params.noise_sigma *. params.minority_spread
+  | Sample.L1 -> params.noise_sigma
+
+let generate ?(params = default_params) ~seed () =
+  if params.n_test_outliers > params.n_test_l0 then
+    invalid_arg "Golub.generate: more outliers than L0 test samples";
+  let rng = Util.Rng.create seed in
+  let models, chosen = make_gene_models rng params in
+  let batch n label =
+    Array.init n (fun _ ->
+        make_sample rng models label ~noise_sigma:(class_sigma params label))
+  in
+  let train_l0 = batch params.n_train_l0 Sample.L0 in
+  let train_l1 = batch params.n_train_l1 Sample.L1 in
+  let test_l0 =
+    (* The last [n_test_outliers] L0 test patients present an L1-like
+       expression profile (see {!params}). *)
+    Array.init params.n_test_l0 (fun i ->
+        let profile =
+          if i >= params.n_test_l0 - params.n_test_outliers then Sample.L1
+          else Sample.L0
+        in
+        let s = make_sample rng models profile ~noise_sigma:(class_sigma params profile) in
+        { s with Sample.label = Sample.L0 })
+  in
+  let test_l1 = batch params.n_test_l1 Sample.L1 in
+  let train = Array.append train_l0 train_l1 in
+  let test = Array.append test_l0 test_l1 in
+  Util.Rng.shuffle rng train;
+  Util.Rng.shuffle rng test;
+  Array.sort compare chosen;
+  { train; test; n_genes = params.n_genes; informative = chosen }
+
+let samples_to_table samples =
+  Array.map
+    (fun (s : Sample.t) ->
+      Array.append s.features [| Sample.label_to_int s.label |])
+    samples
+
+let table_to_samples table =
+  Array.map
+    (fun row ->
+      let n = Array.length row in
+      if n < 2 then failwith "Golub.load: malformed row";
+      {
+        Sample.features = Array.sub row 0 (n - 1);
+        label = Sample.label_of_int row.(n - 1);
+      })
+    table
+
+let save ~dir t =
+  Csv.write_int_table (Filename.concat dir "train.csv") (samples_to_table t.train);
+  Csv.write_int_table (Filename.concat dir "test.csv") (samples_to_table t.test)
+
+let load ~dir ~n_genes ~informative =
+  let train = table_to_samples (Csv.read_int_table (Filename.concat dir "train.csv")) in
+  let test = table_to_samples (Csv.read_int_table (Filename.concat dir "test.csv")) in
+  { train; test; n_genes; informative }

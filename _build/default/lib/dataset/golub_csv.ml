@@ -1,0 +1,92 @@
+let strip_quotes s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+let split_csv_line line = String.split_on_char ',' line
+
+let parse_labels header =
+  let cells = List.map strip_quotes (split_csv_line header) in
+  (* Some exports carry a leading row-name column; drop cells that are not
+     class labels. *)
+  let labelled =
+    List.filter_map
+      (fun c ->
+        match String.uppercase_ascii c with
+        | "ALL" -> Some Sample.L1
+        | "AML" -> Some Sample.L0
+        | _ -> None)
+      cells
+  in
+  if labelled = [] then Error "header contains no ALL/AML labels"
+  else Ok (Array.of_list labelled)
+
+let parse_value cell =
+  let cell = strip_quotes cell in
+  match int_of_string_opt cell with
+  | Some v -> Some v
+  | None -> (
+      match float_of_string_opt cell with
+      | Some f -> Some (int_of_float (Float.round f))
+      | None -> None)
+
+let parse ?(n_train = 38) text =
+  let ( let* ) r f = Result.bind r f in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty file"
+  | header :: rows ->
+      let* labels = parse_labels header in
+      let n_samples = Array.length labels in
+      if n_train < 1 || n_train >= n_samples then
+        Error (Printf.sprintf "n_train %d out of range for %d samples" n_train n_samples)
+      else begin
+        (* Each row is one gene; cells beyond the first n_samples numeric
+           values are rejected. Non-numeric leading cells (gene names) are
+           skipped. *)
+        let parse_row line =
+          let numeric = List.filter_map parse_value (split_csv_line line) in
+          if List.length numeric <> n_samples then
+            Error
+              (Printf.sprintf "gene row has %d numeric cells, expected %d"
+                 (List.length numeric) n_samples)
+          else Ok (Array.of_list numeric)
+        in
+        let* gene_rows =
+          List.fold_left
+            (fun acc line ->
+              let* rows = acc in
+              let* row = parse_row line in
+              Ok (row :: rows))
+            (Ok []) rows
+        in
+        let gene_rows = Array.of_list (List.rev gene_rows) in
+        let n_genes = Array.length gene_rows in
+        if n_genes = 0 then Error "no gene rows"
+        else begin
+          let sample i =
+            {
+              Sample.features = Array.init n_genes (fun g -> gene_rows.(g).(i));
+              label = labels.(i);
+            }
+          in
+          let train = Array.init n_train sample in
+          let test = Array.init (n_samples - n_train) (fun i -> sample (n_train + i)) in
+          Ok { Golub.train; test; n_genes; informative = [||] }
+        end
+      end
+
+let load ?n_train path =
+  match open_in path with
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse ?n_train text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,20 @@
+(** Loader for the real Golub Leukemia CSV (the paper's reference [24],
+    [leukemia_big.csv] from the CASI data collection).
+
+    The container this reproduction was built in is sealed, so the repo
+    ships a synthetic equivalent ({!Golub}); users who have the original
+    file can load it here and run the identical pipeline on real data.
+
+    Expected layout: a header row of quoted sample labels ("ALL"/"AML",
+    72 columns) followed by one row per gene (7129 rows) with numeric
+    expression values (floats are rounded to integers). ALL maps to the
+    paper's majority label [L1], AML to [L0]. The published file does not
+    record the original train/test split, so the first [n_train] columns
+    (default 38, the original training size) become the training set. *)
+
+val parse : ?n_train:int -> string -> (Golub.t, string) result
+(** Parse file contents. The result's [informative] list is empty (not
+    known for real data). *)
+
+val load : ?n_train:int -> string -> (Golub.t, string) result
+(** [load path] reads and {!parse}s the file. *)

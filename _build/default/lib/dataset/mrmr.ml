@@ -1,0 +1,72 @@
+type score = { gene : int; relevance : float; redundancy : float }
+
+let column samples g =
+  Array.map (fun (s : Sample.t) -> s.features.(g)) samples
+
+let labels_of samples =
+  Array.map (fun (s : Sample.t) -> Sample.label_to_int s.label) samples
+
+let relevances samples ~bins =
+  let labels = labels_of samples in
+  let n_genes = Array.length (samples.(0) : Sample.t).features in
+  Array.init n_genes (fun g ->
+      Mutual_info.feature_label_mi ~values:(column samples g) ~labels ~bins)
+
+let relevance_ranking samples ~bins =
+  if Array.length samples = 0 then invalid_arg "Mrmr.relevance_ranking: empty";
+  let rel = relevances samples ~bins in
+  let ranked = Array.mapi (fun g r -> (g, r)) rel in
+  Array.sort (fun (_, a) (_, b) -> compare b a) ranked;
+  ranked
+
+let select_with_scores samples ~k ~bins =
+  if Array.length samples = 0 then invalid_arg "Mrmr.select: empty samples";
+  let n_genes = Array.length (samples.(0) : Sample.t).features in
+  if k < 1 || k > n_genes then invalid_arg "Mrmr.select: k out of range";
+  let rel = relevances samples ~bins in
+  (* Discretised columns are cached lazily: pairwise MI is only ever needed
+     against the few selected genes. *)
+  let binned = Array.make n_genes None in
+  let binned_column g =
+    match binned.(g) with
+    | Some b -> b
+    | None ->
+        let b = Mutual_info.discretize (column samples g) ~bins in
+        binned.(g) <- Some b;
+        b
+  in
+  let selected = ref [] in
+  let taken = Array.make n_genes false in
+  let mean_redundancy g =
+    match !selected with
+    | [] -> 0.
+    | picks ->
+        let total =
+          List.fold_left
+            (fun acc p ->
+              acc +. Mutual_info.mutual_information (binned_column g) (binned_column p.gene))
+            0. picks
+        in
+        total /. float_of_int (List.length picks)
+  in
+  for _step = 1 to k do
+    let best = ref None in
+    for g = 0 to n_genes - 1 do
+      if not taken.(g) then begin
+        let redundancy = mean_redundancy g in
+        let value = rel.(g) -. redundancy in
+        match !best with
+        | Some (_, _, best_value) when best_value >= value -> ()
+        | Some _ | None -> best := Some (g, redundancy, value)
+      end
+    done;
+    match !best with
+    | None -> assert false
+    | Some (g, redundancy, _) ->
+        taken.(g) <- true;
+        selected := { gene = g; relevance = rel.(g); redundancy } :: !selected
+  done;
+  Array.of_list (List.rev !selected)
+
+let select samples ~k ~bins =
+  Array.map (fun s -> s.gene) (select_with_scores samples ~k ~bins)

@@ -1,0 +1,1 @@
+lib/nn/layer.ml: Activation Array Tensor Util

@@ -1,0 +1,1 @@
+lib/nn/network.mli: Activation Layer Tensor Util

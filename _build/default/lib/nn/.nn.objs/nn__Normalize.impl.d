@@ -1,0 +1,1 @@
+lib/nn/normalize.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/nn/qnet.ml: Array Buffer Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/nn/qnet.mli: Format

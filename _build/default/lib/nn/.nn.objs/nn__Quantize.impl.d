@@ -1,0 +1,1 @@
+lib/nn/quantize.ml: Activation Array Float Layer Network Qnet Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/nn/quantize.mli: Network Qnet

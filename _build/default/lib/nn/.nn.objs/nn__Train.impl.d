@@ -1,0 +1,1 @@
+lib/nn/train.ml: Activation Array Layer Network Tensor Util

@@ -1,0 +1,29 @@
+type t = Relu | Sigmoid | Identity
+
+let apply t x =
+  match t with
+  | Relu -> if x > 0. then x else 0.
+  | Sigmoid -> 1. /. (1. +. exp (-.x))
+  | Identity -> x
+
+let derivative t x =
+  match t with
+  | Relu -> if x > 0. then 1. else 0.
+  | Sigmoid ->
+      let s = apply Sigmoid x in
+      s *. (1. -. s)
+  | Identity -> 1.
+
+let apply_vec t v = Tensor.Vec.map (apply t) v
+
+let derivative_vec t v = Tensor.Vec.map (derivative t) v
+
+let to_string = function
+  | Relu -> "relu"
+  | Sigmoid -> "sigmoid"
+  | Identity -> "identity"
+
+let equal a b =
+  match (a, b) with
+  | Relu, Relu | Sigmoid, Sigmoid | Identity, Identity -> true
+  | (Relu | Sigmoid | Identity), _ -> false

@@ -1,0 +1,19 @@
+(** Scalar activation functions.
+
+    The paper's network uses ReLU in the hidden layer and maxpool (argmax
+    selection) at the output; argmax is handled by {!Network.predict}, so
+    the output layer itself is [Identity]. [Sigmoid] is provided for the
+    activation ablation. *)
+
+type t = Relu | Sigmoid | Identity
+
+val apply : t -> float -> float
+
+val derivative : t -> float -> float
+(** Derivative with respect to the pre-activation, evaluated at the
+    pre-activation value. The ReLU derivative at exactly 0 is taken as 0. *)
+
+val apply_vec : t -> Tensor.Vec.t -> Tensor.Vec.t
+val derivative_vec : t -> Tensor.Vec.t -> Tensor.Vec.t
+val to_string : t -> string
+val equal : t -> t -> bool

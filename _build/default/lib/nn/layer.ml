@@ -1,0 +1,33 @@
+type t = {
+  weights : Tensor.Mat.t;
+  bias : Tensor.Vec.t;
+  activation : Activation.t;
+}
+
+let create ~rng ~in_dim ~out_dim ~activation =
+  if in_dim <= 0 || out_dim <= 0 then invalid_arg "Layer.create: bad dims";
+  let scale = sqrt (2. /. float_of_int in_dim) in
+  let weights =
+    Tensor.Mat.init ~rows:out_dim ~cols:in_dim (fun _ _ ->
+        scale *. Util.Rng.gaussian rng)
+  in
+  { weights; bias = Tensor.Vec.create out_dim; activation }
+
+let of_parts ~weights ~bias ~activation =
+  let m = Tensor.Mat.of_rows weights in
+  let rows, _ = Tensor.Mat.dims m in
+  if Array.length bias <> rows then invalid_arg "Layer.of_parts: bias size";
+  { weights = m; bias = Tensor.Vec.of_array bias; activation }
+
+let in_dim t = snd (Tensor.Mat.dims t.weights)
+
+let out_dim t = fst (Tensor.Mat.dims t.weights)
+
+let forward_pre t x =
+  let pre = Tensor.Vec.add (Tensor.Mat.mul_vec t.weights x) t.bias in
+  (pre, Activation.apply_vec t.activation pre)
+
+let forward t x = snd (forward_pre t x)
+
+let copy t =
+  { t with weights = Tensor.Mat.copy t.weights; bias = Tensor.Vec.copy t.bias }

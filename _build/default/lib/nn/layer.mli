@@ -1,0 +1,26 @@
+(** One fully-connected layer: [a = act (W x + b)]. *)
+
+type t = {
+  weights : Tensor.Mat.t;  (** [out_dim x in_dim] *)
+  bias : Tensor.Vec.t;     (** length [out_dim] *)
+  activation : Activation.t;
+}
+
+val create :
+  rng:Util.Rng.t -> in_dim:int -> out_dim:int -> activation:Activation.t -> t
+(** He-initialised weights (suits ReLU), zero bias. *)
+
+val of_parts :
+  weights:float array array -> bias:float array -> activation:Activation.t -> t
+(** Build from explicit parameters; checks dimension consistency. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+
+val forward : t -> Tensor.Vec.t -> Tensor.Vec.t
+(** Activated output. *)
+
+val forward_pre : t -> Tensor.Vec.t -> Tensor.Vec.t * Tensor.Vec.t
+(** [(pre_activation, activated)] — the trainer needs both. *)
+
+val copy : t -> t

@@ -1,0 +1,27 @@
+let check_lengths name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch")
+
+let accuracy_of_predictions ~predicted ~labels =
+  check_lengths "Metrics.accuracy_of_predictions" predicted labels;
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Metrics.accuracy_of_predictions: empty";
+  let correct = ref 0 in
+  Array.iteri (fun i p -> if p = labels.(i) then incr correct) predicted;
+  float_of_int !correct /. float_of_int n
+
+let confusion_of_predictions ~classes ~predicted ~labels =
+  check_lengths "Metrics.confusion_of_predictions" predicted labels;
+  let m = Array.make_matrix classes classes 0 in
+  Array.iteri
+    (fun i p -> m.(labels.(i)).(p) <- m.(labels.(i)).(p) + 1)
+    predicted;
+  m
+
+let predictions net inputs = Array.map (Network.predict net) inputs
+
+let accuracy net ~inputs ~labels =
+  accuracy_of_predictions ~predicted:(predictions net inputs) ~labels
+
+let confusion net ~inputs ~labels =
+  confusion_of_predictions ~classes:(Network.out_dim net)
+    ~predicted:(predictions net inputs) ~labels

@@ -1,0 +1,13 @@
+(** Classification metrics. *)
+
+val accuracy : Network.t -> inputs:Tensor.Vec.t array -> labels:int array -> float
+(** Fraction of samples where [predict] matches the label. *)
+
+val confusion :
+  Network.t -> inputs:Tensor.Vec.t array -> labels:int array -> int array array
+(** [confusion net ~inputs ~labels] is a [classes x classes] matrix [m]
+    where [m.(truth).(predicted)] counts samples. *)
+
+val accuracy_of_predictions : predicted:int array -> labels:int array -> float
+val confusion_of_predictions :
+  classes:int -> predicted:int array -> labels:int array -> int array array

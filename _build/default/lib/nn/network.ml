@@ -1,0 +1,67 @@
+type t = { layers : Layer.t array }
+
+let create ~rng ~spec ~hidden_activation =
+  let dims = Array.of_list spec in
+  let n = Array.length dims in
+  if n < 2 then invalid_arg "Network.create: spec needs >= 2 layers";
+  let make_layer i =
+    let activation =
+      if i = n - 2 then Activation.Identity else hidden_activation
+    in
+    Layer.create ~rng ~in_dim:dims.(i) ~out_dim:dims.(i + 1) ~activation
+  in
+  { layers = Array.init (n - 1) make_layer }
+
+let paper_network ~rng =
+  create ~rng ~spec:[ 5; 20; 2 ] ~hidden_activation:Activation.Relu
+
+let forward_trace t x =
+  let n = Array.length t.layers in
+  let trace = Array.make n (x, x) in
+  let rec loop i input =
+    if i < n then begin
+      let pre, post = Layer.forward_pre t.layers.(i) input in
+      trace.(i) <- (pre, post);
+      loop (i + 1) post
+    end
+  in
+  loop 0 x;
+  trace
+
+let forward t x =
+  Array.fold_left (fun acc layer -> Layer.forward layer acc) x t.layers
+
+let predict t x = Tensor.Vec.argmax (forward t x)
+
+let in_dim t = Layer.in_dim t.layers.(0)
+
+let out_dim t = Layer.out_dim t.layers.(Array.length t.layers - 1)
+
+let n_params t =
+  Array.fold_left
+    (fun acc (layer : Layer.t) ->
+      acc + (Layer.in_dim layer * Layer.out_dim layer) + Layer.out_dim layer)
+    0 t.layers
+
+let copy t = { layers = Array.map Layer.copy t.layers }
+
+(* net((x - shift) * scale) = W diag(scale) x + (b - W (shift * scale)).
+   Only the first layer changes. *)
+let fold_input_affine t ~shift ~scale =
+  let first = t.layers.(0) in
+  let in_dim = Layer.in_dim first in
+  if Array.length shift <> in_dim || Array.length scale <> in_dim then
+    invalid_arg "Network.fold_input_affine: size mismatch";
+  let w = first.Layer.weights in
+  let rows, cols = Tensor.Mat.dims w in
+  let weights' =
+    Tensor.Mat.init ~rows ~cols (fun r c -> Tensor.Mat.get w r c *. scale.(c))
+  in
+  let shifted = Array.mapi (fun i s -> s *. scale.(i)) shift in
+  let bias' =
+    Tensor.Vec.sub first.Layer.bias (Tensor.Mat.mul_vec w shifted)
+  in
+  let first' = { first with Layer.weights = weights'; bias = bias' } in
+  let layers = Array.copy t.layers in
+  layers.(0) <- first';
+  { layers }

@@ -1,0 +1,44 @@
+(** Feed-forward fully-connected network.
+
+    The paper's architecture is input(6: 5 genes + bias node) - hidden(20,
+    ReLU) - output(2, maxpool). The explicit bias input node of Fig. 3 is
+    modelled by each layer's bias vector, and maxpool over the two output
+    nodes is the argmax taken by {!predict} — the same classification
+    function. *)
+
+type t = { layers : Layer.t array }
+
+val create :
+  rng:Util.Rng.t ->
+  spec:int list ->
+  hidden_activation:Activation.t ->
+  t
+(** [create ~rng ~spec:[6; 20; 2] ~hidden_activation:Relu] builds the
+    paper's network: every layer but the last uses [hidden_activation]; the
+    last is [Identity] (argmax happens in {!predict}). [spec] needs at
+    least two entries. *)
+
+val paper_network : rng:Util.Rng.t -> t
+(** The 5-input, 20-hidden, 2-output network of the case study (5 gene
+    inputs; the paper's sixth input node is the constant bias). *)
+
+val forward : t -> Tensor.Vec.t -> Tensor.Vec.t
+(** Output-layer values (logits). *)
+
+val forward_trace : t -> Tensor.Vec.t -> (Tensor.Vec.t * Tensor.Vec.t) array
+(** Per-layer [(pre_activation, activated)] pairs, for backpropagation. *)
+
+val predict : t -> Tensor.Vec.t -> int
+(** Argmax of {!forward} — the paper's maxpool output selection. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+val n_params : t -> int
+val copy : t -> t
+
+val fold_input_affine : t -> shift:float array -> scale:float array -> t
+(** [fold_input_affine net ~shift ~scale] returns a network [net'] with
+    [net' x = net ((x - shift) * scale)] (element-wise), by rewriting the
+    first layer. Used to fold training-time feature standardisation into
+    the weights so the deployed network consumes raw integer gene
+    expressions, like the paper's model. *)

@@ -1,0 +1,32 @@
+type t = { mean : float array; std : float array }
+
+let fit rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Normalize.fit: empty";
+  let d = Array.length rows.(0) in
+  let mean = Array.make d 0. in
+  Array.iter
+    (fun row ->
+      if Array.length row <> d then invalid_arg "Normalize.fit: ragged rows";
+      Array.iteri (fun j v -> mean.(j) <- mean.(j) +. float_of_int v) row)
+    rows;
+  let nf = float_of_int n in
+  Array.iteri (fun j s -> mean.(j) <- s /. nf) mean;
+  let var = Array.make d 0. in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j v ->
+          let dlt = float_of_int v -. mean.(j) in
+          var.(j) <- var.(j) +. (dlt *. dlt))
+        row)
+    rows;
+  let std = Array.map (fun v -> Stdlib.max 1. (sqrt (v /. nf))) var in
+  { mean; std }
+
+let apply t x =
+  if Array.length x <> Array.length t.mean then
+    invalid_arg "Normalize.apply: size mismatch";
+  Array.mapi (fun j v -> (float_of_int v -. t.mean.(j)) /. t.std.(j)) x
+
+let shift_scale t = (t.mean, Array.map (fun s -> 1. /. s) t.std)

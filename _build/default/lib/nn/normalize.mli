@@ -1,0 +1,20 @@
+(** Per-feature standardisation fitted on the training set.
+
+    Training uses standardised features for conditioning; the fitted
+    transform is then folded into the network's first layer
+    ({!Network.fold_input_affine}) so the deployed model consumes raw
+    integer gene expressions like the paper's. *)
+
+type t = { mean : float array; std : float array }
+
+val fit : int array array -> t
+(** Column-wise mean and standard deviation of a non-empty feature matrix;
+    standard deviations below [1.] are clamped to [1.] to avoid blow-up on
+    near-constant genes. *)
+
+val apply : t -> int array -> float array
+(** [(x - mean) / std]. *)
+
+val shift_scale : t -> float array * float array
+(** [(shift, scale)] arguments for {!Network.fold_input_affine}: the folded
+    network computes [net ((x - shift) * scale)]. *)

@@ -1,0 +1,211 @@
+type qlayer = {
+  weights : int array array;
+  bias : int array;
+  relu : bool;
+}
+
+type t = { layers : qlayer array }
+
+let layer_in_dim l =
+  if Array.length l.weights = 0 then invalid_arg "Qnet: empty layer";
+  Array.length l.weights.(0)
+
+let layer_out_dim l = Array.length l.weights
+
+let check_layer l =
+  let in_dim = layer_in_dim l in
+  Array.iter
+    (fun row ->
+      if Array.length row <> in_dim then invalid_arg "Qnet: ragged weights")
+    l.weights;
+  if Array.length l.bias <> layer_out_dim l then
+    invalid_arg "Qnet: bias size mismatch"
+
+let create layers =
+  if Array.length layers = 0 then invalid_arg "Qnet.create: no layers";
+  Array.iter check_layer layers;
+  for i = 0 to Array.length layers - 2 do
+    if layer_out_dim layers.(i) <> layer_in_dim layers.(i + 1) then
+      invalid_arg "Qnet.create: inter-layer dimension mismatch"
+  done;
+  { layers }
+
+let in_dim t = layer_in_dim t.layers.(0)
+
+let out_dim t = layer_out_dim t.layers.(Array.length t.layers - 1)
+
+let n_layers t = Array.length t.layers
+
+let layer_forward l x =
+  Array.mapi
+    (fun k row ->
+      let acc = ref l.bias.(k) in
+      Array.iteri (fun i w -> acc := !acc + (w * x.(i))) row;
+      if l.relu && !acc < 0 then 0 else !acc)
+    l.weights
+
+let forward t x =
+  if Array.length x <> in_dim t then invalid_arg "Qnet.forward: input size";
+  Array.fold_left (fun acc l -> layer_forward l acc) x t.layers
+
+let forward_trace t x =
+  if Array.length x <> in_dim t then invalid_arg "Qnet.forward_trace: input size";
+  let n = Array.length t.layers in
+  let trace = Array.make n [||] in
+  let rec loop i input =
+    if i < n then begin
+      let out = layer_forward t.layers.(i) input in
+      trace.(i) <- out;
+      loop (i + 1) out
+    end
+  in
+  loop 0 x;
+  trace
+
+let predict t x =
+  let out = forward t x in
+  let best = ref 0 in
+  for i = 1 to Array.length out - 1 do
+    if out.(i) > out.(!best) then best := i
+  done;
+  !best
+
+let scale_biases t m =
+  if m <= 0 then invalid_arg "Qnet.scale_biases: non-positive factor";
+  {
+    layers =
+      Array.map
+        (fun l -> { l with bias = Array.map (fun b -> b * m) l.bias })
+        t.layers;
+  }
+
+let max_abs_params t =
+  Array.fold_left
+    (fun acc l ->
+      let acc =
+        Array.fold_left
+          (fun acc row -> Array.fold_left (fun acc w -> max acc (abs w)) acc row)
+          acc l.weights
+      in
+      Array.fold_left (fun acc b -> max acc (abs b)) acc l.bias)
+    0 t.layers
+
+let equal a b =
+  Array.length a.layers = Array.length b.layers
+  && Array.for_all2
+       (fun la lb -> la.relu = lb.relu && la.weights = lb.weights && la.bias = lb.bias)
+       a.layers b.layers
+
+(* Serialisation format:
+     qnet <n_layers>
+     layer <out_dim> <in_dim> <relu|identity>
+     <in_dim ints>      (one line per output neuron)
+     ...
+     bias <out_dim ints>
+*)
+let to_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "qnet %d\n" (Array.length t.layers));
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "layer %d %d %s\n" (layer_out_dim l) (layer_in_dim l)
+           (if l.relu then "relu" else "identity"));
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf
+            (String.concat " " (Array.to_list (Array.map string_of_int row)));
+          Buffer.add_char buf '\n')
+        l.weights;
+      Buffer.add_string buf
+        ("bias " ^ String.concat " " (Array.to_list (Array.map string_of_int l.bias)));
+      Buffer.add_char buf '\n')
+    t.layers;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> Array.of_list
+  in
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= Array.length lines then failwith "unexpected end of input"
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "") in
+  let int_of w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> failwith ("not an integer: " ^ w)
+  in
+  match
+    let header = words (next_line ()) in
+    let n_layers =
+      match header with
+      | [ "qnet"; n ] -> int_of n
+      | _ -> failwith "missing qnet header"
+    in
+    let read_layer () =
+      let out_dim, in_dim, relu =
+        match words (next_line ()) with
+        | [ "layer"; o; i; act ] ->
+            ( int_of o,
+              int_of i,
+              match act with
+              | "relu" -> true
+              | "identity" -> false
+              | other -> failwith ("unknown activation " ^ other) )
+        | _ -> failwith "missing layer header"
+      in
+      let weights =
+        Array.init out_dim (fun _ ->
+            let row = List.map int_of (words (next_line ())) in
+            if List.length row <> in_dim then failwith "weight row size mismatch";
+            Array.of_list row)
+      in
+      let bias =
+        match words (next_line ()) with
+        | "bias" :: values ->
+            let b = Array.of_list (List.map int_of values) in
+            if Array.length b <> out_dim then failwith "bias size mismatch";
+            b
+        | _ -> failwith "missing bias row"
+      in
+      { weights; bias; relu }
+    in
+    let layers = Array.init n_layers (fun _ -> read_layer ()) in
+    if !pos <> Array.length lines then failwith "trailing input";
+    create layers
+  with
+  | t -> Ok t
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  match open_in path with
+  | ic ->
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      of_string content
+  | exception Sys_error msg -> Error msg
+
+let pp fmt t =
+  Array.iteri
+    (fun i l ->
+      Format.fprintf fmt "layer %d: %dx%d%s@." i (layer_out_dim l)
+        (layer_in_dim l)
+        (if l.relu then " relu" else ""))
+    t.layers

@@ -1,0 +1,61 @@
+(** Integer (fixed-point) network — the object of formal analysis.
+
+    The paper's SMV model computes over integers; we obtain the same kind
+    of model by quantizing the trained float network ({!Quantize}). All
+    arithmetic here is exact native-int arithmetic: [n = b + W x], ReLU,
+    and argmax ("maxpool") at the output.
+
+    Uniform input scaling by a positive integer [m] commutes with
+    FC/ReLU/argmax provided every bias is scaled by [m] too; {!scale_biases}
+    implements that. The noise model uses it to stay in exact arithmetic:
+    instead of [x + x*(d/100)] it analyses [100*x + x*d] on the
+    bias-scaled network (see DESIGN.md §2). *)
+
+type qlayer = {
+  weights : int array array;  (** [out_dim][in_dim] *)
+  bias : int array;           (** [out_dim] *)
+  relu : bool;                (** apply ReLU after the affine map *)
+}
+
+type t = { layers : qlayer array }
+
+val create : qlayer array -> t
+(** Checks layer-to-layer dimension consistency; raises [Invalid_argument]
+    otherwise. *)
+
+val in_dim : t -> int
+val out_dim : t -> int
+val n_layers : t -> int
+
+val forward : t -> int array -> int array
+(** Output-node values. *)
+
+val forward_trace : t -> int array -> int array array
+(** Post-activation values per layer (last entry = output nodes). *)
+
+val predict : t -> int array -> int
+(** Argmax of the output nodes, ties to the lower index — the paper's
+    [L0 >= L1 -> L0] maxpool rule. *)
+
+val scale_biases : t -> int -> t
+(** [scale_biases net m] multiplies every bias by [m] ([m > 0]); then
+    [forward (scale_biases net m) (m*x) = m * forward net x] for
+    ReLU/identity layers, so predictions on [m]-scaled inputs match. *)
+
+val max_abs_params : t -> int
+(** Largest absolute weight or bias — used for interval width bounds. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Plain-text serialisation (line-oriented: a header per layer followed
+    by one row of weights per output neuron and the bias row). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)
+
+val save : string -> t -> unit
+(** Write {!to_string} to a file. *)
+
+val load : string -> (t, string) result

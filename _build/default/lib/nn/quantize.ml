@@ -1,0 +1,54 @@
+let check_activations (net : Network.t) =
+  let n = Array.length net.Network.layers in
+  Array.iteri
+    (fun i (l : Layer.t) ->
+      let expected = if i = n - 1 then Activation.Identity else Activation.Relu in
+      if not (Activation.equal l.Layer.activation expected) then
+        invalid_arg "Quantize: network must be ReLU hidden / Identity output")
+    net.Network.layers
+
+let max_abs_weight (l : Layer.t) =
+  let m = Tensor.Mat.to_rows l.Layer.weights in
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc w -> Stdlib.max acc (Float.abs w)) acc row)
+    1e-9 m
+
+let layer_scales (net : Network.t) ~weight_bits =
+  if weight_bits < 2 || weight_bits > 20 then
+    invalid_arg "Quantize: weight_bits out of [2, 20]";
+  let cap = float_of_int ((1 lsl (weight_bits - 1)) - 1) in
+  Array.map (fun l -> cap /. max_abs_weight l) net.Network.layers
+
+let round_to_int x = int_of_float (Float.round x)
+
+let quantize (net : Network.t) ~weight_bits =
+  check_activations net;
+  let scales = layer_scales net ~weight_bits in
+  let n = Array.length net.Network.layers in
+  let accumulated = ref 1. in
+  let qlayers =
+    Array.mapi
+      (fun i (l : Layer.t) ->
+        let s = scales.(i) in
+        let weights =
+          Array.map (Array.map (fun w -> round_to_int (w *. s)))
+            (Tensor.Mat.to_rows l.Layer.weights)
+        in
+        let bias_scale = s *. !accumulated in
+        let bias = Array.map (fun b -> round_to_int (b *. bias_scale)) l.Layer.bias in
+        accumulated := !accumulated *. s;
+        { Qnet.weights; bias; relu = i < n - 1 })
+      net.Network.layers
+  in
+  Qnet.create qlayers
+
+let agreement net qnet ~inputs =
+  if Array.length inputs = 0 then invalid_arg "Quantize.agreement: empty";
+  let same = ref 0 in
+  Array.iter
+    (fun x ->
+      let fx = Array.map float_of_int x in
+      if Network.predict net fx = Qnet.predict qnet x then incr same)
+    inputs;
+  float_of_int !same /. float_of_int (Array.length inputs)

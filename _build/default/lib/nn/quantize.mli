@@ -1,0 +1,22 @@
+(** Fixed-point quantization of a trained float network to a {!Qnet.t}.
+
+    Each layer gets a weight scale [s_l] chosen so the largest weight
+    magnitude uses [weight_bits] bits. Values flowing into layer [l] carry
+    the accumulated scale [S_l] (product of earlier weight scales, input
+    scale 1), so layer biases are quantized at scale [s_l * S_l]. ReLU and
+    argmax commute with positive scaling, hence the quantized network
+    classifies like the float one up to rounding error; the P1 validation
+    pass (paper Fig. 2) checks this on the test set. *)
+
+val quantize : Network.t -> weight_bits:int -> Qnet.t
+(** Requires [2 <= weight_bits <= 20] (larger scales risk overflow in the
+    downstream noise-scaled analysis) and a network whose hidden layers are
+    ReLU and output layer Identity. Raises [Invalid_argument] otherwise. *)
+
+val layer_scales : Network.t -> weight_bits:int -> float array
+(** The per-layer weight scales [s_l] that {!quantize} uses. *)
+
+val agreement :
+  Network.t -> Qnet.t -> inputs:int array array -> float
+(** Fraction of inputs on which the float and quantized networks predict
+    the same class. *)

@@ -1,0 +1,176 @@
+type loss_kind = Mse | Cross_entropy
+
+type mode = Batch | Stochastic
+
+type config = {
+  epochs_phase1 : int;
+  lr_phase1 : float;
+  epochs_phase2 : int;
+  lr_phase2 : float;
+  shuffle_seed : int;
+  loss : loss_kind;
+  mode : mode;
+  momentum : float;  (* classical momentum, batch mode only *)
+}
+
+let default_config =
+  {
+    epochs_phase1 = 40;
+    lr_phase1 = 0.5;
+    epochs_phase2 = 40;
+    lr_phase2 = 0.2;
+    shuffle_seed = 17;
+    loss = Cross_entropy;
+    mode = Stochastic;
+    momentum = 0.;
+  }
+
+let paper_matlab_config =
+  { default_config with loss = Mse; mode = Batch; momentum = 0.9 }
+
+type history = {
+  epoch_losses : float array;
+  epoch_accuracies : float array;
+}
+
+let cross_entropy logits label =
+  let probs = Tensor.Vec.softmax logits in
+  -.log (max 1e-12 probs.(label))
+
+let mse outputs label =
+  let target = Tensor.Vec.one_hot (Array.length outputs) label in
+  let diff = Tensor.Vec.sub outputs target in
+  Tensor.Vec.dot diff diff /. float_of_int (Array.length outputs)
+
+let loss_value kind outputs label =
+  match kind with
+  | Mse -> mse outputs label
+  | Cross_entropy -> cross_entropy outputs label
+
+(* Backpropagation through the FC layers. The output layer is Identity;
+   the initial delta is softmax(logits) - y for cross-entropy and
+   2*(outputs - y)/n_out for MSE. Returns the loss and per-layer
+   gradients. *)
+let backprop (net : Network.t) ~loss ~input ~label =
+  let layers = net.Network.layers in
+  let n = Array.length layers in
+  let trace = Network.forward_trace net input in
+  let logits = snd trace.(n - 1) in
+  let loss_before = loss_value loss logits label in
+  let n_out = Array.length logits in
+  let target = Tensor.Vec.one_hot n_out label in
+  let delta =
+    ref
+      (match loss with
+      | Cross_entropy -> Tensor.Vec.sub (Tensor.Vec.softmax logits) target
+      | Mse ->
+          Tensor.Vec.scale (2. /. float_of_int n_out) (Tensor.Vec.sub logits target))
+  in
+  let grads = Array.make n None in
+  for i = n - 1 downto 0 do
+    let layer = layers.(i) in
+    let layer_input = if i = 0 then input else snd trace.(i - 1) in
+    let back = Tensor.Mat.tmul_vec layer.Layer.weights !delta in
+    grads.(i) <- Some (Tensor.Mat.outer !delta layer_input, Tensor.Vec.copy !delta);
+    if i > 0 then begin
+      let pre_prev = fst trace.(i - 1) in
+      let act = layers.(i - 1).Layer.activation in
+      delta := Tensor.Vec.mul back (Activation.derivative_vec act pre_prev)
+    end
+  done;
+  let grads =
+    Array.map (function Some g -> g | None -> assert false) grads
+  in
+  (loss_before, grads)
+
+let apply_gradients (net : Network.t) ~lr grads =
+  Array.iteri
+    (fun i (gw, gb) ->
+      let layer = net.Network.layers.(i) in
+      Tensor.Mat.axpy (-.lr) gw layer.Layer.weights;
+      Tensor.Vec.axpy (-.lr) gb layer.Layer.bias)
+    grads
+
+let sgd_step ?(loss = Mse) net ~lr ~input ~label =
+  let loss_before, grads = backprop net ~loss ~input ~label in
+  apply_gradients net ~lr grads;
+  loss_before
+
+let zero_gradients (net : Network.t) =
+  Array.map
+    (fun (layer : Layer.t) ->
+      let rows, cols = Tensor.Mat.dims layer.Layer.weights in
+      (Tensor.Mat.create ~rows ~cols, Tensor.Vec.create (Layer.out_dim layer)))
+    net.Network.layers
+
+let batch_step net ~loss ~lr ~momentum ~velocity ~inputs ~labels =
+  let n = Array.length inputs in
+  let acc = zero_gradients net in
+  let total_loss = ref 0. in
+  Array.iteri
+    (fun s input ->
+      let sample_loss, grads = backprop net ~loss ~input ~label:labels.(s) in
+      total_loss := !total_loss +. sample_loss;
+      Array.iteri
+        (fun i (gw, gb) ->
+          let aw, ab = acc.(i) in
+          Tensor.Mat.add_inplace aw gw;
+          Tensor.Vec.add_inplace ab gb)
+        grads)
+    inputs;
+  (* traingdm semantics: v <- momentum*v - lr*mean_gradient; w <- w + v. *)
+  let step = lr /. float_of_int n in
+  Array.iteri
+    (fun i (aw, ab) ->
+      let vw, vb = velocity.(i) in
+      let scale_mat m k = Tensor.Mat.axpy (k -. 1.) m m in
+      ignore scale_mat;
+      (* v *= momentum *)
+      Tensor.Mat.axpy (momentum -. 1.) vw vw;
+      Tensor.Vec.axpy (momentum -. 1.) vb vb;
+      (* v -= step * grad *)
+      Tensor.Mat.axpy (-.step) aw vw;
+      Tensor.Vec.axpy (-.step) ab vb;
+      let layer = net.Network.layers.(i) in
+      Tensor.Mat.add_inplace layer.Layer.weights vw;
+      Tensor.Vec.add_inplace layer.Layer.bias vb)
+    acc;
+  !total_loss /. float_of_int n
+
+let train ?(config = default_config) net ~inputs ~labels =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Train.train: no samples";
+  if Array.length labels <> n then invalid_arg "Train.train: label count";
+  let rng = Util.Rng.create config.shuffle_seed in
+  let order = Array.init n (fun i -> i) in
+  let total_epochs = config.epochs_phase1 + config.epochs_phase2 in
+  let losses = Array.make total_epochs 0. in
+  let accuracies = Array.make total_epochs 0. in
+  let velocity = zero_gradients net in
+  for epoch = 0 to total_epochs - 1 do
+    let lr =
+      if epoch < config.epochs_phase1 then config.lr_phase1 else config.lr_phase2
+    in
+    (match config.mode with
+    | Batch ->
+        losses.(epoch) <-
+          batch_step net ~loss:config.loss ~lr ~momentum:config.momentum
+            ~velocity ~inputs ~labels
+    | Stochastic ->
+        Util.Rng.shuffle rng order;
+        let loss_sum = ref 0. in
+        Array.iter
+          (fun i ->
+            loss_sum :=
+              !loss_sum
+              +. sgd_step ~loss:config.loss net ~lr ~input:inputs.(i)
+                   ~label:labels.(i))
+          order;
+        losses.(epoch) <- !loss_sum /. float_of_int n);
+    let correct = ref 0 in
+    Array.iteri
+      (fun i x -> if Network.predict net x = labels.(i) then incr correct)
+      inputs;
+    accuracies.(epoch) <- float_of_int !correct /. float_of_int n
+  done;
+  { epoch_losses = losses; epoch_accuracies = accuracies }

@@ -1,0 +1,1 @@
+lib/sat/veca.ml: Array List

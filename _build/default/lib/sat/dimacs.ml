@@ -1,0 +1,47 @@
+type cnf = { n_vars : int; clauses : int list list }
+
+let to_string { n_vars; clauses } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" n_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let tokens_of_line line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  let lines = String.split_on_char '\n' text in
+  let n_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith ("Dimacs: bad token " ^ tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some l -> current := l :: !current
+  in
+  let handle_line line =
+    match tokens_of_line line with
+    | [] -> ()
+    | "c" :: _ -> ()
+    | [ "p"; "cnf"; v; _ ] -> n_vars := int_of_string v
+    | toks when String.length (List.hd toks) > 0 && (List.hd toks).[0] = 'c' -> ()
+    | toks -> List.iter handle_token toks
+  in
+  List.iter handle_line lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { n_vars = !n_vars; clauses = List.rev !clauses }
+
+let load_into solver { n_vars; clauses } =
+  let vars = Array.init n_vars (fun _ -> Solver.new_var solver) in
+  let lit_of n =
+    let v = abs n - 1 in
+    if v >= n_vars then failwith "Dimacs.load_into: literal out of range";
+    Lit.make vars.(v) (n > 0)
+  in
+  List.iter (fun clause -> Solver.add_clause solver (List.map lit_of clause)) clauses

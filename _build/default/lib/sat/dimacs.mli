@@ -1,0 +1,14 @@
+(** DIMACS CNF input/output, for debugging queries against external
+    solvers and for the SAT test corpus. *)
+
+type cnf = { n_vars : int; clauses : int list list }
+(** Clauses as DIMACS integers (1-based, sign = polarity). *)
+
+val to_string : cnf -> string
+val of_string : string -> cnf
+(** Parses the standard format; comment lines start with 'c'. Raises
+    [Failure] on malformed input. *)
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocates [n_vars] fresh variables in the solver and adds every
+    clause. Intended for a freshly created solver. *)

@@ -1,0 +1,34 @@
+type t = int
+
+let make var positive =
+  if var < 0 then invalid_arg "Lit.make: negative variable";
+  (2 * var) + if positive then 0 else 1
+
+let pos var = make var true
+
+let neg_of_var var = make var false
+
+let var t = t / 2
+
+let is_pos t = t land 1 = 0
+
+let neg t = t lxor 1
+
+let to_index t = t
+
+let of_index i =
+  if i < 0 then invalid_arg "Lit.of_index: negative";
+  i
+
+let to_dimacs t = if is_pos t then var t + 1 else -(var t + 1)
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero"
+  else if n > 0 then pos (n - 1)
+  else neg_of_var (-n - 1)
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp fmt t = Format.fprintf fmt "%d" (to_dimacs t)

@@ -1,0 +1,32 @@
+(** Propositional literals.
+
+    Variables are non-negative integers; a literal packs a variable and a
+    polarity as [2*var + (if negative then 1 else 0)], the MiniSat
+    encoding, so literals index watch lists directly. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make var positive]; [var >= 0]. *)
+
+val pos : int -> t
+val neg_of_var : int -> t
+val var : t -> int
+val is_pos : t -> bool
+val neg : t -> t
+(** Complement. *)
+
+val to_index : t -> int
+(** The packed representation, usable as an array index in [0, 2*nvars). *)
+
+val of_index : int -> t
+
+val to_dimacs : t -> int
+(** Positive literal of var [v] is [v+1]; negative is [-(v+1)]. *)
+
+val of_dimacs : int -> t
+(** Raises [Invalid_argument] on 0. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,585 @@
+(* MiniSat-style CDCL. Variable state lives in parallel arrays indexed by
+   variable; watch lists are indexed by literal. The two watched literals
+   of every clause are kept in positions 0 and 1 of its literal array. *)
+
+type clause = {
+  mutable lits : Lit.t array;
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;          (* 0 unknown, 1 true, -1 false *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : bool array;        (* saved phase *)
+  mutable seen : bool array;
+  mutable watches : clause Veca.t array; (* indexed by literal *)
+  clauses : clause Veca.t;
+  learnts : clause Veca.t;
+  trail : Lit.t Veca.t;
+  trail_lim : int Veca.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable heap_index : int array;       (* var -> heap position or -1 *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable max_learnts : float;
+  mutable priority : int array;
+}
+
+let var_decay = 1. /. 0.95
+let clause_decay = 1. /. 0.999
+
+let create () =
+  {
+    nvars = 0;
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    polarity = [||];
+    seen = [||];
+    watches = [||];
+    clauses = Veca.create ();
+    learnts = Veca.create ();
+    trail = Veca.create ();
+    trail_lim = Veca.create ();
+    qhead = 0;
+    var_inc = 1.;
+    cla_inc = 1.;
+    ok = true;
+    heap = [||];
+    heap_len = 0;
+    heap_index = [||];
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+    max_learnts = 3000.;
+    priority = [||];
+  }
+
+let nvars s = s.nvars
+
+let nclauses s = Veca.length s.clauses
+
+let okay s = s.ok
+
+(* ---------- variable-order heap (max-heap on activity) ---------- *)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_index.(vi) <- j;
+  s.heap_index.(vj) <- i
+
+let heap_up s i =
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    s.activity.(s.heap.(!i)) > s.activity.(s.heap.(parent))
+  do
+    let parent = (!i - 1) / 2 in
+    heap_swap s !i parent;
+    i := parent
+  done
+
+let heap_down s i =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+    let best = ref !i in
+    if left < s.heap_len && s.activity.(s.heap.(left)) > s.activity.(s.heap.(!best))
+    then best := left;
+    if right < s.heap_len && s.activity.(s.heap.(right)) > s.activity.(s.heap.(!best))
+    then best := right;
+    if !best = !i then continue := false
+    else begin
+      heap_swap s !i !best;
+      i := !best
+    end
+  done
+
+let heap_insert s v =
+  if s.heap_index.(v) < 0 then begin
+    s.heap.(s.heap_len) <- v;
+    s.heap_index.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s (s.heap_len - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_index.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let last = s.heap.(s.heap_len) in
+    s.heap.(0) <- last;
+    s.heap_index.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+(* ---------- variables ---------- *)
+
+let grow_array a n default =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let na = Array.make (max n (max 16 (2 * old))) default in
+    Array.blit a 0 na 0 old;
+    na
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns s.nvars 0;
+  s.level <- grow_array s.level s.nvars (-1);
+  s.reason <- grow_array s.reason s.nvars None;
+  s.activity <- grow_array s.activity s.nvars 0.;
+  s.polarity <- grow_array s.polarity s.nvars false;
+  s.seen <- grow_array s.seen s.nvars false;
+  s.heap <- grow_array s.heap s.nvars (-1);
+  s.heap_index <- grow_array s.heap_index s.nvars (-1);
+  let nlits = 2 * s.nvars in
+  if Array.length s.watches < nlits then begin
+    let old = Array.length s.watches in
+    let nw = Array.make (max nlits (2 * max 16 old)) (Veca.create ()) in
+    Array.blit s.watches 0 nw 0 old;
+    for i = old to Array.length nw - 1 do
+      nw.(i) <- Veca.create ()
+    done;
+    s.watches <- nw
+  end;
+  s.heap_index.(v) <- -1;
+  heap_insert s v;
+  v
+
+let value_var s v = s.assigns.(v)
+
+let value_lit s l =
+  let v = s.assigns.(Lit.var l) in
+  if v = 0 then 0 else if Lit.is_pos l then v else -v
+
+let decision_level s = Veca.length s.trail_lim
+
+(* ---------- activity ---------- *)
+
+let var_rescale s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then var_rescale s;
+  if s.heap_index.(v) >= 0 then heap_up s s.heap_index.(v)
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let clause_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Veca.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let clause_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* ---------- assignment trail ---------- *)
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  assert (s.assigns.(v) = 0);
+  s.assigns.(v) <- (if Lit.is_pos l then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Veca.push s.trail l
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Veca.get s.trail_lim lvl in
+    for i = Veca.length s.trail - 1 downto bound do
+      let l = Veca.get s.trail i in
+      let v = Lit.var l in
+      s.assigns.(v) <- 0;
+      s.polarity.(v) <- Lit.is_pos l;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    Veca.shrink s.trail bound;
+    Veca.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* ---------- propagation ---------- *)
+
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < Veca.length s.trail do
+    let p = Veca.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = Lit.neg p in
+    let ws = s.watches.(Lit.to_index false_lit) in
+    let n = Veca.length ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = Veca.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        (* Normalise: the watched false literal sits at position 1. *)
+        if Lit.equal c.lits.(0) false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if value_lit s first = 1 then begin
+          Veca.set ws !j c;
+          incr j
+        end
+        else begin
+          let len = Array.length c.lits in
+          let rec find k =
+            if k >= len then -1
+            else if value_lit s c.lits.(k) <> -1 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- false_lit;
+            Veca.push s.watches.(Lit.to_index c.lits.(1)) c
+          end
+          else begin
+            (* Unit or conflicting clause; keep the watch either way. *)
+            Veca.set ws !j c;
+            incr j;
+            if value_lit s first = -1 then begin
+              while !i < n do
+                Veca.set ws !j (Veca.get ws !i);
+                incr j;
+                incr i
+              done;
+              s.qhead <- Veca.length s.trail;
+              conflict := Some c
+            end
+            else enqueue s first (Some c)
+          end
+        end
+      end
+    done;
+    Veca.shrink ws !j
+  done;
+  !conflict
+
+(* ---------- clause construction ---------- *)
+
+let watch_clause s c =
+  Veca.push s.watches.(Lit.to_index c.lits.(0)) c;
+  Veca.push s.watches.(Lit.to_index c.lits.(1)) c
+
+let check_var_exists s l =
+  if Lit.var l >= s.nvars then invalid_arg "Solver.add_clause: unknown variable"
+
+let add_clause s lits =
+  List.iter (check_var_exists s) lits;
+  if s.ok then begin
+    (* Incremental use adds clauses after a Sat answer: drop the model's
+       decisions first, then simplify at level 0. *)
+    cancel_until s 0;
+    (* Level-0 simplification. *)
+    let sorted = List.sort_uniq Lit.compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (Lit.equal (Lit.neg l)) sorted) sorted
+    in
+    let alive = List.filter (fun l -> value_lit s l <> -1) sorted in
+    let satisfied = List.exists (fun l -> value_lit s l = 1) alive in
+    if not (tautology || satisfied) then
+      match alive with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          enqueue s l None;
+          if propagate s <> None then s.ok <- false
+      | _ :: _ :: _ ->
+          let c =
+            {
+              lits = Array.of_list alive;
+              learnt = false;
+              activity = 0.;
+              deleted = false;
+            }
+          in
+          Veca.push s.clauses c;
+          watch_clause s c
+  end
+
+(* ---------- conflict analysis (first UIP) ---------- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref None in
+  let confl = ref (Some confl) in
+  let idx = ref (Veca.length s.trail - 1) in
+  let btlevel = ref 0 in
+  let to_clear = ref [] in
+  let stop = ref false in
+  while not !stop do
+    let c = match !confl with Some c -> c | None -> assert false in
+    if c.learnt then clause_bump s c;
+    let start = match !p with None -> 0 | Some _ -> 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        var_bump s v;
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        if s.level.(v) >= decision_level s then incr path
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Walk the trail back to the next marked literal. *)
+    while not s.seen.(Lit.var (Veca.get s.trail !idx)) do
+      decr idx
+    done;
+    let pl = Veca.get s.trail !idx in
+    decr idx;
+    s.seen.(Lit.var pl) <- false;
+    p := Some pl;
+    confl := s.reason.(Lit.var pl);
+    decr path;
+    if !path = 0 then stop := true
+  done;
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let asserting = Lit.neg (match !p with Some pl -> pl | None -> assert false) in
+  (asserting :: !learnt, !btlevel)
+
+let record_learnt s lits btlevel =
+  match lits with
+  | [] -> assert false
+  | [ l ] ->
+      cancel_until s 0;
+      enqueue s l None
+  | asserting :: rest ->
+      cancel_until s btlevel;
+      let arr = Array.of_list (asserting :: rest) in
+      (* Position 1 must hold a literal from the backtrack level so the
+         watch invariant survives future backtracking. *)
+      let best = ref 1 in
+      for k = 2 to Array.length arr - 1 do
+        if s.level.(Lit.var arr.(k)) > s.level.(Lit.var arr.(!best)) then best := k
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!best);
+      arr.(!best) <- tmp;
+      let c = { lits = arr; learnt = true; activity = 0.; deleted = false } in
+      Veca.push s.learnts c;
+      watch_clause s c;
+      clause_bump s c;
+      enqueue s asserting (Some c)
+
+(* ---------- learnt-clause deletion ---------- *)
+
+let locked s c =
+  match s.reason.(Lit.var c.lits.(0)) with
+  | Some r -> r == c && value_lit s c.lits.(0) = 1
+  | None -> false
+
+let reduce_db s =
+  Veca.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) s.learnts;
+  let n = Veca.length s.learnts in
+  let limit = n / 2 in
+  let kept = ref 0 in
+  for k = 0 to n - 1 do
+    let c = Veca.get s.learnts k in
+    if k < limit && Array.length c.lits > 2 && not (locked s c) then
+      c.deleted <- true
+    else begin
+      Veca.set s.learnts !kept c;
+      incr kept
+    end
+  done;
+  Veca.shrink s.learnts !kept
+
+(* ---------- search ---------- *)
+
+let set_priority s vars =
+  List.iter
+    (fun v -> if v < 0 || v >= s.nvars then invalid_arg "Solver.set_priority")
+    vars;
+  s.priority <- Array.of_list vars
+
+let pick_branch_var s =
+  (* Priority variables first (circuit inputs), then VSIDS. *)
+  let n = Array.length s.priority in
+  let rec from_priority i =
+    if i >= n then -1
+    else
+      let v = s.priority.(i) in
+      if s.assigns.(v) = 0 then v else from_priority (i + 1)
+  in
+  let v = from_priority 0 in
+  if v >= 0 then v
+  else
+    let rec loop () =
+      if s.heap_len = 0 then -1
+      else
+        let v = heap_pop s in
+        if s.assigns.(v) = 0 then v else loop ()
+    in
+    loop ()
+
+let luby y x =
+  (* Finite-subsequence trick from MiniSat: find the subsequence containing
+     index x, then recurse into it iteratively. *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+let search s ~assumptions ~conflict_budget =
+  let n_assumptions = List.length assumptions in
+  let assumption_arr = Array.of_list assumptions in
+  let budget_left = ref conflict_budget in
+  let result = ref None in
+  while !result = None do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        (match !budget_left with
+        | Some b -> budget_left := Some (b - 1)
+        | None -> ());
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          result := Some Unsat
+        end
+        else if decision_level s <= n_assumptions then
+          (* The conflict depends on the assumptions only. *)
+          result := Some Unsat
+        else begin
+          let lits, btlevel = analyze s confl in
+          record_learnt s lits btlevel;
+          var_decay_activity s;
+          clause_decay_activity s
+        end
+    | None -> (
+        match !budget_left with
+        | Some b when b <= 0 -> result := Some Unknown
+        | Some _ | None ->
+            if
+              float_of_int (Veca.length s.learnts) >= s.max_learnts
+              && decision_level s > n_assumptions
+            then begin
+              reduce_db s;
+              s.max_learnts <- s.max_learnts *. 1.3
+            end;
+            let lvl = decision_level s in
+            if lvl < n_assumptions then begin
+              (* Re-establish the next assumption as a decision. *)
+              let a = assumption_arr.(lvl) in
+              match value_lit s a with
+              | 1 -> Veca.push s.trail_lim (Veca.length s.trail)
+              | -1 -> result := Some Unsat
+              | _ ->
+                  Veca.push s.trail_lim (Veca.length s.trail);
+                  enqueue s a None
+            end
+            else begin
+              let v = pick_branch_var s in
+              if v < 0 then result := Some Sat
+              else begin
+                s.n_decisions <- s.n_decisions + 1;
+                Veca.push s.trail_lim (Veca.length s.trail);
+                enqueue s (Lit.make v s.polarity.(v)) None
+              end
+            end)
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(assumptions = []) ?max_conflicts s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    List.iter (check_var_exists s) assumptions;
+    match propagate s with
+    | Some _ ->
+        s.ok <- false;
+        Unsat
+    | None ->
+        let budget = Option.map (fun b -> max 1 b) max_conflicts in
+        let rec restart_loop i =
+          (* Restart cadence only applies to unbounded solving; a conflict
+             budget gives a single uninterrupted search. *)
+          let per_restart =
+            match budget with
+            | Some b -> Some b
+            | None -> Some (int_of_float (luby 1. i *. 256.))
+          in
+          let r = search s ~assumptions ~conflict_budget:per_restart in
+          match (r, budget) with
+          | Unknown, None ->
+              s.n_restarts <- s.n_restarts + 1;
+              cancel_until s 0;
+              restart_loop (i + 1)
+          | (Sat | Unsat | Unknown), _ -> r
+        in
+        let result = restart_loop 0 in
+        (match result with
+        | Sat -> ()
+        | Unsat | Unknown -> cancel_until s 0);
+        result
+  end
+
+let value s l =
+  if Lit.var l >= s.nvars then invalid_arg "Solver.value: unknown variable";
+  value_lit s l = 1
+
+let model s = Array.init s.nvars (fun v -> value_var s v = 1)
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    restarts = s.n_restarts;
+    learnt_clauses = Veca.length s.learnts;
+  }

@@ -1,0 +1,63 @@
+(** CDCL SAT solver.
+
+    A MiniSat-style conflict-driven clause-learning solver: two-watched-
+    literal propagation, first-UIP conflict analysis, VSIDS decision
+    heuristic with phase saving, Luby restarts and activity-based learnt-
+    clause deletion. It is the decision procedure underneath the
+    bit-blasted model-checking queries (the role nuXmv's SAT engine plays
+    in the paper).
+
+    Typical use is incremental: allocate variables, add clauses, [solve],
+    read the model, add blocking clauses, [solve] again. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Fresh variable index (0-based). *)
+
+val nvars : t -> int
+val nclauses : t -> int
+(** Problem clauses currently alive (excludes learnt clauses). *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause over existing variables. Performs level-0 simplification:
+    duplicate literals are merged, tautologies dropped, false literals
+    removed. Adding the empty clause (or a unit contradicting a previous
+    level-0 implication) makes the instance permanently unsatisfiable. *)
+
+val set_priority : t -> int list -> unit
+(** Variables to branch on before the VSIDS heap, in the given order. For
+    circuit-shaped CNF (bit-blasted formulas) deciding the circuit inputs
+    first lets unit propagation evaluate the whole circuit, which speeds
+    up exhaustive (UNSAT) proofs dramatically. Replaces any previous
+    priority list. *)
+
+val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
+(** Searches for a model extending the assumptions. [Unknown] is returned
+    only when [max_conflicts] is set and exhausted. The solver remains
+    usable after any outcome; after [Unsat] under assumptions it can still
+    be satisfiable under others. *)
+
+val value : t -> Lit.t -> bool
+(** Value of a literal in the last model. Only meaningful after [solve]
+    returned [Sat]; unassigned variables read as [false]. *)
+
+val model : t -> bool array
+(** Per-variable values of the last model (length [nvars]). *)
+
+val okay : t -> bool
+(** [false] once the clause set is unsatisfiable at level 0. *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,72 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Veca: index out of bounds"
+
+let get t i =
+  check_index t i;
+  t.data.(i)
+
+let set t i v =
+  check_index t i;
+  t.data.(i) <- v
+
+let grow t v =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let ndata = Array.make ncap v in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Veca.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let clear t = t.len <- 0
+
+let shrink t n =
+  if n < 0 || n > t.len then invalid_arg "Veca.shrink";
+  t.len <- n
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t
+
+let filter_in_place p t =
+  let j = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.data.(i) then begin
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  t.len <- !j
+
+let sort cmp t =
+  let sub = Array.sub t.data 0 t.len in
+  Array.sort cmp sub;
+  Array.blit sub 0 t.data 0 t.len

@@ -1,0 +1,1 @@
+lib/smtlite/compile.ml: Array Bitblast Hashtbl Interval List Sat Term

@@ -1,0 +1,1 @@
+lib/smtlite/compile.mli: Bitblast Sat Term

@@ -1,0 +1,1 @@
+lib/smtlite/interval.mli: Term

@@ -1,0 +1,1 @@
+lib/smtlite/solve.ml: Compile List Sat Term

@@ -1,0 +1,1 @@
+lib/smtlite/solve.mli: Sat Term

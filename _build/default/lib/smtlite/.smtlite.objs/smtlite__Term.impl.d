@@ -1,0 +1,1 @@
+lib/smtlite/term.ml: Format Int List Map

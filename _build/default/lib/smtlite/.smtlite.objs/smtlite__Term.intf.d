@@ -1,0 +1,1 @@
+lib/smtlite/term.mli: Format

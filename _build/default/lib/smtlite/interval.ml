@@ -1,0 +1,120 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point v = { lo = v; hi = v }
+
+let of_var (v : Term.var) = { lo = v.lo; hi = v.hi }
+
+let contains t v = t.lo <= v && v <= t.hi
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mulc c a =
+  if c >= 0 then { lo = c * a.lo; hi = c * a.hi }
+  else { lo = c * a.hi; hi = c * a.lo }
+
+let relu a = { lo = max 0 a.lo; hi = max 0 a.hi }
+
+let max_ a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let width_for t =
+  let rec loop w =
+    if w >= 62 then 62
+    else if t.lo >= -(1 lsl (w - 1)) && t.hi <= (1 lsl (w - 1)) - 1 then w
+    else loop (w + 1)
+  in
+  loop 1
+
+type env = Term.var -> t
+
+let default_env = of_var
+
+let term_interval ?(env = default_env) term =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (t : Term.term) =
+    match Hashtbl.find_opt memo t.id with
+    | Some iv -> iv
+    | None ->
+        let iv =
+          match t.node with
+          | Term.Const v -> point v
+          | Term.Var v -> env v
+          | Term.Add (a, b) -> add (go a) (go b)
+          | Term.Sub (a, b) -> sub (go a) (go b)
+          | Term.Mulc (c, a) -> mulc c (go a)
+          | Term.Neg a -> neg (go a)
+          | Term.Relu a -> relu (go a)
+          | Term.Max (a, b) -> max_ (go a) (go b)
+          | Term.Ite (_, a, b) -> hull (go a) (go b)
+        in
+        Hashtbl.add memo t.id iv;
+        iv
+  in
+  go term
+
+let formula_decide ?(env = default_env) formula =
+  let tmemo : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go_t (t : Term.term) =
+    match Hashtbl.find_opt tmemo t.id with
+    | Some iv -> iv
+    | None ->
+        let iv =
+          match t.node with
+          | Term.Const v -> point v
+          | Term.Var v -> env v
+          | Term.Add (a, b) -> add (go_t a) (go_t b)
+          | Term.Sub (a, b) -> sub (go_t a) (go_t b)
+          | Term.Mulc (c, a) -> mulc c (go_t a)
+          | Term.Neg a -> neg (go_t a)
+          | Term.Relu a -> relu (go_t a)
+          | Term.Max (a, b) -> max_ (go_t a) (go_t b)
+          | Term.Ite (c, a, b) -> (
+              match go_f c with
+              | `True -> go_t a
+              | `False -> go_t b
+              | `Unknown -> hull (go_t a) (go_t b))
+        in
+        Hashtbl.add tmemo t.id iv;
+        iv
+  and go_f (f : Term.formula) =
+    match f.fnode with
+    | Term.True -> `True
+    | Term.False -> `False
+    | Term.Le (a, b) ->
+        let ia = go_t a and ib = go_t b in
+        if ia.hi <= ib.lo then `True
+        else if ia.lo > ib.hi then `False
+        else `Unknown
+    | Term.Lt (a, b) ->
+        let ia = go_t a and ib = go_t b in
+        if ia.hi < ib.lo then `True
+        else if ia.lo >= ib.hi then `False
+        else `Unknown
+    | Term.Eq (a, b) ->
+        let ia = go_t a and ib = go_t b in
+        if ia.lo = ia.hi && ib.lo = ib.hi && ia.lo = ib.lo then `True
+        else if ia.hi < ib.lo || ib.hi < ia.lo then `False
+        else `Unknown
+    | Term.Not g -> (
+        match go_f g with `True -> `False | `False -> `True | `Unknown -> `Unknown)
+    | Term.And fs ->
+        let results = List.map go_f fs in
+        if List.exists (( = ) `False) results then `False
+        else if List.for_all (( = ) `True) results then `True
+        else `Unknown
+    | Term.Or fs ->
+        let results = List.map go_f fs in
+        if List.exists (( = ) `True) results then `True
+        else if List.for_all (( = ) `False) results then `False
+        else `Unknown
+  in
+  go_f formula

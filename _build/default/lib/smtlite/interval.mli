@@ -1,0 +1,38 @@
+(** Interval analysis over {!Term} DAGs.
+
+    Serves two purposes: the bit-blasting compiler derives bit-vector
+    widths from term intervals, and the fast-but-incomplete [Interval]
+    analysis backend of the core library uses the same propagation to
+    prove robustness without search (a miniature abstract interpreter in
+    the style the related-work section attributes to LP/abstract tools). *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** Requires [lo <= hi]. *)
+
+val point : int -> t
+val of_var : Term.var -> t
+val contains : t -> int -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mulc : int -> t -> t
+val relu : t -> t
+val max_ : t -> t -> t
+val hull : t -> t -> t
+val width_for : t -> int
+(** Smallest two's-complement bit width representing every value of the
+    interval (at least 1). *)
+
+type env = Term.var -> t
+(** Interval environment; defaults to each variable's declared bounds. *)
+
+val default_env : env
+
+val term_interval : ?env:env -> Term.term -> t
+(** Sound bottom-up propagation, memoised per term id within one call. *)
+
+val formula_decide : ?env:env -> Term.formula -> [ `True | `False | `Unknown ]
+(** Three-valued interval decision of a formula: [`True]/[`False] are
+    sound; [`Unknown] means the intervals cannot decide. *)

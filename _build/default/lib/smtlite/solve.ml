@@ -1,0 +1,74 @@
+type model = Term.assignment
+
+type outcome = Sat of model | Unsat | Unknown
+
+type session = { compiler : Compile.t; vars : Term.var list ref }
+
+let register_vars session f =
+  let known = !(session.vars) in
+  let fresh =
+    List.filter
+      (fun (v : Term.var) ->
+        not (List.exists (fun (w : Term.var) -> w.Term.vid = v.Term.vid) known))
+      (Term.vars_of_formula f)
+  in
+  session.vars := known @ fresh
+
+let open_session f =
+  let session = { compiler = Compile.create (); vars = ref [] } in
+  register_vars session f;
+  Compile.assert_formula session.compiler f;
+  (* Branch on the problem variables before the Tseitin internals: the
+     formula is a circuit over them, so full input assignments propagate
+     to a decision in one sweep. *)
+  Compile.prioritize session.compiler !(session.vars);
+  session
+
+let assert_also session f =
+  register_vars session f;
+  Compile.assert_formula session.compiler f
+
+let declare session vars =
+  (* Compile (and range-constrain) variables before solving, so that
+     models bind them and blocking clauses can mention them — required
+     for projection variables that do not occur in the formula. *)
+  let known = !(session.vars) in
+  let fresh =
+    List.filter
+      (fun (v : Term.var) ->
+        not (List.exists (fun (w : Term.var) -> w.Term.vid = v.Term.vid) known))
+      vars
+  in
+  List.iter (fun v -> ignore (Compile.var_bv session.compiler v)) vars;
+  session.vars := known @ fresh
+
+let extract_model session =
+  List.map (fun v -> (v, Compile.var_value session.compiler v)) !(session.vars)
+
+let solve ?max_conflicts session =
+  match Sat.Solver.solve ?max_conflicts (Compile.solver session.compiler) with
+  | Sat.Solver.Sat -> Sat (extract_model session)
+  | Sat.Solver.Unsat -> Unsat
+  | Sat.Solver.Unknown -> Unknown
+
+let block session vars = Compile.block_assignment session.compiler vars
+
+let check ?max_conflicts f = solve ?max_conflicts (open_session f)
+
+let enumerate ?(limit = max_int) ?max_conflicts f ~project =
+  if project = [] then invalid_arg "Solve.enumerate: empty projection";
+  let session = open_session f in
+  declare session project;
+  let rec loop acc n =
+    if n >= limit then (List.rev acc, `Truncated)
+    else
+      match solve ?max_conflicts session with
+      | Unsat -> (List.rev acc, `Complete)
+      | Unknown -> (List.rev acc, `Budget)
+      | Sat model ->
+          block session project;
+          loop (model :: acc) (n + 1)
+  in
+  loop [] 0
+
+let stats session = Sat.Solver.stats (Compile.solver session.compiler)

@@ -1,0 +1,47 @@
+(** Satisfiability checking and model enumeration for {!Term} formulas.
+
+    [check] is one-shot. A {!session} keeps the compiled CNF alive so that
+    blocking clauses can be added between queries — the mechanism behind
+    the paper's adversarial-noise-vector extraction (property P3: re-query
+    with the disjunction of already-found noise vectors excluded). *)
+
+type model = Term.assignment
+
+type outcome = Sat of model | Unsat | Unknown
+
+val check : ?max_conflicts:int -> Term.formula -> outcome
+(** The returned model binds every variable occurring in the formula and
+    satisfies it (guaranteed by construction; re-checkable with
+    {!Term.eval_formula}). *)
+
+type session
+
+val open_session : Term.formula -> session
+
+val assert_also : session -> Term.formula -> unit
+(** Conjoin another formula. *)
+
+val declare : session -> Term.var list -> unit
+(** Make variables part of the session (with their range constraints)
+    even if no asserted formula mentions them, so that models bind them
+    and {!block} may project onto them. Must be called before the solve
+    whose model will be blocked. *)
+
+val solve : ?max_conflicts:int -> session -> outcome
+
+val block : session -> Term.var list -> unit
+(** After a [Sat] answer, exclude the current values of the given
+    variables from future models. *)
+
+val enumerate :
+  ?limit:int ->
+  ?max_conflicts:int ->
+  Term.formula ->
+  project:Term.var list ->
+  model list * [ `Complete | `Truncated | `Budget ]
+(** All models of the formula projected onto [project] (each listed once).
+    [`Complete] means the enumeration provably exhausted the projected
+    models; [`Truncated] means [limit] stopped it; [`Budget] means a
+    per-call conflict budget ran out. [project] must be non-empty. *)
+
+val stats : session -> Sat.Solver.stats

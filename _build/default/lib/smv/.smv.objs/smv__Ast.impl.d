@@ -1,0 +1,1 @@
+lib/smv/ast.ml: Format List Printf Result String

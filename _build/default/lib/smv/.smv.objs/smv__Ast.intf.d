@@ -1,0 +1,1 @@
+lib/smv/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/smv/bmc.ml: Array Ast List Printf Smtlite

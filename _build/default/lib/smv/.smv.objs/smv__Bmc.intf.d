@@ -1,0 +1,1 @@
+lib/smv/bmc.mli: Ast

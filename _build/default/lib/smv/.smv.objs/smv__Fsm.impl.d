@@ -1,0 +1,1 @@
+lib/smv/fsm.ml: Array Ast Hashtbl List Option Printf Queue

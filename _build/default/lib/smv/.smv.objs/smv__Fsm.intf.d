@@ -1,0 +1,1 @@
+lib/smv/fsm.mli: Ast

@@ -1,0 +1,1 @@
+lib/smv/parser.ml: Ast List Printf String

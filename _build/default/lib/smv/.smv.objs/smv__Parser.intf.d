@@ -1,0 +1,1 @@
+lib/smv/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/smv/printer.ml: Ast Buffer Fun List Printf String

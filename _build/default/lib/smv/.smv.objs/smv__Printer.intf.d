@@ -1,0 +1,1 @@
+lib/smv/printer.mli: Ast

@@ -1,0 +1,1 @@
+lib/smv/translate.ml: Array Ast Fun List Nn Printf

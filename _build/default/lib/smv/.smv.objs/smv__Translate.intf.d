@@ -1,0 +1,1 @@
+lib/smv/translate.mli: Ast Nn

@@ -1,0 +1,250 @@
+module T = Smtlite.Term
+
+type outcome =
+  | Holds_up_to of int
+  | Violated of { step : int; trace : Ast.value array list }
+
+exception Unsupported of string
+
+(* Integer coding of domains. Enum symbols are looked up in a global
+   (per-program) table; range values code as themselves. *)
+type coding = {
+  sym_code : (string * int) list;     (* enum symbol -> code *)
+  domains : (string * Ast.domain) list; (* all variables *)
+}
+
+let build_coding (prog : Ast.program) =
+  let all_vars = prog.Ast.state_vars @ prog.Ast.input_vars in
+  let sym_code = ref [] in
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Ast.Enum syms ->
+          List.iteri
+            (fun i s ->
+              match List.assoc_opt s !sym_code with
+              | Some code when code <> i ->
+                  raise
+                    (Unsupported
+                       (Printf.sprintf "enum symbol %s used at two positions" s))
+              | Some _ -> ()
+              | None -> sym_code := (s, i) :: !sym_code)
+            syms
+      | Ast.Range _ -> ())
+    all_vars;
+  { sym_code = !sym_code; domains = all_vars }
+
+let domain_bounds = function
+  | Ast.Range (lo, hi) -> (lo, hi)
+  | Ast.Enum syms -> (0, List.length syms - 1)
+
+(* Per-step variable environment: every state/input variable gets one
+   smtlite variable per time step. *)
+type env = {
+  coding : coding;
+  prog : Ast.program;
+  mutable vars : ((string * int) * T.var) list;  (* (name, step) -> var *)
+}
+
+let step_var env name step =
+  match List.assoc_opt (name, step) env.vars with
+  | Some v -> v
+  | None ->
+      let domain =
+        match List.assoc_opt name env.coding.domains with
+        | Some d -> d
+        | None -> raise (Unsupported ("unknown variable " ^ name))
+      in
+      let lo, hi = domain_bounds domain in
+      let v = T.var ~name:(Printf.sprintf "%s@%d" name step) ~lo ~hi in
+      env.vars <- ((name, step), v) :: env.vars;
+      v
+
+(* Expression translation: integers become terms, booleans formulas. *)
+type value = E_int of T.term | E_bool of T.formula
+
+let as_int = function
+  | E_int t -> t
+  | E_bool _ -> raise (Unsupported "integer expression expected")
+
+let as_bool = function
+  | E_bool f -> f
+  | E_int _ -> raise (Unsupported "boolean expression expected")
+
+let is_state_or_input env name =
+  List.mem_assoc name env.coding.domains
+
+let rec translate env step (e : Ast.expr) : value =
+  match e with
+  | Ast.Int v -> E_int (T.const v)
+  | Ast.Sym "TRUE" -> E_bool T.tru
+  | Ast.Sym "FALSE" -> E_bool T.fls
+  | Ast.Sym s -> (
+      match List.assoc_opt s env.coding.sym_code with
+      | Some code -> E_int (T.const code)
+      | None -> raise (Unsupported ("unknown symbol " ^ s)))
+  | Ast.Var n ->
+      if is_state_or_input env n then E_int (T.of_var (step_var env n step))
+      else (
+        match List.assoc_opt n env.prog.Ast.defines with
+        | Some body -> translate env step body
+        | None -> raise (Unsupported ("unknown identifier " ^ n)))
+  | Ast.Add (a, b) ->
+      E_int (T.add (as_int (translate env step a)) (as_int (translate env step b)))
+  | Ast.Sub (a, b) ->
+      E_int (T.sub (as_int (translate env step a)) (as_int (translate env step b)))
+  | Ast.Mul (a, b) -> (
+      let ta = as_int (translate env step a) in
+      let tb = as_int (translate env step b) in
+      match (ta.T.node, tb.T.node) with
+      | T.Const c, _ -> E_int (T.mulc c tb)
+      | _, T.Const c -> E_int (T.mulc c ta)
+      | _ -> raise (Unsupported "nonlinear multiplication"))
+  | Ast.Neg a -> E_int (T.neg (as_int (translate env step a)))
+  | Ast.Cmp (op, a, b) ->
+      let ta = as_int (translate env step a) in
+      let tb = as_int (translate env step b) in
+      E_bool
+        (match op with
+        | Ast.Lt -> T.lt ta tb
+        | Ast.Le -> T.le ta tb
+        | Ast.Eq -> T.eq ta tb
+        | Ast.Ge -> T.ge ta tb
+        | Ast.Gt -> T.gt ta tb
+        | Ast.Ne -> T.not_ (T.eq ta tb))
+  | Ast.Not a -> E_bool (T.not_ (as_bool (translate env step a)))
+  | Ast.And (a, b) ->
+      E_bool (T.and_ [ as_bool (translate env step a); as_bool (translate env step b) ])
+  | Ast.Or (a, b) ->
+      E_bool (T.or_ [ as_bool (translate env step a); as_bool (translate env step b) ])
+  | Ast.Case arms -> translate_case env step arms
+  | Ast.Set _ -> raise (Unsupported "set expression inside an expression")
+
+and translate_case env step arms =
+  (* A case is an if-then-else chain; determine int vs bool from the first
+     arm's value. *)
+  match arms with
+  | [] -> raise (Unsupported "empty case")
+  | (_, first_value) :: _ -> (
+      match translate env step first_value with
+      | E_int _ ->
+          let rec chain = function
+            | [] -> raise (Unsupported "case may fall through")
+            | [ (cond, value) ] ->
+                (* Last arm acts as default when its condition is TRUE;
+                   otherwise fall-through is unsupported. *)
+                let v = as_int (translate env step value) in
+                (match cond with
+                | Ast.Sym "TRUE" -> v
+                | _ ->
+                    (* Guarded last arm: undefined fall-through rejected. *)
+                    raise (Unsupported "case may fall through"))
+            | (cond, value) :: rest ->
+                T.ite
+                  (as_bool (translate env step cond))
+                  (as_int (translate env step value))
+                  (chain rest)
+          in
+          E_int (chain arms)
+      | E_bool _ ->
+          let rec chain = function
+            | [] -> raise (Unsupported "case may fall through")
+            | [ (cond, value) ] -> (
+                let v = as_bool (translate env step value) in
+                match cond with
+                | Ast.Sym "TRUE" -> v
+                | _ -> raise (Unsupported "case may fall through"))
+            | (cond, value) :: rest ->
+                let c = as_bool (translate env step cond) in
+                let v = as_bool (translate env step value) in
+                T.or_ [ T.and_ [ c; v ]; T.and_ [ T.not_ c; chain rest ] ]
+          in
+          E_bool (chain arms))
+
+(* Constraint for one assignment: target variable at [target_step] equals
+   the expression evaluated at [expr_step] (init: both 0; next: target at
+   t+1, expression at t). Set right-hand sides become membership. *)
+let assignment_constraint env ~target ~target_step ~expr_step rhs =
+  let tv = T.of_var (step_var env target target_step) in
+  match (rhs : Ast.expr) with
+  | Ast.Set members ->
+      T.or_
+        (List.map
+           (fun m -> T.eq tv (as_int (translate env expr_step m)))
+           members)
+  | _ -> T.eq tv (as_int (translate env expr_step rhs))
+
+let step_constraints env step =
+  (* Transition from step to step+1. *)
+  List.map
+    (fun (name, _) ->
+      match List.assoc_opt name env.prog.Ast.next with
+      | Some rhs ->
+          assignment_constraint env ~target:name ~target_step:(step + 1)
+            ~expr_step:step rhs
+      | None ->
+          (* Frozen variable. *)
+          T.eq
+            (T.of_var (step_var env name (step + 1)))
+            (T.of_var (step_var env name step)))
+    env.prog.Ast.state_vars
+
+let init_constraints env =
+  List.filter_map
+    (fun (name, _) ->
+      match List.assoc_opt name env.prog.Ast.init with
+      | Some rhs ->
+          Some (assignment_constraint env ~target:name ~target_step:0 ~expr_step:0 rhs)
+      | None -> None)
+    env.prog.Ast.state_vars
+
+let decode_value domain code =
+  match domain with
+  | Ast.Range _ -> Ast.VInt code
+  | Ast.Enum syms -> (
+      match List.nth_opt syms code with
+      | Some s -> Ast.VSym s
+      | None -> Ast.VInt code)
+
+let extract_trace env model ~upto =
+  List.init (upto + 1) (fun step ->
+      Array.of_list
+        (List.map
+           (fun (name, domain) ->
+             let v = step_var env name step in
+             decode_value domain (T.lookup model v))
+           env.prog.Ast.state_vars))
+
+let check_spec prog coding ?max_conflicts ~bound (name, spec) =
+  (* One query per depth k: path constraints 0..k plus the negated spec at
+     step k. A fresh compilation per depth keeps the code simple; the
+     formulas are small. *)
+  let rec depth k =
+    if k > bound then (name, Holds_up_to bound)
+    else begin
+      let env = { coding; prog; vars = [] } in
+      let path =
+        init_constraints env
+        :: List.init k (fun t -> step_constraints env t)
+      in
+      let negated = T.not_ (as_bool (translate env k spec)) in
+      let formula = T.and_ (List.concat path @ [ negated ]) in
+      match Smtlite.Solve.check ?max_conflicts formula with
+      | Smtlite.Solve.Sat model ->
+          (name, Violated { step = k; trace = extract_trace env model ~upto:k })
+      | Smtlite.Solve.Unsat -> depth (k + 1)
+      | Smtlite.Solve.Unknown -> (name, Holds_up_to (k - 1))
+    end
+  in
+  depth 0
+
+let check ?(bound = 3) ?max_conflicts prog =
+  match Ast.validate prog with
+  | Error msg -> Error ("invalid program: " ^ msg)
+  | Ok () -> (
+      match
+        let coding = build_coding prog in
+        List.map (check_spec prog coding ?max_conflicts ~bound) prog.Ast.invarspecs
+      with
+      | results -> Ok results
+      | exception Unsupported msg -> Error ("unsupported: " ^ msg))

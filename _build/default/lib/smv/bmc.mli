@@ -1,0 +1,32 @@
+(** SAT-based bounded model checking of the SMV subset.
+
+    This is the engine role nuXmv plays in the paper: the program's
+    transition relation is unrolled [k] steps into a bounded-integer
+    formula ({!Smtlite}) and each INVARSPEC is checked at every depth; a
+    satisfying assignment yields a counterexample trace. Enumerated
+    domains are integer-coded; nondeterministic [Set] assignments become
+    membership constraints; [IVAR]s become per-step free variables.
+
+    Complements {!Fsm}: the explicit engine enumerates states (feasible
+    only for tiny noise ranges), while BMC handles ranges whose state
+    spaces are far beyond enumeration — at the price of SAT search. For
+    the one-shot FANNet models a bound of 2 steps reaches every state. *)
+
+type outcome =
+  | Holds_up_to of int
+      (** no violation within the bound (not an unbounded proof) *)
+  | Violated of { step : int; trace : Ast.value array list }
+      (** state-variable values for steps [0..step], in declaration
+          order *)
+
+val check :
+  ?bound:int ->
+  ?max_conflicts:int ->
+  Ast.program ->
+  ((string * outcome) list, string) result
+(** Check every INVARSPEC of the program up to [bound] steps (default 3).
+    Returns [Error] for programs outside the supported fragment
+    (non-constant [Set] members, nonlinear multiplication, enum symbol
+    collisions) or that fail {!Ast.validate}. [max_conflicts] bounds each
+    SAT call; exhausting it reports the spec as holding up to the depth
+    reached with no claim beyond (documented best effort). *)

@@ -1,0 +1,387 @@
+(* Hand-written lexer + recursive-descent parser for the SMV subset. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string       (* MODULE VAR IVAR DEFINE ASSIGN INVARSPEC case esac init next *)
+  | LPAREN | RPAREN | LBRACE | RBRACE
+  | COLON | SEMI | COMMA | DOTDOT
+  | ASSIGN_OP          (* := *)
+  | PLUS | MINUS | STAR
+  | AMP | BAR | BANG
+  | LT | LE | EQ | GE | GT | NE
+  | EOF
+
+exception Error of string
+
+let keywords =
+  [ "MODULE"; "VAR"; "IVAR"; "DEFINE"; "ASSIGN"; "INVARSPEC"; "case"; "esac";
+    "init"; "next" ]
+
+type lexer_state = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let fail_at st msg = raise (Error (Printf.sprintf "line %d: %s" st.line msg))
+
+let peek_char st =
+  if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.text && st.text.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '-'
+    when st.pos + 1 < String.length st.text && st.text.[st.pos + 1] = '-' ->
+      (* comment to end of line *)
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some _ | None -> ()
+
+let lex_token st =
+  skip_trivia st;
+  match peek_char st with
+  | None -> EOF
+  | Some c when is_digit c ->
+      let start = st.pos in
+      while (match peek_char st with Some c -> is_digit c | None -> false) do
+        advance st
+      done;
+      INT (int_of_string (String.sub st.text start (st.pos - start)))
+  | Some c when is_ident_char c && not (is_digit c) ->
+      let start = st.pos in
+      while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+        advance st
+      done;
+      let word = String.sub st.text start (st.pos - start) in
+      if List.mem word keywords then KW word else IDENT word
+  | Some '(' -> advance st; LPAREN
+  | Some ')' -> advance st; RPAREN
+  | Some '{' -> advance st; LBRACE
+  | Some '}' -> advance st; RBRACE
+  | Some ';' -> advance st; SEMI
+  | Some ',' -> advance st; COMMA
+  | Some '+' -> advance st; PLUS
+  | Some '*' -> advance st; STAR
+  | Some '&' -> advance st; AMP
+  | Some '|' -> advance st; BAR
+  | Some '-' -> advance st; MINUS
+  | Some '.' ->
+      advance st;
+      if peek_char st = Some '.' then (advance st; DOTDOT)
+      else fail_at st "expected '..'"
+  | Some ':' ->
+      advance st;
+      if peek_char st = Some '=' then (advance st; ASSIGN_OP) else COLON
+  | Some '!' ->
+      advance st;
+      if peek_char st = Some '=' then (advance st; NE) else BANG
+  | Some '<' ->
+      advance st;
+      if peek_char st = Some '=' then (advance st; LE) else LT
+  | Some '>' ->
+      advance st;
+      if peek_char st = Some '=' then (advance st; GE) else GT
+  | Some '=' -> advance st; EQ
+  | Some c -> fail_at st (Printf.sprintf "unexpected character %C" c)
+
+(* Parser over a token stream with one-token lookahead. *)
+type parser_state = {
+  lexer : lexer_state;
+  mutable tok : token;
+}
+
+let make_parser text =
+  let lexer = { text; pos = 0; line = 1 } in
+  { lexer; tok = lex_token lexer }
+
+let next p = p.tok <- lex_token p.lexer
+
+let fail p msg = fail_at p.lexer msg
+
+let expect p tok msg =
+  if p.tok = tok then next p else fail p ("expected " ^ msg)
+
+let expect_kw p kw = expect p (KW kw) kw
+
+let parse_ident p =
+  match p.tok with
+  | IDENT name -> next p; name
+  | _ -> fail p "expected identifier"
+
+let parse_int p =
+  match p.tok with
+  | INT v -> next p; v
+  | MINUS ->
+      next p;
+      (match p.tok with
+      | INT v -> next p; -v
+      | _ -> fail p "expected integer after '-'")
+  | _ -> fail p "expected integer"
+
+(* Expressions, by descending precedence:
+   or_expr  := and_expr { '|' and_expr }
+   and_expr := cmp_expr { '&' cmp_expr }
+   cmp_expr := add_expr [ cmpop add_expr ]
+   add_expr := mul_expr { ('+'|'-') mul_expr }
+   mul_expr := unary { '*' unary }
+   unary    := '-' unary | '!' unary | atom *)
+let rec parse_or p =
+  let left = parse_and p in
+  if p.tok = BAR then (next p; Ast.Or (left, parse_or p)) else left
+
+and parse_and p =
+  let left = parse_cmp p in
+  if p.tok = AMP then (next p; Ast.And (left, parse_and p)) else left
+
+and parse_cmp p =
+  let left = parse_add p in
+  let cmp op = next p; Ast.Cmp (op, left, parse_add p) in
+  match p.tok with
+  | LT -> cmp Ast.Lt
+  | LE -> cmp Ast.Le
+  | EQ -> cmp Ast.Eq
+  | GE -> cmp Ast.Ge
+  | GT -> cmp Ast.Gt
+  | NE -> cmp Ast.Ne
+  | INT _ | IDENT _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COLON | SEMI
+  | COMMA | DOTDOT | ASSIGN_OP | PLUS | MINUS | STAR | AMP | BAR | BANG | EOF
+    -> left
+
+and parse_add p =
+  let rec loop left =
+    match p.tok with
+    | PLUS -> next p; loop (Ast.Add (left, parse_mul p))
+    | MINUS -> next p; loop (Ast.Sub (left, parse_mul p))
+    | INT _ | IDENT _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COLON
+    | SEMI | COMMA | DOTDOT | ASSIGN_OP | STAR | AMP | BAR | BANG | LT | LE
+    | EQ | GE | GT | NE | EOF -> left
+  in
+  loop (parse_mul p)
+
+and parse_mul p =
+  let rec loop left =
+    if p.tok = STAR then (next p; loop (Ast.Mul (left, parse_unary p)))
+    else left
+  in
+  loop (parse_unary p)
+
+and parse_unary p =
+  match p.tok with
+  | MINUS -> next p; Ast.Neg (parse_unary p)
+  | BANG -> next p; Ast.Not (parse_unary p)
+  | INT _ | IDENT _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COLON | SEMI
+  | COMMA | DOTDOT | ASSIGN_OP | PLUS | STAR | AMP | BAR | LT | LE | EQ | GE
+  | GT | NE | EOF -> parse_atom p
+
+and parse_atom p =
+  match p.tok with
+  | INT v -> next p; Ast.Int v
+  | IDENT name ->
+      next p;
+      if name = "TRUE" || name = "FALSE" then Ast.Sym name else Ast.Var name
+  | LPAREN ->
+      next p;
+      let e = parse_or p in
+      expect p RPAREN ")";
+      e
+  | LBRACE ->
+      next p;
+      let rec members acc =
+        let e = parse_or p in
+        if p.tok = COMMA then (next p; members (e :: acc))
+        else (
+          expect p RBRACE "}";
+          List.rev (e :: acc))
+      in
+      Ast.Set (members [])
+  | KW "case" ->
+      next p;
+      let rec arms acc =
+        if p.tok = KW "esac" then (next p; List.rev acc)
+        else begin
+          let cond = parse_or p in
+          expect p COLON ":";
+          let value = parse_or p in
+          expect p SEMI ";";
+          arms ((cond, value) :: acc)
+        end
+      in
+      Ast.Case (arms [])
+  | KW kw -> fail p (Printf.sprintf "unexpected keyword %s" kw)
+  | RPAREN | RBRACE | COLON | SEMI | COMMA | DOTDOT | ASSIGN_OP | PLUS
+  | MINUS | STAR | AMP | BAR | BANG | LT | LE | EQ | GE | GT | NE | EOF ->
+      fail p "expected expression"
+
+(* TRUE/FALSE lexed as IDENT; map to Sym in atoms. Identifiers that are
+   enum literals also appear as Var here; the FSM evaluator resolves
+   unknown Var names against declared enum symbols via Sym — to keep the
+   AST faithful we post-process below. *)
+
+let parse_domain p =
+  match p.tok with
+  | LBRACE ->
+      next p;
+      let rec syms acc =
+        let name =
+          match p.tok with
+          | IDENT n -> next p; n
+          | _ -> fail p "expected enum symbol"
+        in
+        if p.tok = COMMA then (next p; syms (name :: acc))
+        else (
+          expect p RBRACE "}";
+          List.rev (name :: acc))
+      in
+      Ast.Enum (syms [])
+  | INT _ | MINUS ->
+      let lo = parse_int p in
+      expect p DOTDOT "..";
+      let hi = parse_int p in
+      Ast.Range (lo, hi)
+  | _ -> fail p "expected domain"
+
+let parse_var_decls p =
+  let rec loop acc =
+    match p.tok with
+    | IDENT name ->
+        next p;
+        expect p COLON ":";
+        let d = parse_domain p in
+        expect p SEMI ";";
+        loop ((name, d) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+(* Replace Var nodes that name enum literals with Sym nodes. *)
+let rec resolve_syms enum_syms (e : Ast.expr) : Ast.expr =
+  let go = resolve_syms enum_syms in
+  match e with
+  | Ast.Var n when List.mem n enum_syms -> Ast.Sym n
+  | Ast.Int _ | Ast.Sym _ | Ast.Var _ -> e
+  | Ast.Add (a, b) -> Ast.Add (go a, go b)
+  | Ast.Sub (a, b) -> Ast.Sub (go a, go b)
+  | Ast.Mul (a, b) -> Ast.Mul (go a, go b)
+  | Ast.Neg a -> Ast.Neg (go a)
+  | Ast.Cmp (c, a, b) -> Ast.Cmp (c, go a, go b)
+  | Ast.Not a -> Ast.Not (go a)
+  | Ast.And (a, b) -> Ast.And (go a, go b)
+  | Ast.Or (a, b) -> Ast.Or (go a, go b)
+  | Ast.Case arms -> Ast.Case (List.map (fun (c, v) -> (go c, go v)) arms)
+  | Ast.Set es -> Ast.Set (List.map go es)
+
+let parse_program p =
+  expect_kw p "MODULE";
+  let module_name = parse_ident p in
+  if module_name <> "main" then fail p "expected MODULE main";
+  let state_vars = ref [] in
+  let input_vars = ref [] in
+  let defines = ref [] in
+  let init = ref [] in
+  let next_eqs = ref [] in
+  let invarspecs = ref [] in
+  let spec_counter = ref 0 in
+  let rec sections () =
+    match p.tok with
+    | KW "VAR" ->
+        next p;
+        state_vars := !state_vars @ parse_var_decls p;
+        sections ()
+    | KW "IVAR" ->
+        next p;
+        input_vars := !input_vars @ parse_var_decls p;
+        sections ()
+    | KW "DEFINE" ->
+        next p;
+        let rec defs () =
+          match p.tok with
+          | IDENT name ->
+              next p;
+              expect p ASSIGN_OP ":=";
+              let e = parse_or p in
+              expect p SEMI ";";
+              defines := !defines @ [ (name, e) ];
+              defs ()
+          | _ -> ()
+        in
+        defs ();
+        sections ()
+    | KW "ASSIGN" ->
+        next p;
+        let rec assigns () =
+          match p.tok with
+          | KW ("init" | "next") ->
+              let kind = (match p.tok with KW k -> k | _ -> assert false) in
+              next p;
+              expect p LPAREN "(";
+              let target = parse_ident p in
+              expect p RPAREN ")";
+              expect p ASSIGN_OP ":=";
+              let e = parse_or p in
+              expect p SEMI ";";
+              if kind = "init" then init := !init @ [ (target, e) ]
+              else next_eqs := !next_eqs @ [ (target, e) ];
+              assigns ()
+          | _ -> ()
+        in
+        assigns ();
+        sections ()
+    | KW "INVARSPEC" ->
+        next p;
+        let e = parse_or p in
+        expect p SEMI ";";
+        incr spec_counter;
+        invarspecs := !invarspecs @ [ (Printf.sprintf "spec%d" !spec_counter, e) ];
+        sections ()
+    | EOF -> ()
+    | _ -> fail p "expected a section keyword"
+  in
+  sections ();
+  (* Resolve enum literals across all expressions. *)
+  let enum_syms =
+    List.concat_map
+      (fun (_, d) -> match d with Ast.Enum syms -> syms | Ast.Range _ -> [])
+      (!state_vars @ !input_vars)
+  in
+  let fix = resolve_syms enum_syms in
+  {
+    Ast.state_vars = !state_vars;
+    input_vars = !input_vars;
+    defines = List.map (fun (n, e) -> (n, fix e)) !defines;
+    init = List.map (fun (n, e) -> (n, fix e)) !init;
+    next = List.map (fun (n, e) -> (n, fix e)) !next_eqs;
+    invarspecs = List.map (fun (n, e) -> (n, fix e)) !invarspecs;
+  }
+
+let parse text =
+  let p = make_parser text in
+  match parse_program p with
+  | prog -> Ok prog
+  | exception Error msg -> Error msg
+
+let parse_expr text =
+  let p = make_parser text in
+  match
+    let e = parse_or p in
+    if p.tok <> EOF then fail p "trailing input";
+    e
+  with
+  | e -> Ok e
+  | exception Error msg -> Error msg

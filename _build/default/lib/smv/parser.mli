@@ -1,0 +1,20 @@
+(** Parser for the SMV subset emitted by {!Printer}.
+
+    Accepts a single [MODULE main] with [VAR], [IVAR], [DEFINE], [ASSIGN]
+    (init/next) and [INVARSPEC] sections — the nuXmv input-language
+    fragment FANNet generates — and returns the same {!Ast.program}
+    representation the translator produces, so models can be stored as
+    [.smv] text and re-analysed ([Printer.program_to_string] followed by
+    [parse] is the identity up to expression parenthesisation).
+
+    Expression grammar (loosest to tightest): [|], [&], [!],
+    comparisons ([< <= = >= > !=]), [+ -], [*], unary [-], atoms
+    (integers, identifiers, [TRUE]/[FALSE], [( e )],
+    [case c1 : v1; ... esac], [{e, ..., e}]). Comments run from [--] to
+    the end of the line. *)
+
+val parse : string -> (Ast.program, string) result
+(** Parse a complete module. The error string contains a line number. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** Parse a single expression (for tests and ad-hoc property strings). *)

@@ -1,0 +1,69 @@
+let cmp_to_string = function
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Eq -> "="
+  | Ast.Ge -> ">="
+  | Ast.Gt -> ">"
+  | Ast.Ne -> "!="
+
+let rec expr_to_string = function
+  | Ast.Int v -> string_of_int v
+  | Ast.Sym s -> s
+  | Ast.Var n -> n
+  | Ast.Add (a, b) -> Printf.sprintf "(%s + %s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Sub (a, b) -> Printf.sprintf "(%s - %s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Mul (a, b) -> Printf.sprintf "(%s * %s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Neg a -> Printf.sprintf "(- %s)" (expr_to_string a)
+  | Ast.Cmp (c, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (cmp_to_string c)
+        (expr_to_string b)
+  | Ast.Not a -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Ast.And (a, b) -> Printf.sprintf "(%s & %s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s | %s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Case arms ->
+      let arm (c, v) =
+        Printf.sprintf "    %s : %s;" (expr_to_string c) (expr_to_string v)
+      in
+      Printf.sprintf "case\n%s\n  esac" (String.concat "\n" (List.map arm arms))
+  | Ast.Set es ->
+      Printf.sprintf "{%s}" (String.concat ", " (List.map expr_to_string es))
+
+let domain_to_string = function
+  | Ast.Range (lo, hi) -> Printf.sprintf "%d..%d" lo hi
+  | Ast.Enum syms -> Printf.sprintf "{%s}" (String.concat ", " syms)
+
+let program_to_string (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "MODULE main";
+  if p.state_vars <> [] then begin
+    line "VAR";
+    List.iter
+      (fun (n, d) -> line "  %s : %s;" n (domain_to_string d))
+      p.state_vars
+  end;
+  if p.input_vars <> [] then begin
+    line "IVAR";
+    List.iter
+      (fun (n, d) -> line "  %s : %s;" n (domain_to_string d))
+      p.input_vars
+  end;
+  if p.defines <> [] then begin
+    line "DEFINE";
+    List.iter (fun (n, e) -> line "  %s := %s;" n (expr_to_string e)) p.defines
+  end;
+  if p.init <> [] || p.next <> [] then begin
+    line "ASSIGN";
+    List.iter (fun (n, e) -> line "  init(%s) := %s;" n (expr_to_string e)) p.init;
+    List.iter (fun (n, e) -> line "  next(%s) := %s;" n (expr_to_string e)) p.next
+  end;
+  List.iter
+    (fun (name, e) -> line "INVARSPEC %s; -- %s" (expr_to_string e) name)
+    p.invarspecs;
+  Buffer.contents buf
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (program_to_string p))

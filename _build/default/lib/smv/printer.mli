@@ -1,0 +1,12 @@
+(** Pretty-printer emitting nuXmv-compatible [.smv] source.
+
+    The output of {!Translate} printed through this module is the artefact
+    the paper feeds to nuXmv ("Description in SMV Language"); it can be
+    checked with an external nuXmv installation when one is available. *)
+
+val expr_to_string : Ast.expr -> string
+
+val program_to_string : Ast.program -> string
+(** A complete [MODULE main]. *)
+
+val write_file : string -> Ast.program -> unit

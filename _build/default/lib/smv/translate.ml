@@ -1,0 +1,188 @@
+type config = {
+  delta_lo : int;
+  delta_hi : int;
+  bias_noise : bool;
+  samples : (int array * int) list;
+}
+
+let symmetric ~delta ~bias_noise ~samples =
+  if delta < 0 then invalid_arg "Translate.symmetric: negative delta";
+  { delta_lo = -delta; delta_hi = delta; bias_noise; samples }
+
+let phase_var = "phase"
+
+let noise_var i = Printf.sprintf "d%d" i
+
+let phase_of_class c = Printf.sprintf "s_l%d" c
+
+let sample_var = "sample"
+
+let scale = 100
+
+(* Sum of SMV expressions, dropping zero constants. *)
+let sum_exprs exprs =
+  let nonzero = List.filter (fun e -> e <> Ast.Int 0) exprs in
+  match nonzero with
+  | [] -> Ast.Int 0
+  | e :: rest -> List.fold_left (fun acc x -> Ast.Add (acc, x)) e rest
+
+let mul_const c e = if c = 0 then Ast.Int 0 else Ast.Mul (Ast.Int c, e)
+
+let check (net : Nn.Qnet.t) config =
+  if config.delta_lo > 0 || config.delta_hi < 0 then
+    invalid_arg "Translate: noise range must contain 0";
+  if Nn.Qnet.n_layers net <> 2 then
+    invalid_arg "Translate: two-layer networks only";
+  if config.samples = [] then invalid_arg "Translate: no samples";
+  List.iter
+    (fun (features, label) ->
+      if Array.length features <> Nn.Qnet.in_dim net then
+        invalid_arg "Translate: sample size mismatch";
+      if label < 0 || label >= Nn.Qnet.out_dim net then
+        invalid_arg "Translate: label out of range")
+    config.samples
+
+(* Per-sample selection: a Case over the sample IVAR, or the single value. *)
+let select_per_sample n_samples per_sample =
+  if n_samples = 1 then per_sample 0
+  else
+    Ast.Case
+      (List.init n_samples (fun s ->
+           let cond =
+             if s = n_samples - 1 then Ast.Sym "TRUE"
+             else Ast.Cmp (Ast.Eq, Ast.Var sample_var, Ast.Int s)
+           in
+           (cond, per_sample s)))
+
+let network_program (net : Nn.Qnet.t) config =
+  check net config;
+  let n_in = Nn.Qnet.in_dim net in
+  let n_out = Nn.Qnet.out_dim net in
+  let n_samples = List.length config.samples in
+  let samples = Array.of_list config.samples in
+  (* Noise nodes: d1..dn on inputs; d0 on the bias when requested. *)
+  let input_noise = List.init n_in (fun i -> noise_var (i + 1)) in
+  let noise_names = (if config.bias_noise then [ noise_var 0 ] else []) @ input_noise in
+  let noise_domain = Ast.Range (config.delta_lo, config.delta_hi) in
+  (* DEFINE x_i := X_i*100 + X_i*d_{i+1}, selected per sample. *)
+  let input_define i =
+    let per_sample s =
+      let xi = (fst samples.(s)).(i) in
+      sum_exprs [ Ast.Int (xi * scale); mul_const xi (Ast.Var (noise_var (i + 1))) ]
+    in
+    (Printf.sprintf "x%d" (i + 1), select_per_sample n_samples per_sample)
+  in
+  let input_defines = List.init n_in input_define in
+  (* Hidden layer: pre_k and relu h_k. *)
+  let layer1 = net.Nn.Qnet.layers.(0) in
+  let layer2 = net.Nn.Qnet.layers.(1) in
+  let n_hidden = Array.length layer1.Nn.Qnet.weights in
+  let pre_define k =
+    let b = layer1.Nn.Qnet.bias.(k) in
+    let bias_terms =
+      Ast.Int (b * scale)
+      ::
+      (if config.bias_noise then [ mul_const b (Ast.Var (noise_var 0)) ] else [])
+    in
+    let weight_terms =
+      List.init n_in (fun i ->
+          mul_const layer1.Nn.Qnet.weights.(k).(i) (Ast.Var (Printf.sprintf "x%d" (i + 1))))
+    in
+    (Printf.sprintf "pre%d" (k + 1), sum_exprs (bias_terms @ weight_terms))
+  in
+  let hidden_define k =
+    let pre = Ast.Var (Printf.sprintf "pre%d" (k + 1)) in
+    ( Printf.sprintf "h%d" (k + 1),
+      Ast.Case
+        [ (Ast.Cmp (Ast.Gt, pre, Ast.Int 0), pre); (Ast.Sym "TRUE", Ast.Int 0) ] )
+  in
+  let pre_defines = List.init n_hidden pre_define in
+  let hidden_defines = List.init n_hidden hidden_define in
+  (* Output nodes (identity activation). *)
+  let output_define j =
+    let terms =
+      Ast.Int (layer2.Nn.Qnet.bias.(j) * scale)
+      :: List.init n_hidden (fun k ->
+             mul_const layer2.Nn.Qnet.weights.(j).(k)
+               (Ast.Var (Printf.sprintf "h%d" (k + 1))))
+    in
+    (Printf.sprintf "o%d" j, sum_exprs terms)
+  in
+  let output_defines = List.init n_out output_define in
+  (* out := argmax with ties to the lower class index (paper's maxpool). *)
+  let out_define =
+    let dominates j =
+      (* o_j >= o_k for every k > j, and o_j > o_k handled by order for k < j. *)
+      let conds =
+        List.filter_map
+          (fun k ->
+            if k = j then None
+            else if k > j then
+              Some (Ast.Cmp (Ast.Ge, Ast.Var (Printf.sprintf "o%d" j),
+                             Ast.Var (Printf.sprintf "o%d" k)))
+            else
+              Some (Ast.Cmp (Ast.Gt, Ast.Var (Printf.sprintf "o%d" j),
+                             Ast.Var (Printf.sprintf "o%d" k))))
+          (List.init n_out Fun.id)
+      in
+      match conds with
+      | [] -> Ast.Sym "TRUE"
+      | c :: rest -> List.fold_left (fun acc x -> Ast.And (acc, x)) c rest
+    in
+    let arms =
+      List.init n_out (fun j ->
+          let cond = if j = n_out - 1 then Ast.Sym "TRUE" else dominates j in
+          (cond, Ast.Int j))
+    in
+    ("out", Ast.Case arms)
+  in
+  (* State machine. *)
+  let phases = "s_init" :: List.init n_out phase_of_class in
+  let state_vars =
+    (phase_var, Ast.Enum phases)
+    :: List.map (fun n -> (n, noise_domain)) noise_names
+  in
+  let input_vars =
+    if n_samples > 1 then [ (sample_var, Ast.Range (0, n_samples - 1)) ] else []
+  in
+  let init =
+    (phase_var, Ast.Sym "s_init")
+    :: List.map (fun n -> (n, Ast.Int 0)) noise_names
+  in
+  let noise_choice =
+    Ast.Set
+      (List.init
+         (config.delta_hi - config.delta_lo + 1)
+         (fun i -> Ast.Int (config.delta_lo + i)))
+  in
+  let next =
+    ( phase_var,
+      Ast.Case
+        (List.init n_out (fun j ->
+             let cond =
+               if j = n_out - 1 then Ast.Sym "TRUE"
+               else Ast.Cmp (Ast.Eq, Ast.Var "out", Ast.Int j)
+             in
+             (cond, Ast.Sym (phase_of_class j)))) )
+    :: List.map (fun n -> (n, noise_choice)) noise_names
+  in
+  let invarspecs =
+    match config.samples with
+    | [ (_, label) ] ->
+        [
+          ( "P2_no_misclassification",
+            Ast.Or
+              ( Ast.Cmp (Ast.Eq, Ast.Var phase_var, Ast.Sym "s_init"),
+                Ast.Cmp (Ast.Eq, Ast.Var phase_var, Ast.Sym (phase_of_class label)) ) );
+        ]
+    | _ -> []
+  in
+  {
+    Ast.state_vars;
+    input_vars;
+    defines =
+      input_defines @ pre_defines @ hidden_defines @ output_defines @ [ out_define ];
+    init;
+    next;
+    invarspecs;
+  }

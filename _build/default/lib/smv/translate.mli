@@ -1,0 +1,49 @@
+(** Translation of an integer network to an SMV finite-state model — the
+    paper's "Behavior Extraction" step.
+
+    The produced FSM follows Fig. 3 of the paper: an [Initial] phase, one
+    output phase per class, and one state variable per noise node. Each
+    transition nondeterministically picks a fresh noise vector (and, when
+    several samples are supplied, a sample via an [IVAR]); the successor
+    phase is the class the network computes on the noisy input.
+
+    Arithmetic is kept exact by the x100 scaling of DESIGN.md §2: the
+    defines compute [x_i = X_i*(100 + d_i)] with [X_i] a constant, and
+    every bias is scaled by 100, so the integer model classifies exactly
+    like {!Nn.Qnet.forward} with relative percent noise.
+
+    State-space size without/with noise reproduces the paper's Fig. 3
+    counts: 3 states and 6 transitions for the noise-free multi-sample
+    model, [1 + 2^k] states and [(1 + 2^k) * 2^k] transitions for noise
+    range [0,1]% over [k] noise nodes. *)
+
+type config = {
+  delta_lo : int;     (** lower noise percent bound (e.g. -11, or 0 for the
+                          paper's Fig. 3 range [0,1]%) *)
+  delta_hi : int;     (** upper noise percent bound; requires
+                          [delta_lo <= 0 <= delta_hi] so the noise-free
+                          initial state exists *)
+  bias_noise : bool;  (** add noise node d0 on the bias input (the paper's
+                          sixth input node) *)
+  samples : (int array * int) list;
+      (** (features, true label); several samples become a
+          nondeterministic IVAR choice *)
+}
+
+val symmetric : delta:int -> bias_noise:bool -> samples:(int array * int) list -> config
+(** The paper's main setting: noise in [-delta, +delta]. *)
+
+val network_program : Nn.Qnet.t -> config -> Ast.program
+(** Requires a two-layer ReLU/identity network and at least one sample
+    whose feature count matches the network input; raises
+    [Invalid_argument] otherwise. A single-sample config also emits the
+    paper's P2 property [INVARSPEC phase = s_init | phase = s_<Sx>]. *)
+
+val phase_var : string
+(** Name of the phase state variable ("phase"). *)
+
+val noise_var : int -> string
+(** [noise_var i] is ["d<i>"]; index 0 is the bias noise node. *)
+
+val phase_of_class : int -> string
+(** [phase_of_class c] is ["s_l<c>"]. *)

@@ -1,0 +1,84 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let init = Array.init
+
+let of_array a = Array.copy a
+
+let copy = Array.copy
+
+let length = Array.length
+
+let check_same_length name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": length mismatch")
+
+let map2 f a b =
+  check_same_length "Vec.map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let mul a b = map2 ( *. ) a b
+
+let scale k a = Array.map (fun x -> k *. x) a
+
+let dot a b =
+  check_same_length "Vec.dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let map = Array.map
+
+let add_inplace dst src =
+  check_same_length "Vec.add_inplace" dst src;
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- dst.(i) +. src.(i)
+  done
+
+let axpy a x y =
+  check_same_length "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Vec.argmax: empty vector";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+let max a = a.(argmax a)
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let softmax a =
+  let m = max a in
+  let e = Array.map (fun x -> exp (x -. m)) a in
+  let z = sum e in
+  Array.map (fun x -> x /. z) e
+
+let one_hot n i =
+  if i < 0 || i >= n then invalid_arg "Vec.one_hot: index out of range";
+  Array.init n (fun j -> if j = i then 1. else 0.)
+
+let approx_equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b
+
+let pp fmt a =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_array
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt x -> Format.fprintf fmt "%g" x))
+    a

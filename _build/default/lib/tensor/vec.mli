@@ -1,0 +1,51 @@
+(** Dense float vectors.
+
+    A thin layer over [float array] with the operations the neural-network
+    library needs. All binary operations require equal lengths and raise
+    [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+val of_array : float array -> t
+val copy : t -> t
+val length : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise product. *)
+
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src] accumulates [src] into [dst]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y]. *)
+
+val argmax : t -> int
+(** Index of the largest element (first on ties). Non-empty input. *)
+
+val max : t -> float
+val sum : t -> float
+
+val softmax : t -> t
+(** Numerically stable softmax. *)
+
+val one_hot : int -> int -> t
+(** [one_hot n i] is the length-[n] indicator of position [i]. *)
+
+val approx_equal : ?eps:float -> t -> t -> bool
+(** Component-wise equality within [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

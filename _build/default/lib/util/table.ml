@@ -1,0 +1,31 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: cell count differs from header";
+  t.rows <- row :: t.rows
+
+let add_int_row t label xs = add_row t (label :: List.map string_of_int xs)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let record_widths row =
+    List.iteri
+      (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  List.iter record_widths all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n" (render_row t.header :: sep :: List.map render_row rows)
+
+let print t = print_endline (to_string t)

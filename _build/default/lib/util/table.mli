@@ -1,0 +1,21 @@
+(** Plain-text aligned tables for experiment reports.
+
+    Every benchmark and CLI report prints through this module so that
+    bench_output.txt stays consistent and diffable. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column header. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; it must have as many cells as the header. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label xs] appends [label :: map string_of_int xs]. *)
+
+val to_string : t -> string
+(** Render with column alignment and a separator under the header. *)
+
+val print : t -> unit
+(** [print t] writes [to_string t] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_bitblast.ml: Alcotest Bitblast List Printf QCheck QCheck_alcotest Sat

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Dataset Filename Fun List Printf QCheck QCheck_alcotest Seq String Sys

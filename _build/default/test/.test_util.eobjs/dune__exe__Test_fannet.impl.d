@@ -1,0 +1,1 @@
+test/test_fannet.ml: Alcotest Array Dataset Fannet List Nn Printf QCheck QCheck_alcotest Smtlite String Util

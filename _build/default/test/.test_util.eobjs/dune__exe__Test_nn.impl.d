@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Filename Float Fun Nn Printf QCheck QCheck_alcotest Sys Tensor Util

@@ -1,0 +1,1 @@
+test/test_smtlite.ml: Alcotest List QCheck QCheck_alcotest Smtlite

@@ -1,0 +1,1 @@
+test/test_smv.ml: Alcotest Array Fannet List Nn Printf QCheck QCheck_alcotest Smv String

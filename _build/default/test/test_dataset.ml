@@ -1,0 +1,384 @@
+(* Tests for the dataset library: samples, CSV, synthetic Golub generator,
+   mutual information and mRMR selection. *)
+
+let test_label_roundtrip () =
+  Alcotest.(check int) "L0" 0 (Dataset.Sample.label_to_int L0);
+  Alcotest.(check int) "L1" 1 (Dataset.Sample.label_to_int L1);
+  Alcotest.(check bool) "roundtrip L0" true
+    (Dataset.Sample.label_equal (Dataset.Sample.label_of_int 0) L0);
+  Alcotest.(check bool) "roundtrip L1" true
+    (Dataset.Sample.label_equal (Dataset.Sample.label_of_int 1) L1);
+  Alcotest.check_raises "bad label" (Invalid_argument "Sample.label_of_int: 2")
+    (fun () -> ignore (Dataset.Sample.label_of_int 2))
+
+let test_project () =
+  let s = { Dataset.Sample.features = [| 10; 20; 30; 40 |]; label = L0 } in
+  let p = Dataset.Sample.project s [| 3; 1 |] in
+  Alcotest.(check (array int)) "projected" [| 40; 20 |] p.Dataset.Sample.features;
+  Alcotest.(check bool) "label kept" true (Dataset.Sample.label_equal p.label L0)
+
+let test_class_share () =
+  let mk label = { Dataset.Sample.features = [||]; label } in
+  let samples = [| mk Dataset.Sample.L1; mk L1; mk L1; mk L0 |] in
+  Alcotest.(check (float 1e-9)) "share L1" 0.75 (Dataset.Sample.class_share samples L1);
+  Alcotest.(check int) "count L0" 1 (Dataset.Sample.count_label samples L0)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "fannet" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_csv_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.csv" in
+      let table = [| [| 1; -2; 3 |]; [| 4; 5; 6 |] |] in
+      Dataset.Csv.write_int_table path table;
+      let back = Dataset.Csv.read_int_table path in
+      Alcotest.(check bool) "roundtrip" true (table = back))
+
+let test_csv_rejects_separator () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "bad.csv" in
+      Alcotest.check_raises "comma in cell"
+        (Invalid_argument "Csv.write: cell contains separator: a,b") (fun () ->
+          Dataset.Csv.write path [ [ "a,b" ] ]))
+
+let tiny = Dataset.Golub.tiny_params
+
+let test_golub_shape () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:1 () in
+  Alcotest.(check int) "train size" 20 (Array.length d.train);
+  Alcotest.(check int) "test size" 15 (Array.length d.test);
+  Alcotest.(check int) "genes" 64 d.n_genes;
+  Array.iter
+    (fun (s : Dataset.Sample.t) ->
+      Alcotest.(check int) "feature count" 64 (Array.length s.features))
+    (Array.append d.train d.test)
+
+let test_golub_deterministic () =
+  let d1 = Dataset.Golub.generate ~params:tiny ~seed:5 () in
+  let d2 = Dataset.Golub.generate ~params:tiny ~seed:5 () in
+  Alcotest.(check bool) "same data" true (d1.train = d2.train && d1.test = d2.test)
+
+let test_golub_seed_sensitivity () =
+  let d1 = Dataset.Golub.generate ~params:tiny ~seed:5 () in
+  let d2 = Dataset.Golub.generate ~params:tiny ~seed:6 () in
+  Alcotest.(check bool) "different data" true (d1.train <> d2.train)
+
+let test_golub_class_balance () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:1 () in
+  Alcotest.(check int) "train L0" 6 (Dataset.Sample.count_label d.train L0);
+  Alcotest.(check int) "train L1" 14 (Dataset.Sample.count_label d.train L1);
+  (* The paper's training bias: majority class share ~70 %. *)
+  Alcotest.(check (float 0.01)) "bias" 0.7 (Dataset.Sample.class_share d.train L1)
+
+let test_golub_positive_expressions () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:2 () in
+  Array.iter
+    (fun (s : Dataset.Sample.t) ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "within [1, 50000]" true (v >= 1 && v <= 50000))
+        s.features)
+    (Array.append d.train d.test)
+
+let test_golub_informative_genes_marked () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:3 () in
+  Alcotest.(check int) "count" tiny.n_informative (Array.length d.informative);
+  Array.iter
+    (fun g -> Alcotest.(check bool) "index in range" true (g >= 0 && g < 64))
+    d.informative;
+  let sorted = Array.copy d.informative in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "sorted unique" true
+    (sorted = d.informative
+    && Array.length (Array.of_seq (Seq.map Fun.id (Array.to_seq sorted))) = Array.length sorted)
+
+let test_golub_save_load () =
+  with_temp_dir (fun dir ->
+      let d = Dataset.Golub.generate ~params:tiny ~seed:4 () in
+      Dataset.Golub.save ~dir d;
+      let back = Dataset.Golub.load ~dir ~n_genes:d.n_genes ~informative:d.informative in
+      Alcotest.(check bool) "train roundtrip" true (d.train = back.train);
+      Alcotest.(check bool) "test roundtrip" true (d.test = back.test))
+
+let test_discretize_bins () =
+  let values = Array.init 100 (fun i -> i) in
+  let bins = Dataset.Mutual_info.discretize values ~bins:4 in
+  Array.iter (fun b -> Alcotest.(check bool) "bin range" true (b >= 0 && b < 4)) bins;
+  (* Equal-frequency binning on uniform data: each bin gets ~25. *)
+  let counts = Array.make 4 0 in
+  Array.iter (fun b -> counts.(b) <- counts.(b) + 1) bins;
+  Array.iter (fun c -> Alcotest.(check bool) "balanced" true (c >= 20 && c <= 30)) counts
+
+let test_discretize_monotone () =
+  let values = [| 5; 1; 9; 3; 7 |] in
+  let bins = Dataset.Mutual_info.discretize values ~bins:2 in
+  (* Larger values never land in smaller bins than smaller values. *)
+  Array.iteri
+    (fun i vi ->
+      Array.iteri
+        (fun j vj ->
+          if vi < vj then
+            Alcotest.(check bool) "monotone" true (bins.(i) <= bins.(j)))
+        values)
+    values
+
+let test_mi_identical () =
+  let xs = [| 0; 1; 0; 1; 0; 1; 0; 1 |] in
+  let mi = Dataset.Mutual_info.mutual_information xs xs in
+  let h = Dataset.Mutual_info.entropy xs in
+  Alcotest.(check (float 1e-9)) "MI(X;X) = H(X)" h mi;
+  Alcotest.(check (float 1e-9)) "H of fair bit" (log 2.) h
+
+let test_mi_independent () =
+  (* Independent uniform bits: MI = 0 on the exact joint distribution. *)
+  let xs = [| 0; 0; 1; 1 |] and ys = [| 0; 1; 0; 1 |] in
+  Alcotest.(check (float 1e-9)) "zero" 0. (Dataset.Mutual_info.mutual_information xs ys)
+
+let test_mi_symmetric () =
+  let xs = [| 0; 1; 2; 0; 1; 2; 0; 0 |] and ys = [| 1; 1; 0; 0; 1; 0; 1; 1 |] in
+  Alcotest.(check (float 1e-12)) "symmetric"
+    (Dataset.Mutual_info.mutual_information xs ys)
+    (Dataset.Mutual_info.mutual_information ys xs)
+
+let test_mrmr_finds_informative () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:7 () in
+  let picked = Dataset.Mrmr.select d.train ~k:5 ~bins:3 in
+  Alcotest.(check int) "five genes" 5 (Array.length picked);
+  (* All picks distinct. *)
+  let sorted = Array.copy picked in
+  Array.sort compare sorted;
+  let distinct = Array.length sorted in
+  let dedup = List.sort_uniq compare (Array.to_list sorted) in
+  Alcotest.(check int) "distinct" distinct (List.length dedup);
+  (* Most picks should be genuinely informative genes. *)
+  let informative = Array.to_list d.informative in
+  let hits =
+    Array.fold_left
+      (fun acc g -> if List.mem g informative then acc + 1 else acc)
+      0 picked
+  in
+  Alcotest.(check bool) (Printf.sprintf "at least 3/5 informative (%d)" hits)
+    true (hits >= 3)
+
+let test_mrmr_first_is_max_relevance () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:8 () in
+  let scores = Dataset.Mrmr.select_with_scores d.train ~k:3 ~bins:3 in
+  let ranking = Dataset.Mrmr.relevance_ranking d.train ~bins:3 in
+  let top_gene, top_rel = ranking.(0) in
+  Alcotest.(check int) "first pick = max relevance" top_gene scores.(0).gene;
+  Alcotest.(check (float 1e-9)) "relevance recorded" top_rel scores.(0).relevance;
+  Alcotest.(check (float 1e-9)) "first redundancy zero" 0. scores.(0).redundancy
+
+let test_mrmr_k_bounds () =
+  let d = Dataset.Golub.generate ~params:tiny ~seed:9 () in
+  Alcotest.check_raises "k too large" (Invalid_argument "Mrmr.select: k out of range")
+    (fun () -> ignore (Dataset.Mrmr.select d.train ~k:65 ~bins:3))
+
+(* ---------- real-CSV loader ---------- *)
+
+let sample_csv =
+  String.concat "\n"
+    [
+      "\"ALL\",\"ALL\",\"ALL\",\"AML\",\"AML\"";
+      "12.3,45.6,7.0,-3.2,100.9";
+      "1,2,3,4,5";
+      "0.4,0.6,-0.4,2.5,-2.5";
+    ]
+
+let test_golub_csv_parse () =
+  match Dataset.Golub_csv.parse ~n_train:3 sample_csv with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check int) "genes" 3 d.n_genes;
+      Alcotest.(check int) "train" 3 (Array.length d.train);
+      Alcotest.(check int) "test" 2 (Array.length d.test);
+      (* ALL -> L1, AML -> L0. *)
+      Array.iter
+        (fun (s : Dataset.Sample.t) ->
+          Alcotest.(check bool) "train all ALL" true
+            (Dataset.Sample.label_equal s.label Dataset.Sample.L1))
+        d.train;
+      Array.iter
+        (fun (s : Dataset.Sample.t) ->
+          Alcotest.(check bool) "test all AML" true
+            (Dataset.Sample.label_equal s.label Dataset.Sample.L0))
+        d.test;
+      (* Values rounded: first sample = (12.3, 1, 0.4) -> (12, 1, 0). *)
+      Alcotest.(check (array int)) "first sample" [| 12; 1; 0 |]
+        d.train.(0).Dataset.Sample.features;
+      (* Rounding of halves and negatives. *)
+      Alcotest.(check (array int)) "fourth sample" [| -3; 4; 3 |]
+        d.test.(0).Dataset.Sample.features
+
+let test_golub_csv_bad_header () =
+  match Dataset.Golub_csv.parse "\"x\",\"y\"\n1,2\n" with
+  | Error msg -> Alcotest.(check bool) "labels" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected header error"
+
+let test_golub_csv_ragged_row () =
+  let text = "\"ALL\",\"AML\"\n1,2\n3\n" in
+  match Dataset.Golub_csv.parse ~n_train:1 text with
+  | Error msg -> Alcotest.(check bool) "row size" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected row error"
+
+let test_golub_csv_n_train_bounds () =
+  match Dataset.Golub_csv.parse ~n_train:5 sample_csv with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected n_train error"
+
+(* ---------- multiclass ---------- *)
+
+let small_mc_params =
+  {
+    Dataset.Multiclass.default_params with
+    n_genes = 48;
+    n_informative = 9;
+    train_per_class = [| 8; 6; 4 |];
+    test_per_class = [| 4; 3; 3 |];
+  }
+
+let test_multiclass_shape () =
+  let d = Dataset.Multiclass.generate ~params:small_mc_params ~seed:1 () in
+  Alcotest.(check int) "train" 18 (Array.length d.train);
+  Alcotest.(check int) "test" 10 (Array.length d.test);
+  Alcotest.(check int) "classes" 3 d.n_classes;
+  Array.iter
+    (fun (x, l) ->
+      Alcotest.(check int) "features" 48 (Array.length x);
+      Alcotest.(check bool) "label" true (l >= 0 && l < 3))
+    (Array.append d.train d.test)
+
+let test_multiclass_counts () =
+  let d = Dataset.Multiclass.generate ~params:small_mc_params ~seed:2 () in
+  Alcotest.(check (array int)) "train counts" [| 8; 6; 4 |]
+    (Dataset.Multiclass.class_counts d.train ~n_classes:3);
+  Alcotest.(check (array int)) "test counts" [| 4; 3; 3 |]
+    (Dataset.Multiclass.class_counts d.test ~n_classes:3)
+
+let test_multiclass_deterministic () =
+  let d1 = Dataset.Multiclass.generate ~params:small_mc_params ~seed:3 () in
+  let d2 = Dataset.Multiclass.generate ~params:small_mc_params ~seed:3 () in
+  Alcotest.(check bool) "same" true (d1.train = d2.train && d1.test = d2.test)
+
+let test_multiclass_select_and_project () =
+  let d = Dataset.Multiclass.generate ~params:small_mc_params ~seed:4 () in
+  let genes = Dataset.Multiclass.select_genes d ~k:4 ~bins:3 in
+  Alcotest.(check int) "k genes" 4 (Array.length genes);
+  let distinct = List.sort_uniq compare (Array.to_list genes) in
+  Alcotest.(check int) "distinct" 4 (List.length distinct);
+  (* Most selected genes are informative. *)
+  let informative = Array.to_list d.informative in
+  let hits =
+    Array.fold_left (fun acc g -> if List.mem g informative then acc + 1 else acc) 0 genes
+  in
+  Alcotest.(check bool) (Printf.sprintf "informative hits %d >= 3" hits) true (hits >= 3);
+  let projected = Dataset.Multiclass.project d ~genes in
+  Array.iteri
+    (fun i (x, l) ->
+      Alcotest.(check int) "projected size" 4 (Array.length x);
+      let orig, ol = d.train.(i) in
+      Alcotest.(check int) "label kept" ol l;
+      Array.iteri
+        (fun j g -> Alcotest.(check int) "value" orig.(g) x.(j))
+        genes)
+    projected.train
+
+let test_multiclass_validation () =
+  Alcotest.check_raises "bad counts"
+    (Invalid_argument "Multiclass: per-class counts mismatch") (fun () ->
+      ignore
+        (Dataset.Multiclass.generate
+           ~params:{ small_mc_params with train_per_class = [| 1 |] }
+           ~seed:1 ()))
+
+let prop_mi_nonnegative =
+  QCheck.Test.make ~name:"MI is non-negative" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (array_size (return 16) (int_range 0 3))
+           (array_size (return 16) (int_range 0 2))))
+    (fun (xs, ys) -> Dataset.Mutual_info.mutual_information xs ys >= -1e-12)
+
+let prop_mi_bounded_by_entropy =
+  QCheck.Test.make ~name:"MI <= min entropy" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (array_size (return 16) (int_range 0 3))
+           (array_size (return 16) (int_range 0 3))))
+    (fun (xs, ys) ->
+      let mi = Dataset.Mutual_info.mutual_information xs ys in
+      mi
+      <= min
+           (Dataset.Mutual_info.entropy xs)
+           (Dataset.Mutual_info.entropy ys)
+         +. 1e-9)
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "sample",
+        [
+          Alcotest.test_case "label roundtrip" `Quick test_label_roundtrip;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "class share" `Quick test_class_share;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "rejects separator" `Quick test_csv_rejects_separator;
+        ] );
+      ( "golub",
+        [
+          Alcotest.test_case "shape" `Quick test_golub_shape;
+          Alcotest.test_case "deterministic" `Quick test_golub_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_golub_seed_sensitivity;
+          Alcotest.test_case "class balance" `Quick test_golub_class_balance;
+          Alcotest.test_case "positive expressions" `Quick test_golub_positive_expressions;
+          Alcotest.test_case "informative genes" `Quick test_golub_informative_genes_marked;
+          Alcotest.test_case "save/load" `Quick test_golub_save_load;
+        ] );
+      ( "mutual-info",
+        [
+          Alcotest.test_case "discretize bins" `Quick test_discretize_bins;
+          Alcotest.test_case "discretize monotone" `Quick test_discretize_monotone;
+          Alcotest.test_case "MI(X;X)=H(X)" `Quick test_mi_identical;
+          Alcotest.test_case "independent" `Quick test_mi_independent;
+          Alcotest.test_case "symmetric" `Quick test_mi_symmetric;
+          QCheck_alcotest.to_alcotest prop_mi_nonnegative;
+          QCheck_alcotest.to_alcotest prop_mi_bounded_by_entropy;
+        ] );
+      ( "golub-csv",
+        [
+          Alcotest.test_case "parse" `Quick test_golub_csv_parse;
+          Alcotest.test_case "bad header" `Quick test_golub_csv_bad_header;
+          Alcotest.test_case "ragged row" `Quick test_golub_csv_ragged_row;
+          Alcotest.test_case "n_train bounds" `Quick test_golub_csv_n_train_bounds;
+          Alcotest.test_case "load missing file" `Quick (fun () ->
+              match Dataset.Golub_csv.load "/nonexistent/golub.csv" with
+              | Error _ -> ()
+              | Ok _ -> Alcotest.fail "expected error");
+        ] );
+      ( "multiclass",
+        [
+          Alcotest.test_case "shape" `Quick test_multiclass_shape;
+          Alcotest.test_case "class counts" `Quick test_multiclass_counts;
+          Alcotest.test_case "deterministic" `Quick test_multiclass_deterministic;
+          Alcotest.test_case "select and project" `Quick test_multiclass_select_and_project;
+          Alcotest.test_case "validation" `Quick test_multiclass_validation;
+        ] );
+      ( "mrmr",
+        [
+          Alcotest.test_case "finds informative genes" `Quick test_mrmr_finds_informative;
+          Alcotest.test_case "first pick max relevance" `Quick test_mrmr_first_is_max_relevance;
+          Alcotest.test_case "k bounds" `Quick test_mrmr_k_bounds;
+        ] );
+    ]

@@ -1,0 +1,802 @@
+(* Tests for the fannet core: noise model, symbolic encoding, backend
+   agreement (Bnb vs SMT vs explicit vs interval), tolerance search,
+   extraction, bias/sensitivity/boundary analyses, baseline, pipeline. *)
+
+module N = Fannet.Noise
+module B = Fannet.Backend
+
+(* ---------- fixtures ---------- *)
+
+let tiny_qnet () =
+  Nn.Qnet.create
+    [|
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+    |]
+
+(* Random small network generator for property tests: 2-3 inputs, 2-4
+   hidden relu neurons, 2 identity outputs. *)
+let qnet_gen =
+  let open QCheck.Gen in
+  let* n_in = int_range 2 3 in
+  let* n_hidden = int_range 2 4 in
+  let weight = int_range (-8) 8 in
+  let* w1 = array_size (return n_hidden) (array_size (return n_in) weight) in
+  let* b1 = array_size (return n_hidden) (int_range (-30) 30) in
+  let* w2 = array_size (return 2) (array_size (return n_hidden) weight) in
+  let* b2 = array_size (return 2) (int_range (-10) 10) in
+  let* input = array_size (return n_in) (int_range 1 60) in
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = w1; bias = b1; relu = true };
+        { Nn.Qnet.weights = w2; bias = b2; relu = false };
+      |]
+  in
+  return (net, input)
+
+let arb_qnet =
+  QCheck.make
+    ~print:(fun ((net : Nn.Qnet.t), input) ->
+      Printf.sprintf "net %dx%d input [%s]" (Nn.Qnet.in_dim net)
+        (Nn.Qnet.out_dim net)
+        (String.concat ";" (Array.to_list (Array.map string_of_int input))))
+    qnet_gen
+
+(* ---------- noise model ---------- *)
+
+let test_spec_symmetric () =
+  let spec = N.symmetric ~delta:5 ~bias_noise:true in
+  Alcotest.(check int) "lo" (-5) spec.N.delta_lo;
+  Alcotest.(check int) "hi" 5 spec.N.delta_hi;
+  Alcotest.check_raises "negative" (Invalid_argument "Noise.symmetric: negative delta")
+    (fun () -> ignore (N.symmetric ~delta:(-1) ~bias_noise:false))
+
+let test_spec_size () =
+  let spec = N.symmetric ~delta:1 ~bias_noise:false in
+  Alcotest.(check int) "3^2" 9 (N.spec_size spec ~n_inputs:2);
+  let spec_b = N.symmetric ~delta:1 ~bias_noise:true in
+  Alcotest.(check int) "3^3" 27 (N.spec_size spec_b ~n_inputs:2);
+  let big = N.symmetric ~delta:50 ~bias_noise:true in
+  Alcotest.(check bool) "saturates" true (N.spec_size big ~n_inputs:20 = max_int)
+
+let test_in_range () =
+  let spec = N.symmetric ~delta:2 ~bias_noise:false in
+  Alcotest.(check bool) "ok" true (N.in_range spec { N.bias = 0; inputs = [| 1; -2 |] });
+  Alcotest.(check bool) "input too big" false
+    (N.in_range spec { N.bias = 0; inputs = [| 3; 0 |] });
+  Alcotest.(check bool) "bias must be 0 when disabled" false
+    (N.in_range spec { N.bias = 1; inputs = [| 0; 0 |] })
+
+let test_apply_zero_noise_scales () =
+  (* apply with the zero vector = 100 * plain forward. *)
+  let net = tiny_qnet () in
+  let input = [| 7; 11 |] in
+  let plain = Nn.Qnet.forward net input in
+  let spec = N.symmetric ~delta:5 ~bias_noise:false in
+  let noisy = N.apply net spec ~input (N.zero ~n_inputs:2) in
+  Alcotest.(check (array int)) "x100" (Array.map (fun v -> v * 100) plain) noisy;
+  Alcotest.(check int) "same prediction" (Nn.Qnet.predict net input)
+    (N.predict net spec ~input (N.zero ~n_inputs:2));
+  (* Absolute noise at the zero vector = plain forward at scale 1. *)
+  let abs_spec = N.absolute ~delta:5 ~bias_noise:false in
+  Alcotest.(check (array int)) "absolute x1" plain
+    (N.apply net abs_spec ~input (N.zero ~n_inputs:2))
+
+let test_apply_hand_computed () =
+  (* One-input one-hidden identity check of the exact formula. *)
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 2 |] |]; bias = [| 3 |]; relu = true };
+        { Nn.Qnet.weights = [| [| 1 |]; [| -1 |] |]; bias = [| 0; 0 |]; relu = false };
+      |]
+  in
+  (* x = 10, noise +7% on the input, +0 bias:
+     pre = 3*100 + 2*10*(100+7) = 300 + 2140 = 2440; o = (2440, -2440). *)
+  let spec = N.symmetric ~delta:50 ~bias_noise:true in
+  let v = { N.bias = 0; inputs = [| 7 |] } in
+  Alcotest.(check (array int)) "outputs" [| 2440; -2440 |]
+    (N.apply net spec ~input:[| 10 |] v);
+  (* Bias noise -50%: pre = 3*50 + 2140 = 2290. *)
+  let vb = { N.bias = -50; inputs = [| 7 |] } in
+  Alcotest.(check (array int)) "bias noise" [| 2290; -2290 |]
+    (N.apply net spec ~input:[| 10 |] vb);
+  (* Absolute noise +7 units: pre = 3 + 2*(10+7) = 37; o = (37, -37). *)
+  let abs_spec = N.absolute ~delta:50 ~bias_noise:true in
+  Alcotest.(check (array int)) "absolute" [| 37; -37 |]
+    (N.apply net abs_spec ~input:[| 10 |] v)
+
+let test_iter_vectors_complete () =
+  let spec = N.symmetric ~delta:1 ~bias_noise:true in
+  let seen = ref [] in
+  N.iter_vectors spec ~n_inputs:2 (fun v -> seen := v :: !seen);
+  Alcotest.(check int) "27 vectors" 27 (List.length !seen);
+  let distinct = List.sort_uniq N.compare !seen in
+  Alcotest.(check int) "all distinct" 27 (List.length distinct);
+  Alcotest.(check bool) "all in range" true (List.for_all (N.in_range spec) !seen)
+
+(* ---------- symbolic encoding vs concrete semantics ---------- *)
+
+let assignment_of_vector (enc : Fannet.Encode.t) (v : N.vector) =
+  (match enc.Fannet.Encode.bias_var with
+  | Some d0 -> [ (d0, v.N.bias) ]
+  | None -> [])
+  @ Array.to_list
+      (Array.mapi (fun i var -> (var, v.N.inputs.(i))) enc.Fannet.Encode.input_vars)
+
+let prop_encode_matches_concrete =
+  QCheck.Test.make ~name:"encoded outputs equal concrete noisy forward" ~count:200
+    (QCheck.pair arb_qnet (QCheck.make QCheck.Gen.(pair (int_range (-9) 9) bool)))
+    (fun (((net : Nn.Qnet.t), input), (seedish, bias_noise)) ->
+      let spec = N.symmetric ~delta:9 ~bias_noise in
+      let enc = Fannet.Encode.encode net ~input spec in
+      (* Derive a deterministic noise vector from seedish. *)
+      let rng = Util.Rng.create (seedish + 100) in
+      let v =
+        {
+          N.bias = (if bias_noise then Util.Rng.int_in rng (-9) 9 else 0);
+          inputs = Array.init (Array.length input) (fun _ -> Util.Rng.int_in rng (-9) 9);
+        }
+      in
+      let asg = assignment_of_vector enc v in
+      let symbolic =
+        Array.map (Smtlite.Term.eval_term asg) enc.Fannet.Encode.outputs
+      in
+      symbolic = N.apply net spec ~input v)
+
+let prop_misclassified_formula_semantics =
+  QCheck.Test.make ~name:"misclassified formula = (predict <> label)" ~count:200
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let spec = N.symmetric ~delta:5 ~bias_noise:false in
+      let enc = Fannet.Encode.encode net ~input spec in
+      let rng = Util.Rng.create 7 in
+      let ok = ref true in
+      for label = 0 to 1 do
+        for _trial = 1 to 10 do
+          let v =
+            { N.bias = 0;
+              inputs = Array.init (Array.length input) (fun _ -> Util.Rng.int_in rng (-5) 5) }
+          in
+          let asg = assignment_of_vector enc v in
+          let formula = Fannet.Encode.misclassified enc ~true_label:label in
+          let symbolic = Smtlite.Term.eval_formula asg formula in
+          let concrete = N.predict net spec ~input v <> label in
+          if symbolic <> concrete then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- backend agreement ---------- *)
+
+let verdict_flips = function
+  | B.Flip _ -> true
+  | B.Robust -> false
+  | B.Unknown -> Alcotest.fail "unexpected unknown from complete backend"
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"bnb = explicit = smt on small ranges" ~count:60 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun (delta, bias_noise) ->
+          let spec = N.symmetric ~delta ~bias_noise in
+          let explicit =
+            verdict_flips
+              (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec ~input ~label)
+          in
+          let bnb = verdict_flips (B.exists_flip B.Bnb net spec ~input ~label) in
+          let smt = verdict_flips (B.exists_flip B.Smt net spec ~input ~label) in
+          explicit = bnb && explicit = smt)
+        [ (1, false); (2, false); (2, true) ])
+
+let prop_interval_sound_wrt_explicit =
+  QCheck.Test.make ~name:"interval Robust implies explicit Robust" ~count:100
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun delta ->
+          let spec = N.symmetric ~delta ~bias_noise:false in
+          match B.exists_flip B.Interval net spec ~input ~label with
+          | B.Robust ->
+              not
+                (verdict_flips
+                   (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec
+                      ~input ~label))
+          | B.Unknown -> true
+          | B.Flip _ -> false (* interval backend never produces witnesses *))
+        [ 1; 3 ])
+
+let prop_bnb_enumerate_equals_explicit =
+  QCheck.Test.make ~name:"bnb enumeration = brute-force flip set" ~count:60 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let bnb, status = Fannet.Bnb.enumerate_flips ~limit:100_000 net spec ~input ~label in
+      let explicit =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+        |> List.map (fun (c : Fannet.Extract.counterexample) -> c.vector)
+      in
+      status = `Complete
+      && List.sort N.compare bnb = List.sort N.compare explicit)
+
+let prop_bnb_count_equals_enumeration =
+  QCheck.Test.make ~name:"count_flips = |enumerate_flips|" ~count:60 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:true in
+      let vectors, st1 = Fannet.Bnb.enumerate_flips ~limit:1_000_000 net spec ~input ~label in
+      let count, st2 = Fannet.Bnb.count_flips ~limit:1_000_000 net spec ~input ~label in
+      st1 = `Complete && st2 = `Complete && count = List.length vectors)
+
+let prop_smt_extract_equals_explicit =
+  QCheck.Test.make ~name:"smt P3 loop = brute-force flip set" ~count:25 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:1 ~bias_noise:false in
+      let smt, status =
+        Fannet.Extract.smt_for_input ~limit:100_000 net spec ~input ~label ~input_index:0
+      in
+      let explicit =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+      in
+      let vectors l = List.sort N.compare (List.map (fun (c : Fannet.Extract.counterexample) -> c.vector) l) in
+      status = Fannet.Extract.Complete && vectors smt = vectors explicit)
+
+let prop_bnb_box_restriction =
+  QCheck.Test.make ~name:"box-restricted query = filtered brute force" ~count:60
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let n = Array.length input in
+      (* Restrict node 1 (dim 0) to positive noise only. *)
+      let box = Array.init n (fun d -> if d = 0 then (1, 2) else (-2, 2)) in
+      let expected =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+        |> List.exists (fun (c : Fannet.Extract.counterexample) ->
+               c.vector.N.inputs.(0) >= 1)
+      in
+      let got =
+        match Fannet.Bnb.exists_flip ~box net spec ~input ~label with
+        | Fannet.Bnb.Flip v -> v.N.inputs.(0) >= 1
+        | Fannet.Bnb.Robust -> false
+      in
+      got = expected)
+
+(* Random 3-class network generator. *)
+let qnet3_gen =
+  let open QCheck.Gen in
+  let* n_in = int_range 2 3 in
+  let* n_hidden = int_range 2 4 in
+  let weight = int_range (-8) 8 in
+  let* w1 = array_size (return n_hidden) (array_size (return n_in) weight) in
+  let* b1 = array_size (return n_hidden) (int_range (-30) 30) in
+  let* w2 = array_size (return 3) (array_size (return n_hidden) weight) in
+  let* b2 = array_size (return 3) (int_range (-10) 10) in
+  let* input = array_size (return n_in) (int_range 1 60) in
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = w1; bias = b1; relu = true };
+        { Nn.Qnet.weights = w2; bias = b2; relu = false };
+      |]
+  in
+  return (net, input)
+
+let arb_qnet3 =
+  QCheck.make
+    ~print:(fun ((net : Nn.Qnet.t), input) ->
+      Printf.sprintf "net %dx%d input [%s]" (Nn.Qnet.in_dim net)
+        (Nn.Qnet.out_dim net)
+        (String.concat ";" (Array.to_list (Array.map string_of_int input))))
+    qnet3_gen
+
+let prop_multiclass_bnb_agrees_with_explicit =
+  QCheck.Test.make ~name:"3-class bnb = explicit" ~count:60 arb_qnet3
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun (delta, bias_noise) ->
+          let spec = N.symmetric ~delta ~bias_noise in
+          let explicit =
+            verdict_flips
+              (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec ~input ~label)
+          in
+          let bnb = verdict_flips (B.exists_flip B.Bnb net spec ~input ~label) in
+          explicit = bnb)
+        [ (1, false); (2, false); (3, true) ])
+
+let prop_multiclass_enumeration_agrees =
+  QCheck.Test.make ~name:"3-class bnb enumeration = brute force" ~count:40
+    arb_qnet3 (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let bnb, st = Fannet.Bnb.enumerate_flips ~limit:1_000_000 net spec ~input ~label in
+      let explicit =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+        |> List.map (fun (c : Fannet.Extract.counterexample) -> c.vector)
+      in
+      st = `Complete && List.sort N.compare bnb = List.sort N.compare explicit)
+
+let prop_absolute_noise_backends_agree =
+  QCheck.Test.make ~name:"absolute-noise bnb = explicit = smt" ~count:50 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun (delta, bias_noise) ->
+          let spec = N.absolute ~delta ~bias_noise in
+          let explicit =
+            verdict_flips
+              (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec ~input ~label)
+          in
+          let bnb = verdict_flips (B.exists_flip B.Bnb net spec ~input ~label) in
+          let smt = verdict_flips (B.exists_flip B.Smt net spec ~input ~label) in
+          explicit = bnb && explicit = smt)
+        [ (2, false); (3, true) ])
+
+let prop_absolute_encode_matches_concrete =
+  QCheck.Test.make ~name:"absolute-noise encoding equals concrete forward"
+    ~count:100 arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let spec = N.absolute ~delta:9 ~bias_noise:true in
+      let enc = Fannet.Encode.encode net ~input spec in
+      let rng = Util.Rng.create 31 in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let v =
+          {
+            N.bias = Util.Rng.int_in rng (-9) 9;
+            inputs = Array.init (Array.length input) (fun _ -> Util.Rng.int_in rng (-9) 9);
+          }
+        in
+        let asg = assignment_of_vector enc v in
+        let symbolic = Array.map (Smtlite.Term.eval_term asg) enc.Fannet.Encode.outputs in
+        if symbolic <> N.apply net spec ~input v then ok := false
+      done;
+      !ok)
+
+let prop_min_l1_flip_optimal =
+  QCheck.Test.make ~name:"min_l1_flip finds the cheapest adversarial vector"
+    ~count:40 arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let all_flips =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+      in
+      let l1 (v : N.vector) =
+        abs v.N.bias + Array.fold_left (fun a d -> a + abs d) 0 v.N.inputs
+      in
+      match Fannet.Bnb.min_l1_flip net spec ~input ~label with
+      | None -> all_flips = []
+      | Some (v, norm) ->
+          norm = l1 v
+          && N.predict net spec ~input v <> label
+          && all_flips <> []
+          && List.for_all
+               (fun (c : Fannet.Extract.counterexample) -> l1 c.vector >= norm)
+               all_flips)
+
+let test_mc_pipeline_runs () =
+  let m = Fannet.Mc_pipeline.run () in
+  Alcotest.(check int) "3 outputs" 3 (Nn.Qnet.out_dim m.qnet);
+  Alcotest.(check int) "6 inputs" 6 (Nn.Qnet.in_dim m.qnet);
+  Alcotest.(check bool) "trains" true (m.train_accuracy >= 0.9);
+  Alcotest.(check int) "analysis = p1 correct"
+    m.p1.Fannet.Validate.n_correct
+    (Array.length (Fannet.Mc_pipeline.analysis_inputs m));
+  (* Labels of the training set span the three classes. *)
+  let labels = Fannet.Mc_pipeline.training_labels m in
+  let distinct = List.sort_uniq compare (Array.to_list labels) in
+  Alcotest.(check (list int)) "three classes" [ 0; 1; 2 ] distinct
+
+(* ---------- tolerance / boundary ---------- *)
+
+let prop_min_flip_delta_is_threshold =
+  QCheck.Test.make ~name:"min flip delta is the exact flip threshold" ~count:40
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let max_delta = 6 in
+      let explicit_flips delta =
+        verdict_flips
+          (B.exists_flip (B.Explicit { limit = 10_000_000 }) net
+             (N.symmetric ~delta ~bias_noise:false) ~input ~label)
+      in
+      match
+        Fannet.Tolerance.input_min_flip_delta B.Bnb net ~bias_noise:false
+          ~max_delta ~input ~label
+      with
+      | None -> not (explicit_flips max_delta)
+      | Some d -> explicit_flips d && (d = 0 || not (explicit_flips (d - 1))))
+
+let test_network_tolerance_tiny () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 5; 9 |]; [| 50; 3 |]; [| 10; 12 |] |]
+  in
+  let tol = Fannet.Tolerance.network_tolerance B.Bnb net ~bias_noise:false ~max_delta:30 ~inputs in
+  (* Consistency: no input flips at the tolerance, some flips at tol+1
+     (unless everything is robust up to the probe). *)
+  Alcotest.(check bool) "tolerance in range" true (tol >= 0 && tol <= 30);
+  Array.iter
+    (fun (input, label) ->
+      if tol < 30 then begin
+        let spec = N.symmetric ~delta:tol ~bias_noise:false in
+        match B.exists_flip B.Bnb net spec ~input ~label with
+        | B.Robust -> ()
+        | B.Flip _ | B.Unknown -> Alcotest.fail "flip at or below tolerance"
+      end)
+    inputs;
+  if tol < 30 then begin
+    let spec = N.symmetric ~delta:(tol + 1) ~bias_noise:false in
+    let any_flip =
+      Array.exists
+        (fun (input, label) ->
+          match B.exists_flip B.Bnb net spec ~input ~label with
+          | B.Flip _ -> true
+          | B.Robust -> false
+          | B.Unknown -> false)
+        inputs
+    in
+    Alcotest.(check bool) "some flip just above tolerance" true any_flip
+  end
+
+let prop_paper_iterative_equals_binary =
+  QCheck.Test.make ~name:"paper-iterative tolerance = binary-search tolerance"
+    ~count:30 arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let inputs = [| (input, label) |] in
+      let t1 =
+        Fannet.Tolerance.network_tolerance B.Bnb net ~bias_noise:false
+          ~max_delta:8 ~inputs
+      in
+      let t2 =
+        Fannet.Tolerance.paper_iterative_tolerance B.Bnb net ~bias_noise:false
+          ~max_delta:8 ~inputs
+      in
+      t1 = t2)
+
+let test_single_node_tolerance () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 10; 12 |]; [| 5; 9 |] |]
+  in
+  let spec = N.symmetric ~delta:40 ~bias_noise:false in
+  for node = 1 to 2 do
+    match Fannet.Sensitivity.single_node_tolerance net spec ~inputs ~node with
+    | None ->
+        (* Even full one-sided range is safe: verify with a box query. *)
+        let box d = Array.init 2 (fun k -> if k = node - 1 then (-d, d) else (0, 0)) in
+        Array.iter
+          (fun (input, label) ->
+            match Fannet.Bnb.exists_flip ~box:(box 40) net spec ~input ~label with
+            | Fannet.Bnb.Robust -> ()
+            | Fannet.Bnb.Flip _ -> Alcotest.fail "None but a flip exists")
+          inputs
+    | Some d ->
+        Alcotest.(check bool) "within range" true (d >= 0 && d < 40);
+        (* No flip when only this node is perturbed up to d... *)
+        let box dd = Array.init 2 (fun k -> if k = node - 1 then (-dd, dd) else (0, 0)) in
+        Array.iter
+          (fun (input, label) ->
+            match Fannet.Bnb.exists_flip ~box:(box d) net spec ~input ~label with
+            | Fannet.Bnb.Robust -> ()
+            | Fannet.Bnb.Flip _ -> Alcotest.fail "flip at claimed-safe range")
+          inputs;
+        (* ... and some flip at d+1. *)
+        let flips =
+          Array.exists
+            (fun (input, label) ->
+              match Fannet.Bnb.exists_flip ~box:(box (d + 1)) net spec ~input ~label with
+              | Fannet.Bnb.Flip _ -> true
+              | Fannet.Bnb.Robust -> false)
+            inputs
+        in
+        Alcotest.(check bool) "flip just above" true flips
+  done
+
+let test_certified_accuracy () =
+  let net = tiny_qnet () in
+  (* Mix of a correct robust input, a correct fragile one and a planted
+     wrong label. *)
+  let x1 = [| 50; 3 |] and x2 = [| 10; 12 |] in
+  let inputs =
+    [|
+      (x1, Nn.Qnet.predict net x1);
+      (x2, Nn.Qnet.predict net x2);
+      (x1, 1 - Nn.Qnet.predict net x1);
+    |]
+  in
+  (* At delta 0 only correctness matters: 2/3. *)
+  Alcotest.(check (float 1e-9)) "delta 0" (2. /. 3.)
+    (Fannet.Tolerance.certified_accuracy B.Bnb net ~bias_noise:false ~delta:0 ~inputs);
+  (* Certified accuracy is non-increasing in delta and bounded by plain
+     accuracy. *)
+  let prev = ref 1.1 in
+  List.iter
+    (fun delta ->
+      let c =
+        Fannet.Tolerance.certified_accuracy B.Bnb net ~bias_noise:false ~delta ~inputs
+      in
+      Alcotest.(check bool) "non-increasing" true (c <= !prev +. 1e-9);
+      prev := c)
+    [ 0; 5; 10; 20; 40 ]
+
+let test_sweep_monotone () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 5; 9 |]; [| 50; 3 |]; [| 10; 12 |]; [| 3; 4 |] |]
+  in
+  let sweep =
+    Fannet.Tolerance.sweep B.Bnb net ~bias_noise:false ~deltas:[ 2; 5; 10; 20; 30 ] ~inputs
+  in
+  let counts = List.map (fun (p : Fannet.Tolerance.sweep_point) -> p.n_misclassified) sweep in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "counts non-decreasing" true (monotone counts)
+
+let test_boundary_analysis () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 5; 9 |]; [| 50; 3 |]; [| 10; 12 |] |]
+  in
+  let points = Fannet.Boundary.analyze B.Bnb net ~bias_noise:false ~max_delta:20 ~inputs in
+  Alcotest.(check int) "one point per input" 3 (Array.length points);
+  let near = Fannet.Boundary.near_boundary points ~threshold:20 in
+  let robust = Fannet.Boundary.robust_at_probe points in
+  Alcotest.(check int) "partition" 3 (Array.length near + Array.length robust);
+  Array.iter
+    (fun (p : Fannet.Boundary.point) ->
+      Alcotest.(check bool) "margin non-negative for correct inputs" true (p.margin >= 0))
+    points
+
+(* ---------- bias & sensitivity ---------- *)
+
+let mk_cex input_index true_label predicted vector =
+  { Fannet.Extract.input_index; true_label; predicted; vector }
+
+let test_bias_analyze () =
+  let v = { N.bias = 0; inputs = [| 1; 0 |] } in
+  let cexs =
+    [ mk_cex 0 0 1 v; mk_cex 0 0 1 v; mk_cex 1 0 1 v; mk_cex 2 1 0 v ]
+  in
+  let r =
+    Fannet.Bias.analyze ~n_classes:2
+      ~training_labels:[| 1; 1; 1; 1; 1; 1; 1; 0; 0; 0 |]
+      ~analysed_labels:[| 0; 0; 1; 1; 1; 1 |]
+      cexs
+  in
+  Alcotest.(check int) "majority class" 1 r.majority_class;
+  Alcotest.(check (float 1e-9)) "training share" 0.7 r.training_share.(1);
+  Alcotest.(check int) "flips from L0" 3 r.flips_from.(0);
+  Alcotest.(check int) "flips from L1" 1 r.flips_from.(1);
+  Alcotest.(check int) "distinct L0 inputs" 2 r.inputs_flipped_from.(0);
+  Alcotest.(check (float 1e-9)) "rate L0" 1.0 r.flip_rate.(0);
+  Alcotest.(check (float 1e-9)) "rate L1" 0.25 r.flip_rate.(1);
+  Alcotest.(check bool) "consistent" true r.consistent_with_bias;
+  match r.directions with
+  | { from_label = 0; to_label = 1; count = 3 } :: _ -> ()
+  | _ -> Alcotest.fail "dominant direction"
+
+let test_bias_inconsistent () =
+  let v = { N.bias = 0; inputs = [| 1 |] } in
+  let r =
+    Fannet.Bias.analyze ~n_classes:2 ~training_labels:[| 1; 1; 1; 0 |]
+      ~analysed_labels:[| 0; 1 |]
+      [ mk_cex 0 1 0 v ]
+  in
+  Alcotest.(check bool) "not consistent" false r.consistent_with_bias
+
+let test_sensitivity_per_node () =
+  let spec = N.symmetric ~delta:10 ~bias_noise:true in
+  let cexs =
+    [
+      mk_cex 0 0 1 { N.bias = 2; inputs = [| -3; 0 |] };
+      mk_cex 0 0 1 { N.bias = 5; inputs = [| -1; 0 |] };
+      mk_cex 1 0 1 { N.bias = 1; inputs = [| -2; 0 |] };
+    ]
+  in
+  let stats = Fannet.Sensitivity.per_node spec ~n_inputs:2 cexs in
+  Alcotest.(check int) "3 nodes (bias + 2)" 3 (Array.length stats);
+  let bias_stats = stats.(0) and n1 = stats.(1) and n2 = stats.(2) in
+  Alcotest.(check bool) "bias never negative" true
+    (Fannet.Sensitivity.sidedness bias_stats = Fannet.Sensitivity.Never_negative);
+  Alcotest.(check bool) "n1 never positive" true
+    (Fannet.Sensitivity.sidedness n1 = Fannet.Sensitivity.Never_positive);
+  Alcotest.(check bool) "n2 no data" true
+    (Fannet.Sensitivity.sidedness n2 = Fannet.Sensitivity.No_data);
+  Alcotest.(check int) "most sensitive" 0 (Fannet.Sensitivity.most_sensitive stats);
+  Alcotest.(check (float 1e-9)) "mean of n1" (-2.) n1.mean_noise
+
+let prop_formal_sidedness_matches_explicit =
+  QCheck.Test.make ~name:"formal sidedness = sidedness of full flip set" ~count:40
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let inputs = [| (input, label) |] in
+      let sides = Fannet.Sensitivity.formal_sidedness net spec ~inputs in
+      let all_flips =
+        Fannet.Extract.explicit_for_input net spec ~input ~label ~input_index:0
+          ~limit:1_000_000
+      in
+      Array.for_all
+        (fun (f : Fannet.Sensitivity.formal_side) ->
+          let values =
+            List.map
+              (fun (c : Fannet.Extract.counterexample) ->
+                c.vector.N.inputs.(f.fs_node - 1))
+              all_flips
+          in
+          f.positive_flip = List.exists (fun v -> v > 0) values
+          && f.negative_flip = List.exists (fun v -> v < 0) values)
+        sides)
+
+(* ---------- extraction / baseline ---------- *)
+
+let test_extract_for_inputs_aggregates () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 5; 9 |]; [| 3; 4 |] |]
+  in
+  let spec = N.symmetric ~delta:10 ~bias_noise:false in
+  let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:50 net spec ~inputs in
+  List.iter
+    (fun (c : Fannet.Extract.counterexample) ->
+      Alcotest.(check bool) "valid index" true (c.input_index = 0 || c.input_index = 1);
+      let input = fst inputs.(c.input_index) in
+      Alcotest.(check int) "recorded prediction is the noisy one" c.predicted
+        (N.predict net spec ~input c.vector);
+      Alcotest.(check bool) "actually flips" true (c.predicted <> c.true_label))
+    cexs
+
+let test_baseline_budget_and_validity () =
+  let net = tiny_qnet () in
+  let input = [| 5; 9 |] in
+  let label = Nn.Qnet.predict net input in
+  let spec = N.symmetric ~delta:40 ~bias_noise:false in
+  let rng = Util.Rng.create 9 in
+  let r = Fannet.Baseline.random_search ~rng net spec ~input ~label ~budget:500 in
+  Alcotest.(check int) "budget recorded" 500 r.budget;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (N.in_range spec v);
+      Alcotest.(check bool) "flips" true (N.predict net spec ~input v <> label))
+    r.found;
+  (match r.first_found_at with
+  | Some k -> Alcotest.(check bool) "first within budget" true (k >= 1 && k <= 500)
+  | None -> Alcotest.(check int) "none found -> empty" 0 (List.length r.found));
+  Alcotest.(check bool) "success rate sane" true
+    (Fannet.Baseline.success_rate r >= 0. && Fannet.Baseline.success_rate r <= 1.)
+
+let test_baseline_agrees_with_formal_absence () =
+  (* Where Bnb proves robustness, random search must find nothing. *)
+  let net = tiny_qnet () in
+  let input = [| 50; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  let spec = N.symmetric ~delta:3 ~bias_noise:false in
+  (match B.exists_flip B.Bnb net spec ~input ~label with
+  | B.Robust ->
+      let rng = Util.Rng.create 11 in
+      let r = Fannet.Baseline.random_search ~rng net spec ~input ~label ~budget:2000 in
+      Alcotest.(check int) "no flips found" 0 (List.length r.found)
+  | B.Flip _ | B.Unknown -> ())
+  [@warning "-4"]
+
+(* ---------- validate / pipeline ---------- *)
+
+let test_validate_p1 () =
+  let net = tiny_qnet () in
+  let inputs =
+    [|
+      ([| 5; 9 |], Nn.Qnet.predict net [| 5; 9 |]);
+      ([| 50; 3 |], 1 - Nn.Qnet.predict net [| 50; 3 |]);  (* planted error *)
+    |]
+  in
+  let r = Fannet.Validate.p1 net ~inputs in
+  Alcotest.(check int) "total" 2 r.n_total;
+  Alcotest.(check int) "correct" 1 r.n_correct;
+  Alcotest.(check (float 1e-9)) "accuracy" 0.5 r.accuracy;
+  (match r.mismatches with
+  | [ (1, _) ] -> ()
+  | _ -> Alcotest.fail "mismatch index");
+  Alcotest.(check int) "correct subset size" 1 (Array.length r.correct)
+
+let test_validate_of_samples () =
+  let samples =
+    [|
+      { Dataset.Sample.features = [| 10; 20; 30 |]; label = Dataset.Sample.L1 };
+      { Dataset.Sample.features = [| 1; 2; 3 |]; label = Dataset.Sample.L0 };
+    |]
+  in
+  let labelled = Fannet.Validate.of_samples samples ~genes:[| 2; 0 |] in
+  Alcotest.(check (array int)) "projection" [| 30; 10 |] (fst labelled.(0));
+  Alcotest.(check int) "label int" 1 (snd labelled.(0));
+  Alcotest.(check int) "label int 2" 0 (snd labelled.(1))
+
+let test_pipeline_fast_config () =
+  let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
+  Alcotest.(check int) "selected 5 genes" 5 (Array.length p.selected_genes);
+  Alcotest.(check int) "qnet inputs" 5 (Nn.Qnet.in_dim p.qnet);
+  Alcotest.(check int) "qnet outputs" 2 (Nn.Qnet.out_dim p.qnet);
+  Alcotest.(check bool) "training accuracy high" true (p.train_accuracy >= 0.9);
+  Alcotest.(check int) "p1 totals" (Array.length p.test_inputs) p.p1.n_total;
+  Alcotest.(check int) "analysis = correct inputs"
+    p.p1.n_correct
+    (Array.length (Fannet.Pipeline.analysis_inputs p));
+  Alcotest.(check int) "training labels count" (Array.length p.train_inputs)
+    (Array.length (Fannet.Pipeline.training_labels p))
+
+let test_pipeline_deterministic () =
+  let p1 = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
+  let p2 = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
+  Alcotest.(check bool) "same selected genes" true (p1.selected_genes = p2.selected_genes);
+  Alcotest.(check bool) "same quantized network" true (Nn.Qnet.equal p1.qnet p2.qnet)
+
+let () =
+  Alcotest.run "fannet"
+    [
+      ( "noise",
+        [
+          Alcotest.test_case "symmetric spec" `Quick test_spec_symmetric;
+          Alcotest.test_case "spec size" `Quick test_spec_size;
+          Alcotest.test_case "in_range" `Quick test_in_range;
+          Alcotest.test_case "zero noise scales" `Quick test_apply_zero_noise_scales;
+          Alcotest.test_case "hand computed" `Quick test_apply_hand_computed;
+          Alcotest.test_case "iter_vectors complete" `Quick test_iter_vectors_complete;
+        ] );
+      ( "encode",
+        [
+          QCheck_alcotest.to_alcotest prop_encode_matches_concrete;
+          QCheck_alcotest.to_alcotest prop_misclassified_formula_semantics;
+        ] );
+      ( "backends",
+        [
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+          QCheck_alcotest.to_alcotest prop_interval_sound_wrt_explicit;
+          QCheck_alcotest.to_alcotest prop_bnb_enumerate_equals_explicit;
+          QCheck_alcotest.to_alcotest prop_bnb_count_equals_enumeration;
+          QCheck_alcotest.to_alcotest prop_smt_extract_equals_explicit;
+          QCheck_alcotest.to_alcotest prop_bnb_box_restriction;
+          QCheck_alcotest.to_alcotest prop_multiclass_bnb_agrees_with_explicit;
+          QCheck_alcotest.to_alcotest prop_multiclass_enumeration_agrees;
+          QCheck_alcotest.to_alcotest prop_absolute_noise_backends_agree;
+          QCheck_alcotest.to_alcotest prop_absolute_encode_matches_concrete;
+          QCheck_alcotest.to_alcotest prop_min_l1_flip_optimal;
+        ] );
+      ( "tolerance",
+        [
+          QCheck_alcotest.to_alcotest prop_min_flip_delta_is_threshold;
+          QCheck_alcotest.to_alcotest prop_paper_iterative_equals_binary;
+          Alcotest.test_case "network tolerance" `Quick test_network_tolerance_tiny;
+          Alcotest.test_case "single-node tolerance" `Quick test_single_node_tolerance;
+          Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone;
+          Alcotest.test_case "certified accuracy" `Quick test_certified_accuracy;
+          Alcotest.test_case "boundary analysis" `Quick test_boundary_analysis;
+        ] );
+      ( "bias-sensitivity",
+        [
+          Alcotest.test_case "bias analyze" `Quick test_bias_analyze;
+          Alcotest.test_case "bias inconsistent" `Quick test_bias_inconsistent;
+          Alcotest.test_case "sensitivity per node" `Quick test_sensitivity_per_node;
+          QCheck_alcotest.to_alcotest prop_formal_sidedness_matches_explicit;
+        ] );
+      ( "extract-baseline",
+        [
+          Alcotest.test_case "for_inputs aggregates" `Quick test_extract_for_inputs_aggregates;
+          Alcotest.test_case "baseline budget/validity" `Quick test_baseline_budget_and_validity;
+          Alcotest.test_case "baseline vs formal absence" `Quick test_baseline_agrees_with_formal_absence;
+        ] );
+      ( "validate-pipeline",
+        [
+          Alcotest.test_case "p1" `Quick test_validate_p1;
+          Alcotest.test_case "of_samples" `Quick test_validate_of_samples;
+          Alcotest.test_case "pipeline fast config" `Quick test_pipeline_fast_config;
+          Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
+          Alcotest.test_case "multiclass pipeline" `Quick test_mc_pipeline_runs;
+        ] );
+    ]

@@ -1,0 +1,434 @@
+(* Tests for the nn library: activations, layers, networks, training
+   (including a finite-difference gradient check), normalisation folding and
+   fixed-point quantization. *)
+
+module Vec = Tensor.Vec
+
+let vecf = Alcotest.(array (float 1e-9))
+
+(* ---------- activation ---------- *)
+
+let test_relu () =
+  Alcotest.(check (float 0.)) "relu+" 3. (Nn.Activation.apply Relu 3.);
+  Alcotest.(check (float 0.)) "relu-" 0. (Nn.Activation.apply Relu (-3.));
+  Alcotest.(check (float 0.)) "relu0" 0. (Nn.Activation.apply Relu 0.);
+  Alcotest.(check (float 0.)) "d+" 1. (Nn.Activation.derivative Relu 2.);
+  Alcotest.(check (float 0.)) "d-" 0. (Nn.Activation.derivative Relu (-2.))
+
+let test_sigmoid () =
+  Alcotest.(check (float 1e-9)) "sig(0)" 0.5 (Nn.Activation.apply Sigmoid 0.);
+  Alcotest.(check (float 1e-9)) "d sig(0)" 0.25 (Nn.Activation.derivative Sigmoid 0.);
+  Alcotest.(check bool) "monotone" true
+    (Nn.Activation.apply Sigmoid 1. > Nn.Activation.apply Sigmoid (-1.))
+
+let test_identity () =
+  Alcotest.(check (float 0.)) "id" (-7.) (Nn.Activation.apply Identity (-7.));
+  Alcotest.(check (float 0.)) "d id" 1. (Nn.Activation.derivative Identity 5.)
+
+(* Finite-difference check of activation derivatives. *)
+let prop_activation_derivative =
+  QCheck.Test.make ~name:"activation derivative matches finite difference"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair (oneofl [ Nn.Activation.Sigmoid; Identity ]) (float_range (-5.) 5.)))
+    (fun (act, x) ->
+      let h = 1e-6 in
+      let num = (Nn.Activation.apply act (x +. h) -. Nn.Activation.apply act (x -. h)) /. (2. *. h) in
+      Float.abs (num -. Nn.Activation.derivative act x) < 1e-4)
+
+(* ---------- layer / network ---------- *)
+
+let hand_layer () =
+  Nn.Layer.of_parts
+    ~weights:[| [| 1.; -1. |]; [| 2.; 0.5 |] |]
+    ~bias:[| 0.5; -1. |] ~activation:Nn.Activation.Relu
+
+let test_layer_forward () =
+  let l = hand_layer () in
+  (* pre = [1*1 + (-1)*2 + 0.5; 2*1 + 0.5*2 - 1] = [-0.5; 2] -> relu *)
+  Alcotest.check vecf "forward" [| 0.; 2. |] (Nn.Layer.forward l [| 1.; 2. |]);
+  let pre, post = Nn.Layer.forward_pre l [| 1.; 2. |] in
+  Alcotest.check vecf "pre" [| -0.5; 2. |] pre;
+  Alcotest.check vecf "post" [| 0.; 2. |] post
+
+let test_layer_dims () =
+  let l = hand_layer () in
+  Alcotest.(check int) "in" 2 (Nn.Layer.in_dim l);
+  Alcotest.(check int) "out" 2 (Nn.Layer.out_dim l)
+
+let test_layer_of_parts_checks () =
+  Alcotest.check_raises "bias size" (Invalid_argument "Layer.of_parts: bias size")
+    (fun () ->
+      ignore
+        (Nn.Layer.of_parts ~weights:[| [| 1. |] |] ~bias:[| 1.; 2. |]
+           ~activation:Nn.Activation.Relu))
+
+let hand_network () =
+  (* 2 -> 2 (relu) -> 2 (identity) with easily traced values. *)
+  let l1 =
+    Nn.Layer.of_parts
+      ~weights:[| [| 1.; 0. |]; [| 0.; 1. |] |]
+      ~bias:[| 0.; 0. |] ~activation:Nn.Activation.Relu
+  in
+  let l2 =
+    Nn.Layer.of_parts
+      ~weights:[| [| 1.; 2. |]; [| 3.; -1. |] |]
+      ~bias:[| 1.; 0. |] ~activation:Nn.Activation.Identity
+  in
+  { Nn.Network.layers = [| l1; l2 |] }
+
+let test_network_forward () =
+  let net = hand_network () in
+  (* x = [2; -3] -> relu -> [2; 0] -> [2+0+1; 6-0] = [3; 6] *)
+  Alcotest.check vecf "forward" [| 3.; 6. |] (Nn.Network.forward net [| 2.; -3. |]);
+  Alcotest.(check int) "predict" 1 (Nn.Network.predict net [| 2.; -3. |])
+
+let test_network_dims () =
+  let net = hand_network () in
+  Alcotest.(check int) "in" 2 (Nn.Network.in_dim net);
+  Alcotest.(check int) "out" 2 (Nn.Network.out_dim net);
+  Alcotest.(check int) "params" 12 (Nn.Network.n_params net)
+
+let test_paper_network_shape () =
+  let rng = Util.Rng.create 1 in
+  let net = Nn.Network.paper_network ~rng in
+  Alcotest.(check int) "5 inputs" 5 (Nn.Network.in_dim net);
+  Alcotest.(check int) "2 outputs" 2 (Nn.Network.out_dim net);
+  Alcotest.(check int) "layers" 2 (Array.length net.Nn.Network.layers);
+  Alcotest.(check int) "hidden width" 20 (Nn.Layer.out_dim net.Nn.Network.layers.(0));
+  (* 5*20 + 20 + 20*2 + 2 *)
+  Alcotest.(check int) "params" 162 (Nn.Network.n_params net)
+
+let test_fold_input_affine () =
+  let rng = Util.Rng.create 2 in
+  let net = Nn.Network.create ~rng ~spec:[ 3; 4; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let shift = [| 10.; -5.; 3. |] and scale = [| 0.5; 2.; 0.1 |] in
+  let folded = Nn.Network.fold_input_affine net ~shift ~scale in
+  let x = [| 7.; 1.; -2. |] in
+  let normalised = Array.init 3 (fun i -> (x.(i) -. shift.(i)) *. scale.(i)) in
+  Alcotest.(check bool) "folded net = net on normalised input" true
+    (Vec.approx_equal ~eps:1e-9
+       (Nn.Network.forward folded x)
+       (Nn.Network.forward net normalised))
+
+(* ---------- training ---------- *)
+
+let gradient_check_for loss =
+  (* Numerical gradient of the loss wrt one weight must match the update
+     applied by sgd_step. *)
+  let rng = Util.Rng.create 3 in
+  let net =
+    Nn.Network.create ~rng ~spec:[ 2; 3; 2 ] ~hidden_activation:Nn.Activation.Sigmoid
+  in
+  let input = [| 0.7; -0.4 |] and label = 1 in
+  let eps = 1e-5 in
+  let layer = net.Nn.Network.layers.(0) in
+  let loss_at w =
+    let saved = Tensor.Mat.get layer.Nn.Layer.weights 0 0 in
+    Tensor.Mat.set layer.Nn.Layer.weights 0 0 w;
+    let value = Nn.Train.loss_value loss (Nn.Network.forward net input) label in
+    Tensor.Mat.set layer.Nn.Layer.weights 0 0 saved;
+    value
+  in
+  let w0 = Tensor.Mat.get layer.Nn.Layer.weights 0 0 in
+  let numerical = (loss_at (w0 +. eps) -. loss_at (w0 -. eps)) /. (2. *. eps) in
+  (* Apply one sgd step with lr and inspect the weight delta. *)
+  let lr = 0.01 in
+  let copy = Nn.Network.copy net in
+  ignore (Nn.Train.sgd_step ~loss copy ~lr ~input ~label);
+  let w1 = Tensor.Mat.get copy.Nn.Network.layers.(0).Nn.Layer.weights 0 0 in
+  let analytic = (w0 -. w1) /. lr in
+  Alcotest.(check bool)
+    (Printf.sprintf "gradient matches (num %.6f vs sgd %.6f)" numerical analytic)
+    true
+    (Float.abs (numerical -. analytic) < 1e-3)
+
+let test_gradient_check () = gradient_check_for Nn.Train.Cross_entropy
+
+let test_gradient_check_mse () = gradient_check_for Nn.Train.Mse
+
+let test_training_learns_xor_like () =
+  (* A linearly separable 2-d problem must reach 100 % quickly. *)
+  let rng = Util.Rng.create 4 in
+  let net = Nn.Network.create ~rng ~spec:[ 2; 8; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let inputs =
+    [| [| 0.; 0. |]; [| 0.; 1. |]; [| 1.; 0. |]; [| 1.; 1. |];
+       [| 0.1; 0.1 |]; [| 0.9; 0.9 |]; [| 0.2; 0.9 |]; [| 0.9; 0.2 |] |]
+  in
+  (* Label = 1 iff x + y > 1. *)
+  let labels = Array.map (fun x -> if x.(0) +. x.(1) > 1. then 1 else 0) inputs in
+  let config =
+    { Nn.Train.default_config with epochs_phase1 = 150; lr_phase1 = 0.3;
+      epochs_phase2 = 50; lr_phase2 = 0.1 }
+  in
+  let history = Nn.Train.train ~config net ~inputs ~labels in
+  let final_acc = history.epoch_accuracies.(Array.length history.epoch_accuracies - 1) in
+  Alcotest.(check (float 1e-9)) "100% train accuracy" 1. final_acc
+
+let test_training_loss_decreases () =
+  let rng = Util.Rng.create 5 in
+  let net = Nn.Network.create ~rng ~spec:[ 2; 6; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let rng_data = Util.Rng.create 6 in
+  let inputs = Array.init 40 (fun _ -> [| Util.Rng.float rng_data; Util.Rng.float rng_data |]) in
+  let labels = Array.map (fun x -> if x.(0) > x.(1) then 1 else 0) inputs in
+  let config =
+    { Nn.Train.default_config with epochs_phase1 = 30; lr_phase1 = 0.2; epochs_phase2 = 0 }
+  in
+  let history = Nn.Train.train ~config net ~inputs ~labels in
+  let first = history.epoch_losses.(0) in
+  let last = history.epoch_losses.(29) in
+  Alcotest.(check bool) (Printf.sprintf "loss %f -> %f" first last) true (last < first)
+
+let test_metrics () =
+  let predicted = [| 0; 1; 1; 0 |] and labels = [| 0; 1; 0; 0 |] in
+  Alcotest.(check (float 1e-9)) "accuracy" 0.75
+    (Nn.Metrics.accuracy_of_predictions ~predicted ~labels);
+  let m = Nn.Metrics.confusion_of_predictions ~classes:2 ~predicted ~labels in
+  Alcotest.(check int) "true 0 pred 0" 2 m.(0).(0);
+  Alcotest.(check int) "true 0 pred 1" 1 m.(0).(1);
+  Alcotest.(check int) "true 1 pred 1" 1 m.(1).(1);
+  Alcotest.(check int) "true 1 pred 0" 0 m.(1).(0)
+
+(* ---------- normalisation ---------- *)
+
+let test_normalize_fit_apply () =
+  let rows = [| [| 0; 10 |]; [| 10; 10 |] |] in
+  let t = Nn.Normalize.fit rows in
+  Alcotest.check vecf "mean" [| 5.; 10. |] t.Nn.Normalize.mean;
+  Alcotest.check vecf "std (clamped)" [| 5.; 1. |] t.Nn.Normalize.std;
+  Alcotest.check vecf "apply" [| -1.; 0. |] (Nn.Normalize.apply t [| 0; 10 |])
+
+let test_normalize_fold_equivalence () =
+  (* Training-time: net(normalise(x)); deployment: folded(x) on raw ints. *)
+  let rng = Util.Rng.create 7 in
+  let net = Nn.Network.create ~rng ~spec:[ 3; 5; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let rows = [| [| 100; 2000; 5 |]; [| 300; 1500; 9 |]; [| 150; 1800; 2 |] |] in
+  let norm = Nn.Normalize.fit rows in
+  let shift, scale = Nn.Normalize.shift_scale norm in
+  let folded = Nn.Network.fold_input_affine net ~shift ~scale in
+  Array.iter
+    (fun raw ->
+      let normalised = Nn.Normalize.apply norm raw in
+      let expected = Nn.Network.forward net normalised in
+      let got = Nn.Network.forward folded (Array.map float_of_int raw) in
+      Alcotest.(check bool) "equal outputs" true (Vec.approx_equal ~eps:1e-6 expected got))
+    rows
+
+(* ---------- qnet ---------- *)
+
+let hand_qnet () =
+  Nn.Qnet.create
+    [|
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| 1; 1 |] |]; bias = [| 0; -3 |]; relu = true };
+      { Nn.Qnet.weights = [| [| 1; 0 |]; [| 0; 1 |] |]; bias = [| 0; 0 |]; relu = false };
+    |]
+
+let test_qnet_forward () =
+  let q = hand_qnet () in
+  (* x = [2; 1]: pre1 = [3; 0] -> relu [3; 0] -> out [3; 0]. *)
+  Alcotest.(check (array int)) "forward" [| 3; 0 |] (Nn.Qnet.forward q [| 2; 1 |]);
+  Alcotest.(check int) "predict" 0 (Nn.Qnet.predict q [| 2; 1 |])
+
+let test_qnet_relu_clamps () =
+  let q = hand_qnet () in
+  (* x = [-5; 0]: pre1 = [-10; -8] -> relu [0; 0]. *)
+  Alcotest.(check (array int)) "forward" [| 0; 0 |] (Nn.Qnet.forward q [| -5; 0 |])
+
+let test_qnet_predict_tie_prefers_l0 () =
+  let q = hand_qnet () in
+  (* Output [0; 0]: paper's rule L0 >= L1 -> L0. *)
+  Alcotest.(check int) "tie" 0 (Nn.Qnet.predict q [| -5; 0 |])
+
+let test_qnet_trace () =
+  let q = hand_qnet () in
+  let trace = Nn.Qnet.forward_trace q [| 2; 1 |] in
+  Alcotest.(check int) "two layers" 2 (Array.length trace);
+  Alcotest.(check (array int)) "hidden" [| 3; 0 |] trace.(0);
+  Alcotest.(check (array int)) "output" [| 3; 0 |] trace.(1)
+
+let test_qnet_create_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Qnet: ragged weights")
+    (fun () ->
+      ignore
+        (Nn.Qnet.create
+           [| { Nn.Qnet.weights = [| [| 1; 2 |]; [| 1 |] |]; bias = [| 0; 0 |]; relu = false } |]));
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Qnet.create: inter-layer dimension mismatch") (fun () ->
+      ignore
+        (Nn.Qnet.create
+           [|
+             { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; relu = true };
+             { Nn.Qnet.weights = [| [| 1; 1 |] |]; bias = [| 0 |]; relu = false };
+           |]))
+
+let prop_qnet_bias_scaling =
+  (* predict(scale_biases net m, m*x) = predict(net, x) — the identity the
+     noise model relies on. *)
+  QCheck.Test.make ~name:"bias scaling commutes with prediction" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 150)
+           (array_size (return 2) (int_range (-50) 50))))
+    (fun (m, x) ->
+      let q = hand_qnet () in
+      let scaled = Nn.Qnet.scale_biases q m in
+      let xs = Array.map (fun v -> m * v) x in
+      Nn.Qnet.predict scaled xs = Nn.Qnet.predict q x
+      && Nn.Qnet.forward scaled xs = Array.map (fun v -> m * v) (Nn.Qnet.forward q x))
+
+let test_qnet_max_abs_params () =
+  Alcotest.(check int) "max" 3 (Nn.Qnet.max_abs_params (hand_qnet ()))
+
+(* ---------- quantize ---------- *)
+
+let test_quantize_agreement_on_trained_net () =
+  let rng = Util.Rng.create 8 in
+  let net = Nn.Network.create ~rng ~spec:[ 3; 6; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let data_rng = Util.Rng.create 9 in
+  let inputs = Array.init 100 (fun _ -> Array.init 3 (fun _ -> Util.Rng.int_in data_rng 1 5000)) in
+  let q = Nn.Quantize.quantize net ~weight_bits:12 in
+  let agreement = Nn.Quantize.agreement net q ~inputs in
+  Alcotest.(check bool) (Printf.sprintf "agreement %.2f >= 0.95" agreement)
+    true (agreement >= 0.95)
+
+let test_quantize_weight_bits_respected () =
+  let rng = Util.Rng.create 10 in
+  let net = Nn.Network.create ~rng ~spec:[ 4; 5; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  let q = Nn.Quantize.quantize net ~weight_bits:8 in
+  Array.iter
+    (fun (l : Nn.Qnet.qlayer) ->
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun w -> Alcotest.(check bool) "fits 8 bits" true (abs w <= 127))
+            row)
+        l.weights)
+    q.Nn.Qnet.layers
+
+let test_quantize_rejects_bad_bits () =
+  let rng = Util.Rng.create 11 in
+  let net = Nn.Network.create ~rng ~spec:[ 2; 3; 2 ] ~hidden_activation:Nn.Activation.Relu in
+  Alcotest.check_raises "bits" (Invalid_argument "Quantize: weight_bits out of [2, 20]")
+    (fun () -> ignore (Nn.Quantize.quantize net ~weight_bits:25))
+
+let test_quantize_rejects_sigmoid () =
+  let rng = Util.Rng.create 12 in
+  let net = Nn.Network.create ~rng ~spec:[ 2; 3; 2 ] ~hidden_activation:Nn.Activation.Sigmoid in
+  Alcotest.check_raises "sigmoid"
+    (Invalid_argument "Quantize: network must be ReLU hidden / Identity output")
+    (fun () -> ignore (Nn.Quantize.quantize net ~weight_bits:10))
+
+let test_qnet_serialization_roundtrip () =
+  let q = hand_qnet () in
+  let text = Nn.Qnet.to_string q in
+  match Nn.Qnet.of_string text with
+  | Ok q2 -> Alcotest.(check bool) "roundtrip" true (Nn.Qnet.equal q q2)
+  | Error e -> Alcotest.fail e
+
+let test_qnet_serialization_file () =
+  let q = hand_qnet () in
+  let path = Filename.temp_file "qnet" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nn.Qnet.save path q;
+      match Nn.Qnet.load path with
+      | Ok q2 -> Alcotest.(check bool) "file roundtrip" true (Nn.Qnet.equal q q2)
+      | Error e -> Alcotest.fail e)
+
+let test_qnet_load_missing_file () =
+  match Nn.Qnet.load "/nonexistent/path/model.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_qnet_of_string_errors () =
+  (match Nn.Qnet.of_string "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected header error");
+  (match Nn.Qnet.of_string "qnet 1\nlayer 1 2 relu\n1 2\nbias 0\nextra" with
+  | Error msg -> Alcotest.(check bool) "trailing" true (msg = "trailing input")
+  | Ok _ -> Alcotest.fail "expected trailing error");
+  match Nn.Qnet.of_string "qnet 1\nlayer 1 2 relu\n1\nbias 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected row-size error"
+
+let prop_qnet_serialization =
+  QCheck.Test.make ~name:"qnet serialization roundtrips" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 4)
+           (pair (int_range 1 4) (int_range (-1000) 1000))))
+    (fun (n_in, (n_hidden, seedish)) ->
+      let rng = Util.Rng.create (abs seedish) in
+      let layer out_dim in_dim relu =
+        {
+          Nn.Qnet.weights =
+            Array.init out_dim (fun _ ->
+                Array.init in_dim (fun _ -> Util.Rng.int_in rng (-999) 999));
+          bias = Array.init out_dim (fun _ -> Util.Rng.int_in rng (-99) 99);
+          relu;
+        }
+      in
+      let q = Nn.Qnet.create [| layer n_hidden n_in true; layer 2 n_hidden false |] in
+      match Nn.Qnet.of_string (Nn.Qnet.to_string q) with
+      | Ok q2 -> Nn.Qnet.equal q q2
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "nn"
+    [
+      ( "activation",
+        [
+          Alcotest.test_case "relu" `Quick test_relu;
+          Alcotest.test_case "sigmoid" `Quick test_sigmoid;
+          Alcotest.test_case "identity" `Quick test_identity;
+          QCheck_alcotest.to_alcotest prop_activation_derivative;
+        ] );
+      ( "layer",
+        [
+          Alcotest.test_case "forward" `Quick test_layer_forward;
+          Alcotest.test_case "dims" `Quick test_layer_dims;
+          Alcotest.test_case "of_parts checks" `Quick test_layer_of_parts_checks;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "forward" `Quick test_network_forward;
+          Alcotest.test_case "dims/params" `Quick test_network_dims;
+          Alcotest.test_case "paper network shape" `Quick test_paper_network_shape;
+          Alcotest.test_case "fold input affine" `Quick test_fold_input_affine;
+        ] );
+      ( "train",
+        [
+          Alcotest.test_case "gradient check (cross-entropy)" `Quick test_gradient_check;
+          Alcotest.test_case "gradient check (mse)" `Quick test_gradient_check_mse;
+          Alcotest.test_case "learns separable task" `Quick test_training_learns_xor_like;
+          Alcotest.test_case "loss decreases" `Quick test_training_loss_decreases;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "fit/apply" `Quick test_normalize_fit_apply;
+          Alcotest.test_case "fold equivalence" `Quick test_normalize_fold_equivalence;
+        ] );
+      ( "qnet",
+        [
+          Alcotest.test_case "forward" `Quick test_qnet_forward;
+          Alcotest.test_case "relu clamps" `Quick test_qnet_relu_clamps;
+          Alcotest.test_case "tie prefers L0" `Quick test_qnet_predict_tie_prefers_l0;
+          Alcotest.test_case "trace" `Quick test_qnet_trace;
+          Alcotest.test_case "create validation" `Quick test_qnet_create_validation;
+          Alcotest.test_case "max_abs_params" `Quick test_qnet_max_abs_params;
+          QCheck_alcotest.to_alcotest prop_qnet_bias_scaling;
+          Alcotest.test_case "serialization roundtrip" `Quick test_qnet_serialization_roundtrip;
+          Alcotest.test_case "serialization file" `Quick test_qnet_serialization_file;
+          Alcotest.test_case "of_string errors" `Quick test_qnet_of_string_errors;
+          Alcotest.test_case "load missing file" `Quick test_qnet_load_missing_file;
+          QCheck_alcotest.to_alcotest prop_qnet_serialization;
+        ] );
+      ( "quantize",
+        [
+          Alcotest.test_case "agreement" `Quick test_quantize_agreement_on_trained_net;
+          Alcotest.test_case "weight bits respected" `Quick test_quantize_weight_bits_respected;
+          Alcotest.test_case "rejects bad bits" `Quick test_quantize_rejects_bad_bits;
+          Alcotest.test_case "rejects sigmoid" `Quick test_quantize_rejects_sigmoid;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Tests for the smtlite layer: term evaluation, interval soundness,
+   SAT/UNSAT answers checked against brute-force enumeration over small
+   variable boxes, and model enumeration counts. *)
+
+module T = Smtlite.Term
+module I = Smtlite.Interval
+module S = Smtlite.Solve
+
+(* ---------- term construction / evaluation ---------- *)
+
+let test_const_folding () =
+  let open T in
+  (match (add (const 2) (const 3)).node with
+  | Const 5 -> ()
+  | _ -> Alcotest.fail "add fold");
+  (match (mulc 4 (const (-2))).node with
+  | Const (-8) -> ()
+  | _ -> Alcotest.fail "mulc fold");
+  (match (relu (const (-7))).node with
+  | Const 0 -> ()
+  | _ -> Alcotest.fail "relu fold");
+  (match (mulc 1 (const 9)).node with
+  | Const 9 -> ()
+  | _ -> Alcotest.fail "mulc 1");
+  match (le (const 1) (const 2)).fnode with
+  | True -> ()
+  | _ -> Alcotest.fail "le fold"
+
+let test_eval_term () =
+  let v = T.var ~name:"x" ~lo:(-10) ~hi:10 in
+  let t = T.add (T.mulc 3 (T.of_var v)) (T.const 1) in
+  Alcotest.(check int) "3x+1 at x=4" 13 (T.eval_term [ (v, 4) ] t);
+  Alcotest.(check int) "relu" 0
+    (T.eval_term [ (v, -2) ] (T.relu (T.of_var v)));
+  Alcotest.(check int) "max" 5
+    (T.eval_term [ (v, 5) ] (T.max_ (T.of_var v) (T.const 3)));
+  Alcotest.(check int) "ite" 7
+    (T.eval_term [ (v, 1) ]
+       (T.ite (T.gt (T.of_var v) (T.const 0)) (T.const 7) (T.const (-7))))
+
+let test_eval_formula () =
+  let v = T.var ~name:"x" ~lo:0 ~hi:10 in
+  let f = T.and_ [ T.ge (T.of_var v) (T.const 2); T.lt (T.of_var v) (T.const 5) ] in
+  Alcotest.(check bool) "x=3 sat" true (T.eval_formula [ (v, 3) ] f);
+  Alcotest.(check bool) "x=7 unsat" false (T.eval_formula [ (v, 7) ] f);
+  Alcotest.(check bool) "not" true
+    (T.eval_formula [ (v, 7) ] (T.not_ f))
+
+let test_vars_of_formula () =
+  let a = T.var ~name:"a" ~lo:0 ~hi:1 in
+  let b = T.var ~name:"b" ~lo:0 ~hi:1 in
+  let f = T.lt (T.add (T.of_var a) (T.of_var b)) (T.of_var a) in
+  let vars = T.vars_of_formula f in
+  Alcotest.(check int) "two distinct vars" 2 (List.length vars)
+
+(* ---------- intervals ---------- *)
+
+let test_interval_ops () =
+  let i = I.make (-2) 5 in
+  let j = I.make 1 3 in
+  Alcotest.(check bool) "add" true (I.add i j = I.make (-1) 8);
+  Alcotest.(check bool) "sub" true (I.sub i j = I.make (-5) 4);
+  Alcotest.(check bool) "neg" true (I.neg i = I.make (-5) 2);
+  Alcotest.(check bool) "mulc+" true (I.mulc 3 i = I.make (-6) 15);
+  Alcotest.(check bool) "mulc-" true (I.mulc (-3) i = I.make (-15) 6);
+  Alcotest.(check bool) "relu" true (I.relu i = I.make 0 5);
+  Alcotest.(check bool) "max" true (I.max_ i j = I.make 1 5);
+  Alcotest.(check bool) "hull" true (I.hull i j = I.make (-2) 5)
+
+let test_width_for () =
+  Alcotest.(check int) "0..0" 1 (I.width_for (I.point 0));
+  Alcotest.(check int) "0..1" 2 (I.width_for (I.make 0 1));
+  Alcotest.(check int) "-1..0" 1 (I.width_for (I.make (-1) 0));
+  Alcotest.(check int) "-128..127" 8 (I.width_for (I.make (-128) 127));
+  Alcotest.(check int) "-129..127" 9 (I.width_for (I.make (-129) 127));
+  Alcotest.(check int) "0..255" 9 (I.width_for (I.make 0 255))
+
+let prop_interval_sound =
+  (* For random assignments within variable bounds, the evaluated term lies
+     in the propagated interval. *)
+  QCheck.Test.make ~name:"interval contains evaluation" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_range (-8) 8) (int_range (-8) 8) (int_range (-5) 5)))
+    (fun (xv, yv, c) ->
+      let x = T.var ~name:"x" ~lo:(-8) ~hi:8 in
+      let y = T.var ~name:"y" ~lo:(-8) ~hi:8 in
+      let t =
+        T.add
+          (T.relu (T.add (T.mulc c (T.of_var x)) (T.const 3)))
+          (T.max_ (T.of_var y) (T.neg (T.of_var x)))
+      in
+      let iv = I.term_interval t in
+      let value = T.eval_term [ (x, xv); (y, yv) ] t in
+      I.contains iv value)
+
+let test_formula_decide () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:10 in
+  let tx = T.of_var x in
+  Alcotest.(check bool) "provable" true
+    (I.formula_decide (T.ge tx (T.const 0)) = `True);
+  Alcotest.(check bool) "refutable" true
+    (I.formula_decide (T.gt tx (T.const 10)) = `False);
+  Alcotest.(check bool) "unknown" true
+    (I.formula_decide (T.ge tx (T.const 5)) = `Unknown)
+
+(* ---------- solving, checked against brute force ---------- *)
+
+let brute_force_exists vars f =
+  (* vars: list of T.var with small ranges. *)
+  let rec loop acc = function
+    | [] -> T.eval_formula acc f
+    | (v : T.var) :: rest ->
+        let rec try_value value =
+          value <= v.hi
+          && (loop ((v, value) :: acc) rest || try_value (value + 1))
+        in
+        try_value v.lo
+  in
+  loop [] vars
+
+let brute_force_count vars f =
+  let count = ref 0 in
+  let rec loop acc = function
+    | [] -> if T.eval_formula acc f then incr count
+    | (v : T.var) :: rest ->
+        for value = v.lo to v.hi do
+          loop ((v, value) :: acc) rest
+        done
+  in
+  loop [] vars;
+  !count
+
+let test_check_simple_sat () =
+  let x = T.var ~name:"x" ~lo:(-20) ~hi:20 in
+  let f = T.eq (T.mulc 3 (T.of_var x)) (T.const 12) in
+  match S.check f with
+  | S.Sat model ->
+      Alcotest.(check int) "x=4" 4 (T.lookup model x);
+      Alcotest.(check bool) "model satisfies" true (T.eval_formula model f)
+  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+
+let test_check_simple_unsat () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:10 in
+  let f = T.lt (T.of_var x) (T.const 0) in
+  Alcotest.(check bool) "unsat" true (S.check f = S.Unsat)
+
+let test_check_relu_case_split () =
+  (* relu(x) = 5 has solution x = 5 only; relu(x) = -1 none. *)
+  let x = T.var ~name:"x" ~lo:(-10) ~hi:10 in
+  (match S.check (T.eq (T.relu (T.of_var x)) (T.const 5)) with
+  | S.Sat model -> Alcotest.(check int) "x=5" 5 (T.lookup model x)
+  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "relu never negative" true
+    (S.check (T.eq (T.relu (T.of_var x)) (T.const (-1))) = S.Unsat)
+
+let test_check_bounds_respected () =
+  let x = T.var ~name:"x" ~lo:3 ~hi:7 in
+  (* Any model must respect declared bounds even with a vacuous formula. *)
+  match S.check (T.ge (T.of_var x) (T.const 0)) with
+  | S.Sat model ->
+      let v = T.lookup model x in
+      Alcotest.(check bool) "3<=x<=7" true (v >= 3 && v <= 7)
+  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+
+let random_formula_gen =
+  (* Small random formulas over two bounded vars, built from linear atoms
+     with relu/max sprinkled in. *)
+  let open QCheck.Gen in
+  let* c1 = int_range (-4) 4 in
+  let* c2 = int_range (-4) 4 in
+  let* k = int_range (-10) 10 in
+  let* shape = int_range 0 5 in
+  return (c1, c2, k, shape)
+
+let build_formula (c1, c2, k, shape) x y =
+  let tx = T.of_var x and ty = T.of_var y in
+  let lin = T.add (T.mulc c1 tx) (T.mulc c2 ty) in
+  match shape with
+  | 0 -> T.le lin (T.const k)
+  | 1 -> T.eq (T.relu lin) (T.const (abs k))
+  | 2 -> T.and_ [ T.gt lin (T.const k); T.lt tx ty ]
+  | 3 -> T.or_ [ T.eq tx (T.const k); T.gt (T.max_ tx ty) (T.const k) ]
+  | 4 -> T.eq (T.sub (T.relu tx) (T.relu (T.neg ty))) (T.const k)
+  | _ -> T.not_ (T.le (T.ite (T.le tx ty) lin (T.neg lin)) (T.const k))
+
+let prop_solver_vs_brute_force =
+  QCheck.Test.make ~name:"smt check agrees with brute force" ~count:120
+    (QCheck.make random_formula_gen) (fun params ->
+      let x = T.var ~name:"x" ~lo:(-6) ~hi:6 in
+      let y = T.var ~name:"y" ~lo:(-6) ~hi:6 in
+      let f = build_formula params x y in
+      let expected = brute_force_exists [ x; y ] f in
+      match S.check f with
+      | S.Sat model -> expected && T.eval_formula model f
+      | S.Unsat -> not expected
+      | S.Unknown -> false)
+
+let prop_enumerate_counts =
+  QCheck.Test.make ~name:"enumerate count equals brute-force count" ~count:60
+    (QCheck.make random_formula_gen) (fun params ->
+      let x = T.var ~name:"x" ~lo:(-4) ~hi:4 in
+      let y = T.var ~name:"y" ~lo:(-4) ~hi:4 in
+      let f = build_formula params x y in
+      let expected = brute_force_count [ x; y ] f in
+      let models, status = S.enumerate f ~project:[ x; y ] in
+      status = `Complete
+      && List.length models = expected
+      && List.for_all (fun m -> T.eval_formula m f) models)
+
+let test_enumerate_distinct () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:3 in
+  let f = T.ge (T.of_var x) (T.const 0) in
+  let models, status = S.enumerate f ~project:[ x ] in
+  Alcotest.(check bool) "complete" true (status = `Complete);
+  let values = List.map (fun m -> T.lookup m x) models in
+  Alcotest.(check (list int)) "all four values" [ 0; 1; 2; 3 ]
+    (List.sort compare values)
+
+let test_enumerate_limit () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:100 in
+  let f = T.ge (T.of_var x) (T.const 0) in
+  let models, status = S.enumerate ~limit:5 f ~project:[ x ] in
+  Alcotest.(check int) "limited" 5 (List.length models);
+  Alcotest.(check bool) "truncated" true (status = `Truncated)
+
+let test_enumerate_projection_var_not_in_formula () =
+  (* Regression: a projection variable absent from the formula must still
+     be enumerated over its full domain (it used to be compiled lazily
+     during blocking, producing a bogus blocking clause). *)
+  let x = T.var ~name:"x" ~lo:(-4) ~hi:4 in
+  let y = T.var ~name:"y" ~lo:(-4) ~hi:4 in
+  let f = T.le (T.mulc (-4) (T.of_var y)) (T.const (-10)) in
+  (* -4y <= -10 over y in [-4,4]: y in {3, 4}; x free: 2 * 9 = 18 models. *)
+  let models, status = S.enumerate f ~project:[ x; y ] in
+  Alcotest.(check bool) "complete" true (status = `Complete);
+  Alcotest.(check int) "18 models" 18 (List.length models);
+  List.iter
+    (fun m ->
+      let xv = T.lookup m x and yv = T.lookup m y in
+      Alcotest.(check bool) "x in domain" true (xv >= -4 && xv <= 4);
+      Alcotest.(check bool) "y satisfies" true (yv = 3 || yv = 4))
+    models
+
+let test_session_incremental () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:10 in
+  let session = S.open_session (T.ge (T.of_var x) (T.const 5)) in
+  (match S.solve session with
+  | S.Sat model -> Alcotest.(check bool) "x>=5" true (T.lookup model x >= 5)
+  | S.Unsat | S.Unknown -> Alcotest.fail "sat expected");
+  S.assert_also session (T.le (T.of_var x) (T.const 4));
+  Alcotest.(check bool) "now unsat" true (S.solve session = S.Unsat)
+
+let test_check_linear_system () =
+  (* x + y = 10, x - y = 4 -> x = 7, y = 3. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:20 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:20 in
+  let tx = T.of_var x and ty = T.of_var y in
+  let f =
+    T.and_ [ T.eq (T.add tx ty) (T.const 10); T.eq (T.sub tx ty) (T.const 4) ]
+  in
+  match S.check f with
+  | S.Sat model ->
+      Alcotest.(check int) "x" 7 (T.lookup model x);
+      Alcotest.(check int) "y" 3 (T.lookup model y)
+  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+
+let test_wide_range_var () =
+  (* Gene-expression scale values must work (up to 5,000,000 after the
+     x100 noise scaling). *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:5_000_000 in
+  let f = T.eq (T.of_var x) (T.const 4_999_999) in
+  match S.check f with
+  | S.Sat model -> Alcotest.(check int) "big value" 4_999_999 (T.lookup model x)
+  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+
+let () =
+  Alcotest.run "smtlite"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "constant folding" `Quick test_const_folding;
+          Alcotest.test_case "eval term" `Quick test_eval_term;
+          Alcotest.test_case "eval formula" `Quick test_eval_formula;
+          Alcotest.test_case "vars_of_formula" `Quick test_vars_of_formula;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "ops" `Quick test_interval_ops;
+          Alcotest.test_case "width_for" `Quick test_width_for;
+          Alcotest.test_case "formula decide" `Quick test_formula_decide;
+          QCheck_alcotest.to_alcotest prop_interval_sound;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "simple sat" `Quick test_check_simple_sat;
+          Alcotest.test_case "simple unsat" `Quick test_check_simple_unsat;
+          Alcotest.test_case "relu case split" `Quick test_check_relu_case_split;
+          Alcotest.test_case "bounds respected" `Quick test_check_bounds_respected;
+          Alcotest.test_case "linear system" `Quick test_check_linear_system;
+          Alcotest.test_case "wide range" `Quick test_wide_range_var;
+          QCheck_alcotest.to_alcotest prop_solver_vs_brute_force;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "distinct values" `Quick test_enumerate_distinct;
+          Alcotest.test_case "limit" `Quick test_enumerate_limit;
+          Alcotest.test_case "incremental session" `Quick test_session_incremental;
+          Alcotest.test_case "projection var not in formula" `Quick
+            test_enumerate_projection_var_not_in_formula;
+          QCheck_alcotest.to_alcotest prop_enumerate_counts;
+        ] );
+    ]

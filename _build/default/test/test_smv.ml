@@ -1,0 +1,649 @@
+(* Tests for the SMV library: AST validation, printing, the explicit-state
+   engine, and the network-to-SMV translation (paper Fig. 3). *)
+
+module A = Smv.Ast
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec loop i = i + m <= n && (String.sub haystack i m = needle || loop (i + 1)) in
+  loop 0
+
+(* ---------- a tiny hand-written counter program ---------- *)
+
+let counter_program ?(invarspecs = []) () =
+  {
+    A.state_vars = [ ("x", A.Range (0, 3)) ];
+    input_vars = [];
+    defines = [ ("is_max", A.Cmp (A.Eq, A.Var "x", A.Int 3)) ];
+    init = [ ("x", A.Int 0) ];
+    next =
+      [
+        ( "x",
+          A.Case
+            [
+              (A.Var "is_max", A.Int 0);
+              (A.Sym "TRUE", A.Add (A.Var "x", A.Int 1));
+            ] );
+      ];
+    invarspecs;
+  }
+
+let test_domain_values () =
+  Alcotest.(check int) "range size" 5 (A.domain_size (A.Range (-2, 2)));
+  Alcotest.(check int) "enum size" 2 (A.domain_size (A.Enum [ "a"; "b" ]));
+  (match A.domain_values (A.Range (1, 2)) with
+  | [ A.VInt 1; A.VInt 2 ] -> ()
+  | _ -> Alcotest.fail "range values");
+  Alcotest.check_raises "empty range" (Invalid_argument "Ast.domain_values: empty range")
+    (fun () -> ignore (A.domain_values (A.Range (2, 1))))
+
+let test_validate_ok () =
+  match A.validate (counter_program ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_validate_duplicate () =
+  let p = counter_program () in
+  let bad = { p with A.defines = [ ("x", A.Int 0) ] } in
+  match A.validate bad with
+  | Error msg -> Alcotest.(check bool) "mentions x" true (contains msg "x")
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_validate_unknown_reference () =
+  let p = counter_program () in
+  let bad = { p with A.next = [ ("x", A.Var "ghost") ] } in
+  match A.validate bad with
+  | Error msg -> Alcotest.(check bool) "mentions ghost" true (contains msg "ghost")
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_validate_init_non_state () =
+  let p = counter_program () in
+  let bad = { p with A.init = p.A.init @ [ ("is_max", A.Int 0) ] } in
+  match A.validate bad with
+  | Error msg -> Alcotest.(check bool) "mentions is_max" true (contains msg "is_max")
+  | Ok () -> Alcotest.fail "expected error"
+
+let test_validate_define_order () =
+  let p = counter_program () in
+  (* A define referencing a later define must be rejected. *)
+  let bad =
+    { p with A.defines = [ ("a", A.Var "b"); ("b", A.Int 1) ] }
+  in
+  match A.validate bad with
+  | Error msg -> Alcotest.(check bool) "mentions a" true (contains msg "a")
+  | Ok () -> Alcotest.fail "expected error"
+
+(* ---------- printer ---------- *)
+
+let test_printer_structure () =
+  let text = Smv.Printer.program_to_string (counter_program ()) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains text fragment))
+    [ "MODULE main"; "VAR"; "x : 0..3;"; "DEFINE"; "ASSIGN"; "init(x) := 0;"; "next(x)"; "esac" ]
+
+let test_printer_invarspec () =
+  let p = counter_program ~invarspecs:[ ("small", A.Cmp (A.Le, A.Var "x", A.Int 3)) ] () in
+  let text = Smv.Printer.program_to_string p in
+  Alcotest.(check bool) "has INVARSPEC" true (contains text "INVARSPEC");
+  Alcotest.(check bool) "names the property" true (contains text "small")
+
+let test_printer_set_and_enum () =
+  let p =
+    {
+      A.state_vars = [ ("m", A.Enum [ "a"; "b" ]); ("d", A.Range (-1, 1)) ];
+      input_vars = [ ("pick", A.Range (0, 1)) ];
+      defines = [];
+      init = [ ("m", A.Sym "a"); ("d", A.Int 0) ];
+      next = [ ("m", A.Var "m"); ("d", A.Set [ A.Int (-1); A.Int 0; A.Int 1 ]) ];
+      invarspecs = [];
+    }
+  in
+  let text = Smv.Printer.program_to_string p in
+  Alcotest.(check bool) "enum domain" true (contains text "{a, b}");
+  Alcotest.(check bool) "IVAR section" true (contains text "IVAR");
+  Alcotest.(check bool) "set literal" true (contains text "{-1, 0, 1}")
+
+(* ---------- explicit-state engine ---------- *)
+
+let explore_ok p =
+  match Smv.Fsm.explore p with
+  | Ok o -> o
+  | Error e -> Alcotest.fail ("explore: " ^ e)
+
+let test_fsm_counter_reachability () =
+  let o = explore_ok (counter_program ()) in
+  Alcotest.(check int) "4 states" 4 o.stats.n_states;
+  (* Deterministic cycle: one outgoing edge per state. *)
+  Alcotest.(check int) "4 transitions" 4 o.stats.n_transitions;
+  Alcotest.(check int) "no violations" 0 (List.length o.violations)
+
+let test_fsm_invariant_holds () =
+  let p = counter_program ~invarspecs:[ ("le3", A.Cmp (A.Le, A.Var "x", A.Int 3)) ] () in
+  let o = explore_ok p in
+  Alcotest.(check int) "holds" 0 (List.length o.violations)
+
+let test_fsm_invariant_violated_with_trace () =
+  let p = counter_program ~invarspecs:[ ("lt2", A.Cmp (A.Lt, A.Var "x", A.Int 2)) ] () in
+  let o = explore_ok p in
+  match o.violations with
+  | [ (name, trace) ] ->
+      Alcotest.(check string) "property name" "lt2" name;
+      (* Trace starts at the initial state and ends in a violating one. *)
+      (match trace with
+      | first :: _ ->
+          Alcotest.(check bool) "starts at x=0" true (first = [| A.VInt 0 |])
+      | [] -> Alcotest.fail "empty trace");
+      let last = List.nth trace (List.length trace - 1) in
+      (match last with
+      | [| A.VInt v |] -> Alcotest.(check bool) "violating state" true (v >= 2)
+      | _ -> Alcotest.fail "bad state shape")
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_fsm_set_nondeterminism () =
+  (* x in {0,1} re-chosen each step: 2 states, 4 edges. *)
+  let p =
+    {
+      A.state_vars = [ ("x", A.Range (0, 1)) ];
+      input_vars = [];
+      defines = [];
+      init = [ ("x", A.Set [ A.Int 0; A.Int 1 ]) ];
+      next = [ ("x", A.Set [ A.Int 0; A.Int 1 ]) ];
+      invarspecs = [];
+    }
+  in
+  let o = explore_ok p in
+  Alcotest.(check int) "2 states" 2 o.stats.n_states;
+  Alcotest.(check int) "4 edges" 4 o.stats.n_transitions
+
+let test_fsm_input_vars () =
+  (* next(x) := pick, pick an IVAR in 0..2: all 3 values reachable. *)
+  let p =
+    {
+      A.state_vars = [ ("x", A.Range (0, 2)) ];
+      input_vars = [ ("pick", A.Range (0, 2)) ];
+      defines = [];
+      init = [ ("x", A.Int 0) ];
+      next = [ ("x", A.Var "pick") ];
+      invarspecs = [];
+    }
+  in
+  let o = explore_ok p in
+  Alcotest.(check int) "3 states" 3 o.stats.n_states;
+  Alcotest.(check int) "9 edges" 9 o.stats.n_transitions
+
+let test_fsm_frozen_var () =
+  (* No next equation: the variable keeps its initial value. *)
+  let p =
+    {
+      A.state_vars = [ ("k", A.Range (0, 5)); ("x", A.Range (0, 1)) ];
+      input_vars = [];
+      defines = [];
+      init = [ ("k", A.Set [ A.Int 2; A.Int 4 ]); ("x", A.Int 0) ];
+      next = [ ("x", A.Set [ A.Int 0; A.Int 1 ]) ];
+      invarspecs = [ ("k_frozen", A.Or (A.Cmp (A.Eq, A.Var "k", A.Int 2), A.Cmp (A.Eq, A.Var "k", A.Int 4))) ];
+    }
+  in
+  let o = explore_ok p in
+  Alcotest.(check int) "2 k-values x 2 x-values" 4 o.stats.n_states;
+  Alcotest.(check int) "frozen invariant holds" 0 (List.length o.violations)
+
+let test_fsm_state_limit () =
+  let p =
+    {
+      A.state_vars = [ ("x", A.Range (0, 100)) ];
+      input_vars = [];
+      defines = [];
+      init = [ ("x", A.Int 0) ];
+      next = [ ("x", A.Set (List.init 101 (fun i -> A.Int i))) ];
+      invarspecs = [];
+    }
+  in
+  match Smv.Fsm.explore ~state_limit:10 p with
+  | Error msg -> Alcotest.(check bool) "limit error" true (contains msg "limit")
+  | Ok _ -> Alcotest.fail "expected state-limit error"
+
+let test_fsm_domain_violation_detected () =
+  let p =
+    {
+      A.state_vars = [ ("x", A.Range (0, 1)) ];
+      input_vars = [];
+      defines = [];
+      init = [ ("x", A.Int 0) ];
+      next = [ ("x", A.Add (A.Var "x", A.Int 1)) ];
+      invarspecs = [];
+    }
+  in
+  (* x+1 leaves the domain on the second step. *)
+  match Smv.Fsm.explore p with
+  | Error msg -> Alcotest.(check bool) "domain error" true (contains msg "domain")
+  | Ok _ -> Alcotest.fail "expected domain error"
+
+let test_fsm_eval_in_state () =
+  let p = counter_program () in
+  match Smv.Fsm.eval_in_state p [| A.VInt 3 |] (A.Var "is_max") with
+  | Ok (A.VBool true) -> ()
+  | Ok _ -> Alcotest.fail "wrong value"
+  | Error e -> Alcotest.fail e
+
+(* ---------- network translation ---------- *)
+
+let tiny_qnet () =
+  (* 2 inputs, 2 hidden (relu), 2 outputs. *)
+  Nn.Qnet.create
+    [|
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+    |]
+
+let test_translate_validates () =
+  let net = tiny_qnet () in
+  let config =
+    Smv.Translate.symmetric ~delta:1 ~bias_noise:false ~samples:[ ([| 5; 9 |], 0) ]
+  in
+  let p = Smv.Translate.network_program net config in
+  match A.validate p with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_translate_rejects_bad_input () =
+  let net = tiny_qnet () in
+  Alcotest.check_raises "size" (Invalid_argument "Translate: sample size mismatch")
+    (fun () ->
+      ignore
+        (Smv.Translate.network_program net
+           (Smv.Translate.symmetric ~delta:1 ~bias_noise:false
+              ~samples:[ ([| 1 |], 0) ])));
+  Alcotest.check_raises "no samples" (Invalid_argument "Translate: no samples")
+    (fun () ->
+      ignore
+        (Smv.Translate.network_program net
+           (Smv.Translate.symmetric ~delta:1 ~bias_noise:false ~samples:[])))
+
+let explore_net net config =
+  explore_ok (Smv.Translate.network_program net config)
+
+let test_translate_fsm_agrees_with_qnet () =
+  (* Without noise the FSM's P2 invariant is violated iff the network
+     misclassifies the sample. *)
+  let net = tiny_qnet () in
+  List.iter
+    (fun input ->
+      let predicted = Nn.Qnet.predict net input in
+      let wrong_label = 1 - predicted in
+      let ok_cfg =
+        Smv.Translate.symmetric ~delta:0 ~bias_noise:false
+          ~samples:[ (input, predicted) ]
+      in
+      let bad_cfg =
+        Smv.Translate.symmetric ~delta:0 ~bias_noise:false
+          ~samples:[ (input, wrong_label) ]
+      in
+      let o_ok = explore_net net ok_cfg in
+      let o_bad = explore_net net bad_cfg in
+      Alcotest.(check int) "true label holds" 0 (List.length o_ok.violations);
+      Alcotest.(check int) "wrong label violated" 1 (List.length o_bad.violations))
+    [ [| 5; 9 |]; [| 50; 3 |]; [| 1; 1 |] ]
+
+let test_translate_noise_violation_matches_explicit () =
+  (* The FSM finds a noise counterexample iff explicit enumeration does. *)
+  let net = tiny_qnet () in
+  let input = [| 10; 12 |] in
+  let label = Nn.Qnet.predict net input in
+  List.iter
+    (fun delta ->
+      let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+      let explicit_flip =
+        match
+          Fannet.Backend.exists_flip
+            (Fannet.Backend.Explicit { limit = 1_000_000 })
+            net spec ~input ~label
+        with
+        | Fannet.Backend.Flip _ -> true
+        | Fannet.Backend.Robust -> false
+        | Fannet.Backend.Unknown -> Alcotest.fail "explicit unknown"
+      in
+      let cfg = Smv.Translate.symmetric ~delta ~bias_noise:false ~samples:[ (input, label) ] in
+      let o = explore_net net cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta %d agreement" delta)
+        explicit_flip
+        (o.violations <> []))
+    [ 0; 1; 2; 3; 5; 8 ]
+
+let test_translate_fig3_shape () =
+  (* Paper Fig. 3 state-space counts: for a single sample robust on the
+     range, 1 + k states and (1 + k) * k transitions with k noise vectors;
+     for several samples without noise, 3 states and 6 transitions. *)
+  let net = tiny_qnet () in
+  let input = [| 10; 12 |] in
+  let label = Nn.Qnet.predict net input in
+  (* [0,1]% on 2 input nodes (no bias noise): k = 4. *)
+  let cfg =
+    { Smv.Translate.delta_lo = 0; delta_hi = 1; bias_noise = false; samples = [ (input, label) ] }
+  in
+  let o = explore_net net cfg in
+  if o.violations = [] then begin
+    Alcotest.(check int) "states 1+k" 5 o.stats.n_states;
+    Alcotest.(check int) "transitions (1+k)k" 20 o.stats.n_transitions
+  end
+  else Alcotest.fail "expected robustness at [0,1]% for this input";
+  (* Two samples of different predicted classes, no noise: 3 states, 6
+     transitions. *)
+  let x1 = [| 50; 3 |] and x2 = [| 1; 40 |] in
+  Alcotest.(check bool) "samples differ in class" true
+    (Nn.Qnet.predict net x1 <> Nn.Qnet.predict net x2);
+  let cfg2 =
+    Smv.Translate.symmetric ~delta:0 ~bias_noise:false
+      ~samples:[ (x1, Nn.Qnet.predict net x1); (x2, Nn.Qnet.predict net x2) ]
+  in
+  let o2 = explore_net net cfg2 in
+  Alcotest.(check int) "3 states" 3 o2.stats.n_states;
+  Alcotest.(check int) "6 transitions" 6 o2.stats.n_transitions
+
+let test_translate_smv_text_mentions_structure () =
+  let net = tiny_qnet () in
+  let cfg = Smv.Translate.symmetric ~delta:2 ~bias_noise:true ~samples:[ ([| 5; 9 |], 0) ] in
+  let text = Smv.Printer.program_to_string (Smv.Translate.network_program net cfg) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("has " ^ fragment) true (contains text fragment))
+    [ "phase : {s_init, s_l0, s_l1}"; "d0 : -2..2"; "d1 : -2..2"; "pre1"; "h1"; "o0"; "o1"; "out"; "INVARSPEC" ]
+
+(* ---------- parser ---------- *)
+
+let parse_ok text =
+  match Smv.Parser.parse text with
+  | Ok p -> p
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+
+let test_parse_expr () =
+  let check_expr text expected =
+    match Smv.Parser.parse_expr text with
+    | Ok e -> Alcotest.(check bool) text true (e = expected)
+    | Error msg -> Alcotest.fail msg
+  in
+  check_expr "1 + 2 * x" (A.Add (A.Int 1, A.Mul (A.Int 2, A.Var "x")));
+  check_expr "-3" (A.Neg (A.Int 3));
+  check_expr "a & b | c" (A.Or (A.And (A.Var "a", A.Var "b"), A.Var "c"));
+  check_expr "!(x = 1)" (A.Not (A.Cmp (A.Eq, A.Var "x", A.Int 1)));
+  check_expr "{0, 1, 2}" (A.Set [ A.Int 0; A.Int 1; A.Int 2 ]);
+  check_expr "x != y" (A.Cmp (A.Ne, A.Var "x", A.Var "y"));
+  check_expr "TRUE" (A.Sym "TRUE")
+
+let test_parse_expr_case () =
+  match Smv.Parser.parse_expr "case x > 0 : x; TRUE : 0; esac" with
+  | Ok (A.Case [ (A.Cmp (A.Gt, A.Var "x", A.Int 0), A.Var "x"); (A.Sym "TRUE", A.Int 0) ]) -> ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  (match Smv.Parser.parse_expr "1 +" with
+  | Error msg -> Alcotest.(check bool) "line info" true (contains msg "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Smv.Parser.parse "MODULE other\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected module-name error"
+
+let test_parse_roundtrip_counter () =
+  let p = counter_program ~invarspecs:[ ("le3", A.Cmp (A.Le, A.Var "x", A.Int 3)) ] () in
+  let p2 = parse_ok (Smv.Printer.program_to_string p) in
+  Alcotest.(check bool) "same state vars" true (p.A.state_vars = p2.A.state_vars);
+  Alcotest.(check bool) "same defines" true (p.A.defines = p2.A.defines);
+  Alcotest.(check bool) "same init" true (p.A.init = p2.A.init);
+  (* Printed expressions are fully parenthesised, so next/specs compare
+     semantically via exploration. *)
+  let o1 = explore_ok p and o2 = explore_ok p2 in
+  Alcotest.(check bool) "same reachability" true (o1.stats = o2.stats);
+  Alcotest.(check int) "same violations" (List.length o1.violations)
+    (List.length o2.violations)
+
+let test_parse_roundtrip_network () =
+  let net = tiny_qnet () in
+  let cfg = Smv.Translate.symmetric ~delta:1 ~bias_noise:true ~samples:[ ([| 5; 9 |], 0) ] in
+  let p = Smv.Translate.network_program net cfg in
+  let p2 = parse_ok (Smv.Printer.program_to_string p) in
+  let o1 = explore_ok p and o2 = explore_ok p2 in
+  Alcotest.(check bool) "same stats" true (o1.stats = o2.stats);
+  Alcotest.(check int) "same violation count" (List.length o1.violations)
+    (List.length o2.violations)
+
+let test_parse_enum_symbols_resolved () =
+  let text =
+    "MODULE main\nVAR m : {a, b};\nASSIGN\n  init(m) := a;\n  next(m) := case m = a : b; TRUE : a; esac;\n"
+  in
+  let p = parse_ok text in
+  (match List.assoc "m" p.A.init with
+  | A.Sym "a" -> ()
+  | _ -> Alcotest.fail "init symbol not resolved");
+  let o = explore_ok p in
+  Alcotest.(check int) "both enum states reachable" 2 o.stats.n_states
+
+(* ---------- bounded model checking ---------- *)
+
+let bmc_ok ?bound p =
+  match Smv.Bmc.check ?bound p with
+  | Ok results -> results
+  | Error e -> Alcotest.fail ("bmc: " ^ e)
+
+let test_bmc_counter_holds () =
+  let p = counter_program ~invarspecs:[ ("le3", A.Cmp (A.Le, A.Var "x", A.Int 3)) ] () in
+  match bmc_ok ~bound:6 p with
+  | [ (_, Smv.Bmc.Holds_up_to 6) ] -> ()
+  | _ -> Alcotest.fail "expected holds"
+
+let test_bmc_counter_violation () =
+  let p = counter_program ~invarspecs:[ ("lt2", A.Cmp (A.Lt, A.Var "x", A.Int 2)) ] () in
+  match bmc_ok ~bound:6 p with
+  | [ (_, Smv.Bmc.Violated { step = 2; trace }) ] ->
+      Alcotest.(check int) "trace length" 3 (List.length trace);
+      (* The trace must follow the counter: x = 0, 1, 2. *)
+      let values =
+        List.map (fun st -> match st with [| A.VInt v |] -> v | _ -> -1) trace
+      in
+      Alcotest.(check (list int)) "trace values" [ 0; 1; 2 ] values
+  | [ (_, Smv.Bmc.Violated { step; _ }) ] ->
+      Alcotest.failf "violated at unexpected step %d" step
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_bmc_agrees_with_fsm_on_network () =
+  (* On the translated network, BMC (bound 2) and explicit exploration
+     must agree on whether P2 is violated. *)
+  let net = tiny_qnet () in
+  let input = [| 10; 12 |] in
+  let label = Nn.Qnet.predict net input in
+  List.iter
+    (fun delta ->
+      let cfg = Smv.Translate.symmetric ~delta ~bias_noise:false ~samples:[ (input, label) ] in
+      let prog = Smv.Translate.network_program net cfg in
+      let fsm_violated = (explore_ok prog).violations <> [] in
+      let bmc_violated =
+        match bmc_ok ~bound:2 prog with
+        | [ (_, Smv.Bmc.Violated _) ] -> true
+        | [ (_, Smv.Bmc.Holds_up_to _) ] -> false
+        | _ -> Alcotest.fail "one spec expected"
+      in
+      Alcotest.(check bool) (Printf.sprintf "delta %d" delta) fsm_violated bmc_violated)
+    [ 0; 1; 3; 8; 10; 12 ]
+
+let test_bmc_enum_trace_decoded () =
+  let net = tiny_qnet () in
+  let input = [| 10; 12 |] in
+  let label = Nn.Qnet.predict net input in
+  let cfg = Smv.Translate.symmetric ~delta:12 ~bias_noise:false ~samples:[ (input, label) ] in
+  let prog = Smv.Translate.network_program net cfg in
+  match bmc_ok ~bound:2 prog with
+  | [ (_, Smv.Bmc.Violated { trace; _ }) ] -> (
+      match trace with
+      | first :: _ -> (
+          (* State order: phase first, then noise vars; phase starts at
+             s_init. *)
+          match first.(0) with
+          | A.VSym "s_init" -> ()
+          | _ -> Alcotest.fail "first phase not s_init")
+      | [] -> Alcotest.fail "empty trace")
+  | _ -> Alcotest.fail "expected violation at +-12%"
+
+let test_bmc_rejects_nonlinear () =
+  let p =
+    {
+      A.state_vars = [ ("x", A.Range (0, 3)); ("y", A.Range (0, 3)) ];
+      input_vars = [];
+      defines = [];
+      init = [ ("x", A.Int 1); ("y", A.Int 1) ];
+      next = [ ("x", A.Mul (A.Var "x", A.Var "y")); ("y", A.Var "y") ];
+      invarspecs = [ ("t", A.Cmp (A.Le, A.Var "x", A.Int 3)) ];
+    }
+  in
+  match Smv.Bmc.check p with
+  | Error msg -> Alcotest.(check bool) "nonlinear" true (contains msg "nonlinear")
+  | Ok _ -> Alcotest.fail "expected unsupported"
+
+(* ---------- random-program cross-checks ---------- *)
+
+(* Random finite-state programs whose transitions are nondeterministic
+   choices among constants: always well-typed, never leave their domains,
+   and every reachable state appears within one step — so explicit
+   exploration, bounded model checking (bound >= 2) and the printed/parsed
+   roundtrip must all agree. *)
+let random_program_gen =
+  let open QCheck.Gen in
+  let* n_vars = int_range 1 3 in
+  let domain_lo = -2 and domain_hi = 3 in
+  let var_names = [ "a"; "b"; "c" ] in
+  let const = int_range domain_lo domain_hi in
+  let* inits = list_size (return n_vars) (list_size (int_range 1 2) const) in
+  let* nexts = list_size (return n_vars) (option (list_size (int_range 1 3) const)) in
+  let* spec_var = int_range 0 (n_vars - 1) in
+  let* spec_bound = const in
+  let* spec_cmp = oneofl [ A.Le; A.Lt; A.Ne; A.Ge ] in
+  let names = List.filteri (fun i _ -> i < n_vars) var_names in
+  let program =
+    {
+      A.state_vars = List.map (fun n -> (n, A.Range (domain_lo, domain_hi))) names;
+      input_vars = [];
+      defines = [];
+      init =
+        List.map2
+          (fun n vals -> (n, A.Set (List.map (fun v -> A.Int v) vals)))
+          names inits;
+      next =
+        List.concat
+          (List.map2
+             (fun n vals ->
+               match vals with
+               | None -> [] (* frozen *)
+               | Some vs -> [ (n, A.Set (List.map (fun v -> A.Int v) vs)) ])
+             names nexts);
+      invarspecs =
+        [ ("p", A.Cmp (spec_cmp, A.Var (List.nth names spec_var), A.Int spec_bound)) ];
+    }
+  in
+  return program
+
+let arb_program =
+  QCheck.make ~print:Smv.Printer.program_to_string random_program_gen
+
+let prop_fsm_bmc_agree =
+  QCheck.Test.make ~name:"explicit engine and BMC agree on random programs"
+    ~count:150 arb_program (fun program ->
+      match (Smv.Fsm.explore program, Smv.Bmc.check ~bound:3 program) with
+      | Ok fsm, Ok [ (_, bmc) ] -> (
+          let fsm_violated = fsm.violations <> [] in
+          match bmc with
+          | Smv.Bmc.Violated _ -> fsm_violated
+          | Smv.Bmc.Holds_up_to _ -> not fsm_violated)
+      | Ok _, Ok _ -> false
+      | Error _, _ | _, Error _ -> false)
+
+let prop_print_parse_preserves_semantics =
+  QCheck.Test.make ~name:"print/parse roundtrip preserves reachability"
+    ~count:150 arb_program (fun program ->
+      match Smv.Parser.parse (Smv.Printer.program_to_string program) with
+      | Error _ -> false
+      | Ok program2 -> (
+          match (Smv.Fsm.explore program, Smv.Fsm.explore program2) with
+          | Ok o1, Ok o2 ->
+              o1.stats = o2.stats
+              && List.length o1.violations = List.length o2.violations
+          | (Ok _ | Error _), _ -> false))
+
+let prop_bmc_trace_replays =
+  QCheck.Test.make ~name:"BMC counterexample traces satisfy the program"
+    ~count:150 arb_program (fun program ->
+      match Smv.Bmc.check ~bound:3 program with
+      | Ok [ (_, Smv.Bmc.Violated { trace; step }) ] ->
+          List.length trace = step + 1
+          &&
+          (* The final state must violate the spec under the explicit
+             evaluator, and every state must respect domains. *)
+          let last = List.nth trace step in
+          let _, spec = List.hd program.A.invarspecs in
+          (match Smv.Fsm.eval_in_state program last spec with
+          | Ok (A.VBool false) -> true
+          | Ok _ | Error _ -> false)
+      | Ok [ (_, Smv.Bmc.Holds_up_to _) ] -> true
+      | Ok _ | Error _ -> false)
+
+let () =
+  Alcotest.run "smv"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "domain values" `Quick test_domain_values;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "duplicate decl" `Quick test_validate_duplicate;
+          Alcotest.test_case "unknown reference" `Quick test_validate_unknown_reference;
+          Alcotest.test_case "init non-state" `Quick test_validate_init_non_state;
+          Alcotest.test_case "define order" `Quick test_validate_define_order;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "structure" `Quick test_printer_structure;
+          Alcotest.test_case "invarspec" `Quick test_printer_invarspec;
+          Alcotest.test_case "set and enum" `Quick test_printer_set_and_enum;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "counter reachability" `Quick test_fsm_counter_reachability;
+          Alcotest.test_case "invariant holds" `Quick test_fsm_invariant_holds;
+          Alcotest.test_case "violation with trace" `Quick test_fsm_invariant_violated_with_trace;
+          Alcotest.test_case "set nondeterminism" `Quick test_fsm_set_nondeterminism;
+          Alcotest.test_case "input vars" `Quick test_fsm_input_vars;
+          Alcotest.test_case "frozen var" `Quick test_fsm_frozen_var;
+          Alcotest.test_case "state limit" `Quick test_fsm_state_limit;
+          Alcotest.test_case "domain violation" `Quick test_fsm_domain_violation_detected;
+          Alcotest.test_case "eval in state" `Quick test_fsm_eval_in_state;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "expressions" `Quick test_parse_expr;
+          Alcotest.test_case "case expression" `Quick test_parse_expr_case;
+          Alcotest.test_case "errors carry line info" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip counter" `Quick test_parse_roundtrip_counter;
+          Alcotest.test_case "roundtrip network" `Quick test_parse_roundtrip_network;
+          Alcotest.test_case "enum symbols resolved" `Quick test_parse_enum_symbols_resolved;
+        ] );
+      ( "random-cross-checks",
+        [
+          QCheck_alcotest.to_alcotest prop_fsm_bmc_agree;
+          QCheck_alcotest.to_alcotest prop_print_parse_preserves_semantics;
+          QCheck_alcotest.to_alcotest prop_bmc_trace_replays;
+        ] );
+      ( "bmc",
+        [
+          Alcotest.test_case "counter holds" `Quick test_bmc_counter_holds;
+          Alcotest.test_case "counter violation + trace" `Quick test_bmc_counter_violation;
+          Alcotest.test_case "agrees with fsm on network" `Quick test_bmc_agrees_with_fsm_on_network;
+          Alcotest.test_case "enum trace decoded" `Quick test_bmc_enum_trace_decoded;
+          Alcotest.test_case "rejects nonlinear" `Quick test_bmc_rejects_nonlinear;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "validates" `Quick test_translate_validates;
+          Alcotest.test_case "rejects bad input" `Quick test_translate_rejects_bad_input;
+          Alcotest.test_case "fsm agrees with qnet" `Quick test_translate_fsm_agrees_with_qnet;
+          Alcotest.test_case "noise violation matches explicit" `Quick
+            test_translate_noise_violation_matches_explicit;
+          Alcotest.test_case "fig3 state-space shape" `Quick test_translate_fig3_shape;
+          Alcotest.test_case "smv text structure" `Quick test_translate_smv_text_mentions_structure;
+        ] );
+    ]

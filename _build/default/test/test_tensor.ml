@@ -1,0 +1,148 @@
+(* Tests for the tensor library: vector/matrix algebra used by training. *)
+
+module Vec = Tensor.Vec
+module Mat = Tensor.Mat
+
+let vecf = Alcotest.(array (float 1e-9))
+
+let test_vec_basic_ops () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; 5.; 6. |] in
+  Alcotest.check vecf "add" [| 5.; 7.; 9. |] (Vec.add a b);
+  Alcotest.check vecf "sub" [| -3.; -3.; -3. |] (Vec.sub a b);
+  Alcotest.check vecf "mul" [| 4.; 10.; 18. |] (Vec.mul a b);
+  Alcotest.check vecf "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a);
+  Alcotest.(check (float 1e-9)) "dot" 32. (Vec.dot a b)
+
+let test_vec_length_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vec.map2: length mismatch") (fun () ->
+      ignore (Vec.add [| 1. |] [| 1.; 2. |]))
+
+let test_vec_argmax () =
+  Alcotest.(check int) "simple" 2 (Vec.argmax [| 1.; 2.; 5.; 0. |]);
+  Alcotest.(check int) "tie goes to first" 0 (Vec.argmax [| 3.; 3. |]);
+  Alcotest.(check int) "negative values" 1 (Vec.argmax [| -5.; -1.; -2. |])
+
+let test_vec_softmax () =
+  let s = Vec.softmax [| 1.; 2.; 3. |] in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1. (Vec.sum s);
+  Alcotest.(check bool) "monotone" true (s.(0) < s.(1) && s.(1) < s.(2));
+  (* Large logits must not overflow. *)
+  let big = Vec.softmax [| 1000.; 1001. |] in
+  Alcotest.(check bool) "stable" true (Float.is_finite big.(0) && Float.is_finite big.(1))
+
+let test_vec_one_hot () =
+  Alcotest.check vecf "one hot" [| 0.; 1.; 0. |] (Vec.one_hot 3 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vec.one_hot: index out of range") (fun () ->
+      ignore (Vec.one_hot 2 5))
+
+let test_vec_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy 2. [| 3.; 4. |] y;
+  Alcotest.check vecf "y <- 2x + y" [| 7.; 9. |] y
+
+let test_vec_norm () =
+  Alcotest.(check (float 1e-9)) "norm2" 5. (Vec.norm2 [| 3.; 4. |])
+
+let test_mat_init_get_set () =
+  let m = Mat.init ~rows:2 ~cols:3 (fun r c -> float_of_int ((r * 10) + c)) in
+  Alcotest.(check (float 0.)) "get 0 0" 0. (Mat.get m 0 0);
+  Alcotest.(check (float 0.)) "get 1 2" 12. (Mat.get m 1 2);
+  Mat.set m 1 2 99.;
+  Alcotest.(check (float 0.)) "after set" 99. (Mat.get m 1 2);
+  Alcotest.check_raises "oob" (Invalid_argument "Mat: index out of bounds")
+    (fun () -> ignore (Mat.get m 2 0))
+
+let test_mat_mul_vec () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  Alcotest.check vecf "mul_vec" [| 5.; 11.; 17. |] (Mat.mul_vec m [| 1.; 2. |]);
+  Alcotest.check vecf "tmul_vec" [| 22.; 28. |] (Mat.tmul_vec m [| 1.; 2.; 3. |])
+
+let test_mat_transpose_consistency () =
+  let m = Mat.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let mt = Mat.transpose m in
+  let x = [| 7.; 8. |] in
+  Alcotest.check vecf "transpose mul = tmul" (Mat.tmul_vec m x) (Mat.mul_vec mt x)
+
+let test_mat_outer () =
+  let o = Mat.outer [| 1.; 2. |] [| 3.; 4.; 5. |] in
+  Alcotest.(check (pair int int)) "dims" (2, 3) (Mat.dims o);
+  Alcotest.(check (float 0.)) "o(1,2)" 10. (Mat.get o 1 2)
+
+let test_mat_axpy () =
+  let x = Mat.of_rows [| [| 1.; 2. |] |] in
+  let y = Mat.of_rows [| [| 10.; 10. |] |] in
+  Mat.axpy (-1.) x y;
+  Alcotest.check vecf "row" [| 9.; 8. |] (Mat.row y 0)
+
+let test_mat_of_rows_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Mat.of_rows [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_mat_row_col () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.check vecf "row 1" [| 3.; 4. |] (Mat.row m 1);
+  Alcotest.check vecf "col 0" [| 1.; 3. |] (Mat.col m 0)
+
+(* Property tests on algebraic identities. *)
+
+let vec_gen n = QCheck.Gen.(array_size (return n) (float_range (-100.) 100.))
+
+let arb_vec n = QCheck.make (vec_gen n)
+
+let prop_dot_symmetric =
+  QCheck.Test.make ~name:"dot is symmetric" ~count:200
+    (QCheck.pair (arb_vec 5) (arb_vec 5)) (fun (a, b) ->
+      Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-6)
+
+let prop_softmax_normalised =
+  QCheck.Test.make ~name:"softmax sums to 1" ~count:200 (arb_vec 4) (fun a ->
+      Float.abs (Vec.sum (Vec.softmax a) -. 1.) < 1e-9)
+
+let prop_matvec_linear =
+  QCheck.Test.make ~name:"M(x+y) = Mx + My" ~count:200
+    (QCheck.pair (arb_vec 3) (arb_vec 3)) (fun (x, y) ->
+      let m = Mat.of_rows [| [| 1.; -2.; 0.5 |]; [| 0.; 3.; 1. |] |] in
+      Vec.approx_equal ~eps:1e-6
+        (Mat.mul_vec m (Vec.add x y))
+        (Vec.add (Mat.mul_vec m x) (Mat.mul_vec m y)))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose . transpose = id" ~count:100
+    (QCheck.make QCheck.Gen.(pair (int_range 1 6) (int_range 1 6)))
+    (fun (r, c) ->
+      let m = Mat.init ~rows:r ~cols:c (fun i j -> float_of_int ((i * 7) + j)) in
+      Mat.approx_equal m (Mat.transpose (Mat.transpose m)))
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic_ops;
+          Alcotest.test_case "length mismatch" `Quick test_vec_length_mismatch;
+          Alcotest.test_case "argmax" `Quick test_vec_argmax;
+          Alcotest.test_case "softmax" `Quick test_vec_softmax;
+          Alcotest.test_case "one_hot" `Quick test_vec_one_hot;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "norm2" `Quick test_vec_norm;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "init/get/set" `Quick test_mat_init_get_set;
+          Alcotest.test_case "mul_vec/tmul_vec" `Quick test_mat_mul_vec;
+          Alcotest.test_case "transpose consistency" `Quick test_mat_transpose_consistency;
+          Alcotest.test_case "outer" `Quick test_mat_outer;
+          Alcotest.test_case "axpy" `Quick test_mat_axpy;
+          Alcotest.test_case "ragged rejected" `Quick test_mat_of_rows_ragged;
+          Alcotest.test_case "row/col" `Quick test_mat_row_col;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_dot_symmetric;
+          QCheck_alcotest.to_alcotest prop_softmax_normalised;
+          QCheck_alcotest.to_alcotest prop_matvec_linear;
+          QCheck_alcotest.to_alcotest prop_transpose_involution;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for the util library: RNG determinism/distribution, statistics,
+   and table rendering. *)
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 42 in
+  let b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.int64 a) (Util.Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Util.Rng.create 1 in
+  let b = Util.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Rng.int64 a = Util.Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_copy_independent () =
+  let a = Util.Rng.create 7 in
+  ignore (Util.Rng.int64 a);
+  let b = Util.Rng.copy a in
+  let va = Util.Rng.int64 a in
+  let vb = Util.Rng.int64 b in
+  Alcotest.(check int64) "copy continues identically" va vb
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 7 in
+  let b = Util.Rng.split a in
+  let xs = Array.init 32 (fun _ -> Util.Rng.int64 a) in
+  let ys = Array.init 32 (fun _ -> Util.Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_range () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_in_bounds () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_in_hits_extremes () =
+  let rng = Util.Rng.create 5 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Util.Rng.int_in rng (-3) 3 in
+    if v = -3 then seen_lo := true;
+    if v = 3 then seen_hi := true
+  done;
+  Alcotest.(check bool) "lower bound reachable" true !seen_lo;
+  Alcotest.(check bool) "upper bound reachable" true !seen_hi
+
+let test_rng_float_unit_interval () =
+  let rng = Util.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Util.Rng.create 13 in
+  let xs = Array.init 20000 (fun _ -> Util.Rng.gaussian rng) in
+  let mean = Util.Stats.mean xs in
+  let std = Util.Stats.std xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "std near 1" true (Float.abs (std -. 1.) < 0.05)
+
+let test_rng_shuffle_permutes () =
+  let rng = Util.Rng.create 17 in
+  let a = Array.init 50 (fun i -> i) in
+  let orig = Array.copy a in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true (sorted = orig);
+  Alcotest.(check bool) "usually not identity" true (a <> orig)
+
+let test_stats_mean_variance () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Util.Stats.mean a);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Util.Stats.variance a);
+  Alcotest.(check (float 1e-9)) "std" (sqrt 1.25) (Util.Stats.std a)
+
+let test_stats_minmax () =
+  let a = [| 3.; -1.; 7.; 0. |] in
+  Alcotest.(check (float 0.)) "min" (-1.) (Util.Stats.min a);
+  Alcotest.(check (float 0.)) "max" 7. (Util.Stats.max a)
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2. (Util.Stats.median [| 3.; 1.; 2. |]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Util.Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_stats_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "p0" 1. (Util.Stats.percentile a 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Util.Stats.percentile a 100.);
+  Alcotest.(check (float 1e-9)) "p25" 2. (Util.Stats.percentile a 25.)
+
+let test_stats_pearson () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  let y = [| 2.; 4.; 6.; 8. |] in
+  Alcotest.(check (float 1e-9)) "perfect +" 1. (Util.Stats.pearson x y);
+  let z = [| 8.; 6.; 4.; 2. |] in
+  Alcotest.(check (float 1e-9)) "perfect -" (-1.) (Util.Stats.pearson x z);
+  let c = [| 5.; 5.; 5.; 5. |] in
+  Alcotest.(check (float 1e-9)) "zero variance" 0. (Util.Stats.pearson x c)
+
+let test_stats_histogram () =
+  let a = [| 0.1; 0.9; 0.5; -3.; 42. |] in
+  let h = Util.Stats.histogram a ~bins:2 ~lo:0. ~hi:1. in
+  Alcotest.(check int) "low bucket (incl clamped)" 2 h.(0);
+  Alcotest.(check int) "high bucket (incl clamped)" 3 h.(1)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Util.Stats.mean [||]))
+
+let test_table_render () =
+  let t = Util.Table.create ~header:[ "name"; "value" ] in
+  Util.Table.add_row t [ "alpha"; "1" ];
+  Util.Table.add_row t [ "b"; "22" ];
+  let s = Util.Table.to_string t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  (* All lines padded to equal visible width per column. *)
+  (match lines with
+  | _ :: sep :: _ -> Alcotest.(check bool) "separator dashes" true (String.contains sep '-')
+  | _ -> Alcotest.fail "missing separator")
+
+let test_table_row_arity_checked () =
+  let t = Util.Table.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Table.add_row: cell count differs from header")
+    (fun () -> Util.Table.add_row t [ "only-one" ])
+
+let test_table_int_row () =
+  let t = Util.Table.create ~header:[ "k"; "x"; "y" ] in
+  Util.Table.add_int_row t "row" [ 1; -2 ];
+  let s = Util.Table.to_string t in
+  Alcotest.(check bool) "renders ints" true
+    (let contains sub =
+       let n = String.length s and m = String.length sub in
+       let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+       loop 0
+     in
+     contains "-2")
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int_in extremes" `Quick test_rng_int_in_hits_extremes;
+          Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "pearson" `Quick test_stats_pearson;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row arity" `Quick test_table_row_arity_checked;
+          Alcotest.test_case "int rows" `Quick test_table_int_row;
+        ] );
+    ]

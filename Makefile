@@ -1,0 +1,24 @@
+.PHONY: build test bench bench-smoke fmt clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full evaluation suite (E1-E15 + Bechamel timings); takes minutes.
+bench:
+	dune exec bench/main.exe
+
+# Parallel-engine subset on the small-dataset pipeline (< 5 s). Emits
+# BENCH_parallel.json and fails unless the artefact re-parses and the
+# jobs=1 / jobs=N / cascade verdicts agree.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+
+fmt:
+	dune fmt
+
+clean:
+	dune clean
+	rm -f BENCH_parallel.json

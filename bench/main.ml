@@ -689,6 +689,203 @@ let extension_absolute_noise (p : Fannet.Pipeline.t) =
     \ literature - both run on the same engines)"
 
 (* ------------------------------------------------------------------ *)
+(* E15 - parallel engine, cascade prefilter, incremental search        *)
+(* ------------------------------------------------------------------ *)
+
+(* A small fixed network for the incremental-SMT comparison: bit-blasting
+   the full pipeline network takes tens of seconds per UNSAT probe (the
+   scalability wall measured in E7), so the warm-vs-cold session contrast
+   is shown on a model where both sides finish in milliseconds. *)
+let small_qnet () =
+  Nn.Qnet.create
+    [|
+      {
+        Nn.Qnet.weights =
+          [|
+            [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |];
+          |];
+        bias = [| 55; -31; 12; -7 |];
+        relu = true;
+      };
+      {
+        Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
+        bias = [| 13; 0 |];
+        relu = false;
+      };
+    |]
+
+let bench_parallel ?(smoke = false) (p : Fannet.Pipeline.t) ~out =
+  section "E15 bench_parallel (domain pool + cascade prefilter + incremental search)";
+  let all_inputs = Fannet.Pipeline.analysis_inputs p in
+  let inputs =
+    if smoke then Array.sub all_inputs 0 (min 6 (Array.length all_inputs))
+    else all_inputs
+  in
+  let delta = 15 in
+  let max_delta = if smoke then 30 else 50 in
+  (* Exercise the pool even on single-core machines: chunking and domain
+     spawning must preserve results regardless of the hardware count. *)
+  let njobs = max 2 (Util.Parallel.default_jobs ()) in
+  let table =
+    Util.Table.create
+      ~header:
+        [ "analysis"; "backend"; "jobs=1 (s)"; Printf.sprintf "jobs=%d (s)" njobs;
+          "speedup"; "equal"; "prefilter hit rate" ]
+  in
+  let analyses = ref [] in
+  let run_analysis name backend f =
+    let cascade = match backend with Fannet.Backend.Cascade _ -> true | _ -> false in
+    let r1, t1 = time_of (fun () -> f ~jobs:1 backend) in
+    if cascade then Fannet.Backend.reset_cascade_stats ();
+    let rn, tn = time_of (fun () -> f ~jobs:njobs backend) in
+    let stats = if cascade then Some (Fannet.Backend.cascade_stats ()) else None in
+    let equal = r1 = rn in
+    if not equal then
+      failwith (Printf.sprintf "E15: %s verdicts differ between jobs=1 and jobs=%d" name njobs);
+    let hit_rate = Option.map Fannet.Backend.cascade_hit_rate stats in
+    Util.Table.add_row table
+      [
+        name;
+        Fannet.Backend.to_string backend;
+        Printf.sprintf "%.3f" t1;
+        Printf.sprintf "%.3f" tn;
+        Printf.sprintf "%.2fx" (t1 /. tn);
+        string_of_bool equal;
+        (match hit_rate with
+        | Some r -> Printf.sprintf "%.0f%%" (100. *. r)
+        | None -> "-");
+      ];
+    analyses :=
+      Util.Json.Obj
+        ([
+           ("analysis", Util.Json.String name);
+           ("backend", Util.Json.String (Fannet.Backend.to_string backend));
+           ("jobs1_s", Util.Json.Float t1);
+           ("jobsN_s", Util.Json.Float tn);
+           ("speedup", Util.Json.Float (t1 /. tn));
+           ("verdicts_equal", Util.Json.Bool equal);
+         ]
+        @
+        match stats with
+        | None -> []
+        | Some s ->
+            [
+              ("interval_hits", Util.Json.Int s.Fannet.Backend.interval_hits);
+              ("escalations", Util.Json.Int s.Fannet.Backend.escalations);
+              ( "hit_rate",
+                Util.Json.Float (Fannet.Backend.cascade_hit_rate s) );
+            ])
+      :: !analyses;
+    r1
+  in
+  let misclassified ~jobs backend =
+    List.map
+      (fun (f : Fannet.Tolerance.flip) -> (f.input_index, f.predicted))
+      (Fannet.Tolerance.misclassified_at ~jobs backend p.qnet ~bias_noise ~delta
+         ~inputs)
+  in
+  let tolerance ~jobs backend =
+    [ (Fannet.Tolerance.network_tolerance ~jobs backend p.qnet ~bias_noise
+         ~max_delta ~inputs, 0) ]
+  in
+  let mis_bnb = run_analysis "misclassified_at" Fannet.Backend.Bnb misclassified in
+  let mis_cascade =
+    run_analysis "misclassified_at" Fannet.Backend.default_cascade misclassified
+  in
+  if mis_bnb <> mis_cascade then
+    failwith "E15: cascade(bnb) disagrees with bnb on misclassified_at";
+  let tol_bnb = run_analysis "network_tolerance" Fannet.Backend.Bnb tolerance in
+  let tol_cascade =
+    run_analysis "network_tolerance" Fannet.Backend.default_cascade tolerance
+  in
+  if tol_bnb <> tol_cascade then
+    failwith "E15: cascade(bnb) disagrees with bnb on network_tolerance";
+  Util.Table.print table;
+  (* Incremental bit-blasted binary search: one warm session with assumable
+     range literals vs re-encoding the network at every probe. *)
+  let qnet = small_qnet () in
+  let sinput = [| 112; 87 |] in
+  let slabel = Nn.Qnet.predict qnet sinput in
+  let smt_max_delta = 40 in
+  let warm, warm_t =
+    time_of (fun () ->
+        Fannet.Tolerance.input_min_flip_delta Fannet.Backend.Smt qnet
+          ~bias_noise:false ~max_delta:smt_max_delta ~input:sinput ~label:slabel)
+  in
+  let cold, cold_t =
+    time_of (fun () ->
+        (* The pre-incremental procedure: a fresh Tseitin encoding and solver
+           per probe of the same monotone binary search. *)
+        let flips d =
+          let spec = Fannet.Noise.symmetric ~delta:d ~bias_noise:false in
+          match
+            Fannet.Backend.exists_flip Fannet.Backend.Smt qnet spec ~input:sinput
+              ~label:slabel
+          with
+          | Fannet.Backend.Flip _ -> true
+          | Fannet.Backend.Robust -> false
+          | Fannet.Backend.Unknown -> failwith "E15: smt probe unknown"
+        in
+        if not (flips smt_max_delta) then None
+        else if flips 0 then Some 0
+        else begin
+          let rec search lo hi =
+            if hi - lo <= 1 then hi
+            else
+              let mid = (lo + hi) / 2 in
+              if flips mid then search lo mid else search mid hi
+          in
+          Some (search 0 smt_max_delta)
+        end)
+  in
+  let bnb_ref =
+    Fannet.Tolerance.input_min_flip_delta Fannet.Backend.Bnb qnet ~bias_noise:false
+      ~max_delta:smt_max_delta ~input:sinput ~label:slabel
+  in
+  if warm <> cold || warm <> bnb_ref then
+    failwith "E15: incremental smt min-flip disagrees with cold smt or bnb";
+  let show = function Some d -> Printf.sprintf "+-%d%%" d | None -> "robust" in
+  Printf.printf
+    "incremental smt min-flip (small net): %s in %.3fs warm session vs %.3fs\n\
+    \ re-encoding per probe (%.2fx); bnb agrees (%s)\n"
+    (show warm) warm_t cold_t (cold_t /. warm_t) (show bnb_ref);
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_parallel/1");
+        ("smoke", Util.Json.Bool smoke);
+        ("jobs", Util.Json.Int njobs);
+        ( "recommended_domains",
+          Util.Json.Int (Domain.recommended_domain_count ()) );
+        ("n_inputs", Util.Json.Int (Array.length inputs));
+        ("delta", Util.Json.Int delta);
+        ("max_delta", Util.Json.Int max_delta);
+        ("analyses", Util.Json.List (List.rev !analyses));
+        ( "incremental_smt",
+          Util.Json.Obj
+            [
+              ("max_delta", Util.Json.Int smt_max_delta);
+              ( "min_flip_delta",
+                match warm with
+                | Some d -> Util.Json.Int d
+                | None -> Util.Json.Null );
+              ("warm_s", Util.Json.Float warm_t);
+              ("cold_s", Util.Json.Float cold_t);
+              ("speedup", Util.Json.Float (cold_t /. warm_t));
+              ("agrees_bnb", Util.Json.Bool (warm = bnb_ref));
+            ] );
+      ]
+  in
+  Util.Json.write_file out json;
+  (match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_parallel/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E15: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E15: %s failed to parse: %s" out e))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -751,25 +948,47 @@ let timing_suite (p : Fannet.Pipeline.t) =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  print_endline "FANNet reproduction benchmarks";
-  print_endline "==============================";
-  let t0 = Unix.gettimeofday () in
-  let p = Fannet.Pipeline.run () in
-  Printf.printf "pipeline (dataset -> mRMR -> train -> fold -> quantize): %.2fs\n"
-    (Unix.gettimeofday () -. t0);
-  fig3_state_space p;
-  fig4_tolerance_sweep p;
-  fig4_training_bias p;
-  fig4_node_sensitivity p;
-  fig4_boundary p;
-  accuracy_table p;
-  ablation_backends p;
-  ablation_random_baseline p;
-  ablation_training_objective ();
-  ablation_quantization p;
-  ablation_hidden_width ();
-  ablation_feature_selection ();
-  extension_multiclass ();
-  extension_absolute_noise p;
-  timing_suite p;
-  print_endline "\nAll experiment sections completed."
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let out =
+    let rec find i =
+      if i >= Array.length Sys.argv then "BENCH_parallel.json"
+      else if Sys.argv.(i) = "-o" && i + 1 < Array.length Sys.argv then
+        Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  if smoke then begin
+    (* bench-smoke: the parallel/cascade section only, on the small-dataset
+       pipeline, validating that BENCH_parallel.json is emitted and parses. *)
+    print_endline "FANNet bench smoke (parallel engine)";
+    print_endline "====================================";
+    let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
+    bench_parallel ~smoke p ~out;
+    print_endline "\nSmoke bench completed."
+  end
+  else begin
+    print_endline "FANNet reproduction benchmarks";
+    print_endline "==============================";
+    let t0 = Unix.gettimeofday () in
+    let p = Fannet.Pipeline.run () in
+    Printf.printf "pipeline (dataset -> mRMR -> train -> fold -> quantize): %.2fs\n"
+      (Unix.gettimeofday () -. t0);
+    fig3_state_space p;
+    fig4_tolerance_sweep p;
+    fig4_training_bias p;
+    fig4_node_sensitivity p;
+    fig4_boundary p;
+    accuracy_table p;
+    ablation_backends p;
+    ablation_random_baseline p;
+    ablation_training_objective ();
+    ablation_quantization p;
+    ablation_hidden_width ();
+    ablation_feature_selection ();
+    extension_multiclass ();
+    extension_absolute_noise p;
+    bench_parallel ~smoke:false p ~out;
+    timing_suite p;
+    print_endline "\nAll experiment sections completed."
+  end

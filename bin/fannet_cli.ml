@@ -41,19 +41,29 @@ let backend =
     | "smt" -> Ok Fannet.Backend.Smt
     | "explicit" -> Ok (Fannet.Backend.Explicit { limit = Fannet.Backend.default_explicit_limit })
     | "interval" -> Ok Fannet.Backend.Interval
-    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (bnb|smt|explicit|interval)" s))
+    | "cascade" -> Ok (Fannet.Backend.Cascade Fannet.Backend.Bnb)
+    | "cascade-smt" -> Ok (Fannet.Backend.Cascade Fannet.Backend.Smt)
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown backend %S (bnb|smt|explicit|interval|cascade|cascade-smt)" s))
   in
-  let print fmt b =
-    Format.pp_print_string fmt
-      (match b with
-      | Fannet.Backend.Bnb -> "bnb"
-      | Fannet.Backend.Smt -> "smt"
-      | Fannet.Backend.Explicit _ -> "explicit"
-      | Fannet.Backend.Interval -> "interval")
-  in
+  let print fmt b = Format.pp_print_string fmt (Fannet.Backend.to_string b) in
   let backend_conv = Arg.conv (parse, print) in
-  let doc = "Analysis backend: bnb (default), smt, explicit or interval." in
+  let doc =
+    "Analysis backend: bnb (default), smt, explicit, interval, cascade \
+     (interval prefilter + bnb) or cascade-smt."
+  in
   Arg.(value & opt backend_conv Fannet.Backend.Bnb & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for the per-sample verification loops. Defaults to \
+     $(b,FANNET_JOBS) or the machine's recommended domain count; 1 forces the \
+     sequential path (results are identical at every setting)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let limit =
   let doc = "Maximum number of counterexamples to extract." in
@@ -138,7 +148,8 @@ let translate_cmd =
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ output_file)
 
 let tolerance_cmd =
-  let run dataset_seed init_seed max_delta no_bias_noise backend =
+  let run dataset_seed init_seed max_delta no_bias_noise backend jobs =
+    Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let tol =
@@ -150,10 +161,11 @@ let tolerance_cmd =
   in
   let doc = "Compute the network noise tolerance (paper: +-11%)." in
   Cmd.v (Cmd.info "tolerance" ~doc)
-    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend)
+    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
 
 let sweep_cmd =
-  let run dataset_seed init_seed no_bias_noise backend =
+  let run dataset_seed init_seed no_bias_noise backend jobs =
+    Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let sweep =
@@ -174,7 +186,7 @@ let sweep_cmd =
   in
   let doc = "Misclassification counts per noise range (Fig. 4 left panel)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ dataset_seed $ init_seed $ no_bias_noise $ backend)
+    Term.(const run $ dataset_seed $ init_seed $ no_bias_noise $ backend $ jobs)
 
 let extract_cmd =
   let run dataset_seed init_seed delta no_bias_noise input_index limit =
@@ -206,7 +218,8 @@ let extract_cmd =
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ limit)
 
 let sensitivity_cmd =
-  let run dataset_seed init_seed delta no_bias_noise limit =
+  let run dataset_seed init_seed delta no_bias_noise limit jobs =
+    Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let bias_noise = bias_flag no_bias_noise in
@@ -223,10 +236,11 @@ let sensitivity_cmd =
   in
   let doc = "Input-node sensitivity: corpus statistics and formal sidedness." in
   Cmd.v (Cmd.info "sensitivity" ~doc)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
 
 let boundary_cmd =
-  let run dataset_seed init_seed max_delta no_bias_noise backend =
+  let run dataset_seed init_seed max_delta no_bias_noise backend jobs =
+    Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let points =
@@ -252,10 +266,11 @@ let boundary_cmd =
   in
   let doc = "Per-input minimal flipping noise (classification boundary)." in
   Cmd.v (Cmd.info "boundary" ~doc)
-    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend)
+    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
 
 let bias_cmd =
-  let run dataset_seed init_seed delta no_bias_noise limit =
+  let run dataset_seed init_seed delta no_bias_noise limit jobs =
+    Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
@@ -269,7 +284,7 @@ let bias_cmd =
   in
   let doc = "Training-bias analysis over the counterexample corpus." in
   Cmd.v (Cmd.info "bias" ~doc)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit)
+    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
 
 let minflip_cmd =
   let run dataset_seed init_seed delta no_bias_noise =

@@ -1,11 +1,36 @@
 module T = Smtlite.Term
 module I = Smtlite.Interval
 
-type t = Bnb | Smt | Explicit of { limit : int } | Interval
+type t = Bnb | Smt | Explicit of { limit : int } | Interval | Cascade of t
 
 type verdict = Robust | Flip of Noise.vector | Unknown
 
 let default_explicit_limit = 2_000_000
+
+let default_cascade = Cascade Bnb
+
+(* Cascade instrumentation, aggregated across all worker domains: how many
+   queries the interval prefilter settled vs escalated to the complete
+   engine. *)
+type cascade_stats = { interval_hits : int; escalations : int }
+
+let cascade_hits = Atomic.make 0
+
+let cascade_escalations = Atomic.make 0
+
+let reset_cascade_stats () =
+  Atomic.set cascade_hits 0;
+  Atomic.set cascade_escalations 0
+
+let cascade_stats () =
+  {
+    interval_hits = Atomic.get cascade_hits;
+    escalations = Atomic.get cascade_escalations;
+  }
+
+let cascade_hit_rate { interval_hits; escalations } =
+  let total = interval_hits + escalations in
+  if total = 0 then 0. else float_of_int interval_hits /. float_of_int total
 
 let validate_flip net spec ~input ~label v =
   if not (Noise.in_range spec v) then
@@ -86,7 +111,7 @@ let interval_exists_flip net spec ~input ~label =
   in
   if provably_wins then Robust else Unknown
 
-let exists_flip backend net spec ~input ~label =
+let rec exists_flip backend net spec ~input ~label =
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Backend.exists_flip: input size mismatch";
   if label < 0 || label >= Nn.Qnet.out_dim net then
@@ -99,6 +124,23 @@ let exists_flip backend net spec ~input ~label =
   | Smt -> smt_exists_flip net spec ~input ~label
   | Explicit { limit } -> explicit_exists_flip ~limit net spec ~input ~label
   | Interval -> interval_exists_flip net spec ~input ~label
+  | Cascade inner -> (
+      (* Robust samples are the common case on tolerance sweeps; the
+         interval pass proves most of them without touching a solver. *)
+      match interval_exists_flip net spec ~input ~label with
+      | Robust ->
+          Atomic.incr cascade_hits;
+          Robust
+      | Unknown | Flip _ ->
+          Atomic.incr cascade_escalations;
+          exists_flip inner net spec ~input ~label)
+
+let rec to_string = function
+  | Bnb -> "bnb"
+  | Smt -> "smt"
+  | Explicit _ -> "explicit"
+  | Interval -> "interval"
+  | Cascade inner -> Printf.sprintf "cascade(%s)" (to_string inner)
 
 let verdict_to_string = function
   | Robust -> "robust"

@@ -9,13 +9,22 @@
     - [Explicit]: enumerate every noise vector — complete but exponential;
       usable for tiny ranges and as a cross-check oracle.
     - [Interval]: sound interval propagation — fast, can prove robustness
-      but never produces a counterexample ([Unknown] when inconclusive). *)
+      but never produces a counterexample ([Unknown] when inconclusive).
+    - [Cascade b]: interval prefilter, escalating to [b] only on
+      [Unknown] — complete whenever [b] is, at interval cost on samples
+      the cheap pass settles.
+
+    Precision lattice: [Interval ⊑ Cascade b ⊑ b] for any complete [b]
+    ([Bnb], [Smt], [Explicit]) — each step decides at least the queries
+    of the previous one and agrees with it wherever both decide. *)
 
 type t =
   | Bnb
   | Smt
   | Explicit of { limit : int }  (** refuses ranges above [limit] vectors *)
   | Interval
+  | Cascade of t
+      (** interval prefilter, then the wrapped backend on [Unknown] *)
 
 type verdict =
   | Robust                 (** no vector in the range flips the input *)
@@ -23,6 +32,25 @@ type verdict =
   | Unknown                (** backend could not decide *)
 
 val default_explicit_limit : int
+
+val default_cascade : t
+(** [Cascade Bnb] — the recommended production backend. *)
+
+type cascade_stats = {
+  interval_hits : int;   (** queries the interval prefilter proved robust *)
+  escalations : int;     (** queries passed on to the wrapped backend *)
+}
+
+val reset_cascade_stats : unit -> unit
+
+val cascade_stats : unit -> cascade_stats
+(** Process-wide counters (atomic: aggregated across worker domains)
+    accumulated by every [Cascade] query since the last reset. *)
+
+val cascade_hit_rate : cascade_stats -> float
+(** Fraction of cascade queries settled by the prefilter; 0 when none ran. *)
+
+val to_string : t -> string
 
 val exists_flip :
   t -> Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> verdict

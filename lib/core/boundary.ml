@@ -15,8 +15,8 @@ let noise_free_margin net ~input ~label =
       Array.iteri (fun j v -> if j <> label && v > !best_other then best_other := v) out;
       out.(label) - !best_other
 
-let analyze backend net ~bias_noise ~max_delta ~inputs =
-  Array.mapi
+let analyze ?jobs backend net ~bias_noise ~max_delta ~inputs =
+  Util.Parallel.mapi ?jobs
     (fun input_index (input, label) ->
       let min_flip_delta =
         Tolerance.input_min_flip_delta backend net ~bias_noise ~max_delta ~input

@@ -17,6 +17,7 @@ type point = {
 }
 
 val analyze :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->

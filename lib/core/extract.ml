@@ -48,18 +48,16 @@ let weakest a b =
   | Truncated, _ | _, Truncated -> Truncated
   | Complete, Complete -> Complete
 
-let for_inputs ?(limit_per_input = 10_000) net spec ~inputs =
-  let all = ref [] in
-  let status = ref Complete in
-  Array.iteri
-    (fun input_index (input, label) ->
-      let cexs, st =
-        for_input ~limit:limit_per_input net spec ~input ~label ~input_index
-      in
-      all := !all @ cexs;
-      status := weakest !status st)
-    inputs;
-  (!all, !status)
+let for_inputs ?(limit_per_input = 10_000) ?jobs net spec ~inputs =
+  let per_input =
+    Util.Parallel.mapi ?jobs
+      (fun input_index (input, label) ->
+        for_input ~limit:limit_per_input net spec ~input ~label ~input_index)
+      inputs
+  in
+  let all = List.concat_map fst (Array.to_list per_input) in
+  let status = Array.fold_left (fun acc (_, st) -> weakest acc st) Complete per_input in
+  (all, status)
 
 let explicit_for_input net spec ~input ~label ~input_index ~limit =
   let size = Noise.spec_size spec ~n_inputs:(Array.length input) in

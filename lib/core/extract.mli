@@ -35,12 +35,15 @@ val for_input :
 
 val for_inputs :
   ?limit_per_input:int ->
+  ?jobs:int ->
   Nn.Qnet.t ->
   Noise.spec ->
   inputs:Validate.labelled array ->
   counterexample list * status
 (** Concatenation over an input set (the paper's "repeated for all inputs
-    in the dataset"); the status is the weakest over all inputs. *)
+    in the dataset"); the status is the weakest over all inputs. Inputs
+    are enumerated on a {!Util.Parallel} pool (one engine per worker); the
+    corpus order is by input index regardless of [?jobs]. *)
 
 val smt_for_input :
   ?limit:int ->

@@ -44,12 +44,32 @@ let in_range spec v =
   && (spec.bias_noise || v.bias = 0)
   && Array.for_all ok v.inputs
 
-let equal a b = a.bias = b.bias && a.inputs = b.inputs
+(* Monomorphic: these run inside enumeration/dedup hot loops where the
+   polymorphic compare's tag dispatch per element is measurable. Ordering
+   matches [Stdlib.compare] on [int array]: length first, then
+   lexicographic. *)
+let compare_inputs a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else match Int.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+  end
+
+let equal a b = a.bias = b.bias && compare_inputs a.inputs b.inputs = 0
 
 let compare a b =
   match Int.compare a.bias b.bias with
-  | 0 -> Stdlib.compare a.inputs b.inputs
+  | 0 -> compare_inputs a.inputs b.inputs
   | c -> c
+
+let hash v =
+  (* FNV-style mix; equal vectors hash equally by construction. *)
+  let mix h d = (h * 16777619) lxor (d + 0x2545f) in
+  Array.fold_left mix (mix 0x811c9dc5 v.bias) v.inputs land max_int
 
 let to_string v =
   Printf.sprintf "[bias %+d; %s]" v.bias

@@ -48,7 +48,16 @@ type vector = {
 val zero : n_inputs:int -> vector
 val in_range : spec -> vector -> bool
 val equal : vector -> vector -> bool
+
 val compare : vector -> vector -> int
+(** Monomorphic total order (bias, then inputs length-lexicographically);
+    same ordering the polymorphic compare produced, without its per-element
+    dispatch cost. *)
+
+val hash : vector -> int
+(** Non-negative; [equal a b] implies [hash a = hash b]. For hashed dedup
+    sets over counterexample corpora. *)
+
 val to_string : vector -> string
 
 val apply : Nn.Qnet.t -> spec -> input:int array -> vector -> int array

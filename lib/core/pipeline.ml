@@ -44,9 +44,8 @@ type t = {
 
 let quantized_accuracy qnet inputs =
   let correct =
-    Array.fold_left
-      (fun acc (x, l) -> if Nn.Qnet.predict qnet x = l then acc + 1 else acc)
-      0 inputs
+    Util.Parallel.map (fun (x, l) -> Nn.Qnet.predict qnet x = l) inputs
+    |> Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0
   in
   float_of_int correct /. float_of_int (Array.length inputs)
 
@@ -92,3 +91,5 @@ let run ?(config = default_config) () =
 let training_labels t = Array.map snd t.train_inputs
 
 let analysis_inputs t = t.p1.Validate.correct
+
+let analysis_backend = Backend.default_cascade

@@ -46,3 +46,9 @@ val training_labels : t -> int array
 val analysis_inputs : t -> Validate.labelled array
 (** The correctly classified test inputs — the set the paper analyses
     under noise. *)
+
+val analysis_backend : Backend.t
+(** The backend the pipeline's downstream analyses should default to:
+    {!Backend.default_cascade} (interval prefilter, branch-and-bound on
+    escalation) — complete, and cheapest on the robust-sample-dominated
+    workloads the tolerance and sensitivity sweeps issue. *)

@@ -99,22 +99,22 @@ let side_exists (spec : Noise.spec) ~inputs net node ~positive =
         | Bnb.Robust -> false)
       inputs
 
-let formal_sidedness net (spec : Noise.spec) ~inputs =
+let formal_sidedness ?jobs net (spec : Noise.spec) ~inputs =
   if Array.length inputs = 0 then invalid_arg "Sensitivity.formal_sidedness: no inputs";
   let n_inputs = Array.length (fst inputs.(0)) in
   let nodes =
-    if spec.Noise.bias_noise then List.init (n_inputs + 1) Fun.id
-    else List.init n_inputs (fun i -> i + 1)
+    if spec.Noise.bias_noise then Array.init (n_inputs + 1) Fun.id
+    else Array.init n_inputs (fun i -> i + 1)
   in
-  Array.of_list
-    (List.map
-       (fun node ->
-         {
-           fs_node = node;
-           positive_flip = side_exists spec ~inputs net node ~positive:true;
-           negative_flip = side_exists spec ~inputs net node ~positive:false;
-         })
-       nodes)
+  (* One worker per node; both one-sided queries stay on that worker. *)
+  Util.Parallel.map ?jobs
+    (fun node ->
+      {
+        fs_node = node;
+        positive_flip = side_exists spec ~inputs net node ~positive:true;
+        negative_flip = side_exists spec ~inputs net node ~positive:false;
+      })
+    nodes
 
 let formal_side_to_side f =
   match (f.positive_flip, f.negative_flip) with

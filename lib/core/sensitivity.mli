@@ -39,11 +39,13 @@ type formal_side = {
 }
 
 val formal_sidedness :
+  ?jobs:int ->
   Nn.Qnet.t ->
   Noise.spec ->
   inputs:Validate.labelled array ->
   formal_side array
-(** Exact one-sidedness per node, decided by formal queries rather than a
+(** Runs one {!Util.Parallel} worker per node ([?jobs] as in {!Tolerance}).
+    Exact one-sidedness per node, decided by formal queries rather than a
     (possibly truncated) corpus: node [i] admits a positive-side flip iff
     some input has a flipping vector whose [i]-component is >= +1 (other
     nodes range freely). A node with [positive_flip = false] is the

@@ -1,3 +1,5 @@
+module T = Smtlite.Term
+
 type flip = { input_index : int; vector : Noise.vector; predicted : int }
 
 type sweep_point = {
@@ -6,23 +8,21 @@ type sweep_point = {
   flips : flip list;
 }
 
-let misclassified_at backend net ~bias_noise ~delta ~inputs =
+let misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs =
   let spec = Noise.symmetric ~delta ~bias_noise in
-  let flips = ref [] in
-  Array.iteri
+  Util.Parallel.filter_mapi ?jobs
     (fun input_index (input, label) ->
       match Backend.exists_flip backend net spec ~input ~label with
       | Backend.Flip vector ->
           let predicted = Noise.predict net spec ~input vector in
-          flips := { input_index; vector; predicted } :: !flips
-      | Backend.Robust | Backend.Unknown -> ())
-    inputs;
-  List.rev !flips
+          Some { input_index; vector; predicted }
+      | Backend.Robust | Backend.Unknown -> None)
+    inputs
 
-let sweep backend net ~bias_noise ~deltas ~inputs =
+let sweep ?jobs backend net ~bias_noise ~deltas ~inputs =
   List.map
     (fun delta ->
-      let flips = misclassified_at backend net ~bias_noise ~delta ~inputs in
+      let flips = misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs in
       { delta; n_misclassified = List.length flips; flips })
     deltas
 
@@ -34,48 +34,109 @@ let flips_at backend net ~bias_noise ~delta ~input ~label =
   | Backend.Unknown ->
       failwith "Tolerance: backend cannot decide; use a complete backend"
 
+(* Shared monotone binary search: [flips lo = false], [flips hi = true];
+   returns the smallest delta that flips. *)
+let rec bisect flips lo hi =
+  if hi - lo <= 1 then hi
+  else
+    let mid = (lo + hi) / 2 in
+    if flips mid then bisect flips lo mid else bisect flips mid hi
+
+(* Incremental bit-blasted search: one warm solver session for the whole
+   binary search. The network is Tseitin-encoded once at the widest range
+   [±max_delta]; each probe ±delta is the assumption "every noise variable
+   lies in [-delta, +delta]", compiled to one assumable literal. The CDCL
+   solver keeps its learnt clauses and phase saving across probes, and no
+   probe pays a fresh encoding. With [prefilter], the interval pass runs
+   first per probe and the solver is only consulted when it cannot prove
+   robustness. *)
+let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
+  let spec = Noise.symmetric ~delta:max_delta ~bias_noise in
+  let enc = Encode.encode net ~input spec in
+  let session =
+    Smtlite.Solve.open_session (Encode.misclassified enc ~true_label:label)
+  in
+  let vars = Encode.noise_vars enc in
+  let range_assumptions = Hashtbl.create 8 in
+  let assumption_for delta =
+    match Hashtbl.find_opt range_assumptions delta with
+    | Some a -> a
+    | None ->
+        let bounded v =
+          let d = T.of_var v in
+          T.and_ [ T.ge d (T.const (-delta)); T.le d (T.const delta) ]
+        in
+        let a = Smtlite.Solve.assume session (T.and_ (List.map bounded vars)) in
+        Hashtbl.add range_assumptions delta a;
+        a
+  in
+  let solver_flips delta =
+    let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
+    match Smtlite.Solve.solve ~assumptions session with
+    | Smtlite.Solve.Unsat -> false
+    | Smtlite.Solve.Unknown ->
+        failwith "Tolerance: incremental smt search returned unknown"
+    | Smtlite.Solve.Sat model ->
+        (* Same defence as Backend.validate_flip, against the probe range. *)
+        let v = Encode.vector_of_model enc model in
+        let probe_spec = Noise.symmetric ~delta ~bias_noise in
+        if not (Noise.in_range probe_spec v) then
+          failwith "Tolerance: incremental witness outside the probe range";
+        if Noise.predict net probe_spec ~input v = label then
+          failwith "Tolerance: incremental witness does not misclassify";
+        true
+  in
+  let flips delta =
+    if
+      prefilter
+      && Backend.exists_flip Backend.Interval net
+           (Noise.symmetric ~delta ~bias_noise) ~input ~label
+         = Backend.Robust
+    then false
+    else solver_flips delta
+  in
+  if not (flips max_delta) then None
+  else if flips 0 then Some 0
+  else Some (bisect flips 0 max_delta)
+
 let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
-  if not (flips_at backend net ~bias_noise ~delta:max_delta ~input ~label) then
-    None
-  else if flips_at backend net ~bias_noise ~delta:0 ~input ~label then
-    (* Misclassified even without noise. *)
-    Some 0
-  else begin
-    (* Monotone in delta: binary search for the smallest flipping range. *)
-    let rec search lo hi =
-      (* Invariant: no flip at lo (or lo = -1 impossible... lo flips? ): we
-         keep lo = a delta with no flip, hi = a delta with a flip. *)
-      if hi - lo <= 1 then hi
+  match backend with
+  | Backend.Smt ->
+      smt_min_flip_delta ~prefilter:false net ~bias_noise ~max_delta ~input ~label
+  | Backend.Cascade Backend.Smt ->
+      smt_min_flip_delta ~prefilter:true net ~bias_noise ~max_delta ~input ~label
+  | _ ->
+      let flips delta = flips_at backend net ~bias_noise ~delta ~input ~label in
+      if not (flips max_delta) then None
+      else if flips 0 then
+        (* Misclassified even without noise. *)
+        Some 0
       else
-        let mid = (lo + hi) / 2 in
-        if flips_at backend net ~bias_noise ~delta:mid ~input ~label then
-          search lo mid
-        else search mid hi
-    in
-    (* Delta 0 never flips a correctly classified input. *)
-    Some (search 0 max_delta)
-  end
+        (* Monotone in delta: binary search for the smallest flipping
+           range (delta 0 never flips a correctly classified input). *)
+        Some (bisect flips 0 max_delta)
 
-let certified_accuracy backend net ~bias_noise ~delta ~inputs =
+let certified_accuracy ?jobs backend net ~bias_noise ~delta ~inputs =
   if Array.length inputs = 0 then invalid_arg "Tolerance.certified_accuracy: empty";
   let spec = Noise.symmetric ~delta ~bias_noise in
   let certified =
-    Array.fold_left
-      (fun acc (input, label) ->
-        if Nn.Qnet.predict net input <> label then acc
-        else
-          match Backend.exists_flip backend net spec ~input ~label with
-          | Backend.Robust -> acc + 1
-          | Backend.Flip _ | Backend.Unknown -> acc)
-      0 inputs
+    Util.Parallel.map ?jobs
+      (fun (input, label) ->
+        Nn.Qnet.predict net input = label
+        &&
+        match Backend.exists_flip backend net spec ~input ~label with
+        | Backend.Robust -> true
+        | Backend.Flip _ | Backend.Unknown -> false)
+      inputs
+    |> Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0
   in
   float_of_int certified /. float_of_int (Array.length inputs)
 
-let paper_iterative_tolerance backend net ~bias_noise ~max_delta ~inputs =
+let paper_iterative_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
   let any_flip delta =
-    Array.exists
+    Util.Parallel.exists ?jobs
       (fun (input, label) -> flips_at backend net ~bias_noise ~delta ~input ~label)
       inputs
   in
@@ -86,12 +147,11 @@ let paper_iterative_tolerance backend net ~bias_noise ~max_delta ~inputs =
   in
   reduce max_delta
 
-let network_tolerance backend net ~bias_noise ~max_delta ~inputs =
-  Array.fold_left
-    (fun acc (input, label) ->
-      match
-        input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label
-      with
-      | None -> acc
-      | Some d -> min acc (d - 1))
-    max_delta inputs
+let network_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
+  Util.Parallel.map ?jobs
+    (fun (input, label) ->
+      input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label)
+    inputs
+  |> Array.fold_left
+       (fun acc -> function None -> acc | Some d -> min acc (d - 1))
+       max_delta

@@ -2,7 +2,12 @@
 
     The noise tolerance of the network is the largest symmetric percent
     range ±Δ under which no correctly classified input can be flipped by
-    any noise vector (the paper reports ±11 % for its network). *)
+    any noise vector (the paper reports ±11 % for its network).
+
+    The per-sample queries are independent, so every per-input loop here
+    fans out over a {!Util.Parallel} domain pool ([?jobs], defaulting to
+    the process-wide setting). Each worker builds its own solver session;
+    results are deterministic and identical at every jobs count. *)
 
 type flip = { input_index : int; vector : Noise.vector; predicted : int }
 
@@ -13,6 +18,7 @@ type sweep_point = {
 }
 
 val misclassified_at :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -25,6 +31,7 @@ val misclassified_at :
     counting. *)
 
 val sweep :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -35,6 +42,7 @@ val sweep :
     Fig. 4 scatter (ranges ±5 ... ±40). *)
 
 val network_tolerance :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -49,6 +57,7 @@ val network_tolerance :
     full range is safe. *)
 
 val certified_accuracy :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -62,6 +71,7 @@ val certified_accuracy :
     [Interval] backend the result is a sound lower bound. *)
 
 val paper_iterative_tolerance :
+  ?jobs:int ->
   Backend.t ->
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -83,4 +93,12 @@ val input_min_flip_delta :
   label:int ->
   int option
 (** Smallest Δ whose range ±Δ contains a flipping vector for this input,
-    or [None] if robust up to ±max_delta. *)
+    or [None] if robust up to ±max_delta.
+
+    With the [Smt] backend (or [Cascade Smt]) the binary search is
+    incremental: the network is bit-blasted once at ±max_delta and each
+    probe narrows the noise bound through assumable range literals over
+    one warm solver session, so learnt clauses carry across probes and no
+    probe pays a fresh Tseitin encoding. [Cascade Smt] additionally runs
+    the interval prefilter per probe. Verdicts are identical to the
+    per-probe re-encoding at every delta. *)

@@ -2,26 +2,35 @@ type model = Term.assignment
 
 type outcome = Sat of model | Unsat | Unknown
 
-type session = { compiler : Compile.t; vars : Term.var list ref }
+type session = {
+  compiler : Compile.t;
+  rev_vars : Term.var list ref;    (* session variables, newest first *)
+  known : (int, unit) Hashtbl.t;   (* their vids: O(1) dedup *)
+}
 
-let register_vars session f =
-  let known = !(session.vars) in
-  let fresh =
-    List.filter
-      (fun (v : Term.var) ->
-        not (List.exists (fun (w : Term.var) -> w.Term.vid = v.Term.vid) known))
-      (Term.vars_of_formula f)
-  in
-  session.vars := known @ fresh
+let add_vars session vars =
+  List.iter
+    (fun (v : Term.var) ->
+      if not (Hashtbl.mem session.known v.Term.vid) then begin
+        Hashtbl.add session.known v.Term.vid ();
+        session.rev_vars := v :: !(session.rev_vars)
+      end)
+    vars
+
+let register_vars session f = add_vars session (Term.vars_of_formula f)
+
+let session_vars session = List.rev !(session.rev_vars)
 
 let open_session f =
-  let session = { compiler = Compile.create (); vars = ref [] } in
+  let session =
+    { compiler = Compile.create (); rev_vars = ref []; known = Hashtbl.create 64 }
+  in
   register_vars session f;
   Compile.assert_formula session.compiler f;
   (* Branch on the problem variables before the Tseitin internals: the
      formula is a circuit over them, so full input assignments propagate
      to a decision in one sweep. *)
-  Compile.prioritize session.compiler !(session.vars);
+  Compile.prioritize session.compiler (session_vars session);
   session
 
 let assert_also session f =
@@ -32,21 +41,22 @@ let declare session vars =
   (* Compile (and range-constrain) variables before solving, so that
      models bind them and blocking clauses can mention them — required
      for projection variables that do not occur in the formula. *)
-  let known = !(session.vars) in
-  let fresh =
-    List.filter
-      (fun (v : Term.var) ->
-        not (List.exists (fun (w : Term.var) -> w.Term.vid = v.Term.vid) known))
-      vars
-  in
-  List.iter (fun v -> ignore (Compile.var_bv session.compiler v)) vars;
-  session.vars := known @ fresh
+  add_vars session vars;
+  List.iter (fun v -> ignore (Compile.var_bv session.compiler v)) vars
+
+type assumption = Sat.Lit.t
+
+let assume session f =
+  register_vars session f;
+  Compile.compile_formula session.compiler f
 
 let extract_model session =
-  List.map (fun v -> (v, Compile.var_value session.compiler v)) !(session.vars)
+  List.map (fun v -> (v, Compile.var_value session.compiler v)) (session_vars session)
 
-let solve ?max_conflicts session =
-  match Sat.Solver.solve ?max_conflicts (Compile.solver session.compiler) with
+let solve ?(assumptions = []) ?max_conflicts session =
+  match
+    Sat.Solver.solve ~assumptions ?max_conflicts (Compile.solver session.compiler)
+  with
   | Sat.Solver.Sat -> Sat (extract_model session)
   | Sat.Solver.Unsat -> Unsat
   | Sat.Solver.Unknown -> Unknown

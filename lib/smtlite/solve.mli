@@ -27,7 +27,22 @@ val declare : session -> Term.var list -> unit
     and {!block} may project onto them. Must be called before the solve
     whose model will be blocked. *)
 
-val solve : ?max_conflicts:int -> session -> outcome
+type assumption
+(** A compiled formula that can be enabled per-{!solve} call without being
+    permanently asserted. *)
+
+val assume : session -> Term.formula -> assumption
+(** Compile a formula into an assumable literal: its CNF definition is
+    added to the session, but the formula only constrains a {!solve} call
+    that passes the returned assumption. This is the mechanism behind the
+    incremental tolerance search — the noise bound of each binary-search
+    probe becomes a range assumption over one warm session instead of a
+    fresh Tseitin encoding per probe. *)
+
+val solve : ?assumptions:assumption list -> ?max_conflicts:int -> session -> outcome
+(** Satisfiability of the asserted formulas conjoined with the given
+    assumptions. The session stays usable after any outcome: an [Unsat]
+    under assumptions does not poison later calls with different ones. *)
 
 val block : session -> Term.var list -> unit
 (** After a [Sat] answer, exclude the current values of the given

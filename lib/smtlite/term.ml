@@ -25,24 +25,21 @@ and fnode =
   | And of formula list
   | Or of formula list
 
-let var_counter = ref 0
+(* Atomic so that parallel verification workers can build encodings
+   concurrently: ids must stay unique across domains. *)
+let var_counter = Atomic.make 0
 
-let term_counter = ref 0
+let term_counter = Atomic.make 0
 
-let formula_counter = ref 0
+let formula_counter = Atomic.make 0
 
 let var ~name ~lo ~hi =
   if lo > hi then invalid_arg "Term.var: lo > hi";
-  incr var_counter;
-  { vid = !var_counter; name; lo; hi }
+  { vid = 1 + Atomic.fetch_and_add var_counter 1; name; lo; hi }
 
-let mk node =
-  incr term_counter;
-  { id = !term_counter; node }
+let mk node = { id = 1 + Atomic.fetch_and_add term_counter 1; node }
 
-let mkf fnode =
-  incr formula_counter;
-  { fid = !formula_counter; fnode }
+let mkf fnode = { fid = 1 + Atomic.fetch_and_add formula_counter 1; fnode }
 
 let const v = mk (Const v)
 

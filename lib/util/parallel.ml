@@ -1,0 +1,87 @@
+let override : int option Atomic.t = Atomic.make None
+
+let set_default_jobs n = Atomic.set override (Option.map (max 1) n)
+
+let env_jobs () =
+  match Sys.getenv_opt "FANNET_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let default_jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let resolve ?jobs len =
+  let j = match jobs with Some n -> max 1 n | None -> default_jobs () in
+  max 1 (min j len)
+
+(* Contiguous chunk bounds [lo, hi) covering [0, len); at most [jobs]
+   chunks, sized within one element of each other. *)
+let chunk_bounds ~jobs len =
+  let base = len / jobs and extra = len mod jobs in
+  Array.init jobs (fun k ->
+      let lo = (k * base) + min k extra in
+      let hi = lo + base + if k < extra then 1 else 0 in
+      (lo, hi))
+
+(* Run [worker lo hi] on every chunk, chunk 0 on the calling domain, and
+   return the per-chunk results in chunk order. [Domain.join] re-raises a
+   worker's exception, so failures propagate to the caller. *)
+let run_chunks ~jobs len worker =
+  let bounds = chunk_bounds ~jobs len in
+  let spawned =
+    Array.map
+      (fun (lo, hi) -> Domain.spawn (fun () -> worker lo hi))
+      (Array.sub bounds 1 (jobs - 1))
+  in
+  let first = worker (fst bounds.(0)) (snd bounds.(0)) in
+  Array.append [| first |] (Array.map Domain.join spawned)
+
+let mapi ?jobs f arr =
+  let len = Array.length arr in
+  let jobs = resolve ?jobs len in
+  if jobs = 1 then Array.mapi f arr
+  else
+    run_chunks ~jobs len (fun lo hi ->
+        Array.init (hi - lo) (fun k -> f (lo + k) arr.(lo + k)))
+    |> Array.to_list |> Array.concat
+
+let map ?jobs f arr = mapi ?jobs (fun _ x -> f x) arr
+
+let filter_mapi ?jobs f arr =
+  let len = Array.length arr in
+  let jobs = resolve ?jobs len in
+  let chunk lo hi =
+    let acc = ref [] in
+    for i = hi - 1 downto lo do
+      match f i arr.(i) with Some y -> acc := y :: !acc | None -> ()
+    done;
+    !acc
+  in
+  if jobs = 1 then chunk 0 len
+  else run_chunks ~jobs len chunk |> Array.to_list |> List.concat
+
+let filter_map ?jobs f arr = filter_mapi ?jobs (fun _ x -> f x) arr
+
+let exists ?jobs p arr =
+  let len = Array.length arr in
+  let jobs = resolve ?jobs len in
+  if jobs = 1 then Array.exists p arr
+  else begin
+    let found = Atomic.make false in
+    let results =
+      run_chunks ~jobs len (fun lo hi ->
+          let i = ref lo in
+          while (not (Atomic.get found)) && !i < hi do
+            if p arr.(!i) then Atomic.set found true;
+            incr i
+          done;
+          ())
+    in
+    ignore results;
+    Atomic.get found
+  end

@@ -1,0 +1,37 @@
+(** Domain-based worker pool for embarrassingly parallel per-sample loops.
+
+    Every combinator splits the input array into [jobs] contiguous chunks,
+    runs one chunk per domain (the calling domain takes the first chunk)
+    and reassembles the results in chunk order, so the output is
+    deterministic and independent of [jobs]. With [jobs = 1] no domain is
+    spawned and the sequential code path runs — results are bit-identical
+    to the plain [Array] combinators.
+
+    Workers must not share mutable state: the verification engines satisfy
+    this by building a fresh solver session per query.
+
+    [jobs] resolution order: the explicit [?jobs] argument, then the
+    process-wide override ({!set_default_jobs}, the CLI's [--jobs]), then
+    the [FANNET_JOBS] environment variable, then
+    [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** The worker count used when [?jobs] is omitted (always >= 1). *)
+
+val set_default_jobs : int option -> unit
+(** Process-wide override ([None] restores environment/hardware
+    resolution). Values below 1 are clamped to 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Same result as [Array.map] for a pure [f], in input order. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val filter_map : ?jobs:int -> ('a -> 'b option) -> 'a array -> 'b list
+(** [Some]-results in input order. *)
+
+val filter_mapi : ?jobs:int -> (int -> 'a -> 'b option) -> 'a array -> 'b list
+
+val exists : ?jobs:int -> ('a -> bool) -> 'a array -> bool
+(** Workers poll a shared flag and stop early once any element satisfies
+    the predicate. *)

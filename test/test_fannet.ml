@@ -116,6 +116,37 @@ let test_iter_vectors_complete () =
   Alcotest.(check int) "all distinct" 27 (List.length distinct);
   Alcotest.(check bool) "all in range" true (List.for_all (N.in_range spec) !seen)
 
+let test_noise_compare_hash () =
+  let v bias inputs = { N.bias; inputs } in
+  let spec = N.symmetric ~delta:2 ~bias_noise:true in
+  let all = ref [] in
+  N.iter_vectors spec ~n_inputs:2 (fun x -> all := x :: !all);
+  (* The monomorphic compare is a total order agreeing with the
+     polymorphic structural one it replaced. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int)
+            "sign matches Stdlib.compare"
+            (Stdlib.compare (Stdlib.compare a b) 0)
+            (Stdlib.compare (N.compare a b) 0))
+        !all)
+    !all;
+  Alcotest.(check int) "equal" 0 (N.compare (v 1 [| 2; -1 |]) (v 1 [| 2; -1 |]));
+  Alcotest.(check bool) "shorter sorts first" true
+    (N.compare (v 0 [| 9 |]) (v 0 [| 0; 0 |]) < 0);
+  (* Hash: consistent with equality, and spreading on a real vector set. *)
+  Alcotest.(check int) "hash of equal vectors" (N.hash (v 3 [| -2; 5 |]))
+    (N.hash (v 3 [| -2; 5 |]));
+  Alcotest.(check bool) "hash non-negative" true
+    (List.for_all (fun x -> N.hash x >= 0) !all);
+  let distinct_hashes =
+    List.sort_uniq Stdlib.compare (List.map N.hash !all)
+  in
+  Alcotest.(check bool) "few collisions over the range" true
+    (List.length distinct_hashes > (9 * List.length !all) / 10)
+
 (* ---------- symbolic encoding vs concrete semantics ---------- *)
 
 let assignment_of_vector (enc : Fannet.Encode.t) (v : N.vector) =
@@ -206,6 +237,56 @@ let prop_interval_sound_wrt_explicit =
           | B.Unknown -> true
           | B.Flip _ -> false (* interval backend never produces witnesses *))
         [ 1; 3 ])
+
+let prop_cascade_agrees_bnb =
+  QCheck.Test.make ~name:"cascade(bnb) = bnb on randomized networks" ~count:80
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun (delta, bias_noise) ->
+          let spec = N.symmetric ~delta ~bias_noise in
+          verdict_flips (B.exists_flip (B.Cascade B.Bnb) net spec ~input ~label)
+          = verdict_flips (B.exists_flip B.Bnb net spec ~input ~label))
+        [ (1, false); (2, false); (3, true); (5, false) ])
+
+let test_cascade_stats_accounting () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 5; 9 |]; [| 50; 3 |]; [| 10; 12 |] |]
+  in
+  B.reset_cascade_stats ();
+  let n_queries = ref 0 in
+  List.iter
+    (fun delta ->
+      let spec = N.symmetric ~delta ~bias_noise:false in
+      Array.iter
+        (fun (input, label) ->
+          incr n_queries;
+          ignore (B.exists_flip (B.Cascade B.Bnb) net spec ~input ~label))
+        inputs)
+    [ 1; 10; 30 ];
+  let s = B.cascade_stats () in
+  Alcotest.(check int) "hits + escalations = queries" !n_queries
+    (s.B.interval_hits + s.B.escalations);
+  let rate = B.cascade_hit_rate s in
+  Alcotest.(check bool) "rate in [0,1]" true (rate >= 0. && rate <= 1.);
+  B.reset_cascade_stats ();
+  let z = B.cascade_stats () in
+  Alcotest.(check int) "reset hits" 0 z.B.interval_hits;
+  Alcotest.(check int) "reset escalations" 0 z.B.escalations;
+  Alcotest.(check (float 0.)) "empty rate" 0. (B.cascade_hit_rate z)
+
+let prop_incremental_smt_min_flip =
+  QCheck.Test.make ~name:"incremental smt min-flip = bnb min-flip" ~count:25
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let max_delta = 5 in
+      let at backend =
+        Fannet.Tolerance.input_min_flip_delta backend net ~bias_noise:false
+          ~max_delta ~input ~label
+      in
+      let reference = at B.Bnb in
+      at B.Smt = reference && at (B.Cascade B.Smt) = reference)
 
 let prop_bnb_enumerate_equals_explicit =
   QCheck.Test.make ~name:"bnb enumeration = brute-force flip set" ~count:60 arb_qnet
@@ -443,6 +524,29 @@ let test_network_tolerance_tiny () =
     in
     Alcotest.(check bool) "some flip just above tolerance" true any_flip
   end
+
+let test_tolerance_jobs_deterministic () =
+  let net = tiny_qnet () in
+  let inputs =
+    Array.map (fun x -> (x, Nn.Qnet.predict net x))
+      [| [| 5; 9 |]; [| 50; 3 |]; [| 10; 12 |]; [| 2; 40 |]; [| 33; 21 |] |]
+  in
+  let mis jobs =
+    Fannet.Tolerance.misclassified_at ~jobs B.Bnb net ~bias_noise:false
+      ~delta:20 ~inputs
+  in
+  let tol jobs =
+    Fannet.Tolerance.network_tolerance ~jobs B.Bnb net ~bias_noise:false
+      ~max_delta:30 ~inputs
+  in
+  let mis1 = mis 1 and tol1 = tol 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "misclassified_at jobs=%d" jobs)
+        true (mis jobs = mis1);
+      Alcotest.(check int) (Printf.sprintf "tolerance jobs=%d" jobs) tol1 (tol jobs))
+    [ 2; 4 ]
 
 let prop_paper_iterative_equals_binary =
   QCheck.Test.make ~name:"paper-iterative tolerance = binary-search tolerance"
@@ -748,6 +852,7 @@ let () =
           Alcotest.test_case "zero noise scales" `Quick test_apply_zero_noise_scales;
           Alcotest.test_case "hand computed" `Quick test_apply_hand_computed;
           Alcotest.test_case "iter_vectors complete" `Quick test_iter_vectors_complete;
+          Alcotest.test_case "compare/hash" `Quick test_noise_compare_hash;
         ] );
       ( "encode",
         [
@@ -758,6 +863,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_backends_agree;
           QCheck_alcotest.to_alcotest prop_interval_sound_wrt_explicit;
+          QCheck_alcotest.to_alcotest prop_cascade_agrees_bnb;
+          Alcotest.test_case "cascade stats" `Quick test_cascade_stats_accounting;
           QCheck_alcotest.to_alcotest prop_bnb_enumerate_equals_explicit;
           QCheck_alcotest.to_alcotest prop_bnb_count_equals_enumeration;
           QCheck_alcotest.to_alcotest prop_smt_extract_equals_explicit;
@@ -772,6 +879,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_min_flip_delta_is_threshold;
           QCheck_alcotest.to_alcotest prop_paper_iterative_equals_binary;
+          QCheck_alcotest.to_alcotest prop_incremental_smt_min_flip;
+          Alcotest.test_case "jobs-deterministic" `Quick test_tolerance_jobs_deterministic;
           Alcotest.test_case "network tolerance" `Quick test_network_tolerance_tiny;
           Alcotest.test_case "single-node tolerance" `Quick test_single_node_tolerance;
           Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone;

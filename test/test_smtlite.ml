@@ -251,6 +251,34 @@ let test_session_incremental () =
   S.assert_also session (T.le (T.of_var x) (T.const 4));
   Alcotest.(check bool) "now unsat" true (S.solve session = S.Unsat)
 
+let test_session_assumptions () =
+  (* Assumptions restrict a single solve without retracting anything:
+     the same warm session answers Sat / Unsat / Sat as the assumed
+     range narrows and widens again — the mechanism behind the
+     incremental tolerance search. *)
+  let x = T.var ~name:"x" ~lo:(-10) ~hi:10 in
+  let tx = T.of_var x in
+  let session = S.open_session (T.ge tx (T.const 5)) in
+  let in_range d =
+    S.assume session (T.and_ [ T.ge tx (T.const (-d)); T.le tx (T.const d) ])
+  in
+  let wide = in_range 8 and narrow = in_range 4 in
+  (match S.solve ~assumptions:[ wide ] session with
+  | S.Sat model ->
+      let v = T.lookup model x in
+      Alcotest.(check bool) "within assumed range" true (v >= 5 && v <= 8)
+  | S.Unsat | S.Unknown -> Alcotest.fail "sat under wide assumption expected");
+  Alcotest.(check bool) "narrow assumption unsat" true
+    (S.solve ~assumptions:[ narrow ] session = S.Unsat);
+  (* The narrow probe must not poison the session: wide is still Sat,
+     and an assumption-free solve still sees only the base formula. *)
+  (match S.solve ~assumptions:[ wide ] session with
+  | S.Sat _ -> ()
+  | S.Unsat | S.Unknown -> Alcotest.fail "wide assumption sat again expected");
+  match S.solve session with
+  | S.Sat model -> Alcotest.(check bool) "base formula" true (T.lookup model x >= 5)
+  | S.Unsat | S.Unknown -> Alcotest.fail "assumption-free solve sat expected"
+
 let test_check_linear_system () =
   (* x + y = 10, x - y = 4 -> x = 7, y = 3. *)
   let x = T.var ~name:"x" ~lo:0 ~hi:20 in
@@ -306,6 +334,7 @@ let () =
           Alcotest.test_case "distinct values" `Quick test_enumerate_distinct;
           Alcotest.test_case "limit" `Quick test_enumerate_limit;
           Alcotest.test_case "incremental session" `Quick test_session_incremental;
+          Alcotest.test_case "assumptions" `Quick test_session_assumptions;
           Alcotest.test_case "projection var not in formula" `Quick
             test_enumerate_projection_var_not_in_formula;
           QCheck_alcotest.to_alcotest prop_enumerate_counts;

@@ -155,6 +155,129 @@ let test_table_int_row () =
      in
      contains "-2")
 
+(* ---------- Parallel ---------- *)
+
+let test_parallel_map_matches_array_map () =
+  let arr = Array.init 103 (fun i -> i - 50) in
+  let f x = (x * x) - (3 * x) in
+  let expected = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "map jobs=%d" jobs)
+        true
+        (Util.Parallel.map ~jobs f arr = expected))
+    [ 1; 2; 4 ]
+
+let test_parallel_mapi_order () =
+  let arr = Array.init 57 (fun i -> 2 * i) in
+  let expected = Array.mapi (fun i x -> (i, x + 1)) arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mapi jobs=%d" jobs)
+        true
+        (Util.Parallel.mapi ~jobs (fun i x -> (i, x + 1)) arr = expected))
+    [ 1; 2; 4; 16 ]
+
+let test_parallel_filter_map_order () =
+  let arr = Array.init 101 (fun i -> i) in
+  let f x = if x mod 3 = 0 then Some (x * 10) else None in
+  let expected = List.filter_map f (Array.to_list arr) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "filter_map jobs=%d" jobs)
+        expected
+        (Util.Parallel.filter_map ~jobs f arr))
+    [ 1; 2; 4 ]
+
+let test_parallel_exists () =
+  let arr = Array.init 200 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool) "hit" true
+        (Util.Parallel.exists ~jobs (fun x -> x = 137) arr);
+      Alcotest.(check bool) "miss" false
+        (Util.Parallel.exists ~jobs (fun x -> x > 1000) arr))
+    [ 1; 2; 4 ]
+
+let test_parallel_empty_and_small () =
+  Alcotest.(check bool) "empty map" true (Util.Parallel.map ~jobs:4 succ [||] = [||]);
+  Alcotest.(check (list int)) "empty filter_map" []
+    (Util.Parallel.filter_map ~jobs:4 (fun x -> Some x) [||]);
+  Alcotest.(check bool) "more jobs than elements" true
+    (Util.Parallel.map ~jobs:16 succ [| 1; 2; 3 |] = [| 2; 3; 4 |])
+
+let test_parallel_worker_exception_propagates () =
+  let arr = Array.init 64 (fun i -> i) in
+  Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+      ignore (Util.Parallel.map ~jobs:4 (fun x -> if x = 60 then failwith "boom" else x) arr))
+
+let test_parallel_default_jobs_override () =
+  let before = Util.Parallel.default_jobs () in
+  Alcotest.(check bool) "at least 1" true (before >= 1);
+  Util.Parallel.set_default_jobs (Some 3);
+  Alcotest.(check int) "override" 3 (Util.Parallel.default_jobs ());
+  Util.Parallel.set_default_jobs (Some 0);
+  Alcotest.(check int) "clamped to 1" 1 (Util.Parallel.default_jobs ());
+  Util.Parallel.set_default_jobs None;
+  Alcotest.(check int) "restored" before (Util.Parallel.default_jobs ())
+
+(* ---------- Json ---------- *)
+
+let sample_json =
+  Util.Json.(
+    Obj
+      [
+        ("schema", String "test/1");
+        ("ok", Bool true);
+        ("none", Null);
+        ("count", Int (-42));
+        ("ratio", Float 2.5);
+        ("text", String "a \"quoted\"\nline\twith\\escapes");
+        ("items", List [ Int 1; Float 0.5; String "x"; List []; Obj [] ]);
+      ])
+
+let test_json_roundtrip_compact () =
+  match Util.Json.of_string (Util.Json.to_string sample_json) with
+  | Ok v -> Alcotest.(check bool) "compact roundtrip" true (v = sample_json)
+  | Error e -> Alcotest.fail e
+
+let test_json_roundtrip_pretty () =
+  match Util.Json.of_string (Util.Json.pretty sample_json) with
+  | Ok v -> Alcotest.(check bool) "pretty roundtrip" true (v = sample_json)
+  | Error e -> Alcotest.fail e
+
+let test_json_member () =
+  Alcotest.(check bool) "present" true
+    (Util.Json.member "count" sample_json = Some (Util.Json.Int (-42)));
+  Alcotest.(check bool) "absent" true (Util.Json.member "nope" sample_json = None);
+  Alcotest.(check bool) "non-object" true
+    (Util.Json.member "x" (Util.Json.Int 3) = None)
+
+let test_json_parse_errors () =
+  let fails s =
+    match Util.Json.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | Error e ->
+        Alcotest.(check bool) "mentions byte offset" true
+          (String.length e > 0
+          && String.split_on_char ' ' e |> List.exists (( = ) "byte"))
+  in
+  List.iter fails
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2"; "[1] garbage" ]
+
+let test_json_file_roundtrip () =
+  let path = Filename.temp_file "fannet_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Util.Json.write_file path sample_json;
+      match Util.Json.parse_file path with
+      | Ok v -> Alcotest.(check bool) "file roundtrip" true (v = sample_json)
+      | Error e -> Alcotest.fail e)
+
 let () =
   Alcotest.run "util"
     [
@@ -186,5 +309,23 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "row arity" `Quick test_table_row_arity_checked;
           Alcotest.test_case "int rows" `Quick test_table_int_row;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map = Array.map" `Quick test_parallel_map_matches_array_map;
+          Alcotest.test_case "mapi order" `Quick test_parallel_mapi_order;
+          Alcotest.test_case "filter_map order" `Quick test_parallel_filter_map_order;
+          Alcotest.test_case "exists" `Quick test_parallel_exists;
+          Alcotest.test_case "empty/small arrays" `Quick test_parallel_empty_and_small;
+          Alcotest.test_case "worker exception" `Quick test_parallel_worker_exception_propagates;
+          Alcotest.test_case "default jobs override" `Quick test_parallel_default_jobs_override;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "compact roundtrip" `Quick test_json_roundtrip_compact;
+          Alcotest.test_case "pretty roundtrip" `Quick test_json_roundtrip_pretty;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_json_file_roundtrip;
         ] );
     ]

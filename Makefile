@@ -1,10 +1,19 @@
-.PHONY: build test bench bench-smoke fmt clean
+.PHONY: build test check bench bench-smoke fuzz-smoke fmt clean
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Tier-1 verification: build, unit/property tests, and the differential
+# fuzzing oracle (all five backends against the explicit enumerator).
+check: build test fuzz-smoke
+
+# Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
+# seed, fails with a shrunk reproducer on any backend disagreement.
+fuzz-smoke:
+	dune exec bin/fannet_cli.exe -- fuzz --cases 200 --seed 42 --quiet
 
 # Full evaluation suite (E1-E15 + Bechamel timings); takes minutes.
 bench:

@@ -9,7 +9,8 @@
    fannet sensitivity  -- input-node sensitivity (paper Sec. V-C.4)
    fannet boundary     -- classification-boundary estimation (Sec. V-C.2)
    fannet bias         -- training-bias analysis (paper Sec. V-C.3)
-   fannet fsm          -- explicit state-space statistics (Fig. 3) *)
+   fannet fsm          -- explicit state-space statistics (Fig. 3)
+   fannet fuzz         -- differential fuzzing of the analysis backends *)
 
 open Cmdliner
 
@@ -343,6 +344,61 @@ let fsm_cmd =
   Cmd.v (Cmd.info "fsm" ~doc)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index)
 
+let fuzz_cmd =
+  let cases =
+    let doc = "Number of random cases to generate and check." in
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Master seed; the same seed reproduces the identical corpus." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let replay =
+    let doc = "Replay a persisted JSON corpus instead of generating cases." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let save =
+    let doc = "Also persist the checked corpus as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let quiet =
+    let doc = "Suppress progress lines (the final report still prints)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run cases seed replay save quiet =
+    let log = if quiet then fun _ -> () else print_endline in
+    let corpus_seed, corpus =
+      match replay with
+      | None ->
+          (seed, Check.Gen.corpus ~seed ~cases ~max_explicit:Check.Gen.default_max_explicit)
+      | Some path -> (
+          match Check.Case.load_corpus path with
+          | Ok (recorded_seed, cases) ->
+              log (Printf.sprintf "replaying %d cases from %s (seed %d)"
+                     (List.length cases) path recorded_seed);
+              (recorded_seed, cases)
+          | Error msg ->
+              Printf.eprintf "cannot load corpus %s: %s\n" path msg;
+              exit 2)
+    in
+    (match save with
+    | None -> ()
+    | Some path ->
+        Check.Case.save_corpus path ~seed:corpus_seed corpus;
+        log (Printf.sprintf "corpus written to %s" path));
+    let report = Check.Fuzz.run_cases ~log ~master_seed:corpus_seed corpus in
+    print_string (Check.Fuzz.report_to_string report);
+    if not (Check.Fuzz.report_ok report) then exit 1
+  in
+  let doc =
+    "Differential fuzzing: random tractable cases, every backend against \
+     the explicit enumerator (agreement, witness validity, interval \
+     soundness, cascade lattice, parallel determinism); failures are \
+     shrunk to minimal reproducers with their seeds."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ cases $ seed $ replay $ save $ quiet)
+
 let () =
   let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
   let info = Cmd.info "fannet" ~version:"1.0.0" ~doc in
@@ -362,4 +418,5 @@ let () =
             bias_cmd;
             minflip_cmd;
             fsm_cmd;
+            fuzz_cmd;
           ]))

@@ -1,0 +1,216 @@
+module J = Util.Json
+module N = Fannet.Noise
+
+type t = {
+  id : int;
+  seed : int;
+  net : Nn.Qnet.t;
+  input : int array;
+  label : int;
+  spec : N.spec;
+}
+
+let equal a b =
+  a.id = b.id && a.seed = b.seed
+  && Nn.Qnet.equal a.net b.net
+  && a.input = b.input && a.label = b.label && a.spec = b.spec
+
+let size c =
+  let param_mass =
+    Array.fold_left
+      (fun acc (l : Nn.Qnet.qlayer) ->
+        let rows =
+          Array.fold_left
+            (fun acc row -> Array.fold_left (fun acc w -> acc + abs w) acc row)
+            0 l.Nn.Qnet.weights
+        in
+        acc + rows + Array.fold_left (fun acc b -> acc + abs b) 0 l.Nn.Qnet.bias)
+      0 c.net.Nn.Qnet.layers
+  in
+  let input_mass = Array.fold_left (fun acc x -> acc + abs x) 0 c.input in
+  (* Node counts keep structural drops size-decreasing even when the
+     removed weights happen to be all-zero. *)
+  let nodes =
+    Array.fold_left
+      (fun acc (l : Nn.Qnet.qlayer) -> acc + Array.length l.Nn.Qnet.bias)
+      (Array.length c.input) c.net.Nn.Qnet.layers
+  in
+  (c.spec.N.delta_hi - c.spec.N.delta_lo)
+  + (if c.spec.N.bias_noise then 1 else 0)
+  + param_mass + input_mass + nodes
+
+let to_string c =
+  let layer1 = c.net.Nn.Qnet.layers.(0) in
+  Printf.sprintf
+    "case %d (seed %d): net %d-%d-%d, input [%s], label %d, noise [%d,%d]%s %s"
+    c.id c.seed (Nn.Qnet.in_dim c.net)
+    (Array.length layer1.Nn.Qnet.bias)
+    (Nn.Qnet.out_dim c.net)
+    (String.concat ";" (Array.to_list (Array.map string_of_int c.input)))
+    c.label c.spec.N.delta_lo c.spec.N.delta_hi
+    (if c.spec.N.bias_noise then "+bias" else "")
+    (match c.spec.N.kind with N.Relative -> "relative" | N.Absolute -> "absolute")
+
+(* ---------- JSON encoding ---------- *)
+
+let int_array_to_json a = J.List (Array.to_list (Array.map (fun v -> J.Int v) a))
+
+let layer_to_json (l : Nn.Qnet.qlayer) =
+  J.Obj
+    [
+      ( "weights",
+        J.List (Array.to_list (Array.map int_array_to_json l.Nn.Qnet.weights)) );
+      ("bias", int_array_to_json l.Nn.Qnet.bias);
+      ("relu", J.Bool l.Nn.Qnet.relu);
+    ]
+
+let spec_to_json (s : N.spec) =
+  J.Obj
+    [
+      ("delta_lo", J.Int s.N.delta_lo);
+      ("delta_hi", J.Int s.N.delta_hi);
+      ("bias_noise", J.Bool s.N.bias_noise);
+      ( "kind",
+        J.String (match s.N.kind with N.Relative -> "relative" | N.Absolute -> "absolute") );
+    ]
+
+let to_json c =
+  J.Obj
+    [
+      ("id", J.Int c.id);
+      ("seed", J.Int c.seed);
+      ( "net",
+        J.Obj
+          [
+            ( "layers",
+              J.List (Array.to_list (Array.map layer_to_json c.net.Nn.Qnet.layers)) );
+          ] );
+      ("input", int_array_to_json c.input);
+      ("label", J.Int c.label);
+      ("spec", spec_to_json c.spec);
+    ]
+
+(* ---------- JSON decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int = function
+  | J.Int v -> Ok v
+  | _ -> Error "expected an integer"
+
+let as_bool = function
+  | J.Bool b -> Ok b
+  | _ -> Error "expected a boolean"
+
+let as_list = function
+  | J.List l -> Ok l
+  | _ -> Error "expected an array"
+
+let int_field name json =
+  let* v = field name json in
+  as_int v
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let int_array_of_json json =
+  let* l = as_list json in
+  let* ints = map_result as_int l in
+  Ok (Array.of_list ints)
+
+let layer_of_json json =
+  let* weights_json = field "weights" json in
+  let* rows = as_list weights_json in
+  let* weights = map_result int_array_of_json rows in
+  let* bias_json = field "bias" json in
+  let* bias = int_array_of_json bias_json in
+  let* relu_json = field "relu" json in
+  let* relu = as_bool relu_json in
+  Ok { Nn.Qnet.weights = Array.of_list weights; bias; relu }
+
+let spec_of_json json =
+  let* delta_lo = int_field "delta_lo" json in
+  let* delta_hi = int_field "delta_hi" json in
+  let* bias_json = field "bias_noise" json in
+  let* bias_noise = as_bool bias_json in
+  let* kind_json = field "kind" json in
+  let* kind =
+    match kind_json with
+    | J.String "relative" -> Ok N.Relative
+    | J.String "absolute" -> Ok N.Absolute
+    | J.String s -> Error (Printf.sprintf "unknown noise kind %S" s)
+    | _ -> Error "expected a string noise kind"
+  in
+  if delta_lo > 0 || delta_hi < 0 then Error "noise range must contain 0"
+  else Ok { N.delta_lo; delta_hi; bias_noise; kind }
+
+let of_json json =
+  let* id = int_field "id" json in
+  let* seed = int_field "seed" json in
+  let* net_json = field "net" json in
+  let* layers_json = field "layers" net_json in
+  let* layer_list = as_list layers_json in
+  let* layers = map_result layer_of_json layer_list in
+  let* net =
+    match Nn.Qnet.create (Array.of_list layers) with
+    | net -> Ok net
+    | exception Invalid_argument msg -> Error msg
+  in
+  let* input_json = field "input" json in
+  let* input = int_array_of_json input_json in
+  let* label = int_field "label" json in
+  let* spec_json = field "spec" json in
+  let* spec = spec_of_json spec_json in
+  if Array.length input <> Nn.Qnet.in_dim net then
+    Error "input length does not match the network"
+  else if label < 0 || label >= Nn.Qnet.out_dim net then
+    Error "label out of range"
+  else Ok { id; seed; net; input; label; spec }
+
+(* ---------- corpus ---------- *)
+
+let format_tag = "fannet-fuzz-corpus"
+
+let corpus_version = 1
+
+let corpus_to_json ~seed cases =
+  J.Obj
+    [
+      ("format", J.String format_tag);
+      ("version", J.Int corpus_version);
+      ("seed", J.Int seed);
+      ("cases", J.List (List.map to_json cases));
+    ]
+
+let corpus_of_json json =
+  let* fmt = field "format" json in
+  let* () =
+    match fmt with
+    | J.String s when s = format_tag -> Ok ()
+    | _ -> Error "not a fannet fuzz corpus"
+  in
+  let* version = int_field "version" json in
+  let* () =
+    if version = corpus_version then Ok ()
+    else Error (Printf.sprintf "unsupported corpus version %d" version)
+  in
+  let* seed = int_field "seed" json in
+  let* cases_json = field "cases" json in
+  let* case_list = as_list cases_json in
+  let* cases = map_result of_json case_list in
+  Ok (seed, cases)
+
+let save_corpus path ~seed cases = J.write_file path (corpus_to_json ~seed cases)
+
+let load_corpus path =
+  let* json = J.parse_file path in
+  corpus_of_json json

@@ -1,0 +1,41 @@
+(** One differential-fuzzing case: a quantized network, a concrete input
+    with its noise-free prediction, and a noise range small enough for the
+    {!Fannet.Backend.Explicit} enumerator to act as ground truth.
+
+    Cases carry the per-case seed they were generated from, so a failure
+    found anywhere (CI, a long fuzz run, a user machine) is reproducible
+    from two integers: the corpus seed and the case seed. Corpora persist
+    as JSON ({!Util.Json}) and reload bit-identically. *)
+
+type t = {
+  id : int;              (** position in the generated corpus *)
+  seed : int;            (** per-case generator seed (replays this case) *)
+  net : Nn.Qnet.t;       (** two layers: ReLU hidden, identity output *)
+  input : int array;
+  label : int;           (** noise-free prediction of [net] on [input] *)
+  spec : Fannet.Noise.spec;
+}
+
+val equal : t -> t -> bool
+(** Structural equality over every field (seed corpus determinism checks). *)
+
+val size : t -> int
+(** Shrinking measure: noise-range width + parameter mass + input mass.
+    Every {!Shrink} candidate strictly decreases it, so greedy shrinking
+    terminates. *)
+
+val to_string : t -> string
+(** One-line human-readable summary (dimensions, spec, seed). *)
+
+val to_json : t -> Util.Json.t
+val of_json : Util.Json.t -> (t, string) result
+
+val corpus_to_json : seed:int -> t list -> Util.Json.t
+(** The persisted corpus format:
+    [{"format":"fannet-fuzz-corpus","version":1,"seed":S,"cases":[...]}]. *)
+
+val corpus_of_json : Util.Json.t -> (int * t list, string) result
+(** Returns the recorded corpus seed and the cases. *)
+
+val save_corpus : string -> seed:int -> t list -> unit
+val load_corpus : string -> (int * t list, string) result

@@ -1,0 +1,51 @@
+(** Differential-fuzzing driver: generate (or replay) a case corpus, run
+    the {!Oracle} on every case, and shrink any failure to a minimal
+    reproducer.
+
+    Exit discipline for CI: {!report_ok} is false as soon as one property
+    failed on one case; {!report_to_string} prints each violated property,
+    the shrunk failing case, and the two seeds (master and per-case) that
+    reproduce it — re-running with the same [--cases]/[--seed] regenerates
+    the identical corpus, and {!Gen.case} on the per-case seed rebuilds
+    the single failing case. *)
+
+type case_failure = {
+  case : Case.t;           (** the case as generated *)
+  shrunk : Case.t;         (** greedy-minimal case still failing *)
+  failures : Oracle.failure list;  (** properties violated on [case] *)
+  shrunk_failures : Oracle.failure list;  (** the same, on [shrunk] *)
+}
+
+type report = {
+  master_seed : int;   (** seed the corpus was generated/recorded from *)
+  cases_run : int;
+  robust : int;        (** cases the enumerator proved robust *)
+  flipped : int;       (** cases with at least one flipping vector *)
+  case_failures : case_failure list;
+}
+
+val report_ok : report -> bool
+
+val report_to_string : report -> string
+(** Multi-line summary; on failure includes every violated property, the
+    shrunk case and the seeds needed to replay it. *)
+
+val run_cases :
+  ?run:Oracle.runner ->
+  ?log:(string -> unit) ->
+  master_seed:int ->
+  Case.t list ->
+  report
+(** Oracle + shrinking over an explicit case list (corpus replay). [log]
+    receives one progress line per 100 cases and one line per failure. *)
+
+val run :
+  ?run:Oracle.runner ->
+  ?log:(string -> unit) ->
+  ?max_explicit:int ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  report
+(** Generate [cases] cases from [seed] ({!Gen.corpus}) and check them.
+    Deterministic: equal arguments produce equal reports. *)

@@ -1,0 +1,64 @@
+module R = Util.Rng
+module N = Fannet.Noise
+
+let default_max_explicit = 1_000
+
+let network rng =
+  let n_in = R.int_in rng 1 3 in
+  let n_hidden = R.int_in rng 1 4 in
+  let n_out = R.int_in rng 2 3 in
+  let weight () = R.int_in rng (-8) 8 in
+  let matrix rows cols =
+    Array.init rows (fun _ -> Array.init cols (fun _ -> weight ()))
+  in
+  Nn.Qnet.create
+    [|
+      {
+        Nn.Qnet.weights = matrix n_hidden n_in;
+        bias = Array.init n_hidden (fun _ -> R.int_in rng (-30) 30);
+        relu = true;
+      };
+      {
+        Nn.Qnet.weights = matrix n_out n_hidden;
+        bias = Array.init n_out (fun _ -> R.int_in rng (-10) 10);
+        relu = false;
+      };
+    |]
+
+let input rng ~n = Array.init n (fun _ -> R.int_in rng 1 60)
+
+let spec rng ~n_inputs ~max_explicit =
+  if max_explicit < 1 then invalid_arg "Gen.spec: max_explicit must be >= 1";
+  let kind = if R.int rng 10 < 7 then N.Relative else N.Absolute in
+  let initial =
+    {
+      N.delta_lo = -R.int_in rng 0 4;
+      delta_hi = R.int_in rng 0 4;
+      bias_noise = R.bool rng;
+      kind;
+    }
+  in
+  (* Narrow until the explicit enumeration fits the budget. Terminates: each
+     step strictly shrinks the range or drops the bias node, and the
+     single-point range {0} has size 1. *)
+  let rec fit s =
+    if N.spec_size s ~n_inputs <= max_explicit then s
+    else if s.N.bias_noise then fit { s with N.bias_noise = false }
+    else if s.N.delta_hi > -s.N.delta_lo then fit { s with N.delta_hi = s.N.delta_hi - 1 }
+    else if s.N.delta_lo < 0 then fit { s with N.delta_lo = s.N.delta_lo + 1 }
+    else fit { s with N.delta_hi = s.N.delta_hi - 1 }
+  in
+  fit initial
+
+let case ~seed ~id ~max_explicit =
+  let rng = R.create seed in
+  let net = network rng in
+  let input = input rng ~n:(Nn.Qnet.in_dim net) in
+  let spec = spec rng ~n_inputs:(Nn.Qnet.in_dim net) ~max_explicit in
+  { Case.id; seed; net; input; label = Nn.Qnet.predict net input; spec }
+
+let corpus ~seed ~cases ~max_explicit =
+  let master = R.create seed in
+  List.init cases (fun id ->
+      let seed = Int64.to_int (R.int64 master) land max_int in
+      case ~seed ~id ~max_explicit)

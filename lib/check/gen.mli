@@ -1,0 +1,38 @@
+(** Random-case generators for the differential fuzzer.
+
+    All randomness flows through {!Util.Rng} (SplitMix64), so a corpus is
+    a pure function of its master seed: the driver derives one recorded
+    per-case seed per case and rebuilds the case from that seed alone.
+
+    Networks respect every invariant the backends assume: exactly two
+    layers, ReLU hidden layer, identity output layer, consistent
+    dimensions ({!Nn.Qnet.create} checks them). Noise ranges are sized so
+    the number of vectors stays at or below [max_explicit], keeping the
+    {!Fannet.Backend.Explicit} ground-truth enumeration tractable. *)
+
+val default_max_explicit : int
+(** 1_000 vectors. The explicit enumerator could take far more, but the
+    bit-blasted [Smt] backend — which must answer every case too — is the
+    binding constraint: its cost grows steeply with the range, and this
+    budget keeps a 200-case run within the CI smoke window. *)
+
+val network : Util.Rng.t -> Nn.Qnet.t
+(** 1-3 inputs, 1-4 ReLU hidden neurons, 2-3 identity outputs, weights in
+    [-8, 8], hidden biases in [-30, 30], output biases in [-10, 10]. *)
+
+val input : Util.Rng.t -> n:int -> int array
+(** Component values in [1, 60] (the quantized Leukemia inputs' scale). *)
+
+val spec : Util.Rng.t -> n_inputs:int -> max_explicit:int -> Fannet.Noise.spec
+(** Relative or absolute noise, [delta_lo] in [-4, 0], [delta_hi] in
+    [0, 4], optional bias noise; the range is narrowed (and bias noise
+    dropped) until [Noise.spec_size <= max_explicit]. *)
+
+val case : seed:int -> id:int -> max_explicit:int -> Case.t
+(** The whole case determined by [seed]: network, input, noise spec, and
+    the network's noise-free prediction as the case label. *)
+
+val corpus : seed:int -> cases:int -> max_explicit:int -> Case.t list
+(** [cases] cases with ids [0 .. cases-1]; per-case seeds are drawn from a
+    master stream seeded with [seed], so equal arguments yield a
+    structurally identical corpus. *)

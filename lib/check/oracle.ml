@@ -1,0 +1,150 @@
+module B = Fannet.Backend
+module N = Fannet.Noise
+
+type runner =
+  B.t -> Nn.Qnet.t -> N.spec -> input:int array -> label:int -> B.verdict
+
+type failure = { property : string; backend : string; detail : string }
+
+type result = { failures : failure list; ground_truth : B.verdict }
+
+let failure_to_string f =
+  Printf.sprintf "[%s] %s: %s" f.property f.backend f.detail
+
+let explicit = B.Explicit { limit = B.default_explicit_limit }
+
+let complete_backends = [ B.Bnb; B.Smt; B.Cascade B.Bnb; B.Cascade B.Smt ]
+
+let backends_under_test = (explicit :: complete_backends) @ [ B.Interval ]
+
+(* A backend that raises must not abort the whole fuzz run: fold the
+   exception into a distinguishable verdict-with-error. *)
+type outcome = Verdict of B.verdict | Raised of string
+
+let outcome_equal a b =
+  match (a, b) with
+  | Verdict va, Verdict vb -> B.verdict_equal va vb
+  | Raised ma, Raised mb -> ma = mb
+  | Verdict _, Raised _ | Raised _, Verdict _ -> false
+
+let outcome_to_string = function
+  | Verdict v -> B.verdict_to_string v
+  | Raised msg -> "exception: " ^ msg
+
+let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
+    (case : Case.t) =
+  let { Case.net; input; label; spec; _ } = case in
+  let run_one backend =
+    match run backend net spec ~input ~label with
+    | v -> Verdict v
+    | exception e -> Raised (Printexc.to_string e)
+  in
+  let all = Array.of_list backends_under_test in
+  (* The jobs=1 vector is what every property below is checked on; the
+     parallel-determinism property re-runs it on a multi-worker pool.
+     That doubles the backend cost, so the driver samples it rather than
+     paying it on every case. *)
+  let verdicts = Util.Parallel.map ~jobs:1 run_one all in
+  let failures = ref [] in
+  let fail property backend detail =
+    failures := { property; backend = B.to_string backend; detail } :: !failures
+  in
+  if check_parallel then begin
+    let verdicts_pooled = Util.Parallel.map ~jobs:4 run_one all in
+    Array.iteri
+      (fun i backend ->
+        if not (outcome_equal verdicts.(i) verdicts_pooled.(i)) then
+          fail "parallel-determinism" backend
+            (Printf.sprintf "jobs=1 gave %s but jobs=4 gave %s"
+               (outcome_to_string verdicts.(i))
+               (outcome_to_string verdicts_pooled.(i))))
+      all
+  end;
+  let outcome_of backend =
+    let rec index i =
+      if i = Array.length all then
+        invalid_arg "Oracle: backend not under test"
+      else if all.(i) = backend then verdicts.(i)
+      else index (i + 1)
+    in
+    index 0
+  in
+  (* Ground truth. *)
+  let ground_truth =
+    match outcome_of explicit with
+    | Verdict v -> v
+    | Raised msg ->
+        fail "explicit-oracle" explicit msg;
+        B.Unknown
+  in
+  (* Witness validity, for every backend that produced one. *)
+  Array.iteri
+    (fun i backend ->
+      match verdicts.(i) with
+      | Verdict (B.Flip v) ->
+          if not (N.in_range spec v) then
+            fail "witness-valid" backend
+              (Printf.sprintf "witness %s outside the noise range" (N.to_string v))
+          else if N.predict net spec ~input v = label then
+            fail "witness-valid" backend
+              (Printf.sprintf "witness %s does not flip the prediction"
+                 (N.to_string v))
+      | Verdict (B.Robust | B.Unknown) | Raised _ -> ())
+    all;
+  (* Complete backends agree with the enumerator. *)
+  List.iter
+    (fun backend ->
+      match outcome_of backend with
+      | Raised msg -> fail "complete-agreement" backend msg
+      | Verdict B.Unknown ->
+          fail "complete-agreement" backend "complete backend answered unknown"
+      | Verdict v -> (
+          match (ground_truth, v) with
+          | B.Robust, B.Robust | B.Flip _, B.Flip _ -> ()
+          | B.Unknown, _ -> () (* explicit already failed above *)
+          | B.Robust, B.Flip w ->
+              fail "complete-agreement" backend
+                (Printf.sprintf
+                   "claims flip %s but the enumerator proves the range robust"
+                   (N.to_string w))
+          | B.Flip w, B.Robust ->
+              fail "complete-agreement" backend
+                (Printf.sprintf
+                   "claims robust but the enumerator found flip %s"
+                   (N.to_string w))
+          | _, B.Unknown -> assert false))
+    complete_backends;
+  (* Interval soundness. *)
+  (match outcome_of B.Interval with
+  | Raised msg -> fail "interval-sound" B.Interval msg
+  | Verdict (B.Flip v) ->
+      fail "interval-sound" B.Interval
+        (Printf.sprintf "interval propagation cannot produce witnesses, got %s"
+           (N.to_string v))
+  | Verdict B.Robust -> (
+      match ground_truth with
+      | B.Flip w ->
+          fail "interval-sound" B.Interval
+            (Printf.sprintf "claims robust but the enumerator found flip %s"
+               (N.to_string w))
+      | B.Robust | B.Unknown -> ())
+  | Verdict B.Unknown -> ());
+  (* Cascade lattice: a decided interval verdict forces the cascade. *)
+  (match outcome_of B.Interval with
+  | Verdict B.Robust ->
+      List.iter
+        (fun backend ->
+          match backend with
+          | B.Cascade _ -> (
+              match outcome_of backend with
+              | Verdict B.Robust -> ()
+              | Verdict v ->
+                  fail "cascade-lattice" backend
+                    (Printf.sprintf
+                       "interval proved robust but the cascade answered %s"
+                       (B.verdict_to_string v))
+              | Raised msg -> fail "cascade-lattice" backend msg)
+          | _ -> ())
+        complete_backends
+  | Verdict (B.Unknown | B.Flip _) | Raised _ -> ());
+  { failures = List.rev !failures; ground_truth }

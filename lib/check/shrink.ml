@@ -1,0 +1,122 @@
+module N = Fannet.Noise
+
+let drop_index a i = Array.init (Array.length a - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let drop_col m i = Array.map (fun row -> drop_index row i) m
+
+(* Rebuild a case around a transformed network/input, recomputing the
+   label so the shrunken case is still a valid P2 query. *)
+let rebuild (c : Case.t) ~net ~input ~spec =
+  { c with Case.net; input; spec; label = Nn.Qnet.predict net input }
+
+let with_spec (c : Case.t) spec = rebuild c ~net:c.Case.net ~input:c.Case.input ~spec
+
+let layers (c : Case.t) = c.Case.net.Nn.Qnet.layers
+
+let make_net l1 l2 = Nn.Qnet.create [| l1; l2 |]
+
+let spec_candidates (c : Case.t) =
+  let s = c.Case.spec in
+  List.concat
+    [
+      (if s.N.delta_hi > 0 then [ with_spec c { s with N.delta_hi = s.N.delta_hi - 1 } ] else []);
+      (if s.N.delta_lo < 0 then [ with_spec c { s with N.delta_lo = s.N.delta_lo + 1 } ] else []);
+      (if s.N.bias_noise then [ with_spec c { s with N.bias_noise = false } ] else []);
+    ]
+
+let structural_candidates (c : Case.t) =
+  let l1 = (layers c).(0) and l2 = (layers c).(1) in
+  let n_in = Nn.Qnet.in_dim c.Case.net in
+  let n_hidden = Array.length l1.Nn.Qnet.bias in
+  let n_out = Array.length l2.Nn.Qnet.bias in
+  let drop_hidden k =
+    make_net
+      {
+        l1 with
+        Nn.Qnet.weights = drop_index l1.Nn.Qnet.weights k;
+        bias = drop_index l1.Nn.Qnet.bias k;
+      }
+      { l2 with Nn.Qnet.weights = drop_col l2.Nn.Qnet.weights k }
+  in
+  let drop_input i =
+    make_net { l1 with Nn.Qnet.weights = drop_col l1.Nn.Qnet.weights i } l2
+  in
+  let drop_output j =
+    make_net l1
+      {
+        l2 with
+        Nn.Qnet.weights = drop_index l2.Nn.Qnet.weights j;
+        bias = drop_index l2.Nn.Qnet.bias j;
+      }
+  in
+  List.concat
+    [
+      (if n_hidden > 1 then
+         List.init n_hidden (fun k ->
+             rebuild c ~net:(drop_hidden k) ~input:c.Case.input ~spec:c.Case.spec)
+       else []);
+      (if n_in > 1 then
+         List.init n_in (fun i ->
+             rebuild c ~net:(drop_input i) ~input:(drop_index c.Case.input i)
+               ~spec:c.Case.spec)
+       else []);
+      (if n_out > 2 then
+         List.init n_out (fun j ->
+             rebuild c ~net:(drop_output j) ~input:c.Case.input ~spec:c.Case.spec)
+       else []);
+    ]
+
+(* Element-wise moves toward zero over weights, biases and the input. *)
+let value_candidates (c : Case.t) =
+  let l1 = (layers c).(0) and l2 = (layers c).(1) in
+  let replace_layer idx layer =
+    let ls = Array.copy (layers c) in
+    ls.(idx) <- layer;
+    Nn.Qnet.create ls
+  in
+  let set_weight idx (l : Nn.Qnet.qlayer) r k v =
+    let weights = Array.map Array.copy l.Nn.Qnet.weights in
+    weights.(r).(k) <- v;
+    replace_layer idx { l with Nn.Qnet.weights }
+  in
+  let set_bias idx (l : Nn.Qnet.qlayer) r v =
+    let bias = Array.copy l.Nn.Qnet.bias in
+    bias.(r) <- v;
+    replace_layer idx { l with Nn.Qnet.bias }
+  in
+  let acc = ref [] in
+  let push net = acc := rebuild c ~net ~input:c.Case.input ~spec:c.Case.spec :: !acc in
+  let moves w = if w = 0 then [] else if abs w = 1 then [ 0 ] else [ 0; w / 2 ] in
+  List.iteri
+    (fun idx (l : Nn.Qnet.qlayer) ->
+      Array.iteri
+        (fun r row ->
+          Array.iteri (fun k w -> List.iter (fun v -> push (set_weight idx l r k v)) (moves w)) row)
+        l.Nn.Qnet.weights;
+      Array.iteri (fun r b -> List.iter (fun v -> push (set_bias idx l r v)) (moves b)) l.Nn.Qnet.bias)
+    [ l1; l2 ];
+  let input_moves =
+    List.concat
+      (List.init (Array.length c.Case.input) (fun i ->
+           List.map
+             (fun v ->
+               let input = Array.copy c.Case.input in
+               input.(i) <- v;
+               rebuild c ~net:c.Case.net ~input ~spec:c.Case.spec)
+             (moves c.Case.input.(i))))
+  in
+  List.rev_append !acc input_moves
+
+let candidates c =
+  List.to_seq
+    (List.concat [ spec_candidates c; structural_candidates c; value_candidates c ])
+
+let shrink ~fails c =
+  (* Greedy descent: Case.size strictly decreases on every accepted step,
+     so the loop terminates without an explicit bound. *)
+  let rec loop c =
+    match Seq.find fails (candidates c) with
+    | Some smaller -> loop smaller
+    | None -> c
+  in
+  loop c

@@ -1,0 +1,31 @@
+(** Greedy case minimization.
+
+    Given a failing case and the predicate that classifies a case as still
+    failing, repeatedly applies the first size-reducing transformation
+    that preserves the failure until none applies. Candidate moves, in
+    order of structural impact:
+
+    - narrow the noise range toward the single point [{0}], and drop the
+      bias-noise node;
+    - drop a hidden neuron, an input node (with its weight column and
+      input component), or an output class (keeping at least 1-1-2);
+    - move individual weights, biases and input components toward zero
+      (zero them outright, then halve them).
+
+    Structural moves recompute the case label as the shrunken network's
+    noise-free prediction, so the shrunken case remains a well-formed P2
+    query. Every move strictly decreases {!Case.size}, so shrinking
+    terminates; the result keeps the original case's id and seed for the
+    failure report. *)
+
+val candidates : Case.t -> Case.t Seq.t
+(** All single-step shrink candidates, most aggressive first. Every
+    candidate satisfies the generator's invariants (two layers, ReLU
+    hidden, identity output, label = noise-free prediction) and has a
+    strictly smaller {!Case.size}. *)
+
+val shrink : fails:(Case.t -> bool) -> Case.t -> Case.t
+(** Greedy fixpoint of [candidates] under [fails]. The result still fails
+    ([fails] is only called on candidates; the input case is assumed
+    failing) and no single candidate step from it fails. [fails] should be
+    total — wrap oracle calls so exceptions count as failures. *)

@@ -1,0 +1,86 @@
+module R = Util.Rng
+module A = Smv.Ast
+
+let int_var_names = [| "a"; "b"; "c" |]
+
+let enum_var = "mode"
+
+let enum_syms = [ "s_one"; "s_two" ]
+
+let literal rng = A.Int (R.int_in rng (-5) 5)
+
+let cmp_ops = [| A.Lt; A.Le; A.Eq; A.Ge; A.Gt; A.Ne |]
+
+(* [vars] are the names usable as [Var]; [syms] the Sym atoms in scope. *)
+let rec expr_at rng ~vars ~syms depth =
+  let atom () =
+    match R.int rng 3 with
+    | 0 -> literal rng
+    | 1 -> A.Var (R.pick rng vars)
+    | _ -> A.Sym (R.pick rng syms)
+  in
+  if depth = 0 then atom ()
+  else
+    let sub () = expr_at rng ~vars ~syms (depth - 1) in
+    match R.int rng 10 with
+    | 0 -> atom ()
+    | 1 -> A.Add (sub (), sub ())
+    | 2 -> A.Sub (sub (), sub ())
+    | 3 -> A.Mul (sub (), sub ())
+    | 4 ->
+        (* Never Neg over a literal: "(- 3)" parses as the literal -3. *)
+        A.Neg (A.Var (R.pick rng vars))
+    | 5 -> A.Cmp (R.pick rng cmp_ops, sub (), sub ())
+    | 6 -> A.Not (sub ())
+    | 7 -> A.And (sub (), sub ())
+    | 8 -> A.Or (sub (), sub ())
+    | _ ->
+        let arms = R.int_in rng 1 2 in
+        A.Case (List.init arms (fun _ -> (sub (), sub ())))
+
+let default_syms = [| "TRUE"; "FALSE" |]
+
+let expr rng =
+  expr_at rng ~vars:int_var_names ~syms:default_syms (R.int_in rng 1 3)
+
+let set_of_ints rng =
+  A.Set (List.init (R.int_in rng 1 3) (fun _ -> literal rng))
+
+let program rng =
+  let n_vars = R.int_in rng 1 3 in
+  let names = Array.sub int_var_names 0 n_vars in
+  let with_enum = R.bool rng in
+  let with_ivar = R.bool rng in
+  let range rng =
+    let lo = -R.int_in rng 0 3 in
+    A.Range (lo, R.int_in rng 0 3)
+  in
+  let state_vars =
+    Array.to_list (Array.map (fun n -> (n, range rng)) names)
+    @ (if with_enum then [ (enum_var, A.Enum enum_syms) ] else [])
+  in
+  let input_vars = if with_ivar then [ ("inp", range rng) ] else [] in
+  let syms =
+    Array.append default_syms
+      (if with_enum then Array.of_list enum_syms else [||])
+  in
+  let vars =
+    Array.concat
+      [ names; (if with_enum then [| enum_var |] else [||]);
+        (if with_ivar then [| "inp" |] else [||]) ]
+  in
+  let gen_expr () = expr_at rng ~vars ~syms (R.int_in rng 1 3) in
+  let n_defines = R.int_in rng 0 2 in
+  let defines = List.init n_defines (fun i -> (Printf.sprintf "d%d" i, gen_expr ())) in
+  let rhs () = if R.bool rng then set_of_ints rng else gen_expr () in
+  let init = Array.to_list (Array.map (fun n -> (n, rhs ())) names) in
+  let next =
+    List.filter_map
+      (fun n -> if R.bool rng then Some (n, rhs ()) else None)
+      (Array.to_list names)
+  in
+  let n_specs = R.int_in rng 1 2 in
+  let invarspecs =
+    List.init n_specs (fun i -> (Printf.sprintf "p%d" i, gen_expr ()))
+  in
+  { A.state_vars; input_vars; defines; init; next; invarspecs }

@@ -1,0 +1,29 @@
+(** Random SMV ASTs for parser/printer roundtrip property tests.
+
+    Generates programs and expressions over {!Util.Rng} that exercise the
+    whole {!Smv.Ast} surface while staying inside the fragment whose
+    printed text parses back {b structurally equal}:
+
+    - [Neg] is never applied directly to an integer literal: the printed
+      form [(- 3)] is indistinguishable from the literal [-3], which the
+      parser folds to [Int (-3)];
+    - [Sym] is used only for [TRUE]/[FALSE] and symbols of declared enum
+      domains (the parser resolves those back to [Sym]);
+    - variable names avoid keywords and enum symbols;
+    - [Set] appears only as the whole right-hand side of init/next
+      equations, matching the {!Smv.Ast} convention.
+
+    Generated programs are not necessarily well-typed for the explicit
+    engine — roundtripping is purely syntactic — but they always pass the
+    printer and parser. *)
+
+val expr : Util.Rng.t -> Smv.Ast.expr
+(** A random expression of bounded depth over variables [a], [b], [c] and
+    the booleans, with arithmetic, comparisons, boolean connectives,
+    [case] and negative literals. *)
+
+val program : Util.Rng.t -> Smv.Ast.program
+(** A random program: 1-3 ranged state variables, optionally an enum
+    state variable and a ranged input variable, 0-2 defines, init/next
+    equations (expressions or nondeterministic sets), and 1-2 named
+    invarspecs. *)

@@ -135,6 +135,21 @@ let rec exists_flip backend net spec ~input ~label =
           Atomic.incr cascade_escalations;
           exists_flip inner net spec ~input ~label)
 
+let verdict_equal a b =
+  match (a, b) with
+  | Robust, Robust | Unknown, Unknown -> true
+  | Flip va, Flip vb -> Noise.equal va vb
+  | (Robust | Flip _ | Unknown), _ -> false
+
+let agree a b =
+  match (a, b) with
+  | Robust, Robust | Flip _, Flip _ | Unknown, Unknown -> true
+  | (Robust | Flip _ | Unknown), _ -> false
+
+let run_all ?(backends = [ Bnb; Smt; Explicit { limit = default_explicit_limit }; Interval; Cascade Bnb ])
+    net spec ~input ~label =
+  List.map (fun b -> (b, exists_flip b net spec ~input ~label)) backends
+
 let rec to_string = function
   | Bnb -> "bnb"
   | Smt -> "smt"

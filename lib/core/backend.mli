@@ -66,4 +66,24 @@ val output_bounds :
 (** Interval backend's per-output-node bounds over the whole noise range
     (x100 scale) — also used by the classification-boundary analysis. *)
 
+val verdict_equal : verdict -> verdict -> bool
+(** Structural equality; [Flip] witnesses compare via {!Noise.equal}. *)
+
+val agree : verdict -> verdict -> bool
+(** Same decision class — both [Robust], both [Flip] (witnesses may
+    differ), or both [Unknown]. The agreement notion the differential
+    fuzzer checks between complete backends. *)
+
+val run_all :
+  ?backends:t list ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  (t * verdict) list
+(** Run each backend on the same query, in list order. [backends] defaults
+    to all five ([Bnb], [Smt], [Explicit] at the default limit,
+    [Interval], [Cascade Bnb]) — the cross-check the [lib/check] fuzzing
+    oracle industrializes. *)
+
 val verdict_to_string : verdict -> string

@@ -15,8 +15,8 @@ type token =
 exception Error of string
 
 let keywords =
-  [ "MODULE"; "VAR"; "IVAR"; "DEFINE"; "ASSIGN"; "INVARSPEC"; "case"; "esac";
-    "init"; "next" ]
+  [ "MODULE"; "VAR"; "IVAR"; "DEFINE"; "ASSIGN"; "INVARSPEC"; "NAME";
+    "case"; "esac"; "init"; "next" ]
 
 type lexer_state = {
   text : string;
@@ -184,7 +184,14 @@ and parse_mul p =
 
 and parse_unary p =
   match p.tok with
-  | MINUS -> next p; Ast.Neg (parse_unary p)
+  | MINUS -> (
+      next p;
+      (* Fold negative integer literals: "-3" is the literal Int (-3), not
+         Neg (Int 3) — otherwise printed literals would not parse back
+         structurally equal (the printer never emits Neg over a literal). *)
+      match p.tok with
+      | INT v -> next p; Ast.Int (-v)
+      | _ -> Ast.Neg (parse_unary p))
   | BANG -> next p; Ast.Not (parse_unary p)
   | INT _ | IDENT _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COLON | SEMI
   | COMMA | DOTDOT | ASSIGN_OP | PLUS | STAR | AMP | BAR | LT | LE | EQ | GE
@@ -345,10 +352,24 @@ let parse_program p =
         sections ()
     | KW "INVARSPEC" ->
         next p;
+        (* Named form (what the printer emits, nuXmv-compatible):
+             INVARSPEC NAME prop := expr;
+           The bare form without a name is still accepted and gets an
+           auto-generated one. *)
+        let name =
+          match p.tok with
+          | KW "NAME" ->
+              next p;
+              let n = parse_ident p in
+              expect p ASSIGN_OP ":=";
+              n
+          | _ ->
+              incr spec_counter;
+              Printf.sprintf "spec%d" !spec_counter
+        in
         let e = parse_or p in
         expect p SEMI ";";
-        incr spec_counter;
-        invarspecs := !invarspecs @ [ (Printf.sprintf "spec%d" !spec_counter, e) ];
+        invarspecs := !invarspecs @ [ (name, e) ];
         sections ()
     | EOF -> ()
     | _ -> fail p "expected a section keyword"

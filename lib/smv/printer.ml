@@ -58,7 +58,7 @@ let program_to_string (p : Ast.program) =
     List.iter (fun (n, e) -> line "  next(%s) := %s;" n (expr_to_string e)) p.next
   end;
   List.iter
-    (fun (name, e) -> line "INVARSPEC %s; -- %s" (expr_to_string e) name)
+    (fun (name, e) -> line "INVARSPEC NAME %s := %s;" name (expr_to_string e))
     p.invarspecs;
   Buffer.contents buf
 

@@ -659,6 +659,32 @@ let test_boundary_analysis () =
       Alcotest.(check bool) "margin non-negative for correct inputs" true (p.margin >= 0))
     points
 
+let test_boundary_never_flips () =
+  (* A network with an overwhelming margin: the hidden unit feeds class 0
+     with weight +100 and class 1 with -100, so no +-50% input noise can
+     flip it. Every point must be robust at the probe, the near-boundary
+     set empty, and the margin/flip correlation has nothing to correlate. *)
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; relu = true };
+        { Nn.Qnet.weights = [| [| 100 |]; [| -100 |] |]; bias = [| 0; 0 |]; relu = false };
+      |]
+  in
+  let inputs = Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 40 |]; [| 60 |] |] in
+  let points = Fannet.Boundary.analyze B.Bnb net ~bias_noise:false ~max_delta:50 ~inputs in
+  Array.iter
+    (fun (p : Fannet.Boundary.point) ->
+      Alcotest.(check bool) "never flips" true (p.min_flip_delta = None);
+      Alcotest.(check bool) "large positive margin" true (p.margin > 0))
+    points;
+  Alcotest.(check int) "all robust at probe" 2
+    (Array.length (Fannet.Boundary.robust_at_probe points));
+  Alcotest.(check int) "none near boundary" 0
+    (Array.length (Fannet.Boundary.near_boundary points ~threshold:50));
+  Alcotest.(check (float 0.)) "correlation defined as 0 without data" 0.
+    (Fannet.Boundary.margin_flip_correlation points)
+
 (* ---------- bias & sensitivity ---------- *)
 
 let mk_cex input_index true_label predicted vector =
@@ -694,6 +720,38 @@ let test_bias_inconsistent () =
       ~analysed_labels:[| 0; 1 |]
       [ mk_cex 0 1 0 v ]
   in
+  Alcotest.(check bool) "not consistent" false r.consistent_with_bias
+
+let test_bias_empty_corpus () =
+  (* No counterexamples at all: every counter is zero and the paper's
+     bias claim must be reported as unsupported, not vacuously true. *)
+  let r =
+    Fannet.Bias.analyze ~n_classes:2 ~training_labels:[| 1; 1; 0 |]
+      ~analysed_labels:[| 0; 1 |] []
+  in
+  Alcotest.(check bool) "no directions" true (r.directions = []);
+  Alcotest.(check int) "no flips L0" 0 r.flips_from.(0);
+  Alcotest.(check int) "no flips L1" 0 r.flips_from.(1);
+  Alcotest.(check (float 0.)) "rate L0" 0. r.flip_rate.(0);
+  Alcotest.(check (float 0.)) "rate L1" 0. r.flip_rate.(1);
+  Alcotest.(check bool) "not consistent" false r.consistent_with_bias
+
+let test_bias_all_same_label () =
+  (* Every counterexample flips out of the majority class: the minority
+     rate (zero) cannot exceed the majority's, so the bias claim fails
+     even on a non-empty corpus. *)
+  let v = { N.bias = 0; inputs = [| 1 |] } in
+  let cexs = [ mk_cex 0 1 0 v; mk_cex 1 1 0 v; mk_cex 1 1 0 v ] in
+  let r =
+    Fannet.Bias.analyze ~n_classes:2 ~training_labels:[| 1; 1; 1; 0 |]
+      ~analysed_labels:[| 1; 1; 0 |] cexs
+  in
+  Alcotest.(check int) "flips from L1" 3 r.flips_from.(1);
+  Alcotest.(check int) "no flips from L0" 0 r.flips_from.(0);
+  Alcotest.(check int) "distinct L1 inputs" 2 r.inputs_flipped_from.(1);
+  (match r.directions with
+  | [ { Fannet.Bias.from_label = 1; to_label = 0; count = 3 } ] -> ()
+  | _ -> Alcotest.fail "expected the single L1 -> L0 direction");
   Alcotest.(check bool) "not consistent" false r.consistent_with_bias
 
 let test_sensitivity_per_node () =
@@ -886,11 +944,14 @@ let () =
           Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone;
           Alcotest.test_case "certified accuracy" `Quick test_certified_accuracy;
           Alcotest.test_case "boundary analysis" `Quick test_boundary_analysis;
+          Alcotest.test_case "boundary never flips" `Quick test_boundary_never_flips;
         ] );
       ( "bias-sensitivity",
         [
           Alcotest.test_case "bias analyze" `Quick test_bias_analyze;
           Alcotest.test_case "bias inconsistent" `Quick test_bias_inconsistent;
+          Alcotest.test_case "bias empty corpus" `Quick test_bias_empty_corpus;
+          Alcotest.test_case "bias all same label" `Quick test_bias_all_same_label;
           Alcotest.test_case "sensitivity per node" `Quick test_sensitivity_per_node;
           QCheck_alcotest.to_alcotest prop_formal_sidedness_matches_explicit;
         ] );

@@ -362,7 +362,11 @@ let test_parse_expr () =
     | Error msg -> Alcotest.fail msg
   in
   check_expr "1 + 2 * x" (A.Add (A.Int 1, A.Mul (A.Int 2, A.Var "x")));
-  check_expr "-3" (A.Neg (A.Int 3));
+  (* The parser folds a minus sign on an integer literal into the literal
+     itself, so printed negative constants roundtrip structurally. *)
+  check_expr "-3" (A.Int (-3));
+  check_expr "- 3" (A.Int (-3));
+  check_expr "-x" (A.Neg (A.Var "x"));
   check_expr "a & b | c" (A.Or (A.And (A.Var "a", A.Var "b"), A.Var "c"));
   check_expr "!(x = 1)" (A.Not (A.Cmp (A.Eq, A.Var "x", A.Int 1)));
   check_expr "{0, 1, 2}" (A.Set [ A.Int 0; A.Int 1; A.Int 2 ]);
@@ -389,6 +393,10 @@ let test_parse_roundtrip_counter () =
   Alcotest.(check bool) "same state vars" true (p.A.state_vars = p2.A.state_vars);
   Alcotest.(check bool) "same defines" true (p.A.defines = p2.A.defines);
   Alcotest.(check bool) "same init" true (p.A.init = p2.A.init);
+  (* INVARSPEC NAME syntax preserves property names across the roundtrip. *)
+  Alcotest.(check (list string)) "same invarspec names"
+    (List.map fst p.A.invarspecs)
+    (List.map fst p2.A.invarspecs);
   (* Printed expressions are fully parenthesised, so next/specs compare
      semantically via exploration. *)
   let o1 = explore_ok p and o2 = explore_ok p2 in
@@ -583,6 +591,34 @@ let prop_bmc_trace_replays =
       | Ok [ (_, Smv.Bmc.Holds_up_to _) ] -> true
       | Ok _ | Error _ -> false)
 
+(* Structural roundtrips over the richer generator from lib/check: unlike
+   the semantic checks above these require parse(print(x)) = x as ASTs,
+   which pins invarspec names (INVARSPEC NAME syntax), negative-literal
+   folding, enum-symbol resolution and full parenthesisation. *)
+
+let test_structural_expr_roundtrip () =
+  let rng = Util.Rng.create 0xbeef in
+  for i = 1 to 500 do
+    let e = Check.Smv_gen.expr rng in
+    let text = Smv.Printer.expr_to_string e in
+    match Smv.Parser.parse_expr text with
+    | Error msg -> Alcotest.failf "expr %d %S failed to parse: %s" i text msg
+    | Ok e2 ->
+        if e <> e2 then Alcotest.failf "expr %d did not roundtrip: %S" i text
+  done
+
+let test_structural_program_roundtrip () =
+  let rng = Util.Rng.create 0xf00d in
+  for i = 1 to 200 do
+    let p = Check.Smv_gen.program rng in
+    let text = Smv.Printer.program_to_string p in
+    match Smv.Parser.parse text with
+    | Error msg -> Alcotest.failf "program %d failed to parse: %s\n%s" i msg text
+    | Ok p2 ->
+        if p <> p2 then
+          Alcotest.failf "program %d did not roundtrip structurally:\n%s" i text
+  done
+
 let () =
   Alcotest.run "smv"
     [
@@ -627,6 +663,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_fsm_bmc_agree;
           QCheck_alcotest.to_alcotest prop_print_parse_preserves_semantics;
           QCheck_alcotest.to_alcotest prop_bmc_trace_replays;
+          Alcotest.test_case "structural expr roundtrip" `Quick
+            test_structural_expr_roundtrip;
+          Alcotest.test_case "structural program roundtrip" `Quick
+            test_structural_program_roundtrip;
         ] );
       ( "bmc",
         [

@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke fuzz-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert fuzz-smoke certify-smoke fmt clean
 
 build:
 	dune build
@@ -6,28 +6,47 @@ build:
 test:
 	dune runtest
 
-# Tier-1 verification: build, unit/property tests, and the differential
-# fuzzing oracle (all five backends against the explicit enumerator).
-check: build test fuzz-smoke
+# Tier-1 verification: build, unit/property tests, the differential
+# fuzzing oracle (all five backends against the explicit enumerator),
+# and one end-to-end certified verdict.
+check: build test fuzz-smoke certify-smoke
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
+# Every 4th case also runs the certified SMT path and validates its
+# proof/model certificate against the independent lib/cert checker.
 fuzz-smoke:
 	dune exec bin/fannet_cli.exe -- fuzz --cases 200 --seed 42 --quiet
 
-# Full evaluation suite (E1-E15 + Bechamel timings); takes minutes.
+# One certified tolerance bracket end-to-end on the fast pipeline
+# (~1 min): solve with proof logging, re-check every DRUP proof and
+# witness with lib/cert, and emit the textual proof artefacts. Exit 1
+# means a counterexample was found and certified - also a pass for this
+# target; only exit 2 (invalid certificate or usage error) fails it.
+certify-smoke:
+	dune exec bin/fannet_cli.exe -- certify --fast --bracket --max-delta 1 \
+	  --proof certify_smoke.drup || [ $$? -eq 1 ]
+	rm -f certify_smoke.drup certify_smoke.drup.cnf
+
+# Full evaluation suite (E1-E16 + Bechamel timings); takes minutes.
 bench:
 	dune exec bench/main.exe
 
-# Parallel-engine subset on the small-dataset pipeline (< 5 s). Emits
-# BENCH_parallel.json and fails unless the artefact re-parses and the
-# jobs=1 / jobs=N / cascade verdicts agree.
+# Parallel-engine and certificate subsets on the small-dataset pipeline
+# (< 1 min). Emits BENCH_parallel.json and BENCH_cert.json and fails
+# unless both artefacts re-parse and all cross-checks agree.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
+
+# Certificate section only (proof-logging overhead, checker throughput,
+# end-to-end certified verdict); emits BENCH_cert.json.
+bench-cert:
+	dune exec bench/main.exe -- --cert
 
 fmt:
 	dune fmt
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_cert.json
+	rm -f certify_smoke.drup certify_smoke.drup.cnf

@@ -886,6 +886,147 @@ let bench_parallel ?(smoke = false) (p : Fannet.Pipeline.t) ~out =
   | Error e -> failwith (Printf.sprintf "E15: %s failed to parse: %s" out e))
 
 (* ------------------------------------------------------------------ *)
+(* E16 - certificate subsystem: proof-logging overhead, checker        *)
+(* throughput, end-to-end certified verdicts                           *)
+(* ------------------------------------------------------------------ *)
+
+let pigeonhole_clauses ~pigeons ~holes =
+  let var p h = (p * holes) + h in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := List.init holes (fun h -> (var p h, true)) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses := [ (var p1 h, false); (var p2 h, false) ] :: !clauses
+      done
+    done
+  done;
+  (pigeons * holes, !clauses)
+
+let bench_cert ?(smoke = false) ~out () =
+  section "E16 bench_cert (proof logging overhead + RUP checker throughput)";
+  let pigeons = 7 and holes = 6 in
+  let n_vars, clauses = pigeonhole_clauses ~pigeons ~holes in
+  let solve_php ~logged () =
+    let s = Sat.Solver.create () in
+    let trace = if logged then Some (Cert.Proof.attach s) else None in
+    let vars = Array.init n_vars (fun _ -> Sat.Solver.new_var s) in
+    List.iter
+      (fun clause ->
+        Sat.Solver.add_clause s
+          (List.map (fun (v, sign) -> Sat.Lit.make vars.(v) sign) clause))
+      clauses;
+    let r = Sat.Solver.solve s in
+    if r <> Sat.Solver.Unsat then failwith "E16: php must be unsat";
+    (s, trace)
+  in
+  (* Per-event cost is tiny relative to run-to-run solver noise, so take
+     the best of several repetitions for both configurations. *)
+  let reps = if smoke then 3 else 7 in
+  let best f =
+    let ts = List.init reps (fun _ -> snd (time_of f)) in
+    List.fold_left min (List.hd ts) (List.tl ts)
+  in
+  let t_off = best (fun () -> solve_php ~logged:false ()) in
+  let t_on = best (fun () -> solve_php ~logged:true ()) in
+  let overhead_pct = 100. *. ((t_on -. t_off) /. t_off) in
+  Printf.printf
+    "php(%d,%d) solve: %.4fs unlogged, %.4fs with proof sink (%.1f%% overhead)\n"
+    pigeons holes t_off t_on overhead_pct;
+  (* Checker throughput on the proof from one logged run. *)
+  let s, trace = solve_php ~logged:true () in
+  let trace = Option.get trace in
+  let cert =
+    match Cert.Verdict.of_trace_unsat ~n_vars:(Sat.Solver.nvars s) trace with
+    | Ok c -> c
+    | Error e -> failwith ("E16: no refutation certificate: " ^ e)
+  in
+  let n_steps, n_lemmas =
+    match cert with
+    | Cert.Verdict.Refutation { proof; _ } ->
+        ( List.length proof,
+          List.length
+            (List.filter
+               (function Cert.Rup.Learn _ -> true | Cert.Rup.Delete _ -> false)
+               proof) )
+    | Cert.Verdict.Model _ -> failwith "E16: expected a refutation"
+  in
+  let check_result, check_t = time_of (fun () -> Cert.Verdict.check cert) in
+  (match check_result with
+  | Ok () -> ()
+  | Error e -> failwith ("E16: solver proof rejected by the checker: " ^ e));
+  let lemmas_per_s = float_of_int n_lemmas /. check_t in
+  Printf.printf
+    "RUP check: %d proof steps (%d lemmas) verified in %.4fs (%.0f lemmas/s)\n"
+    n_steps n_lemmas check_t lemmas_per_s;
+  (* End-to-end certified robustness verdict on the small fixed network:
+     encode, solve with the trace attached, snapshot, re-check. *)
+  let qnet = small_qnet () in
+  let input = [| 50; 50 |] and delta = 12 in
+  let label = Nn.Qnet.predict qnet input in
+  let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+  let cv, e2e_solve_t =
+    time_of (fun () -> Fannet.Backend.certified_exists_flip qnet spec ~input ~label)
+  in
+  (match cv.Fannet.Backend.cv_verdict with
+  | Fannet.Backend.Robust -> ()
+  | v ->
+      failwith
+        ("E16: expected robust at +-12 on the small net, got "
+        ^ Fannet.Backend.verdict_to_string v));
+  let e2e_check, e2e_check_t =
+    time_of (fun () -> Fannet.Backend.check_certified qnet spec ~input ~label cv)
+  in
+  (match e2e_check with
+  | Ok () -> ()
+  | Error e -> failwith ("E16: end-to-end certificate rejected: " ^ e));
+  Printf.printf
+    "certified robust verdict (small net, +-%d%%): %.3fs solve+log, %.3fs check\n"
+    delta e2e_solve_t e2e_check_t;
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_cert/1");
+        ("smoke", Util.Json.Bool smoke);
+        ( "proof_logging",
+          Util.Json.Obj
+            [
+              ("workload", Util.Json.String (Printf.sprintf "php(%d,%d)" pigeons holes));
+              ("reps", Util.Json.Int reps);
+              ("unlogged_s", Util.Json.Float t_off);
+              ("logged_s", Util.Json.Float t_on);
+              ("overhead_pct", Util.Json.Float overhead_pct);
+            ] );
+        ( "checker",
+          Util.Json.Obj
+            [
+              ("proof_steps", Util.Json.Int n_steps);
+              ("lemmas", Util.Json.Int n_lemmas);
+              ("check_s", Util.Json.Float check_t);
+              ("lemmas_per_s", Util.Json.Float lemmas_per_s);
+            ] );
+        ( "end_to_end",
+          Util.Json.Obj
+            [
+              ("delta", Util.Json.Int delta);
+              ("verdict", Util.Json.String "robust");
+              ("solve_s", Util.Json.Float e2e_solve_t);
+              ("check_s", Util.Json.Float e2e_check_t);
+            ] );
+      ]
+  in
+  Util.Json.write_file out json;
+  match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_cert/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E16: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E16: %s failed to parse: %s" out e)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -949,6 +1090,7 @@ let timing_suite (p : Fannet.Pipeline.t) =
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let cert_only = Array.exists (( = ) "--cert") Sys.argv in
   let out =
     let rec find i =
       if i >= Array.length Sys.argv then "BENCH_parallel.json"
@@ -958,13 +1100,22 @@ let () =
     in
     find 1
   in
-  if smoke then begin
-    (* bench-smoke: the parallel/cascade section only, on the small-dataset
-       pipeline, validating that BENCH_parallel.json is emitted and parses. *)
+  if cert_only then begin
+    (* bench --cert: the certificate section only; no pipeline needed. *)
+    print_endline "FANNet bench (certificate subsystem)";
+    print_endline "====================================";
+    bench_cert ~smoke ~out:"BENCH_cert.json" ();
+    print_endline "\nCertificate bench completed."
+  end
+  else if smoke then begin
+    (* bench-smoke: the parallel/cascade and certificate sections only, on
+       the small-dataset pipeline, validating that BENCH_parallel.json and
+       BENCH_cert.json are emitted and parse. *)
     print_endline "FANNet bench smoke (parallel engine)";
     print_endline "====================================";
     let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
     bench_parallel ~smoke p ~out;
+    bench_cert ~smoke:true ~out:"BENCH_cert.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
@@ -989,6 +1140,7 @@ let () =
     extension_multiclass ();
     extension_absolute_noise p;
     bench_parallel ~smoke:false p ~out;
+    bench_cert ~smoke:false ~out:"BENCH_cert.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

@@ -10,7 +10,11 @@
    fannet boundary     -- classification-boundary estimation (Sec. V-C.2)
    fannet bias         -- training-bias analysis (paper Sec. V-C.3)
    fannet fsm          -- explicit state-space statistics (Fig. 3)
-   fannet fuzz         -- differential fuzzing of the analysis backends *)
+   fannet fuzz         -- differential fuzzing of the analysis backends
+   fannet certify      -- certified robustness verdicts with DRUP proofs
+
+   Exit codes (all commands): 0 = verified/certified or analysis done,
+   1 = a counterexample was found, 2 = usage error or invalid result. *)
 
 open Cmdliner
 
@@ -82,6 +86,14 @@ let pipeline dataset_seed init_seed =
   let config = { Fannet.Pipeline.default_config with dataset_seed; init_seed } in
   Fannet.Pipeline.run ~config ()
 
+(* Documented process exit codes, attached to every command's man page. *)
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the property was verified/certified (or the analysis completed).";
+    Cmd.Exit.info 1 ~doc:"a counterexample was found (a noise vector flips the input, or fuzzing found a backend disagreement).";
+    Cmd.Exit.info 2 ~doc:"usage error, invalid certificate, or internal failure.";
+  ]
+
 let bias_flag no_bias_noise = not no_bias_noise
 
 (* ---------- commands ---------- *)
@@ -108,7 +120,7 @@ let train_cmd =
         Printf.printf "quantized model written to %s\n" path
   in
   let doc = "Train the Leukemia network and report accuracies (paper Sec. V-A)." in
-  Cmd.v (Cmd.info "train" ~doc) Term.(const run $ dataset_seed $ init_seed $ save_model)
+  Cmd.v (Cmd.info "train" ~doc ~exits) Term.(const run $ dataset_seed $ init_seed $ save_model)
 
 let validate_cmd =
   let run dataset_seed init_seed =
@@ -123,7 +135,7 @@ let validate_cmd =
       r.Fannet.Validate.mismatches
   in
   let doc = "P1: validate the integer model on the test set without noise." in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ dataset_seed $ init_seed)
+  Cmd.v (Cmd.info "validate" ~doc ~exits) Term.(const run $ dataset_seed $ init_seed)
 
 let translate_cmd =
   let run dataset_seed init_seed delta no_bias_noise input_index output =
@@ -145,7 +157,7 @@ let translate_cmd =
         Printf.printf "SMV model written to %s\n" path
   in
   let doc = "Translate the network + noise model to nuXmv-compatible SMV." in
-  Cmd.v (Cmd.info "translate" ~doc)
+  Cmd.v (Cmd.info "translate" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ output_file)
 
 let tolerance_cmd =
@@ -161,7 +173,7 @@ let tolerance_cmd =
       tol max_delta (Array.length inputs)
   in
   let doc = "Compute the network noise tolerance (paper: +-11%)." in
-  Cmd.v (Cmd.info "tolerance" ~doc)
+  Cmd.v (Cmd.info "tolerance" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
 
 let sweep_cmd =
@@ -186,7 +198,7 @@ let sweep_cmd =
     Util.Table.print table
   in
   let doc = "Misclassification counts per noise range (Fig. 4 left panel)." in
-  Cmd.v (Cmd.info "sweep" ~doc)
+  Cmd.v (Cmd.info "sweep" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ no_bias_noise $ backend $ jobs)
 
 let extract_cmd =
@@ -215,7 +227,7 @@ let extract_cmd =
       Printf.printf "  ... (%d more)\n" (List.length cexs - 20)
   in
   let doc = "P3: extract the adversarial noise vectors for one input." in
-  Cmd.v (Cmd.info "extract" ~doc)
+  Cmd.v (Cmd.info "extract" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ limit)
 
 let sensitivity_cmd =
@@ -236,7 +248,7 @@ let sensitivity_cmd =
       sides
   in
   let doc = "Input-node sensitivity: corpus statistics and formal sidedness." in
-  Cmd.v (Cmd.info "sensitivity" ~doc)
+  Cmd.v (Cmd.info "sensitivity" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
 
 let boundary_cmd =
@@ -266,7 +278,7 @@ let boundary_cmd =
       (Fannet.Boundary.margin_flip_correlation points)
   in
   let doc = "Per-input minimal flipping noise (classification boundary)." in
-  Cmd.v (Cmd.info "boundary" ~doc)
+  Cmd.v (Cmd.info "boundary" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
 
 let bias_cmd =
@@ -284,7 +296,7 @@ let bias_cmd =
     print_endline (Fannet.Bias.report_to_string report)
   in
   let doc = "Training-bias analysis over the counterexample corpus." in
-  Cmd.v (Cmd.info "bias" ~doc)
+  Cmd.v (Cmd.info "bias" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
 
 let minflip_cmd =
@@ -313,7 +325,7 @@ let minflip_cmd =
     Util.Table.print table
   in
   let doc = "Cheapest (minimum-L1) adversarial noise vector per input — the paper's (Δx)min." in
-  Cmd.v (Cmd.info "minflip" ~doc)
+  Cmd.v (Cmd.info "minflip" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise)
 
 let fsm_cmd =
@@ -341,7 +353,7 @@ let fsm_cmd =
     | Error e -> Printf.printf "exploration failed: %s\n" e
   in
   let doc = "Explicit-state statistics of the SMV model (Fig. 3); keep DELTA small." in
-  Cmd.v (Cmd.info "fsm" ~doc)
+  Cmd.v (Cmd.info "fsm" ~doc ~exits)
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index)
 
 let fuzz_cmd =
@@ -396,27 +408,144 @@ let fuzz_cmd =
      soundness, cascade lattice, parallel determinism); failures are \
      shrunk to minimal reproducers with their seeds."
   in
-  Cmd.v (Cmd.info "fuzz" ~doc)
+  Cmd.v (Cmd.info "fuzz" ~doc ~exits)
     Term.(const run $ cases $ seed $ replay $ save $ quiet)
+
+let certify_cmd =
+  let bracket =
+    let doc =
+      "Certify a whole tolerance bracket (binary search up to \
+       $(b,--max-delta)) instead of a single $(b,--delta) query: a DRUP \
+       refutation at the largest robust range plus a checked witness at \
+       the smallest flipping one."
+    in
+    Arg.(value & flag & info [ "bracket" ] ~doc)
+  in
+  let fast =
+    let doc = "Use the small fast-config pipeline (64 genes) — smoke-test sized." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  let proof_file =
+    let doc =
+      "Write the DRUP refutation to $(docv) and the bit-blasted formula \
+       (assumptions folded in as unit clauses) to $(docv).cnf, for external \
+       checkers such as drat-trim."
+    in
+    Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
+  in
+  let run dataset_seed init_seed delta max_delta no_bias_noise input_index bracket
+      fast proof_file =
+    let p =
+      if fast then
+        Fannet.Pipeline.run
+          ~config:{ Fannet.Pipeline.fast_config with dataset_seed; init_seed }
+          ()
+      else pipeline dataset_seed init_seed
+    in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    if input_index < 0 || input_index >= Array.length inputs then
+      failwith "input index out of range";
+    let input, label = inputs.(input_index) in
+    let bias_noise = bias_flag no_bias_noise in
+    let write_proof cert =
+      match (proof_file, Cert.Verdict.to_drup cert) with
+      | None, _ | _, None -> ()
+      | Some path, Some drup ->
+          let write p s =
+            let oc = open_out p in
+            output_string oc s;
+            close_out oc
+          in
+          write path drup;
+          write (path ^ ".cnf") (Cert.Verdict.to_dimacs cert);
+          Printf.printf "DRUP proof written to %s (formula to %s.cnf)\n" path path
+    in
+    let fail_invalid e =
+      Printf.eprintf "certificate check FAILED: %s\n" e;
+      exit 2
+    in
+    if bracket then begin
+      let b =
+        Fannet.Tolerance.certified_min_flip_delta p.qnet ~bias_noise ~max_delta
+          ~input ~label
+      in
+      (match
+         Fannet.Tolerance.check_certified_bracket p.qnet ~bias_noise b ~input ~label
+       with
+      | Ok () -> ()
+      | Error e -> fail_invalid e);
+      (match b.Fannet.Tolerance.robust_cert with
+      | None -> ()
+      | Some (d, cert) ->
+          Printf.printf "certified robust up to +-%d%% (input %d, true L%d)\n  %s\n"
+            d input_index label (Cert.Verdict.describe cert);
+          write_proof cert);
+      match (b.Fannet.Tolerance.min_flip_delta, b.Fannet.Tolerance.flip_cert) with
+      | None, _ ->
+          Printf.printf "no noise vector up to +-%d%% flips input %d: certified\n"
+            b.Fannet.Tolerance.max_delta input_index
+      | Some m, Some (_, v, cert) ->
+          Printf.printf
+            "minimal flipping range +-%d%% with witness %s\n  %s\ncertificates checked\n"
+            m (Fannet.Noise.to_string v) (Cert.Verdict.describe cert);
+          exit 1
+      | Some _, None -> fail_invalid "flip without certificate"
+    end
+    else begin
+      let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
+      let cv = Fannet.Backend.certified_exists_flip p.qnet spec ~input ~label in
+      (match Fannet.Backend.check_certified p.qnet spec ~input ~label cv with
+      | Ok () -> ()
+      | Error e -> fail_invalid e);
+      match (cv.Fannet.Backend.cv_verdict, cv.Fannet.Backend.cv_cert) with
+      | Fannet.Backend.Robust, Some cert ->
+          Printf.printf "certified robust at +-%d%% (input %d, true L%d)\n  %s\n"
+            delta input_index label (Cert.Verdict.describe cert);
+          write_proof cert
+      | Fannet.Backend.Flip v, Some cert ->
+          Printf.printf
+            "noise %s flips input %d at +-%d%%: certificate checked\n  %s\n"
+            (Fannet.Noise.to_string v) input_index delta
+            (Cert.Verdict.describe cert);
+          exit 1
+      | _ -> fail_invalid "backend did not decide"
+    end
+  in
+  let doc =
+    "Certified robustness verdicts: the SMT backend with DRUP proof logging, \
+     every answer re-checked by the independent $(b,lib/cert) checker \
+     (exit 0 robust-certified, 1 flip found, 2 invalid certificate)."
+  in
+  Cmd.v (Cmd.info "certify" ~doc ~exits)
+    Term.(
+      const run $ dataset_seed $ init_seed $ delta $ max_delta $ no_bias_noise
+      $ input_index $ bracket $ fast $ proof_file)
 
 let () =
   let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
-  let info = Cmd.info "fannet" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "fannet" ~version:"1.0.0" ~doc ~exits in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [
-            train_cmd;
-            validate_cmd;
-            translate_cmd;
-            tolerance_cmd;
-            sweep_cmd;
-            extract_cmd;
-            sensitivity_cmd;
-            boundary_cmd;
-            bias_cmd;
-            minflip_cmd;
-            fsm_cmd;
-            fuzz_cmd;
-          ]))
+  let group =
+    Cmd.group ~default info
+      [
+        train_cmd;
+        validate_cmd;
+        translate_cmd;
+        tolerance_cmd;
+        sweep_cmd;
+        extract_cmd;
+        sensitivity_cmd;
+        boundary_cmd;
+        bias_cmd;
+        minflip_cmd;
+        fsm_cmd;
+        fuzz_cmd;
+        certify_cmd;
+      ]
+  in
+  (* Exit-code contract (documented in [exits]): counterexample paths call
+     [exit 1] themselves; everything Cmdliner reports as a usage or
+     evaluation problem maps to 2. *)
+  match Cmd.eval_value group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term | `Exn) -> exit 2

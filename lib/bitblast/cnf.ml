@@ -1,7 +1,10 @@
 type t = { solver : Sat.Solver.t; true_lit : Sat.Lit.t }
 
-let create () =
+let create ?sink () =
   let solver = Sat.Solver.create () in
+  (* Install the proof sink before the first clause so a checker sees the
+     complete CNF, including the shared true-literal unit. *)
+  (match sink with None -> () | Some _ -> Sat.Solver.set_proof_sink solver sink);
   let v = Sat.Solver.new_var solver in
   let true_lit = Sat.Lit.pos v in
   Sat.Solver.add_clause solver [ true_lit ];

@@ -7,7 +7,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?sink:(Sat.Solver.proof_step -> unit) -> unit -> t
+(** [?sink] is installed as the underlying solver's DRUP proof sink
+    before any clause is added, so the sink observes the full CNF. *)
+
 val solver : t -> Sat.Solver.t
 
 val fresh : t -> Sat.Lit.t

@@ -1,0 +1,46 @@
+type step =
+  | Input of int list
+  | Learn of int list
+  | Delete of int list
+  | Empty of int list
+
+type trace = { mutable steps : step array; mutable len : int }
+
+let create () = { steps = [||]; len = 0 }
+
+let push t step =
+  if t.len = Array.length t.steps then begin
+    let cap = max 64 (2 * t.len) in
+    let steps = Array.make cap step in
+    Array.blit t.steps 0 steps 0 t.len;
+    t.steps <- steps
+  end;
+  t.steps.(t.len) <- step;
+  t.len <- t.len + 1
+
+let n_steps t = t.len
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.steps.(i) :: acc) in
+  go (t.len - 1) []
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.steps.(i)
+  done
+
+let last t = if t.len = 0 then None else Some t.steps.(t.len - 1)
+
+let sink t (ev : Sat.Solver.proof_step) =
+  let dimacs = List.map Sat.Lit.to_dimacs in
+  push t
+    (match ev with
+    | Sat.Solver.P_input lits -> Input (dimacs lits)
+    | Sat.Solver.P_learn lits -> Learn (dimacs lits)
+    | Sat.Solver.P_delete lits -> Delete (dimacs lits)
+    | Sat.Solver.P_empty lits -> Empty (dimacs lits))
+
+let attach s =
+  let t = create () in
+  Sat.Solver.set_proof_sink s (Some (sink t));
+  t

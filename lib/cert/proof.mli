@@ -1,0 +1,33 @@
+(** In-memory DRUP proof traces.
+
+    A trace is an append-only event log in DIMACS integers, fed by a
+    {!Sat.Solver} proof sink (see {!sink}/{!attach}). In an incremental
+    session one trace accumulates across many [solve] calls: [Input] and
+    [Learn]/[Delete] events pile up, and each [Unsat] answer appends one
+    [Empty] event carrying the assumptions it was derived under. A
+    certificate for any one answer is a snapshot of the prefix up to its
+    [Empty] event (see {!Verdict.of_trace_unsat}). *)
+
+type step =
+  | Input of int list  (** original clause, pre-simplification *)
+  | Learn of int list  (** RUP-derivable lemma; [[]] is the empty clause *)
+  | Delete of int list  (** learnt clause dropped by the solver *)
+  | Empty of int list
+      (** one [Unsat] conclusion; payload = its assumption literals *)
+
+type trace
+
+val create : unit -> trace
+val n_steps : trace -> int
+val to_list : trace -> step list
+val iter : (step -> unit) -> trace -> unit
+
+val last : trace -> step option
+(** Most recent event, if any. *)
+
+val sink : trace -> Sat.Solver.proof_step -> unit
+(** Append one solver event, translating literals to DIMACS. Pass
+    [Some (sink t)] to {!Sat.Solver.set_proof_sink}. *)
+
+val attach : Sat.Solver.t -> trace
+(** [attach s] creates a fresh trace and installs it as [s]'s proof sink. *)

@@ -1,0 +1,309 @@
+(* Independent forward DRUP checker. Deliberately shares no code with
+   Sat.Solver: plain DIMACS integers, its own two-watched-literal loop, no
+   conflict analysis, no heuristics. Assignments made while loading the
+   CNF, the assumptions, and accepted lemmas are persistent (they are
+   unit-propagation consequences and the database only grows); assignments
+   made inside a RUP check are rolled back to a trail mark. *)
+
+type step = Learn of int list | Delete of int list
+
+type clause = { lits : int array; mutable alive : bool }
+
+type db = {
+  n_vars : int;
+  value : int array;  (* index 1..n_vars: 0 unassigned, 1 true, -1 false *)
+  trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  watches : clause list array;  (* indexed by lit_index *)
+  index : (int list, clause list ref) Hashtbl.t;
+      (* normalized literal list -> clauses with those literals *)
+  mutable contradiction : bool;
+}
+
+exception Fail of string
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let create n_vars =
+  {
+    n_vars;
+    value = Array.make (n_vars + 1) 0;
+    trail = Array.make (n_vars + 1) 0;
+    trail_len = 0;
+    qhead = 0;
+    watches = Array.make (2 * (n_vars + 1)) [];
+    index = Hashtbl.create 64;
+    contradiction = false;
+  }
+
+let lit_value db l = if l > 0 then db.value.(l) else -db.value.(-l)
+
+(* Make [l] true and push it on the trail (caller ensures it is unassigned). *)
+let assign db l =
+  db.value.(abs l) <- (if l > 0 then 1 else -1);
+  db.trail.(db.trail_len) <- l;
+  db.trail_len <- db.trail_len + 1
+
+(* Unit-propagate from the queue head to fixpoint. Returns [true] on
+   conflict (some clause with every literal false). *)
+let propagate db =
+  let conflict = ref false in
+  while (not !conflict) && db.qhead < db.trail_len do
+    let p = db.trail.(db.qhead) in
+    db.qhead <- db.qhead + 1;
+    let fl = -p in
+    let wi = lit_index fl in
+    let ws = db.watches.(wi) in
+    db.watches.(wi) <- [];
+    let rec visit kept = function
+      | [] -> db.watches.(wi) <- kept
+      | c :: rest ->
+          if not c.alive then visit kept rest
+          else begin
+            if c.lits.(0) = fl then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- fl
+            end;
+            if lit_value db c.lits.(0) = 1 then visit (c :: kept) rest
+            else begin
+              let n = Array.length c.lits in
+              let k = ref 2 in
+              while !k < n && lit_value db c.lits.(!k) = -1 do
+                incr k
+              done;
+              if !k < n then begin
+                (* Found a non-false replacement watch. *)
+                c.lits.(1) <- c.lits.(!k);
+                c.lits.(!k) <- fl;
+                let j = lit_index c.lits.(1) in
+                db.watches.(j) <- c :: db.watches.(j);
+                visit kept rest
+              end
+              else if lit_value db c.lits.(0) = -1 then begin
+                conflict := true;
+                (* Keep every watcher, including the unvisited tail. *)
+                db.watches.(wi) <- (c :: kept) @ rest
+              end
+              else begin
+                assign db c.lits.(0);
+                visit (c :: kept) rest
+              end
+            end
+          end
+    in
+    visit [] ws
+  done;
+  !conflict
+
+let undo_to db mark =
+  while db.trail_len > mark do
+    db.trail_len <- db.trail_len - 1;
+    db.value.(abs db.trail.(db.trail_len)) <- 0
+  done;
+  db.qhead <- mark
+
+(* Sort literals by variable then sign, drop duplicates; [None] marks a
+   tautology. The result doubles as the deletion-index key. *)
+let norm lits =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare (abs a) (abs b) in
+        if c <> 0 then c else compare a b)
+      lits
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | [ x ] -> Some (List.rev (x :: acc))
+    | x :: (y :: _ as rest) ->
+        if x = y then go acc rest
+        else if x = -y then None
+        else go (x :: acc) rest
+  in
+  go [] sorted
+
+let register db key c =
+  match Hashtbl.find_opt db.index key with
+  | Some cell -> cell := c :: !cell
+  | None -> Hashtbl.add db.index key (ref [ c ])
+
+(* Add a clause to the database under the current persistent assignment:
+   tautologies are inert, a falsified clause is a contradiction, a unit is
+   assigned and propagated, anything wider gets two non-false watches. *)
+let add_clause_db db lits =
+  match norm lits with
+  | None -> ()
+  | Some [] -> db.contradiction <- true
+  | Some ulits ->
+      let c = { lits = Array.of_list ulits; alive = true } in
+      register db ulits c;
+      if not db.contradiction then begin
+        let arr = c.lits in
+        let n = Array.length arr in
+        let nf = ref 0 in
+        (try
+           for i = 0 to n - 1 do
+             if lit_value db arr.(i) <> -1 then begin
+               let t = arr.(!nf) in
+               arr.(!nf) <- arr.(i);
+               arr.(i) <- t;
+               incr nf;
+               if !nf >= 2 then raise Exit
+             end
+           done
+         with Exit -> ());
+        if !nf = 0 then db.contradiction <- true
+        else if !nf = 1 then begin
+          if lit_value db arr.(0) = 0 then begin
+            assign db arr.(0);
+            if propagate db then db.contradiction <- true
+          end
+          (* else arr.(0) is true: permanently satisfied, nothing to watch *)
+        end
+        else begin
+          let i0 = lit_index arr.(0) and i1 = lit_index arr.(1) in
+          db.watches.(i0) <- c :: db.watches.(i0);
+          db.watches.(i1) <- c :: db.watches.(i1)
+        end
+      end
+
+(* Reverse unit propagation: assert the negation of every literal of the
+   candidate clause, propagate, and demand a conflict. Leaves the
+   database exactly as found. *)
+let rup_holds db lits =
+  let mark = db.trail_len in
+  let immediate = ref false in
+  (try
+     List.iter
+       (fun l ->
+         match lit_value db l with
+         | 1 ->
+             immediate := true;
+             raise Exit
+         | -1 -> ()
+         | _ -> assign db (-l))
+       lits
+   with Exit -> ());
+  let ok = !immediate || propagate db in
+  undo_to db mark;
+  ok
+
+let delete_clause db lits =
+  match norm lits with
+  | None | Some [] -> ()
+  | Some key -> (
+      match Hashtbl.find_opt db.index key with
+      | None -> raise (Fail "deletion of a clause never added")
+      | Some cell -> (
+          match List.find_opt (fun c -> c.alive) !cell with
+          | None -> raise (Fail "deletion of an already-deleted clause")
+          | Some c ->
+              let non_false =
+                Array.fold_left
+                  (fun acc l -> if lit_value db l <> -1 then acc + 1 else acc)
+                  0 c.lits
+              in
+              (* A clause with at most one non-false literal may be the
+                 sole support of a propagated unit; solvers never delete
+                 such reason clauses, and skipping the deletion keeps our
+                 database a superset of theirs, which is sound (unit
+                 propagation is monotone in the clause set). *)
+              if non_false > 1 then c.alive <- false))
+
+let lits_to_string lits =
+  "{" ^ String.concat " " (List.map string_of_int lits) ^ "}"
+
+let check_lits db where lits =
+  List.iter
+    (fun l ->
+      if l = 0 || abs l > db.n_vars then
+        raise (Fail (Printf.sprintf "%s: literal %d out of range" where l)))
+    lits
+
+let check_unsat ~n_vars ~cnf ~assumptions ~proof =
+  if n_vars < 0 then Error "negative n_vars"
+  else
+    let db = create n_vars in
+    try
+      List.iteri
+        (fun i lits ->
+          check_lits db (Printf.sprintf "input clause %d" i) lits;
+          add_clause_db db lits)
+        cnf;
+      check_lits db "assumptions" assumptions;
+      List.iter
+        (fun l ->
+          if not db.contradiction then
+            match lit_value db l with
+            | 1 -> ()
+            | -1 -> db.contradiction <- true
+            | _ ->
+                assign db l;
+                if propagate db then db.contradiction <- true)
+        assumptions;
+      List.iteri
+        (fun i step ->
+          if not db.contradiction then
+            (* Once the empty clause is derived every later step follows
+               trivially; the verdict is already sealed. *)
+            match step with
+            | Learn [] ->
+                raise
+                  (Fail
+                     (Printf.sprintf
+                        "step %d: empty clause not derivable by unit \
+                         propagation"
+                        i))
+            | Learn lits ->
+                check_lits db (Printf.sprintf "step %d" i) lits;
+                if rup_holds db lits then add_clause_db db lits
+                else
+                  raise
+                    (Fail
+                       (Printf.sprintf "step %d: clause %s fails the RUP check"
+                          i (lits_to_string lits)))
+            | Delete lits ->
+                check_lits db (Printf.sprintf "step %d" i) lits;
+                (try delete_clause db lits
+                 with Fail msg ->
+                   raise
+                     (Fail
+                        (Printf.sprintf "step %d: %s %s" i msg
+                           (lits_to_string lits)))))
+        proof;
+      if db.contradiction then Ok ()
+      else Error "proof does not derive the empty clause"
+    with Fail msg -> Error msg
+
+let model_check ~n_vars ~cnf ~assumptions ~model =
+  if n_vars < 0 then Error "negative n_vars"
+  else if Array.length model < n_vars then
+    Error
+      (Printf.sprintf "model has %d variables, formula needs %d"
+         (Array.length model) n_vars)
+  else
+    let lit_true l = if l > 0 then model.(l - 1) else not model.(-l - 1) in
+    let check where l =
+      if l = 0 || abs l > n_vars then
+        raise (Fail (Printf.sprintf "%s: literal %d out of range" where l))
+    in
+    try
+      List.iteri
+        (fun i lits ->
+          List.iter (check (Printf.sprintf "clause %d" i)) lits;
+          if not (List.exists lit_true lits) then
+            raise
+              (Fail
+                 (Printf.sprintf "clause %d %s is falsified by the model" i
+                    (lits_to_string lits))))
+        cnf;
+      List.iter
+        (fun l ->
+          check "assumptions" l;
+          if not (lit_true l) then
+            raise
+              (Fail (Printf.sprintf "assumption %d is falsified by the model" l)))
+        assumptions;
+      Ok ()
+    with Fail msg -> Error msg

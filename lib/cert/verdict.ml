@@ -1,0 +1,97 @@
+type t =
+  | Model of {
+      n_vars : int;
+      cnf : int list list;
+      assumptions : int list;
+      model : bool array;
+    }
+  | Refutation of {
+      n_vars : int;
+      cnf : int list list;
+      assumptions : int list;
+      proof : Rup.step list;
+    }
+
+let trace_cnf trace =
+  let acc = ref [] in
+  Proof.iter (function Proof.Input lits -> acc := lits :: !acc | _ -> ()) trace;
+  List.rev !acc
+
+let of_trace_unsat ~n_vars trace =
+  match Proof.last trace with
+  | Some (Proof.Empty assumptions) ->
+      let cnf = ref [] and proof = ref [] in
+      Proof.iter
+        (function
+          | Proof.Input lits -> cnf := lits :: !cnf
+          | Proof.Learn lits -> proof := Rup.Learn lits :: !proof
+          | Proof.Delete lits -> proof := Rup.Delete lits :: !proof
+          | Proof.Empty _ -> ())
+        trace;
+      Ok
+        (Refutation
+           {
+             n_vars;
+             cnf = List.rev !cnf;
+             assumptions;
+             proof = List.rev !proof;
+           })
+  | Some _ -> Error "trace does not end with an Unsat conclusion"
+  | None -> Error "empty proof trace"
+
+let of_trace_model ~n_vars ~assumptions ~model trace =
+  Model { n_vars; cnf = trace_cnf trace; assumptions; model }
+
+let check = function
+  | Model { n_vars; cnf; assumptions; model } ->
+      Rup.model_check ~n_vars ~cnf ~assumptions ~model
+  | Refutation { n_vars; cnf; assumptions; proof } ->
+      Rup.check_unsat ~n_vars ~cnf ~assumptions ~proof
+
+let describe = function
+  | Model { n_vars; cnf; assumptions; _ } ->
+      Printf.sprintf "model certificate: %d vars, %d clauses, %d assumptions"
+        n_vars (List.length cnf) (List.length assumptions)
+  | Refutation { n_vars; cnf; assumptions; proof } ->
+      let learns =
+        List.length (List.filter (function Rup.Learn _ -> true | _ -> false) proof)
+      in
+      Printf.sprintf
+        "refutation certificate: %d vars, %d clauses, %d assumptions, %d \
+         lemmas (%d proof steps)"
+        n_vars (List.length cnf) (List.length assumptions) learns
+        (List.length proof)
+
+let clause_line buf lits =
+  List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) lits;
+  Buffer.add_string buf "0\n"
+
+let to_drup = function
+  | Model _ -> None
+  | Refutation { proof; _ } ->
+      let buf = Buffer.create 1024 in
+      List.iter
+        (function
+          | Rup.Learn lits -> clause_line buf lits
+          | Rup.Delete lits ->
+              Buffer.add_string buf "d ";
+              clause_line buf lits)
+        proof;
+      (* External DRUP checkers stop at the empty clause. *)
+      Buffer.add_string buf "0\n";
+      Some (Buffer.contents buf)
+
+let to_dimacs t =
+  let n_vars, cnf, assumptions =
+    match t with
+    | Model { n_vars; cnf; assumptions; _ }
+    | Refutation { n_vars; cnf; assumptions; _ } ->
+        (n_vars, cnf, assumptions)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" n_vars
+       (List.length cnf + List.length assumptions));
+  List.iter (fun lits -> clause_line buf lits) cnf;
+  List.iter (fun l -> clause_line buf [ l ]) assumptions;
+  Buffer.contents buf

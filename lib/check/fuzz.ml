@@ -48,9 +48,13 @@ let run_cases ?run ?(log = fun _ -> ()) ~master_seed cases =
   List.iteri
     (fun i case ->
       if i > 0 && i mod 100 = 0 then log (Printf.sprintf "  ... %d/%d cases" i n);
-      (* The parallel-determinism double-run is sampled: every 8th case
-         still exercises the pool while the smoke run stays in budget. *)
-      let result = Oracle.check_case ?run ~check_parallel:(i mod 8 = 0) case in
+      (* The parallel-determinism double-run and the certificate check are
+         sampled: every 8th / 4th case still exercises them while the
+         smoke run stays in budget. *)
+      let result =
+        Oracle.check_case ?run ~check_parallel:(i mod 8 = 0)
+          ~check_certificate:(i mod 4 = 0) case
+      in
       (match result.Oracle.ground_truth with
       | B.Robust -> incr robust
       | B.Flip _ -> incr flipped

@@ -32,7 +32,7 @@ let outcome_to_string = function
   | Raised msg -> "exception: " ^ msg
 
 let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
-    (case : Case.t) =
+    ?(check_certificate = true) (case : Case.t) =
   let { Case.net; input; label; spec; _ } = case in
   let run_one backend =
     match run backend net spec ~input ~label with
@@ -129,6 +129,31 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
                (N.to_string w))
       | B.Robust | B.Unknown -> ())
   | Verdict B.Unknown -> ());
+  (* Certificate validity: the certified SMT path must agree with the
+     enumerator, produce a certificate, and that certificate must pass the
+     independent lib/cert checker. Run sequentially (it is one more SMT
+     solve plus a proof check), and sampled by the driver like the
+     parallel-determinism re-run. *)
+  if check_certificate then begin
+    match B.certified_exists_flip net spec ~input ~label with
+    | exception e -> fail "certificate-valid" B.Smt (Printexc.to_string e)
+    | cv -> (
+        (match (ground_truth, cv.B.cv_verdict) with
+        | B.Robust, B.Robust | B.Flip _, B.Flip _ | B.Unknown, _ -> ()
+        | (B.Robust | B.Flip _), v ->
+            fail "certificate-valid" B.Smt
+              (Printf.sprintf
+                 "certified verdict %s disagrees with the enumerator's %s"
+                 (B.verdict_to_string v)
+                 (B.verdict_to_string ground_truth)));
+        (match (cv.B.cv_verdict, cv.B.cv_cert) with
+        | (B.Robust | B.Flip _), None ->
+            fail "certificate-valid" B.Smt "decided verdict without a certificate"
+        | _ -> ());
+        match B.check_certified net spec ~input ~label cv with
+        | Ok () -> ()
+        | Error e -> fail "certificate-valid" B.Smt e)
+  end;
   (* Cascade lattice: a decided interval verdict forces the cascade. *)
   (match outcome_of B.Interval with
   | Verdict B.Robust ->

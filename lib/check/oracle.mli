@@ -15,7 +15,12 @@
     - {b parallel determinism}: the backend verdict vector computed on a
       one-worker {!Util.Parallel} pool equals the multi-worker one
       (doubles the backend cost, so the {!Fuzz} driver samples it on a
-      fixed fraction of cases; [?check_parallel] controls it here).
+      fixed fraction of cases; [?check_parallel] controls it here);
+    - {b certificate validity}: {!Fannet.Backend.certified_exists_flip}
+      agrees with the enumerator, returns a certificate for every decided
+      verdict, and the certificate passes the independent [lib/cert]
+      checker ({!Fannet.Backend.check_certified}) — also sampled by the
+      driver ([?check_certificate] controls it here).
 
     The backend runner is injectable ([?run]) so tests can mutate a
     backend and assert the oracle catches the discrepancy (mutation
@@ -49,7 +54,9 @@ val backends_under_test : Fannet.Backend.t list
 (** [Explicit] (ground truth) followed by the complete backends and
     [Interval], as run by {!check_case}. *)
 
-val check_case : ?run:runner -> ?check_parallel:bool -> Case.t -> result
+val check_case :
+  ?run:runner -> ?check_parallel:bool -> ?check_certificate:bool -> Case.t -> result
 (** [run] defaults to {!Fannet.Backend.exists_flip}; [check_parallel]
     (default [true]) re-runs all backends on a 4-worker pool and compares
-    verdict vectors. *)
+    verdict vectors; [check_certificate] (default [true]) runs the
+    certified SMT path and validates its proof/model certificate. *)

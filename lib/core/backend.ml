@@ -135,6 +135,61 @@ let rec exists_flip backend net spec ~input ~label =
           Atomic.incr cascade_escalations;
           exists_flip inner net spec ~input ~label)
 
+type certified_verdict = {
+  cv_verdict : verdict;
+  cv_cert : Cert.Verdict.t option;
+}
+
+let certified_exists_flip net spec ~input ~label =
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Backend.certified_exists_flip: input size mismatch";
+  if label < 0 || label >= Nn.Qnet.out_dim net then
+    invalid_arg "Backend.certified_exists_flip: label out of range";
+  let enc = Encode.encode net ~input spec in
+  let trace = Cert.Proof.create () in
+  let session =
+    Smtlite.Solve.open_session ~trace (Encode.misclassified enc ~true_label:label)
+  in
+  let outcome, cert = Smtlite.Solve.solve_certified session in
+  let v =
+    match outcome with
+    | Smtlite.Solve.Sat model ->
+        validate_flip net spec ~input ~label (Encode.vector_of_model enc model)
+    | Smtlite.Solve.Unsat -> Robust
+    | Smtlite.Solve.Unknown -> Unknown
+  in
+  { cv_verdict = v; cv_cert = cert }
+
+let check_certified net spec ~input ~label { cv_verdict; cv_cert } =
+  match cv_verdict with
+  | Unknown -> Ok ()
+  | Robust | Flip _ -> (
+      match (cv_verdict, cv_cert) with
+      | _, None -> Error "decided verdict carries no certificate"
+      | Robust, Some (Cert.Verdict.Model _) ->
+          Error "Robust verdict with a model certificate"
+      | Flip _, Some (Cert.Verdict.Refutation _) ->
+          Error "Flip verdict with a refutation certificate"
+      | Flip v, Some cert -> (
+          (* The certificate ties the SAT answer to the CNF; the witness
+             re-validation ties the claim to the concrete network, so the
+             encoding itself is not in the trusted base for Flip. *)
+          if Array.length v.Noise.inputs <> Array.length input then
+            Error "witness arity does not match the input"
+          else if not (Noise.in_range spec v) then
+            Error "witness outside the noise range"
+          else if Noise.predict net spec ~input v = label then
+            Error "witness does not misclassify under Noise.predict"
+          else
+            match Cert.Verdict.check cert with
+            | Ok () -> Ok ()
+            | Error e -> Error ("model certificate rejected: " ^ e))
+      | Robust, Some cert -> (
+          match Cert.Verdict.check cert with
+          | Ok () -> Ok ()
+          | Error e -> Error ("refutation certificate rejected: " ^ e))
+      | Unknown, Some _ -> Ok ())
+
 let verdict_equal a b =
   match (a, b) with
   | Robust, Robust | Unknown, Unknown -> true

@@ -66,6 +66,34 @@ val output_bounds :
 (** Interval backend's per-output-node bounds over the whole noise range
     (x100 scale) — also used by the classification-boundary analysis. *)
 
+type certified_verdict = {
+  cv_verdict : verdict;
+  cv_cert : Cert.Verdict.t option;
+      (** present whenever [cv_verdict] decided ([Robust]/[Flip]) *)
+}
+
+val certified_exists_flip :
+  Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> certified_verdict
+(** The [Smt] backend with DRUP proof logging: a [Robust] answer carries a
+    {!Cert.Verdict.Refutation} of the exact bit-blasted CNF, a [Flip]
+    answer a {!Cert.Verdict.Model} plus the witness (itself re-validated
+    by {!Noise.predict}). Certificates are returned {e unchecked} — run
+    {!check_certified} (or [Cert.Verdict.check]) to validate them
+    independently of the solver. *)
+
+val check_certified :
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  certified_verdict ->
+  (unit, string) result
+(** Independent validation of a {!certified_verdict}: the certificate must
+    be present, of the right kind, and pass {!Cert.Verdict.check}; a
+    [Flip] witness must additionally be in range and concretely
+    misclassify under {!Noise.predict}. [Unknown] verdicts trivially
+    pass. *)
+
 val verdict_equal : verdict -> verdict -> bool
 (** Structural equality; [Flip] witnesses compare via {!Noise.equal}. *)
 

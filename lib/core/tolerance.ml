@@ -99,6 +99,147 @@ let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
   else if flips 0 then Some 0
   else Some (bisect flips 0 max_delta)
 
+type certified_bracket = {
+  max_delta : int;
+  min_flip_delta : int option;
+  flip_cert : (int * Noise.vector * Cert.Verdict.t) option;
+  robust_cert : (int * Cert.Verdict.t) option;
+}
+
+(* Certified variant of [smt_min_flip_delta]: same warm session and
+   assumption literals, but with a DRUP trace attached and a certificate
+   snapshotted at every probe. No interval prefilter — a prefilter answer
+   carries no proof, and the bracket must be certified at both ends. *)
+let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
+  if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
+  let spec = Noise.symmetric ~delta:max_delta ~bias_noise in
+  let enc = Encode.encode net ~input spec in
+  let trace = Cert.Proof.create () in
+  let session =
+    Smtlite.Solve.open_session ~trace (Encode.misclassified enc ~true_label:label)
+  in
+  let vars = Encode.noise_vars enc in
+  let range_assumptions = Hashtbl.create 8 in
+  let assumption_for delta =
+    match Hashtbl.find_opt range_assumptions delta with
+    | Some a -> a
+    | None ->
+        let bounded v =
+          let d = T.of_var v in
+          T.and_ [ T.ge d (T.const (-delta)); T.le d (T.const delta) ]
+        in
+        let a = Smtlite.Solve.assume session (T.and_ (List.map bounded vars)) in
+        Hashtbl.add range_assumptions delta a;
+        a
+  in
+  let probe delta =
+    let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
+    let outcome, cert = Smtlite.Solve.solve_certified ~assumptions session in
+    let cert =
+      match cert with
+      | Some c -> c
+      | None -> failwith "Tolerance: certified probe produced no certificate"
+    in
+    match outcome with
+    | Smtlite.Solve.Unsat -> `Robust cert
+    | Smtlite.Solve.Unknown ->
+        failwith "Tolerance: incremental smt search returned unknown"
+    | Smtlite.Solve.Sat model ->
+        let v = Encode.vector_of_model enc model in
+        let probe_spec = Noise.symmetric ~delta ~bias_noise in
+        if not (Noise.in_range probe_spec v) then
+          failwith "Tolerance: incremental witness outside the probe range";
+        if Noise.predict net probe_spec ~input v = label then
+          failwith "Tolerance: incremental witness does not misclassify";
+        `Flip (v, cert)
+  in
+  match probe max_delta with
+  | `Robust cert ->
+      {
+        max_delta;
+        min_flip_delta = None;
+        flip_cert = None;
+        robust_cert = Some (max_delta, cert);
+      }
+  | `Flip (v, cert) -> (
+      if max_delta = 0 then
+        {
+          max_delta;
+          min_flip_delta = Some 0;
+          flip_cert = Some (0, v, cert);
+          robust_cert = None;
+        }
+      else
+        match probe 0 with
+        | `Flip (v0, c0) ->
+            {
+              max_delta;
+              min_flip_delta = Some 0;
+              flip_cert = Some (0, v0, c0);
+              robust_cert = None;
+            }
+        | `Robust c0 ->
+            (* Invariant: lo provably robust, hi provably flipping. *)
+            let rec go (lo, lo_c) (hi, hi_v, hi_c) =
+              if hi - lo <= 1 then
+                {
+                  max_delta;
+                  min_flip_delta = Some hi;
+                  flip_cert = Some (hi, hi_v, hi_c);
+                  robust_cert = Some (lo, lo_c);
+                }
+              else
+                let mid = (lo + hi) / 2 in
+                match probe mid with
+                | `Flip (v, c) -> go (lo, lo_c) (mid, v, c)
+                | `Robust c -> go (mid, c) (hi, hi_v, hi_c)
+            in
+            go (0, c0) (max_delta, v, cert))
+
+let check_certified_bracket net ~bias_noise bracket ~input ~label =
+  let check_refutation (delta, cert) =
+    ignore delta;
+    match cert with
+    | Cert.Verdict.Model _ ->
+        Error "robust end of the bracket carries a model certificate"
+    | Cert.Verdict.Refutation _ -> (
+        match Cert.Verdict.check cert with
+        | Ok () -> Ok ()
+        | Error e -> Error ("robust-end certificate rejected: " ^ e))
+  in
+  let check_flip (delta, v, cert) =
+    let spec = Noise.symmetric ~delta ~bias_noise in
+    if Array.length v.Noise.inputs <> Array.length input then
+      Error "flip witness arity does not match the input"
+    else if not (Noise.in_range spec v) then
+      Error "flip witness outside its probe range"
+    else if Noise.predict net spec ~input v = label then
+      Error "flip witness does not misclassify under Noise.predict"
+    else
+      match cert with
+      | Cert.Verdict.Refutation _ ->
+          Error "flip end of the bracket carries a refutation certificate"
+      | Cert.Verdict.Model _ -> (
+          match Cert.Verdict.check cert with
+          | Ok () -> Ok ()
+          | Error e -> Error ("flip-end certificate rejected: " ^ e))
+  in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  match (bracket.min_flip_delta, bracket.flip_cert, bracket.robust_cert) with
+  | None, None, Some ((d, _) as rc) ->
+      if d <> bracket.max_delta then
+        Error "robust certificate does not cover the full range"
+      else check_refutation rc
+  | Some 0, Some ((0, _, _) as fc), None -> check_flip fc
+  | Some m, Some ((fd, _, _) as fc), Some ((rd, _) as rc) ->
+      if fd <> m then Error "flip certificate is not at the minimal delta"
+      else if rd <> m - 1 then
+        Error "robust certificate is not adjacent to the minimal delta"
+      else
+        let* () = check_flip fc in
+        check_refutation rc
+  | _ -> Error "bracket shape is inconsistent"
+
 let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
   match backend with

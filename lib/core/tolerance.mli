@@ -84,6 +84,48 @@ val paper_iterative_tolerance :
     {!network_tolerance} (asserted by tests) with linearly many queries —
     kept for methodological fidelity. *)
 
+type certified_bracket = {
+  max_delta : int;  (** the search range the bracket covers *)
+  min_flip_delta : int option;
+      (** smallest flipping Δ, [None] if robust up to ±[max_delta] *)
+  flip_cert : (int * Noise.vector * Cert.Verdict.t) option;
+      (** (Δ, witness, model certificate) at the minimal flipping range;
+          [None] only when no Δ flips *)
+  robust_cert : (int * Cert.Verdict.t) option;
+      (** (Δ, refutation certificate) at the largest certified-robust
+          range — [min_flip_delta - 1], or [max_delta] when nothing
+          flips; [None] only when Δ=0 already flips *)
+}
+
+val certified_min_flip_delta :
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  input:int array ->
+  label:int ->
+  certified_bracket
+(** {!input_min_flip_delta} with the incremental [Smt] search and DRUP
+    proof logging: the answer comes back as a {e certified tolerance
+    bracket} — a refutation certificate proving robustness at
+    [min_flip_delta - 1] and a model certificate plus concrete witness
+    proving the flip at [min_flip_delta]. The bracket composes the
+    per-delta certificates of the binary-search probes; each can be
+    re-checked independently of the solver. No interval prefilter is used
+    (its answers carry no proofs). *)
+
+val check_certified_bracket :
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  certified_bracket ->
+  input:int array ->
+  label:int ->
+  (unit, string) result
+(** Independent validation of a bracket: shape consistency (certificates
+    present and adjacent: robust Δ = flip Δ - 1, or covering [max_delta]
+    when nothing flips), certificate kinds match the claims, both pass
+    {!Cert.Verdict.check}, and the flip witness concretely misclassifies
+    under {!Noise.predict} within its probe range. *)
+
 val input_min_flip_delta :
   Backend.t ->
   Nn.Qnet.t ->

@@ -11,8 +11,15 @@ let to_string { n_vars; clauses } =
     clauses;
   Buffer.contents buf
 
+exception Stop
+
 let of_string text =
-  let tokens_of_line line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+  let tokens_of_line line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.concat_map (String.split_on_char '\r')
+    |> List.filter (fun s -> s <> "")
+  in
   let lines = String.split_on_char '\n' text in
   let n_vars = ref 0 in
   let clauses = ref [] in
@@ -27,13 +34,19 @@ let of_string text =
   in
   let handle_line line =
     match tokens_of_line line with
-    | [] -> ()
-    | "c" :: _ -> ()
-    | [ "p"; "cnf"; v; _ ] -> n_vars := int_of_string v
-    | toks when String.length (List.hd toks) > 0 && (List.hd toks).[0] = 'c' -> ()
+    | [] -> () (* blank lines are fine anywhere *)
+    | tok :: _ when tok.[0] = 'c' -> () (* comments, before or after the header *)
+    | tok :: _ when tok.[0] = '%' ->
+        (* SATLIB/cnfgen terminator: '%' ends the clause section; whatever
+           follows (conventionally a lone '0' line) is ignored. *)
+        raise Stop
+    | "p" :: "cnf" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n -> n_vars := n
+        | None -> failwith ("Dimacs: bad variable count " ^ v))
     | toks -> List.iter handle_token toks
   in
-  List.iter handle_line lines;
+  (try List.iter handle_line lines with Stop -> ());
   if !current <> [] then clauses := List.rev !current :: !clauses;
   { n_vars = !n_vars; clauses = List.rev !clauses }
 

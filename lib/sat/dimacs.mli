@@ -6,8 +6,12 @@ type cnf = { n_vars : int; clauses : int list list }
 
 val to_string : cnf -> string
 val of_string : string -> cnf
-(** Parses the standard format; comment lines start with 'c'. Raises
-    [Failure] on malformed input. *)
+(** Parses the standard format plus the common dialect quirks: blank
+    lines and 'c' comment lines anywhere (also after the header), tokens
+    separated by spaces, tabs or CR, clauses spanning lines, a missing
+    final terminating 0, and the SATLIB/cnfgen trailer (a '%' line ends
+    the clause section; anything after it is ignored). Raises [Failure]
+    on malformed input. *)
 
 val load_into : Solver.t -> cnf -> unit
 (** Allocates [n_vars] fresh variables in the solver and adds every

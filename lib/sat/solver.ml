@@ -11,6 +11,17 @@ type clause = {
 
 type result = Sat | Unsat | Unknown
 
+(* DRUP proof events. The sink sees the exact original clauses (before
+   level-0 simplification), every learnt clause, every deletion, and one
+   [P_empty] per Unsat answer carrying the assumptions it was derived
+   under. With no sink attached the only cost per event site is a single
+   mutable-field load and branch. *)
+type proof_step =
+  | P_input of Lit.t list
+  | P_learn of Lit.t list
+  | P_delete of Lit.t list
+  | P_empty of Lit.t list
+
 type stats = {
   conflicts : int;
   decisions : int;
@@ -45,6 +56,7 @@ type t = {
   mutable n_restarts : int;
   mutable max_learnts : float;
   mutable priority : int array;
+  mutable proof_sink : (proof_step -> unit) option;
 }
 
 let var_decay = 1. /. 0.95
@@ -77,7 +89,14 @@ let create () =
     n_restarts = 0;
     max_learnts = 3000.;
     priority = [||];
+    proof_sink = None;
   }
+
+let set_proof_sink s sink = s.proof_sink <- sink
+
+let set_max_learnts s n =
+  if n < 1 then invalid_arg "Solver.set_max_learnts";
+  s.max_learnts <- float_of_int n
 
 let nvars s = s.nvars
 
@@ -311,6 +330,11 @@ let check_var_exists s l =
 let add_clause s lits =
   List.iter (check_var_exists s) lits;
   if s.ok then begin
+    (* The proof sink records the clause exactly as given: level-0
+       simplification below is sound for the solver but the checker works
+       from the original CNF (simplified clauses stay RUP-derivable from
+       it, so learnt lemmas check out either way). *)
+    (match s.proof_sink with None -> () | Some f -> f (P_input lits));
     (* Incremental use adds clauses after a Sat answer: drop the model's
        decisions first, then simplify at level 0. *)
     cancel_until s 0;
@@ -323,10 +347,15 @@ let add_clause s lits =
     let satisfied = List.exists (fun l -> value_lit s l = 1) alive in
     if not (tautology || satisfied) then
       match alive with
-      | [] -> s.ok <- false
+      | [] ->
+          s.ok <- false;
+          (match s.proof_sink with None -> () | Some f -> f (P_learn []))
       | [ l ] ->
           enqueue s l None;
-          if propagate s <> None then s.ok <- false
+          if propagate s <> None then begin
+            s.ok <- false;
+            match s.proof_sink with None -> () | Some f -> f (P_learn [])
+          end
       | _ :: _ :: _ ->
           let c =
             {
@@ -386,6 +415,7 @@ let analyze s confl =
   (asserting :: !learnt, !btlevel)
 
 let record_learnt s lits btlevel =
+  (match s.proof_sink with None -> () | Some f -> f (P_learn lits));
   match lits with
   | [] -> assert false
   | [ l ] ->
@@ -423,8 +453,12 @@ let reduce_db s =
   let kept = ref 0 in
   for k = 0 to n - 1 do
     let c = Veca.get s.learnts k in
-    if k < limit && Array.length c.lits > 2 && not (locked s c) then
-      c.deleted <- true
+    if k < limit && Array.length c.lits > 2 && not (locked s c) then begin
+      c.deleted <- true;
+      match s.proof_sink with
+      | None -> ()
+      | Some f -> f (P_delete (Array.to_list c.lits))
+    end
     else begin
       Veca.set s.learnts !kept c;
       incr kept
@@ -490,6 +524,8 @@ let search s ~assumptions ~conflict_budget =
         | None -> ());
         if decision_level s = 0 then begin
           s.ok <- false;
+          (* A conflict with no decisions refutes the clause set itself. *)
+          (match s.proof_sink with None -> () | Some f -> f (P_learn []));
           result := Some Unsat
         end
         else if decision_level s <= n_assumptions then
@@ -536,38 +572,49 @@ let search s ~assumptions ~conflict_budget =
   match !result with Some r -> r | None -> assert false
 
 let solve ?(assumptions = []) ?max_conflicts s =
-  if not s.ok then Unsat
-  else begin
-    cancel_until s 0;
-    List.iter (check_var_exists s) assumptions;
-    match propagate s with
-    | Some _ ->
-        s.ok <- false;
-        Unsat
-    | None ->
-        let budget = Option.map (fun b -> max 1 b) max_conflicts in
-        let rec restart_loop i =
-          (* Restart cadence only applies to unbounded solving; a conflict
-             budget gives a single uninterrupted search. *)
-          let per_restart =
-            match budget with
-            | Some b -> Some b
-            | None -> Some (int_of_float (luby 1. i *. 256.))
+  let result =
+    if not s.ok then Unsat
+    else begin
+      cancel_until s 0;
+      List.iter (check_var_exists s) assumptions;
+      match propagate s with
+      | Some _ ->
+          s.ok <- false;
+          (match s.proof_sink with None -> () | Some f -> f (P_learn []));
+          Unsat
+      | None ->
+          let budget = Option.map (fun b -> max 1 b) max_conflicts in
+          let rec restart_loop i =
+            (* Restart cadence only applies to unbounded solving; a conflict
+               budget gives a single uninterrupted search. *)
+            let per_restart =
+              match budget with
+              | Some b -> Some b
+              | None -> Some (int_of_float (luby 1. i *. 256.))
+            in
+            let r = search s ~assumptions ~conflict_budget:per_restart in
+            match (r, budget) with
+            | Unknown, None ->
+                s.n_restarts <- s.n_restarts + 1;
+                cancel_until s 0;
+                restart_loop (i + 1)
+            | (Sat | Unsat | Unknown), _ -> r
           in
-          let r = search s ~assumptions ~conflict_budget:per_restart in
-          match (r, budget) with
-          | Unknown, None ->
-              s.n_restarts <- s.n_restarts + 1;
-              cancel_until s 0;
-              restart_loop (i + 1)
-          | (Sat | Unsat | Unknown), _ -> r
-        in
-        let result = restart_loop 0 in
-        (match result with
-        | Sat -> ()
-        | Unsat | Unknown -> cancel_until s 0);
-        result
-  end
+          let result = restart_loop 0 in
+          (match result with
+          | Sat -> ()
+          | Unsat | Unknown -> cancel_until s 0);
+          result
+    end
+  in
+  (* Every Unsat answer closes its proof slice: ⊥ is reachable by unit
+     propagation from the logged CNF, the logged lemmas and exactly these
+     assumptions. *)
+  (match result with
+  | Unsat -> (
+      match s.proof_sink with None -> () | Some f -> f (P_empty assumptions))
+  | Sat | Unknown -> ());
+  result
 
 let value s l =
   if Lit.var l >= s.nvars then invalid_arg "Solver.value: unknown variable";

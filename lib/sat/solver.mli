@@ -36,6 +36,34 @@ val set_priority : t -> int list -> unit
     up exhaustive (UNSAT) proofs dramatically. Replaces any previous
     priority list. *)
 
+type proof_step =
+  | P_input of Lit.t list
+      (** An original problem clause, exactly as passed to [add_clause]
+          (before level-0 simplification). *)
+  | P_learn of Lit.t list
+      (** A clause derivable from the current database by reverse unit
+          propagation: every learnt clause, plus [P_learn []] when the
+          database itself becomes contradictory at level 0. *)
+  | P_delete of Lit.t list  (** A learnt clause dropped by [reduce_db]. *)
+  | P_empty of Lit.t list
+      (** One per [Unsat] answer of [solve], carrying the assumptions the
+          refutation was derived under ([[]] for an unconditional one).
+          Marks a point in the event stream where the logged clauses plus
+          those assumption units propagate to the empty clause. *)
+
+val set_proof_sink : t -> (proof_step -> unit) option -> unit
+(** Attach (or detach) a DRUP proof sink. The sink observes every input
+    clause, learnt clause, learnt-clause deletion and [Unsat] conclusion,
+    in order, which is enough for an independent checker to re-derive each
+    [Unsat] answer by reverse unit propagation (see {!Cert.Rup}). When no
+    sink is attached the per-event cost is one field load and branch. *)
+
+val set_max_learnts : t -> int -> unit
+(** Override the learnt-clause limit that triggers [reduce_db] (normally
+    managed internally, starting at 3000 and growing geometrically). A
+    small limit forces frequent deletions — useful to exercise proof
+    logging under clause deletion. Raises [Invalid_argument] if [n < 1]. *)
+
 val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
 (** Searches for a model extending the assumptions. [Unknown] is returned
     only when [max_conflicts] is set and exhausted. The solver remains

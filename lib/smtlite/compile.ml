@@ -9,9 +9,9 @@ type t = {
   interval_memo : (int, Interval.t) Hashtbl.t;
 }
 
-let create () =
+let create ?sink () =
   {
-    cnf = Cnf.create ();
+    cnf = Cnf.create ?sink ();
     term_memo = Hashtbl.create 256;
     formula_memo = Hashtbl.create 64;
     var_memo = Hashtbl.create 16;

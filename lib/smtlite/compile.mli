@@ -9,7 +9,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?sink:(Sat.Solver.proof_step -> unit) -> unit -> t
+(** [?sink] becomes the underlying solver's DRUP proof sink, installed
+    before any clause is generated (see {!Bitblast.Cnf.create}). *)
+
 val cnf : t -> Bitblast.Cnf.t
 val solver : t -> Sat.Solver.t
 

@@ -6,6 +6,7 @@ type session = {
   compiler : Compile.t;
   rev_vars : Term.var list ref;    (* session variables, newest first *)
   known : (int, unit) Hashtbl.t;   (* their vids: O(1) dedup *)
+  trace : Cert.Proof.trace option; (* DRUP event log, when certifying *)
 }
 
 let add_vars session vars =
@@ -21,9 +22,15 @@ let register_vars session f = add_vars session (Term.vars_of_formula f)
 
 let session_vars session = List.rev !(session.rev_vars)
 
-let open_session f =
+let open_session ?trace f =
+  let sink = Option.map Cert.Proof.sink trace in
   let session =
-    { compiler = Compile.create (); rev_vars = ref []; known = Hashtbl.create 64 }
+    {
+      compiler = Compile.create ?sink ();
+      rev_vars = ref [];
+      known = Hashtbl.create 64;
+      trace;
+    }
   in
   register_vars session f;
   Compile.assert_formula session.compiler f;
@@ -61,9 +68,35 @@ let solve ?(assumptions = []) ?max_conflicts session =
   | Sat.Solver.Unsat -> Unsat
   | Sat.Solver.Unknown -> Unknown
 
+let solve_certified ?(assumptions = []) ?max_conflicts session =
+  let outcome = solve ~assumptions ?max_conflicts session in
+  let cert =
+    match session.trace with
+    | None -> None
+    | Some trace -> (
+        let solver = Compile.solver session.compiler in
+        let n_vars = Sat.Solver.nvars solver in
+        let asn_dimacs = List.map Sat.Lit.to_dimacs assumptions in
+        match outcome with
+        | Sat _ ->
+            Some
+              (Cert.Verdict.of_trace_model ~n_vars ~assumptions:asn_dimacs
+                 ~model:(Sat.Solver.model solver) trace)
+        | Unsat -> (
+            match Cert.Verdict.of_trace_unsat ~n_vars trace with
+            | Ok c -> Some c
+            | Error _ -> None)
+        | Unknown -> None)
+  in
+  (outcome, cert)
+
 let block session vars = Compile.block_assignment session.compiler vars
 
 let check ?max_conflicts f = solve ?max_conflicts (open_session f)
+
+let check_certified ?max_conflicts f =
+  let trace = Cert.Proof.create () in
+  solve_certified ?max_conflicts (open_session ~trace f)
 
 let enumerate ?(limit = max_int) ?max_conflicts f ~project =
   if project = [] then invalid_arg "Solve.enumerate: empty projection";

@@ -16,7 +16,10 @@ val check : ?max_conflicts:int -> Term.formula -> outcome
 
 type session
 
-val open_session : Term.formula -> session
+val open_session : ?trace:Cert.Proof.trace -> Term.formula -> session
+(** [?trace] attaches a DRUP proof trace to the session's solver before
+    anything is compiled; {!solve_certified} then snapshots certificates
+    from it. Without a trace, proof logging is off (and free). *)
 
 val assert_also : session -> Term.formula -> unit
 (** Conjoin another formula. *)
@@ -43,6 +46,22 @@ val solve : ?assumptions:assumption list -> ?max_conflicts:int -> session -> out
 (** Satisfiability of the asserted formulas conjoined with the given
     assumptions. The session stays usable after any outcome: an [Unsat]
     under assumptions does not poison later calls with different ones. *)
+
+val solve_certified :
+  ?assumptions:assumption list ->
+  ?max_conflicts:int ->
+  session ->
+  outcome * Cert.Verdict.t option
+(** Like {!solve}, additionally returning an independently checkable
+    certificate when the session has a proof trace: a [Sat] answer yields
+    a {!Cert.Verdict.Model} (the bit-level model against the full CNF), an
+    [Unsat] answer a {!Cert.Verdict.Refutation} (DRUP proof of
+    [CNF ∧ assumptions ⊢ ⊥]). [None] when the session was opened without
+    [?trace] or the outcome is [Unknown]. *)
+
+val check_certified :
+  ?max_conflicts:int -> Term.formula -> outcome * Cert.Verdict.t option
+(** One-shot {!solve_certified} on a fresh session with a fresh trace. *)
 
 val block : session -> Term.var list -> unit
 (** After a [Sat] answer, exclude the current values of the given

@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-cert fuzz-smoke certify-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert fuzz-smoke certify-smoke metrics-smoke fmt clean
 
 build:
 	dune build
@@ -8,8 +8,9 @@ test:
 
 # Tier-1 verification: build, unit/property tests, the differential
 # fuzzing oracle (all five backends against the explicit enumerator),
-# and one end-to-end certified verdict.
-check: build test fuzz-smoke certify-smoke
+# one end-to-end certified verdict, and an instrumented profile run
+# whose metrics snapshot must self-validate.
+check: build test fuzz-smoke certify-smoke metrics-smoke
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
@@ -28,13 +29,23 @@ certify-smoke:
 	  --proof certify_smoke.drup || [ $$? -eq 1 ]
 	rm -f certify_smoke.drup certify_smoke.drup.cnf
 
-# Full evaluation suite (E1-E16 + Bechamel timings); takes minutes.
+# Instrumented profile on the fast pipeline (~seconds): runs with the
+# observability registry enabled, prints the metrics table + span tree,
+# and writes a JSON snapshot that the command itself re-parses and
+# validates (exit 2 on a malformed snapshot).
+metrics-smoke:
+	dune exec bin/fannet_cli.exe -- profile --fast -o metrics_smoke.json
+	rm -f metrics_smoke.json
+
+# Full evaluation suite (E1-E17 + Bechamel timings); takes minutes.
 bench:
 	dune exec bench/main.exe
 
-# Parallel-engine and certificate subsets on the small-dataset pipeline
-# (< 1 min). Emits BENCH_parallel.json and BENCH_cert.json and fails
-# unless both artefacts re-parse and all cross-checks agree.
+# Parallel-engine, certificate and observability subsets on the
+# small-dataset pipeline (< 1 min). Emits BENCH_parallel.json,
+# BENCH_cert.json and BENCH_obs.json and fails unless the artefacts
+# re-parse and all cross-checks (including the <2% disabled-overhead
+# contract) agree.
 bench-smoke:
 	dune exec bench/main.exe -- --smoke
 
@@ -48,5 +59,5 @@ fmt:
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_cert.json
-	rm -f certify_smoke.drup certify_smoke.drup.cnf
+	rm -f BENCH_parallel.json BENCH_cert.json BENCH_obs.json
+	rm -f certify_smoke.drup certify_smoke.drup.cnf metrics_smoke.json

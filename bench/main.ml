@@ -7,10 +7,13 @@
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
+(* Monotonic wall-clock timing: [Unix.gettimeofday] is subject to NTP
+   steps, which can make a measured duration negative or wildly wrong
+   mid-bench. [Obs.Clock] reads CLOCK_MONOTONIC where available. *)
 let time_of f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.elapsed_s ~since:t0)
 
 let backend = Fannet.Backend.Bnb
 
@@ -1027,6 +1030,125 @@ let bench_cert ?(smoke = false) ~out () =
   | Error e -> failwith (Printf.sprintf "E16: %s failed to parse: %s" out e)
 
 (* ------------------------------------------------------------------ *)
+(* E17 - observability overhead: the disabled fast path must be free   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_obs ?(smoke = false) ~out () =
+  section "E17 bench_obs (metrics registry: disabled fast path + enabled overhead)";
+  (* Representative instrumented workload: cascade and SMT robustness
+     queries plus one incremental min-flip search on the small network —
+     the code paths that carry every Obs record site. *)
+  let qnet = small_qnet () in
+  let sinput = [| 112; 87 |] in
+  let slabel = Nn.Qnet.predict qnet sinput in
+  let deltas = if smoke then [ 5; 12 ] else [ 2; 5; 8; 12; 15; 20 ] in
+  let workload () =
+    List.iter
+      (fun delta ->
+        let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+        ignore
+          (Fannet.Backend.exists_flip Fannet.Backend.default_cascade qnet spec
+             ~input:sinput ~label:slabel);
+        ignore
+          (Fannet.Backend.exists_flip Fannet.Backend.Smt qnet spec ~input:sinput
+             ~label:slabel))
+      deltas;
+    ignore
+      (Fannet.Tolerance.input_min_flip_delta Fannet.Backend.Smt qnet
+         ~bias_noise:false ~max_delta:40 ~input:sinput ~label:slabel)
+  in
+  let reps = if smoke then 3 else 7 in
+  let best f =
+    let ts = List.init reps (fun _ -> snd (time_of f)) in
+    List.fold_left min (List.hd ts) (List.tl ts)
+  in
+  Obs.Report.disable ();
+  Obs.Report.reset ();
+  let t_disabled = best workload in
+  Obs.Report.enable ();
+  Obs.Report.reset ();
+  let t_enabled = best workload in
+  (* Event counts recorded while enabled (per rep: totals / reps). Batched
+     counters (conflicts, propagations, ...) are pushed once per solve, so
+     the number of record-site executions is what matters, not the counter
+     magnitudes. *)
+  let cval name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let hcount name = (Obs.Metrics.histogram_view (Obs.Metrics.histogram name)).Obs.Metrics.count in
+  let solves = cval "sat.solves" in
+  let queries = cval "smtlite.queries" in
+  let probes = cval "tolerance.probes" in
+  let learnt = hcount "sat.learnt_clause_len" in
+  let backend_queries =
+    hcount "backend.cascade(bnb).query_s" + hcount "backend.smt.query_s"
+  in
+  (* Record-site executions per rep: each learnt clause checks the flag
+     once; a solve pushes ~6 counter deltas + 1 histogram; a query records
+     ~5 metrics; a backend query ~2 (histogram + clock pair); a tolerance
+     probe ~2 (counter + gauge). *)
+  let events_total =
+    learnt + (6 * solves) + (5 * queries) + (2 * backend_queries) + (2 * probes)
+  in
+  let events_per_rep = float_of_int events_total /. float_of_int reps in
+  Obs.Report.disable ();
+  (* Disabled-branch unit cost: one counter incr = atomic load + branch. *)
+  let iters = if smoke then 2_000_000 else 20_000_000 in
+  let c_probe = Obs.Metrics.counter "bench.obs.disabled_probe" in
+  let _, t_branch = time_of (fun () -> for _ = 1 to iters do Obs.Metrics.incr c_probe done) in
+  let disabled_branch_ns = 1e9 *. t_branch /. float_of_int iters in
+  (* The modelled cost of the disabled instrumentation on this workload:
+     direct enabled-vs-disabled deltas drown in solver noise at this
+     scale, so the asserted bound multiplies the measured per-site branch
+     cost by the number of record-site executions. *)
+  let disabled_overhead_pct =
+    100. *. (events_per_rep *. disabled_branch_ns /. 1e9) /. t_disabled
+  in
+  let enabled_overhead_pct = 100. *. ((t_enabled -. t_disabled) /. t_disabled) in
+  Printf.printf
+    "workload: %.4fs disabled, %.4fs enabled (%+.1f%% measured, noisy)\n"
+    t_disabled t_enabled enabled_overhead_pct;
+  Printf.printf
+    "disabled branch: %.2f ns/site x %.0f sites/rep = %.5f%% modelled overhead (bound: <2%%)\n"
+    disabled_branch_ns events_per_rep disabled_overhead_pct;
+  if disabled_overhead_pct >= 2.0 then
+    failwith
+      (Printf.sprintf "E17: disabled-path overhead %.3f%% breaches the 2%% contract"
+         disabled_overhead_pct);
+  Obs.Report.reset ();
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_obs/1");
+        ("smoke", Util.Json.Bool smoke);
+        ("monotonic_clock", Util.Json.Bool Obs.Clock.monotonic);
+        ("reps", Util.Json.Int reps);
+        ("disabled_s", Util.Json.Float t_disabled);
+        ("enabled_s", Util.Json.Float t_enabled);
+        ("enabled_overhead_pct", Util.Json.Float enabled_overhead_pct);
+        ("disabled_branch_ns", Util.Json.Float disabled_branch_ns);
+        ("events_per_rep", Util.Json.Float events_per_rep);
+        ( "events",
+          Util.Json.Obj
+            [
+              ("sat_solves", Util.Json.Int solves);
+              ("smtlite_queries", Util.Json.Int queries);
+              ("tolerance_probes", Util.Json.Int probes);
+              ("learnt_clauses", Util.Json.Int learnt);
+              ("backend_queries", Util.Json.Int backend_queries);
+            ] );
+        ("disabled_overhead_pct", Util.Json.Float disabled_overhead_pct);
+        ("bound_pct", Util.Json.Float 2.0);
+      ]
+  in
+  Util.Json.write_file out json;
+  (match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_obs/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E17: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E17: %s failed to parse: %s" out e))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1116,15 +1238,15 @@ let () =
     let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
     bench_parallel ~smoke p ~out;
     bench_cert ~smoke:true ~out:"BENCH_cert.json" ();
+    bench_obs ~smoke:true ~out:"BENCH_obs.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
     print_endline "FANNet reproduction benchmarks";
     print_endline "==============================";
-    let t0 = Unix.gettimeofday () in
-    let p = Fannet.Pipeline.run () in
+    let p, pipeline_s = time_of (fun () -> Fannet.Pipeline.run ()) in
     Printf.printf "pipeline (dataset -> mRMR -> train -> fold -> quantize): %.2fs\n"
-      (Unix.gettimeofday () -. t0);
+      pipeline_s;
     fig3_state_space p;
     fig4_tolerance_sweep p;
     fig4_training_bias p;
@@ -1141,6 +1263,7 @@ let () =
     extension_absolute_noise p;
     bench_parallel ~smoke:false p ~out;
     bench_cert ~smoke:false ~out:"BENCH_cert.json" ();
+    bench_obs ~smoke:false ~out:"BENCH_obs.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

@@ -12,6 +12,10 @@
    fannet fsm          -- explicit state-space statistics (Fig. 3)
    fannet fuzz         -- differential fuzzing of the analysis backends
    fannet certify      -- certified robustness verdicts with DRUP proofs
+   fannet profile      -- instrumented run: metrics table + span tree
+
+   Most analysis commands also take --metrics FILE to dump the
+   observability snapshot (Obs.Report JSON) of that run.
 
    Exit codes (all commands): 0 = verified/certified or analysis done,
    1 = a counterexample was found, 2 = usage error or invalid result. *)
@@ -82,6 +86,24 @@ let output_file =
   let doc = "Write output to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let metrics_file =
+  let doc =
+    "Enable the observability registry for this run and write its JSON \
+     snapshot (counters, latency histograms, span tree) to $(docv) on \
+     exit — including the counterexample-found exit-1 paths."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.Report.enable ();
+      (* Counterexample paths terminate with [exit 1] without unwinding the
+         stack, so the snapshot is flushed from [at_exit], not a finally. *)
+      at_exit (fun () -> Obs.Report.write path);
+      f ()
+
 let pipeline dataset_seed init_seed =
   let config = { Fannet.Pipeline.default_config with dataset_seed; init_seed } in
   Fannet.Pipeline.run ~config ()
@@ -103,7 +125,8 @@ let save_model =
   Arg.(value & opt (some string) None & info [ "save-model" ] ~docv:"FILE" ~doc)
 
 let train_cmd =
-  let run dataset_seed init_seed save_model =
+  let run metrics dataset_seed init_seed save_model =
+    with_metrics metrics @@ fun () ->
     let p = pipeline dataset_seed init_seed in
     Printf.printf "selected genes (mRMR): %s\n"
       (String.concat ", " (Array.to_list (Array.map string_of_int p.selected_genes)));
@@ -120,7 +143,8 @@ let train_cmd =
         Printf.printf "quantized model written to %s\n" path
   in
   let doc = "Train the Leukemia network and report accuracies (paper Sec. V-A)." in
-  Cmd.v (Cmd.info "train" ~doc ~exits) Term.(const run $ dataset_seed $ init_seed $ save_model)
+  Cmd.v (Cmd.info "train" ~doc ~exits)
+    Term.(const run $ metrics_file $ dataset_seed $ init_seed $ save_model)
 
 let validate_cmd =
   let run dataset_seed init_seed =
@@ -161,7 +185,8 @@ let translate_cmd =
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ output_file)
 
 let tolerance_cmd =
-  let run dataset_seed init_seed max_delta no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs =
+    with_metrics metrics @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
@@ -174,10 +199,13 @@ let tolerance_cmd =
   in
   let doc = "Compute the network noise tolerance (paper: +-11%)." in
   Cmd.v (Cmd.info "tolerance" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ max_delta $ no_bias_noise
+      $ backend $ jobs)
 
 let sweep_cmd =
-  let run dataset_seed init_seed no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed no_bias_noise backend jobs =
+    with_metrics metrics @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
@@ -199,10 +227,13 @@ let sweep_cmd =
   in
   let doc = "Misclassification counts per noise range (Fig. 4 left panel)." in
   Cmd.v (Cmd.info "sweep" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ no_bias_noise $ backend $ jobs)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ no_bias_noise $ backend
+      $ jobs)
 
 let extract_cmd =
-  let run dataset_seed init_seed delta no_bias_noise input_index limit =
+  let run metrics dataset_seed init_seed delta no_bias_noise input_index limit =
+    with_metrics metrics @@ fun () ->
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     if input_index < 0 || input_index >= Array.length inputs then
@@ -228,10 +259,13 @@ let extract_cmd =
   in
   let doc = "P3: extract the adversarial noise vectors for one input." in
   Cmd.v (Cmd.info "extract" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ limit)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
+      $ input_index $ limit)
 
 let sensitivity_cmd =
-  let run dataset_seed init_seed delta no_bias_noise limit jobs =
+  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs =
+    with_metrics metrics @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
@@ -249,10 +283,13 @@ let sensitivity_cmd =
   in
   let doc = "Input-node sensitivity: corpus statistics and formal sidedness." in
   Cmd.v (Cmd.info "sensitivity" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
+      $ limit $ jobs)
 
 let boundary_cmd =
-  let run dataset_seed init_seed max_delta no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs =
+    with_metrics metrics @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
@@ -279,10 +316,13 @@ let boundary_cmd =
   in
   let doc = "Per-input minimal flipping noise (classification boundary)." in
   Cmd.v (Cmd.info "boundary" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend $ jobs)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ max_delta $ no_bias_noise
+      $ backend $ jobs)
 
 let bias_cmd =
-  let run dataset_seed init_seed delta no_bias_noise limit jobs =
+  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs =
+    with_metrics metrics @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
@@ -297,7 +337,9 @@ let bias_cmd =
   in
   let doc = "Training-bias analysis over the counterexample corpus." in
   Cmd.v (Cmd.info "bias" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ limit $ jobs)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
+      $ limit $ jobs)
 
 let minflip_cmd =
   let run dataset_seed init_seed delta no_bias_noise =
@@ -433,8 +475,9 @@ let certify_cmd =
     in
     Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
   in
-  let run dataset_seed init_seed delta max_delta no_bias_noise input_index bracket
-      fast proof_file =
+  let run metrics dataset_seed init_seed delta max_delta no_bias_noise input_index
+      bracket fast proof_file =
+    with_metrics metrics @@ fun () ->
     let p =
       if fast then
         Fannet.Pipeline.run
@@ -518,8 +561,108 @@ let certify_cmd =
   in
   Cmd.v (Cmd.info "certify" ~doc ~exits)
     Term.(
-      const run $ dataset_seed $ init_seed $ delta $ max_delta $ no_bias_noise
-      $ input_index $ bracket $ fast $ proof_file)
+      const run $ metrics_file $ dataset_seed $ init_seed $ delta $ max_delta
+      $ no_bias_noise $ input_index $ bracket $ fast $ proof_file)
+
+let profile_cmd =
+  let fast =
+    let doc = "Use the small fast-config pipeline (64 genes) — smoke-test sized." in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  (* A fixed two-layer toy network for the incremental-SMT stage: its
+     bit-blast solves in milliseconds, so the solver counters populate
+     even under --fast without paying a full-network SMT query. *)
+  let toy_qnet () =
+    Nn.Qnet.create
+      [|
+        {
+          Nn.Qnet.weights =
+            [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
+          bias = [| 55; -31; 12; -7 |];
+          relu = true;
+        };
+        {
+          Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
+          bias = [| 13; 0 |];
+          relu = false;
+        };
+      |]
+  in
+  (* The written snapshot must be machine-usable, so re-read it and check
+     the pieces the profile promises: the schema tag, solver counters, a
+     per-backend latency histogram and at least one recorded span. *)
+  let validate_snapshot path =
+    match Util.Json.parse_file path with
+    | Error e -> Error (Printf.sprintf "snapshot does not re-parse: %s" e)
+    | Ok json ->
+        if Util.Json.member "schema" json <> Some (Util.Json.String Obs.Report.schema)
+        then Error (Printf.sprintf "missing or wrong schema (want %S)" Obs.Report.schema)
+        else
+          let metrics = Util.Json.member "metrics" json in
+          let section name =
+            match Option.bind metrics (Util.Json.member name) with
+            | Some (Util.Json.Obj kvs) -> kvs
+            | _ -> []
+          in
+          if not (List.mem_assoc "sat.conflicts" (section "counters")) then
+            Error "no sat.conflicts counter"
+          else if
+            not
+              (List.exists
+                 (fun (k, _) ->
+                   String.starts_with ~prefix:"backend." k
+                   && String.ends_with ~suffix:".query_s" k)
+                 (section "histograms"))
+          then Error "no backend.*.query_s latency histogram"
+          else
+            match Util.Json.member "spans" json with
+            | Some (Util.Json.List (_ :: _)) -> Ok ()
+            | _ -> Error "no recorded spans"
+  in
+  let run dataset_seed init_seed max_delta no_bias_noise backend jobs fast output =
+    Util.Parallel.set_default_jobs jobs;
+    Obs.Report.enable ();
+    let p =
+      if fast then
+        Fannet.Pipeline.run
+          ~config:{ Fannet.Pipeline.fast_config with dataset_seed; init_seed }
+          ()
+      else pipeline dataset_seed init_seed
+    in
+    let inputs = Fannet.Pipeline.analysis_inputs p in
+    let tol =
+      Fannet.Tolerance.network_tolerance backend p.qnet
+        ~bias_noise:(bias_flag no_bias_noise) ~max_delta ~inputs
+    in
+    let qnet = toy_qnet () in
+    let sinput = [| 112; 87 |] in
+    let slabel = Nn.Qnet.predict qnet sinput in
+    let _ : int option =
+      Fannet.Tolerance.input_min_flip_delta Fannet.Backend.Smt qnet
+        ~bias_noise:false ~max_delta:40 ~input:sinput ~label:slabel
+    in
+    Printf.printf "workload: pipeline + tolerance (backend %s, %d inputs, tolerance +-%d%%) + incremental SMT probe\n\n"
+      (Fannet.Backend.to_string backend) (Array.length inputs) tol;
+    print_string (Obs.Report.text ());
+    match output with
+    | None -> ()
+    | Some path -> (
+        Obs.Report.write path;
+        match validate_snapshot path with
+        | Ok () -> Printf.printf "metrics snapshot written to %s (validated)\n" path
+        | Error e ->
+            Printf.eprintf "metrics snapshot %s INVALID: %s\n" path e;
+            exit 2)
+  in
+  let doc =
+    "Run an instrumented workload (pipeline, noise-tolerance search, one \
+     incremental SMT probe) and print the profile: metrics table plus span \
+     tree. With $(b,-o) also write — and self-validate — the JSON snapshot."
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~exits)
+    Term.(
+      const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend
+      $ jobs $ fast $ output_file)
 
 let () =
   let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
@@ -541,6 +684,7 @@ let () =
         fsm_cmd;
         fuzz_cmd;
         certify_cmd;
+        profile_cmd;
       ]
   in
   (* Exit-code contract (documented in [exits]): counterexample paths call

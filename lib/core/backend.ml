@@ -11,22 +11,38 @@ let default_cascade = Cascade Bnb
 
 (* Cascade instrumentation, aggregated across all worker domains: how many
    queries the interval prefilter settled vs escalated to the complete
-   engine. *)
+   engine. The whole pair lives in ONE atomic cell so that readers always
+   observe a consistent snapshot: with two independent atomics a reader
+   racing a [reset] could combine hits from one epoch with escalations
+   from another (the torn pair {hits=old; escalations=0}). Updates go
+   through a CAS loop — contention is negligible next to the per-query
+   verification work. *)
 type cascade_stats = { interval_hits : int; escalations : int }
 
-let cascade_hits = Atomic.make 0
+let cascade_counts : cascade_stats Atomic.t =
+  Atomic.make { interval_hits = 0; escalations = 0 }
 
-let cascade_escalations = Atomic.make 0
+let rec bump_cascade f =
+  let seen = Atomic.get cascade_counts in
+  if not (Atomic.compare_and_set cascade_counts seen (f seen)) then bump_cascade f
+
+let note_interval_hit () =
+  bump_cascade (fun s -> { s with interval_hits = s.interval_hits + 1 })
+
+let note_escalation () =
+  bump_cascade (fun s -> { s with escalations = s.escalations + 1 })
 
 let reset_cascade_stats () =
-  Atomic.set cascade_hits 0;
-  Atomic.set cascade_escalations 0
+  Atomic.set cascade_counts { interval_hits = 0; escalations = 0 }
 
-let cascade_stats () =
-  {
-    interval_hits = Atomic.get cascade_hits;
-    escalations = Atomic.get cascade_escalations;
-  }
+let cascade_stats () = Atomic.get cascade_counts
+
+(* Registry mirrors of the cascade pair, plus per-backend query latency.
+   [cascade_hit_rate (cascade_stats ())] stays the always-on API; the
+   registry copies exist so [--metrics] snapshots carry them too. *)
+let m_cascade_hits = Obs.Metrics.counter "backend.cascade.interval_hits"
+
+let m_cascade_escalations = Obs.Metrics.counter "backend.cascade.escalations"
 
 let cascade_hit_rate { interval_hits; escalations } =
   let total = interval_hits + escalations in
@@ -111,11 +127,7 @@ let interval_exists_flip net spec ~input ~label =
   in
   if provably_wins then Robust else Unknown
 
-let rec exists_flip backend net spec ~input ~label =
-  if Array.length input <> Nn.Qnet.in_dim net then
-    invalid_arg "Backend.exists_flip: input size mismatch";
-  if label < 0 || label >= Nn.Qnet.out_dim net then
-    invalid_arg "Backend.exists_flip: label out of range";
+let rec dispatch backend net spec ~input ~label =
   match backend with
   | Bnb -> (
       match Bnb.exists_flip net spec ~input ~label with
@@ -129,11 +141,40 @@ let rec exists_flip backend net spec ~input ~label =
          interval pass proves most of them without touching a solver. *)
       match interval_exists_flip net spec ~input ~label with
       | Robust ->
-          Atomic.incr cascade_hits;
+          note_interval_hit ();
+          Obs.Metrics.incr m_cascade_hits;
           Robust
       | Unknown | Flip _ ->
-          Atomic.incr cascade_escalations;
-          exists_flip inner net spec ~input ~label)
+          note_escalation ();
+          Obs.Metrics.incr m_cascade_escalations;
+          dispatch inner net spec ~input ~label)
+
+let rec to_string = function
+  | Bnb -> "bnb"
+  | Smt -> "smt"
+  | Explicit _ -> "explicit"
+  | Interval -> "interval"
+  | Cascade inner -> Printf.sprintf "cascade(%s)" (to_string inner)
+
+let exists_flip backend net spec ~input ~label =
+  if Array.length input <> Nn.Qnet.in_dim net then
+    invalid_arg "Backend.exists_flip: input size mismatch";
+  if label < 0 || label >= Nn.Qnet.out_dim net then
+    invalid_arg "Backend.exists_flip: label out of range";
+  if not (Obs.Metrics.enabled ()) then dispatch backend net spec ~input ~label
+  else begin
+    (* Per-backend latency: one histogram per top-level backend shape
+       (cascade queries time the whole cascade, not each leg). The
+       get-or-create lookup per query is a mutex + hash probe — fine at
+       solver-query granularity, and only paid when metrics are on. *)
+    let h =
+      Obs.Metrics.histogram (Printf.sprintf "backend.%s.query_s" (to_string backend))
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let v = dispatch backend net spec ~input ~label in
+    Obs.Metrics.observe h (Obs.Clock.elapsed_s ~since:t0);
+    v
+  end
 
 type certified_verdict = {
   cv_verdict : verdict;
@@ -204,13 +245,6 @@ let agree a b =
 let run_all ?(backends = [ Bnb; Smt; Explicit { limit = default_explicit_limit }; Interval; Cascade Bnb ])
     net spec ~input ~label =
   List.map (fun b -> (b, exists_flip b net spec ~input ~label)) backends
-
-let rec to_string = function
-  | Bnb -> "bnb"
-  | Smt -> "smt"
-  | Explicit _ -> "explicit"
-  | Interval -> "interval"
-  | Cascade inner -> Printf.sprintf "cascade(%s)" (to_string inner)
 
 let verdict_to_string = function
   | Robust -> "robust"

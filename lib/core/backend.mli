@@ -44,8 +44,15 @@ type cascade_stats = {
 val reset_cascade_stats : unit -> unit
 
 val cascade_stats : unit -> cascade_stats
-(** Process-wide counters (atomic: aggregated across worker domains)
-    accumulated by every [Cascade] query since the last reset. *)
+(** Process-wide counters aggregated across worker domains, accumulated by
+    every [Cascade] query since the last reset. The pair is held in a
+    single atomic cell, so a snapshot is always internally consistent even
+    when it races increments or {!reset_cascade_stats} — a reader can
+    never combine hits from one epoch with escalations from another.
+    When the observability registry is enabled the same events also feed
+    the ["backend.cascade.interval_hits"/"backend.cascade.escalations"]
+    counters and every query records into a per-backend
+    ["backend.<name>.query_s"] latency histogram. *)
 
 val cascade_hit_rate : cascade_stats -> float
 (** Fraction of cascade queries settled by the prefilter; 0 when none ran. *)

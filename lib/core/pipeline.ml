@@ -50,10 +50,15 @@ let quantized_accuracy qnet inputs =
   float_of_int correct /. float_of_int (Array.length inputs)
 
 let run ?(config = default_config) () =
-  let dataset = Dataset.Golub.generate ~params:config.dataset_params ~seed:config.dataset_seed () in
+  Obs.Span.with_ "pipeline.run" @@ fun () ->
+  let dataset =
+    Obs.Span.with_ "pipeline.dataset" (fun () ->
+        Dataset.Golub.generate ~params:config.dataset_params ~seed:config.dataset_seed ())
+  in
   let selected_genes =
-    Dataset.Mrmr.select dataset.Dataset.Golub.train ~k:config.k_features
-      ~bins:config.mi_bins
+    Obs.Span.with_ "pipeline.mrmr" (fun () ->
+        Dataset.Mrmr.select dataset.Dataset.Golub.train ~k:config.k_features
+          ~bins:config.mi_bins)
   in
   let train_inputs = Validate.of_samples dataset.Dataset.Golub.train ~genes:selected_genes in
   let test_inputs = Validate.of_samples dataset.Dataset.Golub.test ~genes:selected_genes in
@@ -68,12 +73,19 @@ let run ?(config = default_config) () =
       ~hidden_activation:Nn.Activation.Relu
   in
   let history =
-    Nn.Train.train ~config:config.train_config raw_network ~inputs:train_vecs ~labels
+    Obs.Span.with_ "pipeline.train" (fun () ->
+        Nn.Train.train ~config:config.train_config raw_network ~inputs:train_vecs
+          ~labels)
   in
   let shift, scale = Nn.Normalize.shift_scale norm in
   let network = Nn.Network.fold_input_affine raw_network ~shift ~scale in
-  let qnet = Nn.Quantize.quantize network ~weight_bits:config.weight_bits in
-  let p1 = Validate.p1 qnet ~inputs:test_inputs in
+  let qnet =
+    Obs.Span.with_ "pipeline.quantize" (fun () ->
+        Nn.Quantize.quantize network ~weight_bits:config.weight_bits)
+  in
+  let p1 =
+    Obs.Span.with_ "pipeline.validate" (fun () -> Validate.p1 qnet ~inputs:test_inputs)
+  in
   {
     config;
     dataset;

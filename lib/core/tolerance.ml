@@ -8,26 +8,41 @@ type sweep_point = {
   flips : flip list;
 }
 
+(* Per-delta search progress: every probed range bumps a counter and
+   notes the most recent delta, so a [--metrics] snapshot shows how far a
+   sweep or binary search has come. *)
+let m_probes = Obs.Metrics.counter "tolerance.probes"
+
+let g_last_delta = Obs.Metrics.gauge "tolerance.last_probe_delta"
+
+let note_probe delta =
+  Obs.Metrics.incr m_probes;
+  Obs.Metrics.set_gauge g_last_delta (float_of_int delta)
+
 let misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs =
   let spec = Noise.symmetric ~delta ~bias_noise in
-  Util.Parallel.filter_mapi ?jobs
-    (fun input_index (input, label) ->
-      match Backend.exists_flip backend net spec ~input ~label with
-      | Backend.Flip vector ->
-          let predicted = Noise.predict net spec ~input vector in
-          Some { input_index; vector; predicted }
-      | Backend.Robust | Backend.Unknown -> None)
-    inputs
+  Obs.Span.with_ (Printf.sprintf "tolerance.misclassified_at ±%d%%" delta) (fun () ->
+      note_probe delta;
+      Util.Parallel.filter_mapi ?jobs
+        (fun input_index (input, label) ->
+          match Backend.exists_flip backend net spec ~input ~label with
+          | Backend.Flip vector ->
+              let predicted = Noise.predict net spec ~input vector in
+              Some { input_index; vector; predicted }
+          | Backend.Robust | Backend.Unknown -> None)
+        inputs)
 
 let sweep ?jobs backend net ~bias_noise ~deltas ~inputs =
-  List.map
-    (fun delta ->
-      let flips = misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs in
-      { delta; n_misclassified = List.length flips; flips })
-    deltas
+  Obs.Span.with_ "tolerance.sweep" (fun () ->
+      List.map
+        (fun delta ->
+          let flips = misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs in
+          { delta; n_misclassified = List.length flips; flips })
+        deltas)
 
 let flips_at backend net ~bias_noise ~delta ~input ~label =
   let spec = Noise.symmetric ~delta ~bias_noise in
+  note_probe delta;
   match Backend.exists_flip backend net spec ~input ~label with
   | Backend.Flip _ -> true
   | Backend.Robust -> false
@@ -72,7 +87,10 @@ let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
   in
   let solver_flips delta =
     let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
-    match Smtlite.Solve.solve ~assumptions session with
+    match
+      Obs.Span.with_ (Printf.sprintf "tolerance.smt_probe ±%d%%" delta) (fun () ->
+          Smtlite.Solve.solve ~assumptions session)
+    with
     | Smtlite.Solve.Unsat -> false
     | Smtlite.Solve.Unknown ->
         failwith "Tolerance: incremental smt search returned unknown"
@@ -87,6 +105,7 @@ let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
         true
   in
   let flips delta =
+    note_probe delta;
     if
       prefilter
       && Backend.exists_flip Backend.Interval net
@@ -133,8 +152,12 @@ let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
         a
   in
   let probe delta =
+    note_probe delta;
     let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
-    let outcome, cert = Smtlite.Solve.solve_certified ~assumptions session in
+    let outcome, cert =
+      Obs.Span.with_ (Printf.sprintf "tolerance.certified_probe ±%d%%" delta)
+        (fun () -> Smtlite.Solve.solve_certified ~assumptions session)
+    in
     let cert =
       match cert with
       | Some c -> c
@@ -289,10 +312,11 @@ let paper_iterative_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
   reduce max_delta
 
 let network_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
-  Util.Parallel.map ?jobs
-    (fun (input, label) ->
-      input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label)
-    inputs
-  |> Array.fold_left
-       (fun acc -> function None -> acc | Some d -> min acc (d - 1))
-       max_delta
+  Obs.Span.with_ "tolerance.network_tolerance" (fun () ->
+      Util.Parallel.map ?jobs
+        (fun (input, label) ->
+          input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label)
+        inputs
+      |> Array.fold_left
+           (fun acc -> function None -> acc | Some d -> min acc (d - 1))
+           max_delta)

@@ -1,0 +1,16 @@
+(* The bechamel stub reads CLOCK_MONOTONIC and returns 0 when the
+   platform has no such clock; two zero readings in a row mean the stub
+   is dead (a live clock cannot report the same 0 ns twice across a
+   syscall), so detect that once and fall back to wall time. *)
+let monotonic =
+  Monotonic_clock.now () <> 0L || Monotonic_clock.now () <> 0L
+
+let wall_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let now_ns () = if monotonic then Monotonic_clock.now () else wall_ns ()
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let now_s () = ns_to_s (now_ns ())
+
+let elapsed_s ~since = ns_to_s (Int64.sub (now_ns ()) since)

@@ -1,0 +1,24 @@
+(** Monotonic time source for all instrumentation and benchmarks.
+
+    Readings come from the CLOCK_MONOTONIC-backed [Monotonic_clock] stubs
+    (bechamel), so NTP steps and wall-clock adjustments cannot skew
+    measured durations. On platforms where the monotonic clock is
+    unavailable (the stub then reads 0) the module falls back to
+    [Unix.gettimeofday], detected once at startup. *)
+
+val monotonic : bool
+(** Whether the real monotonic clock backs {!now_ns} (false only on the
+    gettimeofday fallback path). *)
+
+val now_ns : unit -> int64
+(** Current reading in nanoseconds. Only differences are meaningful; the
+    epoch is unspecified. Non-decreasing when {!monotonic} holds. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since an earlier {!now_ns} reading. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond duration to seconds. *)

@@ -1,0 +1,60 @@
+let schema = "fannet.obs/1"
+
+(* Parallel-pool metrics, fed by the probe installed in [enable]. *)
+let h_chunk = Metrics.histogram "parallel.chunk_s"
+
+let g_imbalance = Metrics.gauge "parallel.imbalance"
+
+let c_batches = Metrics.counter "parallel.batches"
+
+let parallel_probe =
+  {
+    Util.Parallel.now_s = Clock.now_s;
+    record =
+      (fun ~chunk_seconds ->
+        Metrics.incr c_batches;
+        Array.iter (Metrics.observe h_chunk) chunk_seconds;
+        let n = Array.length chunk_seconds in
+        if n > 0 then begin
+          let total = Array.fold_left ( +. ) 0. chunk_seconds in
+          let mean = total /. float_of_int n in
+          let slowest = Array.fold_left Float.max chunk_seconds.(0) chunk_seconds in
+          (* Slowest chunk over the mean: 1.0 is a perfectly balanced
+             batch; the pool's wall time is bounded by the slowest chunk. *)
+          if mean > 0. then Metrics.set_gauge g_imbalance (slowest /. mean)
+        end);
+  }
+
+let enable () =
+  Metrics.set_enabled true;
+  Util.Parallel.set_probe (Some parallel_probe)
+
+let disable () =
+  Util.Parallel.set_probe None;
+  Metrics.set_enabled false
+
+let snapshot () =
+  Util.Json.Obj
+    [
+      ("schema", Util.Json.String schema);
+      ("monotonic_clock", Util.Json.Bool Clock.monotonic);
+      ("metrics", Metrics.snapshot ());
+      ("spans", Util.Json.List (List.map Span.to_json (Span.roots ())));
+    ]
+
+let text () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "metrics\n-------\n";
+  Buffer.add_string buf (Metrics.text_report ());
+  (match Span.roots () with
+  | [] -> ()
+  | roots ->
+      Buffer.add_string buf "\nspans\n-----\n";
+      List.iter (fun r -> Buffer.add_string buf (Span.tree_to_string r)) roots);
+  Buffer.contents buf
+
+let write path = Util.Json.write_file path (snapshot ())
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()

@@ -1,0 +1,28 @@
+(** Observability top level: turn recording on/off and export everything.
+
+    [enable] flips the metrics/span registries on and installs the
+    {!Util.Parallel} probe (per-chunk wall time and imbalance feed the
+    ["parallel.chunk_s"] histogram and ["parallel.imbalance"] gauge).
+    [disable] reverses both, leaving recorded values readable. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val schema : string
+(** ["fannet.obs/1"], the [schema] field of {!snapshot}. *)
+
+val snapshot : unit -> Util.Json.t
+(** [{"schema", "monotonic_clock", "metrics", "spans"}] — the complete
+    observability state: {!Metrics.snapshot} plus one JSON tree per
+    completed root span. *)
+
+val text : unit -> string
+(** Human-readable report: the metrics table followed by every span
+    tree. *)
+
+val write : string -> unit
+(** Pretty-print {!snapshot} to a file. *)
+
+val reset : unit -> unit
+(** Clear all metric values and recorded spans. *)

@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable rev_children : t list;
+}
+
+(* Innermost open span of the current domain. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let roots_lock = Mutex.create ()
+
+let rev_roots : t list ref = ref []
+
+let add_root span =
+  Mutex.lock roots_lock;
+  rev_roots := span :: !rev_roots;
+  Mutex.unlock roots_lock
+
+let with_ name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let parent = Domain.DLS.get current in
+    let span = { name; start_ns = Clock.now_ns (); stop_ns = 0L; rev_children = [] } in
+    Domain.DLS.set current (Some span);
+    Fun.protect
+      ~finally:(fun () ->
+        span.stop_ns <- Clock.now_ns ();
+        Domain.DLS.set current parent;
+        match parent with
+        | Some p -> p.rev_children <- span :: p.rev_children
+        | None -> add_root span)
+      f
+  end
+
+let children span = List.rev span.rev_children
+
+let duration_s span = Clock.ns_to_s (Int64.sub span.stop_ns span.start_ns)
+
+let roots () =
+  Mutex.lock roots_lock;
+  let r = List.rev !rev_roots in
+  Mutex.unlock roots_lock;
+  r
+
+let reset () =
+  Mutex.lock roots_lock;
+  rev_roots := [];
+  Mutex.unlock roots_lock
+
+let rec to_json span =
+  Util.Json.Obj
+    [
+      ("name", Util.Json.String span.name);
+      ("s", Util.Json.Float (duration_s span));
+      ("children", Util.Json.List (List.map to_json (children span)));
+    ]
+
+let pretty_s s =
+  if s >= 1. then Printf.sprintf "%.2f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.0f us" (s *. 1e6)
+
+let tree_to_string span =
+  let buf = Buffer.create 256 in
+  let rec go depth span =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  %s\n" (String.make (2 * depth) ' ') span.name
+         (pretty_s (duration_s span)));
+    List.iter (go (depth + 1)) (children span)
+  in
+  go 0 span;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Scoped monotonic timers forming a per-domain trace tree.
+
+    [with_ name f] times [f] on the monotonic clock and records the span
+    as a child of the innermost enclosing [with_] {e on the same domain}
+    (tracked in domain-local storage); spans with no enclosing parent
+    become roots. Worker domains therefore contribute their own root
+    spans — the pool does not try to stitch cross-domain parentage.
+
+    Like the metrics registry, span recording is off until
+    [Metrics.set_enabled true]; when disabled [with_ name f] is exactly
+    [f ()] after one branch. *)
+
+type t = {
+  name : string;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable rev_children : t list;  (** most recent first *)
+}
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Exception-safe: the span is closed and recorded even if [f] raises. *)
+
+val children : t -> t list
+(** In start order. *)
+
+val duration_s : t -> float
+
+val roots : unit -> t list
+(** Completed root spans, in completion order (across all domains). *)
+
+val reset : unit -> unit
+(** Drop recorded roots. Must not be called while spans are open. *)
+
+val to_json : t -> Util.Json.t
+(** [{"name": ..., "s": seconds, "children": [...]}]. *)
+
+val tree_to_string : t -> string
+(** Indented rendering of one span tree, durations in engineering units. *)

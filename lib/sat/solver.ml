@@ -62,6 +62,30 @@ type t = {
 let var_decay = 1. /. 0.95
 let clause_decay = 1. /. 0.999
 
+(* Observability handles (created once at module init; recording is a
+   no-op until the registry is enabled). Search counters are kept in the
+   solver's own mutable fields on the hot path and pushed to the registry
+   as per-solve deltas, so the disabled cost inside search is zero and
+   the enabled cost is a handful of atomic adds per [solve]. Learnt-clause
+   sizes are the exception: they are only visible at learn time. *)
+let m_solves = Obs.Metrics.counter "sat.solves"
+
+let m_conflicts = Obs.Metrics.counter "sat.conflicts"
+
+let m_decisions = Obs.Metrics.counter "sat.decisions"
+
+let m_propagations = Obs.Metrics.counter "sat.propagations"
+
+let m_restarts = Obs.Metrics.counter "sat.restarts"
+
+let h_learnt_len =
+  Obs.Metrics.histogram "sat.learnt_clause_len"
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
+
+let h_conflicts_per_solve =
+  Obs.Metrics.histogram "sat.conflicts_per_solve"
+    ~buckets:[| 0.; 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384.; 65536. |]
+
 let create () =
   {
     nvars = 0;
@@ -416,6 +440,8 @@ let analyze s confl =
 
 let record_learnt s lits btlevel =
   (match s.proof_sink with None -> () | Some f -> f (P_learn lits));
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_learnt_len (float_of_int (List.length lits));
   match lits with
   | [] -> assert false
   | [ l ] ->
@@ -572,6 +598,11 @@ let search s ~assumptions ~conflict_budget =
   match !result with Some r -> r | None -> assert false
 
 let solve ?(assumptions = []) ?max_conflicts s =
+  let obs = Obs.Metrics.enabled () in
+  let c0 = s.n_conflicts
+  and d0 = s.n_decisions
+  and p0 = s.n_propagations
+  and r0 = s.n_restarts in
   let result =
     if not s.ok then Unsat
     else begin
@@ -614,6 +645,14 @@ let solve ?(assumptions = []) ?max_conflicts s =
   | Unsat -> (
       match s.proof_sink with None -> () | Some f -> f (P_empty assumptions))
   | Sat | Unknown -> ());
+  if obs then begin
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.add m_conflicts (s.n_conflicts - c0);
+    Obs.Metrics.add m_decisions (s.n_decisions - d0);
+    Obs.Metrics.add m_propagations (s.n_propagations - p0);
+    Obs.Metrics.add m_restarts (s.n_restarts - r0);
+    Obs.Metrics.observe h_conflicts_per_solve (float_of_int (s.n_conflicts - c0))
+  end;
   result
 
 let value s l =

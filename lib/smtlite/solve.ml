@@ -7,7 +7,24 @@ type session = {
   rev_vars : Term.var list ref;    (* session variables, newest first *)
   known : (int, unit) Hashtbl.t;   (* their vids: O(1) dedup *)
   trace : Cert.Proof.trace option; (* DRUP event log, when certifying *)
+  opened_ns : int64;               (* session birth, monotonic *)
+  clauses_seen : int ref;          (* solver clauses at the last solve *)
 }
+
+(* Session/query observability. Clauses are added by the compiler during
+   assert/assume, so "clauses added per query" is the solver's clause
+   count delta between consecutive [solve] calls on the same session. *)
+let m_sessions = Obs.Metrics.counter "smtlite.sessions"
+
+let m_queries = Obs.Metrics.counter "smtlite.queries"
+
+let h_clauses_per_query =
+  Obs.Metrics.histogram "smtlite.clauses_per_query"
+    ~buckets:[| 0.; 10.; 100.; 1000.; 10_000.; 100_000.; 1_000_000. |]
+
+let h_session_age = Obs.Metrics.histogram "smtlite.session_age_s"
+
+let h_query_s = Obs.Metrics.histogram "smtlite.query_s"
 
 let add_vars session vars =
   List.iter
@@ -24,12 +41,15 @@ let session_vars session = List.rev !(session.rev_vars)
 
 let open_session ?trace f =
   let sink = Option.map Cert.Proof.sink trace in
+  Obs.Metrics.incr m_sessions;
   let session =
     {
       compiler = Compile.create ?sink ();
       rev_vars = ref [];
       known = Hashtbl.create 64;
       trace;
+      opened_ns = Obs.Clock.now_ns ();
+      clauses_seen = ref 0;
     }
   in
   register_vars session f;
@@ -61,12 +81,26 @@ let extract_model session =
   List.map (fun v -> (v, Compile.var_value session.compiler v)) (session_vars session)
 
 let solve ?(assumptions = []) ?max_conflicts session =
-  match
-    Sat.Solver.solve ~assumptions ?max_conflicts (Compile.solver session.compiler)
-  with
-  | Sat.Solver.Sat -> Sat (extract_model session)
-  | Sat.Solver.Unsat -> Unsat
-  | Sat.Solver.Unknown -> Unknown
+  let solver = Compile.solver session.compiler in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_queries;
+    let nclauses = Sat.Solver.nclauses solver in
+    Obs.Metrics.observe h_clauses_per_query
+      (float_of_int (nclauses - !(session.clauses_seen)));
+    session.clauses_seen := nclauses;
+    Obs.Metrics.observe h_session_age (Obs.Clock.elapsed_s ~since:session.opened_ns)
+  end;
+  let t0 = if Obs.Metrics.enabled () then Obs.Clock.now_ns () else 0L in
+  let outcome =
+    Obs.Span.with_ "smtlite.solve" (fun () ->
+        match Sat.Solver.solve ~assumptions ?max_conflicts solver with
+        | Sat.Solver.Sat -> Sat (extract_model session)
+        | Sat.Solver.Unsat -> Unsat
+        | Sat.Solver.Unknown -> Unknown)
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_query_s (Obs.Clock.elapsed_s ~since:t0);
+  outcome
 
 let solve_certified ?(assumptions = []) ?max_conflicts session =
   let outcome = solve ~assumptions ?max_conflicts session in

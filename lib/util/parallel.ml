@@ -28,18 +28,61 @@ let chunk_bounds ~jobs len =
       let hi = lo + base + if k < extra then 1 else 0 in
       (lo, hi))
 
+type probe = {
+  now_s : unit -> float;
+  record : chunk_seconds:float array -> unit;
+}
+
+let probe : probe option Atomic.t = Atomic.make None
+
+let set_probe p = Atomic.set probe p
+
 (* Run [worker lo hi] on every chunk, chunk 0 on the calling domain, and
-   return the per-chunk results in chunk order. [Domain.join] re-raises a
-   worker's exception, so failures propagate to the caller. *)
+   return the per-chunk results in chunk order. Every spawned domain is
+   joined before this function returns — even when a worker raises —
+   otherwise a failure would leak running domains into the caller (and
+   eventually exhaust the runtime's domain slots). When several workers
+   fail, the lowest-numbered chunk's exception wins. *)
 let run_chunks ~jobs len worker =
+  let probe = Atomic.get probe in
+  let worker =
+    match probe with
+    | None -> fun lo hi -> (worker lo hi, 0.)
+    | Some p ->
+        fun lo hi ->
+          let t0 = p.now_s () in
+          let r = worker lo hi in
+          (r, p.now_s () -. t0)
+  in
   let bounds = chunk_bounds ~jobs len in
   let spawned =
     Array.map
       (fun (lo, hi) -> Domain.spawn (fun () -> worker lo hi))
       (Array.sub bounds 1 (jobs - 1))
   in
-  let first = worker (fst bounds.(0)) (snd bounds.(0)) in
-  Array.append [| first |] (Array.map Domain.join spawned)
+  let first =
+    match worker (fst bounds.(0)) (snd bounds.(0)) with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  let rest =
+    Array.map (fun d -> match Domain.join d with r -> Ok r | exception e -> Error e) spawned
+  in
+  let outcomes = Array.append [| first |] rest in
+  match
+    Array.fold_left
+      (fun acc o -> match (acc, o) with None, Error e -> Some e | _ -> acc)
+      None outcomes
+  with
+  | Some e -> raise e
+  | None ->
+      let results =
+        Array.map (function Ok r -> r | Error _ -> assert false) outcomes
+      in
+      (match probe with
+      | None -> ()
+      | Some p -> p.record ~chunk_seconds:(Array.map snd results));
+      Array.map fst results
 
 let mapi ?jobs f arr =
   let len = Array.length arr in

@@ -35,3 +35,27 @@ val filter_mapi : ?jobs:int -> (int -> 'a -> 'b option) -> 'a array -> 'b list
 val exists : ?jobs:int -> ('a -> bool) -> 'a array -> bool
 (** Workers poll a shared flag and stop early once any element satisfies
     the predicate. *)
+
+(** {1 Failure semantics}
+
+    When a worker raises, every spawned domain is still joined before the
+    exception propagates — a failing parallel call never leaks running
+    domains — and with several failing chunks the lowest-numbered chunk's
+    exception is re-raised. *)
+
+(** {1 Instrumentation}
+
+    An optional probe observes per-chunk wall time. [None] (the default)
+    is the zero-overhead path: a single atomic load per parallel batch.
+    The observability layer ([Obs.Report.enable]) installs a probe backed
+    by the monotonic clock; this module deliberately has no dependency on
+    it. *)
+
+type probe = {
+  now_s : unit -> float;  (** timestamp source (seconds, monotonic) *)
+  record : chunk_seconds:float array -> unit;
+      (** called on the calling domain after a successful parallel batch,
+          with one wall-time entry per chunk in chunk order *)
+}
+
+val set_probe : probe option -> unit

@@ -29,13 +29,20 @@ let max a =
   check_nonempty "Stats.max" a;
   Array.fold_left Stdlib.max a.(0) a
 
+let check_no_nan name a =
+  if Array.exists Float.is_nan a then invalid_arg (name ^ ": NaN in input")
+
+(* Float.compare, not polymorphic compare: monomorphic (no boxing per
+   comparison) and an explicit IEEE total order, so rank statistics never
+   depend on the input's element order. *)
 let sorted_copy a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let percentile a p =
   check_nonempty "Stats.percentile" a;
+  check_no_nan "Stats.percentile" a;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
   let b = sorted_copy a in
   let n = Array.length b in
@@ -67,6 +74,10 @@ let pearson x y =
 let histogram a ~bins ~lo ~hi =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
   if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
+  (* Reject NaN up front: [int_of_float nan] is unspecified, so a NaN
+     would otherwise land silently in an arbitrary bucket (bucket 0 on
+     amd64) and corrupt the counts. *)
+  check_no_nan "Stats.histogram" a;
   let counts = Array.make bins 0 in
   let width = (hi -. lo) /. float_of_int bins in
   let bucket x =

@@ -276,6 +276,53 @@ let test_cascade_stats_accounting () =
   Alcotest.(check int) "reset escalations" 0 z.B.escalations;
   Alcotest.(check (float 0.)) "empty rate" 0. (B.cascade_hit_rate z)
 
+let test_cascade_stats_snapshot_consistency () =
+  (* Regression: the {interval_hits; escalations} pair lives in ONE atomic
+     cell. With two separate atomics a reader racing the writer's reset
+     could pair hits from one epoch with escalations from another. The
+     writer cycles reset -> escalating query -> prefilter-hit query, so
+     every consistent snapshot satisfies hits <= escalations; only a torn
+     read can show hits > escalations. *)
+  let net = tiny_qnet () in
+  let input = [| 5; 9 |] in
+  let label = Nn.Qnet.predict net input in
+  let interval_robust delta =
+    let spec = N.symmetric ~delta ~bias_noise:false in
+    match B.exists_flip B.Interval net spec ~input ~label with
+    | B.Robust -> true
+    | B.Unknown | B.Flip _ -> false
+  in
+  (* Pick the deltas from the interval backend's own answers instead of
+     baking verdicts into the test. *)
+  let hit_delta = List.find_opt interval_robust [ 1; 2; 3 ] in
+  let esc_delta = List.find_opt (fun d -> not (interval_robust d)) [ 50; 30; 20; 10 ] in
+  match (hit_delta, esc_delta) with
+  | Some hit_delta, Some esc_delta ->
+      let stop = Atomic.make false in
+      let writer =
+        Domain.spawn (fun () ->
+            let q delta =
+              let spec = N.symmetric ~delta ~bias_noise:false in
+              ignore (B.exists_flip (B.Cascade B.Bnb) net spec ~input ~label)
+            in
+            while not (Atomic.get stop) do
+              B.reset_cascade_stats ();
+              q esc_delta;
+              q hit_delta
+            done)
+      in
+      let torn = ref 0 in
+      for i = 1 to 50_000 do
+        let s = B.cascade_stats () in
+        if s.B.interval_hits > s.B.escalations then incr torn;
+        if i mod 64 = 0 then Domain.cpu_relax ()
+      done;
+      Atomic.set stop true;
+      Domain.join writer;
+      B.reset_cascade_stats ();
+      Alcotest.(check int) "no torn snapshots" 0 !torn
+  | _ -> Alcotest.fail "no suitable hit/escalation deltas for tiny_qnet"
+
 let prop_incremental_smt_min_flip =
   QCheck.Test.make ~name:"incremental smt min-flip = bnb min-flip" ~count:25
     arb_qnet (fun ((net : Nn.Qnet.t), input) ->
@@ -923,6 +970,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_interval_sound_wrt_explicit;
           QCheck_alcotest.to_alcotest prop_cascade_agrees_bnb;
           Alcotest.test_case "cascade stats" `Quick test_cascade_stats_accounting;
+          Alcotest.test_case "cascade stats snapshot consistency" `Quick
+            test_cascade_stats_snapshot_consistency;
           QCheck_alcotest.to_alcotest prop_bnb_enumerate_equals_explicit;
           QCheck_alcotest.to_alcotest prop_bnb_count_equals_enumeration;
           QCheck_alcotest.to_alcotest prop_smt_extract_equals_explicit;

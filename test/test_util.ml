@@ -143,6 +143,32 @@ let test_stats_empty_raises () =
     (Invalid_argument "Stats.mean: empty array") (fun () ->
       ignore (Util.Stats.mean [||]))
 
+let test_stats_nan_rejected () =
+  (* Regression: NaN used to sort unpredictably under polymorphic compare
+     (skewing percentiles) and to land silently in histogram bucket 0. *)
+  let poisoned = [| 1.; Float.nan; 3. |] in
+  Alcotest.check_raises "percentile rejects NaN"
+    (Invalid_argument "Stats.percentile: NaN in input") (fun () ->
+      ignore (Util.Stats.percentile poisoned 50.));
+  Alcotest.check_raises "median rejects NaN"
+    (Invalid_argument "Stats.percentile: NaN in input") (fun () ->
+      ignore (Util.Stats.median poisoned));
+  Alcotest.check_raises "histogram rejects NaN"
+    (Invalid_argument "Stats.histogram: NaN in input") (fun () ->
+      ignore (Util.Stats.histogram poisoned ~bins:2 ~lo:0. ~hi:4.))
+
+let test_stats_percentile_order_independent () =
+  (* Float.compare gives rank statistics a fixed IEEE total order: any
+     permutation of the input yields the identical percentile. *)
+  let a = [| 5.; -0.; 1.; 0.; 3.; 2. |] in
+  let b = [| 3.; 0.; 5.; 2.; -0.; 1. |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%.0f" p)
+        (Util.Stats.percentile a p) (Util.Stats.percentile b p))
+    [ 0.; 25.; 50.; 75.; 100. ]
+
 let test_table_render () =
   let t = Util.Table.create ~header:[ "name"; "value" ] in
   Util.Table.add_row t [ "alpha"; "1" ];
@@ -234,6 +260,47 @@ let test_parallel_worker_exception_propagates () =
   Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
       ignore (Util.Parallel.map ~jobs:4 (fun x -> if x = 60 then failwith "boom" else x) arr))
 
+let test_parallel_joins_workers_before_reraise () =
+  (* Regression: a failing chunk must not leak still-running domains. The
+     calling domain's chunk (indices 0-3 at jobs=4) dies immediately while
+     the spawned chunks are still sleeping; the pool has to join them all
+     before re-raising, so by the time the exception surfaces every
+     spawned element has run to completion. The pre-fix code re-raised
+     without joining and left the workers mid-flight. *)
+  let arr = Array.init 16 (fun i -> i) in
+  let finished = Atomic.make 0 in
+  (try
+     ignore
+       (Util.Parallel.map ~jobs:4
+          (fun x ->
+            if x < 4 then failwith "chunk0 dies"
+            else begin
+              Unix.sleepf 0.02;
+              Atomic.incr finished;
+              x
+            end)
+          arr);
+     Alcotest.fail "expected the chunk-0 failure to propagate"
+   with Failure m -> Alcotest.(check string) "chunk-0 exception" "chunk0 dies" m);
+  Alcotest.(check int) "all spawned elements completed" 12 (Atomic.get finished)
+
+let test_parallel_first_chunk_exception_wins () =
+  (* When several chunks fail, the lowest-numbered chunk's exception is
+     the one re-raised — even if a later chunk failed first in time. *)
+  let arr = Array.init 16 (fun i -> i) in
+  Alcotest.check_raises "chunk-order, not time-order" (Failure "early chunk")
+    (fun () ->
+      ignore
+        (Util.Parallel.map ~jobs:4
+           (fun x ->
+             if x < 4 then begin
+               (* Give the later chunks time to fail first. *)
+               Unix.sleepf 0.02;
+               failwith "early chunk"
+             end
+             else failwith "late chunk")
+           arr))
+
 let test_parallel_default_jobs_override () =
   let before = Util.Parallel.default_jobs () in
   Alcotest.(check bool) "at least 1" true (before >= 1);
@@ -324,6 +391,9 @@ let () =
           Alcotest.test_case "pearson" `Quick test_stats_pearson;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+          Alcotest.test_case "NaN rejected" `Quick test_stats_nan_rejected;
+          Alcotest.test_case "percentile order-independent" `Quick
+            test_stats_percentile_order_independent;
         ] );
       ( "table",
         [
@@ -339,6 +409,10 @@ let () =
           Alcotest.test_case "exists" `Quick test_parallel_exists;
           Alcotest.test_case "empty/small arrays" `Quick test_parallel_empty_and_small;
           Alcotest.test_case "worker exception" `Quick test_parallel_worker_exception_propagates;
+          Alcotest.test_case "joins workers before re-raise" `Quick
+            test_parallel_joins_workers_before_reraise;
+          Alcotest.test_case "first chunk's exception wins" `Quick
+            test_parallel_first_chunk_exception_wins;
           Alcotest.test_case "default jobs override" `Quick test_parallel_default_jobs_override;
         ] );
       ( "json",

@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-cert fuzz-smoke certify-smoke metrics-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert bench-robust fuzz-smoke certify-smoke metrics-smoke faults-smoke fmt clean
 
 build:
 	dune build
@@ -10,7 +10,7 @@ test:
 # fuzzing oracle (all five backends against the explicit enumerator),
 # one end-to-end certified verdict, and an instrumented profile run
 # whose metrics snapshot must self-validate.
-check: build test fuzz-smoke certify-smoke metrics-smoke
+check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
@@ -28,6 +28,16 @@ certify-smoke:
 	dune exec bin/fannet_cli.exe -- certify --fast --bracket --max-delta 1 \
 	  --proof certify_smoke.drup || [ $$? -eq 1 ]
 	rm -f certify_smoke.drup certify_smoke.drup.cnf
+
+# Fault-injection smoke (~seconds): the full resilience suite (budget
+# exhaustion, cancellation, torn checkpoints, kill-and-resume, the
+# FANNET_FAULTS matrix), then two CLI runs under injected faults and a
+# tiny --timeout, asserting a typed exit 2 and a clean message - never
+# a crash or an uncaught exception.
+faults-smoke:
+	dune exec test/test_resil.exe -- -q
+	dune exec bin/fannet_cli.exe -- tolerance --timeout 0.05; [ $$? -eq 2 ]
+	FANNET_FAULTS=backend.unknown dune exec bin/fannet_cli.exe -- tolerance; 	  [ $$? -eq 2 ]
 
 # Instrumented profile on the fast pipeline (~seconds): runs with the
 # observability registry enabled, prints the metrics table + span tree,
@@ -54,10 +64,15 @@ bench-smoke:
 bench-cert:
 	dune exec bench/main.exe -- --cert
 
+# Resilience section only (E18: budget-check overhead vs the <2%
+# contract, checkpoint write cost); emits BENCH_robust.json.
+bench-robust:
+	dune exec bench/main.exe -- --robust
+
 fmt:
 	dune fmt
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_cert.json BENCH_obs.json
+	rm -f BENCH_parallel.json BENCH_cert.json BENCH_obs.json BENCH_robust.json
 	rm -f certify_smoke.drup certify_smoke.drup.cnf metrics_smoke.json

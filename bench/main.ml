@@ -51,7 +51,8 @@ let fig3_state_space (p : Fannet.Pipeline.t) =
           "3";
           "6";
         ]
-  | Error e -> Printf.printf "no-noise exploration failed: %s\n" e);
+  | Error e ->
+      Printf.printf "no-noise exploration failed: %s\n" (Smv.Fsm.error_to_string e));
   let input, label = inputs.(0) in
   let with_range name lo hi paper_states paper_transitions =
     let prog =
@@ -68,7 +69,8 @@ let fig3_state_space (p : Fannet.Pipeline.t) =
             paper_states;
             paper_transitions;
           ]
-    | Error e -> Printf.printf "%s exploration failed: %s\n" name e
+    | Error e ->
+        Printf.printf "%s exploration failed: %s\n" name (Smv.Fsm.error_to_string e)
   in
   with_range "noise [0,1]% (1 sample)" 0 1 "65" "4160";
   with_range "noise [-1,+1]% (1 sample)" (-1) 1 "-" "-";
@@ -320,7 +322,7 @@ let ablation_backends (p : Fannet.Pipeline.t) =
               match Fannet.Backend.exists_flip b p.qnet spec ~input ~label with
               | Fannet.Backend.Robust -> (r + 1, f, u)
               | Fannet.Backend.Flip _ -> (r, f + 1, u)
-              | Fannet.Backend.Unknown -> (r, f, u + 1))
+              | Fannet.Backend.Unknown _ -> (r, f, u + 1))
             (0, 0, 0) queries)
     in
     Util.Table.add_row table
@@ -558,6 +560,7 @@ let ablation_feature_selection () =
         with
         | Fannet.Bnb.Flip _ -> true
         | Fannet.Bnb.Robust -> false
+        | Fannet.Bnb.Unknown _ -> assert false (* no budget on this path *)
       in
       if not (flips 60) then None
       else begin
@@ -663,7 +666,7 @@ let extension_absolute_noise (p : Fannet.Pipeline.t) =
         let spec = Fannet.Noise.absolute ~delta:d ~bias_noise:false in
         match Fannet.Backend.exists_flip Fannet.Backend.Bnb p.qnet spec ~input ~label with
         | Fannet.Backend.Flip _ -> true
-        | Fannet.Backend.Robust | Fannet.Backend.Unknown -> false
+        | Fannet.Backend.Robust | Fannet.Backend.Unknown _ -> false
       in
       let max_abs = 4096 in
       let abs_min =
@@ -827,7 +830,7 @@ let bench_parallel ?(smoke = false) (p : Fannet.Pipeline.t) ~out =
           with
           | Fannet.Backend.Flip _ -> true
           | Fannet.Backend.Robust -> false
-          | Fannet.Backend.Unknown -> failwith "E15: smt probe unknown"
+          | Fannet.Backend.Unknown _ -> failwith "E15: smt probe unknown"
         in
         if not (flips smt_max_delta) then None
         else if flips 0 then Some 0
@@ -1149,6 +1152,151 @@ let bench_obs ?(smoke = false) ~out () =
   | Error e -> failwith (Printf.sprintf "E17: %s failed to parse: %s" out e))
 
 (* ------------------------------------------------------------------ *)
+(* E18: resilience layer costs                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_robust ?(smoke = false) ~out () =
+  section "E18 bench_robust (budget-check overhead + checkpoint write cost)";
+  let qnet = small_qnet () in
+  let sinput = [| 112; 87 |] in
+  let slabel = Nn.Qnet.predict qnet sinput in
+  let deltas = if smoke then [ 5; 12 ] else [ 2; 5; 8; 12; 15; 20 ] in
+  (* The budgeted workload: the same robustness queries every analysis
+     command issues, under a budget generous enough never to fire — so the
+     difference against the unbudgeted run is pure polling cost. *)
+  let workload budget () =
+    List.iter
+      (fun delta ->
+        let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+        ignore
+          (Fannet.Backend.exists_flip ?budget Fannet.Backend.Bnb qnet spec
+             ~input:sinput ~label:slabel);
+        ignore
+          (Fannet.Backend.exists_flip ?budget Fannet.Backend.Smt qnet spec
+             ~input:sinput ~label:slabel))
+      deltas
+  in
+  let reps = if smoke then 3 else 7 in
+  let best f =
+    let ts = List.init reps (fun _ -> snd (time_of f)) in
+    List.fold_left min (List.hd ts) (List.tl ts)
+  in
+  let t_plain = best (workload None) in
+  let generous () = Some (Resil.Budget.create ~timeout_s:1e6 ~max_mem_mb:1_000_000 ()) in
+  let t_budgeted = best (fun () -> workload (generous ()) ()) in
+  let measured_pct = 100. *. ((t_budgeted -. t_plain) /. t_plain) in
+  (* Unit cost of one Budget.check (atomic load + clock read + Gc.quick_stat). *)
+  let iters = if smoke then 200_000 else 2_000_000 in
+  let b = Resil.Budget.create ~timeout_s:1e6 ~max_mem_mb:1_000_000 () in
+  let _, t_checks =
+    time_of (fun () ->
+        for _ = 1 to iters do
+          ignore (Resil.Budget.check b)
+        done)
+  in
+  let check_ns = 1e9 *. t_checks /. float_of_int iters in
+  (* Poll count per rep, from the solver's own counters: the SAT loop
+     polls every 64 conflicts plus once per solve entry; branch-and-bound
+     polls every 64 boxes — bounded here by a fixed slack, since the small
+     network explores at most a few hundred boxes per query. *)
+  Obs.Report.enable ();
+  Obs.Report.reset ();
+  workload (generous ()) ();
+  let cval name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let conflicts = cval "sat.conflicts" in
+  let solves = cval "sat.solves" in
+  Obs.Report.disable ();
+  Obs.Report.reset ();
+  let bnb_poll_slack = 100 in
+  let polls_per_rep = (conflicts / 64) + (2 * solves) + bnb_poll_slack in
+  let modelled_pct =
+    100. *. (float_of_int polls_per_rep *. check_ns /. 1e9) /. t_plain
+  in
+  Printf.printf
+    "workload: %.4fs unbudgeted, %.4fs budgeted (%+.1f%% measured, noisy)\n"
+    t_plain t_budgeted measured_pct;
+  Printf.printf
+    "budget check: %.2f ns x %d polls/rep = %.5f%% modelled overhead (bound: <2%%)\n"
+    check_ns polls_per_rep modelled_pct;
+  if modelled_pct >= 2.0 then
+    failwith
+      (Printf.sprintf "E18: budget-check overhead %.3f%% breaches the 2%% contract"
+         modelled_pct);
+  (* Checkpoint write cost: a representative extract checkpoint payload
+     (hundreds of noise vectors plus pending boxes) written through the
+     full fannet-ckpt/1 path — serialize, checksum, tmp file, rename. *)
+  let n_vectors = if smoke then 64 else 512 in
+  let vec i =
+    Util.Json.Obj
+      [
+        ("bias", Util.Json.Int 0);
+        ( "inputs",
+          Util.Json.List
+            (List.init 5 (fun k -> Util.Json.Int ((i + k) mod 7 - 3))) );
+      ]
+  in
+  let payload =
+    Util.Json.Obj
+      [
+        ("key", Util.Json.String (String.make 32 'a'));
+        ("emitted", Util.Json.Int n_vectors);
+        ("vectors", Util.Json.List (List.init n_vectors vec));
+        ("pending", Util.Json.List []);
+      ]
+  in
+  let path = Filename.temp_file "fannet_bench" ".ckpt" in
+  let writes = if smoke then 20 else 200 in
+  let _, t_writes =
+    time_of (fun () ->
+        for _ = 1 to writes do
+          Resil.Ckpt.save ~kind:"extract" ~path payload
+        done)
+  in
+  let write_ms = 1e3 *. t_writes /. float_of_int writes in
+  let bytes = (Unix.stat path).Unix.st_size in
+  let load_ok =
+    match Resil.Ckpt.load ~kind:"extract" ~path with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  Sys.remove path;
+  if not load_ok then failwith "E18: checkpoint did not load back";
+  Printf.printf
+    "checkpoint: %d vectors, %d bytes, %.3f ms/write (atomic tmp+rename), reload OK\n"
+    n_vectors bytes write_ms;
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_robust/1");
+        ("smoke", Util.Json.Bool smoke);
+        ("reps", Util.Json.Int reps);
+        ("plain_s", Util.Json.Float t_plain);
+        ("budgeted_s", Util.Json.Float t_budgeted);
+        ("measured_overhead_pct", Util.Json.Float measured_pct);
+        ("check_ns", Util.Json.Float check_ns);
+        ("polls_per_rep", Util.Json.Int polls_per_rep);
+        ("modelled_overhead_pct", Util.Json.Float modelled_pct);
+        ("bound_pct", Util.Json.Float 2.0);
+        ( "checkpoint",
+          Util.Json.Obj
+            [
+              ("vectors", Util.Json.Int n_vectors);
+              ("bytes", Util.Json.Int bytes);
+              ("write_ms", Util.Json.Float write_ms);
+              ("reload_ok", Util.Json.Bool load_ok);
+            ] );
+      ]
+  in
+  Util.Json.write_file out json;
+  match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_robust/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E18: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E18: %s failed to parse: %s" out e)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1213,6 +1361,7 @@ let timing_suite (p : Fannet.Pipeline.t) =
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let cert_only = Array.exists (( = ) "--cert") Sys.argv in
+  let robust_only = Array.exists (( = ) "--robust") Sys.argv in
   let out =
     let rec find i =
       if i >= Array.length Sys.argv then "BENCH_parallel.json"
@@ -1222,7 +1371,14 @@ let () =
     in
     find 1
   in
-  if cert_only then begin
+  if robust_only then begin
+    (* bench --robust: the resilience section only; no pipeline needed. *)
+    print_endline "FANNet bench (resilience layer)";
+    print_endline "===============================";
+    bench_robust ~smoke ~out:"BENCH_robust.json" ();
+    print_endline "\nResilience bench completed."
+  end
+  else if cert_only then begin
     (* bench --cert: the certificate section only; no pipeline needed. *)
     print_endline "FANNet bench (certificate subsystem)";
     print_endline "====================================";
@@ -1239,6 +1395,7 @@ let () =
     bench_parallel ~smoke p ~out;
     bench_cert ~smoke:true ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:true ~out:"BENCH_obs.json" ();
+    bench_robust ~smoke:true ~out:"BENCH_robust.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
@@ -1264,6 +1421,7 @@ let () =
     bench_parallel ~smoke:false p ~out;
     bench_cert ~smoke:false ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:false ~out:"BENCH_obs.json" ();
+    bench_robust ~smoke:false ~out:"BENCH_robust.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

@@ -15,10 +15,16 @@
    fannet profile      -- instrumented run: metrics table + span tree
 
    Most analysis commands also take --metrics FILE to dump the
-   observability snapshot (Obs.Report JSON) of that run.
+   observability snapshot (Obs.Report JSON) of that run, and the
+   resource flags --timeout SEC / --max-mem MB / --retries N: the
+   analysis runs under a Resil.Budget, exhaustion surfaces as exit 2
+   with the typed reason on stderr, and retries re-run with a doubled
+   budget. extract and tolerance additionally take --checkpoint FILE
+   to persist/resume progress across kills (fannet-ckpt/1 format).
 
    Exit codes (all commands): 0 = verified/certified or analysis done,
-   1 = a counterexample was found, 2 = usage error or invalid result. *)
+   1 = a counterexample was found, 2 = usage error, invalid result, or
+   budget exhausted (reason on stderr). *)
 
 open Cmdliner
 
@@ -104,6 +110,71 @@ let with_metrics metrics f =
       at_exit (fun () -> Obs.Report.write path);
       f ()
 
+(* ---------- resource budgets (--timeout / --max-mem / --retries) ---------- *)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock budget for the analysis, in seconds (fractional values \
+     allowed). On exhaustion the run stops cooperatively at the next poll \
+     point and exits 2 with reason $(b,deadline)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let max_mem_arg =
+  let doc =
+    "Approximate major-heap budget in MB (checked at the same cadence as \
+     the deadline). Exhaustion exits 2 with reason $(b,memory)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-mem" ] ~docv:"MB" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry a budget-exhausted analysis up to $(docv) more times, doubling \
+     the time/conflict budget each attempt."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Persist progress to $(docv) (fannet-ckpt/1 format, atomic writes) and \
+     resume from it when it already exists, so a killed run continues \
+     where it stopped. The file is removed when the analysis completes."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let budget_of timeout max_mem =
+  match (timeout, max_mem) with
+  | None, None -> None
+  | timeout_s, max_mem_mb -> Some (Resil.Budget.create ?timeout_s ?max_mem_mb ())
+
+let exit_exhausted r =
+  Printf.eprintf "analysis incomplete: budget exhausted (%s)\n%!"
+    (Resil.Budget.reason_to_string r);
+  exit 2
+
+(* Run [f] under the budget, retrying with a doubled budget on a
+   retryable exhaustion; the terminal [Error] exits 2 with the reason. *)
+let with_retries ~retries budget f =
+  let rec go attempt budget =
+    match f budget with
+    | Ok v -> v
+    | Error r when attempt < retries && Resil.Budget.retryable r ->
+        Printf.eprintf
+          "budget exhausted (%s); retrying with a doubled budget (attempt \
+           %d/%d)\n%!"
+          (Resil.Budget.reason_to_string r) (attempt + 1) retries;
+        go (attempt + 1) (Option.map (Resil.Budget.scale ~by:2) budget)
+    | Error r -> exit_exhausted r
+  in
+  go 0 budget
+
+(* Checkpoint key mismatches surface as [Invalid_argument]: a usage
+   error, reported cleanly rather than as a backtrace. *)
+let with_clean_errors f =
+  try f () with Invalid_argument msg | Failure msg ->
+    Printf.eprintf "error: %s\n%!" msg;
+    exit 2
+
 let pipeline dataset_seed init_seed =
   let config = { Fannet.Pipeline.default_config with dataset_seed; init_seed } in
   Fannet.Pipeline.run ~config ()
@@ -113,7 +184,11 @@ let exits =
   [
     Cmd.Exit.info 0 ~doc:"the property was verified/certified (or the analysis completed).";
     Cmd.Exit.info 1 ~doc:"a counterexample was found (a noise vector flips the input, or fuzzing found a backend disagreement).";
-    Cmd.Exit.info 2 ~doc:"usage error, invalid certificate, or internal failure.";
+    Cmd.Exit.info 2
+      ~doc:
+        "usage error, invalid certificate, internal failure, or resource \
+         budget exhausted ($(b,--timeout)/$(b,--max-mem); the typed reason \
+         — deadline, conflicts, memory, cancelled — is printed on stderr).";
   ]
 
 let bias_flag no_bias_noise = not no_bias_noise
@@ -185,14 +260,28 @@ let translate_cmd =
     Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ input_index $ output_file)
 
 let tolerance_cmd =
-  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs
+      timeout max_mem retries checkpoint =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
+    let bias_noise = bias_flag no_bias_noise in
+    let budget = budget_of timeout max_mem in
     let tol =
-      Fannet.Tolerance.network_tolerance backend p.qnet
-        ~bias_noise:(bias_flag no_bias_noise) ~max_delta ~inputs
+      match (checkpoint, budget) with
+      | None, None ->
+          Fannet.Tolerance.network_tolerance backend p.qnet ~bias_noise
+            ~max_delta ~inputs
+      | Some path, _ ->
+          with_retries ~retries budget (fun budget ->
+              Fannet.Tolerance.network_tolerance_ckpt ?budget ~checkpoint:path
+                backend p.qnet ~bias_noise ~max_delta ~inputs)
+      | None, Some _ ->
+          with_retries ~retries budget (fun budget ->
+              Fannet.Tolerance.network_tolerance_b ?budget backend p.qnet
+                ~bias_noise ~max_delta ~inputs)
     in
     Printf.printf "network noise tolerance: +-%d%% (probed up to +-%d%%, %d inputs)\n"
       tol max_delta (Array.length inputs)
@@ -201,17 +290,25 @@ let tolerance_cmd =
   Cmd.v (Cmd.info "tolerance" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ max_delta $ no_bias_noise
-      $ backend $ jobs)
+      $ backend $ jobs $ timeout_arg $ max_mem_arg $ retries_arg $ checkpoint_arg)
 
 let sweep_cmd =
-  let run metrics dataset_seed init_seed no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed no_bias_noise backend jobs timeout
+      max_mem retries =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
+    let bias_noise = bias_flag no_bias_noise in
+    let deltas = [ 5; 10; 15; 20; 25; 30; 35; 40 ] in
     let sweep =
-      Fannet.Tolerance.sweep backend p.qnet ~bias_noise:(bias_flag no_bias_noise)
-        ~deltas:[ 5; 10; 15; 20; 25; 30; 35; 40 ] ~inputs
+      match budget_of timeout max_mem with
+      | None -> Fannet.Tolerance.sweep backend p.qnet ~bias_noise ~deltas ~inputs
+      | Some _ as budget ->
+          with_retries ~retries budget (fun budget ->
+              Fannet.Tolerance.sweep_b ?budget backend p.qnet ~bias_noise
+                ~deltas ~inputs)
     in
     let table = Util.Table.create ~header:[ "noise range"; "misclassified"; "of" ] in
     List.iter
@@ -229,52 +326,94 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ no_bias_noise $ backend
-      $ jobs)
+      $ jobs $ timeout_arg $ max_mem_arg $ retries_arg)
 
 let extract_cmd =
-  let run metrics dataset_seed init_seed delta no_bias_noise input_index limit =
+  let run metrics dataset_seed init_seed delta no_bias_noise input_index limit
+      timeout max_mem retries checkpoint =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     if input_index < 0 || input_index >= Array.length inputs then
       failwith "input index out of range";
     let input, label = inputs.(input_index) in
     let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
-    let cexs, status =
-      Fannet.Extract.for_input ~limit p.qnet spec ~input ~label ~input_index
+    (* Retries resume from the checkpoint (when given), so each attempt
+       keeps the previous attempt's partial corpus. *)
+    let rec attempt n budget =
+      match
+        Fannet.Extract.for_input ~limit ?budget ?checkpoint p.qnet spec ~input
+          ~label ~input_index
+      with
+      | _, Fannet.Extract.Budget r when n < retries && Resil.Budget.retryable r
+        ->
+          Printf.eprintf
+            "budget exhausted (%s); retrying with a doubled budget (attempt \
+             %d/%d)\n%!"
+            (Resil.Budget.reason_to_string r) (n + 1) retries;
+          attempt (n + 1) (Option.map (Resil.Budget.scale ~by:2) budget)
+      | result -> result
     in
-    Printf.printf "input %d (true L%d), noise +-%d%%: %d adversarial vectors%s\n"
+    let cexs, status = attempt 0 (budget_of timeout max_mem) in
+    (* The summary line always carries the enumeration status; incomplete
+       corpora additionally drive the exit code (budget -> 2). *)
+    Printf.printf "input %d (true L%d), noise +-%d%%: %d adversarial vectors (%s)\n"
       input_index label delta (List.length cexs)
-      (match status with
-      | Fannet.Extract.Complete -> " (complete)"
-      | Fannet.Extract.Truncated -> " (truncated)"
-      | Fannet.Extract.Budget -> " (budget)");
+      (Fannet.Extract.status_to_string status);
     List.iteri
       (fun k (c : Fannet.Extract.counterexample) ->
         if k < 20 then
           Printf.printf "  -> L%d with %s\n" c.predicted (Fannet.Noise.to_string c.vector))
       cexs;
     if List.length cexs > 20 then
-      Printf.printf "  ... (%d more)\n" (List.length cexs - 20)
+      Printf.printf "  ... (%d more)\n" (List.length cexs - 20);
+    match status with
+    | Fannet.Extract.Budget r -> exit_exhausted r
+    | Fannet.Extract.Complete | Fannet.Extract.Truncated -> ()
   in
   let doc = "P3: extract the adversarial noise vectors for one input." in
   Cmd.v (Cmd.info "extract" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
-      $ input_index $ limit)
+      $ input_index $ limit $ timeout_arg $ max_mem_arg $ retries_arg
+      $ checkpoint_arg)
 
 let sensitivity_cmd =
-  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs =
+  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs timeout
+      max_mem retries =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let bias_noise = bias_flag no_bias_noise in
     let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
-    let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs in
+    let budget = budget_of timeout max_mem in
+    let cexs, sides =
+      match budget with
+      | None ->
+          let cexs, _ =
+            Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs
+          in
+          (cexs, Fannet.Sensitivity.formal_sidedness p.qnet spec ~inputs)
+      | Some _ ->
+          with_retries ~retries budget (fun budget ->
+              match
+                Fannet.Extract.for_inputs ~limit_per_input:limit ?budget p.qnet
+                  spec ~inputs
+              with
+              | _, Fannet.Extract.Budget r -> Error r
+              | cexs, (Fannet.Extract.Complete | Fannet.Extract.Truncated) -> (
+                  match
+                    Fannet.Sensitivity.formal_sidedness_b ?budget p.qnet spec
+                      ~inputs
+                  with
+                  | Error r -> Error r
+                  | Ok sides -> Ok (cexs, sides)))
+    in
     let stats = Fannet.Sensitivity.per_node spec ~n_inputs:5 cexs in
     Array.iter (fun s -> print_endline (Fannet.Sensitivity.stats_to_string s)) stats;
-    let sides = Fannet.Sensitivity.formal_sidedness p.qnet spec ~inputs in
     Array.iter
       (fun (f : Fannet.Sensitivity.formal_side) ->
         Printf.printf "node %d: positive-side flips %b, negative-side flips %b\n"
@@ -285,17 +424,25 @@ let sensitivity_cmd =
   Cmd.v (Cmd.info "sensitivity" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
-      $ limit $ jobs)
+      $ limit $ jobs $ timeout_arg $ max_mem_arg $ retries_arg)
 
 let boundary_cmd =
-  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs =
+  let run metrics dataset_seed init_seed max_delta no_bias_noise backend jobs
+      timeout max_mem retries =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
+    let bias_noise = bias_flag no_bias_noise in
     let points =
-      Fannet.Boundary.analyze backend p.qnet ~bias_noise:(bias_flag no_bias_noise)
-        ~max_delta ~inputs
+      match budget_of timeout max_mem with
+      | None ->
+          Fannet.Boundary.analyze backend p.qnet ~bias_noise ~max_delta ~inputs
+      | Some _ as budget ->
+          with_retries ~retries budget (fun budget ->
+              Fannet.Boundary.analyze_b ?budget backend p.qnet ~bias_noise
+                ~max_delta ~inputs)
     in
     let table = Util.Table.create ~header:[ "input"; "true"; "min flip"; "margin" ] in
     Array.iter
@@ -318,16 +465,31 @@ let boundary_cmd =
   Cmd.v (Cmd.info "boundary" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ max_delta $ no_bias_noise
-      $ backend $ jobs)
+      $ backend $ jobs $ timeout_arg $ max_mem_arg $ retries_arg)
 
 let bias_cmd =
-  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs =
+  let run metrics dataset_seed init_seed delta no_bias_noise limit jobs timeout
+      max_mem retries =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     Util.Parallel.set_default_jobs jobs;
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
-    let cexs, _ = Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs in
+    let cexs =
+      match budget_of timeout max_mem with
+      | None ->
+          fst (Fannet.Extract.for_inputs ~limit_per_input:limit p.qnet spec ~inputs)
+      | Some _ as budget ->
+          with_retries ~retries budget (fun budget ->
+              match
+                Fannet.Extract.for_inputs ~limit_per_input:limit ?budget p.qnet
+                  spec ~inputs
+              with
+              | _, Fannet.Extract.Budget r -> Error r
+              | cexs, (Fannet.Extract.Complete | Fannet.Extract.Truncated) ->
+                  Ok cexs)
+    in
     let report =
       Fannet.Bias.analyze ~n_classes:2
         ~training_labels:(Fannet.Pipeline.training_labels p)
@@ -339,19 +501,28 @@ let bias_cmd =
   Cmd.v (Cmd.info "bias" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ delta $ no_bias_noise
-      $ limit $ jobs)
+      $ limit $ jobs $ timeout_arg $ max_mem_arg $ retries_arg)
 
 let minflip_cmd =
-  let run dataset_seed init_seed delta no_bias_noise =
+  let run dataset_seed init_seed delta no_bias_noise timeout max_mem retries =
+    with_clean_errors @@ fun () ->
     let p = pipeline dataset_seed init_seed in
     let inputs = Fannet.Pipeline.analysis_inputs p in
     let spec = Fannet.Noise.symmetric ~delta ~bias_noise:(bias_flag no_bias_noise) in
+    let min_flip budget ~input ~label =
+      match budget with
+      | None -> Fannet.Bnb.min_l1_flip p.qnet spec ~input ~label
+      | Some _ ->
+          with_retries ~retries budget (fun budget ->
+              Fannet.Bnb.min_l1_flip_b ?budget p.qnet spec ~input ~label)
+    in
+    let budget = budget_of timeout max_mem in
     let table =
       Util.Table.create ~header:[ "input"; "true"; "min L1 noise"; "cheapest vector" ]
     in
     Array.iteri
       (fun i (input, label) ->
-        match Fannet.Bnb.min_l1_flip p.qnet spec ~input ~label with
+        match min_flip budget ~input ~label with
         | None ->
             Util.Table.add_row table
               [ string_of_int i; Printf.sprintf "L%d" label; "robust"; "-" ]
@@ -368,7 +539,9 @@ let minflip_cmd =
   in
   let doc = "Cheapest (minimum-L1) adversarial noise vector per input — the paper's (Δx)min." in
   Cmd.v (Cmd.info "minflip" ~doc ~exits)
-    Term.(const run $ dataset_seed $ init_seed $ delta $ no_bias_noise)
+    Term.(
+      const run $ dataset_seed $ init_seed $ delta $ no_bias_noise $ timeout_arg
+      $ max_mem_arg $ retries_arg)
 
 let fsm_cmd =
   let run dataset_seed init_seed delta no_bias_noise input_index =
@@ -392,7 +565,7 @@ let fsm_cmd =
               Printf.printf "%s violated; counterexample trace length %d\n" name
                 (List.length trace))
             o.violations
-    | Error e -> Printf.printf "exploration failed: %s\n" e
+    | Error e -> Printf.printf "exploration failed: %s\n" (Smv.Fsm.error_to_string e)
   in
   let doc = "Explicit-state statistics of the SMV model (Fig. 3); keep DELTA small." in
   Cmd.v (Cmd.info "fsm" ~doc ~exits)
@@ -426,11 +599,19 @@ let fuzz_cmd =
       | None ->
           (seed, Check.Gen.corpus ~seed ~cases ~max_explicit:Check.Gen.default_max_explicit)
       | Some path -> (
-          match Check.Case.load_corpus path with
-          | Ok (recorded_seed, cases) ->
+          (* Lenient load: malformed cases are skipped and counted, so a
+             partially corrupted corpus still replays the rest. *)
+          match Check.Case.load_corpus_lenient path with
+          | Ok { Check.Case.corpus_seed; good; bad } ->
+              List.iter
+                (fun (_, err) -> Printf.eprintf "skipping malformed case: %s\n" err)
+                bad;
+              if bad <> [] then
+                Printf.eprintf "skipped %d malformed case(s) in %s\n%!"
+                  (List.length bad) path;
               log (Printf.sprintf "replaying %d cases from %s (seed %d)"
-                     (List.length cases) path recorded_seed);
-              (recorded_seed, cases)
+                     (List.length good) path corpus_seed);
+              (corpus_seed, good)
           | Error msg ->
               Printf.eprintf "cannot load corpus %s: %s\n" path msg;
               exit 2)
@@ -476,8 +657,9 @@ let certify_cmd =
     Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE" ~doc)
   in
   let run metrics dataset_seed init_seed delta max_delta no_bias_noise input_index
-      bracket fast proof_file =
+      bracket fast proof_file timeout max_mem retries =
     with_metrics metrics @@ fun () ->
+    with_clean_errors @@ fun () ->
     let p =
       if fast then
         Fannet.Pipeline.run
@@ -507,10 +689,17 @@ let certify_cmd =
       Printf.eprintf "certificate check FAILED: %s\n" e;
       exit 2
     in
+    let budget = budget_of timeout max_mem in
     if bracket then begin
       let b =
-        Fannet.Tolerance.certified_min_flip_delta p.qnet ~bias_noise ~max_delta
-          ~input ~label
+        match budget with
+        | None ->
+            Fannet.Tolerance.certified_min_flip_delta p.qnet ~bias_noise
+              ~max_delta ~input ~label
+        | Some _ ->
+            with_retries ~retries budget (fun budget ->
+                Fannet.Tolerance.certified_min_flip_delta_b ?budget p.qnet
+                  ~bias_noise ~max_delta ~input ~label)
       in
       (match
          Fannet.Tolerance.check_certified_bracket p.qnet ~bias_noise b ~input ~label
@@ -536,7 +725,19 @@ let certify_cmd =
     end
     else begin
       let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
-      let cv = Fannet.Backend.certified_exists_flip p.qnet spec ~input ~label in
+      let cv =
+        match budget with
+        | None -> Fannet.Backend.certified_exists_flip p.qnet spec ~input ~label
+        | Some _ ->
+            with_retries ~retries budget (fun budget ->
+                match
+                  Fannet.Backend.certified_exists_flip ?budget p.qnet spec
+                    ~input ~label
+                with
+                | { Fannet.Backend.cv_verdict = Fannet.Backend.Unknown r; _ } ->
+                    Error r
+                | cv -> Ok cv)
+      in
       (match Fannet.Backend.check_certified p.qnet spec ~input ~label cv with
       | Ok () -> ()
       | Error e -> fail_invalid e);
@@ -562,7 +763,8 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc ~exits)
     Term.(
       const run $ metrics_file $ dataset_seed $ init_seed $ delta $ max_delta
-      $ no_bias_noise $ input_index $ bracket $ fast $ proof_file)
+      $ no_bias_noise $ input_index $ bracket $ fast $ proof_file $ timeout_arg
+      $ max_mem_arg $ retries_arg)
 
 let profile_cmd =
   let fast =

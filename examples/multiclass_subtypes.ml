@@ -77,7 +77,7 @@ let () =
             let abs_spec = Fannet.Noise.absolute ~delta:d ~bias_noise:false in
             match Fannet.Backend.exists_flip Fannet.Backend.Bnb qnet abs_spec ~input ~label with
             | Fannet.Backend.Flip _ -> string_of_int d
-            | Fannet.Backend.Robust | Fannet.Backend.Unknown -> search (d * 2)
+            | Fannet.Backend.Robust | Fannet.Backend.Unknown _ -> search (d * 2)
         in
         Printf.printf "  input %d (%s): first flip within +-%s expression units\n" i
           (class_name label) (search 1)

@@ -30,7 +30,7 @@ let () =
           Printf.printf "+-%2d%%: FLIPS to L%d with noise %s\n" delta
             (Fannet.Noise.predict net spec ~input v)
             (Fannet.Noise.to_string v)
-      | Fannet.Backend.Unknown -> Printf.printf "+-%2d%%: unknown\n" delta)
+      | Fannet.Backend.Unknown _ -> Printf.printf "+-%2d%%: unknown\n" delta)
     [ 5; 10; 20; 30; 40 ];
 
   (* The noise tolerance is the largest range that is provably safe. *)

@@ -214,3 +214,60 @@ let save_corpus path ~seed cases = J.write_file path (corpus_to_json ~seed cases
 let load_corpus path =
   let* json = J.parse_file path in
   corpus_of_json json
+
+(* ---------- lenient loading ---------- *)
+
+type lenient = {
+  corpus_seed : int;
+  good : t list;
+  bad : (int * string) list;
+}
+
+let load_corpus_lenient path =
+  let prefix msg = Printf.sprintf "%s: %s" path msg in
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let contents =
+        (* Fault injection: hand the parser a torn file, as if the writer
+           was killed mid-write. The parse error below must name the file
+           and the byte offset where the text ends. *)
+        if Resil.Faultpoint.hit "corpus.corrupt" then
+          String.sub contents 0 (String.length contents / 2)
+        else contents
+      in
+      let* json =
+        match J.of_string (String.trim contents) with
+        | Ok json -> Ok json
+        | Error msg -> Error (prefix msg)
+      in
+      (* Envelope errors are unrecoverable (there is no case list to be
+         lenient about); per-case errors are collected with their index. *)
+      let* () =
+        match field "format" json with
+        | Ok (J.String s) when s = format_tag -> Ok ()
+        | Ok _ | Error _ -> Error (prefix "not a fannet fuzz corpus")
+      in
+      let* () =
+        match int_field "version" json with
+        | Ok v when v = corpus_version -> Ok ()
+        | Ok v -> Error (prefix (Printf.sprintf "unsupported corpus version %d" v))
+        | Error e -> Error (prefix e)
+      in
+      let* corpus_seed = Result.map_error prefix (int_field "seed" json) in
+      let* case_list =
+        match Result.bind (field "cases" json) as_list with
+        | Ok l -> Ok l
+        | Error e -> Error (prefix e)
+      in
+      let good, bad =
+        List.fold_left
+          (fun (good, bad) (i, case_json) ->
+            match of_json case_json with
+            | Ok c -> (c :: good, bad)
+            | Error e ->
+                (good, (i, prefix (Printf.sprintf "case %d: %s" i e)) :: bad))
+          ([], [])
+          (List.mapi (fun i c -> (i, c)) case_list)
+      in
+      Ok { corpus_seed; good = List.rev good; bad = List.rev bad }

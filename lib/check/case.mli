@@ -39,3 +39,17 @@ val corpus_of_json : Util.Json.t -> (int * t list, string) result
 
 val save_corpus : string -> seed:int -> t list -> unit
 val load_corpus : string -> (int * t list, string) result
+
+type lenient = {
+  corpus_seed : int;
+  good : t list;              (** cases that parsed and validated *)
+  bad : (int * string) list;  (** malformed cases: index, error (path-prefixed) *)
+}
+
+val load_corpus_lenient : string -> (lenient, string) result
+(** Like {!load_corpus} but resilient to per-case damage: a case that
+    fails to parse or validate is skipped and reported in [bad] instead
+    of failing the whole load, so a replay can process the rest of a
+    partially corrupted corpus. [Error] only for unrecoverable damage —
+    an unreadable file, malformed top-level JSON (reported with the file
+    name and byte offset), or a broken envelope. *)

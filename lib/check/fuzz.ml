@@ -58,7 +58,7 @@ let run_cases ?run ?(log = fun _ -> ()) ~master_seed cases =
       (match result.Oracle.ground_truth with
       | B.Robust -> incr robust
       | B.Flip _ -> incr flipped
-      | B.Unknown -> ());
+      | B.Unknown _ -> ());
       if result.Oracle.failures <> [] then begin
         log (Printf.sprintf "  failure on case %d (seed %d); shrinking..."
                case.Case.id case.Case.seed);

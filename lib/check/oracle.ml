@@ -31,7 +31,7 @@ let outcome_to_string = function
   | Verdict v -> B.verdict_to_string v
   | Raised msg -> "exception: " ^ msg
 
-let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
+let check_case ?(run : runner = fun b -> B.exists_flip b) ?(check_parallel = true)
     ?(check_certificate = true) (case : Case.t) =
   let { Case.net; input; label; spec; _ } = case in
   let run_one backend =
@@ -75,7 +75,8 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
     | Verdict v -> v
     | Raised msg ->
         fail "explicit-oracle" explicit msg;
-        B.Unknown
+        (* The oracle itself could not decide: undecidable-by-construction. *)
+        B.Unknown Resil.Budget.Incomplete
   in
   (* Witness validity, for every backend that produced one. *)
   Array.iteri
@@ -89,19 +90,19 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
             fail "witness-valid" backend
               (Printf.sprintf "witness %s does not flip the prediction"
                  (N.to_string v))
-      | Verdict (B.Robust | B.Unknown) | Raised _ -> ())
+      | Verdict (B.Robust | B.Unknown _) | Raised _ -> ())
     all;
   (* Complete backends agree with the enumerator. *)
   List.iter
     (fun backend ->
       match outcome_of backend with
       | Raised msg -> fail "complete-agreement" backend msg
-      | Verdict B.Unknown ->
+      | Verdict (B.Unknown _) ->
           fail "complete-agreement" backend "complete backend answered unknown"
       | Verdict v -> (
           match (ground_truth, v) with
           | B.Robust, B.Robust | B.Flip _, B.Flip _ -> ()
-          | B.Unknown, _ -> () (* explicit already failed above *)
+          | B.Unknown _, _ -> () (* explicit already failed above *)
           | B.Robust, B.Flip w ->
               fail "complete-agreement" backend
                 (Printf.sprintf
@@ -112,7 +113,7 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
                 (Printf.sprintf
                    "claims robust but the enumerator found flip %s"
                    (N.to_string w))
-          | _, B.Unknown -> assert false))
+          | _, B.Unknown _ -> assert false))
     complete_backends;
   (* Interval soundness. *)
   (match outcome_of B.Interval with
@@ -127,8 +128,8 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
           fail "interval-sound" B.Interval
             (Printf.sprintf "claims robust but the enumerator found flip %s"
                (N.to_string w))
-      | B.Robust | B.Unknown -> ())
-  | Verdict B.Unknown -> ());
+      | B.Robust | B.Unknown _ -> ())
+  | Verdict (B.Unknown _) -> ());
   (* Certificate validity: the certified SMT path must agree with the
      enumerator, produce a certificate, and that certificate must pass the
      independent lib/cert checker. Run sequentially (it is one more SMT
@@ -139,7 +140,7 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
     | exception e -> fail "certificate-valid" B.Smt (Printexc.to_string e)
     | cv -> (
         (match (ground_truth, cv.B.cv_verdict) with
-        | B.Robust, B.Robust | B.Flip _, B.Flip _ | B.Unknown, _ -> ()
+        | B.Robust, B.Robust | B.Flip _, B.Flip _ | B.Unknown _, _ -> ()
         | (B.Robust | B.Flip _), v ->
             fail "certificate-valid" B.Smt
               (Printf.sprintf
@@ -171,5 +172,5 @@ let check_case ?(run : runner = B.exists_flip) ?(check_parallel = true)
               | Raised msg -> fail "cascade-lattice" backend msg)
           | _ -> ())
         complete_backends
-  | Verdict (B.Unknown | B.Flip _) | Raised _ -> ());
+  | Verdict (B.Unknown _ | B.Flip _) | Raised _ -> ());
   { failures = List.rev !failures; ground_truth }

@@ -3,7 +3,7 @@ module I = Smtlite.Interval
 
 type t = Bnb | Smt | Explicit of { limit : int } | Interval | Cascade of t
 
-type verdict = Robust | Flip of Noise.vector | Unknown
+type verdict = Robust | Flip of Noise.vector | Unknown of Resil.Budget.reason
 
 let default_explicit_limit = 2_000_000
 
@@ -55,26 +55,38 @@ let validate_flip net spec ~input ~label v =
     failwith "Backend: witness does not actually misclassify";
   Flip v
 
-let smt_exists_flip net spec ~input ~label =
+let smt_exists_flip ?budget net spec ~input ~label =
   let enc = Encode.encode net ~input spec in
-  match Smtlite.Solve.check (Encode.misclassified enc ~true_label:label) with
+  match Smtlite.Solve.check ?budget (Encode.misclassified enc ~true_label:label) with
   | Smtlite.Solve.Sat model ->
       validate_flip net spec ~input ~label (Encode.vector_of_model enc model)
   | Smtlite.Solve.Unsat -> Robust
-  | Smtlite.Solve.Unknown -> Unknown
+  | Smtlite.Solve.Unknown r -> Unknown r
 
 exception Found of Noise.vector
 
-let explicit_exists_flip ~limit net spec ~input ~label =
+exception Stop of Resil.Budget.reason
+
+let explicit_exists_flip ~limit ?budget net spec ~input ~label =
   let size = Noise.spec_size spec ~n_inputs:(Array.length input) in
   if size > limit then
     invalid_arg
       (Printf.sprintf "Backend.Explicit: %d vectors exceed limit %d" size limit);
+  let count = ref 0 in
   try
     Noise.iter_vectors spec ~n_inputs:(Array.length input) (fun v ->
+        incr count;
+        (match budget with
+        | Some b when !count land 1023 = 0 -> (
+            match Resil.Budget.check b with
+            | Some r -> raise (Stop r)
+            | None -> ())
+        | Some _ | None -> ());
         if Noise.predict net spec ~input v <> label then raise (Found v));
     Robust
-  with Found v -> validate_flip net spec ~input ~label v
+  with
+  | Found v -> validate_flip net spec ~input ~label v
+  | Stop r -> Unknown r
 
 (* Interval propagation through the two layers at the spec's scale. *)
 let output_bounds (net : Nn.Qnet.t) (spec : Noise.spec) ~input =
@@ -125,16 +137,22 @@ let interval_exists_flip net spec ~input ~label =
            else lo_label > hi_j)
          bounds)
   in
-  if provably_wins then Robust else Unknown
+  if provably_wins then Robust
+  else
+    (* Not a resource cap: interval propagation can never produce a
+       counterexample, so an undecided query is [Incomplete] by
+       construction. *)
+    Unknown Resil.Budget.Incomplete
 
-let rec dispatch backend net spec ~input ~label =
+let rec dispatch ?budget backend net spec ~input ~label =
   match backend with
   | Bnb -> (
-      match Bnb.exists_flip net spec ~input ~label with
+      match Bnb.exists_flip ?budget net spec ~input ~label with
       | Bnb.Robust -> Robust
-      | Bnb.Flip v -> validate_flip net spec ~input ~label v)
-  | Smt -> smt_exists_flip net spec ~input ~label
-  | Explicit { limit } -> explicit_exists_flip ~limit net spec ~input ~label
+      | Bnb.Flip v -> validate_flip net spec ~input ~label v
+      | Bnb.Unknown r -> Unknown r)
+  | Smt -> smt_exists_flip ?budget net spec ~input ~label
+  | Explicit { limit } -> explicit_exists_flip ~limit ?budget net spec ~input ~label
   | Interval -> interval_exists_flip net spec ~input ~label
   | Cascade inner -> (
       (* Robust samples are the common case on tolerance sweeps; the
@@ -144,10 +162,10 @@ let rec dispatch backend net spec ~input ~label =
           note_interval_hit ();
           Obs.Metrics.incr m_cascade_hits;
           Robust
-      | Unknown | Flip _ ->
+      | Unknown _ | Flip _ ->
           note_escalation ();
           Obs.Metrics.incr m_cascade_escalations;
-          dispatch inner net spec ~input ~label)
+          dispatch ?budget inner net spec ~input ~label)
 
 let rec to_string = function
   | Bnb -> "bnb"
@@ -156,12 +174,14 @@ let rec to_string = function
   | Interval -> "interval"
   | Cascade inner -> Printf.sprintf "cascade(%s)" (to_string inner)
 
-let exists_flip backend net spec ~input ~label =
+let exists_flip ?budget backend net spec ~input ~label =
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Backend.exists_flip: input size mismatch";
   if label < 0 || label >= Nn.Qnet.out_dim net then
     invalid_arg "Backend.exists_flip: label out of range";
-  if not (Obs.Metrics.enabled ()) then dispatch backend net spec ~input ~label
+  if Resil.Faultpoint.hit "backend.unknown" then Unknown Resil.Budget.Incomplete
+  else if not (Obs.Metrics.enabled ()) then
+    dispatch ?budget backend net spec ~input ~label
   else begin
     (* Per-backend latency: one histogram per top-level backend shape
        (cascade queries time the whole cascade, not each leg). The
@@ -171,17 +191,42 @@ let exists_flip backend net spec ~input ~label =
       Obs.Metrics.histogram (Printf.sprintf "backend.%s.query_s" (to_string backend))
     in
     let t0 = Obs.Clock.now_ns () in
-    let v = dispatch backend net spec ~input ~label in
+    let v = dispatch ?budget backend net spec ~input ~label in
     Obs.Metrics.observe h (Obs.Clock.elapsed_s ~since:t0);
     v
   end
+
+(* Retry-with-escalation: where an exhausted query goes next. A cascade
+   drops its prefilter (the wrapped engine sees the retry directly), the
+   incomplete interval backend escalates to the complete Bnb engine, and
+   a complete backend retries as itself — with the budget doubled each
+   attempt ({!Resil.Budget.scale} restarts the deadline). *)
+let next_tier = function Cascade inner -> inner | Interval -> Bnb | b -> b
+
+let m_retries = Obs.Metrics.counter "backend.retries"
+
+let exists_flip_escalating ?(attempts = 0) ?budget backend net spec ~input
+    ~label =
+  let rec go n backend budget =
+    match exists_flip ?budget backend net spec ~input ~label with
+    | Unknown r
+      when n < attempts
+           && (Resil.Budget.retryable r
+              || (r = Resil.Budget.Incomplete && next_tier backend <> backend))
+      ->
+        Obs.Metrics.incr m_retries;
+        go (n + 1) (next_tier backend)
+          (Option.map (Resil.Budget.scale ~by:2) budget)
+    | v -> v
+  in
+  go 0 backend budget
 
 type certified_verdict = {
   cv_verdict : verdict;
   cv_cert : Cert.Verdict.t option;
 }
 
-let certified_exists_flip net spec ~input ~label =
+let certified_exists_flip ?budget net spec ~input ~label =
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Backend.certified_exists_flip: input size mismatch";
   if label < 0 || label >= Nn.Qnet.out_dim net then
@@ -191,19 +236,19 @@ let certified_exists_flip net spec ~input ~label =
   let session =
     Smtlite.Solve.open_session ~trace (Encode.misclassified enc ~true_label:label)
   in
-  let outcome, cert = Smtlite.Solve.solve_certified session in
+  let outcome, cert = Smtlite.Solve.solve_certified ?budget session in
   let v =
     match outcome with
     | Smtlite.Solve.Sat model ->
         validate_flip net spec ~input ~label (Encode.vector_of_model enc model)
     | Smtlite.Solve.Unsat -> Robust
-    | Smtlite.Solve.Unknown -> Unknown
+    | Smtlite.Solve.Unknown r -> Unknown r
   in
   { cv_verdict = v; cv_cert = cert }
 
 let check_certified net spec ~input ~label { cv_verdict; cv_cert } =
   match cv_verdict with
-  | Unknown -> Ok ()
+  | Unknown _ -> Ok ()
   | Robust | Flip _ -> (
       match (cv_verdict, cv_cert) with
       | _, None -> Error "decided verdict carries no certificate"
@@ -229,18 +274,22 @@ let check_certified net spec ~input ~label { cv_verdict; cv_cert } =
           match Cert.Verdict.check cert with
           | Ok () -> Ok ()
           | Error e -> Error ("refutation certificate rejected: " ^ e))
-      | Unknown, Some _ -> Ok ())
+      | Unknown _, Some _ -> Ok ())
 
+(* Unknown reasons are diagnostic, not semantic: two Unknowns are the
+   same (non-)decision whatever stopped them, so equality and agreement
+   ignore the reason — the differential fuzzer's determinism checks stay
+   meaningful across backends with different stopping conditions. *)
 let verdict_equal a b =
   match (a, b) with
-  | Robust, Robust | Unknown, Unknown -> true
+  | Robust, Robust | Unknown _, Unknown _ -> true
   | Flip va, Flip vb -> Noise.equal va vb
-  | (Robust | Flip _ | Unknown), _ -> false
+  | (Robust | Flip _ | Unknown _), _ -> false
 
 let agree a b =
   match (a, b) with
-  | Robust, Robust | Flip _, Flip _ | Unknown, Unknown -> true
-  | (Robust | Flip _ | Unknown), _ -> false
+  | Robust, Robust | Flip _, Flip _ | Unknown _, Unknown _ -> true
+  | (Robust | Flip _ | Unknown _), _ -> false
 
 let run_all ?(backends = [ Bnb; Smt; Explicit { limit = default_explicit_limit }; Interval; Cascade Bnb ])
     net spec ~input ~label =
@@ -249,4 +298,5 @@ let run_all ?(backends = [ Bnb; Smt; Explicit { limit = default_explicit_limit }
 let verdict_to_string = function
   | Robust -> "robust"
   | Flip v -> "flip " ^ Noise.to_string v
-  | Unknown -> "unknown"
+  | Unknown Resil.Budget.Incomplete -> "unknown"
+  | Unknown r -> "unknown (" ^ Resil.Budget.reason_to_string r ^ ")"

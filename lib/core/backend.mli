@@ -29,7 +29,11 @@ type t =
 type verdict =
   | Robust                 (** no vector in the range flips the input *)
   | Flip of Noise.vector   (** witness causing misclassification *)
-  | Unknown                (** backend could not decide *)
+  | Unknown of Resil.Budget.reason
+      (** backend could not decide: [Incomplete] when the procedure is
+          incomplete by construction (pure interval analysis), otherwise
+          the budget cap that stopped it (deadline / conflicts / memory
+          / cancelled) *)
 
 val default_explicit_limit : int
 
@@ -60,13 +64,32 @@ val cascade_hit_rate : cascade_stats -> float
 val to_string : t -> string
 
 val exists_flip :
+  ?budget:Resil.Budget.t ->
   t -> Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> verdict
 (** The input must be classified as [label] by the noise-free network for
     the paper's reading of the verdict ("noise tolerance of correctly
     classified inputs"); this is not enforced here. Any [Flip] witness is
     re-validated against the concrete {!Noise.predict} before being
     returned (defence against encoding bugs); a mismatch raises
-    [Failure]. *)
+    [Failure].
+
+    [budget] is propagated into every backend — the SAT solver polls it
+    every 64 conflicts, branch-and-bound every 64 boxes, the explicit
+    enumerator every 1024 vectors — and exhaustion or cancellation
+    surfaces as a typed [Unknown], never an exception. *)
+
+val exists_flip_escalating :
+  ?attempts:int ->
+  ?budget:Resil.Budget.t ->
+  t -> Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> verdict
+(** {!exists_flip} with retry-with-escalation: a budget-exhausted
+    [Unknown] is re-run up to [attempts] more times (default 0), each
+    time on the next tier ([Cascade b → b], [Interval → Bnb], complete
+    backends retry as themselves) with the budget doubled
+    ({!Resil.Budget.scale} — the deadline restarts, so total wall time
+    grows accordingly). A [Cancelled] verdict is never retried, and an
+    [Incomplete] one only when escalation actually changes the
+    backend. *)
 
 val output_bounds :
   Nn.Qnet.t -> Noise.spec -> input:int array -> (int * int) array
@@ -80,6 +103,7 @@ type certified_verdict = {
 }
 
 val certified_exists_flip :
+  ?budget:Resil.Budget.t ->
   Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> certified_verdict
 (** The [Smt] backend with DRUP proof logging: a [Robust] answer carries a
     {!Cert.Verdict.Refutation} of the exact bit-blasted CNF, a [Flip]

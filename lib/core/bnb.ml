@@ -1,4 +1,7 @@
-type verdict = Robust | Flip of Noise.vector
+type verdict =
+  | Robust
+  | Flip of Noise.vector
+  | Unknown of Resil.Budget.reason
 
 (* Linear view of the noisy network for one input (see the interface):
    pre_k = pre_const.(k) + sum_d pre_coef.(k).(d) * delta_d over noise
@@ -228,12 +231,32 @@ exception Found of int array
 
 exception Budget_exceeded
 
-let exists_flip ?box ?max_boxes net spec ~input ~label =
+exception Stop of Resil.Budget.reason
+
+(* Budget poll at box granularity: one check every 64 boxes (a box
+   classification is itself O(hidden * dims * margins) work, so the
+   amortized poll cost is negligible — the E18 bench measures it). *)
+let poll_budget budget boxes =
+  match budget with
+  | Some b when boxes land 63 = 0 -> (
+      match Resil.Budget.check b with Some r -> raise (Stop r) | None -> ())
+  | Some _ | None -> ()
+
+let entry_check budget =
+  match budget with
+  | Some b -> (
+      match Resil.Budget.check b with Some r -> raise (Stop r) | None -> ())
+  | None -> ()
+
+let exists_flip ?box ?max_boxes ?budget net spec ~input ~label =
   let m = build net spec ~input ~label in
-  let budget = ref (match max_boxes with Some b -> b | None -> max_int) in
+  let box_budget = ref (match max_boxes with Some b -> b | None -> max_int) in
+  let boxes = ref 0 in
   let spend () =
-    decr budget;
-    if !budget < 0 then raise Budget_exceeded
+    decr box_budget;
+    if !box_budget < 0 then raise Budget_exceeded;
+    incr boxes;
+    poll_budget budget !boxes
   in
   let rec go ~lo ~hi =
     spend ();
@@ -265,13 +288,17 @@ let exists_flip ?box ?max_boxes net spec ~input ~label =
         end
   in
   let lo, hi = initial_box ?box m spec in
-  match go ~lo ~hi with
+  match
+    entry_check budget;
+    go ~lo ~hi
+  with
   | () -> Robust
   | exception Found point ->
       let v = vector_of_point spec ~n_inputs:(Array.length input) point in
       if Noise.predict net spec ~input v = label then
         failwith "Bnb: witness does not actually misclassify";
       Flip v
+  | exception Stop r -> Unknown r
 
 (* Smallest possible L1 norm of a point in the box: per dimension the
    distance of the interval to zero. *)
@@ -286,8 +313,9 @@ let box_l1_lower ~lo ~hi =
 
 let point_l1 point = Array.fold_left (fun acc d -> acc + abs d) 0 point
 
-let min_l1_flip net spec ~input ~label =
+let min_l1_flip_b ?budget net spec ~input ~label =
   let m = build net spec ~input ~label in
+  let boxes = ref 0 in
   (* Best-first over boxes keyed by (L1 lower bound, unique id). *)
   let module Pq = Map.Make (struct
     type t = int * int
@@ -313,6 +341,8 @@ let min_l1_flip net spec ~input ~label =
     match pop () with
     | None -> None
     | Some (lo, hi) -> (
+        incr boxes;
+        poll_budget budget !boxes;
         match classify m ~lo ~hi with
         | `Robust -> search ()
         | `All_flip | `Split _ ->
@@ -329,13 +359,22 @@ let min_l1_flip net spec ~input ~label =
               search ()
             end)
   in
-  match search () with
-  | None -> None
+  match
+    entry_check budget;
+    search ()
+  with
+  | None -> Ok None
   | Some point ->
       let v = vector_of_point spec ~n_inputs:(Array.length input) point in
       if Noise.predict net spec ~input v = label then
         failwith "Bnb: witness does not actually misclassify";
-      Some (v, point_l1 point)
+      Ok (Some (v, point_l1 point))
+  | exception Stop r -> Error r
+
+let min_l1_flip net spec ~input ~label =
+  match min_l1_flip_b net spec ~input ~label with
+  | Ok r -> r
+  | Error _ -> assert false (* no budget, no Stop *)
 
 exception Limit_reached
 
@@ -355,33 +394,84 @@ let iter_box ~lo ~hi f =
   in
   go 0
 
-let enumerate_flips ?(limit = 10_000) net spec ~input ~label =
+(* Resumable enumeration. The DFS is run on an explicit stack of pending
+   boxes so that the exact search state is serializable: [pending] holds
+   the boxes still to process (top first — pushing the left child last
+   preserves the recursive left-first order), [emitted] the number of
+   flips already produced across all runs. A budget stop only happens
+   {e between} boxes (the box being classified is either fully processed
+   or still on the stack), so resuming from a cursor replays nothing and
+   skips nothing — the concatenated output is bit-identical to an
+   uninterrupted run. *)
+type cursor = {
+  pending : (int array * int array) list;
+  emitted : int;
+}
+
+let fresh_cursor net spec ~input ~label =
   let m = build net spec ~input ~label in
-  let acc = ref [] in
-  let count = ref 0 in
+  { pending = [ initial_box m spec ]; emitted = 0 }
+
+let enumerate_flips_from ?(limit = 10_000) ?budget ?(progress_every = 256)
+    ?on_progress cursor net spec ~input ~label =
+  if progress_every < 1 then invalid_arg "Bnb: progress_every must be >= 1";
+  let m = build net spec ~input ~label in
+  let n_inputs = Array.length input in
+  let pending = ref cursor.pending in
+  let emitted = ref cursor.emitted in
+  let fresh = ref [] in
+  (* newly found this run, newest first *)
+  let boxes = ref 0 in
   let add point =
-    if !count >= limit then raise Limit_reached;
-    incr count;
-    acc := vector_of_point spec ~n_inputs:(Array.length input) point :: !acc
+    if !emitted >= limit then raise Limit_reached;
+    incr emitted;
+    fresh := vector_of_point spec ~n_inputs point :: !fresh
   in
-  let rec go ~lo ~hi =
-    match classify m ~lo ~hi with
-    | `Robust -> ()
-    | `All_flip -> iter_box ~lo ~hi add
-    | `Split _ ->
-        if is_point ~lo ~hi then begin
-          if flips_at_point m lo then add lo
-        end
-        else begin
-          let (lo1, hi1), (lo2, hi2) = split ~lo ~hi in
-          go ~lo:lo1 ~hi:hi1;
-          go ~lo:lo2 ~hi:hi2
-        end
+  let cursor_now () = { pending = !pending; emitted = !emitted } in
+  let rec loop () =
+    match !pending with
+    | [] -> `Complete
+    | (lo, hi) :: rest ->
+        incr boxes;
+        (* Poll before the pop: on a Stop the current box stays pending
+           and the cursor is exact. *)
+        poll_budget budget !boxes;
+        pending := rest;
+        (match classify m ~lo ~hi with
+        | `Robust -> ()
+        | `All_flip -> iter_box ~lo ~hi add
+        | `Split _ ->
+            if is_point ~lo ~hi then begin
+              if flips_at_point m lo then add lo
+            end
+            else begin
+              let box1, box2 = split ~lo ~hi in
+              pending := box1 :: box2 :: !pending
+            end);
+        (match on_progress with
+        | Some f when !boxes mod progress_every = 0 ->
+            f (cursor_now ()) (List.rev !fresh)
+        | Some _ | None -> ());
+        loop ()
   in
-  let lo, hi = initial_box m spec in
-  match go ~lo ~hi with
-  | () -> (List.rev !acc, `Complete)
-  | exception Limit_reached -> (List.rev !acc, `Truncated)
+  let status =
+    match
+      entry_check budget;
+      loop ()
+    with
+    | s -> s
+    | exception Limit_reached -> `Truncated
+    | exception Stop r -> `Budget r
+  in
+  (List.rev !fresh, status, cursor_now ())
+
+let enumerate_flips ?limit ?budget net spec ~input ~label =
+  let vectors, status, _ =
+    enumerate_flips_from ?limit ?budget
+      (fresh_cursor net spec ~input ~label)
+      net spec ~input ~label
+  in
+  (vectors, status)
 
 let count_flips ?(limit = max_int) net spec ~input ~label =
   let m = build net spec ~input ~label in

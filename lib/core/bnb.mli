@@ -19,7 +19,12 @@
     against in the backend ablation) but scales poorly past small
     deltas. *)
 
-type verdict = Robust | Flip of Noise.vector
+type verdict =
+  | Robust
+  | Flip of Noise.vector
+  | Unknown of Resil.Budget.reason
+      (** only with a [?budget]: the search was stopped cooperatively
+          before it could decide *)
 
 exception Budget_exceeded
 (** Raised by {!exists_flip} when [max_boxes] runs out. Verification cost
@@ -31,6 +36,7 @@ exception Budget_exceeded
 val exists_flip :
   ?box:(int * int) array ->
   ?max_boxes:int ->
+  ?budget:Resil.Budget.t ->
   Nn.Qnet.t ->
   Noise.spec ->
   input:int array ->
@@ -44,17 +50,65 @@ val exists_flip :
     when the spec enables bias noise, then the input nodes); it must be
     contained in the spec's range and defaults to the full range. The
     input-node-sensitivity analysis uses it to ask one-sided questions
-    such as "is there a flip with strictly positive noise at node i?". *)
+    such as "is there a flip with strictly positive noise at node i?".
+
+    [budget] is polled every 64 boxes; exhaustion or cancellation yields
+    [Unknown] (never an exception), unlike the legacy [max_boxes] cap
+    which still raises {!Budget_exceeded}. *)
 
 val enumerate_flips :
   ?limit:int ->
+  ?budget:Resil.Budget.t ->
   Nn.Qnet.t ->
   Noise.spec ->
   input:int array ->
   label:int ->
-  Noise.vector list * [ `Complete | `Truncated ]
+  Noise.vector list * [ `Complete | `Truncated | `Budget of Resil.Budget.reason ]
 (** All distinct flipping vectors in the range, in deterministic order
-    ([limit] defaults to 10_000). *)
+    ([limit] defaults to 10_000). [`Budget] (only with a [?budget])
+    returns the flips found so far. *)
+
+(** {1 Resumable enumeration}
+
+    The enumeration's depth-first search runs on an explicit box stack,
+    so its exact state is a serializable {!cursor}. A budget stop only
+    happens between boxes; resuming from the returned cursor continues
+    the run with nothing replayed and nothing skipped — the concatenated
+    vector lists of any interrupted-and-resumed chain are bit-identical
+    to a single uninterrupted {!enumerate_flips}. The checkpoint/resume
+    machinery in {!Extract} persists cursors in [fannet-ckpt/1] files. *)
+
+type cursor = {
+  pending : (int array * int array) list;
+      (** boxes still to process, top of stack first *)
+  emitted : int;  (** flips produced across all runs so far *)
+}
+
+val fresh_cursor :
+  Nn.Qnet.t -> Noise.spec -> input:int array -> label:int -> cursor
+(** The cursor an uninterrupted enumeration starts from (the full noise
+    box, nothing emitted). *)
+
+val enumerate_flips_from :
+  ?limit:int ->
+  ?budget:Resil.Budget.t ->
+  ?progress_every:int ->
+  ?on_progress:(cursor -> Noise.vector list -> unit) ->
+  cursor ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  Noise.vector list
+  * [ `Complete | `Truncated | `Budget of Resil.Budget.reason ]
+  * cursor
+(** Continue from a cursor. Returns only the vectors found {e this run}
+    (the caller holds the prefix), the status, and the cursor to resume
+    from after [`Budget]. [limit] bounds the {e total} emitted count,
+    cursor included. [on_progress] is called every [progress_every]
+    (default 256) processed boxes with the current cursor and this run's
+    vectors so far, a consistent pair at a box boundary — the checkpoint
+    hook; it must not mutate the cursor. *)
 
 val min_l1_flip :
   Nn.Qnet.t ->
@@ -67,6 +121,16 @@ val min_l1_flip :
     notion made precise. Best-first branch-and-bound: boxes are explored
     in order of their L1 lower bound, robust boxes pruned, so the first
     flip found is optimal. [None] when the range is robust. *)
+
+val min_l1_flip_b :
+  ?budget:Resil.Budget.t ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  ((Noise.vector * int) option, Resil.Budget.reason) result
+(** {!min_l1_flip} under a budget: [Error] when the best-first search was
+    stopped before the optimum was proved. *)
 
 val count_flips :
   ?limit:int ->

@@ -25,6 +25,19 @@ val analyze :
   inputs:Validate.labelled array ->
   point array
 
+val analyze_b :
+  ?jobs:int ->
+  ?budget:Resil.Budget.t ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  inputs:Validate.labelled array ->
+  (point array, Resil.Budget.reason) result
+(** {!analyze} under a {!Resil.Budget}: the per-input binary searches stop
+    cooperatively on exhaustion and the call returns [Error] with the
+    first reason observed rather than a partial point set. *)
+
 val near_boundary : point array -> threshold:int -> point array
 (** Points flipping within ±threshold. *)
 

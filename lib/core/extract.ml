@@ -5,7 +5,7 @@ type counterexample = {
   vector : Noise.vector;
 }
 
-type status = Complete | Truncated | Budget
+type status = Complete | Truncated | Budget of Resil.Budget.reason
 
 let make_counterexample net spec ~input ~label ~input_index vector =
   if not (Noise.in_range spec vector) then
@@ -15,14 +15,150 @@ let make_counterexample net spec ~input ~label ~input_index vector =
     failwith "Extract: vector does not actually misclassify";
   { input_index; true_label = label; predicted; vector }
 
-let for_input ?(limit = 10_000) net spec ~input ~label ~input_index =
-  let vectors, st = Bnb.enumerate_flips ~limit net spec ~input ~label in
-  let cexs =
-    List.map (make_counterexample net spec ~input ~label ~input_index) vectors
-  in
-  (cexs, match st with `Complete -> Complete | `Truncated -> Truncated)
+let of_bnb_status = function
+  | `Complete -> Complete
+  | `Truncated -> Truncated
+  | `Budget r -> Budget r
 
-let smt_for_input ?(limit = 10_000) ?max_conflicts net spec ~input ~label ~input_index =
+(* ------------------------------------------------------------------ *)
+(* Checkpoint payload (format fannet-ckpt/1, kind "extract"): the      *)
+(* enumeration cursor plus the vectors found so far, keyed by a digest *)
+(* of the query parameters so a checkpoint cannot silently resume a    *)
+(* different extraction.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ckpt_key net spec ~input ~label ~limit =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (net, spec, input, label, limit) []))
+
+let ints_to_json arr =
+  Util.Json.List (Array.to_list (Array.map (fun i -> Util.Json.Int i) arr))
+
+let ints_of_json = function
+  | Util.Json.List l ->
+      let ok = List.for_all (function Util.Json.Int _ -> true | _ -> false) l in
+      if ok then
+        Some
+          (Array.of_list
+             (List.map (function Util.Json.Int i -> i | _ -> 0) l))
+      else None
+  | _ -> None
+
+let vector_to_json (v : Noise.vector) =
+  Util.Json.Obj
+    [ ("bias", Util.Json.Int v.Noise.bias); ("inputs", ints_to_json v.Noise.inputs) ]
+
+let vector_of_json j =
+  match (Util.Json.member "bias" j, Option.bind (Util.Json.member "inputs" j) ints_of_json) with
+  | Some (Util.Json.Int bias), Some inputs -> Some { Noise.bias; inputs }
+  | _ -> None
+
+let box_to_json (lo, hi) =
+  Util.Json.Obj [ ("lo", ints_to_json lo); ("hi", ints_to_json hi) ]
+
+let box_of_json j =
+  match
+    ( Option.bind (Util.Json.member "lo" j) ints_of_json,
+      Option.bind (Util.Json.member "hi" j) ints_of_json )
+  with
+  | Some lo, Some hi when Array.length lo = Array.length hi -> Some (lo, hi)
+  | _ -> None
+
+let ckpt_to_json ~key (cursor : Bnb.cursor) vectors =
+  Util.Json.Obj
+    [
+      ("key", Util.Json.String key);
+      ("emitted", Util.Json.Int cursor.Bnb.emitted);
+      ("vectors", Util.Json.List (List.map vector_to_json vectors));
+      ("pending", Util.Json.List (List.map box_to_json cursor.Bnb.pending));
+    ]
+
+let ckpt_of_json json =
+  let all parse = function
+    | Util.Json.List l ->
+        let parsed = List.map parse l in
+        if List.for_all Option.is_some parsed then
+          Some (List.map Option.get parsed)
+        else None
+    | _ -> None
+  in
+  match
+    ( Util.Json.member "key" json,
+      Util.Json.member "emitted" json,
+      Option.bind (Util.Json.member "vectors" json) (all vector_of_json),
+      Option.bind (Util.Json.member "pending" json) (all box_of_json) )
+  with
+  | Some (Util.Json.String key), Some (Util.Json.Int emitted), Some vectors,
+    Some pending
+    when emitted = List.length vectors ->
+      Some (key, { Bnb.pending; emitted }, vectors)
+  | _ -> None
+
+let save_ckpt ~key ~path cursor vectors =
+  Resil.Ckpt.save ~kind:"extract" ~path (ckpt_to_json ~key cursor vectors)
+
+(* Loading a checkpoint distinguishes three cases: a usable cursor, a
+   missing/torn/corrupt file (warn and start fresh — the run is still
+   correct, only slower), and a key mismatch (refuse: the checkpoint
+   belongs to a different query and resuming it would splice two
+   different corpora together). *)
+let load_ckpt ~key ~path =
+  if not (Sys.file_exists path) then `Fresh
+  else
+    match Resil.Ckpt.load ~kind:"extract" ~path with
+    | Error msg -> `Damaged msg
+    | Ok json -> (
+        match ckpt_of_json json with
+        | None -> `Damaged (path ^ ": malformed extract checkpoint payload")
+        | Some (k, cursor, vectors) ->
+            if k = key then `Resume (cursor, vectors)
+            else
+              `Mismatch
+                (path
+               ^ ": checkpoint belongs to a different extract run \
+                  (network/spec/input/limit changed)"))
+
+let for_input ?(limit = 10_000) ?budget ?checkpoint net spec ~input ~label
+    ~input_index =
+  let finish vectors st =
+    ( List.map (make_counterexample net spec ~input ~label ~input_index) vectors,
+      of_bnb_status st )
+  in
+  match checkpoint with
+  | None ->
+      let vectors, st = Bnb.enumerate_flips ~limit ?budget net spec ~input ~label in
+      finish vectors st
+  | Some path ->
+      let key = ckpt_key net spec ~input ~label ~limit in
+      let cursor, prefix =
+        match load_ckpt ~key ~path with
+        | `Fresh -> (Bnb.fresh_cursor net spec ~input ~label, [])
+        | `Resume (cursor, vectors) -> (cursor, vectors)
+        | `Damaged msg ->
+            Printf.eprintf
+              "warning: %s — ignoring the checkpoint and starting over\n%!" msg;
+            (Bnb.fresh_cursor net spec ~input ~label, [])
+        | `Mismatch msg -> invalid_arg msg
+      in
+      let on_progress cursor fresh =
+        save_ckpt ~key ~path cursor (prefix @ fresh)
+      in
+      let fresh, st, final =
+        Bnb.enumerate_flips_from ~limit ?budget ~on_progress cursor net spec
+          ~input ~label
+      in
+      let vectors = prefix @ fresh in
+      (match st with
+      | `Budget _ ->
+          (* Exact state at the stop point, so the next run loses
+             nothing. *)
+          save_ckpt ~key ~path final vectors
+      | `Complete | `Truncated ->
+          if Sys.file_exists path then Sys.remove path);
+      finish vectors st
+
+let smt_for_input ?(limit = 10_000) ?max_conflicts ?budget net spec ~input
+    ~label ~input_index =
   let enc = Encode.encode net ~input spec in
   let project = Encode.noise_vars enc in
   let session =
@@ -31,9 +167,9 @@ let smt_for_input ?(limit = 10_000) ?max_conflicts net spec ~input ~label ~input
   let rec loop acc n =
     if n >= limit then (List.rev acc, Truncated)
     else
-      match Smtlite.Solve.solve ?max_conflicts session with
+      match Smtlite.Solve.solve ?max_conflicts ?budget session with
       | Smtlite.Solve.Unsat -> (List.rev acc, Complete)
-      | Smtlite.Solve.Unknown -> (List.rev acc, Budget)
+      | Smtlite.Solve.Unknown r -> (List.rev acc, Budget r)
       | Smtlite.Solve.Sat model ->
           let vector = Encode.vector_of_model enc model in
           let cex = make_counterexample net spec ~input ~label ~input_index vector in
@@ -44,15 +180,28 @@ let smt_for_input ?(limit = 10_000) ?max_conflicts net spec ~input ~label ~input
 
 let weakest a b =
   match (a, b) with
-  | Budget, _ | _, Budget -> Budget
+  | Budget r, _ -> Budget r
+  | _, Budget r -> Budget r
   | Truncated, _ | _, Truncated -> Truncated
   | Complete, Complete -> Complete
 
-let for_inputs ?(limit_per_input = 10_000) ?jobs net spec ~inputs =
+let status_to_string = function
+  | Complete -> "complete"
+  | Truncated -> "truncated"
+  | Budget r -> "budget (" ^ Resil.Budget.reason_to_string r ^ ")"
+
+let for_inputs ?(limit_per_input = 10_000) ?jobs ?budget net spec ~inputs =
   let per_input =
     Util.Parallel.mapi ?jobs
       (fun input_index (input, label) ->
-        for_input ~limit:limit_per_input net spec ~input ~label ~input_index)
+        (* A shared budget needs no pool-level stop protocol: once it is
+           exhausted every remaining per-input enumeration returns
+           [Budget _] at its entry check, so the batch drains quickly
+           and deterministically. *)
+        Resil.Faultpoint.guard "worker.raise"
+          (Failure "injected fault: extract worker raised");
+        for_input ~limit:limit_per_input ?budget net spec ~input ~label
+          ~input_index)
       inputs
   in
   let all = List.concat_map fst (Array.to_list per_input) in

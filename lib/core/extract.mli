@@ -11,7 +11,15 @@
       encoding. Practical for small ranges; used as a cross-check.
 
     Every returned vector is re-validated against the concrete
-    {!Noise.predict}. *)
+    {!Noise.predict}.
+
+    Enumerations accept a {!Resil.Budget} (exhaustion yields the typed
+    [Budget] status with the partial corpus found so far) and, for
+    {!for_input}, a checkpoint file: the enumeration cursor and the
+    corpus so far are persisted in [fannet-ckpt/1] format, and a later
+    run with the same checkpoint resumes exactly where a killed run
+    stopped — the concatenated corpus is identical (same vectors, same
+    order) to an uninterrupted run. *)
 
 type counterexample = {
   input_index : int;         (** position in the analysed input set *)
@@ -20,10 +28,17 @@ type counterexample = {
   vector : Noise.vector;
 }
 
-type status = Complete | Truncated | Budget
+type status =
+  | Complete
+  | Truncated                       (** the [limit] cap bit *)
+  | Budget of Resil.Budget.reason   (** stopped by the budget; partial *)
+
+val status_to_string : status -> string
 
 val for_input :
   ?limit:int ->
+  ?budget:Resil.Budget.t ->
+  ?checkpoint:string ->
   Nn.Qnet.t ->
   Noise.spec ->
   input:int array ->
@@ -31,11 +46,21 @@ val for_input :
   input_index:int ->
   counterexample list * status
 (** All distinct adversarial noise vectors for one input ([limit] defaults
-    to 10_000; [Truncated] when it bites). *)
+    to 10_000; [Truncated] when it bites).
+
+    [checkpoint] names a [fannet-ckpt/1] file: progress is saved there
+    periodically (atomic tmp+rename) and on a [Budget] stop, and an
+    existing checkpoint for the {e same} query (network, spec, input,
+    label, limit — validated by digest) is resumed seamlessly. A torn or
+    corrupt checkpoint is reported on stderr and ignored (fresh start);
+    a checkpoint from a different query raises [Invalid_argument]. The
+    file is removed when the enumeration finishes ([Complete] or
+    [Truncated]). *)
 
 val for_inputs :
   ?limit_per_input:int ->
   ?jobs:int ->
+  ?budget:Resil.Budget.t ->
   Nn.Qnet.t ->
   Noise.spec ->
   inputs:Validate.labelled array ->
@@ -43,11 +68,15 @@ val for_inputs :
 (** Concatenation over an input set (the paper's "repeated for all inputs
     in the dataset"); the status is the weakest over all inputs. Inputs
     are enumerated on a {!Util.Parallel} pool (one engine per worker); the
-    corpus order is by input index regardless of [?jobs]. *)
+    corpus order is by input index regardless of [?jobs]. A shared
+    [budget] stops every worker cooperatively: inputs not reached before
+    exhaustion contribute a [Budget] status from their entry check, so
+    the result stays deterministic. *)
 
 val smt_for_input :
   ?limit:int ->
   ?max_conflicts:int ->
+  ?budget:Resil.Budget.t ->
   Nn.Qnet.t ->
   Noise.spec ->
   input:int array ->
@@ -55,7 +84,7 @@ val smt_for_input :
   input_index:int ->
   counterexample list * status
 (** The paper's P3 blocking loop on the CDCL engine. [Budget] when
-    [max_conflicts] ran out. *)
+    [max_conflicts] or the budget ran out. *)
 
 val explicit_for_input :
   Nn.Qnet.t ->

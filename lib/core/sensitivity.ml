@@ -78,7 +78,13 @@ type formal_side = {
 let node_to_dim (spec : Noise.spec) node =
   if spec.Noise.bias_noise then node else node - 1
 
-let side_exists (spec : Noise.spec) ~inputs net node ~positive =
+(* A budget stop inside a one-sided query unwinds through the surrounding
+   [Array.exists] with this local exception; it never escapes the module
+   (the [_b] entry points catch it, the unbudgeted ones cannot trigger
+   it). *)
+exception Stopped of Resil.Budget.reason
+
+let side_exists ?budget (spec : Noise.spec) ~inputs net node ~positive =
   let lo, hi =
     if positive then (1, spec.Noise.delta_hi) else (spec.Noise.delta_lo, -1)
   in
@@ -94,18 +100,20 @@ let side_exists (spec : Noise.spec) ~inputs net node ~positive =
               if d = node_to_dim spec node then (lo, hi)
               else (spec.Noise.delta_lo, spec.Noise.delta_hi))
         in
-        match Bnb.exists_flip ~box net spec ~input ~label with
+        match Bnb.exists_flip ~box ?budget net spec ~input ~label with
         | Bnb.Flip _ -> true
-        | Bnb.Robust -> false)
+        | Bnb.Robust -> false
+        | Bnb.Unknown r -> raise (Stopped r))
       inputs
 
-let formal_sidedness ?jobs net (spec : Noise.spec) ~inputs =
+let sided_nodes (spec : Noise.spec) ~inputs =
   if Array.length inputs = 0 then invalid_arg "Sensitivity.formal_sidedness: no inputs";
   let n_inputs = Array.length (fst inputs.(0)) in
-  let nodes =
-    if spec.Noise.bias_noise then Array.init (n_inputs + 1) Fun.id
-    else Array.init n_inputs (fun i -> i + 1)
-  in
+  if spec.Noise.bias_noise then Array.init (n_inputs + 1) Fun.id
+  else Array.init n_inputs (fun i -> i + 1)
+
+let formal_sidedness ?jobs net (spec : Noise.spec) ~inputs =
+  let nodes = sided_nodes spec ~inputs in
   (* One worker per node; both one-sided queries stay on that worker. *)
   Util.Parallel.map ?jobs
     (fun node ->
@@ -115,6 +123,52 @@ let formal_sidedness ?jobs net (spec : Noise.spec) ~inputs =
         negative_flip = side_exists spec ~inputs net node ~positive:false;
       })
     nodes
+
+let formal_sidedness_b ?jobs ?budget net (spec : Noise.spec) ~inputs =
+  let nodes = sided_nodes spec ~inputs in
+  let failed : Resil.Budget.reason option Atomic.t = Atomic.make None in
+  let note r = ignore (Atomic.compare_and_set failed None (Some r)) in
+  let stop () =
+    Atomic.get failed <> None
+    || (match budget with Some b -> Resil.Budget.check b <> None | None -> false)
+  in
+  let per_node =
+    Util.Parallel.map_until ?jobs ~stop
+      (fun _ node ->
+        Resil.Faultpoint.guard "worker.raise"
+          (Failure "injected fault: sensitivity worker raised");
+        match
+          {
+            fs_node = node;
+            positive_flip = side_exists ?budget spec ~inputs net node ~positive:true;
+            negative_flip = side_exists ?budget spec ~inputs net node ~positive:false;
+          }
+        with
+        | fs -> Ok fs
+        | exception Stopped r ->
+            note r;
+            Error r)
+      nodes
+  in
+  let first_reason () =
+    match Atomic.get failed with
+    | Some r -> r
+    | None -> (
+        match Option.bind budget Resil.Budget.why with
+        | Some r -> r
+        | None -> Resil.Budget.Cancelled)
+  in
+  match per_node with
+  | Error () -> Error (first_reason ())
+  | Ok arr -> (
+      match
+        Array.fold_left
+          (fun acc r -> match (acc, r) with None, Error r -> Some r | _ -> acc)
+          None arr
+      with
+      | Some r -> Error r
+      | None ->
+          Ok (Array.map (function Ok fs -> fs | Error _ -> assert false) arr))
 
 let formal_side_to_side f =
   match (f.positive_flip, f.negative_flip) with
@@ -140,7 +194,8 @@ let single_node_tolerance net (spec : Noise.spec) ~inputs ~node =
       (fun (input, label) ->
         match Bnb.exists_flip ~box net spec ~input ~label with
         | Bnb.Flip _ -> true
-        | Bnb.Robust -> false)
+        | Bnb.Robust -> false
+        | Bnb.Unknown _ -> assert false (* no budget on this path *))
       inputs
   in
   if not (flips_at max_d) then None

@@ -51,6 +51,19 @@ val formal_sidedness :
     nodes range freely). A node with [positive_flip = false] is the
     paper's "extremely insensitive to positive noise" case (its i5). *)
 
+val formal_sidedness_b :
+  ?jobs:int ->
+  ?budget:Resil.Budget.t ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  inputs:Validate.labelled array ->
+  (formal_side array, Resil.Budget.reason) result
+(** {!formal_sidedness} under a budget: the per-node one-sided queries
+    propagate the budget into the branch-and-bound engine and the worker
+    pool stops cooperatively on exhaustion, returning [Error] with the
+    first reason observed instead of a partial (and therefore
+    misleading) sidedness table. *)
+
 val formal_side_to_side : formal_side -> side
 
 val single_node_tolerance :

@@ -19,6 +19,38 @@ let note_probe delta =
   Obs.Metrics.incr m_probes;
   Obs.Metrics.set_gauge g_last_delta (float_of_int delta)
 
+(* A budget stop inside a probe unwinds with this local exception; the
+   [_b] entry points catch it and the unbudgeted legacy paths cannot
+   trigger it. *)
+exception Stopped of Resil.Budget.reason
+
+(* The reason to report when a budgeted parallel batch stopped: a reason a
+   worker recorded wins, then whatever the budget itself observed, with
+   [Cancelled] as the only remaining possibility (an external token was
+   pulled between polls). *)
+let first_reason budget (failed : Resil.Budget.reason option Atomic.t) =
+  match Atomic.get failed with
+  | Some r -> r
+  | None -> (
+      match Option.bind budget Resil.Budget.why with
+      | Some r -> r
+      | None -> Resil.Budget.Cancelled)
+
+let budget_stop budget (failed : Resil.Budget.reason option Atomic.t) () =
+  Atomic.get failed <> None
+  || (match budget with Some b -> Resil.Budget.check b <> None | None -> false)
+
+(* Legacy (unbudgeted) entry points can still see a [Stopped] from below:
+   the solver converts a genuine or injected [Out_of_memory] into a typed
+   Unknown even when no budget was supplied. Surface it as a [Failure]
+   (the CLI's clean-error path) rather than leaking the local exception. *)
+let stopped_to_failure f =
+  try f ()
+  with Stopped r ->
+    failwith
+      (Printf.sprintf "Tolerance: analysis stopped (%s); rerun with a budget"
+         (Resil.Budget.reason_to_string r))
+
 let misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs =
   let spec = Noise.symmetric ~delta ~bias_noise in
   Obs.Span.with_ (Printf.sprintf "tolerance.misclassified_at ±%d%%" delta) (fun () ->
@@ -29,8 +61,33 @@ let misclassified_at ?jobs backend net ~bias_noise ~delta ~inputs =
           | Backend.Flip vector ->
               let predicted = Noise.predict net spec ~input vector in
               Some { input_index; vector; predicted }
-          | Backend.Robust | Backend.Unknown -> None)
+          | Backend.Robust | Backend.Unknown _ -> None)
         inputs)
+
+let misclassified_at_b ?jobs ?budget backend net ~bias_noise ~delta ~inputs =
+  let spec = Noise.symmetric ~delta ~bias_noise in
+  let failed : Resil.Budget.reason option Atomic.t = Atomic.make None in
+  let note r = ignore (Atomic.compare_and_set failed None (Some r)) in
+  Obs.Span.with_ (Printf.sprintf "tolerance.misclassified_at ±%d%%" delta) (fun () ->
+      note_probe delta;
+      match
+        Util.Parallel.filter_mapi_until ?jobs ~stop:(budget_stop budget failed)
+          (fun input_index (input, label) ->
+            Resil.Faultpoint.guard "worker.raise"
+              (Failure "injected fault: tolerance worker raised");
+            match Backend.exists_flip ?budget backend net spec ~input ~label with
+            | Backend.Flip vector ->
+                let predicted = Noise.predict net spec ~input vector in
+                Some { input_index; vector; predicted }
+            | Backend.Robust | Backend.Unknown Resil.Budget.Incomplete -> None
+            | Backend.Unknown r ->
+                note r;
+                None)
+          inputs
+      with
+      | Error () -> Error (first_reason budget failed)
+      | Ok flips -> (
+          match Atomic.get failed with Some r -> Error r | None -> Ok flips))
 
 let sweep ?jobs backend net ~bias_noise ~deltas ~inputs =
   Obs.Span.with_ "tolerance.sweep" (fun () ->
@@ -40,14 +97,32 @@ let sweep ?jobs backend net ~bias_noise ~deltas ~inputs =
           { delta; n_misclassified = List.length flips; flips })
         deltas)
 
-let flips_at backend net ~bias_noise ~delta ~input ~label =
+let sweep_b ?jobs ?budget backend net ~bias_noise ~deltas ~inputs =
+  Obs.Span.with_ "tolerance.sweep" (fun () ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | delta :: rest -> (
+            match
+              misclassified_at_b ?jobs ?budget backend net ~bias_noise ~delta
+                ~inputs
+            with
+            | Error r -> Error r
+            | Ok flips ->
+                go
+                  ({ delta; n_misclassified = List.length flips; flips } :: acc)
+                  rest)
+      in
+      go [] deltas)
+
+let flips_at ?budget backend net ~bias_noise ~delta ~input ~label =
   let spec = Noise.symmetric ~delta ~bias_noise in
   note_probe delta;
-  match Backend.exists_flip backend net spec ~input ~label with
+  match Backend.exists_flip ?budget backend net spec ~input ~label with
   | Backend.Flip _ -> true
   | Backend.Robust -> false
-  | Backend.Unknown ->
+  | Backend.Unknown Resil.Budget.Incomplete ->
       failwith "Tolerance: backend cannot decide; use a complete backend"
+  | Backend.Unknown r -> raise (Stopped r)
 
 (* Shared monotone binary search: [flips lo = false], [flips hi = true];
    returns the smallest delta that flips. *)
@@ -65,7 +140,8 @@ let rec bisect flips lo hi =
    probe pays a fresh encoding. With [prefilter], the interval pass runs
    first per probe and the solver is only consulted when it cannot prove
    robustness. *)
-let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
+let smt_min_flip_delta ?budget ~prefilter net ~bias_noise ~max_delta ~input
+    ~label =
   let spec = Noise.symmetric ~delta:max_delta ~bias_noise in
   let enc = Encode.encode net ~input spec in
   let session =
@@ -89,11 +165,13 @@ let smt_min_flip_delta ~prefilter net ~bias_noise ~max_delta ~input ~label =
     let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
     match
       Obs.Span.with_ (Printf.sprintf "tolerance.smt_probe ±%d%%" delta) (fun () ->
-          Smtlite.Solve.solve ~assumptions session)
+          Smtlite.Solve.solve ~assumptions ?budget session)
     with
     | Smtlite.Solve.Unsat -> false
-    | Smtlite.Solve.Unknown ->
-        failwith "Tolerance: incremental smt search returned unknown"
+    | Smtlite.Solve.Unknown r ->
+        (* Only a budget can interrupt this search (no conflict cap is
+           passed), so an unknown is always a typed stop. *)
+        raise (Stopped r)
     | Smtlite.Solve.Sat model ->
         (* Same defence as Backend.validate_flip, against the probe range. *)
         let v = Encode.vector_of_model enc model in
@@ -129,7 +207,7 @@ type certified_bracket = {
    assumption literals, but with a DRUP trace attached and a certificate
    snapshotted at every probe. No interval prefilter — a prefilter answer
    carries no proof, and the bracket must be certified at both ends. *)
-let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
+let certified_min_flip_impl ?budget net ~bias_noise ~max_delta ~input ~label =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
   let spec = Noise.symmetric ~delta:max_delta ~bias_noise in
   let enc = Encode.encode net ~input spec in
@@ -156,25 +234,27 @@ let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
     let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
     let outcome, cert =
       Obs.Span.with_ (Printf.sprintf "tolerance.certified_probe ±%d%%" delta)
-        (fun () -> Smtlite.Solve.solve_certified ~assumptions session)
-    in
-    let cert =
-      match cert with
-      | Some c -> c
-      | None -> failwith "Tolerance: certified probe produced no certificate"
+        (fun () -> Smtlite.Solve.solve_certified ~assumptions ?budget session)
     in
     match outcome with
-    | Smtlite.Solve.Unsat -> `Robust cert
-    | Smtlite.Solve.Unknown ->
-        failwith "Tolerance: incremental smt search returned unknown"
-    | Smtlite.Solve.Sat model ->
-        let v = Encode.vector_of_model enc model in
-        let probe_spec = Noise.symmetric ~delta ~bias_noise in
-        if not (Noise.in_range probe_spec v) then
-          failwith "Tolerance: incremental witness outside the probe range";
-        if Noise.predict net probe_spec ~input v = label then
-          failwith "Tolerance: incremental witness does not misclassify";
-        `Flip (v, cert)
+    | Smtlite.Solve.Unknown r -> raise (Stopped r)
+    | (Smtlite.Solve.Unsat | Smtlite.Solve.Sat _) as outcome -> (
+        let cert =
+          match cert with
+          | Some c -> c
+          | None -> failwith "Tolerance: certified probe produced no certificate"
+        in
+        match outcome with
+        | Smtlite.Solve.Unknown _ -> assert false
+        | Smtlite.Solve.Unsat -> `Robust cert
+            | Smtlite.Solve.Sat model ->
+            let v = Encode.vector_of_model enc model in
+            let probe_spec = Noise.symmetric ~delta ~bias_noise in
+            if not (Noise.in_range probe_spec v) then
+              failwith "Tolerance: incremental witness outside the probe range";
+            if Noise.predict net probe_spec ~input v = label then
+              failwith "Tolerance: incremental witness does not misclassify";
+            `Flip (v, cert))
   in
   match probe max_delta with
   | `Robust cert ->
@@ -218,6 +298,15 @@ let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
                 | `Robust c -> go (mid, c) (hi, hi_v, hi_c)
             in
             go (0, c0) (max_delta, v, cert))
+
+let certified_min_flip_delta net ~bias_noise ~max_delta ~input ~label =
+  stopped_to_failure (fun () ->
+      certified_min_flip_impl net ~bias_noise ~max_delta ~input ~label)
+
+let certified_min_flip_delta_b ?budget net ~bias_noise ~max_delta ~input ~label =
+  match certified_min_flip_impl ?budget net ~bias_noise ~max_delta ~input ~label with
+  | bracket -> Ok bracket
+  | exception Stopped r -> Error r
 
 let check_certified_bracket net ~bias_noise bracket ~input ~label =
   let check_refutation (delta, cert) =
@@ -263,15 +352,20 @@ let check_certified_bracket net ~bias_noise bracket ~input ~label =
         check_refutation rc
   | _ -> Error "bracket shape is inconsistent"
 
-let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
+let input_min_flip_impl ?budget backend net ~bias_noise ~max_delta ~input
+    ~label =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
   match backend with
   | Backend.Smt ->
-      smt_min_flip_delta ~prefilter:false net ~bias_noise ~max_delta ~input ~label
+      smt_min_flip_delta ?budget ~prefilter:false net ~bias_noise ~max_delta
+        ~input ~label
   | Backend.Cascade Backend.Smt ->
-      smt_min_flip_delta ~prefilter:true net ~bias_noise ~max_delta ~input ~label
+      smt_min_flip_delta ?budget ~prefilter:true net ~bias_noise ~max_delta
+        ~input ~label
   | _ ->
-      let flips delta = flips_at backend net ~bias_noise ~delta ~input ~label in
+      let flips delta =
+        flips_at ?budget backend net ~bias_noise ~delta ~input ~label
+      in
       if not (flips max_delta) then None
       else if flips 0 then
         (* Misclassified even without noise. *)
@@ -280,6 +374,16 @@ let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
         (* Monotone in delta: binary search for the smallest flipping
            range (delta 0 never flips a correctly classified input). *)
         Some (bisect flips 0 max_delta)
+
+let input_min_flip_delta backend net ~bias_noise ~max_delta ~input ~label =
+  stopped_to_failure (fun () ->
+      input_min_flip_impl backend net ~bias_noise ~max_delta ~input ~label)
+
+let input_min_flip_delta_b ?budget backend net ~bias_noise ~max_delta ~input
+    ~label =
+  match input_min_flip_impl ?budget backend net ~bias_noise ~max_delta ~input ~label with
+  | v -> Ok v
+  | exception Stopped r -> Error r
 
 let certified_accuracy ?jobs backend net ~bias_noise ~delta ~inputs =
   if Array.length inputs = 0 then invalid_arg "Tolerance.certified_accuracy: empty";
@@ -291,7 +395,7 @@ let certified_accuracy ?jobs backend net ~bias_noise ~delta ~inputs =
         &&
         match Backend.exists_flip backend net spec ~input ~label with
         | Backend.Robust -> true
-        | Backend.Flip _ | Backend.Unknown -> false)
+        | Backend.Flip _ | Backend.Unknown _ -> false)
       inputs
     |> Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0
   in
@@ -299,6 +403,7 @@ let certified_accuracy ?jobs backend net ~bias_noise ~delta ~inputs =
 
 let paper_iterative_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
   if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
+  stopped_to_failure @@ fun () ->
   let any_flip delta =
     Util.Parallel.exists ?jobs
       (fun (input, label) -> flips_at backend net ~bias_noise ~delta ~input ~label)
@@ -312,6 +417,7 @@ let paper_iterative_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
   reduce max_delta
 
 let network_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
+  stopped_to_failure @@ fun () ->
   Obs.Span.with_ "tolerance.network_tolerance" (fun () ->
       Util.Parallel.map ?jobs
         (fun (input, label) ->
@@ -320,3 +426,185 @@ let network_tolerance ?jobs backend net ~bias_noise ~max_delta ~inputs =
       |> Array.fold_left
            (fun acc -> function None -> acc | Some d -> min acc (d - 1))
            max_delta)
+
+let network_tolerance_b ?jobs ?budget backend net ~bias_noise ~max_delta
+    ~inputs =
+  Obs.Span.with_ "tolerance.network_tolerance" (fun () ->
+      let failed : Resil.Budget.reason option Atomic.t = Atomic.make None in
+      let note r = ignore (Atomic.compare_and_set failed None (Some r)) in
+      match
+        Util.Parallel.map_until ?jobs ~stop:(budget_stop budget failed)
+          (fun _ (input, label) ->
+            Resil.Faultpoint.guard "worker.raise"
+              (Failure "injected fault: tolerance worker raised");
+            match
+              input_min_flip_impl ?budget backend net ~bias_noise ~max_delta
+                ~input ~label
+            with
+            | v -> Some v
+            | exception Stopped r ->
+                note r;
+                None)
+          inputs
+      with
+      | Error () -> Error (first_reason budget failed)
+      | Ok per_input -> (
+          match Atomic.get failed with
+          | Some r -> Error r
+          | None ->
+              Ok
+                (Array.fold_left
+                   (fun acc -> function
+                     | Some (Some d) -> min acc (d - 1)
+                     | Some None | None -> acc)
+                   max_delta per_input)))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointed network tolerance (format fannet-ckpt/1, kind          *)
+(* "tolerance"): per-input minimum-flip deltas already decided, plus    *)
+(* the bisection bracket of the input in flight, persisted after every  *)
+(* probe so a killed run repeats at most two probes on resume. The      *)
+(* search is sequential (checkpointing a parallel bisection would need  *)
+(* a merge protocol for no benefit — each input is a handful of         *)
+(* probes) and probes each delta afresh, so any backend works.          *)
+(* ------------------------------------------------------------------ *)
+
+let tol_ckpt_key backend net ~bias_noise ~max_delta ~inputs =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (backend, net, bias_noise, max_delta, inputs) []))
+
+type bisect_state = Start | Bracket of int * int
+
+let tol_ckpt_to_json ~key results cur =
+  Util.Json.Obj
+    [
+      ("key", Util.Json.String key);
+      ( "results",
+        Util.Json.List
+          (List.map
+             (function None -> Util.Json.Null | Some d -> Util.Json.Int d)
+             results) );
+      ( "cur",
+        match cur with
+        | Start -> Util.Json.Null
+        | Bracket (lo, hi) ->
+            Util.Json.Obj [ ("lo", Util.Json.Int lo); ("hi", Util.Json.Int hi) ]
+      );
+    ]
+
+let tol_ckpt_of_json json =
+  let result_of = function
+    | Util.Json.Null -> Some None
+    | Util.Json.Int d -> Some (Some d)
+    | _ -> None
+  in
+  let cur_of = function
+    | Util.Json.Null -> Some Start
+    | Util.Json.Obj _ as j -> (
+        match (Util.Json.member "lo" j, Util.Json.member "hi" j) with
+        | Some (Util.Json.Int lo), Some (Util.Json.Int hi) when lo <= hi ->
+            Some (Bracket (lo, hi))
+        | _ -> None)
+    | _ -> None
+  in
+  match
+    ( Util.Json.member "key" json,
+      Util.Json.member "results" json,
+      Option.bind (Util.Json.member "cur" json) cur_of )
+  with
+  | Some (Util.Json.String key), Some (Util.Json.List rs), Some cur ->
+      let parsed = List.map result_of rs in
+      if List.for_all Option.is_some parsed then
+        Some (key, List.map Option.get parsed, cur)
+      else None
+  | _ -> None
+
+let load_tol_ckpt ~key ~path ~n_inputs =
+  if not (Sys.file_exists path) then `Fresh
+  else
+    match Resil.Ckpt.load ~kind:"tolerance" ~path with
+    | Error msg -> `Damaged msg
+    | Ok json -> (
+        match tol_ckpt_of_json json with
+        | None -> `Damaged (path ^ ": malformed tolerance checkpoint payload")
+        | Some (k, results, cur) ->
+            if k <> key then
+              `Mismatch
+                (path
+               ^ ": checkpoint belongs to a different tolerance run \
+                  (backend/network/inputs/range changed)")
+            else if List.length results > n_inputs then
+              `Damaged (path ^ ": tolerance checkpoint has too many results")
+            else `Resume (results, cur))
+
+let network_tolerance_ckpt ?budget ~checkpoint backend net ~bias_noise
+    ~max_delta ~inputs =
+  if max_delta < 0 then invalid_arg "Tolerance: negative max_delta";
+  let key = tol_ckpt_key backend net ~bias_noise ~max_delta ~inputs in
+  let results, cur0 =
+    match load_tol_ckpt ~key ~path:checkpoint ~n_inputs:(Array.length inputs) with
+    | `Fresh -> ([], Start)
+    | `Resume (results, cur) -> (results, cur)
+    | `Damaged msg ->
+        Printf.eprintf
+          "warning: %s — ignoring the checkpoint and starting over\n%!" msg;
+        ([], Start)
+    | `Mismatch msg -> invalid_arg msg
+  in
+  let done_rev = ref (List.rev results) in
+  let cur = ref cur0 in
+  let i = ref (List.length results) in
+  let save () =
+    Resil.Ckpt.save ~kind:"tolerance" ~path:checkpoint
+      (tol_ckpt_to_json ~key (List.rev !done_rev) !cur)
+  in
+  let exception Out of Resil.Budget.reason in
+  let probe ~input ~label delta =
+    (match Option.bind budget Resil.Budget.check with
+    | Some r ->
+        save ();
+        raise (Out r)
+    | None -> ());
+    match flips_at ?budget backend net ~bias_noise ~delta ~input ~label with
+    | b -> b
+    | exception Stopped r ->
+        save ();
+        raise (Out r)
+  in
+  let push r =
+    done_rev := r :: !done_rev;
+    cur := Start;
+    incr i;
+    save ()
+  in
+  match
+    Obs.Span.with_ "tolerance.network_tolerance" (fun () ->
+        while !i < Array.length inputs do
+          let input, label = inputs.(!i) in
+          match !cur with
+          | Start ->
+              if not (probe ~input ~label max_delta) then push None
+              else if probe ~input ~label 0 then push (Some 0)
+              else begin
+                cur := Bracket (0, max_delta);
+                save ()
+              end
+          | Bracket (lo, hi) ->
+              if hi - lo <= 1 then push (Some hi)
+              else begin
+                let mid = (lo + hi) / 2 in
+                cur :=
+                  (if probe ~input ~label mid then Bracket (lo, mid)
+                   else Bracket (mid, hi));
+                save ()
+              end
+        done)
+  with
+  | () ->
+      if Sys.file_exists checkpoint then Sys.remove checkpoint;
+      Ok
+        (List.fold_left
+           (fun acc -> function None -> acc | Some d -> min acc (d - 1))
+           max_delta (List.rev !done_rev))
+  | exception Out r -> Error r

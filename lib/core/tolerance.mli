@@ -30,6 +30,21 @@ val misclassified_at :
     reported as flips (it has no witnesses) — use a complete backend for
     counting. *)
 
+val misclassified_at_b :
+  ?jobs:int ->
+  ?budget:Resil.Budget.t ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  delta:int ->
+  inputs:Validate.labelled array ->
+  (flip list, Resil.Budget.reason) result
+(** {!misclassified_at} under a {!Resil.Budget}: the budget is propagated
+    into every backend query and the worker pool stops cooperatively on
+    exhaustion, returning [Error] with the first reason observed. A
+    backend's own incompleteness ([Unknown Incomplete]) still counts as
+    "no witness", exactly as in the unbudgeted variant. *)
+
 val sweep :
   ?jobs:int ->
   Backend.t ->
@@ -40,6 +55,18 @@ val sweep :
   sweep_point list
 (** Misclassification counts per noise range — the data behind the paper's
     Fig. 4 scatter (ranges ±5 ... ±40). *)
+
+val sweep_b :
+  ?jobs:int ->
+  ?budget:Resil.Budget.t ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  deltas:int list ->
+  inputs:Validate.labelled array ->
+  (sweep_point list, Resil.Budget.reason) result
+(** {!sweep} under a budget shared across all deltas; [Error] as soon as
+    one delta's batch exhausts it. *)
 
 val network_tolerance :
   ?jobs:int ->
@@ -55,6 +82,38 @@ val network_tolerance :
     matches the paper's iterative reduce-the-noise procedure but with
     logarithmically many solver queries. Returns [max_delta] when even the
     full range is safe. *)
+
+val network_tolerance_b :
+  ?jobs:int ->
+  ?budget:Resil.Budget.t ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  inputs:Validate.labelled array ->
+  (int, Resil.Budget.reason) result
+(** {!network_tolerance} under a budget: exhaustion anywhere in the
+    per-input binary searches stops the whole pool and yields [Error]
+    (a partial minimum would silently overstate the tolerance). *)
+
+val network_tolerance_ckpt :
+  ?budget:Resil.Budget.t ->
+  checkpoint:string ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  inputs:Validate.labelled array ->
+  (int, Resil.Budget.reason) result
+(** {!network_tolerance} with checkpoint/resume: the per-input results and
+    the in-flight bisection bracket are persisted to [checkpoint] in
+    [fannet-ckpt/1] format (kind ["tolerance"], atomic tmp+rename) after
+    every probe, and an existing checkpoint for the same run (backend,
+    network, inputs, range — validated by digest) resumes there, repeating
+    at most two probes. The search is sequential; a damaged checkpoint is
+    reported on stderr and ignored, one from a different run raises
+    [Invalid_argument]. The file is removed on completion. [Error] on
+    budget exhaustion (state saved — rerun to continue). *)
 
 val certified_accuracy :
   ?jobs:int ->
@@ -113,6 +172,17 @@ val certified_min_flip_delta :
     re-checked independently of the solver. No interval prefilter is used
     (its answers carry no proofs). *)
 
+val certified_min_flip_delta_b :
+  ?budget:Resil.Budget.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  input:int array ->
+  label:int ->
+  (certified_bracket, Resil.Budget.reason) result
+(** {!certified_min_flip_delta} under a budget ([Error] when a probe was
+    stopped before the bracket closed). *)
+
 val check_certified_bracket :
   Nn.Qnet.t ->
   bias_noise:bool ->
@@ -144,3 +214,15 @@ val input_min_flip_delta :
     probe pays a fresh Tseitin encoding. [Cascade Smt] additionally runs
     the interval prefilter per probe. Verdicts are identical to the
     per-probe re-encoding at every delta. *)
+
+val input_min_flip_delta_b :
+  ?budget:Resil.Budget.t ->
+  Backend.t ->
+  Nn.Qnet.t ->
+  bias_noise:bool ->
+  max_delta:int ->
+  input:int array ->
+  label:int ->
+  (int option, Resil.Budget.reason) result
+(** {!input_min_flip_delta} under a budget ([Error] when a probe was
+    stopped before the binary search converged). *)

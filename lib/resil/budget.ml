@@ -1,0 +1,98 @@
+type reason = Deadline | Conflicts | Memory | Cancelled | Incomplete
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Conflicts -> "conflicts"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+  | Incomplete -> "incomplete"
+
+let retryable = function
+  | Deadline | Conflicts | Memory -> true
+  | Cancelled | Incomplete -> false
+
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+type t = {
+  timeout_s : float option;
+  deadline_ns : int64 option;  (* absolute Obs.Clock reading *)
+  conflicts : int option;
+  max_mem_mb : int option;
+  mem_words : int option;      (* watermark in major-heap words *)
+  tok : token;
+  why : reason option Atomic.t;
+}
+
+(* Exhaustion counters: one per reason, created eagerly so the hot path
+   never allocates. *)
+let exhausted_counter =
+  let c r = Obs.Metrics.counter ("resil.exhausted." ^ reason_to_string r) in
+  let deadline = c Deadline
+  and conflicts = c Conflicts
+  and memory = c Memory
+  and cancelled = c Cancelled
+  and incomplete = c Incomplete in
+  function
+  | Deadline -> deadline
+  | Conflicts -> conflicts
+  | Memory -> memory
+  | Cancelled -> cancelled
+  | Incomplete -> incomplete
+
+let words_of_mb mb = mb * 1024 * 1024 / (Sys.word_size / 8)
+
+let create ?timeout_s ?conflicts ?max_mem_mb ?token:tok () =
+  let tok = match tok with Some t -> t | None -> token () in
+  let deadline_ns =
+    Option.map
+      (fun s -> Int64.add (Obs.Clock.now_ns ()) (Int64.of_float (s *. 1e9)))
+      timeout_s
+  in
+  {
+    timeout_s;
+    deadline_ns;
+    conflicts;
+    max_mem_mb;
+    mem_words = Option.map words_of_mb max_mem_mb;
+    tok;
+    why = Atomic.make None;
+  }
+
+let unlimited () = create ()
+let conflicts b = b.conflicts
+let timeout_s b = b.timeout_s
+let cancellation b = b.tok
+
+let record b r =
+  if Atomic.compare_and_set b.why None (Some r) then
+    Obs.Metrics.incr (exhausted_counter r)
+
+let why b = Atomic.get b.why
+let exhausted b = why b <> None
+
+let check b =
+  match Atomic.get b.why with
+  | Some _ as r -> r (* sticky: once exhausted, stay exhausted *)
+  | None ->
+      let r =
+        if Atomic.get b.tok then Some Cancelled
+        else
+          match b.deadline_ns with
+          | Some d when Obs.Clock.now_ns () > d -> Some Deadline
+          | _ -> (
+              match b.mem_words with
+              | Some w when (Gc.quick_stat ()).Gc.heap_words > w -> Some Memory
+              | _ -> None)
+      in
+      (match r with Some reason -> record b reason | None -> ());
+      r
+
+let scale ~by b =
+  create
+    ?timeout_s:(Option.map (fun s -> s *. float_of_int by) b.timeout_s)
+    ?conflicts:(Option.map (fun c -> c * by) b.conflicts)
+    ?max_mem_mb:b.max_mem_mb ~token:b.tok ()

@@ -1,0 +1,93 @@
+let magic = "fannet-ckpt/1"
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let wrap ~kind data =
+  Util.Json.Obj
+    [
+      ("format", Util.Json.String "fannet-ckpt");
+      ("version", Util.Json.Int 1);
+      ("kind", Util.Json.String kind);
+      ("data", data);
+    ]
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let save ~kind ~path data =
+  let payload = Util.Json.to_string (wrap ~kind data) in
+  let contents =
+    Printf.sprintf "%s\n%s %d %Lx\n" payload magic (String.length payload)
+      (fnv1a64 payload)
+  in
+  if Faultpoint.hit "ckpt.torn" then
+    (* Injected torn write: half the bytes straight to the final path,
+       bypassing the tmp+rename protocol. [load] must reject this. *)
+    write_raw path (String.sub contents 0 (String.length contents / 2))
+  else begin
+    let tmp = path ^ ".tmp" in
+    write_raw tmp contents;
+    Sys.rename tmp path
+  end
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~kind ~path =
+  let fail fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+  if not (Sys.file_exists path) then fail "no such checkpoint"
+  else
+    match read_all path with
+    | exception Sys_error m -> fail "unreadable checkpoint: %s" m
+    | contents -> (
+        (* Strip the final newline, then split payload from the footer
+           line at the last remaining newline. *)
+        let n = String.length contents in
+        let body =
+          if n > 0 && contents.[n - 1] = '\n' then String.sub contents 0 (n - 1)
+          else contents
+        in
+        match String.rindex_opt body '\n' with
+        | None -> fail "torn or truncated checkpoint (no footer line)"
+        | Some i -> (
+            let payload = String.sub body 0 i in
+            let footer = String.sub body (i + 1) (String.length body - i - 1) in
+            match String.split_on_char ' ' footer with
+            | [ m; len; sum ] when m = magic -> (
+                match (int_of_string_opt len, Int64.of_string_opt ("0x" ^ sum)) with
+                | Some len, Some sum
+                  when len = String.length payload && sum = fnv1a64 payload -> (
+                    match Util.Json.of_string payload with
+                    | Error m -> fail "corrupt checkpoint payload: %s" m
+                    | Ok json -> (
+                        let open Util.Json in
+                        match
+                          ( member "format" json,
+                            member "version" json,
+                            member "kind" json,
+                            member "data" json )
+                        with
+                        | Some (String "fannet-ckpt"), Some (Int 1),
+                          Some (String k), Some data ->
+                            if k = kind then Ok data
+                            else
+                              fail "checkpoint kind mismatch (got %S, want %S)" k
+                                kind
+                        | _ -> fail "malformed checkpoint envelope"))
+                | _, _ ->
+                    fail "torn or truncated checkpoint (checksum mismatch)")
+            | _ -> fail "torn or truncated checkpoint (bad footer %S)" footer))

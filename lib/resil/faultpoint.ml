@@ -1,0 +1,63 @@
+type trigger = Always | Nth of int
+
+(* site -> (trigger, hits so far). Guarded by [lock]; [any] is the
+   lock-free fast path checked before touching the table. *)
+let table : (string, trigger * int ref) Hashtbl.t = Hashtbl.create 7
+let lock = Mutex.create ()
+let any = Atomic.make false
+
+let parse_one spec =
+  match String.index_opt spec '@' with
+  | None -> (spec, Always)
+  | Some i ->
+      let name = String.sub spec 0 i in
+      let k = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match int_of_string_opt k with
+      | Some n when n >= 1 -> (name, Nth n)
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Faultpoint: bad trigger %S (want site or site@k)"
+               spec))
+
+let arm spec =
+  String.split_on_char ',' spec
+  |> List.iter (fun s ->
+         let s = String.trim s in
+         if s <> "" then begin
+           let name, trig = parse_one s in
+           Mutex.lock lock;
+           Hashtbl.replace table name (trig, ref 0);
+           Atomic.set any true;
+           Mutex.unlock lock
+         end)
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  Atomic.set any false;
+  Mutex.unlock lock
+
+let () = match Sys.getenv_opt "FANNET_FAULTS" with Some s -> arm s | None -> ()
+
+let hit name =
+  if not (Atomic.get any) then false
+  else begin
+    Mutex.lock lock;
+    let fire =
+      match Hashtbl.find_opt table name with
+      | None -> false
+      | Some (trig, hits) ->
+          incr hits;
+          (match trig with Always -> true | Nth k -> !hits = k)
+    in
+    Mutex.unlock lock;
+    fire
+  end
+
+let guard name e = if hit name then raise e
+
+let armed () =
+  Mutex.lock lock;
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) table [] in
+  Mutex.unlock lock;
+  List.sort compare names

@@ -1,0 +1,38 @@
+(** Named fault-injection sites for resilience testing.
+
+    Production code plants a site with {!hit} (or {!guard}) at the place
+    a real-world fault would strike — a solver allocation, a worker
+    domain body, a checkpoint write, a corpus read. Sites are inert
+    unless armed: the [FANNET_FAULTS] environment variable (read once at
+    startup) or {!arm} names the sites to fire. The disabled fast path
+    is one atomic load.
+
+    Spec syntax (comma-separated): [site] fires on every hit;
+    [site@k] fires on the k-th hit only (1-based), letting tests strike
+    mid-enumeration. Example:
+    [FANNET_FAULTS=sat.oom,ckpt.torn@2].
+
+    Known sites (the fault matrix exercised by [test/test_resil.ml]):
+    - ["sat.oom"]        — solver raises [Out_of_memory] at solve entry
+    - ["worker.raise"]   — a parallel worker body raises mid-batch
+    - ["ckpt.torn"]      — checkpoint write is torn (no atomic rename)
+    - ["corpus.corrupt"] — corpus JSON is truncated before parsing
+    - ["backend.unknown"]— a backend query returns [Unknown] *)
+
+val arm : string -> unit
+(** Arm sites programmatically from a spec string (same syntax as
+    [FANNET_FAULTS]); adds to whatever is already armed. *)
+
+val clear : unit -> unit
+(** Disarm every site, including those armed via the environment. *)
+
+val hit : string -> bool
+(** Register one hit on the named site; [true] when the fault should
+    fire now. Never fires for sites that are not armed. Thread-safe. *)
+
+val guard : string -> exn -> unit
+(** [guard site e] raises [e] when [hit site] fires; otherwise a
+    no-op. *)
+
+val armed : unit -> string list
+(** Currently armed site names (sorted), for diagnostics. *)

@@ -57,6 +57,8 @@ type t = {
   mutable max_learnts : float;
   mutable priority : int array;
   mutable proof_sink : (proof_step -> unit) option;
+  mutable stop_reason : Resil.Budget.reason option;
+      (* why the last [solve] returned Unknown *)
 }
 
 let var_decay = 1. /. 0.95
@@ -114,6 +116,7 @@ let create () =
     max_learnts = 3000.;
     priority = [||];
     proof_sink = None;
+    stop_reason = None;
   }
 
 let set_proof_sink s sink = s.proof_sink <- sink
@@ -536,7 +539,7 @@ let luby y x =
   done;
   y ** float_of_int !seq
 
-let search s ~assumptions ~conflict_budget =
+let search s ~assumptions ~conflict_budget ~budget =
   let n_assumptions = List.length assumptions in
   let assumption_arr = Array.of_list assumptions in
   let budget_left = ref conflict_budget in
@@ -548,7 +551,19 @@ let search s ~assumptions ~conflict_budget =
         (match !budget_left with
         | Some b -> budget_left := Some (b - 1)
         | None -> ());
-        if decision_level s = 0 then begin
+        (* Cooperative budget poll every 64 conflicts: deadline, memory
+           watermark and the cancellation token (the per-query conflict
+           cap is metered by [budget_left] above). *)
+        (match budget with
+        | Some b when s.n_conflicts land 63 = 0 -> (
+            match Resil.Budget.check b with
+            | Some r ->
+                s.stop_reason <- Some r;
+                result := Some Unknown
+            | None -> ())
+        | Some _ | None -> ());
+        if !result <> None then ()
+        else if decision_level s = 0 then begin
           s.ok <- false;
           (* A conflict with no decisions refutes the clause set itself. *)
           (match s.proof_sink with None -> () | Some f -> f (P_learn []));
@@ -597,8 +612,19 @@ let search s ~assumptions ~conflict_budget =
   done;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(assumptions = []) ?max_conflicts s =
+let solve ?(assumptions = []) ?max_conflicts ?budget s =
   let obs = Obs.Metrics.enabled () in
+  s.stop_reason <- None;
+  (* The budget's conflict cap composes with [max_conflicts]: the
+     tighter of the two wins. *)
+  let max_conflicts =
+    match Option.bind budget Resil.Budget.conflicts with
+    | None -> max_conflicts
+    | Some c -> (
+        match max_conflicts with
+        | None -> Some c
+        | Some mc -> Some (min c mc))
+  in
   let c0 = s.n_conflicts
   and d0 = s.n_decisions
   and p0 = s.n_propagations
@@ -608,36 +634,61 @@ let solve ?(assumptions = []) ?max_conflicts s =
     else begin
       cancel_until s 0;
       List.iter (check_var_exists s) assumptions;
-      match propagate s with
-      | Some _ ->
-          s.ok <- false;
-          (match s.proof_sink with None -> () | Some f -> f (P_learn []));
-          Unsat
-      | None ->
-          let budget = Option.map (fun b -> max 1 b) max_conflicts in
-          let rec restart_loop i =
-            (* Restart cadence only applies to unbounded solving; a conflict
-               budget gives a single uninterrupted search. *)
-            let per_restart =
-              match budget with
-              | Some b -> Some b
-              | None -> Some (int_of_float (luby 1. i *. 256.))
-            in
-            let r = search s ~assumptions ~conflict_budget:per_restart in
-            match (r, budget) with
-            | Unknown, None ->
-                s.n_restarts <- s.n_restarts + 1;
-                cancel_until s 0;
-                restart_loop (i + 1)
-            | (Sat | Unsat | Unknown), _ -> r
-          in
-          let result = restart_loop 0 in
-          (match result with
-          | Sat -> ()
-          | Unsat | Unknown -> cancel_until s 0);
-          result
+      match
+        (match Option.map Resil.Budget.check budget with
+        | Some (Some r) ->
+            (* Already out of budget at entry (deadline passed, token
+               cancelled): answer Unknown without touching the trail. *)
+            s.stop_reason <- Some r;
+            Unknown
+        | Some None | None -> (
+            Resil.Faultpoint.guard "sat.oom" Out_of_memory;
+            match propagate s with
+            | Some _ ->
+                s.ok <- false;
+                (match s.proof_sink with None -> () | Some f -> f (P_learn []));
+                Unsat
+            | None ->
+                let conflict_cap = Option.map (fun b -> max 1 b) max_conflicts in
+                let rec restart_loop i =
+                  (* Restart cadence only applies to unbounded solving; a
+                     conflict budget gives a single uninterrupted search. *)
+                  let per_restart =
+                    match conflict_cap with
+                    | Some b -> Some b
+                    | None -> Some (int_of_float (luby 1. i *. 256.))
+                  in
+                  let r = search s ~assumptions ~conflict_budget:per_restart ~budget in
+                  match (r, conflict_cap) with
+                  | Unknown, None when s.stop_reason = None ->
+                      s.n_restarts <- s.n_restarts + 1;
+                      cancel_until s 0;
+                      restart_loop (i + 1)
+                  | (Sat | Unsat | Unknown), _ -> r
+                in
+                let result = restart_loop 0 in
+                (match result with
+                | Sat -> ()
+                | Unsat | Unknown -> cancel_until s 0);
+                result))
+      with
+      | result -> result
+      | exception Out_of_memory ->
+          (* Allocation failure mid-search (or the injected "sat.oom"
+             fault): back out to level 0 so the session stays reusable
+             and report a typed Unknown. *)
+          cancel_until s 0;
+          s.stop_reason <- Some Resil.Budget.Memory;
+          Unknown
     end
   in
+  (match result with
+  | Unknown ->
+      if s.stop_reason = None then s.stop_reason <- Some Resil.Budget.Conflicts;
+      Option.iter
+        (fun b -> Resil.Budget.record b (Option.get s.stop_reason))
+        budget
+  | Sat | Unsat -> ());
   (* Every Unsat answer closes its proof slice: ⊥ is reachable by unit
      propagation from the logged CNF, the logged lemmas and exactly these
      assumptions. *)
@@ -660,6 +711,8 @@ let value s l =
   value_lit s l = 1
 
 let model s = Array.init s.nvars (fun v -> value_var s v = 1)
+
+let last_interrupt s = s.stop_reason
 
 let stats s =
   {

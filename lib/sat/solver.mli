@@ -64,11 +64,24 @@ val set_max_learnts : t -> int -> unit
     small limit forces frequent deletions — useful to exercise proof
     logging under clause deletion. Raises [Invalid_argument] if [n < 1]. *)
 
-val solve : ?assumptions:Lit.t list -> ?max_conflicts:int -> t -> result
+val solve :
+  ?assumptions:Lit.t list -> ?max_conflicts:int -> ?budget:Resil.Budget.t ->
+  t -> result
 (** Searches for a model extending the assumptions. [Unknown] is returned
-    only when [max_conflicts] is set and exhausted. The solver remains
-    usable after any outcome; after [Unsat] under assumptions it can still
-    be satisfiable under others. *)
+    only when [max_conflicts] is set and exhausted, or when [budget] runs
+    out — the budget's deadline, memory watermark and cancellation token
+    are polled cooperatively every 64 conflicts (its conflict cap
+    composes with [max_conflicts]; the tighter wins), and an
+    [Out_of_memory] raised mid-search is caught and reported the same
+    way. The solver remains usable after any outcome — including a
+    cancelled or exhausted one (the trail is rewound to level 0); after
+    [Unsat] under assumptions it can still be satisfiable under others.
+    See {!last_interrupt} for why an [Unknown] stopped. *)
+
+val last_interrupt : t -> Resil.Budget.reason option
+(** Why the most recent {!solve} returned [Unknown] ([Conflicts] for a
+    plain [max_conflicts] exhaustion); [None] after [Sat]/[Unsat].
+    Reset at every [solve] entry. *)
 
 val value : t -> Lit.t -> bool
 (** Value of a literal in the last model. Only meaningful after [solve]

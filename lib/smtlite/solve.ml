@@ -1,6 +1,6 @@
 type model = Term.assignment
 
-type outcome = Sat of model | Unsat | Unknown
+type outcome = Sat of model | Unsat | Unknown of Resil.Budget.reason
 
 type session = {
   compiler : Compile.t;
@@ -80,7 +80,7 @@ let assume session f =
 let extract_model session =
   List.map (fun v -> (v, Compile.var_value session.compiler v)) (session_vars session)
 
-let solve ?(assumptions = []) ?max_conflicts session =
+let solve ?(assumptions = []) ?max_conflicts ?budget session =
   let solver = Compile.solver session.compiler in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_queries;
@@ -93,17 +93,21 @@ let solve ?(assumptions = []) ?max_conflicts session =
   let t0 = if Obs.Metrics.enabled () then Obs.Clock.now_ns () else 0L in
   let outcome =
     Obs.Span.with_ "smtlite.solve" (fun () ->
-        match Sat.Solver.solve ~assumptions ?max_conflicts solver with
+        match Sat.Solver.solve ~assumptions ?max_conflicts ?budget solver with
         | Sat.Solver.Sat -> Sat (extract_model session)
         | Sat.Solver.Unsat -> Unsat
-        | Sat.Solver.Unknown -> Unknown)
+        | Sat.Solver.Unknown ->
+            Unknown
+              (Option.value
+                 (Sat.Solver.last_interrupt solver)
+                 ~default:Resil.Budget.Conflicts))
   in
   if Obs.Metrics.enabled () then
     Obs.Metrics.observe h_query_s (Obs.Clock.elapsed_s ~since:t0);
   outcome
 
-let solve_certified ?(assumptions = []) ?max_conflicts session =
-  let outcome = solve ~assumptions ?max_conflicts session in
+let solve_certified ?(assumptions = []) ?max_conflicts ?budget session =
+  let outcome = solve ~assumptions ?max_conflicts ?budget session in
   let cert =
     match session.trace with
     | None -> None
@@ -120,28 +124,28 @@ let solve_certified ?(assumptions = []) ?max_conflicts session =
             match Cert.Verdict.of_trace_unsat ~n_vars trace with
             | Ok c -> Some c
             | Error _ -> None)
-        | Unknown -> None)
+        | Unknown _ -> None)
   in
   (outcome, cert)
 
 let block session vars = Compile.block_assignment session.compiler vars
 
-let check ?max_conflicts f = solve ?max_conflicts (open_session f)
+let check ?max_conflicts ?budget f = solve ?max_conflicts ?budget (open_session f)
 
 let check_certified ?max_conflicts f =
   let trace = Cert.Proof.create () in
   solve_certified ?max_conflicts (open_session ~trace f)
 
-let enumerate ?(limit = max_int) ?max_conflicts f ~project =
+let enumerate ?(limit = max_int) ?max_conflicts ?budget f ~project =
   if project = [] then invalid_arg "Solve.enumerate: empty projection";
   let session = open_session f in
   declare session project;
   let rec loop acc n =
     if n >= limit then (List.rev acc, `Truncated)
     else
-      match solve ?max_conflicts session with
+      match solve ?max_conflicts ?budget session with
       | Unsat -> (List.rev acc, `Complete)
-      | Unknown -> (List.rev acc, `Budget)
+      | Unknown r -> (List.rev acc, `Budget r)
       | Sat model ->
           block session project;
           loop (model :: acc) (n + 1)

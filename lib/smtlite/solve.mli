@@ -7,9 +7,13 @@
 
 type model = Term.assignment
 
-type outcome = Sat of model | Unsat | Unknown
+type outcome = Sat of model | Unsat | Unknown of Resil.Budget.reason
+(** [Unknown] carries why the solver stopped: [Conflicts] for a plain
+    [max_conflicts] exhaustion, otherwise the budget cap that fired
+    (deadline / memory / cancelled). *)
 
-val check : ?max_conflicts:int -> Term.formula -> outcome
+val check :
+  ?max_conflicts:int -> ?budget:Resil.Budget.t -> Term.formula -> outcome
 (** The returned model binds every variable occurring in the formula and
     satisfies it (guaranteed by construction; re-checkable with
     {!Term.eval_formula}). *)
@@ -42,14 +46,19 @@ val assume : session -> Term.formula -> assumption
     probe becomes a range assumption over one warm session instead of a
     fresh Tseitin encoding per probe. *)
 
-val solve : ?assumptions:assumption list -> ?max_conflicts:int -> session -> outcome
+val solve :
+  ?assumptions:assumption list -> ?max_conflicts:int ->
+  ?budget:Resil.Budget.t -> session -> outcome
 (** Satisfiability of the asserted formulas conjoined with the given
     assumptions. The session stays usable after any outcome: an [Unsat]
-    under assumptions does not poison later calls with different ones. *)
+    under assumptions does not poison later calls with different ones,
+    and a budget-exhausted or cancelled query leaves the session ready
+    for the next [solve]. *)
 
 val solve_certified :
   ?assumptions:assumption list ->
   ?max_conflicts:int ->
+  ?budget:Resil.Budget.t ->
   session ->
   outcome * Cert.Verdict.t option
 (** Like {!solve}, additionally returning an independently checkable
@@ -70,12 +79,15 @@ val block : session -> Term.var list -> unit
 val enumerate :
   ?limit:int ->
   ?max_conflicts:int ->
+  ?budget:Resil.Budget.t ->
   Term.formula ->
   project:Term.var list ->
-  model list * [ `Complete | `Truncated | `Budget ]
+  model list * [ `Complete | `Truncated | `Budget of Resil.Budget.reason ]
 (** All models of the formula projected onto [project] (each listed once).
     [`Complete] means the enumeration provably exhausted the projected
     models; [`Truncated] means [limit] stopped it; [`Budget] means a
-    per-call conflict budget ran out. [project] must be non-empty. *)
+    per-call conflict cap or the budget ran out mid-enumeration (the
+    models found so far are still returned). [project] must be
+    non-empty. *)
 
 val stats : session -> Sat.Solver.stats

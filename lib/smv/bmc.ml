@@ -233,7 +233,7 @@ let check_spec prog coding ?max_conflicts ~bound (name, spec) =
       | Smtlite.Solve.Sat model ->
           (name, Violated { step = k; trace = extract_trace env model ~upto:k })
       | Smtlite.Solve.Unsat -> depth (k + 1)
-      | Smtlite.Solve.Unknown -> (name, Holds_up_to (k - 1))
+      | Smtlite.Solve.Unknown _ -> (name, Holds_up_to (k - 1))
     end
   in
   depth 0

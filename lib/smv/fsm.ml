@@ -159,9 +159,19 @@ let eval_in_state prog state e =
   | v -> Ok v
   | exception Eval_error msg -> Error msg
 
+type error =
+  [ `Invalid of string | `Eval of string | `State_limit of int ]
+
+let error_to_string = function
+  | `Invalid msg -> "invalid program: " ^ msg
+  | `Eval msg -> msg
+  | `State_limit n -> Printf.sprintf "state limit exceeded (%d states)" n
+
+exception State_limit_exceeded
+
 let explore ?(state_limit = 200_000) prog =
   match Ast.validate prog with
-  | Error msg -> Error ("invalid program: " ^ msg)
+  | Error msg -> Error (`Invalid msg)
   | Ok () -> (
       let indices = make_indices prog in
       try
@@ -172,7 +182,7 @@ let explore ?(state_limit = 200_000) prog =
         let push parent_state s =
           if not (Hashtbl.mem seen s) then begin
             if Hashtbl.length seen >= state_limit then
-              raise (Eval_error "state limit exceeded");
+              raise State_limit_exceeded;
             Hashtbl.add seen s ();
             Hashtbl.add parent s parent_state;
             Queue.add s queue
@@ -220,5 +230,6 @@ let explore ?(state_limit = 200_000) prog =
             violations;
           }
       with
-      | Eval_error msg -> Error msg
-      | Invalid_argument msg -> Error msg)
+      | State_limit_exceeded -> Error (`State_limit state_limit)
+      | Eval_error msg -> Error (`Eval msg)
+      | Invalid_argument msg -> Error (`Eval msg))

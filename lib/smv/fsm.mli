@@ -23,10 +23,21 @@ type outcome = {
           a shortest trace to the first violation found. *)
 }
 
-val explore : ?state_limit:int -> Ast.program -> (outcome, string) result
+type error =
+  [ `Invalid of string  (** rejected by {!Ast.validate} *)
+  | `Eval of string     (** ill-typed expression or evaluation failure *)
+  | `State_limit of int (** more than [state_limit] states reached — a
+                            resource bound, not a program error; the
+                            payload is the limit that was hit *) ]
+
+val error_to_string : error -> string
+
+val explore : ?state_limit:int -> Ast.program -> (outcome, error) result
 (** Full reachability. Fails with [Error] if the program is invalid
     (see {!Ast.validate}), an expression is ill-typed, or more than
-    [state_limit] states (default 200_000) are reached. *)
+    [state_limit] states (default 200_000) are reached — the latter as
+    the distinct [`State_limit] case so callers can budget/retry rather
+    than treat it as a broken model. *)
 
 val state_to_assoc : Ast.program -> state -> (string * Ast.value) list
 (** Pair each state variable name with its value. *)

@@ -110,6 +110,59 @@ let filter_mapi ?jobs f arr =
 
 let filter_map ?jobs f arr = filter_mapi ?jobs (fun _ x -> f x) arr
 
+(* Until-variants: poll [stop] before each element; a chunk that observes
+   [stop] abandons the rest of its range and returns [None] — a sentinel,
+   not an exception, so a genuine worker exception is never masked by a
+   concurrent stop (run_chunks re-raises the lowest-numbered chunk's
+   exception). *)
+
+let map_until ?jobs ~stop f arr =
+  let len = Array.length arr in
+  let jobs = resolve ?jobs len in
+  let chunk lo hi =
+    let out = ref [] in
+    let i = ref lo in
+    let stopped = ref false in
+    while (not !stopped) && !i < hi do
+      if stop () then stopped := true
+      else begin
+        out := f !i arr.(!i) :: !out;
+        incr i
+      end
+    done;
+    if !stopped then None else Some (List.rev !out)
+  in
+  let chunks =
+    if jobs = 1 then [| chunk 0 len |] else run_chunks ~jobs len chunk
+  in
+  if Array.exists Option.is_none chunks then Error ()
+  else
+    Ok
+      (Array.concat
+         (Array.to_list (Array.map (fun c -> Array.of_list (Option.get c)) chunks)))
+
+let filter_mapi_until ?jobs ~stop f arr =
+  let len = Array.length arr in
+  let jobs = resolve ?jobs len in
+  let chunk lo hi =
+    let out = ref [] in
+    let i = ref lo in
+    let stopped = ref false in
+    while (not !stopped) && !i < hi do
+      if stop () then stopped := true
+      else begin
+        (match f !i arr.(!i) with Some y -> out := y :: !out | None -> ());
+        incr i
+      end
+    done;
+    if !stopped then None else Some (List.rev !out)
+  in
+  let chunks =
+    if jobs = 1 then [| chunk 0 len |] else run_chunks ~jobs len chunk
+  in
+  if Array.exists Option.is_none chunks then Error ()
+  else Ok (List.concat (Array.to_list (Array.map Option.get chunks)))
+
 let exists ?jobs p arr =
   let len = Array.length arr in
   let jobs = resolve ?jobs len in

@@ -36,6 +36,26 @@ val exists : ?jobs:int -> ('a -> bool) -> 'a array -> bool
 (** Workers poll a shared flag and stop early once any element satisfies
     the predicate. *)
 
+(** {1 Cooperative early stop}
+
+    The [_until] variants poll [stop] (which must be thread-safe — an
+    atomic flag or a {e budget} check) before every element. A chunk
+    that observes [stop] abandons the rest of its range; the whole call
+    then returns [Error ()] and all per-element results are discarded,
+    so [Ok] results remain deterministic and independent of [jobs].
+    Abandonment is a sentinel, not an exception: a genuine worker
+    exception still propagates (after all domains are joined) and is
+    never masked by a concurrent stop. *)
+
+val map_until :
+  ?jobs:int -> stop:(unit -> bool) -> (int -> 'a -> 'b) -> 'a array ->
+  ('b array, unit) result
+
+val filter_mapi_until :
+  ?jobs:int -> stop:(unit -> bool) -> (int -> 'a -> 'b option) -> 'a array ->
+  ('b list, unit) result
+(** [Some]-results in input order when no chunk stopped. *)
+
 (** {1 Failure semantics}
 
     When a worker raises, every spawned domain is still joined before the

@@ -257,7 +257,7 @@ let test_backend_run_all_and_agree () =
             true (B.agree gt v))
     results;
   Alcotest.(check bool) "verdict_equal distinguishes decisions" false
-    (B.verdict_equal B.Robust B.Unknown)
+    (B.verdict_equal B.Robust (B.Unknown Resil.Budget.Incomplete))
 
 let () =
   Alcotest.run "check"

@@ -203,7 +203,7 @@ let prop_misclassified_formula_semantics =
 let verdict_flips = function
   | B.Flip _ -> true
   | B.Robust -> false
-  | B.Unknown -> Alcotest.fail "unexpected unknown from complete backend"
+  | B.Unknown _ -> Alcotest.fail "unexpected unknown from complete backend"
 
 let prop_backends_agree =
   QCheck.Test.make ~name:"bnb = explicit = smt on small ranges" ~count:60 arb_qnet
@@ -234,7 +234,7 @@ let prop_interval_sound_wrt_explicit =
                 (verdict_flips
                    (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec
                       ~input ~label))
-          | B.Unknown -> true
+          | B.Unknown _ -> true
           | B.Flip _ -> false (* interval backend never produces witnesses *))
         [ 1; 3 ])
 
@@ -290,7 +290,7 @@ let test_cascade_stats_snapshot_consistency () =
     let spec = N.symmetric ~delta ~bias_noise:false in
     match B.exists_flip B.Interval net spec ~input ~label with
     | B.Robust -> true
-    | B.Unknown | B.Flip _ -> false
+    | B.Unknown _ | B.Flip _ -> false
   in
   (* Pick the deltas from the interval backend's own answers instead of
      baking verdicts into the test. *)
@@ -391,6 +391,7 @@ let prop_bnb_box_restriction =
         match Fannet.Bnb.exists_flip ~box net spec ~input ~label with
         | Fannet.Bnb.Flip v -> v.N.inputs.(0) >= 1
         | Fannet.Bnb.Robust -> false
+        | Fannet.Bnb.Unknown _ -> assert false (* no budget on this path *)
       in
       got = expected)
 
@@ -555,7 +556,7 @@ let test_network_tolerance_tiny () =
         let spec = N.symmetric ~delta:tol ~bias_noise:false in
         match B.exists_flip B.Bnb net spec ~input ~label with
         | B.Robust -> ()
-        | B.Flip _ | B.Unknown -> Alcotest.fail "flip at or below tolerance"
+        | B.Flip _ | B.Unknown _ -> Alcotest.fail "flip at or below tolerance"
       end)
     inputs;
   if tol < 30 then begin
@@ -566,7 +567,7 @@ let test_network_tolerance_tiny () =
           match B.exists_flip B.Bnb net spec ~input ~label with
           | B.Flip _ -> true
           | B.Robust -> false
-          | B.Unknown -> false)
+          | B.Unknown _ -> false)
         inputs
     in
     Alcotest.(check bool) "some flip just above tolerance" true any_flip
@@ -625,6 +626,7 @@ let test_single_node_tolerance () =
           (fun (input, label) ->
             match Fannet.Bnb.exists_flip ~box:(box 40) net spec ~input ~label with
             | Fannet.Bnb.Robust -> ()
+            | Fannet.Bnb.Unknown _ -> assert false (* no budget on this path *)
             | Fannet.Bnb.Flip _ -> Alcotest.fail "None but a flip exists")
           inputs
     | Some d ->
@@ -635,6 +637,7 @@ let test_single_node_tolerance () =
           (fun (input, label) ->
             match Fannet.Bnb.exists_flip ~box:(box d) net spec ~input ~label with
             | Fannet.Bnb.Robust -> ()
+            | Fannet.Bnb.Unknown _ -> assert false (* no budget on this path *)
             | Fannet.Bnb.Flip _ -> Alcotest.fail "flip at claimed-safe range")
           inputs;
         (* ... and some flip at d+1. *)
@@ -643,7 +646,8 @@ let test_single_node_tolerance () =
             (fun (input, label) ->
               match Fannet.Bnb.exists_flip ~box:(box (d + 1)) net spec ~input ~label with
               | Fannet.Bnb.Flip _ -> true
-              | Fannet.Bnb.Robust -> false)
+              | Fannet.Bnb.Robust -> false
+              | Fannet.Bnb.Unknown _ -> assert false (* no budget on this path *))
             inputs
         in
         Alcotest.(check bool) "flip just above" true flips
@@ -893,7 +897,7 @@ let test_baseline_agrees_with_formal_absence () =
       let rng = Util.Rng.create 11 in
       let r = Fannet.Baseline.random_search ~rng net spec ~input ~label ~budget:2000 in
       Alcotest.(check int) "no flips found" 0 (List.length r.found)
-  | B.Flip _ | B.Unknown -> ())
+  | B.Flip _ | B.Unknown _ -> ())
   [@warning "-4"]
 
 (* ---------- validate / pipeline ---------- *)

@@ -138,7 +138,7 @@ let test_check_simple_sat () =
   | S.Sat model ->
       Alcotest.(check int) "x=4" 4 (T.lookup model x);
       Alcotest.(check bool) "model satisfies" true (T.eval_formula model f)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat"
 
 let test_check_simple_unsat () =
   let x = T.var ~name:"x" ~lo:0 ~hi:10 in
@@ -150,7 +150,7 @@ let test_check_relu_case_split () =
   let x = T.var ~name:"x" ~lo:(-10) ~hi:10 in
   (match S.check (T.eq (T.relu (T.of_var x)) (T.const 5)) with
   | S.Sat model -> Alcotest.(check int) "x=5" 5 (T.lookup model x)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat");
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat");
   Alcotest.(check bool) "relu never negative" true
     (S.check (T.eq (T.relu (T.of_var x)) (T.const (-1))) = S.Unsat)
 
@@ -161,7 +161,7 @@ let test_check_bounds_respected () =
   | S.Sat model ->
       let v = T.lookup model x in
       Alcotest.(check bool) "3<=x<=7" true (v >= 3 && v <= 7)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat"
 
 let random_formula_gen =
   (* Small random formulas over two bounded vars, built from linear atoms
@@ -194,7 +194,7 @@ let prop_solver_vs_brute_force =
       match S.check f with
       | S.Sat model -> expected && T.eval_formula model f
       | S.Unsat -> not expected
-      | S.Unknown -> false)
+      | S.Unknown _ -> false)
 
 let prop_enumerate_counts =
   QCheck.Test.make ~name:"enumerate count equals brute-force count" ~count:60
@@ -247,7 +247,7 @@ let test_session_incremental () =
   let session = S.open_session (T.ge (T.of_var x) (T.const 5)) in
   (match S.solve session with
   | S.Sat model -> Alcotest.(check bool) "x>=5" true (T.lookup model x >= 5)
-  | S.Unsat | S.Unknown -> Alcotest.fail "sat expected");
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "sat expected");
   S.assert_also session (T.le (T.of_var x) (T.const 4));
   Alcotest.(check bool) "now unsat" true (S.solve session = S.Unsat)
 
@@ -267,17 +267,17 @@ let test_session_assumptions () =
   | S.Sat model ->
       let v = T.lookup model x in
       Alcotest.(check bool) "within assumed range" true (v >= 5 && v <= 8)
-  | S.Unsat | S.Unknown -> Alcotest.fail "sat under wide assumption expected");
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "sat under wide assumption expected");
   Alcotest.(check bool) "narrow assumption unsat" true
     (S.solve ~assumptions:[ narrow ] session = S.Unsat);
   (* The narrow probe must not poison the session: wide is still Sat,
      and an assumption-free solve still sees only the base formula. *)
   (match S.solve ~assumptions:[ wide ] session with
   | S.Sat _ -> ()
-  | S.Unsat | S.Unknown -> Alcotest.fail "wide assumption sat again expected");
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "wide assumption sat again expected");
   match S.solve session with
   | S.Sat model -> Alcotest.(check bool) "base formula" true (T.lookup model x >= 5)
-  | S.Unsat | S.Unknown -> Alcotest.fail "assumption-free solve sat expected"
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "assumption-free solve sat expected"
 
 let test_check_linear_system () =
   (* x + y = 10, x - y = 4 -> x = 7, y = 3. *)
@@ -291,7 +291,7 @@ let test_check_linear_system () =
   | S.Sat model ->
       Alcotest.(check int) "x" 7 (T.lookup model x);
       Alcotest.(check int) "y" 3 (T.lookup model y)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat"
 
 let test_wide_range_var () =
   (* Gene-expression scale values must work (up to 5,000,000 after the
@@ -300,7 +300,7 @@ let test_wide_range_var () =
   let f = T.eq (T.of_var x) (T.const 4_999_999) in
   match S.check f with
   | S.Sat model -> Alcotest.(check int) "big value" 4_999_999 (T.lookup model x)
-  | S.Unsat | S.Unknown -> Alcotest.fail "expected sat"
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat"
 
 let () =
   Alcotest.run "smtlite"

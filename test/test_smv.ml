@@ -109,7 +109,7 @@ let test_printer_set_and_enum () =
 let explore_ok p =
   match Smv.Fsm.explore p with
   | Ok o -> o
-  | Error e -> Alcotest.fail ("explore: " ^ e)
+  | Error e -> Alcotest.fail ("explore: " ^ Smv.Fsm.error_to_string e)
 
 let test_fsm_counter_reachability () =
   let o = explore_ok (counter_program ()) in
@@ -200,7 +200,11 @@ let test_fsm_state_limit () =
     }
   in
   match Smv.Fsm.explore ~state_limit:10 p with
-  | Error msg -> Alcotest.(check bool) "limit error" true (contains msg "limit")
+  | Error (`State_limit n) ->
+      Alcotest.(check int) "limit value" 10 n;
+      Alcotest.(check bool) "limit error rendered" true
+        (contains (Smv.Fsm.error_to_string (`State_limit n)) "limit")
+  | Error e -> Alcotest.fail ("wrong error: " ^ Smv.Fsm.error_to_string e)
   | Ok _ -> Alcotest.fail "expected state-limit error"
 
 let test_fsm_domain_violation_detected () =
@@ -216,7 +220,9 @@ let test_fsm_domain_violation_detected () =
   in
   (* x+1 leaves the domain on the second step. *)
   match Smv.Fsm.explore p with
-  | Error msg -> Alcotest.(check bool) "domain error" true (contains msg "domain")
+  | Error e ->
+      Alcotest.(check bool) "domain error" true
+        (contains (Smv.Fsm.error_to_string e) "domain")
   | Ok _ -> Alcotest.fail "expected domain error"
 
 let test_fsm_eval_in_state () =
@@ -299,7 +305,7 @@ let test_translate_noise_violation_matches_explicit () =
         with
         | Fannet.Backend.Flip _ -> true
         | Fannet.Backend.Robust -> false
-        | Fannet.Backend.Unknown -> Alcotest.fail "explicit unknown"
+        | Fannet.Backend.Unknown _ -> Alcotest.fail "explicit unknown"
       in
       let cfg = Smv.Translate.symmetric ~delta ~bias_noise:false ~samples:[ (input, label) ] in
       let o = explore_net net cfg in

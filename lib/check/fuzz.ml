@@ -48,12 +48,13 @@ let run_cases ?run ?(log = fun _ -> ()) ~master_seed cases =
   List.iteri
     (fun i case ->
       if i > 0 && i mod 100 = 0 then log (Printf.sprintf "  ... %d/%d cases" i n);
-      (* The parallel-determinism double-run and the certificate check are
-         sampled: every 8th / 4th case still exercises them while the
-         smoke run stays in budget. *)
+      (* The parallel-determinism double-run, the certificate check and
+         the portfolio race are sampled: every 8th / 4th / 4th case still
+         exercises them while the smoke run stays in budget (offset so
+         the certificate and portfolio rarely land on the same case). *)
       let result =
         Oracle.check_case ?run ~check_parallel:(i mod 8 = 0)
-          ~check_certificate:(i mod 4 = 0) case
+          ~check_certificate:(i mod 4 = 0) ~check_portfolio:(i mod 4 = 2) case
       in
       (match result.Oracle.ground_truth with
       | B.Robust -> incr robust

@@ -20,7 +20,12 @@
       agrees with the enumerator, returns a certificate for every decided
       verdict, and the certificate passes the independent [lib/cert]
       checker ({!Fannet.Backend.check_certified}) — also sampled by the
-      driver ([?check_certificate] controls it here).
+      driver ([?check_certificate] controls it here);
+    - {b portfolio agreement}: {!Fannet.Portfolio.exists_flip} (width 3,
+      diversified seeds, clause sharing on) reaches the enumerator's
+      decision, reports a winning seed for every decided verdict, and any
+      witness is valid — sampled by the driver ([?check_portfolio]
+      controls it here; it spawns domains per query).
 
     The backend runner is injectable ([?run]) so tests can mutate a
     backend and assert the oracle catches the discrepancy (mutation
@@ -55,8 +60,15 @@ val backends_under_test : Fannet.Backend.t list
     [Interval], as run by {!check_case}. *)
 
 val check_case :
-  ?run:runner -> ?check_parallel:bool -> ?check_certificate:bool -> Case.t -> result
+  ?run:runner ->
+  ?check_parallel:bool ->
+  ?check_certificate:bool ->
+  ?check_portfolio:bool ->
+  Case.t ->
+  result
 (** [run] defaults to {!Fannet.Backend.exists_flip}; [check_parallel]
     (default [true]) re-runs all backends on a 4-worker pool and compares
     verdict vectors; [check_certificate] (default [true]) runs the
-    certified SMT path and validates its proof/model certificate. *)
+    certified SMT path and validates its proof/model certificate;
+    [check_portfolio] (default [true]) races the diversified portfolio
+    against the enumerator's decision. *)

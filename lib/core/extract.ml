@@ -157,26 +157,20 @@ let for_input ?(limit = 10_000) ?budget ?checkpoint net spec ~input ~label
           if Sys.file_exists path then Sys.remove path);
       finish vectors st
 
+(* The paper's P3 blocking loop, on a pooled warm session: found models
+   are excluded through per-call assumptions ({!Warm.enumerate_flips}),
+   so the session survives for later queries about the same
+   (net, spec, input, label) — a sweep or cross-check re-enumerates from
+   a warm encoding. The corpus comes back in canonical {!Noise.compare}
+   order (the complete flip set is a semantic property of the query, and
+   sorting hides which enumeration order the warm session followed). *)
 let smt_for_input ?(limit = 10_000) ?max_conflicts ?budget net spec ~input
     ~label ~input_index =
-  let enc = Encode.encode net ~input spec in
-  let project = Encode.noise_vars enc in
-  let session =
-    Smtlite.Solve.open_session (Encode.misclassified enc ~true_label:label)
+  let vectors, st =
+    Warm.enumerate_flips ~limit ?max_conflicts ?budget net spec ~input ~label
   in
-  let rec loop acc n =
-    if n >= limit then (List.rev acc, Truncated)
-    else
-      match Smtlite.Solve.solve ?max_conflicts ?budget session with
-      | Smtlite.Solve.Unsat -> (List.rev acc, Complete)
-      | Smtlite.Solve.Unknown r -> (List.rev acc, Budget r)
-      | Smtlite.Solve.Sat model ->
-          let vector = Encode.vector_of_model enc model in
-          let cex = make_counterexample net spec ~input ~label ~input_index vector in
-          Smtlite.Solve.block session project;
-          loop (cex :: acc) (n + 1)
-  in
-  loop [] 0
+  ( List.map (make_counterexample net spec ~input ~label ~input_index) vectors,
+    of_bnb_status st )
 
 let weakest a b =
   match (a, b) with

@@ -1,0 +1,164 @@
+(* ------------------------------------------------------------------ *)
+(* Portfolio SAT for the P2 query: the same bit-blasted exists-flip     *)
+(* formula raced on several diversified CDCL solvers, first decided     *)
+(* answer wins and cancels the rest.                                    *)
+(*                                                                      *)
+(* Every member is the complete Smt backend, so any decided answer is   *)
+(* THE answer — diversification (scattered phases, staggered restarts,  *)
+(* occasional random decisions) only changes which member gets there    *)
+(* first. Members may exchange short learnt clauses through a bounded   *)
+(* lock-free mailbox; the receiving solver re-derives every foreign     *)
+(* clause by reverse unit propagation before adopting it, so sharing    *)
+(* cannot unsound a member and DRUP traces remain independently         *)
+(* checkable ({!Sat.Solver.set_clause_hooks}).                          *)
+(*                                                                      *)
+(* Sessions are built sequentially on the calling domain (term and      *)
+(* solver variable allocation is not domain-safe); the raced domains    *)
+(* only solve. Losers are stopped through child cancellation tokens     *)
+(* ({!Resil.Budget.link}), so a portfolio win never fires the caller's  *)
+(* own token.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mailbox_slots = 256
+
+let m_races = Obs.Metrics.counter "portfolio.races"
+
+let m_undecided = Obs.Metrics.counter "portfolio.undecided"
+
+let h_cancel_latency =
+  Obs.Metrics.histogram "portfolio.cancel_latency_s"
+    ~buckets:[| 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+
+let win_counter seed =
+  Obs.Metrics.counter (Printf.sprintf "portfolio.wins.seed%d" seed)
+
+let default_width () = min 4 (Util.Parallel.default_jobs ())
+
+(* A worker that cannot decide unwinds with this; the race then either
+   has a decided winner from another member or re-raises the lowest
+   seed's reason (every member stopped for the same parent-level cause,
+   modulo cancellation). *)
+exception Undecided of Resil.Budget.reason
+
+let validate_flip net spec ~input ~label v =
+  if not (Noise.in_range spec v) then
+    failwith "Portfolio: witness outside the noise range";
+  if Noise.predict net spec ~input v = label then
+    failwith "Portfolio: witness does not misclassify";
+  Backend.Flip v
+
+(* Shared skeleton of the plain and certified races. [open_one] builds a
+   member's session, [solve_one] runs its query and returns the winning
+   payload (or the reason it could not decide). *)
+let run ?budget ~width ~share net spec ~input ~label ~open_one ~solve_one =
+  let width = max 1 width in
+  Obs.Metrics.incr m_races;
+  let parent_token =
+    match budget with
+    | Some b -> Resil.Budget.cancellation b
+    | None -> Resil.Budget.token ()
+  in
+  let timeout_s = Option.bind budget Resil.Budget.remaining_s in
+  let conflicts = Option.bind budget Resil.Budget.conflicts in
+  let mailbox = if share && width > 1 then Some (Sat.Mailbox.create ~slots:mailbox_slots) else None in
+  let enc = Encode.encode net ~input spec in
+  let formula = Encode.misclassified enc ~true_label:label in
+  let members =
+    Array.init width (fun seed ->
+        (* Each member re-encodes the same formula into its own session:
+           fresh term variables, fresh solver — identical CNF structure,
+           independent search state. Built here, sequentially. *)
+        let enc = if seed = 0 then enc else Encode.encode net ~input spec in
+        let session = open_one (if seed = 0 then formula else Encode.misclassified enc ~true_label:label) in
+        let solver = Smtlite.Solve.sat_solver session in
+        Sat.Solver.set_diversification solver ~seed;
+        let child =
+          Resil.Budget.create ?timeout_s ?conflicts
+            ~token:(Resil.Budget.link parent_token) ()
+        in
+        (seed, enc, session, solver, child))
+  in
+  let cancel_ns = Atomic.make 0L in
+  let cancel () =
+    ignore (Atomic.compare_and_set cancel_ns 0L (Obs.Clock.now_ns ()));
+    Array.iter
+      (fun (_, _, _, _, child) ->
+        Resil.Budget.cancel (Resil.Budget.cancellation child))
+      members
+  in
+  let thunk (seed, enc, session, solver, child) () =
+    (match mailbox with
+    | None -> ()
+    | Some mb ->
+        (* Hooks are installed on the racing domain: the reader cursor is
+           domain-local, and nobody else touches this solver while the
+           race runs. *)
+        let reader = Sat.Mailbox.reader mb in
+        Sat.Solver.set_clause_hooks solver
+          ~export:(fun lits -> Sat.Mailbox.publish mb ~src:seed lits)
+          ~import:(fun () ->
+            let acc = ref [] in
+            Sat.Mailbox.drain reader ~self:seed (fun lits -> acc := lits :: !acc);
+            !acc)
+          ());
+    match solve_one ~budget:child enc session with
+    | Ok payload -> (seed, payload)
+    | Error reason ->
+        (let t = Atomic.get cancel_ns in
+         if t <> 0L then
+           Obs.Metrics.observe h_cancel_latency (Obs.Clock.elapsed_s ~since:t));
+        raise (Undecided reason)
+  in
+  match
+    if width = 1 then (0, (thunk members.(0) ()))
+    else fst (Util.Parallel.race ~cancel (Array.map thunk members))
+  with
+  | _, (seed, payload) ->
+      Obs.Metrics.incr (win_counter seed);
+      Ok (seed, payload)
+  | exception Undecided reason ->
+      Obs.Metrics.incr m_undecided;
+      Error reason
+
+let exists_flip ?budget ?width ?(share = true) net spec ~input ~label =
+  let width = match width with Some w -> w | None -> default_width () in
+  let solve_one ~budget enc session =
+    match Smtlite.Solve.solve ~budget session with
+    | Smtlite.Solve.Unsat -> Ok Backend.Robust
+    | Smtlite.Solve.Unknown r -> Error r
+    | Smtlite.Solve.Sat model ->
+        Ok
+          (validate_flip net spec ~input ~label
+             (Encode.vector_of_model enc model))
+  in
+  match
+    run ?budget ~width ~share net spec ~input ~label
+      ~open_one:(fun f -> Smtlite.Solve.open_session f)
+      ~solve_one
+  with
+  | Ok (seed, verdict) -> (verdict, Some seed)
+  | Error reason -> (Backend.Unknown reason, None)
+
+let certified_exists_flip ?budget ?width ?(share = true) net spec ~input ~label
+    =
+  let width = match width with Some w -> w | None -> default_width () in
+  let solve_one ~budget enc session =
+    match Smtlite.Solve.solve_certified ~budget session with
+    | Smtlite.Solve.Unsat, cert -> Ok (Backend.Robust, cert)
+    | Smtlite.Solve.Unknown r, _ -> Error r
+    | Smtlite.Solve.Sat model, cert ->
+        Ok
+          ( validate_flip net spec ~input ~label
+              (Encode.vector_of_model enc model),
+            cert )
+  in
+  match
+    run ?budget ~width ~share net spec ~input ~label
+      ~open_one:(fun f ->
+        Smtlite.Solve.open_session ~trace:(Cert.Proof.create ()) f)
+      ~solve_one
+  with
+  | Ok (seed, (verdict, cert)) ->
+      ({ Backend.cv_verdict = verdict; cv_cert = cert }, Some seed)
+  | Error reason ->
+      ({ Backend.cv_verdict = Backend.Unknown reason; cv_cert = None }, None)

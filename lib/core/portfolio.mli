@@ -1,0 +1,61 @@
+(** Portfolio SAT for the P2 exists-flip query.
+
+    The same bit-blasted query raced on [width] diversified CDCL solvers
+    (seed 0 is the pristine default solver; other seeds scatter phases,
+    stagger restart schedules and inject occasional random decisions —
+    {!Sat.Solver.set_diversification}). The first member to {e decide}
+    wins and cancels the rest through child cancellation tokens
+    ({!Resil.Budget.link}), so a win never fires the caller's own budget
+    token; losers stop cooperatively at their next budget poll.
+
+    Every member is complete, so the decided verdict class is seed- and
+    schedule-independent: a portfolio answer always agrees with the
+    single-solver [Backend.Smt] answer ([Flip] witnesses may differ by
+    member — each is re-validated against {!Noise.predict} before being
+    returned). [Unknown] is returned only when {e no} member could decide
+    (the shared budget ran out), carrying the lowest seed's reason.
+
+    With [share] (the default, width > 1), members exchange learnt
+    clauses of at most {!Sat.Solver.set_clause_hooks}'s export cap
+    through a bounded lock-free {!Sat.Mailbox}; every foreign clause is
+    re-derived by reverse unit propagation before adoption, so sharing
+    cannot unsound a member and certified traces stay independently
+    checkable.
+
+    Observability: [portfolio.races], [portfolio.undecided],
+    [portfolio.wins.seed<k>] counters and a [portfolio.cancel_latency_s]
+    histogram (time from the winner's cancel to each loser actually
+    stopping). *)
+
+val default_width : unit -> int
+(** [min 4 (Util.Parallel.default_jobs ())] — racing more members than
+    cores pays cancellation cost for no search diversity gain. *)
+
+val exists_flip :
+  ?budget:Resil.Budget.t ->
+  ?width:int ->
+  ?share:bool ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  Backend.verdict * int option
+(** The raced query. Returns the verdict and the winning member's seed
+    ([None] when no member decided). Sessions are built sequentially on
+    the calling domain; only the solving runs on raced domains. *)
+
+val certified_exists_flip :
+  ?budget:Resil.Budget.t ->
+  ?width:int ->
+  ?share:bool ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  input:int array ->
+  label:int ->
+  Backend.certified_verdict * int option
+(** Like {!exists_flip} with a DRUP trace attached to every member: the
+    winner's certificate is returned and must pass the independent
+    checker — validate with {!Backend.check_certified}, exactly as for a
+    single-solver certified verdict. Imported shared clauses are logged
+    as RUP lemmas in the adopting member's trace, so the winning trace
+    checks regardless of which members exchanged clauses. *)

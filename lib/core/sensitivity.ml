@@ -84,7 +84,10 @@ let node_to_dim (spec : Noise.spec) node =
    it). *)
 exception Stopped of Resil.Budget.reason
 
-let side_exists ?budget (spec : Noise.spec) ~inputs net node ~positive =
+type engine = Bnb | Smt
+
+let side_exists ?(engine = Bnb) ?budget (spec : Noise.spec) ~inputs net node
+    ~positive =
   let lo, hi =
     if positive then (1, spec.Noise.delta_hi) else (spec.Noise.delta_lo, -1)
   in
@@ -100,10 +103,19 @@ let side_exists ?budget (spec : Noise.spec) ~inputs net node ~positive =
               if d = node_to_dim spec node then (lo, hi)
               else (spec.Noise.delta_lo, spec.Noise.delta_hi))
         in
-        match Bnb.exists_flip ~box ?budget net spec ~input ~label with
-        | Bnb.Flip _ -> true
-        | Bnb.Robust -> false
-        | Bnb.Unknown r -> raise (Stopped r))
+        match engine with
+        | Bnb -> (
+            match Bnb.exists_flip ~box ?budget net spec ~input ~label with
+            | Bnb.Flip _ -> true
+            | Bnb.Robust -> false
+            | Bnb.Unknown r -> raise (Stopped r))
+        | Smt -> (
+            (* Bit-blasted one-sided query on a pooled warm session: all
+               boxes about one (net, input, label) share one encoding,
+               each box is a memoised assumption ({!Warm.probe_box}). *)
+            match Warm.probe_box ?budget net spec ~box ~input ~label with
+            | Ok flips -> flips
+            | Error r -> raise (Stopped r)))
       inputs
 
 let sided_nodes (spec : Noise.spec) ~inputs =
@@ -112,19 +124,20 @@ let sided_nodes (spec : Noise.spec) ~inputs =
   if spec.Noise.bias_noise then Array.init (n_inputs + 1) Fun.id
   else Array.init n_inputs (fun i -> i + 1)
 
-let formal_sidedness ?jobs net (spec : Noise.spec) ~inputs =
+let formal_sidedness ?jobs ?engine net (spec : Noise.spec) ~inputs =
   let nodes = sided_nodes spec ~inputs in
-  (* One worker per node; both one-sided queries stay on that worker. *)
+  (* One worker per node; both one-sided queries stay on that worker (and,
+     with the Smt engine, share that worker's warm sessions). *)
   Util.Parallel.map ?jobs
     (fun node ->
       {
         fs_node = node;
-        positive_flip = side_exists spec ~inputs net node ~positive:true;
-        negative_flip = side_exists spec ~inputs net node ~positive:false;
+        positive_flip = side_exists ?engine spec ~inputs net node ~positive:true;
+        negative_flip = side_exists ?engine spec ~inputs net node ~positive:false;
       })
     nodes
 
-let formal_sidedness_b ?jobs ?budget net (spec : Noise.spec) ~inputs =
+let formal_sidedness_b ?jobs ?engine ?budget net (spec : Noise.spec) ~inputs =
   let nodes = sided_nodes spec ~inputs in
   let failed : Resil.Budget.reason option Atomic.t = Atomic.make None in
   let note r = ignore (Atomic.compare_and_set failed None (Some r)) in
@@ -140,8 +153,10 @@ let formal_sidedness_b ?jobs ?budget net (spec : Noise.spec) ~inputs =
         match
           {
             fs_node = node;
-            positive_flip = side_exists ?budget spec ~inputs net node ~positive:true;
-            negative_flip = side_exists ?budget spec ~inputs net node ~positive:false;
+            positive_flip =
+              side_exists ?engine ?budget spec ~inputs net node ~positive:true;
+            negative_flip =
+              side_exists ?engine ?budget spec ~inputs net node ~positive:false;
           }
         with
         | fs -> Ok fs

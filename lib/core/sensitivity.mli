@@ -38,8 +38,17 @@ type formal_side = {
   negative_flip : bool;  (** some counterexample has noise <= -1 here *)
 }
 
+type engine =
+  | Bnb  (** complete branch-and-bound with box restriction (default) *)
+  | Smt
+      (** bit-blasted queries on pooled {!Warm} sessions: all boxes about
+          one (network, input, label) share one Tseitin encoding, each box
+          is a memoised assumption — the per-node workers of
+          {!formal_sidedness} warm-start each other's queries *)
+
 val formal_sidedness :
   ?jobs:int ->
+  ?engine:engine ->
   Nn.Qnet.t ->
   Noise.spec ->
   inputs:Validate.labelled array ->
@@ -49,10 +58,12 @@ val formal_sidedness :
     (possibly truncated) corpus: node [i] admits a positive-side flip iff
     some input has a flipping vector whose [i]-component is >= +1 (other
     nodes range freely). A node with [positive_flip = false] is the
-    paper's "extremely insensitive to positive noise" case (its i5). *)
+    paper's "extremely insensitive to positive noise" case (its i5).
+    Both engines are complete, so the answer is engine-independent. *)
 
 val formal_sidedness_b :
   ?jobs:int ->
+  ?engine:engine ->
   ?budget:Resil.Budget.t ->
   Nn.Qnet.t ->
   Noise.spec ->

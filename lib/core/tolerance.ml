@@ -132,55 +132,28 @@ let rec bisect flips lo hi =
     let mid = (lo + hi) / 2 in
     if flips mid then bisect flips lo mid else bisect flips mid hi
 
-(* Incremental bit-blasted search: one warm solver session for the whole
-   binary search. The network is Tseitin-encoded once at the widest range
-   [±max_delta]; each probe ±delta is the assumption "every noise variable
-   lies in [-delta, +delta]", compiled to one assumable literal. The CDCL
-   solver keeps its learnt clauses and phase saving across probes, and no
-   probe pays a fresh encoding. With [prefilter], the interval pass runs
-   first per probe and the solver is only consulted when it cannot prove
-   robustness. *)
+(* Incremental bit-blasted search over one warm solver session. The
+   session comes from the per-domain {!Warm} pool keyed by
+   (net, input, label, bias_noise, max_delta): the network is
+   Tseitin-encoded once at the widest range [±max_delta], each probe
+   ±delta is the memoised assumption "every noise variable lies in
+   [-delta, +delta]", and — because the pool outlives this call — a later
+   search or sweep probe about the same input skips the encoding
+   entirely. With [prefilter], the interval pass runs first per probe and
+   the solver is only consulted when it cannot prove robustness. *)
 let smt_min_flip_delta ?budget ~prefilter net ~bias_noise ~max_delta ~input
     ~label =
-  let spec = Noise.symmetric ~delta:max_delta ~bias_noise in
-  let enc = Encode.encode net ~input spec in
-  let session =
-    Smtlite.Solve.open_session (Encode.misclassified enc ~true_label:label)
-  in
-  let vars = Encode.noise_vars enc in
-  let range_assumptions = Hashtbl.create 8 in
-  let assumption_for delta =
-    match Hashtbl.find_opt range_assumptions delta with
-    | Some a -> a
-    | None ->
-        let bounded v =
-          let d = T.of_var v in
-          T.and_ [ T.ge d (T.const (-delta)); T.le d (T.const delta) ]
-        in
-        let a = Smtlite.Solve.assume session (T.and_ (List.map bounded vars)) in
-        Hashtbl.add range_assumptions delta a;
-        a
-  in
   let solver_flips delta =
-    let assumptions = if delta = max_delta then [] else [ assumption_for delta ] in
     match
       Obs.Span.with_ (Printf.sprintf "tolerance.smt_probe ±%d%%" delta) (fun () ->
-          Smtlite.Solve.solve ~assumptions ?budget session)
+          Warm.probe_delta ?budget net ~bias_noise ~cover:max_delta ~delta
+            ~input ~label)
     with
-    | Smtlite.Solve.Unsat -> false
-    | Smtlite.Solve.Unknown r ->
+    | Ok flips -> flips
+    | Error r ->
         (* Only a budget can interrupt this search (no conflict cap is
            passed), so an unknown is always a typed stop. *)
         raise (Stopped r)
-    | Smtlite.Solve.Sat model ->
-        (* Same defence as Backend.validate_flip, against the probe range. *)
-        let v = Encode.vector_of_model enc model in
-        let probe_spec = Noise.symmetric ~delta ~bias_noise in
-        if not (Noise.in_range probe_spec v) then
-          failwith "Tolerance: incremental witness outside the probe range";
-        if Noise.predict net probe_spec ~input v = label then
-          failwith "Tolerance: incremental witness does not misclassify";
-        true
   in
   let flips delta =
     note_probe delta;

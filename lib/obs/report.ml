@@ -1,27 +1,39 @@
 let schema = "fannet.obs/1"
 
 (* Parallel-pool metrics, fed by the probe installed in [enable]. *)
-let h_chunk = Metrics.histogram "parallel.chunk_s"
+let h_worker = Metrics.histogram "parallel.worker_busy_s"
 
 let g_imbalance = Metrics.gauge "parallel.imbalance"
 
 let c_batches = Metrics.counter "parallel.batches"
 
+let c_steals = Metrics.counter "parallel.steals"
+
+let c_items = Metrics.counter "parallel.items"
+
 let parallel_probe =
   {
     Util.Parallel.now_s = Clock.now_s;
     record =
-      (fun ~chunk_seconds ->
+      (fun ~stats ->
         Metrics.incr c_batches;
-        Array.iter (Metrics.observe h_chunk) chunk_seconds;
-        let n = Array.length chunk_seconds in
+        let n = Array.length stats in
         if n > 0 then begin
-          let total = Array.fold_left ( +. ) 0. chunk_seconds in
-          let mean = total /. float_of_int n in
-          let slowest = Array.fold_left Float.max chunk_seconds.(0) chunk_seconds in
-          (* Slowest chunk over the mean: 1.0 is a perfectly balanced
-             batch; the pool's wall time is bounded by the slowest chunk. *)
-          if mean > 0. then Metrics.set_gauge g_imbalance (slowest /. mean)
+          let busy = ref 0. and slowest = ref 0. in
+          Array.iter
+            (fun (w : Util.Parallel.worker_stat) ->
+              Metrics.observe h_worker w.busy_s;
+              Metrics.add c_steals w.steals;
+              Metrics.add c_items w.items;
+              busy := !busy +. w.busy_s;
+              if w.busy_s > !slowest then slowest := w.busy_s)
+            stats;
+          (* Slowest worker's busy time over the mean, measured on what
+             each worker actually ran after stealing — 1.0 is a perfectly
+             balanced batch; the batch's wall time is bounded by the
+             slowest worker, and stealing is what pushes this towards 1. *)
+          let mean = !busy /. float_of_int n in
+          if mean > 0. then Metrics.set_gauge g_imbalance (!slowest /. mean)
         end);
   }
 

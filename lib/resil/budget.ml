@@ -11,11 +11,20 @@ let retryable = function
   | Deadline | Conflicts | Memory -> true
   | Cancelled | Incomplete -> false
 
-type token = bool Atomic.t
+(* A token optionally chains to a parent: firing the parent fires every
+   linked child, firing a child leaves the parent (and its other
+   children) untouched. Chains are short (portfolio workers link once to
+   the caller's token), so the recursive read costs one extra atomic
+   load per level. *)
+type token = { fired : bool Atomic.t; parent : token option }
 
-let token () = Atomic.make false
-let cancel t = Atomic.set t true
-let cancelled t = Atomic.get t
+let token () = { fired = Atomic.make false; parent = None }
+let link parent = { fired = Atomic.make false; parent = Some parent }
+let cancel t = Atomic.set t.fired true
+
+let rec cancelled t =
+  Atomic.get t.fired
+  || (match t.parent with Some p -> cancelled p | None -> false)
 
 type t = {
   timeout_s : float option;
@@ -67,6 +76,12 @@ let conflicts b = b.conflicts
 let timeout_s b = b.timeout_s
 let cancellation b = b.tok
 
+let remaining_s b =
+  Option.map
+    (fun d ->
+      Float.max 0. (Int64.to_float (Int64.sub d (Obs.Clock.now_ns ())) /. 1e9))
+    b.deadline_ns
+
 let record b r =
   if Atomic.compare_and_set b.why None (Some r) then
     Obs.Metrics.incr (exhausted_counter r)
@@ -79,7 +94,7 @@ let check b =
   | Some _ as r -> r (* sticky: once exhausted, stay exhausted *)
   | None ->
       let r =
-        if Atomic.get b.tok then Some Cancelled
+        if cancelled b.tok then Some Cancelled
         else
           match b.deadline_ns with
           | Some d when Obs.Clock.now_ns () > d -> Some Deadline

@@ -1,0 +1,51 @@
+(* Bounded lock-free clause mailbox: a ring of atomic slots written at a
+   fetch-and-add cursor, read by per-consumer cursors. Publishing never
+   blocks and never allocates beyond the message itself; a slow reader
+   simply loses the clauses that were overwritten before it drained. All
+   losses are harmless — consumers treat the mailbox as a best-effort
+   hint stream and verify every clause before using it. *)
+
+type message = { src : int; lits : Lit.t list }
+
+type t = {
+  slots : message option Atomic.t array;
+  head : int Atomic.t;       (* next write position (monotonic) *)
+  published : int Atomic.t;  (* total publish calls, for observability *)
+}
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Mailbox.create";
+  {
+    slots = Array.init slots (fun _ -> Atomic.make None);
+    head = Atomic.make 0;
+    published = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.slots
+
+let publish t ~src lits =
+  let i = Atomic.fetch_and_add t.head 1 in
+  Atomic.set t.slots.(i mod Array.length t.slots) (Some { src; lits });
+  Atomic.incr t.published
+
+let published t = Atomic.get t.published
+
+type reader = { mb : t; mutable cursor : int }
+
+let reader t = { mb = t; cursor = Atomic.get t.head }
+
+(* Deliver every message published since the last drain (bounded by the
+   ring capacity — older ones were overwritten), skipping the reader's
+   own. A racing writer can overwrite a slot mid-drain, in which case
+   the reader sees a newer message early and may see it again on the
+   next drain; duplicates are harmless for verify-on-import consumers. *)
+let drain r ~self f =
+  let h = Atomic.get r.mb.head in
+  let n = Array.length r.mb.slots in
+  let start = max r.cursor (h - n) in
+  for i = start to h - 1 do
+    match Atomic.get r.mb.slots.(i mod n) with
+    | Some m when m.src <> self -> f m.lits
+    | Some _ | None -> ()
+  done;
+  r.cursor <- h

@@ -1,0 +1,40 @@
+(** Bounded lock-free mailbox for sharing learnt clauses between
+    portfolio solvers.
+
+    A fixed ring of atomic slots: {!publish} claims a position with a
+    fetch-and-add and overwrites whatever was there, so writers never
+    block and memory stays bounded whatever the publish rate. Each
+    consumer holds its own {!reader} cursor and {!drain}s messages
+    published since its last visit, skipping its own.
+
+    Delivery is deliberately best-effort: a clause can be lost (ring
+    wrapped before the reader drained) or occasionally delivered twice
+    (a writer lapped the reader mid-drain). Consumers must treat every
+    message as an unverified hint — the portfolio imports clauses
+    through the solver's reverse-unit-propagation check, which makes
+    losses and duplicates harmless and keeps DRUP traces sound. *)
+
+type t
+
+val create : slots:int -> t
+(** Ring with [slots] positions. Raises [Invalid_argument] if < 1. *)
+
+val capacity : t -> int
+
+val publish : t -> src:int -> Lit.t list -> unit
+(** Never blocks; may overwrite the oldest undelivered message. [src]
+    identifies the publisher so its own reader skips the message. *)
+
+val published : t -> int
+(** Total messages ever published (including overwritten ones). *)
+
+type reader
+
+val reader : t -> reader
+(** A fresh consumer cursor starting at the current head. Each portfolio
+    worker owns exactly one reader; readers are not thread-safe and must
+    stay on their worker's domain. *)
+
+val drain : reader -> self:int -> (Lit.t list -> unit) -> unit
+(** Deliver messages published since the last drain whose [src] differs
+    from [self], oldest first, then advance the cursor. *)

@@ -1,14 +1,17 @@
-(** Domain-based worker pool for embarrassingly parallel per-sample loops.
+(** Work-stealing domain pool for per-sample verification loops.
 
-    Every combinator splits the input array into [jobs] contiguous chunks,
-    runs one chunk per domain (the calling domain takes the first chunk)
-    and reassembles the results in chunk order, so the output is
-    deterministic and independent of [jobs]. With [jobs = 1] no domain is
-    spawned and the sequential code path runs — results are bit-identical
-    to the plain [Array] combinators.
+    Every combinator seeds one range of indices per worker (the calling
+    domain is worker 0) and lets idle workers steal the upper half of a
+    busy worker's remaining range, so a slow item — one hard solver
+    query — no longer stalls a whole static chunk. Each item's result is
+    written back at its original index and the output is reassembled in
+    input order, so results are deterministic and independent of [jobs]
+    and of the steal schedule. With [jobs = 1] no domain is spawned and
+    the sequential code path runs — results are bit-identical to the
+    plain [Array] combinators.
 
-    Workers must not share mutable state: the verification engines satisfy
-    this by building a fresh solver session per query.
+    Workers must not share mutable state through [f]; per-worker caches
+    keyed by {!Domain.DLS} (e.g. warm solver sessions) are fine.
 
     [jobs] resolution order: the explicit [?jobs] argument, then the
     process-wide override ({!set_default_jobs}, the CLI's [--jobs]), then
@@ -39,13 +42,13 @@ val exists : ?jobs:int -> ('a -> bool) -> 'a array -> bool
 (** {1 Cooperative early stop}
 
     The [_until] variants poll [stop] (which must be thread-safe — an
-    atomic flag or a {e budget} check) before every element. A chunk
-    that observes [stop] abandons the rest of its range; the whole call
-    then returns [Error ()] and all per-element results are discarded,
-    so [Ok] results remain deterministic and independent of [jobs].
-    Abandonment is a sentinel, not an exception: a genuine worker
-    exception still propagates (after all domains are joined) and is
-    never masked by a concurrent stop. *)
+    atomic flag or a {e budget} check) before every element. Once any
+    worker observes [stop] the whole batch drains, the call returns
+    [Error ()] and all per-element results are discarded, so [Ok]
+    results remain deterministic and independent of [jobs]. Abandonment
+    is a sentinel, not an exception: a genuine worker exception still
+    propagates (after all domains are joined) and is never masked by a
+    concurrent stop. *)
 
 val map_until :
   ?jobs:int -> stop:(unit -> bool) -> (int -> 'a -> 'b) -> 'a array ->
@@ -54,28 +57,58 @@ val map_until :
 val filter_mapi_until :
   ?jobs:int -> stop:(unit -> bool) -> (int -> 'a -> 'b option) -> 'a array ->
   ('b list, unit) result
-(** [Some]-results in input order when no chunk stopped. *)
+(** [Some]-results in input order when no worker stopped. *)
 
 (** {1 Failure semantics}
 
-    When a worker raises, every spawned domain is still joined before the
-    exception propagates — a failing parallel call never leaks running
-    domains — and with several failing chunks the lowest-numbered chunk's
-    exception is re-raised. *)
+    A raising item does not abort the batch: its exception is recorded,
+    every other element still runs to completion, every spawned domain
+    is joined, and only then is the exception re-raised — a failing
+    parallel call never leaks running domains. With several failing
+    items the exception of the {e lowest-indexed} failing item wins,
+    which makes the propagated exception deterministic and independent
+    of [jobs] (under the old static chunking the winner was the
+    lowest-numbered failing chunk; per-item resolution refines that). *)
+
+(** {1 Racing}
+
+    [race ~cancel thunks] runs every thunk on its own domain (the
+    calling domain runs thunk 0) and reports the first one to return
+    normally. The moment a winner is decided, [cancel] is invoked
+    exactly once — from the winning domain — so the caller can ask the
+    losers to stop cooperatively (e.g. by firing {!Resil.Budget}
+    cancellation tokens); [cancel] must therefore be thread-safe. Every
+    domain is still joined before [race] returns, so losers always run
+    to completion (typically returning quickly once cancelled) and no
+    domain leaks. Returns the winner's index and value plus every
+    thunk's outcome in index order. If {e all} thunks raise, the
+    lowest-indexed exception is re-raised. *)
+
+val race :
+  cancel:(unit -> unit) ->
+  (unit -> 'a) array ->
+  (int * 'a) * ('a, exn) result array
 
 (** {1 Instrumentation}
 
-    An optional probe observes per-chunk wall time. [None] (the default)
+    An optional probe observes per-worker effort. [None] (the default)
     is the zero-overhead path: a single atomic load per parallel batch.
     The observability layer ([Obs.Report.enable]) installs a probe backed
     by the monotonic clock; this module deliberately has no dependency on
     it. *)
 
+type worker_stat = {
+  busy_s : float;  (** wall time spent inside [f], summed over the items
+                       this worker actually ran (steal-adjusted) *)
+  items : int;     (** items this worker ran *)
+  steals : int;    (** ranges this worker stole from a victim *)
+}
+
 type probe = {
   now_s : unit -> float;  (** timestamp source (seconds, monotonic) *)
-  record : chunk_seconds:float array -> unit;
-      (** called on the calling domain after a successful parallel batch,
-          with one wall-time entry per chunk in chunk order *)
+  record : stats:worker_stat array -> unit;
+      (** called on the calling domain after each parallel batch, with
+          one entry per worker in worker order *)
 }
 
 val set_probe : probe option -> unit

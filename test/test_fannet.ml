@@ -950,6 +950,180 @@ let test_pipeline_deterministic () =
   Alcotest.(check bool) "same selected genes" true (p1.selected_genes = p2.selected_genes);
   Alcotest.(check bool) "same quantized network" true (Nn.Qnet.equal p1.qnet p2.qnet)
 
+(* ---------- portfolio & warm sessions ---------- *)
+
+let test_portfolio_matches_single_solver () =
+  (* Every member is complete, so the portfolio's decision class must
+     equal the single-solver Smt backend's for every width and with or
+     without clause sharing; decided verdicts carry a winning seed. *)
+  let net = tiny_qnet () in
+  let input = [| 5; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  List.iter
+    (fun delta ->
+      let spec = N.symmetric ~delta ~bias_noise:false in
+      let single = B.exists_flip B.Smt net spec ~input ~label in
+      List.iter
+        (fun width ->
+          List.iter
+            (fun share ->
+              let v, seed =
+                Fannet.Portfolio.exists_flip ~width ~share net spec ~input ~label
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "agree delta=%d width=%d share=%b" delta width
+                   share)
+                true (B.agree single v);
+              Alcotest.(check bool) "decided verdict has a winning seed" true
+                (seed <> None))
+            [ true; false ])
+        [ 1; 2; 3 ])
+    [ 0; 2; 6 ]
+
+let prop_portfolio_agrees_with_smt =
+  QCheck.Test.make ~name:"portfolio verdict class = single-solver smt" ~count:12
+    arb_qnet (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:3 ~bias_noise:false in
+      let single = B.exists_flip B.Smt net spec ~input ~label in
+      let v, seed = Fannet.Portfolio.exists_flip ~width:3 net spec ~input ~label in
+      B.agree single v
+      && seed <> None
+      && match v with
+         | B.Flip w ->
+             N.in_range spec w && N.predict net spec ~input w <> label
+         | B.Robust -> true
+         | B.Unknown _ -> false)
+
+let test_portfolio_certified_winner_checks () =
+  (* The portfolio winner's DRUP trace / model certificate must pass the
+     independent checker, on both a robust and a flipping bracket. *)
+  let net = tiny_qnet () in
+  let input = [| 5; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  let check_at delta =
+    let spec = N.symmetric ~delta ~bias_noise:false in
+    let cv, seed =
+      Fannet.Portfolio.certified_exists_flip ~width:3 net spec ~input ~label
+    in
+    (match cv.B.cv_verdict with
+    | B.Unknown _ -> Alcotest.fail "unbudgeted portfolio answered unknown"
+    | B.Robust | B.Flip _ ->
+        Alcotest.(check bool) "winner seed" true (seed <> None);
+        Alcotest.(check bool) "certificate present" true (cv.B.cv_cert <> None));
+    match B.check_certified net spec ~input ~label cv with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "winning certificate rejected at delta %d: %s" delta e)
+  in
+  (* Delta 0 is provably robust (the input is correctly classified); a
+     wide range flips if anything does. *)
+  check_at 0;
+  check_at 8
+
+let test_portfolio_cancelled_then_reusable () =
+  let net = tiny_qnet () in
+  let input = [| 5; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  let spec = N.symmetric ~delta:4 ~bias_noise:false in
+  (* A pre-cancelled caller budget stops every member before it decides. *)
+  let tok = Resil.Budget.token () in
+  let budget = Resil.Budget.create ~token:tok () in
+  Resil.Budget.cancel tok;
+  let v, seed = Fannet.Portfolio.exists_flip ~budget ~width:2 net spec ~input ~label in
+  (match v with
+  | B.Unknown Resil.Budget.Cancelled -> ()
+  | v -> Alcotest.fail ("expected cancelled, got " ^ B.verdict_to_string v));
+  Alcotest.(check bool) "no winner when cancelled" true (seed = None);
+  (* The same query with a live budget decides: cancellation poisoned
+     nothing process-wide. *)
+  let tok2 = Resil.Budget.token () in
+  let budget2 = Resil.Budget.create ~token:tok2 () in
+  let v2, _ = Fannet.Portfolio.exists_flip ~budget:budget2 ~width:2 net spec ~input ~label in
+  (match v2 with
+  | B.Robust | B.Flip _ -> ()
+  | B.Unknown _ -> Alcotest.fail "fresh-budget portfolio failed to decide");
+  (* The winner cancels the losers through child tokens only: the
+     caller's own token must not have fired. *)
+  Alcotest.(check bool) "caller token untouched by the win" false
+    (Resil.Budget.cancelled tok2)
+
+let test_warm_pool_reuse () =
+  (* One binary search = one encoding; a repeated identical search = zero
+     encodings. *)
+  let net = tiny_qnet () in
+  let input = [| 5; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  Fannet.Warm.reset ();
+  let m0 = Fannet.Warm.misses () in
+  let r1 =
+    Fannet.Tolerance.input_min_flip_delta B.Smt net ~bias_noise:false
+      ~max_delta:6 ~input ~label
+  in
+  Alcotest.(check int) "first search encodes exactly once" 1
+    (Fannet.Warm.misses () - m0);
+  let h0 = Fannet.Warm.hits () in
+  let r2 =
+    Fannet.Tolerance.input_min_flip_delta B.Smt net ~bias_noise:false
+      ~max_delta:6 ~input ~label
+  in
+  Alcotest.(check int) "repeat search encodes nothing" 1
+    (Fannet.Warm.misses () - m0);
+  Alcotest.(check bool) "repeat search hits the pool" true
+    (Fannet.Warm.hits () > h0);
+  Alcotest.(check bool) "same answer from the warm session" true (r1 = r2)
+
+let test_warm_cancelled_probe_leaves_session_reusable () =
+  (* A cancelled probe must leave the pooled session answering correctly
+     — the portfolio and budgeted sweeps rely on it.  The cover must be
+     wide enough to flip: a robust cover makes the session's base formula
+     level-0 unsat, and the solver then answers (soundly) before it ever
+     consults the budget, so no cancellation would be observable. *)
+  let net = tiny_qnet () in
+  let input = [| 5; 3 |] in
+  let label = Nn.Qnet.predict net input in
+  let cover = 30 in
+  Fannet.Warm.reset ();
+  (match
+     Fannet.Warm.probe_delta net ~bias_noise:false ~cover ~delta:cover ~input
+       ~label
+   with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "cover chosen for this test must flip"
+  | Error _ -> Alcotest.fail "cold probe failed");
+  let tok = Resil.Budget.token () in
+  let budget = Resil.Budget.create ~token:tok () in
+  Resil.Budget.cancel tok;
+  (match
+     Fannet.Warm.probe_delta ~budget net ~bias_noise:false ~cover ~delta:4
+       ~input ~label
+   with
+  | Error Resil.Budget.Cancelled -> ()
+  | Error r ->
+      Alcotest.fail ("expected cancelled, got " ^ Resil.Budget.reason_to_string r)
+  | Ok _ -> Alcotest.fail "cancelled probe decided");
+  let m0 = Fannet.Warm.misses () in
+  (match
+     Fannet.Warm.probe_delta net ~bias_noise:false ~cover ~delta:4 ~input ~label
+   with
+  | Ok b ->
+      (* ±4 is robust for this net/input (the explicit backends agree). *)
+      Alcotest.(check bool) "fresh probe decides after cancellation" false b
+  | Error _ -> Alcotest.fail "reused session failed");
+  Alcotest.(check int) "reuse, not re-encode" 0 (Fannet.Warm.misses () - m0)
+
+let prop_sensitivity_engines_agree =
+  QCheck.Test.make ~name:"sidedness: smt engine = bnb engine" ~count:15 arb_qnet
+    (fun ((net : Nn.Qnet.t), input) ->
+      let label = Nn.Qnet.predict net input in
+      let spec = N.symmetric ~delta:2 ~bias_noise:false in
+      let inputs = [| (input, label) |] in
+      Fannet.Sensitivity.formal_sidedness ~engine:Fannet.Sensitivity.Bnb net
+        spec ~inputs
+      = Fannet.Sensitivity.formal_sidedness ~engine:Fannet.Sensitivity.Smt net
+          spec ~inputs)
+
 let () =
   Alcotest.run "fannet"
     [
@@ -1013,6 +1187,20 @@ let () =
           Alcotest.test_case "for_inputs aggregates" `Quick test_extract_for_inputs_aggregates;
           Alcotest.test_case "baseline budget/validity" `Quick test_baseline_budget_and_validity;
           Alcotest.test_case "baseline vs formal absence" `Quick test_baseline_agrees_with_formal_absence;
+        ] );
+      ( "portfolio-warm",
+        [
+          Alcotest.test_case "portfolio = single solver" `Quick
+            test_portfolio_matches_single_solver;
+          QCheck_alcotest.to_alcotest prop_portfolio_agrees_with_smt;
+          Alcotest.test_case "certified winner passes RUP check" `Quick
+            test_portfolio_certified_winner_checks;
+          Alcotest.test_case "cancelled then reusable" `Quick
+            test_portfolio_cancelled_then_reusable;
+          Alcotest.test_case "warm pool reuse" `Quick test_warm_pool_reuse;
+          Alcotest.test_case "cancelled probe leaves session reusable" `Quick
+            test_warm_cancelled_probe_leaves_session_reusable;
+          QCheck_alcotest.to_alcotest prop_sensitivity_engines_agree;
         ] );
       ( "validate-pipeline",
         [

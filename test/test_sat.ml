@@ -307,6 +307,115 @@ let test_lit_encoding () =
   Alcotest.check_raises "zero" (Invalid_argument "Lit.of_dimacs: zero")
     (fun () -> ignore (Sat.Lit.of_dimacs 0))
 
+(* ---------- mailbox / portfolio plumbing ---------- *)
+
+let test_mailbox_publish_drain () =
+  let mb = Sat.Mailbox.create ~slots:8 in
+  let r1 = Sat.Mailbox.reader mb in
+  Sat.Mailbox.publish mb ~src:0 [ lit 1 true ];
+  Sat.Mailbox.publish mb ~src:1 [ lit 2 false ];
+  Sat.Mailbox.publish mb ~src:0 [ lit 3 true; lit 4 false ];
+  let got = ref [] in
+  Sat.Mailbox.drain r1 ~self:1 (fun c -> got := c :: !got);
+  (* self=1 skips src 1's message; order is oldest first. *)
+  Alcotest.(check int) "own message skipped" 2 (List.length !got);
+  Alcotest.(check bool) "oldest first" true
+    (List.rev !got
+    = [ [ lit 1 true ]; [ lit 3 true; lit 4 false ] ]);
+  (* A second drain sees nothing new. *)
+  let again = ref 0 in
+  Sat.Mailbox.drain r1 ~self:1 (fun _ -> incr again);
+  Alcotest.(check int) "cursor advanced" 0 !again;
+  Alcotest.(check int) "published counts everything" 3 (Sat.Mailbox.published mb)
+
+let test_mailbox_wraparound_bounded () =
+  (* Publishing far more than the ring holds must not grow memory or
+     deliver more than [slots] messages; the newest survive. *)
+  let mb = Sat.Mailbox.create ~slots:4 in
+  let r = Sat.Mailbox.reader mb in
+  for i = 1 to 100 do
+    Sat.Mailbox.publish mb ~src:0 [ lit i true ]
+  done;
+  let got = ref [] in
+  Sat.Mailbox.drain r ~self:9 (fun c -> got := c :: !got);
+  Alcotest.(check int) "at most slots delivered" 4 (List.length !got);
+  Alcotest.(check bool) "newest message survived" true
+    (List.mem [ lit 100 true ] !got)
+
+let test_mailbox_reader_starts_at_head () =
+  let mb = Sat.Mailbox.create ~slots:8 in
+  Sat.Mailbox.publish mb ~src:0 [ lit 1 true ];
+  let r = Sat.Mailbox.reader mb in
+  let n = ref 0 in
+  Sat.Mailbox.drain r ~self:9 (fun _ -> incr n);
+  Alcotest.(check int) "history before the reader is invisible" 0 !n
+
+let test_import_rejects_unsound_clause () =
+  (* The instance has exactly the models of (x0 xor x1); importing the
+     clause [-x0] (which excludes half of them and is NOT RUP-derivable)
+     must be dropped, leaving the instance satisfiable with x0 free. *)
+  let s = Sat.Solver.create () in
+  let x0 = Sat.Solver.new_var s and x1 = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ lit x0 true; lit x1 true ];
+  Sat.Solver.add_clause s [ lit x0 false; lit x1 false ];
+  let poison = ref (Some [ lit x0 false ]) in
+  Sat.Solver.set_clause_hooks s
+    ~import:(fun () ->
+      match !poison with
+      | Some c ->
+          poison := None;
+          [ c ]
+      | None -> [])
+    ();
+  Alcotest.(check bool) "still satisfiable" true (Sat.Solver.solve s = Sat);
+  (* The poison clause was not adopted: x0=true, x1=false must remain a
+     model reachable under assumptions. *)
+  Alcotest.(check bool) "x0=true still allowed" true
+    (Sat.Solver.solve ~assumptions:[ lit x0 true ] s = Sat)
+
+let test_import_adopts_rup_clause () =
+  (* x0=true is forced by propagation from [x0 ∨ x1] and [x0 ∨ ¬x1]; the
+     unit [x0] is therefore RUP-derivable and a valid import. After
+     adoption the solver answers Unsat under the assumption ¬x0. *)
+  let s = Sat.Solver.create () in
+  let x0 = Sat.Solver.new_var s and x1 = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ lit x0 true; lit x1 true ];
+  Sat.Solver.add_clause s [ lit x0 true; lit x1 false ];
+  let gift = ref (Some [ lit x0 true ]) in
+  Sat.Solver.set_clause_hooks s
+    ~import:(fun () ->
+      match !gift with
+      | Some c ->
+          gift := None;
+          [ c ]
+      | None -> [])
+    ();
+  Alcotest.(check bool) "sat with the gift adopted" true (Sat.Solver.solve s = Sat);
+  Alcotest.(check bool) "gift forces x0" true
+    (Sat.Solver.solve ~assumptions:[ lit x0 false ] s = Unsat)
+
+let test_diversified_seeds_agree () =
+  (* Diversification changes the search, never the answer: the same
+     pigeonhole instance stays Unsat and a satisfiable ring stays Sat
+     for every seed. *)
+  List.iter
+    (fun seed ->
+      let n, clauses = pigeonhole_clauses ~pigeons:5 ~holes:4 in
+      let unsat = solver_of_clauses n clauses in
+      Sat.Solver.set_diversification unsat ~seed;
+      Alcotest.(check bool)
+        (Printf.sprintf "php seed=%d" seed)
+        true
+        (Sat.Solver.solve unsat = Unsat);
+      let n, clauses = pigeonhole_clauses ~pigeons:5 ~holes:5 in
+      let sat = solver_of_clauses n clauses in
+      Sat.Solver.set_diversification sat ~seed;
+      Alcotest.(check bool)
+        (Printf.sprintf "php-sat seed=%d" seed)
+        true
+        (Sat.Solver.solve sat = Sat))
+    [ 0; 1; 2; 3; 7 ]
+
 (* ---------- dimacs ---------- *)
 
 let test_dimacs_roundtrip () =
@@ -367,5 +476,20 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "parse and solve" `Quick test_dimacs_solve;
+        ] );
+      ( "portfolio-plumbing",
+        [
+          Alcotest.test_case "mailbox publish/drain" `Quick
+            test_mailbox_publish_drain;
+          Alcotest.test_case "mailbox wraparound bounded" `Quick
+            test_mailbox_wraparound_bounded;
+          Alcotest.test_case "reader starts at head" `Quick
+            test_mailbox_reader_starts_at_head;
+          Alcotest.test_case "import rejects unsound clause" `Quick
+            test_import_rejects_unsound_clause;
+          Alcotest.test_case "import adopts RUP clause" `Quick
+            test_import_adopts_rup_clause;
+          Alcotest.test_case "diversified seeds agree" `Quick
+            test_diversified_seeds_agree;
         ] );
     ]

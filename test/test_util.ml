@@ -301,6 +301,128 @@ let test_parallel_first_chunk_exception_wins () =
              else failwith "late chunk")
            arr))
 
+let test_parallel_adversarial_delays () =
+  (* Work stealing under adversarial per-item delays: a handful of slow
+     items land in one seeded range, idle workers must steal around them
+     and every combinator must still return the jobs=1 result in input
+     order. Delay pattern: item 0 and every 17th item sleep, everything
+     else is instant — under static chunking worker 0 would own almost
+     all the slow items. *)
+  let n = 97 in
+  let arr = Array.init n (fun i -> i) in
+  let f x =
+    if x = 0 || x mod 17 = 0 then Unix.sleepf 0.01;
+    (x * 7) mod 13
+  in
+  let fi i x = if f x = 0 then Some (i, x) else None in
+  let expected_map = Util.Parallel.map ~jobs:1 f arr in
+  let expected_fm = Util.Parallel.filter_mapi ~jobs:1 fi arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "map jobs=%d" jobs)
+        true
+        (Util.Parallel.map ~jobs f arr = expected_map);
+      Alcotest.(check bool)
+        (Printf.sprintf "filter_mapi jobs=%d" jobs)
+        true
+        (Util.Parallel.filter_mapi ~jobs fi arr = expected_fm))
+    [ 2; 3; 4; 8 ]
+
+let test_parallel_steals_balance_skew () =
+  (* The probe must see the skew-adjusted picture: with one pathological
+     item and plenty of cheap ones, stealing spreads the cheap items so
+     no worker is left idle while another owns the whole tail. We assert
+     on the recorded per-worker stats: all items accounted for exactly
+     once and at least one steal happened. *)
+  let recorded = ref [||] in
+  Util.Parallel.set_probe
+    (Some
+       {
+         Util.Parallel.now_s = (fun () -> Unix.gettimeofday ());
+         record = (fun ~stats -> recorded := stats);
+       });
+  Fun.protect ~finally:(fun () -> Util.Parallel.set_probe None) @@ fun () ->
+  let arr = Array.init 64 (fun i -> i) in
+  let _ =
+    Util.Parallel.map ~jobs:4
+      (fun x ->
+        if x = 1 then Unix.sleepf 0.05;
+        x)
+      arr
+  in
+  let stats = !recorded in
+  Alcotest.(check int) "one stat per worker" 4 (Array.length stats);
+  let items =
+    Array.fold_left (fun acc s -> acc + s.Util.Parallel.items) 0 stats
+  in
+  Alcotest.(check int) "every item ran exactly once" 64 items;
+  let steals =
+    Array.fold_left (fun acc s -> acc + s.Util.Parallel.steals) 0 stats
+  in
+  Alcotest.(check bool) "sleeping owner got robbed" true (steals > 0)
+
+let test_parallel_race_winner_cancels () =
+  (* The fast thunk wins; the cancel callback fires exactly once and the
+     slow thunks observe it and stop early. *)
+  let cancelled = Atomic.make false in
+  let cancel_calls = Atomic.make 0 in
+  let cancel () =
+    Atomic.incr cancel_calls;
+    Atomic.set cancelled true
+  in
+  let slow id () =
+    let rec wait n =
+      if Atomic.get cancelled then `Stopped id
+      else if n > 2000 then `Finished id
+      else begin
+        Unix.sleepf 0.001;
+        wait (n + 1)
+      end
+    in
+    wait 0
+  in
+  let fast () = `Finished 0 in
+  let (w, v), outcomes =
+    Util.Parallel.race ~cancel [| fast; slow 1; slow 2 |]
+  in
+  Alcotest.(check int) "fast thunk wins" 0 w;
+  Alcotest.(check bool) "winner value" true (v = `Finished 0);
+  Alcotest.(check int) "cancel called exactly once" 1 (Atomic.get cancel_calls);
+  Alcotest.(check int) "every outcome reported" 3 (Array.length outcomes);
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Ok (`Stopped id) -> Alcotest.(check int) "loser identity" i id
+      | Ok (`Finished id) -> Alcotest.(check int) "winner identity" 0 id
+      | Error _ -> Alcotest.fail "no thunk raised")
+    outcomes
+
+let test_parallel_race_all_raise () =
+  (* Every thunk raising re-raises the lowest-indexed exception. *)
+  let boom i () : unit =
+    if i > 0 then Unix.sleepf 0.002;
+    failwith (Printf.sprintf "thunk %d" i)
+  in
+  Alcotest.check_raises "lowest index wins" (Failure "thunk 0") (fun () ->
+      ignore (Util.Parallel.race ~cancel:(fun () -> ()) [| boom 0; boom 1; boom 2 |]))
+
+let test_parallel_race_skips_raising_loser () =
+  (* A raising thunk must not beat a normally-returning one, whatever the
+     timing. *)
+  let (w, v), _ =
+    Util.Parallel.race
+      ~cancel:(fun () -> ())
+      [|
+        (fun () -> failwith "eager failure");
+        (fun () ->
+          Unix.sleepf 0.005;
+          42);
+      |]
+  in
+  Alcotest.(check int) "surviving thunk wins" 1 w;
+  Alcotest.(check int) "its value" 42 v
+
 let test_parallel_default_jobs_override () =
   let before = Util.Parallel.default_jobs () in
   Alcotest.(check bool) "at least 1" true (before >= 1);
@@ -413,6 +535,15 @@ let () =
             test_parallel_joins_workers_before_reraise;
           Alcotest.test_case "first chunk's exception wins" `Quick
             test_parallel_first_chunk_exception_wins;
+          Alcotest.test_case "adversarial delays deterministic" `Quick
+            test_parallel_adversarial_delays;
+          Alcotest.test_case "steals balance skew" `Quick
+            test_parallel_steals_balance_skew;
+          Alcotest.test_case "race winner cancels" `Quick
+            test_parallel_race_winner_cancels;
+          Alcotest.test_case "race all raise" `Quick test_parallel_race_all_raise;
+          Alcotest.test_case "race skips raising loser" `Quick
+            test_parallel_race_skips_raising_loser;
           Alcotest.test_case "default jobs override" `Quick test_parallel_default_jobs_override;
         ] );
       ( "json",

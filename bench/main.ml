@@ -1528,6 +1528,224 @@ let bench_robust ?(smoke = false) ~out () =
   | Error e -> failwith (Printf.sprintf "E18: %s failed to parse: %s" out e)
 
 (* ------------------------------------------------------------------ *)
+(* E20: serving layer (fannetd)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module SP = Serve.Protocol
+
+(* An in-process fannetd on an ephemeral TCP port, driven over the real
+   wire: qps and latency percentiles under concurrent clients, the cache
+   hit rate, and the cold / warm-session / cache-hit latency contrast —
+   with the bit-identity of cached certified verdicts asserted on the
+   encoded answer bytes. *)
+let bench_serve ?(smoke = false) ~out () =
+  section "E20 bench_serve (fannetd: qps, latency, cache + warm contrast)";
+  let net = small_qnet () in
+  let sinput = [| 112; 87 |] in
+  let slabel = Nn.Qnet.predict net sinput in
+  let serve_daemon ~workers ~cap ~cache_cap =
+    Serve.Daemon.run
+      {
+        Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
+        workers;
+        cap;
+        cache_cap;
+        timeout_ceiling_s = None;
+      }
+  in
+  let with_conn d f =
+    let c = Serve.Client.connect (Serve.Daemon.address d) in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+  in
+  let load c = match Serve.Client.load c net with
+    | Ok digest -> digest
+    | Error e -> failwith ("E20: load failed: " ^ e)
+  in
+  let timed_query c ~digest q =
+    let t0 = Obs.Clock.now_ns () in
+    match Serve.Client.query c ~digest q with
+    | Ok (SP.Answer { cached; answer }) ->
+        (1e3 *. Obs.Clock.elapsed_s ~since:t0, cached, answer)
+    | Ok r ->
+        failwith
+          ("E20: unexpected reply "
+          ^ SP.encode_reply { SP.rid = 0; reply = r })
+    | Error e -> failwith ("E20: query failed: " ^ e)
+  in
+  (* --- cold / warm-session contrast ------------------------------ *)
+  (* One resident worker, cache disabled: the first tolerance query pays
+     the full bit-blast (cold); the repeat reuses the worker domain's
+     pooled warm session. A fresh daemon per rep makes every cold truly
+     cold; min-of-reps suppresses scheduler noise. *)
+  let tol_q =
+    SP.Tolerance
+      {
+        backend = Fannet.Backend.Smt;
+        bias_noise = false;
+        max_delta = 20;
+        input = sinput;
+        label = slabel;
+      }
+  in
+  let reps = if smoke then 3 else 5 in
+  let colds = Array.make reps infinity and warms = Array.make reps infinity in
+  for r = 0 to reps - 1 do
+    let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap:0 in
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
+    with_conn d @@ fun c ->
+    let digest = load c in
+    let cold, cached_c, _ = timed_query c ~digest tol_q in
+    let warm, cached_w, _ = timed_query c ~digest tol_q in
+    if cached_c || cached_w then failwith "E20: cache_cap=0 daemon served a cached answer";
+    colds.(r) <- cold;
+    warms.(r) <- warm
+  done;
+  let minimum a = Array.fold_left min a.(0) a in
+  let cold_ms = minimum colds and warm_ms = minimum warms in
+  (* --- cache-hit contrast + certified bit-identity --------------- *)
+  let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap:64 in
+  let cache_hit_ms, cert_bit_identical =
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
+    with_conn d @@ fun c ->
+    let digest = load c in
+    let _miss, cached0, _ = timed_query c ~digest tol_q in
+    if cached0 then failwith "E20: first query cannot be a cache hit";
+    let hit_reps = if smoke then 5 else 20 in
+    let hits =
+      Array.init hit_reps (fun _ ->
+          let ms, cached, _ = timed_query c ~digest tol_q in
+          if not cached then failwith "E20: repeat query missed the cache";
+          ms)
+    in
+    (* A certified verdict through the cache must come back bit-identical
+       to the cold answer and still convince the independent checker. *)
+    let spec = Fannet.Noise.symmetric ~delta:8 ~bias_noise:false in
+    let cert_q = SP.Certify { spec; input = sinput; label = slabel } in
+    let _, _, cold_answer = timed_query c ~digest cert_q in
+    let _, cached_hit, hit_answer = timed_query c ~digest cert_q in
+    if not cached_hit then failwith "E20: certify repeat missed the cache";
+    let bytes a = Util.Json.to_string (SP.answer_json a) in
+    let identical = bytes cold_answer = bytes hit_answer in
+    (match hit_answer with
+    | SP.Certified { verdict; cert } -> (
+        match
+          Fannet.Backend.check_certified net spec ~input:sinput ~label:slabel
+            { Fannet.Backend.cv_verdict = verdict; cv_cert = cert }
+        with
+        | Ok () -> ()
+        | Error e -> failwith ("E20: cached certificate rejected: " ^ e))
+    | _ -> failwith "E20: certify answered with a non-certified form");
+    (minimum hits, identical)
+  in
+  Printf.printf
+    "tolerance query: %.2f ms cold, %.2f ms warm session, %.3f ms cache hit (min of %d reps)\n"
+    cold_ms warm_ms cache_hit_ms reps;
+  if warm_ms >= cold_ms then
+    failwith
+      (Printf.sprintf "E20: warm session (%.2f ms) not faster than cold (%.2f ms)"
+         warm_ms cold_ms);
+  if cache_hit_ms >= cold_ms then
+    failwith
+      (Printf.sprintf "E20: cache hit (%.3f ms) not faster than cold (%.2f ms)"
+         cache_hit_ms cold_ms);
+  if not cert_bit_identical then
+    failwith "E20: cached certified verdict not bit-identical to the cold one";
+  (* --- throughput under concurrent clients ----------------------- *)
+  let workers = max 2 (min 4 (Util.Parallel.default_jobs ())) in
+  let n_clients = if smoke then 8 else 16 in
+  let per_client = if smoke then 25 else 100 in
+  let d = serve_daemon ~workers ~cap:64 ~cache_cap:256 in
+  let wall_s, lat_ms, stats =
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
+    let digest = with_conn d load in
+    let lat = Array.make (n_clients * per_client) 0.0 in
+    (* A small set of distinct queries: the steady state is cache-served,
+       which is the workload the daemon exists for. *)
+    let queries =
+      Array.init 8 (fun i ->
+          let spec = Fannet.Noise.symmetric ~delta:(1 + (i mod 4)) ~bias_noise:false in
+          if i < 6 then
+            SP.Exists_flip
+              { backend = Fannet.Backend.Bnb; spec; input = sinput; label = slabel }
+          else SP.Certify { spec; input = sinput; label = slabel })
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let client k () =
+      with_conn d @@ fun c ->
+      for j = 0 to per_client - 1 do
+        let ms, _, _ =
+          timed_query c ~digest queries.((k + j) mod Array.length queries)
+        in
+        lat.((k * per_client) + j) <- ms
+      done
+    in
+    let threads = Array.init n_clients (fun k -> Thread.create (client k) ()) in
+    Array.iter Thread.join threads;
+    (Obs.Clock.elapsed_s ~since:t0, lat, Serve.Daemon.stats d)
+  in
+  let total = n_clients * per_client in
+  let qps = float_of_int total /. wall_s in
+  let p50 = Util.Stats.percentile lat_ms 50. in
+  let p99 = Util.Stats.percentile lat_ms 99. in
+  let hit_rate =
+    float_of_int stats.SP.cache_hits
+    /. float_of_int (max 1 (stats.SP.cache_hits + stats.SP.cache_misses))
+  in
+  Printf.printf
+    "%d clients x %d queries: %.0f qps, p50 %.2f ms, p99 %.2f ms, cache hit rate %.1f%%\n"
+    n_clients per_client qps p50 p99 (100. *. hit_rate);
+  if stats.SP.submitted <> stats.SP.served + stats.SP.rejected + stats.SP.failed then
+    failwith "E20: served + rejected + failed <> submitted";
+  if stats.SP.failed > 0 then failwith "E20: server errors during the load run";
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_serve/1");
+        ("smoke", Util.Json.Bool smoke);
+        ("workers", Util.Json.Int workers);
+        ("clients", Util.Json.Int n_clients);
+        ("queries_per_client", Util.Json.Int per_client);
+        ("total_queries", Util.Json.Int total);
+        ("wall_s", Util.Json.Float wall_s);
+        ("qps", Util.Json.Float qps);
+        ("p50_ms", Util.Json.Float p50);
+        ("p99_ms", Util.Json.Float p99);
+        ( "cache",
+          Util.Json.Obj
+            [
+              ("hits", Util.Json.Int stats.SP.cache_hits);
+              ("misses", Util.Json.Int stats.SP.cache_misses);
+              ("hit_rate", Util.Json.Float hit_rate);
+            ] );
+        ( "contrast_ms",
+          Util.Json.Obj
+            [
+              ("reps", Util.Json.Int reps);
+              ("cold", Util.Json.Float cold_ms);
+              ("warm_session", Util.Json.Float warm_ms);
+              ("cache_hit", Util.Json.Float cache_hit_ms);
+            ] );
+        ("cert_cache_bit_identical", Util.Json.Bool cert_bit_identical);
+        ( "accounting",
+          Util.Json.Obj
+            [
+              ("submitted", Util.Json.Int stats.SP.submitted);
+              ("served", Util.Json.Int stats.SP.served);
+              ("rejected", Util.Json.Int stats.SP.rejected);
+              ("failed", Util.Json.Int stats.SP.failed);
+            ] );
+      ]
+  in
+  Util.Json.write_file out json;
+  match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_serve/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E20: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E20: %s failed to parse: %s" out e)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing suite                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1595,6 +1813,7 @@ let () =
   let robust_only = Array.exists (( = ) "--robust") Sys.argv in
   let parallel_only = Array.exists (( = ) "--parallel") Sys.argv in
   let obs_only = Array.exists (( = ) "--obs") Sys.argv in
+  let serve_only = Array.exists (( = ) "--serve") Sys.argv in
   let out =
     let rec find i =
       if i >= Array.length Sys.argv then "BENCH_parallel.json"
@@ -1614,6 +1833,14 @@ let () =
     let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
     bench_parallel ~smoke:true p ~out;
     print_endline "\nParallel bench completed."
+  end
+  else if serve_only then begin
+    (* bench --serve: E20 only — an in-process fannetd under concurrent
+       wire-protocol clients; no pipeline needed. *)
+    print_endline "FANNet bench (serving layer)";
+    print_endline "============================";
+    bench_serve ~smoke ~out:"BENCH_serve.json" ();
+    print_endline "\nServing bench completed."
   end
   else if obs_only then begin
     (* bench --obs: the observability section only; no pipeline needed. *)
@@ -1647,6 +1874,7 @@ let () =
     bench_cert ~smoke:true ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:true ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:true ~out:"BENCH_robust.json" ();
+    bench_serve ~smoke:true ~out:"BENCH_serve.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
@@ -1673,6 +1901,7 @@ let () =
     bench_cert ~smoke:false ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:false ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:false ~out:"BENCH_robust.json" ();
+    bench_serve ~smoke:false ~out:"BENCH_serve.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

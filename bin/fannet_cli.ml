@@ -13,6 +13,8 @@
    fannet fuzz         -- differential fuzzing of the analysis backends
    fannet certify      -- certified robustness verdicts with DRUP proofs
    fannet profile      -- instrumented run: metrics table + span tree
+   fannet serve        -- fannetd: the verification daemon (fannet-wire/1)
+   fannet query        -- one-shot client for a running fannetd
 
    Most analysis commands also take --metrics FILE to dump the
    observability snapshot (Obs.Report JSON) of that run, and the
@@ -893,6 +895,381 @@ let profile_cmd =
       const run $ dataset_seed $ init_seed $ max_delta $ no_bias_noise $ backend
       $ jobs $ fast $ output_file)
 
+(* ---------- fannetd: serve + query ---------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "TCP address of the daemon, $(b,HOST:PORT) (port 0 picks a free one)." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let resolve_addr socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> invalid_arg "--socket and --tcp are mutually exclusive"
+  | Some p, None -> Serve.Daemon.Unix_path p
+  | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | None -> invalid_arg "--tcp wants HOST:PORT"
+      | Some i -> (
+          let host = String.sub hp 0 i in
+          let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+          match int_of_string_opt port with
+          | Some port when port >= 0 -> Serve.Daemon.Tcp (host, port)
+          | _ -> invalid_arg "--tcp wants HOST:PORT"))
+  | None, None -> Serve.Daemon.Unix_path "fannetd.sock"
+
+(* The profile command's toy network again: two inputs, solves in
+   milliseconds — exactly what an in-process protocol exercise wants. *)
+let serve_toy_qnet () =
+  Nn.Qnet.create
+    [|
+      {
+        Nn.Qnet.weights = [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
+        bias = [| 55; -31; 12; -7 |];
+        relu = true;
+      };
+      {
+        Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
+        bias = [| 13; 0 |];
+        relu = false;
+      };
+    |]
+
+(* The scripted end-to-end session behind `make serve-smoke`: a daemon on
+   an ephemeral TCP port, one well-behaved client session covering every
+   request form, one malformed-JSON frame (connection survives), one
+   garbage-framing connection (typed error, closed), one raw HTTP scrape,
+   and a clean shutdown. Any mismatch exits 2. *)
+let serve_self_test () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "serve self-test FAILED: %s\n%!" m;
+        exit 2)
+      fmt
+  in
+  let expect name ok = if not ok then fail "%s" name in
+  let qnet = serve_toy_qnet () in
+  let input = [| 112; 87 |] in
+  let label = Nn.Qnet.predict qnet input in
+  let spec = Fannet.Noise.symmetric ~delta:10 ~bias_noise:false in
+  let d =
+    Serve.Daemon.run
+      {
+        Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
+        workers = 2;
+        cap = 4;
+        cache_cap = 64;
+        timeout_ceiling_s = Some 60.;
+      }
+  in
+  let addr = Serve.Daemon.address d in
+  let c = Serve.Client.connect addr in
+  (match Serve.Client.ping c with Ok () -> () | Error e -> fail "ping: %s" e);
+  let digest =
+    match Serve.Client.load c qnet with Ok dg -> dg | Error e -> fail "load: %s" e
+  in
+  let q = Serve.Protocol.Exists_flip { backend = Fannet.Backend.Bnb; spec; input; label } in
+  let answer_of name = function
+    | Ok (Serve.Protocol.Answer { cached; answer }) -> (cached, answer)
+    | Ok _ -> fail "%s: unexpected reply form" name
+    | Error e -> fail "%s: %s" name e
+  in
+  let cached1, a1 = answer_of "query (cold)" (Serve.Client.query c ~digest q) in
+  expect "first query must be a cache miss" (not cached1);
+  let cached2, a2 = answer_of "query (hit)" (Serve.Client.query c ~digest q) in
+  expect "second identical query must be a cache hit" cached2;
+  expect "cache hit must be bit-identical to the cold answer"
+    (String.equal
+       (Util.Json.to_string (Serve.Protocol.answer_json a1))
+       (Util.Json.to_string (Serve.Protocol.answer_json a2)));
+  let direct = Fannet.Backend.exists_flip Fannet.Backend.Bnb qnet spec ~input ~label in
+  expect "daemon verdict must equal the direct library call"
+    (match a1 with
+    | Serve.Protocol.Verdict v -> Fannet.Backend.verdict_equal v direct
+    | _ -> false);
+  (* Certified query: the certificate crosses the wire and must still
+     pass the independent checker against the local model. *)
+  let _, ca =
+    answer_of "certify"
+      (Serve.Client.query c ~digest (Serve.Protocol.Certify { spec; input; label }))
+  in
+  (match ca with
+  | Serve.Protocol.Certified { verdict; cert } -> (
+      match
+        Fannet.Backend.check_certified qnet spec ~input ~label
+          { Fannet.Backend.cv_verdict = verdict; cv_cert = cert }
+      with
+      | Ok () -> ()
+      | Error e -> fail "certificate failed the independent checker: %s" e)
+  | _ -> fail "certify: wrong answer form");
+  (* Malformed JSON in an intact frame: typed rid-0 error, connection
+     survives. *)
+  Serve.Client.send_raw c (Serve.Wire.encode "this is not json");
+  (match Serve.Client.read_reply c with
+  | Ok { Serve.Protocol.rid = 0; reply = Serve.Protocol.Protocol_error _ } -> ()
+  | _ -> fail "bad JSON should produce a rid-0 Protocol_error");
+  (match Serve.Client.ping c with
+  | Ok () -> ()
+  | Error e -> fail "connection should survive bad JSON: %s" e);
+  (* Garbage framing on a fresh connection: typed error, then closed. *)
+  let c2 = Serve.Client.connect addr in
+  Serve.Client.send_raw c2 "JUNKJUNKJUNKJUNK";
+  (match Serve.Client.read_reply c2 with
+  | Ok { Serve.Protocol.reply = Serve.Protocol.Protocol_error _; _ } -> ()
+  | Ok _ -> fail "garbage framing should produce a Protocol_error"
+  | Error e -> fail "garbage framing: %s" e);
+  Serve.Client.close c2;
+  (* Raw HTTP scrape on the same port. *)
+  (let host, port =
+     match addr with Serve.Daemon.Tcp (h, p) -> (h, p) | _ -> fail "expected TCP"
+   in
+   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+   Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+   let msg = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+   ignore (Unix.write fd msg 0 (Bytes.length msg));
+   let buf = Buffer.create 1024 in
+   let chunk = Bytes.create 4096 in
+   let rec drain () =
+     match Unix.read fd chunk 0 (Bytes.length chunk) with
+     | 0 -> ()
+     | n ->
+         Buffer.add_subbytes buf chunk 0 n;
+         drain ()
+   in
+   drain ();
+   Unix.close fd;
+   let body = Buffer.contents buf in
+   expect "scrape must answer HTTP 200" (String.starts_with ~prefix:"HTTP/1.0 200" body);
+   let contains s sub =
+     let n = String.length s and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0
+   in
+   expect "scrape must carry the serve counters" (contains body "serve.submitted"));
+  (* Framed metrics request + the accounting identity. *)
+  (match Serve.Client.rpc c Serve.Protocol.Metrics with
+  | Ok (Serve.Protocol.Metrics_reply { stats; _ }) ->
+      expect "served + rejected + failed = submitted"
+        (stats.Serve.Protocol.served + stats.rejected + stats.failed = stats.submitted);
+      expect "all queries must have been served" (stats.failed = 0 && stats.rejected = 0)
+  | Ok _ -> fail "metrics: wrong reply form"
+  | Error e -> fail "metrics: %s" e);
+  (match Serve.Client.shutdown c with Ok () -> () | Error e -> fail "shutdown: %s" e);
+  Serve.Daemon.wait d;
+  Serve.Client.close c;
+  let s = Serve.Daemon.stats d in
+  Printf.printf "serve self-test OK: %d submitted, %d served, %d cache hits\n" s.submitted
+    s.served s.cache_hits
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Resident worker domains (default: the machine's job count)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let cap_arg =
+    let doc =
+      "Admission cap: queries queued-or-executing at once before the daemon \
+       answers $(b,overloaded) (default 4x workers)."
+    in
+    Arg.(value & opt (some int) None & info [ "cap" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Verdict-cache entries (LRU); 0 disables caching." in
+    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let ceiling_arg =
+    let doc = "Clamp client-requested budgets to at most $(docv) seconds." in
+    Arg.(value & opt (some float) None & info [ "timeout-ceiling" ] ~docv:"SEC" ~doc)
+  in
+  let self_test =
+    let doc =
+      "Run the scripted end-to-end protocol session against an in-process \
+       daemon on an ephemeral port and exit (0 = all checks passed) — what \
+       $(b,make serve-smoke) runs."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let run socket tcp workers cap cache ceiling self_test =
+    with_clean_errors @@ fun () ->
+    if self_test then serve_self_test ()
+    else begin
+      Obs.Report.enable ();
+      let workers = Option.value workers ~default:(Util.Parallel.default_jobs ()) in
+      let cfg =
+        {
+          Serve.Daemon.addr = resolve_addr socket tcp;
+          workers;
+          cap = Option.value cap ~default:(4 * workers);
+          cache_cap = cache;
+          timeout_ceiling_s = ceiling;
+        }
+      in
+      let d = Serve.Daemon.run cfg in
+      (match Serve.Daemon.address d with
+      | Serve.Daemon.Unix_path p -> Printf.printf "fannetd listening on unix:%s\n%!" p
+      | Serve.Daemon.Tcp (h, p) -> Printf.printf "fannetd listening on %s:%d\n%!" h p);
+      let on_signal _ = ignore (Thread.create (fun () -> Serve.Daemon.stop d) ()) in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Serve.Daemon.wait d;
+      let s = Serve.Daemon.stats d in
+      Printf.printf "fannetd stopped: %d submitted, %d served, %d rejected, %d failed\n"
+        s.Serve.Protocol.submitted s.served s.rejected s.failed
+    end
+  in
+  let doc =
+    "Run $(b,fannetd), the verification daemon: fannet-wire/1 over a Unix or \
+     TCP socket, an LRU verdict cache, warm per-worker solver sessions, typed \
+     overload rejections and an HTTP-style $(b,GET /metrics) scrape on the \
+     same port. Stop with SIGINT/SIGTERM or a client $(b,shutdown) request."
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ workers_arg $ cap_arg $ cache_arg
+      $ ceiling_arg $ self_test)
+
+let query_cmd =
+  let kind_arg =
+    let doc =
+      "What to ask: $(b,ping), $(b,exists-flip), $(b,tolerance), \
+       $(b,sensitivity), $(b,certify), $(b,metrics) or $(b,shutdown)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ping", `Ping);
+               ("exists-flip", `Exists);
+               ("tolerance", `Tolerance);
+               ("sensitivity", `Sensitivity);
+               ("certify", `Certify);
+               ("metrics", `Metrics);
+               ("shutdown", `Shutdown);
+             ])
+          `Ping
+      & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let model_arg =
+    let doc = "Quantized model file ($(b,fannet train --save-model)) to upload." in
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"FILE" ~doc)
+  in
+  let input_vec_arg =
+    let doc = "Input vector, comma-separated integers." in
+    Arg.(value & opt (list int) [] & info [ "input" ] ~docv:"I1,I2,..." ~doc)
+  in
+  let label_arg =
+    let doc = "True label of the input (default: the model's own prediction)." in
+    Arg.(value & opt (some int) None & info [ "label" ] ~docv:"L" ~doc)
+  in
+  let run socket tcp kind model input_vec label_opt delta max_delta no_bias_noise
+      backend timeout =
+    with_clean_errors @@ fun () ->
+    let c = Serve.Client.connect (resolve_addr socket tcp) in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let orfail = function Ok v -> v | Error e -> failwith e in
+    match kind with
+    | `Ping ->
+        orfail (Serve.Client.ping c);
+        print_endline "pong"
+    | `Shutdown ->
+        orfail (Serve.Client.shutdown c);
+        print_endline "daemon acknowledged shutdown"
+    | `Metrics -> (
+        match orfail (Serve.Client.rpc c Serve.Protocol.Metrics) with
+        | Serve.Protocol.Metrics_reply { stats; obs } ->
+            Printf.printf
+              "submitted %d  served %d  rejected %d  failed %d\n\
+               cache: %d hits, %d misses, %d entries; in flight %d; networks %d\n"
+              stats.Serve.Protocol.submitted stats.served stats.rejected stats.failed
+              stats.cache_hits stats.cache_misses stats.cache_len stats.in_flight
+              stats.networks;
+            print_endline (Util.Json.to_string obs)
+        | _ -> failwith "metrics: wrong reply form")
+    | (`Exists | `Tolerance | `Sensitivity | `Certify) as kind ->
+        let model =
+          match model with
+          | None -> failwith "--model FILE is required for analysis queries"
+          | Some f -> ( match Nn.Qnet.load f with Ok m -> m | Error e -> failwith e)
+        in
+        if input_vec = [] then failwith "--input I1,I2,... is required";
+        let input = Array.of_list input_vec in
+        let label =
+          match label_opt with Some l -> l | None -> Nn.Qnet.predict model input
+        in
+        let bias_noise = bias_flag no_bias_noise in
+        let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
+        let digest = orfail (Serve.Client.load c model) in
+        let query =
+          match kind with
+          | `Exists -> Serve.Protocol.Exists_flip { backend; spec; input; label }
+          | `Tolerance ->
+              Serve.Protocol.Tolerance { backend; bias_noise; max_delta; input; label }
+          | `Sensitivity -> Serve.Protocol.Sensitivity { spec; input; label }
+          | `Certify -> Serve.Protocol.Certify { spec; input; label }
+        in
+        let budget = { Serve.Protocol.timeout_s = timeout; conflicts = None } in
+        (match orfail (Serve.Client.query ~budget c ~digest query) with
+        | Serve.Protocol.Overloaded { in_flight; cap } ->
+            Printf.eprintf "daemon overloaded (%d in flight, cap %d) — retry later\n%!"
+              in_flight cap;
+            exit 2
+        | Serve.Protocol.Answer { cached; answer } -> (
+            let tag = if cached then " (cached)" else "" in
+            match answer with
+            | Serve.Protocol.Verdict v -> (
+                Printf.printf "%s%s\n" (Fannet.Backend.verdict_to_string v) tag;
+                match v with
+                | Fannet.Backend.Flip _ -> exit 1
+                | Fannet.Backend.Unknown r -> exit_exhausted r
+                | Fannet.Backend.Robust -> ())
+            | Serve.Protocol.Min_flip (Ok (Some d)) ->
+                Printf.printf "smallest flipping range: +-%d%%%s\n" d tag
+            | Serve.Protocol.Min_flip (Ok None) ->
+                Printf.printf "robust up to +-%d%%%s\n" max_delta tag
+            | Serve.Protocol.Min_flip (Error r) -> exit_exhausted r
+            | Serve.Protocol.Sidedness (Ok sides) ->
+                Array.iter
+                  (fun s ->
+                    Printf.printf "node %d: positive_flip=%b negative_flip=%b\n"
+                      s.Fannet.Sensitivity.fs_node s.positive_flip s.negative_flip)
+                  sides;
+                print_string tag
+            | Serve.Protocol.Sidedness (Error r) -> exit_exhausted r
+            | Serve.Protocol.Certified { verdict; cert } -> (
+                (* The daemon's certificate must convince the local
+                   independent checker, not just the daemon. *)
+                match
+                  Fannet.Backend.check_certified model spec ~input ~label
+                    { Fannet.Backend.cv_verdict = verdict; cv_cert = cert }
+                with
+                | Error e ->
+                    Printf.eprintf "certificate INVALID: %s\n%!" e;
+                    exit 2
+                | Ok () -> (
+                    Printf.printf "%s%s: certificate checked\n"
+                      (Fannet.Backend.verdict_to_string verdict)
+                      tag;
+                    match verdict with
+                    | Fannet.Backend.Flip _ -> exit 1
+                    | Fannet.Backend.Unknown r -> exit_exhausted r
+                    | Fannet.Backend.Robust -> ())))
+        | Serve.Protocol.Protocol_error e | Serve.Protocol.Server_error e -> failwith e
+        | _ -> failwith "unexpected reply form")
+  in
+  let doc =
+    "One-shot client for a running $(b,fannet serve) daemon: upload a model, \
+     ask one query (exists-flip / tolerance / sensitivity / certify — \
+     certificates are re-checked locally), or ping / scrape / stop it."
+  in
+  Cmd.v (Cmd.info "query" ~doc ~exits)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ kind_arg $ model_arg $ input_vec_arg
+      $ label_arg $ delta $ max_delta $ no_bias_noise $ backend $ timeout_arg)
+
 let () =
   let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
   let info = Cmd.info "fannet" ~version:"1.0.0" ~doc ~exits in
@@ -914,6 +1291,8 @@ let () =
         fuzz_cmd;
         certify_cmd;
         profile_cmd;
+        serve_cmd;
+        query_cmd;
       ]
   in
   (* Exit-code contract (documented in [exits]): counterexample paths call

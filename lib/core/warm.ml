@@ -28,12 +28,19 @@ type entry = {
   enc : Encode.t;
   session : Smtlite.Solve.session;
   probes : (probe_key, Smtlite.Solve.assumption) Hashtbl.t;
+  mutable last_use : int;  (** recency tick of the owning domain's pool *)
 }
 
 let max_entries = 64
 
-let pool_key : (string, entry) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+(* Each domain owns one pool: a table of entries plus a monotonically
+   increasing recency tick. Entries never cross domains, so neither the
+   table nor the tick needs locking — only the process-wide counters
+   below are shared (and atomic). *)
+type pool = { tbl : (string, entry) Hashtbl.t; mutable tick : int }
+
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 16; tick = 0 })
 
 (* Always-on counters (atomic, process-wide) so reuse is testable even
    with the metrics registry disabled; the registry mirrors them. *)
@@ -55,38 +62,56 @@ let m_misses = Obs.Metrics.counter "warm.session_misses"
 
 let m_evictions = Obs.Metrics.counter "warm.session_evictions"
 
-let reset () = Hashtbl.reset (Domain.DLS.get pool_key)
+let reset () = Hashtbl.reset (Domain.DLS.get pool_key).tbl
+
+let size () = Hashtbl.length (Domain.DLS.get pool_key).tbl
 
 let digest parts = Digest.to_hex (Digest.string (Marshal.to_string parts []))
+
+(* Evict exactly the least-recently-used entry. A linear scan over at
+   most [max_entries] keys is cheaper than any ordering structure at
+   this size, and — unlike the old flush-the-whole-pool policy — keeps
+   the other warm sessions alive and makes the eviction counter mean
+   what it says: one increment per entry actually dropped. *)
+let evict_lru pool =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_use <= e.last_use -> acc
+        | _ -> Some (k, e))
+      pool.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove pool.tbl k;
+      Atomic.incr n_evictions;
+      Obs.Metrics.incr m_evictions
 
 (* Get or build the warm session for one query shape. The session is
    asserted with the misclassification formula over [spec]'s full range;
    narrower probes are sent as assumptions. *)
 let lookup net (spec : Noise.spec) ~input ~label =
   let pool = Domain.DLS.get pool_key in
+  pool.tick <- pool.tick + 1;
   let key = digest (net, spec, input, label) in
-  match Hashtbl.find_opt pool key with
+  match Hashtbl.find_opt pool.tbl key with
   | Some e ->
       Atomic.incr n_hits;
       Obs.Metrics.incr m_hits;
+      e.last_use <- pool.tick;
       e
   | None ->
       Atomic.incr n_misses;
       Obs.Metrics.incr m_misses;
-      if Hashtbl.length pool >= max_entries then begin
-        (* Dropping everything is crude but safe: sessions hold solver
-           state, and an unbounded pool would be a slow leak. A full
-           pool means the workload stopped revisiting old keys anyway. *)
-        Atomic.incr n_evictions;
-        Obs.Metrics.incr m_evictions;
-        Hashtbl.reset pool
-      end;
+      if Hashtbl.length pool.tbl >= max_entries then evict_lru pool;
       let enc = Encode.encode net ~input spec in
       let session =
         Smtlite.Solve.open_session (Encode.misclassified enc ~true_label:label)
       in
-      let e = { enc; session; probes = Hashtbl.create 8 } in
-      Hashtbl.add pool key e;
+      let e = { enc; session; probes = Hashtbl.create 8; last_use = pool.tick } in
+      Hashtbl.add pool.tbl key e;
       e
 
 let assumption_for e pk formula =

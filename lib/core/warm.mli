@@ -70,9 +70,20 @@ val misses : unit -> int
 (** Process-wide count of pool lookups that had to encode a session. *)
 
 val evictions : unit -> int
-(** Process-wide count of pool flushes (a domain's pool exceeded its
-    entry cap and was cleared). *)
+(** Process-wide count of entries actually evicted: when a domain's pool
+    is at capacity, the single least-recently-used session is dropped and
+    this counter is incremented once per dropped entry. Together with
+    {!misses} this gives the exact invariant
+    [misses = evictions + live entries summed over domains] (every miss
+    inserts one entry; every eviction removes one; {!reset} drops entries
+    without counting them). *)
+
+val size : unit -> int
+(** Number of sessions currently pooled by the {e calling} domain
+    (other domains' pools are not visible — entries never cross
+    domains). *)
 
 val reset : unit -> unit
-(** Drop the calling domain's pooled sessions (counters are kept).
-    Mostly for tests that need a cold pool. *)
+(** Drop the calling domain's pooled sessions (counters are kept; the
+    dropped entries do {e not} count as evictions). Mostly for tests
+    that need a cold pool. *)

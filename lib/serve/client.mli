@@ -1,0 +1,39 @@
+(** Blocking client for one [fannetd] connection.
+
+    Thin: {!rpc} stamps the next request id, writes one frame, reads one
+    frame, checks the echoed id. Framing or connection failures surface
+    as {!Error} — a client never raises on wire trouble (socket-level
+    [Unix.Unix_error] from connect/write still propagates). *)
+
+type conn
+
+val connect : Daemon.addr -> conn
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val rpc : conn -> Protocol.request -> (Protocol.reply, string) result
+(** One request/reply round trip. [Error] on a dead connection, a frame
+    the server's peer could not parse, or a reply whose id does not echo
+    the request ([rid = 0] protocol-error replies are accepted for any
+    request — that is how the server reports unparseable input). *)
+
+val send_raw : conn -> string -> unit
+(** Write raw bytes, bypassing framing — for malformed-input tests. *)
+
+val read_reply : conn -> (Protocol.reply_envelope, string) result
+(** Read one reply frame without sending anything first. *)
+
+val load : conn -> Nn.Qnet.t -> (string, string) result
+(** Upload a network; returns its digest. *)
+
+val query :
+  ?budget:Protocol.budget_spec ->
+  conn -> digest:string -> Protocol.query ->
+  (Protocol.reply, string) result
+
+val ping : conn -> (unit, string) result
+val shutdown : conn -> (unit, string) result
+(** Ask the daemon to stop (waits for the [Bye] ack only — use
+    {!Daemon.wait} on the server handle for full quiescence). *)
+
+val close : conn -> unit
+(** Idempotent. *)

@@ -1,0 +1,76 @@
+(** [fannetd] — the verification-as-a-service daemon.
+
+    A socket server (Unix path or TCP) speaking {!Wire}-framed
+    {!Protocol} messages. One lightweight thread per connection parses
+    frames and answers control requests directly; query requests pass
+    admission control, consult the LRU verdict cache, and on a miss run
+    on the resident {!Pool} of worker domains — where warm
+    {!Fannet.Warm} sessions keyed by the resident network accumulate, so
+    repeat searches against the same model skip re-encoding.
+
+    Admission control: at most [cap] queries may be queued-or-executing
+    at once; excess requests are answered with a typed
+    [Overloaded] reply rather than queued without bound. Every admitted
+    query runs under a {!Resil.Budget} built from the request's caps,
+    with its cancellation token linked to the daemon's shutdown token —
+    [stop] cancels stragglers cooperatively after the drain grace.
+
+    Cached answers are returned byte-identically: the cache stores the
+    decoded {!Protocol.answer} value and every reply is re-encoded by
+    the same deterministic codec, so a hit's [answer] sub-document
+    equals the cold one's bit for bit (the E20 bench asserts this for
+    certificates).
+
+    The same socket also answers an HTTP-style scrape: a connection
+    whose first bytes are ["GET "] receives the plain-text metrics
+    report (daemon stats + {!Obs.Metrics.text_report}) and is closed —
+    point [curl] at the TCP address and it works. The framed
+    [Metrics] request returns the same stats plus the [fannet.obs/1]
+    JSON snapshot.
+
+    Always-on counters (mirrored into [serve.*] {!Obs.Metrics} when the
+    registry is enabled) maintain the soak-test invariant
+    [served + rejected + failed = submitted]. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of string * int  (** host, port; port 0 picks a free one *)
+
+type config = {
+  addr : addr;
+  workers : int;       (** resident worker domains (>= 1) *)
+  cap : int;           (** admission cap on concurrent queries (>= 1) *)
+  cache_cap : int;     (** LRU verdict-cache entries; 0 disables caching *)
+  timeout_ceiling_s : float option;
+      (** clamp applied to client-requested budgets; [None] = no ceiling *)
+}
+
+val default_config : config
+(** Unix socket ["fannetd.sock"], workers = {!Util.Parallel.default_jobs},
+    cap = [4 × workers], cache 1024, no timeout ceiling. *)
+
+type t
+
+val run : config -> t
+(** Bind, listen, spawn the worker pool and the accept thread, return
+    immediately. Raises [Unix.Unix_error] when the address cannot be
+    bound. An existing Unix-socket file at the path is replaced. *)
+
+val address : t -> addr
+(** The bound address — for [Tcp (host, 0)] this carries the actual
+    port. *)
+
+val stats : t -> Protocol.server_stats
+
+val stop : ?grace_s:float -> t -> unit
+(** Graceful shutdown: stop accepting, wait up to [grace_s] (default 30)
+    for in-flight queries to drain, then fire the shutdown cancellation
+    token (linked into every query budget) and wait again, shut the
+    worker pool down, close every connection, and join all threads.
+    Idempotent. A Unix-socket file created by [run] is removed. *)
+
+val wait : t -> unit
+(** Block until the daemon has fully stopped (via {!stop} or a client's
+    [Shutdown] request). *)
+
+val stopped : t -> bool

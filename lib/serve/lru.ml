@@ -1,0 +1,91 @@
+(* Bounded LRU: hash table into an intrusive doubly-linked list ordered
+   by recency (head = most recent). One mutex per cache. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~cap =
+  {
+    capacity = cap;
+    tbl = Hashtbl.create (Stdlib.max 16 cap);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* List surgery; all under the lock. *)
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key value =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+            n.value <- value;
+            unlink t n;
+            push_front t n
+        | None ->
+            (if Hashtbl.length t.tbl >= t.capacity then
+               match t.tail with
+               | Some lru ->
+                   unlink t lru;
+                   Hashtbl.remove t.tbl lru.key;
+                   t.evictions <- t.evictions + 1
+               | None -> ());
+            let n = { key; value; prev = None; next = None } in
+            push_front t n;
+            Hashtbl.add t.tbl key n)
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let cap t = t.capacity
+
+let stats t = locked t (fun () -> (t.hits, t.misses, t.evictions))

@@ -1,0 +1,32 @@
+(** Thread-safe bounded LRU map, string keys.
+
+    The daemon's verdict cache: [find] marks the entry most-recently
+    used, [add] at capacity evicts the least-recently used entry. All
+    operations take the cache's mutex, so the structure is safe from any
+    thread or domain; operations are O(1) (hash table + intrusive
+    doubly-linked recency list).
+
+    Hit/miss/eviction counts are kept per cache (not process-wide) so
+    tests and the metrics endpoint can report exact figures. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap <= 0] means "cache nothing": every [find] misses, every [add]
+    is dropped — the configuration the cold-vs-warm bench uses to bypass
+    caching without a second code path. *)
+
+val find : 'a t -> string -> 'a option
+(** [Some v] bumps the entry to most-recently-used and counts a hit;
+    [None] counts a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite (either way the key becomes most-recently used).
+    At capacity the least-recently-used key is evicted first. *)
+
+val length : 'a t -> int
+
+val cap : 'a t -> int
+
+val stats : 'a t -> int * int * int
+(** [(hits, misses, evictions)] since creation. *)

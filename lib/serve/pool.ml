@@ -1,0 +1,121 @@
+(* Resident worker domains fed from per-worker queues with stealing.
+   One mutex guards every queue plus the lifecycle flags — at query
+   granularity (milliseconds of solver work per job) lock contention is
+   noise, and a single lock keeps the sleep/wake protocol obviously
+   deadlock-free. *)
+
+type t = {
+  queues : (unit -> unit) Queue.t array;
+  lock : Mutex.t;
+  work : Condition.t;        (* signalled on submit and on shutdown *)
+  mutable stopping : bool;
+  mutable next : int;        (* round-robin submission cursor *)
+  mutable joined : bool;
+  n_steals : int Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+let queued_job t me =
+  (* Own queue first, then steal from siblings (nearest first). *)
+  let n = Array.length t.queues in
+  if not (Queue.is_empty t.queues.(me)) then Some (Queue.pop t.queues.(me))
+  else
+    let rec scan k =
+      if k = n then None
+      else
+        let i = (me + k) mod n in
+        if Queue.is_empty t.queues.(i) then scan (k + 1)
+        else begin
+          Atomic.incr t.n_steals;
+          Some (Queue.pop t.queues.(i))
+        end
+    in
+    scan 1
+
+let worker t me () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      match queued_job t me with
+      | Some job -> Some job
+      | None ->
+          if t.stopping then None
+          else begin
+            Condition.wait t.work t.lock;
+            next ()
+          end
+    in
+    let job = next () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+        (* Jobs own their exceptions ([run] transports them); a stray
+           raise from a fire-and-forget [submit] job must not kill the
+           worker, so it is swallowed here as a last resort. *)
+        (try job () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ~workers =
+  let workers = Stdlib.max 1 workers in
+  let t =
+    {
+      queues = Array.init workers (fun _ -> Queue.create ());
+      lock = Mutex.create ();
+      work = Condition.create ();
+      stopping = false;
+      next = 0;
+      joined = false;
+      n_steals = Atomic.make 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i));
+  t
+
+let workers t = Array.length t.queues
+
+let steals t = Atomic.get t.n_steals
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shutting down"
+  end;
+  Queue.push job t.queues.(t.next mod Array.length t.queues);
+  t.next <- t.next + 1;
+  Condition.signal t.work;
+  Mutex.unlock t.lock
+
+let run t f =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let cell = ref None in
+  submit t (fun () ->
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock m;
+      cell := Some r;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while Option.is_none !cell do
+    Condition.wait c m
+  done;
+  let r = Option.get !cell in
+  Mutex.unlock m;
+  match r with Ok v -> v | Error e -> raise e
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  let join_now = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  (* Workers drain their queues before exiting (the stop condition in
+     [worker] only fires on empty queues), so joining here is the
+     drain. *)
+  if join_now then Array.iter Domain.join t.domains

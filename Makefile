@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve bench-count fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke fmt clean
 
 build:
 	dune build
@@ -11,7 +11,7 @@ test:
 # one end-to-end certified verdict, an instrumented profile run whose
 # metrics snapshot must self-validate, and the parallel-engine
 # no-regression gate (work stealing, warm sessions, portfolio).
-check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke bench-parallel
+check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke bench-parallel
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
@@ -59,6 +59,15 @@ metrics-smoke:
 serve-smoke:
 	dune exec bin/fannet_cli.exe -- serve --self-test
 
+# Model-counting smoke (~15 s): exact counts against brute-force
+# enumeration, fannet-count-cert/1 certificates re-checked by the
+# independent validator, jobs=1 vs jobs=4 byte-identity (certificate
+# included), the (ε, δ) envelope over 20 seeds, daemon cold-vs-cached
+# byte-identity for a certified count, and checkpoint
+# exhaust-and-resume. Exit 2 on any mismatch.
+count-smoke:
+	dune exec bin/fannet_cli.exe -- count --self-test
+
 # Full evaluation suite (E1-E17 + Bechamel timings); takes minutes.
 bench:
 	dune exec bench/main.exe
@@ -102,11 +111,18 @@ bench-parallel:
 bench-serve:
 	dune exec bench/main.exe -- --serve
 
+# Counting section (E21, < 1 min): exact #SAT throughput (plain vs
+# certified), tight-ε approx short-circuit agreement, and the (ε, δ)
+# grid's cost/accuracy on a synthetic XOR-hash workload — the envelope
+# is asserted, not just reported. Emits BENCH_count.json.
+bench-count:
+	dune exec bench/main.exe -- --count
+
 fmt:
 	dune fmt
 
-# BENCH_parallel/obs/robust.json are tracked artefacts (regenerated by
-# their bench targets), so clean leaves them alone.
+# BENCH_parallel/obs/robust/serve/count.json are tracked artefacts
+# (regenerated by their bench targets), so clean leaves them alone.
 clean:
 	dune clean
 	rm -f BENCH_cert.json

@@ -1528,6 +1528,144 @@ let bench_robust ?(smoke = false) ~out () =
   | Error e -> failwith (Printf.sprintf "E18: %s failed to parse: %s" out e)
 
 (* ------------------------------------------------------------------ *)
+(* E21: model counting (lib/count)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact #SAT throughput (cubes and solver calls per second, certified
+   overhead), the approximate counter's cost across an (ε, δ) grid, and
+   exact-vs-approx agreement — asserted, not just reported. *)
+let bench_count ?(smoke = false) ~out () =
+  section "E21 bench_count (exact #SAT + (ε, δ) XOR-hash estimation)";
+  let qnet = small_qnet () in
+  let sinput = [| 112; 87 |] in
+  let slabel = Nn.Qnet.predict qnet sinput in
+  (* Exact counting on the network encoding, plain and certified. *)
+  let deltas = if smoke then [ 3; 5 ] else [ 3; 5; 8; 12 ] in
+  let exact_rows =
+    List.map
+      (fun delta ->
+        let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+        let count certify () =
+          Fannet.Robustness.probability
+            ~mode:(Fannet.Robustness.Exact_mode { certify })
+            qnet spec ~input:sinput ~label:slabel
+        in
+        let r, t_plain = time_of (count false) in
+        let rc, t_cert = time_of (count true) in
+        if not (Util.Bigcount.equal r.Fannet.Robustness.flips rc.Fannet.Robustness.flips)
+        then failwith "E21: certified and plain exact counts disagree";
+        if rc.Fannet.Robustness.certificate = None then
+          failwith "E21: certified run produced no certificate";
+        let calls = r.Fannet.Robustness.solver_calls in
+        Printf.printf
+          "exact delta %2d: %s/%s flips, %d solver calls, %.4fs plain, %.4fs \
+           certified (x%.1f)\n"
+          delta
+          (Util.Bigcount.to_string r.Fannet.Robustness.flips)
+          (Util.Bigcount.to_string r.Fannet.Robustness.total)
+          calls t_plain t_cert
+          (t_cert /. Float.max 1e-9 t_plain);
+        ( delta,
+          r.Fannet.Robustness.flips,
+          r.Fannet.Robustness.total,
+          calls,
+          t_plain,
+          t_cert ))
+      deltas
+  in
+  (* Tight-ε approx on the network must short-circuit to the exact count. *)
+  let delta0 = List.hd deltas in
+  let spec0 = Fannet.Noise.symmetric ~delta:delta0 ~bias_noise:false in
+  let exact0 =
+    Fannet.Robustness.probability qnet spec0 ~input:sinput ~label:slabel
+  in
+  let tight =
+    Fannet.Robustness.probability
+      ~mode:(Fannet.Robustness.Approx_mode { epsilon = 0.1; delta = 0.2; seed = 1 })
+      qnet spec0 ~input:sinput ~label:slabel
+  in
+  if not (Util.Bigcount.equal tight.Fannet.Robustness.flips exact0.Fannet.Robustness.flips)
+  then failwith "E21: tight-ε approx disagrees with the exact flip count";
+  print_endline "tight-ε approx short-circuits to the exact flip count: OK";
+  (* (ε, δ) grid on a synthetic space large enough to force XOR rounds. *)
+  let x = Smtlite.Term.var ~name:"bx" ~lo:0 ~hi:63 in
+  let y = Smtlite.Term.var ~name:"by" ~lo:0 ~hi:63 in
+  let f = Smtlite.Term.le (Smtlite.Term.of_var x) (Smtlite.Term.of_var y) in
+  let truth = float_of_int (64 * 65 / 2) in
+  let grid =
+    if smoke then [ (0.8, 0.2) ] else [ (0.8, 0.2); (0.5, 0.2); (0.8, 0.05) ]
+  in
+  let approx_rows =
+    List.map
+      (fun (epsilon, delta) ->
+        let a, t =
+          time_of (fun () ->
+              Count.Approx.count ~epsilon ~delta ~seed:3 f ~project:[ x; y ])
+        in
+        let est = Util.Bigcount.ratio a.Count.Approx.estimate Util.Bigcount.one in
+        let within =
+          est >= truth /. (1. +. epsilon) && est <= truth *. (1. +. epsilon)
+        in
+        (* Seed 3 is fixed, so this is a deterministic regression gate on
+           the (ε, δ) guarantee, not a flaky statistical check. *)
+        if not within then
+          failwith
+            (Printf.sprintf "E21: (%.2f, %.2f) estimate %.0f outside the envelope"
+               epsilon delta est);
+        Printf.printf
+          "approx (%.2f, %.2f): estimate %.0f (truth %.0f), %d rounds, %d solver \
+           calls, %.4fs\n"
+          epsilon delta est truth a.Count.Approx.rounds a.Count.Approx.solver_calls t;
+        (epsilon, delta, est, a.Count.Approx.rounds, a.Count.Approx.solver_calls, t))
+      grid
+  in
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_count/1");
+        ("smoke", Util.Json.Bool smoke);
+        ( "exact",
+          Util.Json.List
+            (List.map
+               (fun (delta, flips, total, calls, t_plain, t_cert) ->
+                 Util.Json.Obj
+                   [
+                     ("delta", Util.Json.Int delta);
+                     ("flips", Util.Bigcount.to_json flips);
+                     ("total", Util.Bigcount.to_json total);
+                     ("solver_calls", Util.Json.Int calls);
+                     ("plain_s", Util.Json.Float t_plain);
+                     ("certified_s", Util.Json.Float t_cert);
+                   ])
+               exact_rows) );
+        ( "approx",
+          Util.Json.List
+            (List.map
+               (fun (epsilon, delta, est, rounds, calls, t) ->
+                 Util.Json.Obj
+                   [
+                     ("epsilon", Util.Json.Float epsilon);
+                     ("delta", Util.Json.Float delta);
+                     ("estimate", Util.Json.Float est);
+                     ("truth", Util.Json.Float truth);
+                     ("rounds", Util.Json.Int rounds);
+                     ("solver_calls", Util.Json.Int calls);
+                     ("time_s", Util.Json.Float t);
+                   ])
+               approx_rows) );
+        ("tight_eps_agrees", Util.Json.Bool true);
+      ]
+  in
+  Util.Json.write_file out json;
+  match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_count/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E21: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E21: %s failed to parse: %s" out e)
+
+(* ------------------------------------------------------------------ *)
 (* E20: serving layer (fannetd)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1814,6 +1952,7 @@ let () =
   let parallel_only = Array.exists (( = ) "--parallel") Sys.argv in
   let obs_only = Array.exists (( = ) "--obs") Sys.argv in
   let serve_only = Array.exists (( = ) "--serve") Sys.argv in
+  let count_only = Array.exists (( = ) "--count") Sys.argv in
   let out =
     let rec find i =
       if i >= Array.length Sys.argv then "BENCH_parallel.json"
@@ -1841,6 +1980,14 @@ let () =
     print_endline "============================";
     bench_serve ~smoke ~out:"BENCH_serve.json" ();
     print_endline "\nServing bench completed."
+  end
+  else if count_only then begin
+    (* bench --count: E21 only — counting on the small network plus a
+       synthetic XOR-hash workload; no pipeline needed. *)
+    print_endline "FANNet bench (model counting)";
+    print_endline "=============================";
+    bench_count ~smoke ~out:"BENCH_count.json" ();
+    print_endline "\nCounting bench completed."
   end
   else if obs_only then begin
     (* bench --obs: the observability section only; no pipeline needed. *)
@@ -1875,6 +2022,7 @@ let () =
     bench_obs ~smoke:true ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:true ~out:"BENCH_robust.json" ();
     bench_serve ~smoke:true ~out:"BENCH_serve.json" ();
+    bench_count ~smoke:true ~out:"BENCH_count.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
@@ -1902,6 +2050,7 @@ let () =
     bench_obs ~smoke:false ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:false ~out:"BENCH_robust.json" ();
     bench_serve ~smoke:false ~out:"BENCH_serve.json" ();
+    bench_count ~smoke:false ~out:"BENCH_count.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

@@ -12,6 +12,7 @@
    fannet fsm          -- explicit state-space statistics (Fig. 3)
    fannet fuzz         -- differential fuzzing of the analysis backends
    fannet certify      -- certified robustness verdicts with DRUP proofs
+   fannet count        -- quantitative robustness: exact/approx model counting
    fannet profile      -- instrumented run: metrics table + span tree
    fannet serve        -- fannetd: the verification daemon (fannet-wire/1)
    fannet query        -- one-shot client for a running fannetd
@@ -1135,7 +1136,8 @@ let query_cmd =
   let kind_arg =
     let doc =
       "What to ask: $(b,ping), $(b,exists-flip), $(b,tolerance), \
-       $(b,sensitivity), $(b,certify), $(b,metrics) or $(b,shutdown)."
+       $(b,sensitivity), $(b,certify), $(b,count), $(b,metrics) or \
+       $(b,shutdown)."
     in
     Arg.(
       value
@@ -1147,6 +1149,7 @@ let query_cmd =
                ("tolerance", `Tolerance);
                ("sensitivity", `Sensitivity);
                ("certify", `Certify);
+               ("count", `Count);
                ("metrics", `Metrics);
                ("shutdown", `Shutdown);
              ])
@@ -1189,7 +1192,7 @@ let query_cmd =
               stats.networks;
             print_endline (Util.Json.to_string obs)
         | _ -> failwith "metrics: wrong reply form")
-    | (`Exists | `Tolerance | `Sensitivity | `Certify) as kind ->
+    | (`Exists | `Tolerance | `Sensitivity | `Certify | `Count) as kind ->
         let model =
           match model with
           | None -> failwith "--model FILE is required for analysis queries"
@@ -1210,6 +1213,9 @@ let query_cmd =
               Serve.Protocol.Tolerance { backend; bias_noise; max_delta; input; label }
           | `Sensitivity -> Serve.Protocol.Sensitivity { spec; input; label }
           | `Certify -> Serve.Protocol.Certify { spec; input; label }
+          | `Count ->
+              Serve.Protocol.Count
+                { spec; input; label; mode = Serve.Protocol.Count_exact { certify = true } }
         in
         let budget = { Serve.Protocol.timeout_s = timeout; conflicts = None } in
         (match orfail (Serve.Client.query ~budget c ~digest query) with
@@ -1256,7 +1262,27 @@ let query_cmd =
                     match verdict with
                     | Fannet.Backend.Flip _ -> exit 1
                     | Fannet.Backend.Unknown r -> exit_exhausted r
-                    | Fannet.Backend.Robust -> ())))
+                    | Fannet.Backend.Robust -> ()))
+            | Serve.Protocol.Counted (Error r) -> exit_exhausted r
+            | Serve.Protocol.Counted (Ok { flips; total; count_cert }) ->
+                (match count_cert with
+                | None -> ()
+                | Some cert -> (
+                    (* Like certify: the daemon's certificate must convince
+                       the local independent checker. *)
+                    match
+                      Fannet.Robustness.check_certificate model spec ~input ~label cert
+                    with
+                    | Error e ->
+                        Printf.eprintf "count certificate INVALID: %s\n%!" e;
+                        exit 2
+                    | Ok () -> Printf.printf "count certificate checked\n"));
+                Printf.printf "flips %s of %s vectors (p = %.6g)%s\n"
+                  (Util.Bigcount.to_string flips)
+                  (Util.Bigcount.to_string total)
+                  (Util.Bigcount.ratio flips total)
+                  tag;
+                if not (Util.Bigcount.is_zero flips) then exit 1)
         | Serve.Protocol.Protocol_error e | Serve.Protocol.Server_error e -> failwith e
         | _ -> failwith "unexpected reply form")
   in
@@ -1269,6 +1295,314 @@ let query_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ kind_arg $ model_arg $ input_vec_arg
       $ label_arg $ delta $ max_delta $ no_bias_noise $ backend $ timeout_arg)
+
+(* ---------- count: quantitative robustness via model counting ---------- *)
+
+(* The scripted self-test behind `make count-smoke`: exact counts against
+   brute-force enumeration, certificate re-validation by the independent
+   checker, jobs-determinism down to the certificate bytes, the (ε, δ)
+   envelope over 20 seeds, daemon cold-vs-cached byte-identity for a
+   certified count, and checkpoint exhaust-and-resume. Any mismatch
+   exits 2. *)
+let count_self_test () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "count self-test FAILED: %s\n%!" m;
+        exit 2)
+      fmt
+  in
+  let expect name ok = if not ok then fail "%s" name in
+  let qnet = serve_toy_qnet () in
+  let input = [| 112; 87 |] in
+  let label = Nn.Qnet.predict qnet input in
+  (* Exact ≡ brute force on two noise ranges, certified, certificates
+     re-checked. *)
+  List.iter
+    (fun delta ->
+      let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+      let brute = ref 0 in
+      Fannet.Noise.iter_vectors spec ~n_inputs:2 (fun v ->
+          if Fannet.Noise.predict qnet spec ~input v <> label then incr brute);
+      let r =
+        Fannet.Robustness.probability
+          ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+          qnet spec ~input ~label
+      in
+      expect
+        (Printf.sprintf "delta %d: exact count = brute force" delta)
+        (Util.Bigcount.equal r.Fannet.Robustness.flips
+           (Util.Bigcount.of_int !brute));
+      expect
+        (Printf.sprintf "delta %d: fully decided" delta)
+        (r.Fannet.Robustness.status = Ok ());
+      match r.Fannet.Robustness.certificate with
+      | None -> fail "delta %d: certificate missing" delta
+      | Some cert -> (
+          match Fannet.Robustness.check_certificate qnet spec ~input ~label cert with
+          | Ok () -> ()
+          | Error e -> fail "delta %d: certificate rejected: %s" delta e))
+    [ 2; 3 ];
+  (* jobs=1 and jobs=4 agree to the byte, certificate included. *)
+  let spec = Fannet.Noise.symmetric ~delta:3 ~bias_noise:false in
+  let run_jobs jobs =
+    Fannet.Robustness.probability
+      ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+      ~jobs qnet spec ~input ~label
+  in
+  let r1 = run_jobs 1 and r4 = run_jobs 4 in
+  expect "jobs 1 vs 4: same count"
+    (Util.Bigcount.equal r1.Fannet.Robustness.flips r4.Fannet.Robustness.flips);
+  let cert_bytes r =
+    match r.Fannet.Robustness.certificate with
+    | Some c -> Util.Json.to_string (Count.Certificate.to_json c)
+    | None -> fail "jobs run lost its certificate"
+  in
+  expect "jobs 1 vs 4: certificates byte-identical"
+    (String.equal (cert_bytes r1) (cert_bytes r4));
+  (* (ε, δ) envelope: 20 seeds on a space big enough to exercise the XOR
+     path (528 models > pivot(0.8) = 50). *)
+  let x = Smtlite.Term.var ~name:"x" ~lo:0 ~hi:31 in
+  let y = Smtlite.Term.var ~name:"y" ~lo:0 ~hi:31 in
+  let f = Smtlite.Term.le (Smtlite.Term.of_var x) (Smtlite.Term.of_var y) in
+  let models = float_of_int (32 * 33 / 2) in
+  let epsilon = 0.8 and adelta = 0.2 in
+  let misses = ref 0 in
+  for seed = 0 to 19 do
+    let a = Count.Approx.count ~epsilon ~delta:adelta ~seed f ~project:[ x; y ] in
+    expect "approx round decided" (a.Count.Approx.status = Count.Exact.Decided);
+    let est = Util.Bigcount.ratio a.Count.Approx.estimate Util.Bigcount.one in
+    if not (est >= models /. (1. +. epsilon) && est <= models *. (1. +. epsilon))
+    then incr misses
+  done;
+  (* δ = 0.2 per seed: 20 seeds with ≤ 9 misses has overwhelming
+     probability; more means the guarantee is broken. *)
+  expect
+    (Printf.sprintf "approx (0.8, 0.2) envelope: %d/20 misses" !misses)
+    (!misses <= 9);
+  let a1 = Count.Approx.count ~epsilon ~delta:adelta ~seed:5 f ~project:[ x; y ] in
+  let a2 = Count.Approx.count ~epsilon ~delta:adelta ~seed:5 f ~project:[ x; y ] in
+  expect "approx deterministic per seed"
+    (Util.Bigcount.equal a1.Count.Approx.estimate a2.Count.Approx.estimate);
+  (* Daemon: a certified count crosses the wire, is cached, and the
+     cached answer is byte-identical — certificate bytes included. *)
+  let d =
+    Serve.Daemon.run
+      {
+        Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
+        workers = 2;
+        cap = 4;
+        cache_cap = 64;
+        timeout_ceiling_s = Some 60.;
+      }
+  in
+  let c = Serve.Client.connect (Serve.Daemon.address d) in
+  let digest =
+    match Serve.Client.load c qnet with Ok dg -> dg | Error e -> fail "load: %s" e
+  in
+  let q =
+    Serve.Protocol.Count
+      { spec; input; label; mode = Serve.Protocol.Count_exact { certify = true } }
+  in
+  let once name =
+    match Serve.Client.query c ~digest q with
+    | Ok (Serve.Protocol.Answer { cached; answer }) -> (cached, answer)
+    | Ok _ -> fail "%s: unexpected reply form" name
+    | Error e -> fail "%s: %s" name e
+  in
+  let cached1, cold = once "count (cold)" in
+  let cached2, hit = once "count (hit)" in
+  expect "first daemon count is a cache miss" (not cached1);
+  expect "second daemon count is a cache hit" cached2;
+  expect "cached count byte-identical to cold (certificate included)"
+    (String.equal
+       (Util.Json.to_string (Serve.Protocol.answer_json cold))
+       (Util.Json.to_string (Serve.Protocol.answer_json hit)));
+  (match cold with
+  | Serve.Protocol.Counted (Ok { flips; count_cert = Some cert; _ }) ->
+      expect "daemon count = local count"
+        (Util.Bigcount.equal flips r1.Fannet.Robustness.flips);
+      (match Fannet.Robustness.check_certificate qnet spec ~input ~label cert with
+      | Ok () -> ()
+      | Error e -> fail "daemon certificate rejected locally: %s" e)
+  | _ -> fail "count: wrong answer form");
+  (match Serve.Client.shutdown c with Ok () -> () | Error e -> fail "shutdown: %s" e);
+  Serve.Daemon.wait d;
+  Serve.Client.close c;
+  (* Checkpoint: exhaust under a zero budget, resume to completion, same
+     count as a clean run. *)
+  let cx = Smtlite.Term.var ~name:"cx" ~lo:0 ~hi:127 in
+  let cy = Smtlite.Term.var ~name:"cy" ~lo:0 ~hi:127 in
+  let g = Smtlite.Term.le (Smtlite.Term.of_var cx) (Smtlite.Term.of_var cy) in
+  let clean = Count.Exact.count g ~project:[ cx; cy ] in
+  let ckpt = Filename.temp_file "fannet_count_selftest" ".ckpt" in
+  (* temp_file creates an empty file; an empty checkpoint is (rightly)
+     rejected as torn, so start from its absence. *)
+  Sys.remove ckpt;
+  let zero = Resil.Budget.create ~timeout_s:0.0 () in
+  let first =
+    Count.Exact.count ~budget:zero ~checkpoint:ckpt ~ckpt_key:"selftest"
+      ~ckpt_every:1 g ~project:[ cx; cy ]
+  in
+  expect "zero budget exhausts"
+    (match first.Count.Exact.status with
+    | Count.Exact.Exhausted _ -> true
+    | Count.Exact.Decided -> false);
+  let rec resume attempts =
+    if attempts > 60 then fail "checkpoint resume did not converge";
+    let b = Resil.Budget.create ~timeout_s:(0.0005 *. float_of_int attempts) () in
+    let r =
+      Count.Exact.count ~budget:b ~checkpoint:ckpt ~ckpt_key:"selftest"
+        ~ckpt_every:1 g ~project:[ cx; cy ]
+    in
+    match r.Count.Exact.status with
+    | Count.Exact.Decided -> r
+    | Count.Exact.Exhausted _ -> resume (attempts + 1)
+  in
+  let resumed = resume 1 in
+  (try Sys.remove ckpt with Sys_error _ -> ());
+  expect "resumed count = clean count"
+    (Util.Bigcount.equal resumed.Count.Exact.count clean.Count.Exact.count);
+  Printf.printf
+    "count self-test OK: exact = brute force, certificates check, jobs and \
+     cache byte-identical, approx envelope %d/20 misses, checkpoint resume \
+     intact\n"
+    !misses
+
+let count_cmd =
+  let approx_arg =
+    let doc =
+      "Use the (ε, δ)-approximate counter (random XOR hashing) instead of \
+       exact #SAT."
+    in
+    Arg.(value & flag & info [ "approx" ] ~doc)
+  in
+  let exact_arg =
+    let doc = "Use the exact cube-decomposition counter (the default)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let epsilon_arg =
+    let doc =
+      "Approximation tolerance: the estimate is within a (1+$(docv)) factor \
+       of the true count with probability 1-δ."
+    in
+    Arg.(value & opt float 0.8 & info [ "epsilon" ] ~docv:"E" ~doc)
+  in
+  let approx_delta_arg =
+    let doc =
+      "Approximation failure probability δ (not the noise bound — that is \
+       $(b,--delta))."
+    in
+    Arg.(value & opt float 0.2 & info [ "approx-delta" ] ~docv:"D" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Seed of the XOR hash family; estimates are deterministic per seed."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let certify_arg =
+    let doc =
+      "Attach a $(b,fannet-count-cert/1) certificate to the exact count and \
+       re-check it with the independent validator before reporting."
+    in
+    Arg.(value & flag & info [ "certify" ] ~doc)
+  in
+  let cert_out_arg =
+    let doc = "Write the count certificate JSON to $(docv) (implies --certify)." in
+    Arg.(value & opt (some string) None & info [ "cert-out" ] ~docv:"FILE" ~doc)
+  in
+  let self_test =
+    let doc =
+      "Run the scripted counting self-test (exact vs brute force, \
+       certificate checks, jobs determinism, approx envelope, daemon \
+       byte-identity, checkpoint resume) and exit — what \
+       $(b,make count-smoke) runs."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let run metrics dataset_seed init_seed input_index delta no_bias_noise approx
+      exact epsilon adelta seed certify cert_out jobs timeout max_mem retries
+      checkpoint self_test =
+    with_clean_errors @@ fun () ->
+    if self_test then count_self_test ()
+    else begin
+      with_metrics metrics @@ fun () ->
+      if approx && exact then failwith "--exact and --approx are mutually exclusive";
+      if approx && (certify || cert_out <> None) then
+        failwith "--certify/--cert-out need the exact counter";
+      Util.Parallel.set_default_jobs jobs;
+      let p = pipeline dataset_seed init_seed in
+      let inputs = Fannet.Pipeline.analysis_inputs p in
+      if input_index < 0 || input_index >= Array.length inputs then
+        failwith "input index out of range";
+      let input, label = inputs.(input_index) in
+      let bias_noise = bias_flag no_bias_noise in
+      let spec = Fannet.Noise.symmetric ~delta ~bias_noise in
+      let mode =
+        if approx then Fannet.Robustness.Approx_mode { epsilon; delta = adelta; seed }
+        else
+          Fannet.Robustness.Exact_mode { certify = certify || cert_out <> None }
+      in
+      (* The checkpoint key ties the file to this exact query, so resuming
+         under different flags is rejected instead of silently merged. *)
+      let ckpt_key =
+        Printf.sprintf "count input=%d delta=%d bias=%b" input_index delta
+          bias_noise
+      in
+      (* Retries resume from the checkpoint (when given), so each attempt
+         keeps the previous attempt's decided cubes. *)
+      let r =
+        with_retries ~retries (budget_of timeout max_mem) (fun budget ->
+            let r =
+              Fannet.Robustness.probability ?budget ~mode ?jobs ?checkpoint
+                ~ckpt_key p.qnet spec ~input ~label
+            in
+            match r.Fannet.Robustness.status with
+            | Error reason -> Error reason
+            | Ok () -> Ok r)
+      in
+      (match r.Fannet.Robustness.certificate with
+      | None -> ()
+      | Some cert -> (
+          (match
+             Fannet.Robustness.check_certificate p.qnet spec ~input ~label cert
+           with
+          | Ok () -> Printf.printf "certificate checked (fannet-count-cert/1)\n"
+          | Error e ->
+              Printf.eprintf "certificate INVALID: %s\n%!" e;
+              exit 2);
+          match cert_out with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Util.Json.to_string (Count.Certificate.to_json cert));
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "certificate written to %s\n" file));
+      Printf.printf "input %d (true L%d), noise +-%d%%: %s of %s vectors flip (p %s %.6g)\n"
+        input_index label delta
+        (Util.Bigcount.to_string r.Fannet.Robustness.flips)
+        (Util.Bigcount.to_string r.Fannet.Robustness.total)
+        (if r.Fannet.Robustness.approx then "~=" else "=")
+        r.Fannet.Robustness.probability;
+      if not (Util.Bigcount.is_zero r.Fannet.Robustness.flips) then exit 1
+    end
+  in
+  let doc =
+    "Quantitative robustness: count the noise vectors that flip one input's \
+     classification — exactly (cube-decomposition #SAT, optionally with a \
+     $(b,fannet-count-cert/1) certificate checked by the independent \
+     validator) or (ε, δ)-approximately (XOR hashing). The flip count over \
+     the noise-space cardinality is the misclassification probability under \
+     uniform noise."
+  in
+  Cmd.v (Cmd.info "count" ~doc ~exits)
+    Term.(
+      const run $ metrics_file $ dataset_seed $ init_seed $ input_index $ delta
+      $ no_bias_noise $ approx_arg $ exact_arg $ epsilon_arg $ approx_delta_arg
+      $ seed_arg $ certify_arg $ cert_out_arg $ jobs $ timeout_arg $ max_mem_arg
+      $ retries_arg $ checkpoint_arg $ self_test)
 
 let () =
   let doc = "Formal analysis of noise tolerance, training bias and input sensitivity (FANNet, DATE 2020)" in
@@ -1290,6 +1624,7 @@ let () =
         fsm_cmd;
         fuzz_cmd;
         certify_cmd;
+        count_cmd;
         profile_cmd;
         serve_cmd;
         query_cmd;

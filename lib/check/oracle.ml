@@ -32,7 +32,8 @@ let outcome_to_string = function
   | Raised msg -> "exception: " ^ msg
 
 let check_case ?(run : runner = fun b -> B.exists_flip b) ?(check_parallel = true)
-    ?(check_certificate = true) ?(check_portfolio = true) (case : Case.t) =
+    ?(check_certificate = true) ?(check_portfolio = true) ?(check_count = true)
+    (case : Case.t) =
   let { Case.net; input; label; spec; _ } = case in
   let run_one backend =
     match run backend net spec ~input ~label with
@@ -192,6 +193,91 @@ let check_case ?(run : runner = fun b -> B.exists_flip b) ?(check_parallel = tru
                 (Printf.sprintf "witness %s does not flip the prediction"
                    (N.to_string v))
         | B.Robust | B.Unknown _ -> ())
+  end;
+  (* Counting agreement: the exact counter must reproduce the brute-force
+     flip count, its certificate must pass the independent checker, jobs
+     must not change a byte of the answer, and the tight-ε approximate
+     counter — whose pivot (1191) exceeds every fuzz-sized flip set, so
+     the exact shortcut fires — must agree too. Enumerates the whole
+     noise space, so sampled by the driver like the re-runs above. *)
+  if check_count then begin
+    let n_inputs = Array.length input in
+    let space = N.spec_size spec ~n_inputs in
+    if space <= 100_000 then begin
+      let brute = ref 0 in
+      N.iter_vectors spec ~n_inputs (fun v ->
+          if N.predict net spec ~input v <> label then incr brute);
+      let brute_n = !brute in
+      let brute = Util.Bigcount.of_int brute_n in
+      let certified_probability ~jobs =
+        Fannet.Robustness.probability
+          ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+          ~jobs net spec ~input ~label
+      in
+      match certified_probability ~jobs:1 with
+      | exception e -> fail "count-exact" explicit (Printexc.to_string e)
+      | r ->
+          (if r.Fannet.Robustness.status <> Ok () then
+             fail "count-exact" explicit "unbudgeted count not decided"
+           else if not (Util.Bigcount.equal r.Fannet.Robustness.flips brute) then
+             fail "count-exact" explicit
+               (Printf.sprintf "counted %s flips but enumeration finds %s"
+                  (Util.Bigcount.to_string r.Fannet.Robustness.flips)
+                  (Util.Bigcount.to_string brute)));
+          (match (ground_truth, Util.Bigcount.is_zero r.Fannet.Robustness.flips) with
+          | B.Robust, false ->
+              fail "count-exact" explicit
+                "nonzero flip count on a range the enumerator proves robust"
+          | B.Flip _, true ->
+              fail "count-exact" explicit
+                "zero flip count but the enumerator found a flip"
+          | _ -> ());
+          (match r.Fannet.Robustness.certificate with
+          | None ->
+              fail "count-certificate" explicit "decided count without a certificate"
+          | Some cert -> (
+              match
+                Fannet.Robustness.check_certificate net spec ~input ~label cert
+              with
+              | Ok () -> ()
+              | Error e -> fail "count-certificate" explicit e));
+          (match certified_probability ~jobs:4 with
+          | exception e -> fail "count-jobs" explicit (Printexc.to_string e)
+          | r4 ->
+              let cert_bytes r =
+                match r.Fannet.Robustness.certificate with
+                | Some c -> Util.Json.to_string (Count.Certificate.to_json c)
+                | None -> ""
+              in
+              if
+                (not
+                   (Util.Bigcount.equal r.Fannet.Robustness.flips
+                      r4.Fannet.Robustness.flips))
+                || cert_bytes r <> cert_bytes r4
+              then
+                fail "count-jobs" explicit
+                  "jobs=1 and jobs=4 disagree (count or certificate bytes)");
+          (* Below the pivot the approximate counter must short-circuit to
+             bounded enumeration — exact, deterministic, seed-independent. *)
+          if brute_n <= 1000 then begin
+            match
+              Fannet.Robustness.probability
+                ~mode:
+                  (Fannet.Robustness.Approx_mode
+                     { epsilon = 0.1; delta = 0.2; seed = case.Case.id })
+                net spec ~input ~label
+            with
+            | exception e -> fail "count-approx" explicit (Printexc.to_string e)
+            | ra ->
+                if not (Util.Bigcount.equal ra.Fannet.Robustness.flips brute) then
+                  fail "count-approx" explicit
+                    (Printf.sprintf
+                       "tight-ε estimate %s should short-circuit to the exact \
+                        count %s"
+                       (Util.Bigcount.to_string ra.Fannet.Robustness.flips)
+                       (Util.Bigcount.to_string brute))
+          end
+    end
   end;
   (* Cascade lattice: a decided interval verdict forces the cascade. *)
   (match outcome_of B.Interval with

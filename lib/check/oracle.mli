@@ -25,7 +25,15 @@
       diversified seeds, clause sharing on) reaches the enumerator's
       decision, reports a winning seed for every decided verdict, and any
       witness is valid — sampled by the driver ([?check_portfolio]
-      controls it here; it spawns domains per query).
+      controls it here; it spawns domains per query);
+    - {b counting agreement}: the exact counter
+      ({!Fannet.Robustness.probability}) reproduces the brute-force flip
+      count, is zero exactly when the enumerator proves the range robust,
+      carries a [fannet-count-cert/1] certificate that passes the
+      independent checker, answers byte-identically (certificate
+      included) at [jobs] 1 and 4, and the tight-ε approximate counter
+      short-circuits to the same exact count — sampled by the driver
+      ([?check_count] controls it here; it enumerates the noise space).
 
     The backend runner is injectable ([?run]) so tests can mutate a
     backend and assert the oracle catches the discrepancy (mutation
@@ -64,6 +72,7 @@ val check_case :
   ?check_parallel:bool ->
   ?check_certificate:bool ->
   ?check_portfolio:bool ->
+  ?check_count:bool ->
   Case.t ->
   result
 (** [run] defaults to {!Fannet.Backend.exists_flip}; [check_parallel]
@@ -71,4 +80,6 @@ val check_case :
     verdict vectors; [check_certificate] (default [true]) runs the
     certified SMT path and validates its proof/model certificate;
     [check_portfolio] (default [true]) races the diversified portfolio
-    against the enumerator's decision. *)
+    against the enumerator's decision; [check_count] (default [true])
+    checks the exact and approximate model counters against brute-force
+    enumeration. *)

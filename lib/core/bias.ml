@@ -104,3 +104,62 @@ let report_to_string r =
   Buffer.add_string buf
     (Printf.sprintf "consistent with training bias: %b" r.consistent_with_bias);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Quantitative flip mass (model counting)                             *)
+(* ------------------------------------------------------------------ *)
+
+type mass = { from : int; to_ : int; mass : Util.Bigcount.t }
+
+let count_models ?budget ~mode f ~project =
+  match (mode : Robustness.mode) with
+  | Robustness.Exact_mode _ ->
+      let r = Count.Exact.count ?budget f ~project in
+      (r.Count.Exact.count, r.Count.Exact.status)
+  | Robustness.Approx_mode { epsilon; delta; seed } ->
+      let r = Count.Approx.count ?budget ~epsilon ~delta ~seed f ~project in
+      (r.Count.Approx.estimate, r.Count.Approx.status)
+
+let flip_mass_by_class ?budget ?(mode = Robustness.default_mode) ~n_classes net
+    spec ~inputs =
+  if n_classes <= 0 then invalid_arg "Bias.flip_mass_by_class: n_classes";
+  let table = Hashtbl.create 8 in
+  let failure = ref None in
+  Array.iter
+    (fun (input, label) ->
+      if label < 0 || label >= n_classes then
+        invalid_arg "Bias.flip_mass_by_class: bad label";
+      if !failure = None then begin
+        let enc = Encode.encode net ~input spec in
+        let project = Encode.noise_vars enc in
+        for c = 0 to n_classes - 1 do
+          if c <> label && !failure = None then begin
+            let m, status =
+              count_models ?budget ~mode (Encode.predicted_is enc c) ~project
+            in
+            (match status with
+            | Count.Exact.Decided ->
+                let key = (label, c) in
+                let prev =
+                  Option.value ~default:Util.Bigcount.zero
+                    (Hashtbl.find_opt table key)
+                in
+                Hashtbl.replace table key (Util.Bigcount.add prev m)
+            | Count.Exact.Exhausted r -> failure := Some r)
+          end
+        done
+      end)
+    inputs;
+  match !failure with
+  | Some r -> Error r
+  | None ->
+      Ok
+        (Hashtbl.fold
+           (fun (from, to_) mass acc ->
+             if Util.Bigcount.is_zero mass then acc
+             else { from; to_; mass } :: acc)
+           table []
+        |> List.sort (fun a b ->
+               match Util.Bigcount.compare b.mass a.mass with
+               | 0 -> compare (a.from, a.to_) (b.from, b.to_)
+               | c -> c))

@@ -36,3 +36,27 @@ val analyze :
     on (used to normalise flip rates per class). *)
 
 val report_to_string : report -> string
+
+type mass = {
+  from : int;
+  to_ : int;
+  mass : Util.Bigcount.t;  (** noise vectors mapping [from] to [to_] *)
+}
+
+val flip_mass_by_class :
+  ?budget:Resil.Budget.t ->
+  ?mode:Robustness.mode ->
+  n_classes:int ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  inputs:(int array * int) array ->
+  (mass list, Resil.Budget.reason) result
+(** Quantitative refinement of {!analyze}: instead of counting extracted
+    counterexamples (a sample), count — by exact or approximate model
+    counting over the noise space ({!Robustness.mode}) — how many noise
+    vectors drive each labelled input to each wrong class, aggregated
+    over [inputs] into per-direction masses sorted by decreasing mass
+    (zero-mass directions omitted). The training-bias claim then rests
+    on the full noise-space measure rather than on whichever
+    counterexamples the extractor happened to find. [Error] when the
+    budget ran out mid-sweep. *)

@@ -1,0 +1,32 @@
+type report = {
+  per_input : Robustness.report array;
+  mean_probability : float;
+  worst : int;
+}
+
+let adversarial ?budget ?mode ?(jobs = 1) net spec ~inputs =
+  let per_input =
+    Util.Parallel.map ~jobs
+      (fun (input, label) ->
+        Robustness.probability ?budget ?mode ~jobs:1 net spec ~input ~label)
+      inputs
+  in
+  let n = Array.length per_input in
+  let mean_probability =
+    if n = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc (r : Robustness.report) -> acc +. r.Robustness.probability)
+        0.0 per_input
+      /. float_of_int n
+  in
+  let worst = ref (-1) in
+  Array.iteri
+    (fun i (r : Robustness.report) ->
+      if
+        !worst < 0
+        || r.Robustness.probability
+           > per_input.(!worst).Robustness.probability
+      then worst := i)
+    per_input;
+  { per_input; mean_probability; worst = !worst }

@@ -1,0 +1,29 @@
+(** Adversarial noise density over a set of test inputs.
+
+    The paper reads noise tolerance off single inputs; this aggregates
+    the quantitative view: for each analysed input, the fraction of the
+    noise space that flips its prediction ({!Robustness.probability}),
+    and across inputs the mean density and the most fragile input. A
+    network can be qualitatively non-robust (some flip exists for every
+    input) while quantitatively safe (the flipping sets are vanishingly
+    small) — this report separates the two. *)
+
+type report = {
+  per_input : Robustness.report array;  (** one per analysed input *)
+  mean_probability : float;             (** mean flip probability *)
+  worst : int;  (** index of the input with the highest flip probability;
+                    [-1] when [inputs] is empty *)
+}
+
+val adversarial :
+  ?budget:Resil.Budget.t ->
+  ?mode:Robustness.mode ->
+  ?jobs:int ->
+  Nn.Qnet.t ->
+  Noise.spec ->
+  inputs:(int array * int) array ->
+  report
+(** [inputs] pairs each test input with its true label. [jobs]
+    parallelises {e across inputs} on a {!Util.Parallel} pool (each
+    per-input count runs sequentially); the per-input report order is
+    deterministic and matches [inputs]. *)

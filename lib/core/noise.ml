@@ -34,6 +34,12 @@ let spec_size spec ~n_inputs =
   in
   power 1 nodes
 
+let spec_count spec ~n_inputs =
+  check_spec spec;
+  Util.Bigcount.pow
+    ~base:(spec.delta_hi - spec.delta_lo + 1)
+    ~exp:(n_nodes spec ~n_inputs)
+
 type vector = { bias : int; inputs : int array }
 
 let zero ~n_inputs = { bias = 0; inputs = Array.make n_inputs 0 }

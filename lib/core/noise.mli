@@ -39,6 +39,11 @@ val spec_size : spec -> n_inputs:int -> int
 (** Number of noise vectors in the range ([(hi-lo+1)^nodes]); saturates at
     [max_int] on overflow. *)
 
+val spec_count : spec -> n_inputs:int -> Util.Bigcount.t
+(** {!spec_size} without the saturation: exact while it fits an int,
+    [Huge] (log2-only) beyond — the denominator of quantitative
+    robustness probabilities. *)
+
 type vector = {
   bias : int;        (** 0 when the spec has no bias noise *)
   inputs : int array;

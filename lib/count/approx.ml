@@ -1,0 +1,187 @@
+module T = Smtlite.Term
+module Solve = Smtlite.Solve
+module B = Util.Bigcount
+module Rng = Util.Rng
+
+type result = {
+  estimate : B.t;
+  exact : bool;
+  rounds : int;
+  solver_calls : int;
+  status : Exact.status;
+}
+
+exception Out_of_budget of Resil.Budget.reason
+
+let m_rounds = Obs.Metrics.counter "count.approx_rounds"
+
+let m_calls = Obs.Metrics.counter "count.solver_calls"
+
+(* pivot = ⌈9.84 · (1 + 1/ε)²⌉ (ApproxMC's cell-size threshold). *)
+let pivot_for epsilon =
+  int_of_float (ceil (9.84 *. (1.0 +. (1.0 /. epsilon)) ** 2.0))
+
+(* Smallest odd t whose chance of ⌈t/2⌉ failures at per-round failure
+   probability 0.36 is at most δ, computed from the exact binomial tail
+   (capped at 99 rounds — enough for δ down to ~1e-9). *)
+let rounds_for delta =
+  let tail t p k =
+    (* P[Bin(t, p) >= k], pmf computed iteratively. *)
+    let q = 1.0 -. p in
+    let pmf = ref (q ** float_of_int t) in
+    let acc = ref (if k <= 0 then !pmf else 0.0) in
+    for i = 0 to t - 1 do
+      pmf := !pmf *. float_of_int (t - i) /. float_of_int (i + 1) *. p /. q;
+      if i + 1 >= k then acc := !acc +. !pmf
+    done;
+    !acc
+  in
+  let rec go t =
+    if t >= 99 then 99
+    else if tail t 0.36 ((t + 1) / 2) <= delta then t
+    else go (t + 2)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  space : Space.t;
+  budget : Resil.Budget.t option;
+  session : Solve.session;
+  a_f : Solve.assumption;
+  dims : T.var list;
+  bits : Sat.Lit.t list;  (** all projected bits, the hash domain *)
+  mutable calls : int;
+}
+
+let solve_a e assumptions =
+  e.calls <- e.calls + 1;
+  Obs.Metrics.incr m_calls;
+  match Solve.solve ~assumptions ?budget:e.budget e.session with
+  | Solve.Unknown r -> raise (Out_of_budget r)
+  | o -> o
+
+(* Count models under [assumptions], stopping at [limit + 1]. Blocking
+   clauses go under a fresh guard that is dropped on return, leaving the
+   session exactly as constrained as before. *)
+let bounded_count e ~assumptions ~limit =
+  let guard = Solve.fresh_assumption e.session in
+  let rec go n =
+    if n > limit then n
+    else
+      match solve_a e (guard :: assumptions) with
+      | Solve.Unsat -> n
+      | Solve.Sat _ ->
+          Solve.block_under e.session ~guard e.dims;
+          go (n + 1)
+      | Solve.Unknown _ -> assert false
+  in
+  go 0
+
+(* One XOR level: each projected bit joins the parity with probability
+   1/2, and the required parity is a fair coin. *)
+let sample_level e rng =
+  let subset = List.filter (fun _ -> Rng.bool rng) e.bits in
+  Solve.assume_parity e.session subset ~parity:(Rng.bool rng)
+
+(* One round: sample a full ladder of levels, then gallop for the
+   smallest cumulative level count m whose cell is non-empty and at most
+   [pivot] big. The cell size is monotone non-increasing in m, so the
+   search moves toward the crossing; a direction flip means the crossing
+   fell between "empty" and "too big" — a failed round. *)
+let run_round e ~pivot ~start_m rng =
+  let nbits = List.length e.bits in
+  let levels = Array.init nbits (fun _ -> sample_level e rng) in
+  let cell m =
+    let assumptions =
+      e.a_f :: List.init m (fun i -> levels.(i))
+    in
+    bounded_count e ~assumptions ~limit:pivot
+  in
+  let rec search m dir =
+    let c = cell m in
+    if c = 0 then
+      if m <= 1 || dir > 0 then None else search (m - 1) (-1)
+    else if c > pivot then
+      if m >= nbits || dir < 0 then None else search (m + 1) 1
+    else Some (m, c)
+  in
+  search (min (max 1 start_m) (max 1 nbits)) 0
+
+let median compare l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(* Median of group-of-5 medians — the aggregation is robust to up to
+   just-under-half bad rounds, matching the 0.36 per-round failure rate
+   assumed by {!rounds_for}. *)
+let median_of_medians l =
+  let rec groups = function
+    | [] -> []
+    | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let g, rest = take 5 [] l in
+        g :: groups rest
+  in
+  match l with
+  | [] -> invalid_arg "median_of_medians: empty"
+  | l when List.length l <= 5 -> median B.compare l
+  | l -> median B.compare (List.map (median B.compare) (groups l))
+
+let count ?budget ?(epsilon = 0.8) ?(delta = 0.2) ?(seed = 0) f ~project =
+  if epsilon <= 0.0 then invalid_arg "Approx.count: epsilon must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Approx.count: delta must be in (0, 1)";
+  let space = Space.of_projection f ~project in
+  let session = Solve.open_session T.tru in
+  let a_f = Solve.assume session f in
+  let dims = Array.to_list space.Space.dims in
+  Solve.declare session dims;
+  Solve.prioritize session dims;
+  let bits = List.concat_map (Solve.var_bits session) dims in
+  let e = { space; budget; session; a_f; dims; bits; calls = 0 } in
+  let pivot = pivot_for epsilon in
+  let finish ~estimates ~exact ~rounds ~status =
+    let estimate =
+      match estimates with
+      | [] -> B.zero
+      | l -> B.mul (median_of_medians l) (Space.free_factor space)
+    in
+    { estimate; exact; rounds; solver_calls = e.calls; status }
+  in
+  match bounded_count e ~assumptions:[ a_f ] ~limit:pivot with
+  | exception Out_of_budget r ->
+      finish ~estimates:[] ~exact:false ~rounds:0 ~status:(Exact.Exhausted r)
+  | c when c <= pivot ->
+      (* The whole constrained space fits in one cell: exact, no hashing. *)
+      finish
+        ~estimates:[ B.of_int c ]
+        ~exact:true ~rounds:0 ~status:Exact.Decided
+  | _ ->
+      let t = rounds_for delta in
+      let master = Rng.create seed in
+      let estimates = ref [] and nrounds = ref 0 and prev_m = ref 1 in
+      let status = ref Exact.Decided in
+      (try
+         for _round = 1 to t do
+           (match Option.bind budget Resil.Budget.check with
+           | Some r -> raise (Out_of_budget r)
+           | None -> ());
+           let rng = Rng.split master in
+           match run_round e ~pivot ~start_m:!prev_m rng with
+           | None -> ()
+           | Some (m, c) ->
+               prev_m := m;
+               incr nrounds;
+               Obs.Metrics.incr m_rounds;
+               estimates := B.mul (B.of_int c) (B.pow2 m) :: !estimates
+         done
+       with Out_of_budget r -> status := Exact.Exhausted r);
+      finish ~estimates:(List.rev !estimates) ~exact:false ~rounds:!nrounds
+        ~status:!status

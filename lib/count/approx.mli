@@ -1,0 +1,47 @@
+(** ApproxMC-style approximate model counting with (ε, δ) guarantees.
+
+    The projected model space is hashed by random XOR parity constraints
+    over the projection variables' compiled bits ({!Smtlite.Solve.var_bits}
+    guarantees distinct values have distinct bit patterns, so the parities
+    are a pairwise-independent hash family). Each round samples one level
+    per bit from a seeded {!Util.Rng} stream, gallops for the smallest
+    number of cumulative levels m whose residual cell holds at most
+    [pivot = ⌈9.84·(1 + 1/ε)²⌉] models (counted by guarded blocking-clause
+    enumeration over one warm session — dropping the round's activation
+    guard retires its blocking clauses, so rounds never poison each
+    other), and estimates [cell · 2^m]. Round estimates are aggregated by
+    median-of-medians over ⌈t/2⌉-majority rounds, where t is the smallest
+    odd round count whose binomial failure tail (per-round failure
+    probability 0.36) is at most δ.
+
+    Guarantee: with probability at least 1 − δ the estimate is within a
+    multiplicative (1 + ε) of the true count. When the whole constrained
+    space already holds at most [pivot] models the counter short-circuits
+    to plain bounded enumeration — the result is then exact ([exact =
+    true]) and deterministic regardless of seed. *)
+
+type result = {
+  estimate : Util.Bigcount.t;  (** aggregated estimate × free factor *)
+  exact : bool;  (** the pivot shortcut fired: [estimate] is exact *)
+  rounds : int;  (** XOR rounds that produced an estimate *)
+  solver_calls : int;
+  status : Exact.status;
+}
+
+val count :
+  ?budget:Resil.Budget.t ->
+  ?epsilon:float ->
+  ?delta:float ->
+  ?seed:int ->
+  Smtlite.Term.formula ->
+  project:Smtlite.Term.var list ->
+  result
+(** Estimate the number of assignments of [project] satisfying the
+    formula. [epsilon] (default 0.8) is the tolerance, [delta] (default
+    0.2) the failure probability, [seed] (default 0) the hash-family
+    seed. On budget exhaustion the rounds finished so far are aggregated
+    and returned with [status = Exhausted].
+
+    Raises [Invalid_argument] if the formula mentions variables outside
+    [project], if [epsilon] is not positive, or if [delta] is outside
+    (0, 1). *)

@@ -1,0 +1,472 @@
+module T = Smtlite.Term
+module Solve = Smtlite.Solve
+module B = Util.Bigcount
+module J = Util.Json
+
+type status = Decided | Exhausted of Resil.Budget.reason
+
+type result = {
+  count : B.t;
+  total : B.t;
+  cubes : int;
+  splits : int;
+  solver_calls : int;
+  certificate : Certificate.t option;
+  status : status;
+}
+
+exception Out_of_budget of Resil.Budget.reason
+
+let m_cubes = Obs.Metrics.counter "count.cubes"
+
+let m_splits = Obs.Metrics.counter "count.splits"
+
+let m_calls = Obs.Metrics.counter "count.solver_calls"
+
+(* ------------------------------------------------------------------ *)
+(* Search engine: one warm session, every probe an assumption          *)
+(* ------------------------------------------------------------------ *)
+
+type engine = {
+  space : Space.t;
+  f : T.formula;
+  budget : Resil.Budget.t option;
+  certify : bool;
+  enum_limit : int;
+  search : Solve.session;
+  a_f : Solve.assumption;
+  a_nf : Solve.assumption;
+  mutable calls : int;
+  mutable splits : int;
+}
+
+type kind = K_unsat | K_full | K_enum of int array list
+
+type decided = { cube : Space.cube; kind : kind; proof : Certificate.proof option }
+
+let dims_list (space : Space.t) = Array.to_list space.Space.dims
+
+let make_engine ?budget ~certify ~enum_limit f space =
+  let search = Solve.open_session T.tru in
+  let a_f = Solve.assume search f in
+  let a_nf = Solve.assume search (T.not_ f) in
+  Solve.declare search (dims_list space);
+  Solve.prioritize search (dims_list space);
+  { space; f; budget; certify; enum_limit; search; a_f; a_nf; calls = 0; splits = 0 }
+
+let solve_e e assumptions =
+  e.calls <- e.calls + 1;
+  Obs.Metrics.incr m_calls;
+  match Solve.solve ~assumptions ?budget:e.budget e.search with
+  | Solve.Unknown r -> raise (Out_of_budget r)
+  | o -> o
+
+let witness_of (space : Space.t) model =
+  Array.map (fun v -> T.lookup model v) space.Space.dims
+
+(* Decide one cube on the warm session, or ask for a split. Blocking
+   clauses added while enumerating are permanent but harmless: they
+   exclude points of THIS cube only, and the cube family is laminar, so
+   no other live cube contains them. *)
+let decide e cube =
+  let a_c = Solve.assume e.search (Space.formula cube) in
+  match solve_e e [ a_c; e.a_f ] with
+  | Solve.Unsat -> `Decided K_unsat
+  | Solve.Unknown _ -> assert false
+  | Solve.Sat m0 ->
+      if Array.length cube = 0 then
+        (* The zero-dimensional cube is the single empty point; a Sat
+           answer makes it a full cube (there is nothing to block). *)
+        `Decided K_full
+      else if B.compare (Space.size cube) (B.of_int e.enum_limit) <= 0 then begin
+        let rec enum acc =
+          Solve.block e.search (dims_list e.space);
+          match solve_e e [ a_c; e.a_f ] with
+          | Solve.Unsat -> List.rev acc
+          | Solve.Sat m -> enum (witness_of e.space m :: acc)
+          | Solve.Unknown _ -> assert false
+        in
+        `Decided (K_enum (enum [ witness_of e.space m0 ]))
+      end
+      else
+        match solve_e e [ a_c; e.a_nf ] with
+        | Solve.Unsat -> `Decided K_full
+        | Solve.Sat _ -> `Split
+        | Solve.Unknown _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Per-cube certification: a fresh proof-traced session per decided    *)
+(* cube, so certificate bytes depend only on (formula, cube) — never   *)
+(* on worker scheduling or warm-session history.                       *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cube e cube kind =
+  let open_traced g =
+    let trace = Cert.Proof.create () in
+    let s = Solve.open_session ~trace g in
+    Solve.declare s (dims_list e.space);
+    Solve.prioritize s (dims_list e.space);
+    s
+  in
+  let solve_c s =
+    e.calls <- e.calls + 1;
+    Obs.Metrics.incr m_calls;
+    match Solve.solve_certified ?budget:e.budget s with
+    | Solve.Unknown r, _ -> raise (Out_of_budget r)
+    | o, c -> (o, c)
+  in
+  let refutation what s =
+    match solve_c s with
+    | Solve.Unsat, Some c -> c
+    | Solve.Unsat, None -> failwith ("count: no certificate for " ^ what)
+    | (Solve.Sat _ | Solve.Unknown _), _ ->
+        failwith ("count: certifier disagrees with the search on " ^ what)
+  in
+  let cf = Space.formula cube in
+  match kind with
+  | K_unsat ->
+      Certificate.Unsat_cube
+        (refutation "an unsat cube" (open_traced (T.and_ [ e.f; cf ])))
+  | K_full ->
+      Certificate.Full_cube
+        (refutation "a full cube" (open_traced (T.and_ [ T.not_ e.f; cf ])))
+  | K_enum search_witnesses ->
+      let s = open_traced (T.and_ [ e.f; cf ]) in
+      let rec enum acc =
+        match solve_c s with
+        | Solve.Sat m, _ ->
+            let w = witness_of e.space m in
+            Solve.block s (dims_list e.space);
+            enum (w :: acc)
+        | Solve.Unsat, Some c -> (List.rev acc, c)
+        | Solve.Unsat, None -> failwith "count: no completion certificate"
+        | Solve.Unknown _, _ -> assert false
+      in
+      let witnesses, completion = enum [] in
+      if List.length witnesses <> List.length search_witnesses then
+        failwith "count: certifier witness count disagrees with the search";
+      Certificate.Enum_cube { witnesses; completion }
+
+(* ------------------------------------------------------------------ *)
+(* Worklist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_worklist e ~frontier ~decided ~on_decided =
+  let rec loop () =
+    match !frontier with
+    | [] -> Decided
+    | cube :: rest -> (
+        match Option.bind e.budget Resil.Budget.check with
+        | Some r -> Exhausted r
+        | None -> (
+            match decide e cube with
+            | exception Out_of_budget r -> Exhausted r
+            | `Split -> (
+                e.splits <- e.splits + 1;
+                Obs.Metrics.incr m_splits;
+                match Space.split cube with
+                | Some (a, b) ->
+                    frontier := a :: b :: rest;
+                    loop ()
+                | None -> failwith "count: mixed single-point cube")
+            | `Decided kind -> (
+                match
+                  if e.certify then Some (certify_cube e cube kind) else None
+                with
+                | exception Out_of_budget r -> Exhausted r
+                | proof ->
+                    frontier := rest;
+                    decided := { cube; kind; proof } :: !decided;
+                    Obs.Metrics.incr m_cubes;
+                    on_decided ();
+                    loop ())))
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing (fannet-ckpt/1, kind "count")                         *)
+(* ------------------------------------------------------------------ *)
+
+let ckpt_kind = "count"
+
+let ranges_json rs =
+  J.List
+    (Array.to_list
+       (Array.map (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ]) rs))
+
+let ranges_of_json j =
+  match j with
+  | J.List l ->
+      Ok
+        (Array.of_list
+           (List.map
+              (function
+                | J.List [ J.Int lo; J.Int hi ] -> (lo, hi)
+                | _ -> raise Exit)
+              l))
+  | _ -> Error "malformed ranges"
+
+let decided_json d =
+  let base = [ ("ranges", ranges_json (Space.ranges d.cube)) ] in
+  let base =
+    base
+    @
+    match d.kind with
+    | K_unsat -> [ ("kind", J.String "u") ]
+    | K_full -> [ ("kind", J.String "f") ]
+    | K_enum ws ->
+        [
+          ("kind", J.String "e");
+          ( "witnesses",
+            J.List
+              (List.map
+                 (fun w ->
+                   J.List (Array.to_list (Array.map (fun v -> J.Int v) w)))
+                 ws) );
+        ]
+  in
+  let base =
+    base
+    @
+    match d.proof with
+    | None -> []
+    | Some p -> [ ("proof", Certificate.proof_to_json p) ]
+  in
+  J.Obj base
+
+let save_ckpt ~path ~key ~decided ~frontier =
+  let data =
+    J.Obj
+      [
+        ("key", J.String key);
+        ("decided", J.List (List.rev_map decided_json decided));
+        ( "frontier",
+          J.List (List.map (fun c -> ranges_json (Space.ranges c)) frontier) );
+      ]
+  in
+  Resil.Ckpt.save ~kind:ckpt_kind ~path data
+
+let load_ckpt ~path ~key space =
+  if not (Sys.file_exists path) then None
+  else
+    let fail fmt =
+      Printf.ksprintf (fun s -> invalid_arg ("count: checkpoint " ^ path ^ ": " ^ s)) fmt
+    in
+    match Resil.Ckpt.load ~kind:ckpt_kind ~path with
+    | Error e -> fail "%s" e
+    | Ok data -> (
+        let member name =
+          match J.member name data with
+          | Some v -> v
+          | None -> fail "missing field %S" name
+        in
+        (match member "key" with
+        | J.String k when k = key -> ()
+        | J.String _ -> fail "belongs to a different count query"
+        | _ -> fail "malformed key");
+        let cube_of j =
+          match ranges_of_json j with
+          | Ok rs -> (
+              match Space.of_ranges space rs with
+              | Ok c -> c
+              | Error e -> fail "%s" e)
+          | Error e -> fail "%s" e
+          | exception Exit -> fail "malformed ranges"
+        in
+        let decided_of j =
+          let cube =
+            match J.member "ranges" j with
+            | Some r -> cube_of r
+            | None -> fail "decided cube without ranges"
+          in
+          let kind =
+            match J.member "kind" j with
+            | Some (J.String "u") -> K_unsat
+            | Some (J.String "f") -> K_full
+            | Some (J.String "e") -> (
+                match J.member "witnesses" j with
+                | Some (J.List ws) ->
+                    K_enum
+                      (List.map
+                         (function
+                           | J.List vs ->
+                               Array.of_list
+                                 (List.map
+                                    (function J.Int v -> v | _ -> fail "witness")
+                                    vs)
+                           | _ -> fail "witness")
+                         ws)
+                | _ -> fail "enum cube without witnesses")
+            | _ -> fail "decided cube without kind"
+          in
+          let proof =
+            match J.member "proof" j with
+            | None -> None
+            | Some p -> (
+                match Certificate.proof_of_json p with
+                | Ok pr -> Some pr
+                | Error e -> fail "%s" e)
+          in
+          { cube; kind; proof }
+        in
+        match (member "decided", member "frontier") with
+        | J.List ds, J.List fs ->
+            Some (List.map decided_of ds, List.map cube_of fs)
+        | _ -> fail "malformed payload")
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mass_of d =
+  match d.kind with
+  | K_unsat -> B.zero
+  | K_full -> Space.size d.cube
+  | K_enum ws -> B.of_int (List.length ws)
+
+let assemble space ~certify ~status ~decided ~calls ~splits =
+  (* [decided] arrives newest-first; entries are reported oldest-first so
+     the certificate order matches decision order. *)
+  let decided = List.rev decided in
+  let mass = B.sum (List.map mass_of decided) in
+  let count = B.mul mass (Space.free_factor space) in
+  let certificate =
+    match status with
+    | Decided when certify ->
+        let entries =
+          List.map
+            (fun d ->
+              {
+                Certificate.ranges = Space.ranges d.cube;
+                proof = Option.get d.proof;
+              })
+            decided
+        in
+        Some (Certificate.make ~space ~count ~entries)
+    | Decided | Exhausted _ -> None
+  in
+  {
+    count;
+    total = Space.total space;
+    cubes = List.length decided;
+    splits;
+    solver_calls = calls;
+    certificate;
+    status;
+  }
+
+(* Deterministic root decomposition: repeatedly halve the largest cube
+   until [target] pieces (or nothing splits). Every mode — sequential,
+   parallel, checkpointed — starts from the SAME fixed-target frontier,
+   and cube decisions are semantic (Sat/Unsat under disjoint-cube
+   assumptions, unaffected by session history), so the decided partition
+   and therefore the certificate bytes do not depend on [jobs] or on
+   interrupt/resume boundaries. *)
+let top_target = 16
+
+let top_split space ~target =
+  let rec grow cubes n =
+    if n >= target then cubes
+    else
+      let best = ref (-1) and best_size = ref B.one and i = ref 0 in
+      List.iter
+        (fun c ->
+          let s = Space.size c in
+          if B.compare s !best_size > 0 then begin
+            best := !i;
+            best_size := s
+          end;
+          incr i)
+        cubes;
+      if !best < 0 then cubes
+      else
+        match Space.split (List.nth cubes !best) with
+        | None -> cubes
+        | Some (a, b) ->
+            let cubes =
+              List.concat
+                (List.mapi
+                   (fun k c -> if k = !best then [ a; b ] else [ c ])
+                   cubes)
+            in
+            grow cubes (n + 1)
+  in
+  grow [ Space.full_cube space ] 1
+
+let count ?budget ?(certify = false) ?(enum_limit = 64) ?(jobs = 1)
+    ?checkpoint ?(ckpt_key = "") ?(ckpt_every = 32) f ~project =
+  let space = Space.of_projection f ~project in
+  let enum_limit = max 1 enum_limit in
+  let ckpt_every = max 1 ckpt_every in
+  let tops = top_split space ~target:top_target in
+  match checkpoint with
+  | Some path ->
+      (* Checkpointed runs are sequential: the frontier is a single
+         worklist, saved every [ckpt_every] decided cubes and at every
+         exit, so a resumed run continues from the decided-cube
+         frontier. *)
+      let e = make_engine ?budget ~certify ~enum_limit f space in
+      let decided, frontier =
+        match load_ckpt ~path ~key:ckpt_key space with
+        | Some (ds, fs) -> (ref (List.rev ds), ref fs)
+        | None -> (ref [], ref tops)
+      in
+      let since = ref 0 in
+      let save () = save_ckpt ~path ~key:ckpt_key ~decided:!decided ~frontier:!frontier in
+      let on_decided () =
+        incr since;
+        if !since >= ckpt_every then begin
+          since := 0;
+          save ()
+        end
+      in
+      let status = run_worklist e ~frontier ~decided ~on_decided in
+      save ();
+      assemble space ~certify ~status ~decided:!decided ~calls:e.calls
+        ~splits:e.splits
+  | None ->
+      if jobs <= 1 then begin
+        let e = make_engine ?budget ~certify ~enum_limit f space in
+        let decided = ref [] and frontier = ref tops in
+        let status =
+          run_worklist e ~frontier ~decided ~on_decided:(fun () -> ())
+        in
+        assemble space ~certify ~status ~decided:!decided ~calls:e.calls
+          ~splits:e.splits
+      end
+      else begin
+        let tops = Array.of_list tops in
+        let results =
+          Util.Parallel.map ~jobs
+            (fun top ->
+              let e = make_engine ?budget ~certify ~enum_limit f space in
+              let decided = ref [] and frontier = ref [ top ] in
+              let status =
+                run_worklist e ~frontier ~decided ~on_decided:(fun () -> ())
+              in
+              (!decided, status, e.calls, e.splits))
+            tops
+        in
+        let decided =
+          (* Each per-top list is newest-first; prepending in top order
+             yields newest-first overall, so the final [List.rev] in
+             [assemble] reports tops in decision order — the same order
+             the sequential worklist produces. *)
+          Array.fold_left (fun acc (ds, _, _, _) -> ds @ acc) [] results
+        in
+        let status =
+          Array.fold_left
+            (fun acc (_, s, _, _) ->
+              match (acc, s) with
+              | Decided, s -> s
+              | (Exhausted _ as x), _ -> x)
+            Decided results
+        in
+        let calls =
+          Array.fold_left (fun acc (_, _, c, _) -> acc + c) 0 results
+        in
+        let splits =
+          Array.fold_left (fun acc (_, _, _, s) -> acc + s) 0 results
+        in
+        assemble space ~certify ~status ~decided ~calls ~splits
+      end

@@ -1,0 +1,116 @@
+module T = Smtlite.Term
+module B = Util.Bigcount
+
+type dim = { var : T.var; lo : int; hi : int }
+
+type cube = dim array
+
+type t = { dims : T.var array; free : T.var array }
+
+let of_projection f ~project =
+  (* Dedup the projection by vid, preserving order. *)
+  let seen = Hashtbl.create 16 in
+  let project =
+    List.filter
+      (fun (v : T.var) ->
+        if Hashtbl.mem seen v.T.vid then false
+        else begin
+          Hashtbl.add seen v.T.vid ();
+          true
+        end)
+      project
+  in
+  let support = Hashtbl.create 16 in
+  List.iter
+    (fun (v : T.var) ->
+      if not (Hashtbl.mem seen v.T.vid) then
+        invalid_arg
+          (Printf.sprintf
+             "Count: formula variable %S is not in the projection" v.T.name);
+      Hashtbl.replace support v.T.vid ())
+    (T.vars_of_formula f);
+  let dims, free =
+    List.partition (fun (v : T.var) -> Hashtbl.mem support v.T.vid) project
+  in
+  { dims = Array.of_list dims; free = Array.of_list free }
+
+let full_cube t =
+  Array.map (fun (v : T.var) -> { var = v; lo = v.T.lo; hi = v.T.hi }) t.dims
+
+let width d = d.hi - d.lo + 1
+
+let size cube =
+  Array.fold_left (fun acc d -> B.mul acc (B.of_int (width d))) B.one cube
+
+let free_factor t =
+  Array.fold_left
+    (fun acc (v : T.var) -> B.mul acc (B.of_int (v.T.hi - v.T.lo + 1)))
+    B.one t.free
+
+let total t = B.mul (size (full_cube t)) (free_factor t)
+
+let split cube =
+  let best = ref (-1) and best_w = ref 1 in
+  Array.iteri
+    (fun i d ->
+      let w = width d in
+      if w > !best_w then begin
+        best := i;
+        best_w := w
+      end)
+    cube;
+  if !best < 0 then None
+  else
+    let i = !best in
+    let d = cube.(i) in
+    let mid = d.lo + ((d.hi - d.lo) / 2) in
+    let left = Array.copy cube and right = Array.copy cube in
+    left.(i) <- { d with hi = mid };
+    right.(i) <- { d with lo = mid + 1 };
+    Some (left, right)
+
+let formula cube =
+  let cs =
+    Array.to_list cube
+    |> List.concat_map (fun d ->
+           if d.lo = d.var.T.lo && d.hi = d.var.T.hi then []
+           else
+             let v = T.of_var d.var in
+             [ T.le (T.const d.lo) v; T.le v (T.const d.hi) ])
+  in
+  T.and_ cs
+
+let ranges cube = Array.map (fun d -> (d.lo, d.hi)) cube
+
+let of_ranges t rs =
+  if Array.length rs <> Array.length t.dims then
+    Error "cube arity does not match the space"
+  else
+    let bad = ref None in
+    let cube =
+      Array.mapi
+        (fun i (lo, hi) ->
+          let v = t.dims.(i) in
+          if lo > hi || lo < v.T.lo || hi > v.T.hi then
+            bad :=
+              Some
+                (Printf.sprintf "cube range [%d,%d] outside %S:[%d,%d]" lo hi
+                   v.T.name v.T.lo v.T.hi);
+          { var = v; lo; hi })
+        rs
+    in
+    match !bad with None -> Ok cube | Some e -> Error e
+
+let mem cube values =
+  Array.length values = Array.length cube
+  && Array.for_all2 (fun d v -> d.lo <= v && v <= d.hi) cube values
+
+let disjoint a b =
+  let n = Array.length a in
+  let rec go i =
+    i < n && (a.(i).hi < b.(i).lo || b.(i).hi < a.(i).lo || go (i + 1))
+  in
+  go 0
+
+let assignment t values =
+  Array.to_list (Array.map2 (fun v x -> (v, x)) t.dims values)

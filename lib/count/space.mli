@@ -1,0 +1,70 @@
+(** The projected counting space and its cube decomposition.
+
+    A counting query is a {!Smtlite.Term} formula plus a projection — the
+    variable set whose assignments are counted. The space splits the
+    projection into {b constrained} dimensions (variables the formula
+    actually mentions) and {b free} variables: constant folding routinely
+    erases noise variables from the encoding (a zero input gives its
+    noise node a zero coefficient), and a variable the formula never
+    mentions contributes a plain multiplicative factor of its range
+    width. This is the degenerate-component case of component-aware
+    counting — free variables are factored out rather than enumerated,
+    which is what keeps wide-but-trivial ranges ([Util.Bigcount.Huge]
+    territory) countable at all.
+
+    A {!cube} is a sub-box of the constrained dimensions. Cubes produced
+    by {!split} form a laminar family: any two distinct leaves are
+    disjoint, which is what makes per-cube counts summable. *)
+
+type dim = { var : Smtlite.Term.var; lo : int; hi : int }
+(** One constrained dimension restricted to [lo, hi] (within the
+    variable's own bounds). *)
+
+type cube = dim array
+(** A sub-box, aligned with {!dims} order. *)
+
+type t = private {
+  dims : Smtlite.Term.var array;  (** constrained projection variables *)
+  free : Smtlite.Term.var array;  (** projected but absent from the formula *)
+}
+
+val of_projection :
+  Smtlite.Term.formula -> project:Smtlite.Term.var list -> t
+(** Split the projection against the formula's support. Raises
+    [Invalid_argument] if the formula mentions a variable outside
+    [project] — counting is unprojected: every formula variable must be
+    counted, so the reported number is a cardinality, not a projection. *)
+
+val full_cube : t -> cube
+
+val size : cube -> Util.Bigcount.t
+(** Number of points in the box (product of widths). *)
+
+val free_factor : t -> Util.Bigcount.t
+(** Product of the free variables' range widths. *)
+
+val total : t -> Util.Bigcount.t
+(** [size (full_cube t) * free_factor t] — the whole projected space. *)
+
+val split : cube -> (cube * cube) option
+(** Halve the box on its widest dimension (ties to the first);
+    [None] when every dimension is a single point. *)
+
+val formula : cube -> Smtlite.Term.formula
+(** The range constraints of the box, omitting dimensions already at
+    their variable's full range (those are enforced by the encoding). *)
+
+val ranges : cube -> (int * int) array
+
+val of_ranges : t -> (int * int) array -> (cube, string) result
+(** Rebuild a cube from serialized ranges, validating arity and bounds. *)
+
+val mem : cube -> int array -> bool
+(** Point membership (values aligned with {!dims}). *)
+
+val disjoint : cube -> cube -> bool
+(** Boxes are disjoint iff some dimension's ranges are. *)
+
+val assignment : t -> int array -> Smtlite.Term.assignment
+(** Bind the constrained dimensions to the given values, for
+    solver-independent re-evaluation of witnesses. *)

@@ -23,6 +23,16 @@ type query =
     }
   | Sensitivity of { spec : Fannet.Noise.spec; input : int array; label : int }
   | Certify of { spec : Fannet.Noise.spec; input : int array; label : int }
+  | Count of {
+      spec : Fannet.Noise.spec;
+      input : int array;
+      label : int;
+      mode : count_mode;
+    }
+
+and count_mode =
+  | Count_exact of { certify : bool }
+  | Count_approx of { epsilon : float; delta : float; seed : int }
 
 type budget_spec = { timeout_s : float option; conflicts : int option }
 
@@ -37,6 +47,12 @@ type request =
 
 type req_envelope = { rid : int; request : request }
 
+type counted = {
+  flips : Util.Bigcount.t;
+  total : Util.Bigcount.t;
+  count_cert : Count.Certificate.t option;
+}
+
 type answer =
   | Verdict of Fannet.Backend.verdict
   | Min_flip of (int option, Resil.Budget.reason) result
@@ -46,6 +62,7 @@ type answer =
       verdict : Fannet.Backend.verdict;
       cert : Cert.Verdict.t option;
     }
+  | Counted of (counted, Resil.Budget.reason) result
 
 type server_stats = {
   submitted : int;
@@ -308,6 +325,40 @@ let query_json = function
           ("input", int_array_json input);
           ("label", J.Int label);
         ]
+  | Count { spec; input; label; mode } ->
+      let mode_json =
+        match mode with
+        | Count_exact { certify } ->
+            J.Obj [ ("m", J.String "exact"); ("certify", J.Bool certify) ]
+        | Count_approx { epsilon; delta; seed } ->
+            J.Obj
+              [
+                ("m", J.String "approx");
+                ("epsilon", J.Float epsilon);
+                ("delta", J.Float delta);
+                ("seed", J.Int seed);
+              ]
+      in
+      J.Obj
+        [
+          ("kind", J.String "count");
+          ("spec", spec_json spec);
+          ("input", int_array_json input);
+          ("label", J.Int label);
+          ("mode", mode_json);
+        ]
+
+let count_mode_of_json j =
+  match as_string (field "m" j) with
+  | "exact" -> Count_exact { certify = as_bool (field "certify" j) }
+  | "approx" ->
+      Count_approx
+        {
+          epsilon = as_float (field "epsilon" j);
+          delta = as_float (field "delta" j);
+          seed = as_int (field "seed" j);
+        }
+  | s -> bad "unknown count mode %S" s
 
 let query_of_json j =
   let input () = int_array (field "input" j) in
@@ -343,6 +394,14 @@ let query_of_json j =
           spec = spec_of_json (field "spec" j);
           input = input ();
           label = label ();
+        }
+  | "count" ->
+      Count
+        {
+          spec = spec_of_json (field "spec" j);
+          input = input ();
+          label = label ();
+          mode = count_mode_of_json (field "mode" j);
         }
   | s -> bad "unknown query kind %S" s
 
@@ -457,6 +516,19 @@ let answer_json = function
           ("verdict", verdict_json verdict);
           ("cert", match cert with None -> J.Null | Some c -> cert_json c);
         ]
+  | Counted (Ok { flips; total; count_cert }) ->
+      J.Obj
+        [
+          ("a", J.String "count");
+          ("flips", Util.Bigcount.to_json flips);
+          ("total", Util.Bigcount.to_json total);
+          ( "cert",
+            match count_cert with
+            | None -> J.Null
+            | Some c -> Count.Certificate.to_json c );
+        ]
+  | Counted (Error r) ->
+      J.Obj [ ("a", J.String "count"); ("error", reason_json r) ]
 
 let answer_of_json j =
   match as_string (field "a" j) with
@@ -492,6 +564,28 @@ let answer_of_json j =
             | J.Null -> None
             | c -> Some (cert_of_json c));
         }
+  | "count" -> (
+      match opt_field "error" j with
+      | Some r -> Counted (Error (reason_of_json r))
+      | None ->
+          let bigcount name =
+            match Util.Bigcount.of_json (field name j) with
+            | Ok b -> b
+            | Error e -> bad "%s: %s" name e
+          in
+          Counted
+            (Ok
+               {
+                 flips = bigcount "flips";
+                 total = bigcount "total";
+                 count_cert =
+                   (match field "cert" j with
+                   | J.Null -> None
+                   | c -> (
+                       match Count.Certificate.of_json c with
+                       | Ok cert -> Some cert
+                       | Error e -> bad "count certificate: %s" e));
+               }))
   | s -> bad "unknown answer form %S" s
 
 let stats_json (s : server_stats) =
@@ -589,6 +683,8 @@ let answer_decided = function
   | Verdict (Fannet.Backend.Unknown _) -> false
   | Min_flip (Ok _) | Sidedness (Ok _) -> true
   | Min_flip (Error _) | Sidedness (Error _) -> false
+  | Counted (Ok _) -> true
+  | Counted (Error _) -> false
   | Certified { verdict = Fannet.Backend.Robust | Fannet.Backend.Flip _; cert = Some _ }
     ->
       true

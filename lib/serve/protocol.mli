@@ -43,6 +43,19 @@ type query =
       input : int array;
       label : int;
     }  (** certified exists-flip: DRUP/model certificate attached *)
+  | Count of {
+      spec : Fannet.Noise.spec;
+      input : int array;
+      label : int;
+      mode : count_mode;
+    }
+      (** quantitative robustness: how many vectors in the range flip the
+          input (exact #SAT, optionally [fannet-count-cert/1]-certified,
+          or (ε, δ)-approximate) *)
+
+and count_mode =
+  | Count_exact of { certify : bool }
+  | Count_approx of { epsilon : float; delta : float; seed : int }
 
 type budget_spec = { timeout_s : float option; conflicts : int option }
 (** Client-requested resource caps; the daemon clamps the timeout to its
@@ -63,6 +76,15 @@ type req_envelope = { rid : int; request : request }
 
 (** {1 Replies} *)
 
+type counted = {
+  flips : Util.Bigcount.t;   (** flipping vectors (exact or estimate) *)
+  total : Util.Bigcount.t;   (** noise-space cardinality *)
+  count_cert : Count.Certificate.t option;
+      (** present for certified exact counts; encoded deterministically,
+          so cached answers are byte-identical including the
+          certificate *)
+}
+
 type answer =
   | Verdict of Fannet.Backend.verdict
   | Min_flip of (int option, Resil.Budget.reason) result
@@ -71,6 +93,8 @@ type answer =
       verdict : Fannet.Backend.verdict;
       cert : Cert.Verdict.t option;
     }
+  | Counted of (counted, Resil.Budget.reason) result
+      (** [Error] when the count's budget ran out (not cacheable) *)
 
 type server_stats = {
   submitted : int;   (** query requests received (including rejected) *)

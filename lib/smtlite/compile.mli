@@ -35,9 +35,19 @@ val prioritize : t -> Term.var list -> unit
     inputs first lets propagation evaluate everything downstream, which is
     essential for fast exhaustive (UNSAT) answers. *)
 
-val block_assignment : t -> Term.var list -> unit
+val block_assignment : ?guard:Sat.Lit.t -> t -> Term.var list -> unit
 (** Add a clause excluding the current model's values of the given
-    variables (at least one must differ). Call after Sat. *)
+    variables (at least one must differ). Call after Sat. With [?guard]
+    the clause is [¬guard ∨ …]: inert unless [guard] is assumed, which
+    lets an enumeration retire its blocking clauses afterwards — the
+    mechanism behind bounded counting under XOR hash constraints, where
+    the enumerated cell must not poison later queries. *)
+
+val var_bits : t -> Term.var -> Sat.Lit.t list
+(** The variable's compiled bits (LSB first), compiling it (with range
+    constraints) on first use. Distinct variable values have distinct bit
+    patterns (the encoding is functional), so parity constraints over
+    these bits hash the projected model space. *)
 
 val n_clauses : t -> int
 val n_vars : t -> int

@@ -152,6 +152,180 @@ let test_comparisons () =
       check_cmp_lit b3 (Bv.eq b3 bx by) (x = y) (Printf.sprintf "%d=%d" x y))
     [ (3, 9); (9, 3); (-7, 2); (2, -7); (-5, -5); (0, 0); (1000, -1000) ]
 
+(* ---------- XOR chains (the approximate counter's hash primitive) ---------- *)
+
+(* Exhaustive truth tables for g_xor_list up to four inputs, plus the
+   documented degenerate shapes. *)
+let test_xor_list_truth_tables () =
+  let b0 = Cnf.create () in
+  Alcotest.(check bool) "empty chain is bfalse" true
+    (Sat.Lit.equal (Cnf.g_xor_list b0 []) (Cnf.bfalse b0));
+  let a = Cnf.fresh b0 in
+  Alcotest.(check bool) "singleton chain is the literal" true
+    (Sat.Lit.equal (Cnf.g_xor_list b0 [ a ]) a);
+  for n = 2 to 4 do
+    for bits = 0 to (1 lsl n) - 1 do
+      let b = Cnf.create () in
+      let lits = List.init n (fun _ -> Cnf.fresh b) in
+      let o = Cnf.g_xor_list b lits in
+      let parity = ref false in
+      List.iteri
+        (fun i l ->
+          let v = bits land (1 lsl i) <> 0 in
+          if v then parity := not !parity;
+          Cnf.assert_lit b (if v then l else Cnf.g_not l))
+        lits;
+      match solve_and_read b [ o ] with
+      | Some [ vo ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "xor_list n=%d bits=%d" n bits)
+            !parity vo
+      | _ -> Alcotest.fail "xor chain env unsat"
+    done
+  done
+
+(* Count the models of [b] projected on [bits] by blocking enumeration.
+   Aux variables of the XOR chain are functionally determined by the
+   inputs, so the projected count equals the input-assignment count. *)
+let count_models b bits =
+  let n = ref 0 in
+  let rec loop () =
+    match Sat.Solver.solve (Cnf.solver b) with
+    | Sat.Solver.Sat ->
+        incr n;
+        Cnf.add_clause b
+          (List.map (fun l -> if Cnf.lit_value b l then Cnf.g_not l else l) bits);
+        loop ()
+    | Sat.Solver.Unsat -> ()
+    | Sat.Solver.Unknown -> Alcotest.fail "unexpected unknown"
+  in
+  loop ();
+  !n
+
+(* Six input bits, a fixed clause set carving out a nontrivial model set,
+   optionally one parity constraint drawn from an Rng stream. *)
+let parity_instance ?parity () =
+  let b = Cnf.create () in
+  let bits = List.init 6 (fun _ -> Cnf.fresh b) in
+  let arr = Array.of_list bits in
+  let neg i = Cnf.g_not arr.(i) in
+  List.iter (Cnf.add_clause b)
+    [
+      [ arr.(0); arr.(1); arr.(2) ];
+      [ neg 1; arr.(3) ];
+      [ neg 0; neg 2; arr.(4) ];
+      [ arr.(1); neg 3; neg 5 ];
+      [ arr.(2); arr.(5) ];
+    ];
+  (match parity with
+  | None -> ()
+  | Some (pick, odd) ->
+      let subset = List.filteri (fun i _ -> List.mem i pick) bits in
+      let chain = Cnf.g_xor_list b subset in
+      Cnf.assert_lit b (if odd then chain else Cnf.g_not chain));
+  (b, bits)
+
+(* Any non-empty parity splits the full cube exactly in half. *)
+let test_xor_halves_full_cube () =
+  List.iter
+    (fun pick ->
+      let b = Cnf.create () in
+      let bits = List.init 6 (fun _ -> Cnf.fresh b) in
+      let subset =
+        List.filteri (fun i _ -> List.mem i pick) bits
+      in
+      Cnf.assert_lit b (Cnf.g_xor_list b subset);
+      Alcotest.(check int)
+        (Printf.sprintf "parity over %d bits halves 2^6" (List.length subset))
+        32 (count_models b bits))
+    [ [ 0 ]; [ 1; 4 ]; [ 0; 2; 3 ]; [ 0; 1; 2; 3; 4; 5 ] ]
+
+(* On a constrained model set a random (subset, parity-bit) pair keeps
+   each model with probability exactly 1/2, so the average surviving
+   fraction over many draws concentrates at 1/2 — the halving the
+   XOR-hash counter relies on. Fixed Rng seed: deterministic. *)
+let test_xor_halving_in_expectation () =
+  let base =
+    let b, bits = parity_instance () in
+    count_models b bits
+  in
+  Alcotest.(check bool) "base instance is nontrivial" true
+    (base > 10 && base < 64);
+  let rng = Util.Rng.create 11 in
+  let trials = 200 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let pick =
+      List.filter_map
+        (fun i -> if Util.Rng.bool rng then Some i else None)
+        [ 0; 1; 2; 3; 4; 5 ]
+    in
+    let odd = Util.Rng.bool rng in
+    (* Fresh builder per trial, so blocking clauses never leak across
+       draws. *)
+    let b, bits = parity_instance ~parity:(pick, odd) () in
+    total := !total + count_models b bits
+  done;
+  let avg = float_of_int !total /. float_of_int (trials * base) in
+  Alcotest.(check bool)
+    (Printf.sprintf "average surviving fraction %.3f within 0.08 of 1/2" avg)
+    true
+    (Float.abs (avg -. 0.5) < 0.08)
+
+(* An inconsistent parity system is refuted end-to-end: proof-traced,
+   snapshotted as a lib/cert certificate, re-checked by the independent
+   RUP checker, and exported to DIMACS/DRUP with the XOR chain's aux
+   variables intact. *)
+let test_xor_refutation_dimacs () =
+  let trace = Cert.Proof.create () in
+  let b = Cnf.create ~sink:(Cert.Proof.sink trace) () in
+  let s = Cnf.solver b in
+  let a1 = Cnf.fresh b and a2 = Cnf.fresh b and a3 = Cnf.fresh b in
+  (* a1⊕a2, a2⊕a3 and a1⊕a3 all odd: the sum of the three parities is
+     even, so the system is inconsistent. *)
+  Cnf.assert_lit b (Cnf.g_xor_list b [ a1; a2 ]);
+  Cnf.assert_lit b (Cnf.g_xor_list b [ a2; a3 ]);
+  Cnf.assert_lit b (Cnf.g_xor_list b [ a1; a3 ]);
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | Sat.Solver.Sat | Sat.Solver.Unknown ->
+      Alcotest.fail "inconsistent parity system must be unsat");
+  match Cert.Verdict.of_trace_unsat ~n_vars:(Sat.Solver.nvars s) trace with
+  | Error e -> Alcotest.failf "certificate snapshot failed: %s" e
+  | Ok cert -> (
+      (match Cert.Verdict.check cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "independent checker rejected: %s" e);
+      let dimacs = Cert.Verdict.to_dimacs cert in
+      Alcotest.(check bool) "dimacs header" true
+        (String.length dimacs > 6 && String.sub dimacs 0 6 = "p cnf ");
+      (* The XOR chain introduced Tseitin aux variables beyond a1..a3;
+         they must survive into the exported formula. *)
+      (match cert with
+      | Cert.Verdict.Refutation { n_vars; cnf; _ } ->
+          Alcotest.(check bool) "aux vars present" true (n_vars > 3);
+          let max_var =
+            List.fold_left
+              (fun m c -> List.fold_left (fun m l -> max m (abs l)) m c)
+              0 cnf
+          in
+          Alcotest.(check bool) "clauses mention aux vars" true (max_var > 3);
+          Alcotest.(check bool) "vars within header bound" true (max_var <= n_vars)
+      | Cert.Verdict.Model _ -> Alcotest.fail "expected a refutation");
+      match Cert.Verdict.to_drup cert with
+      | None -> Alcotest.fail "refutation must export a DRUP proof"
+      | Some drup ->
+          let last_nonempty =
+            String.split_on_char '\n' drup
+            |> List.filter (fun l -> String.trim l <> "")
+            |> List.rev
+            |> function
+            | [] -> ""
+            | l :: _ -> String.trim l
+          in
+          Alcotest.(check string) "drup ends with the empty clause" "0"
+            last_nonempty)
+
 (* Property: symbolic addition agrees with integer addition for fresh
    vectors constrained to chosen values. *)
 let prop_symbolic_add =
@@ -205,5 +379,14 @@ let () =
           Alcotest.test_case "comparisons" `Quick test_comparisons;
           QCheck_alcotest.to_alcotest prop_symbolic_add;
           QCheck_alcotest.to_alcotest prop_symbolic_mul_const;
+        ] );
+      ( "xor",
+        [
+          Alcotest.test_case "truth tables" `Quick test_xor_list_truth_tables;
+          Alcotest.test_case "halves the full cube" `Quick test_xor_halves_full_cube;
+          Alcotest.test_case "halving in expectation" `Quick
+            test_xor_halving_in_expectation;
+          Alcotest.test_case "refutation to DIMACS/DRUP" `Quick
+            test_xor_refutation_dimacs;
         ] );
     ]

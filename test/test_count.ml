@@ -1,0 +1,404 @@
+(* Tests for lib/count: exact cube-decomposition counting against brute
+   force, certificate validation and tamper rejection, free-variable
+   factoring, overflow-safe huge spaces, the (ε, δ) envelope of the
+   approximate counter, jobs determinism (including certificate bytes),
+   and checkpoint interrupt/resume. *)
+
+module T = Smtlite.Term
+module B = Util.Bigcount
+module N = Fannet.Noise
+
+let bigcount = Alcotest.testable (Fmt.of_to_string B.to_string) B.equal
+
+(* ---------- brute force ---------- *)
+
+(* Count assignments of [vars] satisfying [f] by explicit enumeration. *)
+let brute f vars =
+  let rec go asn = function
+    | [] -> if T.eval_formula asn f then 1 else 0
+    | (v : T.var) :: rest ->
+        let acc = ref 0 in
+        for x = v.T.lo to v.T.hi do
+          acc := !acc + go ((v, x) :: asn) rest
+        done;
+        !acc
+  in
+  go [] vars
+
+(* Brute-force flip count for a fuzz case. *)
+let brute_flips (c : Check.Case.t) =
+  let n = ref 0 in
+  N.iter_vectors c.spec ~n_inputs:(Array.length c.input) (fun v ->
+      if N.predict c.net c.spec ~input:c.input v <> c.label then incr n);
+  !n
+
+let cases ~n ~seed = Check.Gen.corpus ~seed ~cases:n ~max_explicit:300
+
+(* ---------- exact counting ---------- *)
+
+let test_exact_vs_brute () =
+  List.iter
+    (fun (c : Check.Case.t) ->
+      let r =
+        Fannet.Robustness.probability c.net c.spec ~input:c.input
+          ~label:c.label
+      in
+      Alcotest.check bigcount
+        (Printf.sprintf "case %d flip count" c.id)
+        (B.of_int (brute_flips c)) r.Fannet.Robustness.flips;
+      Alcotest.check bigcount
+        (Printf.sprintf "case %d total" c.id)
+        (N.spec_count c.spec ~n_inputs:(Array.length c.input))
+        r.Fannet.Robustness.total;
+      Alcotest.(check bool) "decided" true (r.Fannet.Robustness.status = Ok ()))
+    (cases ~n:12 ~seed:41)
+
+let test_exact_synthetic () =
+  (* Structured formulas where the truth is arithmetic, not enumeration. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:63 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:63 in
+  let f = T.le (T.of_var x) (T.of_var y) in
+  let r = Count.Exact.count f ~project:[ x; y ] in
+  Alcotest.check bigcount "x<=y over 64x64" (B.of_int (64 * 65 / 2))
+    r.Count.Exact.count;
+  Alcotest.check bigcount "total" (B.of_int (64 * 64)) r.Count.Exact.total;
+  let g = T.and_ [ T.le (T.const 10) (T.of_var x); T.le (T.of_var x) (T.const 20) ] in
+  let r = Count.Exact.count g ~project:[ x ] in
+  Alcotest.check bigcount "interval" (B.of_int 11) r.Count.Exact.count
+
+let test_free_variable_factoring () =
+  (* y never occurs in the formula: it must be factored out, not split. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:9 in
+  let y = T.var ~name:"y" ~lo:(-5) ~hi:6 in
+  let f = T.le (T.of_var x) (T.const 3) in
+  let r = Count.Exact.count ~certify:true f ~project:[ x; y ] in
+  Alcotest.check bigcount "4 * 12 free width" (B.of_int (4 * 12))
+    r.Count.Exact.count;
+  Alcotest.(check int) "brute agrees" (4 * 12) (brute f [ x; y ]);
+  match r.Count.Exact.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert ->
+      Alcotest.(check (result unit string))
+        "factored certificate validates" (Ok ())
+        (Count.Certificate.check f ~project:[ x; y ] cert)
+
+let test_huge_space () =
+  (* Five free variables of width 100_000: 10^25 points, beyond int. *)
+  let vars =
+    List.init 5 (fun i ->
+        T.var ~name:(Printf.sprintf "h%d" i) ~lo:1 ~hi:100_000)
+  in
+  let r = Count.Exact.count ~certify:true T.tru ~project:vars in
+  (match r.Count.Exact.count with
+  | B.Huge l ->
+      Alcotest.(check bool)
+        "log2 near 25 * log2(1e5)" true
+        (abs_float (l -. (5.0 *. (log (1e5) /. log 2.0))) < 0.01)
+  | B.Exact _ -> Alcotest.fail "expected a saturated count");
+  Alcotest.check bigcount "tru counts the whole space" r.Count.Exact.total
+    r.Count.Exact.count;
+  (match r.Count.Exact.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert ->
+      Alcotest.(check (result unit string))
+        "huge certificate validates" (Ok ())
+        (Count.Certificate.check T.tru ~project:vars cert));
+  let r = Count.Exact.count ~certify:true T.fls ~project:vars in
+  Alcotest.check bigcount "fls counts nothing" B.zero r.Count.Exact.count;
+  match r.Count.Exact.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert ->
+      Alcotest.(check (result unit string))
+        "empty certificate validates" (Ok ())
+        (Count.Certificate.check T.fls ~project:vars cert)
+
+(* ---------- certificates ---------- *)
+
+let certified_case () =
+  let c = List.nth (cases ~n:8 ~seed:43) 5 in
+  let r =
+    Fannet.Robustness.probability
+      ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+      c.net c.spec ~input:c.input ~label:c.label
+  in
+  (c, r)
+
+let test_certificate_validates () =
+  let c, r = certified_case () in
+  match r.Fannet.Robustness.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert ->
+      Alcotest.(check (result unit string))
+        "re-validates against the query" (Ok ())
+        (Fannet.Robustness.check_certificate c.net c.spec ~input:c.input
+           ~label:c.label cert)
+
+let test_certificate_roundtrip_deterministic () =
+  let c, r = certified_case () in
+  match r.Fannet.Robustness.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert -> (
+      let bytes = Util.Json.to_string (Count.Certificate.to_json cert) in
+      match Count.Certificate.of_json (Count.Certificate.to_json cert) with
+      | Error e -> Alcotest.fail ("roundtrip: " ^ e)
+      | Ok cert' ->
+          Alcotest.(check string)
+            "re-encoding is byte-identical" bytes
+            (Util.Json.to_string (Count.Certificate.to_json cert'));
+          Alcotest.(check (result unit string))
+            "roundtripped certificate validates" (Ok ())
+            (Fannet.Robustness.check_certificate c.net c.spec ~input:c.input
+               ~label:c.label cert'))
+
+let test_certificate_tamper_rejected () =
+  let c, r = certified_case () in
+  match r.Fannet.Robustness.certificate with
+  | None -> Alcotest.fail "certificate missing"
+  | Some cert ->
+      let check cert =
+        Fannet.Robustness.check_certificate c.net c.spec ~input:c.input
+          ~label:c.label cert
+      in
+      (* Lie about the total. *)
+      let lied =
+        { cert with Count.Certificate.count = B.add cert.Count.Certificate.count B.one }
+      in
+      (match check lied with
+      | Ok () -> Alcotest.fail "inflated count accepted"
+      | Error _ -> ());
+      (* Drop a cube: the partition no longer covers the space. *)
+      (match cert.Count.Certificate.entries with
+      | [] -> ()  (* zero-dim certificate; nothing to drop *)
+      | _ :: rest -> (
+          match check { cert with Count.Certificate.entries = rest } with
+          | Ok () -> Alcotest.fail "missing cube accepted"
+          | Error _ -> ()))
+
+(* ---------- approximate counting ---------- *)
+
+let test_approx_exact_shortcut () =
+  (* Space no bigger than the pivot: the counter must short-circuit to a
+     deterministic exact answer, whatever the seed. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:29 in
+  let f = T.le (T.of_var x) (T.const 17) in
+  List.iter
+    (fun seed ->
+      let r = Count.Approx.count ~seed f ~project:[ x ] in
+      Alcotest.(check bool) "exact shortcut" true r.Count.Approx.exact;
+      Alcotest.check bigcount "exact value" (B.of_int 18)
+        r.Count.Approx.estimate)
+    [ 0; 1; 42 ]
+
+let test_approx_envelope () =
+  (* 528 models out of 1024 — well above the ε=0.8 pivot of 50, so the
+     XOR path is exercised. With δ=0.2 each seed fails with probability
+     at most 0.2; 9 failures in 20 pinned seeds would be a ~3-sigma
+     excursion. The seeds are pinned, so this is deterministic in CI. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:31 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:31 in
+  let f = T.le (T.of_var x) (T.of_var y) in
+  let truth = float_of_int (brute f [ x; y ]) in
+  let epsilon = 0.8 in
+  let failures = ref 0 and rounds_seen = ref 0 in
+  for seed = 0 to 19 do
+    let r = Count.Approx.count ~epsilon ~delta:0.2 ~seed f ~project:[ x; y ] in
+    Alcotest.(check bool) "not the shortcut" false r.Count.Approx.exact;
+    Alcotest.(check bool) "decided" true (r.Count.Approx.status = Count.Exact.Decided);
+    rounds_seen := !rounds_seen + r.Count.Approx.rounds;
+    let est =
+      match r.Count.Approx.estimate with
+      | B.Exact n -> float_of_int n
+      | B.Huge l -> 2.0 ** l
+    in
+    if est < truth /. (1.0 +. epsilon) || est > truth *. (1.0 +. epsilon) then
+      incr failures
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "within (1+ε) on >= 11/20 seeds (failed %d)" !failures)
+    true (!failures <= 9);
+  Alcotest.(check bool) "rounds actually ran" true (!rounds_seen > 0)
+
+let test_approx_deterministic_per_seed () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:31 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:31 in
+  let f = T.le (T.of_var x) (T.of_var y) in
+  let run seed = (Count.Approx.count ~seed f ~project:[ x; y ]).Count.Approx.estimate in
+  Alcotest.check bigcount "same seed, same estimate" (run 3) (run 3)
+
+(* ---------- parallel determinism ---------- *)
+
+let test_jobs_determinism () =
+  let c = List.nth (cases ~n:8 ~seed:47) 2 in
+  let run jobs =
+    Fannet.Robustness.probability
+      ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+      ~jobs c.net c.spec ~input:c.input ~label:c.label
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.check bigcount "same count" r1.Fannet.Robustness.flips
+    r4.Fannet.Robustness.flips;
+  match (r1.Fannet.Robustness.certificate, r4.Fannet.Robustness.certificate) with
+  | Some c1, Some c4 ->
+      Alcotest.(check string) "certificate bytes identical across jobs"
+        (Util.Json.to_string (Count.Certificate.to_json c1))
+        (Util.Json.to_string (Count.Certificate.to_json c4))
+  | _ -> Alcotest.fail "certificate missing"
+
+(* ---------- budgets and checkpoints ---------- *)
+
+let test_budget_exhaustion_typed () =
+  let x = T.var ~name:"x" ~lo:0 ~hi:2000 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:2000 in
+  let f = T.le (T.of_var x) (T.of_var y) in
+  let budget = Resil.Budget.create ~timeout_s:0.0 () in
+  let r = Count.Exact.count ~budget f ~project:[ x; y ] in
+  match r.Count.Exact.status with
+  | Count.Exact.Exhausted _ ->
+      Alcotest.(check bool) "no certificate when exhausted" true
+        (r.Count.Exact.certificate = None)
+  | Count.Exact.Decided -> Alcotest.fail "expected exhaustion"
+
+let test_checkpoint_resume () =
+  let dir = Filename.temp_file "fannet_count" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "count.ckpt" in
+  let x = T.var ~name:"x" ~lo:0 ~hi:127 in
+  let y = T.var ~name:"y" ~lo:0 ~hi:127 in
+  let f = T.le (T.of_var x) (T.of_var y) in
+  let key = "test-count-query" in
+  (* Drive with growing deadlines until a run completes (the first few
+     exhaust mid-count and persist their frontier); the result must match
+     a clean uninterrupted run. *)
+  let rec drive attempts =
+    if attempts > 60 then Alcotest.fail "checkpointed run never finished";
+    let budget =
+      Resil.Budget.create ~timeout_s:(0.0005 *. float_of_int attempts) ()
+    in
+    let r =
+      Count.Exact.count ~budget ~checkpoint:path ~ckpt_key:key ~ckpt_every:1 f
+        ~project:[ x; y ]
+    in
+    match r.Count.Exact.status with
+    | Count.Exact.Decided -> r
+    | Count.Exact.Exhausted _ -> drive (attempts + 1)
+  in
+  let resumed = drive 0 in
+  let clean = Count.Exact.count f ~project:[ x; y ] in
+  Alcotest.check bigcount "resumed count equals clean count"
+    clean.Count.Exact.count resumed.Count.Exact.count;
+  (* A different key must refuse the file. *)
+  (match
+     Count.Exact.count ~checkpoint:path ~ckpt_key:"other-query" f
+       ~project:[ x; y ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign checkpoint accepted");
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_certified_checkpoint_matches_direct () =
+  (* Certificates persisted through a checkpoint must equal the
+     uninterrupted run's bytes. *)
+  let dir = Filename.temp_file "fannet_count" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "count.ckpt" in
+  let x = T.var ~name:"x" ~lo:0 ~hi:63 in
+  let f = T.le (T.const 20) (T.of_var x) in
+  let key = "certified" in
+  let rec drive attempts =
+    if attempts > 60 then Alcotest.fail "never finished";
+    let budget =
+      Resil.Budget.create ~timeout_s:(0.0003 *. float_of_int attempts) ()
+    in
+    let r =
+      Count.Exact.count ~budget ~certify:true ~checkpoint:path ~ckpt_key:key
+        ~ckpt_every:1 f ~project:[ x ]
+    in
+    match r.Count.Exact.status with
+    | Count.Exact.Decided -> r
+    | Count.Exact.Exhausted _ -> drive (attempts + 1)
+  in
+  let resumed = drive 0 in
+  let direct = Count.Exact.count ~certify:true f ~project:[ x ] in
+  (match (resumed.Count.Exact.certificate, direct.Count.Exact.certificate) with
+  | Some a, Some b ->
+      Alcotest.(check string) "certificate bytes survive resume"
+        (Util.Json.to_string (Count.Certificate.to_json b))
+        (Util.Json.to_string (Count.Certificate.to_json a))
+  | _ -> Alcotest.fail "certificate missing");
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* ---------- core surfaces ---------- *)
+
+let test_density_and_bias_mass () =
+  let c = List.nth (cases ~n:6 ~seed:53) 1 in
+  let inputs = [| (c.input, c.label) |] in
+  let d = Fannet.Density.adversarial ~jobs:2 c.net c.spec ~inputs in
+  Alcotest.(check int) "one report per input" 1
+    (Array.length d.Fannet.Density.per_input);
+  let r = d.Fannet.Density.per_input.(0) in
+  Alcotest.(check bool) "mean is the single probability" true
+    (abs_float (d.Fannet.Density.mean_probability -. r.Fannet.Robustness.probability)
+     < 1e-12);
+  Alcotest.(check int) "worst points at the only input" 0 d.Fannet.Density.worst;
+  (* Flip masses by class must sum to the flip count. *)
+  match
+    Fannet.Bias.flip_mass_by_class ~n_classes:(Nn.Qnet.out_dim c.net) c.net
+      c.spec ~inputs
+  with
+  | Error _ -> Alcotest.fail "unexpected exhaustion"
+  | Ok masses ->
+      let total =
+        List.fold_left
+          (fun acc (m : Fannet.Bias.mass) ->
+            Alcotest.(check int) "from is the true label" c.label
+              m.Fannet.Bias.from;
+            B.add acc m.Fannet.Bias.mass)
+          B.zero masses
+      in
+      Alcotest.check bigcount "masses sum to the flip count"
+        r.Fannet.Robustness.flips total
+
+let () =
+  Alcotest.run "count"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "vs brute force" `Quick test_exact_vs_brute;
+          Alcotest.test_case "synthetic" `Quick test_exact_synthetic;
+          Alcotest.test_case "free variables" `Quick test_free_variable_factoring;
+          Alcotest.test_case "huge space" `Quick test_huge_space;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "validates" `Quick test_certificate_validates;
+          Alcotest.test_case "roundtrip deterministic" `Quick
+            test_certificate_roundtrip_deterministic;
+          Alcotest.test_case "tamper rejected" `Quick
+            test_certificate_tamper_rejected;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "exact shortcut" `Quick test_approx_exact_shortcut;
+          Alcotest.test_case "(eps,delta) envelope" `Quick test_approx_envelope;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_approx_deterministic_per_seed;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "typed exhaustion" `Quick
+            test_budget_exhaustion_typed;
+          Alcotest.test_case "checkpoint resume" `Quick test_checkpoint_resume;
+          Alcotest.test_case "certified resume" `Quick
+            test_certified_checkpoint_matches_direct;
+        ] );
+      ( "surfaces",
+        [
+          Alcotest.test_case "density and bias mass" `Quick
+            test_density_and_bias_mass;
+        ] );
+    ]

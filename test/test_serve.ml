@@ -202,6 +202,24 @@ let gen_query =
          P.Sensitivity { spec; input; label });
         (let+ spec = gen_spec in
          P.Certify { spec; input; label });
+        (let* spec = gen_spec in
+         let+ mode =
+           oneof
+             [
+               map (fun certify -> P.Count_exact { certify }) bool;
+               (* Dyadic epsilon/delta survive the %.12g float printer. *)
+               (let* e16 = 1 -- 64 in
+                let* d16 = 1 -- 15 in
+                let+ seed = 0 -- 1000 in
+                P.Count_approx
+                  {
+                    epsilon = float_of_int e16 /. 16.;
+                    delta = float_of_int d16 /. 16.;
+                    seed;
+                  });
+             ]
+         in
+         P.Count { spec; input; label; mode });
       ])
 
 let gen_budget =
@@ -268,6 +286,15 @@ let gen_cert =
          Cert.Verdict.Refutation { n_vars; cnf; assumptions; proof });
       ])
 
+let gen_bigcount =
+  QCheck.Gen.(
+    oneof
+      [
+        map Util.Bigcount.of_int (0 -- 1_000_000);
+        (* Dyadic log2 values roundtrip through the float printer. *)
+        map (fun k -> Util.Bigcount.Huge (float_of_int k /. 4.)) (256 -- 2048);
+      ])
+
 let gen_side =
   QCheck.Gen.(
     let* fs_node = 0 -- 6 in
@@ -292,6 +319,14 @@ let gen_answer =
         (let* verdict = gen_verdict in
          let+ cert = opt gen_cert in
          P.Certified { verdict; cert });
+        map (fun r -> P.Counted r)
+          (oneof
+             [
+               (let* flips = gen_bigcount in
+                let+ total = gen_bigcount in
+                Ok { P.flips; total; count_cert = None });
+               map (fun r -> Error r) gen_reason;
+             ]);
       ])
 
 let gen_stats =
@@ -441,7 +476,47 @@ let test_answer_decided () =
   check "min-flip error" false (P.Min_flip (Error Resil.Budget.Conflicts));
   check "certified without cert" false (P.Certified { verdict = B.Robust; cert = None });
   check "certified unknown" false
-    (P.Certified { verdict = B.Unknown Resil.Budget.Memory; cert = None })
+    (P.Certified { verdict = B.Unknown Resil.Budget.Memory; cert = None });
+  check "counted ok" true
+    (P.Counted
+       (Ok
+          {
+            P.flips = Util.Bigcount.of_int 3;
+            total = Util.Bigcount.of_int 100;
+            count_cert = None;
+          }));
+  check "counted error" false (P.Counted (Error Resil.Budget.Deadline))
+
+(* A Counted answer carrying a real fannet-count-cert/1 certificate must
+   survive the wire codec byte-identically — that is what makes cached
+   certified counts byte-stable. *)
+let test_counted_cert_roundtrip () =
+  let net = toy_qnet () in
+  let input = [| 112; 87 |] in
+  let label = Nn.Qnet.predict net input in
+  let spec = N.symmetric ~delta:2 ~bias_noise:false in
+  let r =
+    Fannet.Robustness.probability
+      ~mode:(Fannet.Robustness.Exact_mode { certify = true })
+      net spec ~input ~label
+  in
+  Alcotest.(check bool) "decided" true (r.Fannet.Robustness.status = Ok ());
+  Alcotest.(check bool) "has cert" true (r.Fannet.Robustness.certificate <> None);
+  let a =
+    P.Counted
+      (Ok
+         {
+           P.flips = r.Fannet.Robustness.flips;
+           total = r.Fannet.Robustness.total;
+           count_cert = r.Fannet.Robustness.certificate;
+         })
+  in
+  let e = { P.rid = 5; reply = P.Answer { cached = false; answer = a } } in
+  let bytes = P.encode_reply e in
+  match P.decode_reply bytes with
+  | Ok e' ->
+      Alcotest.(check string) "byte-identical after roundtrip" bytes (P.encode_reply e')
+  | Error err -> Alcotest.failf "decode failed: %s" err
 
 (* ================================================================== *)
 (* LRU cache                                                           *)
@@ -627,6 +702,19 @@ let direct_answer net (q : P.query) : P.answer =
   | P.Certify { spec; input; label } ->
       let cv = B.certified_exists_flip net spec ~input ~label in
       P.Certified { verdict = cv.B.cv_verdict; cert = cv.B.cv_cert }
+  | P.Count { spec; input; label; mode } ->
+      let mode =
+        match mode with
+        | P.Count_exact { certify } -> Fannet.Robustness.Exact_mode { certify }
+        | P.Count_approx { epsilon; delta; seed } ->
+            Fannet.Robustness.Approx_mode { epsilon; delta; seed }
+      in
+      let r = Fannet.Robustness.probability ~mode net spec ~input ~label in
+      P.Counted
+        (match r.Fannet.Robustness.status with
+        | Ok () ->
+            Ok { P.flips = r.flips; total = r.total; count_cert = r.certificate }
+        | Error reason -> Error reason)
 
 let differential_queries net =
   let input = [| 112; 87 |] in
@@ -641,6 +729,21 @@ let differential_queries net =
       P.Tolerance { backend = B.Bnb; bias_noise = false; max_delta = 20; input; label } );
     ("sensitivity", P.Sensitivity { spec; input; label });
     ("certify", P.Certify { spec; input; label });
+    (* Certified count: the certificate crosses the wire, so daemon
+       answers must be byte-identical to the direct call including the
+       certificate bytes. *)
+    (let cspec = N.symmetric ~delta:3 ~bias_noise:false in
+     ( "count exact certified",
+       P.Count { spec = cspec; input; label; mode = P.Count_exact { certify = true } } ));
+    (let cspec = N.symmetric ~delta:3 ~bias_noise:false in
+     ( "count approx",
+       P.Count
+         {
+           spec = cspec;
+           input;
+           label;
+           mode = P.Count_approx { epsilon = 0.8; delta = 0.2; seed = 7 };
+         } ));
   ]
 
 let answer_of_reply name = function
@@ -940,6 +1043,7 @@ let () =
           Alcotest.test_case "explicit limit survives" `Quick test_explicit_limit_survives;
           Alcotest.test_case "query_key ignores budget" `Quick test_query_key_ignores_budget;
           Alcotest.test_case "answer_decided" `Quick test_answer_decided;
+          Alcotest.test_case "counted cert roundtrip" `Quick test_counted_cert_roundtrip;
         ] );
       ( "lru",
         [

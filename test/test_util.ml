@@ -487,6 +487,74 @@ let test_json_file_roundtrip () =
       | Ok v -> Alcotest.(check bool) "file roundtrip" true (v = sample_json)
       | Error e -> Alcotest.fail e)
 
+(* ---------- Bigcount ---------- *)
+
+module Bc = Util.Bigcount
+
+let bigcount = Alcotest.testable (Fmt.of_to_string Bc.to_string) Bc.equal
+
+let test_bigcount_exact_arithmetic () =
+  Alcotest.check bigcount "add" (Bc.of_int 7) (Bc.add (Bc.of_int 3) (Bc.of_int 4));
+  Alcotest.check bigcount "mul" (Bc.of_int 12) (Bc.mul (Bc.of_int 3) (Bc.of_int 4));
+  Alcotest.check bigcount "sum" (Bc.of_int 10)
+    (Bc.sum [ Bc.of_int 1; Bc.of_int 2; Bc.of_int 3; Bc.of_int 4 ]);
+  Alcotest.check bigcount "pow2 small" (Bc.of_int 1024) (Bc.pow2 10);
+  Alcotest.check bigcount "pow" (Bc.of_int 81) (Bc.pow ~base:3 ~exp:4);
+  Alcotest.check bigcount "mul by zero" Bc.zero (Bc.mul Bc.zero (Bc.pow2 100));
+  Alcotest.(check bool) "is_zero" true (Bc.is_zero Bc.zero);
+  Alcotest.(check bool) "one not zero" false (Bc.is_zero Bc.one);
+  match Bc.of_int (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative counts must be rejected"
+
+let test_bigcount_saturation () =
+  (* Saturation marks the value as Huge instead of silently wrapping. *)
+  let near = Bc.of_int max_int in
+  (match Bc.add near near with
+  | Bc.Huge l -> Alcotest.(check bool) "add log near 63" true (Float.abs (l -. 63.) < 0.01)
+  | Bc.Exact n -> Alcotest.failf "add wrapped to %d" n);
+  (match Bc.mul (Bc.pow2 40) (Bc.pow2 40) with
+  | Bc.Huge l -> Alcotest.(check (float 1e-9)) "mul log adds" 80. l
+  | Bc.Exact n -> Alcotest.failf "mul wrapped to %d" n);
+  (* 1000^8 ≈ 2^79.7, the module's own motivating example. *)
+  (match Bc.pow ~base:1000 ~exp:8 with
+  | Bc.Huge l -> Alcotest.(check bool) "pow log" true (Float.abs (l -. 79.726) < 0.01)
+  | Bc.Exact n -> Alcotest.failf "pow wrapped to %d" n);
+  (* Huge propagates through further sums (log-sum-exp, monotone). *)
+  match Bc.add (Bc.pow2 100) (Bc.pow2 100) with
+  | Bc.Huge l -> Alcotest.(check (float 1e-6)) "log-sum-exp" 101. l
+  | Bc.Exact n -> Alcotest.failf "huge sum collapsed to %d" n
+
+let test_bigcount_ratio_and_order () =
+  Alcotest.(check (float 1e-12)) "exact ratio" 0.25
+    (Bc.ratio (Bc.of_int 1) (Bc.of_int 4));
+  Alcotest.(check (float 1e-12)) "zero denominator" 0. (Bc.ratio Bc.one Bc.zero);
+  Alcotest.(check (float 1e-9)) "huge ratio in log space" 0.25
+    (Bc.ratio (Bc.pow2 100) (Bc.pow2 102));
+  Alcotest.(check (float 1e-9)) "mixed exact/huge ratio" 0.5
+    (Bc.ratio (Bc.of_int 1024) (Bc.mul (Bc.of_int 2) (Bc.of_int 1024)));
+  Alcotest.(check bool) "order: zero < one" true (Bc.compare Bc.zero Bc.one < 0);
+  Alcotest.(check bool) "order: exact < huge" true
+    (Bc.compare (Bc.of_int max_int) (Bc.pow2 90) < 0);
+  Alcotest.(check bool) "order: huge by log" true
+    (Bc.compare (Bc.pow2 90) (Bc.pow2 91) < 0);
+  Alcotest.(check bool) "log2 of zero" true (Bc.log2 Bc.zero = neg_infinity)
+
+let test_bigcount_json_roundtrip () =
+  let roundtrip c =
+    match Bc.of_json (Bc.to_json c) with
+    | Ok c' -> Alcotest.check bigcount "roundtrip" c c'
+    | Error e -> Alcotest.failf "of_json failed: %s" e
+  in
+  List.iter roundtrip [ Bc.zero; Bc.one; Bc.of_int 123456; Bc.pow2 200 ];
+  (* Deterministic bytes: the cache-key property. *)
+  Alcotest.(check string) "bytes stable"
+    (Util.Json.to_string (Bc.to_json (Bc.pow2 200)))
+    (Util.Json.to_string (Bc.to_json (Bc.pow2 200)));
+  match Bc.of_json (Util.Json.String "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage JSON must be rejected"
+
 let () =
   Alcotest.run "util"
     [
@@ -553,5 +621,12 @@ let () =
           Alcotest.test_case "member" `Quick test_json_member;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "file roundtrip" `Quick test_json_file_roundtrip;
+        ] );
+      ( "bigcount",
+        [
+          Alcotest.test_case "exact arithmetic" `Quick test_bigcount_exact_arithmetic;
+          Alcotest.test_case "saturation" `Quick test_bigcount_saturation;
+          Alcotest.test_case "ratio and order" `Quick test_bigcount_ratio_and_order;
+          Alcotest.test_case "json roundtrip" `Quick test_bigcount_json_roundtrip;
         ] );
     ]

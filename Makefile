@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve bench-count fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve bench-count bench-ladder fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke ladder-smoke fmt clean
 
 build:
 	dune build
@@ -11,7 +11,7 @@ test:
 # one end-to-end certified verdict, an instrumented profile run whose
 # metrics snapshot must self-validate, and the parallel-engine
 # no-regression gate (work stealing, warm sessions, portfolio).
-check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke bench-parallel
+check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke ladder-smoke bench-parallel
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
@@ -67,6 +67,26 @@ serve-smoke:
 # exhaust-and-resume. Exit 2 on any mismatch.
 count-smoke:
 	dune exec bin/fannet_cli.exe -- count --self-test
+	@echo "count-smoke: checking (eps, delta) usage-error rejection paths"
+	@dune exec bin/fannet_cli.exe -- count --approx --epsilon 0 2>/dev/null; \
+	  st=$$?; [ $$st -eq 2 ] || { echo "FAIL: --epsilon 0 exited $$st, want usage error 2"; exit 1; }
+	@dune exec bin/fannet_cli.exe -- count --approx --epsilon -0.5 2>/dev/null; \
+	  st=$$?; [ $$st -eq 2 ] || { echo "FAIL: --epsilon -0.5 exited $$st, want usage error 2"; exit 1; }
+	@dune exec bin/fannet_cli.exe -- count --approx --approx-delta 0 2>/dev/null; \
+	  st=$$?; [ $$st -eq 2 ] || { echo "FAIL: --approx-delta 0 exited $$st, want usage error 2"; exit 1; }
+	@dune exec bin/fannet_cli.exe -- count --approx --approx-delta 1.5 2>/dev/null; \
+	  st=$$?; [ $$st -eq 2 ] || { echo "FAIL: --approx-delta 1.5 exited $$st, want usage error 2"; exit 1; }
+
+# E22 scaling-ladder smoke (< 15 s): the asserted subset of the deep &
+# binarized ladder — gene-panel rungs cross-checked against the explicit
+# enumerator (verdicts, flip counts and a lib/cert-validated certified
+# verdict, sign comparators included), the 64-input 3-layer relu rung
+# where pure interval bounds return Unknown but symbolic-bounds Bnb
+# decides, and the deep binarized rung whose revalidated counterexample
+# Bnb must find. Emits BENCH_ladder.json; exit 2 on any violated
+# assertion.
+ladder-smoke:
+	dune exec bench/main.exe -- --ladder --smoke
 
 # Full evaluation suite (E1-E17 + Bechamel timings); takes minutes.
 bench:
@@ -118,11 +138,20 @@ bench-serve:
 bench-count:
 	dune exec bench/main.exe -- --count
 
+# Scaling-ladder section (E22, ~1 min): {6, 64, 784} inputs x {2, 3, 4}
+# layers x {relu-quantized, binarized} at noise deltas 1-2 — interval vs
+# budgeted symbolic-bounds Bnb verdicts, explicit/count/certificate
+# cross-checks on the small rungs, and the asserted precision gap.
+# Emits BENCH_ladder.json.
+bench-ladder:
+	dune exec bench/main.exe -- --ladder
+
 fmt:
 	dune fmt
 
-# BENCH_parallel/obs/robust/serve/count.json are tracked artefacts
-# (regenerated by their bench targets), so clean leaves them alone.
+# BENCH_parallel/obs/robust/serve/count/ladder.json are tracked
+# artefacts (regenerated by their bench targets), so clean leaves them
+# alone.
 clean:
 	dune clean
 	rm -f BENCH_cert.json

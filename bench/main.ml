@@ -711,12 +711,12 @@ let small_qnet () =
             [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |];
           |];
         bias = [| 55; -31; 12; -7 |];
-        relu = true;
+        act = Nn.Qnet.Relu;
       };
       {
         Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
         bias = [| 13; 0 |];
-        relu = false;
+        act = Nn.Qnet.Identity;
       };
     |]
 
@@ -1666,6 +1666,270 @@ let bench_count ?(smoke = false) ~out () =
   | Error e -> failwith (Printf.sprintf "E21: %s failed to parse: %s" out e)
 
 (* ------------------------------------------------------------------ *)
+(* E22: deep & binarized scaling ladder                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Scaling ladder over {6, 64, 784} inputs x {2, 3, 4} weight layers x
+   {relu-quantized, binarized} (Nn.Ladder rungs, one fixed seed): per
+   rung and noise delta, the interval backend and budgeted Bnb verdicts
+   with times; on gene-panel-sized rungs additionally the explicit
+   enumerator cross-check, the exact flip count against brute-force
+   enumeration, and a certified verdict re-checked by lib/cert. The
+   precision gap is asserted, not just reported: the 64-input 3-layer
+   relu rung must be Unknown for pure interval bounds yet decided by the
+   symbolic-bounds Bnb within budget, and the deep binarized rung must
+   yield a concrete (revalidated) counterexample. *)
+let bench_ladder ?(smoke = false) ~out () =
+  section "E22 bench_ladder (deep & binarized scaling ladder)";
+  let seed = 60 in
+  let budget_s = 5.0 in
+  let decided = function
+    | Fannet.Backend.Robust | Fannet.Backend.Flip _ -> true
+    | Fannet.Backend.Unknown _ -> false
+  in
+  let shapes =
+    if smoke then [ (6, 2); (6, 3); (64, 3); (64, 4) ]
+    else
+      [ (6, 2); (6, 3); (6, 4); (64, 2); (64, 3); (64, 4); (784, 2); (784, 3); (784, 4) ]
+  in
+  let deltas = if smoke then [ 1 ] else [ 1; 2 ] in
+  let interval_gap = ref [] in
+  let rows =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun (n_inputs, n_layers) ->
+            let r = Nn.Ladder.rung ~family ~n_inputs ~n_layers ~seed in
+            let id = Nn.Ladder.rung_id r in
+            let input = r.Nn.Ladder.input and label = r.Nn.Ladder.label in
+            let qnet = r.Nn.Ladder.qnet in
+            List.map
+              (fun delta ->
+                (* The smoke grid carries the two asserted gap rungs at
+                   their asserted deltas; everything else runs delta 1. *)
+                let delta =
+                  if smoke && family = Nn.Ladder.Relu_quantized && n_inputs = 64
+                  then 2
+                  else delta
+                in
+                let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+                let itv, itv_s =
+                  time_of (fun () ->
+                      Fannet.Backend.exists_flip Fannet.Backend.Interval qnet
+                        spec ~input ~label)
+                in
+                let bnb, bnb_s =
+                  time_of (fun () ->
+                      let budget = Resil.Budget.create ~timeout_s:budget_s () in
+                      Fannet.Backend.exists_flip ~budget Fannet.Backend.Bnb qnet
+                        spec ~input ~label)
+                in
+                if (not (decided itv)) && decided bnb then
+                  interval_gap := Printf.sprintf "%s d=%d" id delta :: !interval_gap;
+                (* Small rungs: the explicit enumerator must agree with
+                   Bnb on the same query — the fuzz oracle's agreement
+                   notion, here on ladder-shaped networks. *)
+                let explicit_agrees =
+                  if
+                    n_inputs = 6 && delta = 1
+                    && Fannet.Noise.spec_size spec ~n_inputs
+                       <= Fannet.Backend.default_explicit_limit
+                  then begin
+                    let ex =
+                      Fannet.Backend.exists_flip
+                        (Fannet.Backend.Explicit
+                           { limit = Fannet.Backend.default_explicit_limit })
+                        qnet spec ~input ~label
+                    in
+                    if not (Fannet.Backend.agree ex bnb) then
+                      failwith
+                        (Printf.sprintf
+                           "E22: %s d=%d: explicit %s disagrees with bnb %s" id
+                           delta
+                           (Fannet.Backend.verdict_to_string ex)
+                           (Fannet.Backend.verdict_to_string bnb));
+                    Some true
+                  end
+                  else None
+                in
+                Printf.printf "%-22s d=%d: interval %-9s %6.3fs  bnb %-9s %6.3fs%s\n%!"
+                  id delta
+                  (match itv with
+                  | Fannet.Backend.Unknown _ -> "unknown"
+                  | v -> Fannet.Backend.verdict_to_string v)
+                  itv_s
+                  (match bnb with
+                  | Fannet.Backend.Flip _ -> "flip"
+                  | Fannet.Backend.Unknown _ -> "unknown"
+                  | v -> Fannet.Backend.verdict_to_string v)
+                  bnb_s
+                  (match explicit_agrees with
+                  | Some true -> "  explicit agrees"
+                  | _ -> "");
+                ( id, family, n_inputs, n_layers, delta, itv, bnb, bnb_s,
+                  explicit_agrees ))
+              deltas)
+          shapes)
+      Nn.Ladder.families
+  in
+  (* Asserted precision gap: symbolic bounds beat interval propagation on
+     the wide 3-layer relu rung, and the deep binarized rung has a real,
+     revalidated counterexample. *)
+  let find fam n_inputs n_layers delta =
+    List.find_opt
+      (fun (_, f, ni, nl, d, _, _, _, _) ->
+        f = fam && ni = n_inputs && nl = n_layers && d = delta)
+      rows
+  in
+  (match find Nn.Ladder.Relu_quantized 64 3 2 with
+  | Some (_, _, _, _, _, itv, bnb, _, _) ->
+      if decided itv then
+        failwith "E22: interval unexpectedly decided relu-quantized/64x3 d=2";
+      if not (decided bnb) then
+        failwith "E22: bnb failed to decide relu-quantized/64x3 d=2 within budget"
+  | None when smoke -> failwith "E22: smoke grid lost the relu 64x3 gap rung"
+  | None -> ());
+  (match find Nn.Ladder.Binarized 64 4 1 with
+  | Some (_, _, _, _, _, _, bnb, _, _) -> (
+      match bnb with
+      | Fannet.Backend.Flip _ -> ()
+      | v ->
+          failwith
+            (Printf.sprintf "E22: binarized/64x4 d=1 expected a flip, got %s"
+               (Fannet.Backend.verdict_to_string v)))
+  | None -> failwith "E22: grid lost the binarized 64x4 rung");
+  if !interval_gap = [] then
+    failwith "E22: no rung separated interval bounds from symbolic Bnb";
+  (* Gene-panel-sized rungs: exact flip counts on the fragile probe vs
+     brute-force enumeration, and a certified verdict (DRUP refutation or
+     model, sign comparators included) re-checked by lib/cert. *)
+  let small_layers = if smoke then [ 2; 3 ] else [ 2; 3; 4 ] in
+  let count_rows =
+    List.concat_map
+      (fun family ->
+        List.map
+          (fun n_layers ->
+            let r = Nn.Ladder.rung ~family ~n_inputs:6 ~n_layers ~seed in
+            let id = Nn.Ladder.rung_id r in
+            let qnet = r.Nn.Ladder.qnet in
+            let input = r.Nn.Ladder.fragile in
+            let label = Nn.Qnet.predict qnet input in
+            let delta = 1 in
+            let spec = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+            let brute = ref 0 in
+            Fannet.Noise.iter_vectors spec ~n_inputs:6 (fun v ->
+                if Fannet.Noise.predict qnet spec ~input v <> label then
+                  incr brute);
+            let rep, count_s =
+              time_of (fun () ->
+                  Fannet.Robustness.probability qnet spec ~input ~label)
+            in
+            if rep.Fannet.Robustness.status <> Ok () then
+              failwith (Printf.sprintf "E22: %s count did not finish" id);
+            if
+              not
+                (Util.Bigcount.equal rep.Fannet.Robustness.flips
+                   (Util.Bigcount.of_int !brute))
+            then
+              failwith
+                (Printf.sprintf "E22: %s d=%d count %s <> brute-force %d" id
+                   delta
+                   (Util.Bigcount.to_string rep.Fannet.Robustness.flips)
+                   !brute);
+            let certified, cert_s =
+              if (not smoke) || n_layers = 2 then begin
+                let spec1 = Fannet.Noise.symmetric ~delta:1 ~bias_noise:false in
+                let cv, cert_s =
+                  time_of (fun () ->
+                      Fannet.Backend.certified_exists_flip qnet spec1
+                        ~input:r.Nn.Ladder.input ~label:r.Nn.Ladder.label)
+                in
+                (match
+                   Fannet.Backend.check_certified qnet spec1
+                     ~input:r.Nn.Ladder.input ~label:r.Nn.Ladder.label cv
+                 with
+                | Ok () -> ()
+                | Error e ->
+                    failwith (Printf.sprintf "E22: %s certificate: %s" id e));
+                (true, cert_s)
+              end
+              else (false, 0.0)
+            in
+            Printf.printf
+              "%-22s d=%d: %d/%d flips (brute-force agrees), %.3fs%s\n%!" id
+              delta !brute
+              (Fannet.Noise.spec_size spec ~n_inputs:6)
+              count_s
+              (if certified then Printf.sprintf "; certified %.3fs" cert_s
+               else "");
+            (id, delta, !brute, count_s, certified, cert_s))
+          small_layers)
+      Nn.Ladder.families
+  in
+  if not (List.exists (fun (_, _, brute, _, _, _) -> brute > 0) count_rows)
+  then failwith "E22: every fragile-probe count was zero — vacuous cross-check";
+  let verdict_json v =
+    Util.Json.String
+      (match v with
+      | Fannet.Backend.Robust -> "robust"
+      | Fannet.Backend.Flip _ -> "flip"
+      | Fannet.Backend.Unknown _ -> "unknown")
+  in
+  let json =
+    Util.Json.Obj
+      [
+        ("schema", Util.Json.String "fannet.bench_ladder/1");
+        ("smoke", Util.Json.Bool smoke);
+        ("seed", Util.Json.Int seed);
+        ("budget_s", Util.Json.Float budget_s);
+        ( "rungs",
+          Util.Json.List
+            (List.map
+               (fun (id, _, n_inputs, n_layers, delta, itv, bnb, bnb_s, ex) ->
+                 Util.Json.Obj
+                   ([
+                      ("id", Util.Json.String id);
+                      ("n_inputs", Util.Json.Int n_inputs);
+                      ("n_layers", Util.Json.Int n_layers);
+                      ("delta", Util.Json.Int delta);
+                      ("interval", verdict_json itv);
+                      ("bnb", verdict_json bnb);
+                      ("bnb_s", Util.Json.Float bnb_s);
+                    ]
+                   @
+                   match ex with
+                   | Some b -> [ ("explicit_agrees", Util.Json.Bool b) ]
+                   | None -> []))
+               rows) );
+        ( "counts",
+          Util.Json.List
+            (List.map
+               (fun (id, delta, flips, count_s, certified, cert_s) ->
+                 Util.Json.Obj
+                   [
+                     ("id", Util.Json.String id);
+                     ("delta", Util.Json.Int delta);
+                     ("flips", Util.Json.Int flips);
+                     ("count_s", Util.Json.Float count_s);
+                     ("certified", Util.Json.Bool certified);
+                     ("certified_s", Util.Json.Float cert_s);
+                   ])
+               count_rows) );
+        ( "interval_gap",
+          Util.Json.List
+            (List.map (fun s -> Util.Json.String s) (List.rev !interval_gap)) );
+      ]
+  in
+  Util.Json.write_file out json;
+  match Util.Json.parse_file out with
+  | Ok reread
+    when Util.Json.member "schema" reread
+         = Some (Util.Json.String "fannet.bench_ladder/1") ->
+      Printf.printf "%s written and re-parsed OK\n" out
+  | Ok _ -> failwith (Printf.sprintf "E22: %s lost its schema tag" out)
+  | Error e -> failwith (Printf.sprintf "E22: %s failed to parse: %s" out e)
+
+(* ------------------------------------------------------------------ *)
 (* E20: serving layer (fannetd)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1953,6 +2217,7 @@ let () =
   let obs_only = Array.exists (( = ) "--obs") Sys.argv in
   let serve_only = Array.exists (( = ) "--serve") Sys.argv in
   let count_only = Array.exists (( = ) "--count") Sys.argv in
+  let ladder_only = Array.exists (( = ) "--ladder") Sys.argv in
   let out =
     let rec find i =
       if i >= Array.length Sys.argv then "BENCH_parallel.json"
@@ -1980,6 +2245,15 @@ let () =
     print_endline "============================";
     bench_serve ~smoke ~out:"BENCH_serve.json" ();
     print_endline "\nServing bench completed."
+  end
+  else if ladder_only then begin
+    (* bench --ladder: E22 only — the deep & binarized scaling ladder;
+       no pipeline needed. With --smoke it runs the asserted subset
+       (`make ladder-smoke`, part of `make check`). *)
+    print_endline "FANNet bench (scaling ladder)";
+    print_endline "=============================";
+    bench_ladder ~smoke ~out:"BENCH_ladder.json" ();
+    print_endline "\nLadder bench completed."
   end
   else if count_only then begin
     (* bench --count: E21 only — counting on the small network plus a
@@ -2023,6 +2297,7 @@ let () =
     bench_robust ~smoke:true ~out:"BENCH_robust.json" ();
     bench_serve ~smoke:true ~out:"BENCH_serve.json" ();
     bench_count ~smoke:true ~out:"BENCH_count.json" ();
+    bench_ladder ~smoke:true ~out:"BENCH_ladder.json" ();
     print_endline "\nSmoke bench completed."
   end
   else begin
@@ -2051,6 +2326,7 @@ let () =
     bench_robust ~smoke:false ~out:"BENCH_robust.json" ();
     bench_serve ~smoke:false ~out:"BENCH_serve.json" ();
     bench_count ~smoke:false ~out:"BENCH_count.json" ();
+    bench_ladder ~smoke:false ~out:"BENCH_ladder.json" ();
     timing_suite p;
     print_endline "\nAll experiment sections completed."
   end

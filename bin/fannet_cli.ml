@@ -811,12 +811,12 @@ let profile_cmd =
           Nn.Qnet.weights =
             [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
           bias = [| 55; -31; 12; -7 |];
-          relu = true;
+          act = Nn.Qnet.Relu;
         };
         {
           Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
           bias = [| 13; 0 |];
-          relu = false;
+          act = Nn.Qnet.Identity;
         };
       |]
   in
@@ -929,12 +929,12 @@ let serve_toy_qnet () =
       {
         Nn.Qnet.weights = [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
         bias = [| 55; -31; 12; -7 |];
-        relu = true;
+        act = Nn.Qnet.Relu;
       };
       {
         Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
         bias = [| 13; 0 |];
-        relu = false;
+        act = Nn.Qnet.Identity;
       };
     |]
 
@@ -1531,6 +1531,18 @@ let count_cmd =
       if approx && exact then failwith "--exact and --approx are mutually exclusive";
       if approx && (certify || cert_out <> None) then
         failwith "--certify/--cert-out need the exact counter";
+      (* Validate the (ε, δ) parameters here, before any dataset/training
+         work: Count.Approx rejects them too, but only deep inside the
+         solve, after the pipeline has already run for seconds. The
+         negated comparisons also reject NaN. *)
+      if approx && not (epsilon > 0.) then
+        failwith
+          "--epsilon must be > 0: the estimate is within a (1+epsilon) factor \
+           of the true count";
+      if approx && not (adelta > 0. && adelta < 1.) then
+        failwith
+          "--approx-delta must be in (0, 1): it is the probability the \
+           (1+epsilon) guarantee fails";
       Util.Parallel.set_default_jobs jobs;
       let p = pipeline dataset_seed init_seed in
       let inputs = Fannet.Pipeline.analysis_inputs p in

@@ -29,23 +29,37 @@ let size c =
   in
   let input_mass = Array.fold_left (fun acc x -> acc + abs x) 0 c.input in
   (* Node counts keep structural drops size-decreasing even when the
-     removed weights happen to be all-zero. *)
+     removed weights happen to be all-zero; the per-layer activation cost
+     makes linearizing a ReLU/Sign layer a size-decreasing shrink. *)
   let nodes =
     Array.fold_left
       (fun acc (l : Nn.Qnet.qlayer) -> acc + Array.length l.Nn.Qnet.bias)
       (Array.length c.input) c.net.Nn.Qnet.layers
   in
+  let act_mass =
+    Array.fold_left
+      (fun acc (l : Nn.Qnet.qlayer) ->
+        acc + match l.Nn.Qnet.act with Nn.Qnet.Identity -> 0 | _ -> 1)
+      0 c.net.Nn.Qnet.layers
+  in
   (c.spec.N.delta_hi - c.spec.N.delta_lo)
   + (if c.spec.N.bias_noise then 1 else 0)
-  + param_mass + input_mass + nodes
+  + param_mass + input_mass + nodes + act_mass
 
 let to_string c =
-  let layer1 = c.net.Nn.Qnet.layers.(0) in
+  let dims =
+    String.concat "-" (List.map string_of_int (Nn.Qnet.dims c.net))
+  in
+  let acts =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (fun (l : Nn.Qnet.qlayer) -> Nn.Qnet.act_to_string l.Nn.Qnet.act)
+            c.net.Nn.Qnet.layers))
+  in
   Printf.sprintf
-    "case %d (seed %d): net %d-%d-%d, input [%s], label %d, noise [%d,%d]%s %s"
-    c.id c.seed (Nn.Qnet.in_dim c.net)
-    (Array.length layer1.Nn.Qnet.bias)
-    (Nn.Qnet.out_dim c.net)
+    "case %d (seed %d): net %s [%s], input [%s], label %d, noise [%d,%d]%s %s"
+    c.id c.seed dims acts
     (String.concat ";" (Array.to_list (Array.map string_of_int c.input)))
     c.label c.spec.N.delta_lo c.spec.N.delta_hi
     (if c.spec.N.bias_noise then "+bias" else "")
@@ -61,7 +75,10 @@ let layer_to_json (l : Nn.Qnet.qlayer) =
       ( "weights",
         J.List (Array.to_list (Array.map int_array_to_json l.Nn.Qnet.weights)) );
       ("bias", int_array_to_json l.Nn.Qnet.bias);
-      ("relu", J.Bool l.Nn.Qnet.relu);
+      ("act", J.String (Nn.Qnet.act_to_string l.Nn.Qnet.act));
+      (* Legacy mirror so corpora written here stay loadable by older
+         readers that only know the relu boolean. *)
+      ("relu", J.Bool (l.Nn.Qnet.act = Nn.Qnet.Relu));
     ]
 
 let spec_to_json (s : N.spec) =
@@ -133,9 +150,20 @@ let layer_of_json json =
   let* weights = map_result int_array_of_json rows in
   let* bias_json = field "bias" json in
   let* bias = int_array_of_json bias_json in
-  let* relu_json = field "relu" json in
-  let* relu = as_bool relu_json in
-  Ok { Nn.Qnet.weights = Array.of_list weights; bias; relu }
+  let* act =
+    match J.member "act" json with
+    | Some (J.String s) -> (
+        match Nn.Qnet.act_of_string s with
+        | Some act -> Ok act
+        | None -> Error (Printf.sprintf "unknown activation %S" s))
+    | Some _ -> Error "expected a string activation"
+    | None ->
+        (* Older corpora carry only the relu boolean. *)
+        let* relu_json = field "relu" json in
+        let* relu = as_bool relu_json in
+        Ok (if relu then Nn.Qnet.Relu else Nn.Qnet.Identity)
+  in
+  Ok { Nn.Qnet.weights = Array.of_list weights; bias; act }
 
 let spec_of_json json =
   let* delta_lo = int_field "delta_lo" json in

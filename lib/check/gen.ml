@@ -3,27 +3,51 @@ module N = Fannet.Noise
 
 let default_max_explicit = 1_000
 
+(* Depth is biased toward the classic two-layer shape (the paper's
+   architecture) with a tail of 3- and 4-layer networks; each hidden
+   layer is ReLU three times out of four and Sign otherwise, and one
+   case in five is a fully binarized network (all-Sign hidden layers,
+   weights in {-1, 1}) so the sign-CNF and symbolic-bound paths see
+   their intended inputs, not just mixed nets. *)
 let network rng =
   let n_in = R.int_in rng 1 3 in
-  let n_hidden = R.int_in rng 1 4 in
   let n_out = R.int_in rng 2 3 in
-  let weight () = R.int_in rng (-8) 8 in
+  let depth =
+    let r = R.int rng 10 in
+    if r < 6 then 2 else if r < 9 then 3 else 4
+  in
+  let binarized = R.int rng 5 = 0 in
+  (* Deeper networks get narrower layers and smaller weights: the
+     bit-blasted backend's cost grows with the magnitude of intermediate
+     values, which compounds per layer. *)
+  let max_hidden = if depth = 2 then 4 else 3 in
+  let max_w = if depth = 2 then 8 else 3 in
+  let hidden_dims = Array.init (depth - 1) (fun _ -> R.int_in rng 1 max_hidden) in
+  let weight () =
+    if binarized then if R.bool rng then 1 else -1 else R.int_in rng (-max_w) max_w
+  in
   let matrix rows cols =
     Array.init rows (fun _ -> Array.init cols (fun _ -> weight ()))
   in
+  let hidden_act () =
+    if binarized then Nn.Qnet.Sign
+    else if R.int rng 4 = 0 then Nn.Qnet.Sign
+    else Nn.Qnet.Relu
+  in
+  let dims = Array.concat [ [| n_in |]; hidden_dims; [| n_out |] ] in
   Nn.Qnet.create
-    [|
-      {
-        Nn.Qnet.weights = matrix n_hidden n_in;
-        bias = Array.init n_hidden (fun _ -> R.int_in rng (-30) 30);
-        relu = true;
-      };
-      {
-        Nn.Qnet.weights = matrix n_out n_hidden;
-        bias = Array.init n_out (fun _ -> R.int_in rng (-10) 10);
-        relu = false;
-      };
-    |]
+    (Array.init depth (fun li ->
+         let rows = dims.(li + 1) and cols = dims.(li) in
+         let last = li = depth - 1 in
+         {
+           Nn.Qnet.weights = matrix rows cols;
+           bias =
+             Array.init rows (fun _ ->
+                 if last then R.int_in rng (-10) 10
+                 else if depth = 2 then R.int_in rng (-30) 30
+                 else R.int_in rng (-15) 15);
+           act = (if last then Nn.Qnet.Identity else hidden_act ());
+         }))
 
 let input rng ~n = Array.init n (fun _ -> R.int_in rng 1 60)
 

@@ -4,8 +4,8 @@
     a pure function of its master seed: the driver derives one recorded
     per-case seed per case and rebuilds the case from that seed alone.
 
-    Networks respect every invariant the backends assume: exactly two
-    layers, ReLU hidden layer, identity output layer, consistent
+    Networks respect every invariant the backends assume: 2-4 layers,
+    ReLU or Sign hidden layers, identity output layer, consistent
     dimensions ({!Nn.Qnet.create} checks them). Noise ranges are sized so
     the number of vectors stays at or below [max_explicit], keeping the
     {!Fannet.Backend.Explicit} ground-truth enumeration tractable. *)
@@ -17,8 +17,13 @@ val default_max_explicit : int
     budget keeps a 200-case run within the CI smoke window. *)
 
 val network : Util.Rng.t -> Nn.Qnet.t
-(** 1-3 inputs, 1-4 ReLU hidden neurons, 2-3 identity outputs, weights in
-    [-8, 8], hidden biases in [-30, 30], output biases in [-10, 10]. *)
+(** 1-3 inputs, 2-4 layers (biased toward 2), 2-3 identity outputs.
+    Two-layer networks draw 1-4 hidden neurons, weights in [-8, 8] and
+    hidden biases in [-30, 30]; deeper networks narrow to 1-3 neurons,
+    weights in [-3, 3] and hidden biases in [-15, 15] (the bit-blasted
+    backend's cost compounds with depth). Each hidden layer is ReLU with
+    probability 3/4 and Sign otherwise; one network in five is fully
+    binarized (all-Sign hidden layers, weights in [{-1, 1}]). *)
 
 val input : Util.Rng.t -> n:int -> int array
 (** Component values in [1, 60] (the quantized Leukemia inputs' scale). *)

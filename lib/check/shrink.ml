@@ -13,7 +13,8 @@ let with_spec (c : Case.t) spec = rebuild c ~net:c.Case.net ~input:c.Case.input 
 
 let layers (c : Case.t) = c.Case.net.Nn.Qnet.layers
 
-let make_net l1 l2 = Nn.Qnet.create [| l1; l2 |]
+let with_layers (c : Case.t) ls =
+  rebuild c ~net:(Nn.Qnet.create ls) ~input:c.Case.input ~spec:c.Case.spec
 
 let spec_candidates (c : Case.t) =
   let s = c.Case.spec in
@@ -25,50 +26,103 @@ let spec_candidates (c : Case.t) =
     ]
 
 let structural_candidates (c : Case.t) =
-  let l1 = (layers c).(0) and l2 = (layers c).(1) in
+  let ls = layers c in
+  let n_layers = Array.length ls in
   let n_in = Nn.Qnet.in_dim c.Case.net in
-  let n_hidden = Array.length l1.Nn.Qnet.bias in
-  let n_out = Array.length l2.Nn.Qnet.bias in
-  let drop_hidden k =
-    make_net
+  let n_out = Nn.Qnet.out_dim c.Case.net in
+  (* Dropping hidden neuron [k] of layer [li] removes its row and bias in
+     layer [li] and the matching column of layer [li+1]. *)
+  let drop_hidden li k =
+    let ls = Array.copy ls in
+    ls.(li) <-
       {
-        l1 with
-        Nn.Qnet.weights = drop_index l1.Nn.Qnet.weights k;
-        bias = drop_index l1.Nn.Qnet.bias k;
-      }
-      { l2 with Nn.Qnet.weights = drop_col l2.Nn.Qnet.weights k }
+        ls.(li) with
+        Nn.Qnet.weights = drop_index ls.(li).Nn.Qnet.weights k;
+        bias = drop_index ls.(li).Nn.Qnet.bias k;
+      };
+    ls.(li + 1) <-
+      { ls.(li + 1) with Nn.Qnet.weights = drop_col ls.(li + 1).Nn.Qnet.weights k };
+    with_layers c ls
   in
   let drop_input i =
-    make_net { l1 with Nn.Qnet.weights = drop_col l1.Nn.Qnet.weights i } l2
+    let ls = Array.copy ls in
+    ls.(0) <- { ls.(0) with Nn.Qnet.weights = drop_col ls.(0).Nn.Qnet.weights i };
+    rebuild c
+      ~net:(Nn.Qnet.create ls)
+      ~input:(drop_index c.Case.input i)
+      ~spec:c.Case.spec
   in
   let drop_output j =
-    make_net l1
+    let last = n_layers - 1 in
+    let ls = Array.copy ls in
+    ls.(last) <-
       {
-        l2 with
-        Nn.Qnet.weights = drop_index l2.Nn.Qnet.weights j;
-        bias = drop_index l2.Nn.Qnet.bias j;
-      }
+        ls.(last) with
+        Nn.Qnet.weights = drop_index ls.(last).Nn.Qnet.weights j;
+        bias = drop_index ls.(last).Nn.Qnet.bias j;
+      };
+    with_layers c ls
+  in
+  (* Collapsing hidden layer [li] into [li+1] by matrix product: not a
+     semantics-preserving move (activations are nonlinear), but shrinking
+     only needs the failure to keep failing. The merged weights can have
+     larger magnitudes than the originals, so the caller's size guard
+     (candidates must strictly decrease {!Case.size}) is what makes this
+     move safe for termination — the guard is applied in {!candidates}. *)
+  let collapse li =
+    let a = ls.(li) and b = ls.(li + 1) in
+    let rows = Array.length b.Nn.Qnet.weights
+    and mid = Array.length a.Nn.Qnet.weights
+    and cols = Array.length a.Nn.Qnet.weights.(0) in
+    let weights =
+      Array.init rows (fun r ->
+          Array.init cols (fun j ->
+              let acc = ref 0 in
+              for k = 0 to mid - 1 do
+                acc := !acc + (b.Nn.Qnet.weights.(r).(k) * a.Nn.Qnet.weights.(k).(j))
+              done;
+              !acc))
+    in
+    let bias =
+      Array.init rows (fun r ->
+          let acc = ref b.Nn.Qnet.bias.(r) in
+          for k = 0 to mid - 1 do
+            acc := !acc + (b.Nn.Qnet.weights.(r).(k) * a.Nn.Qnet.bias.(k))
+          done;
+          !acc)
+    in
+    let merged = { Nn.Qnet.weights; bias; act = b.Nn.Qnet.act } in
+    let ls' =
+      Array.init (n_layers - 1) (fun j ->
+          if j < li then ls.(j) else if j = li then merged else ls.(j + 1))
+    in
+    with_layers c ls'
+  in
+  (* Linearizing a nonlinear hidden layer: strictly decreases size via the
+     per-layer activation cost in {!Case.size}. *)
+  let linearize li =
+    let ls = Array.copy ls in
+    ls.(li) <- { ls.(li) with Nn.Qnet.act = Nn.Qnet.Identity };
+    with_layers c ls
   in
   List.concat
     [
-      (if n_hidden > 1 then
-         List.init n_hidden (fun k ->
-             rebuild c ~net:(drop_hidden k) ~input:c.Case.input ~spec:c.Case.spec)
-       else []);
-      (if n_in > 1 then
-         List.init n_in (fun i ->
-             rebuild c ~net:(drop_input i) ~input:(drop_index c.Case.input i)
-               ~spec:c.Case.spec)
-       else []);
-      (if n_out > 2 then
-         List.init n_out (fun j ->
-             rebuild c ~net:(drop_output j) ~input:c.Case.input ~spec:c.Case.spec)
-       else []);
+      List.concat
+        (List.init (n_layers - 1) (fun li ->
+             let n_hidden = Array.length ls.(li).Nn.Qnet.bias in
+             if n_hidden > 1 then List.init n_hidden (drop_hidden li) else []));
+      (if n_in > 1 then List.init n_in drop_input else []);
+      (if n_out > 2 then List.init n_out drop_output else []);
+      (if n_layers > 2 then List.init (n_layers - 2) collapse else []);
+      List.filter_map
+        (fun li ->
+          if ls.(li).Nn.Qnet.act <> Nn.Qnet.Identity then Some (linearize li)
+          else None)
+        (List.init (n_layers - 1) Fun.id);
     ]
 
 (* Element-wise moves toward zero over weights, biases and the input. *)
 let value_candidates (c : Case.t) =
-  let l1 = (layers c).(0) and l2 = (layers c).(1) in
   let replace_layer idx layer =
     let ls = Array.copy (layers c) in
     ls.(idx) <- layer;
@@ -87,14 +141,14 @@ let value_candidates (c : Case.t) =
   let acc = ref [] in
   let push net = acc := rebuild c ~net ~input:c.Case.input ~spec:c.Case.spec :: !acc in
   let moves w = if w = 0 then [] else if abs w = 1 then [ 0 ] else [ 0; w / 2 ] in
-  List.iteri
+  Array.iteri
     (fun idx (l : Nn.Qnet.qlayer) ->
       Array.iteri
         (fun r row ->
           Array.iteri (fun k w -> List.iter (fun v -> push (set_weight idx l r k v)) (moves w)) row)
         l.Nn.Qnet.weights;
       Array.iteri (fun r b -> List.iter (fun v -> push (set_bias idx l r v)) (moves b)) l.Nn.Qnet.bias)
-    [ l1; l2 ];
+    (layers c);
   let input_moves =
     List.concat
       (List.init (Array.length c.Case.input) (fun i ->
@@ -108,12 +162,16 @@ let value_candidates (c : Case.t) =
   List.rev_append !acc input_moves
 
 let candidates c =
-  List.to_seq
-    (List.concat [ spec_candidates c; structural_candidates c; value_candidates c ])
+  let size = Case.size c in
+  Seq.filter
+    (fun c' -> Case.size c' < size)
+    (List.to_seq
+       (List.concat [ spec_candidates c; structural_candidates c; value_candidates c ]))
 
 let shrink ~fails c =
-  (* Greedy descent: Case.size strictly decreases on every accepted step,
-     so the loop terminates without an explicit bound. *)
+  (* Greedy descent: the size guard in {!candidates} means Case.size
+     strictly decreases on every accepted step, so the loop terminates
+     without an explicit bound. *)
   let rec loop c =
     match Seq.find fails (candidates c) with
     | Some smaller -> loop smaller

@@ -88,16 +88,12 @@ let explicit_exists_flip ~limit ?budget net spec ~input ~label =
   | Found v -> validate_flip net spec ~input ~label v
   | Stop r -> Unknown r
 
-(* Interval propagation through the two layers at the spec's scale. *)
+(* Interval propagation through all layers at the spec's running scale
+   (reset to 1 after a Sign layer, whose outputs are scale-free ±1 —
+   mirrors Noise.apply). Only the input layer's bias node is noisy. *)
 let output_bounds (net : Nn.Qnet.t) (spec : Noise.spec) ~input =
-  if Nn.Qnet.n_layers net <> 2 then
-    invalid_arg "Backend.output_bounds: two-layer networks only";
   let scale = Noise.scale_of spec in
   let delta = I.make spec.Noise.delta_lo spec.Noise.delta_hi in
-  let bias_factor =
-    if spec.Noise.bias_noise then I.add (I.point scale) delta
-    else I.point scale
-  in
   let noisy =
     match spec.Noise.kind with
     | Noise.Relative ->
@@ -105,25 +101,30 @@ let output_bounds (net : Nn.Qnet.t) (spec : Noise.spec) ~input =
         Array.map (fun x -> I.mulc x factor) input
     | Noise.Absolute -> Array.map (fun x -> I.add (I.point x) delta) input
   in
-  let layer1 = net.Nn.Qnet.layers.(0) in
-  let layer2 = net.Nn.Qnet.layers.(1) in
-  let hidden =
-    Array.mapi
-      (fun k row ->
-        let acc = ref (I.mulc layer1.Nn.Qnet.bias.(k) bias_factor) in
-        Array.iteri (fun i w -> acc := I.add !acc (I.mulc w noisy.(i))) row;
-        if layer1.Nn.Qnet.relu then I.relu !acc else !acc)
-      layer1.Nn.Qnet.weights
-  in
-  let outputs =
-    Array.mapi
-      (fun j row ->
-        let acc = ref (I.point (layer2.Nn.Qnet.bias.(j) * scale)) in
-        Array.iteri (fun k w -> acc := I.add !acc (I.mulc w hidden.(k))) row;
-        if layer2.Nn.Qnet.relu then I.relu !acc else !acc)
-      layer2.Nn.Qnet.weights
-  in
-  Array.map (fun (iv : I.t) -> (iv.I.lo, iv.I.hi)) outputs
+  let cur = ref noisy in
+  let running = ref scale in
+  Array.iteri
+    (fun li (l : Nn.Qnet.qlayer) ->
+      let x = !cur in
+      let bias_factor =
+        if li = 0 && spec.Noise.bias_noise then I.add (I.point !running) delta
+        else I.point !running
+      in
+      let outs =
+        Array.mapi
+          (fun k row ->
+            let acc = ref (I.mulc l.Nn.Qnet.bias.(k) bias_factor) in
+            Array.iteri (fun i w -> acc := I.add !acc (I.mulc w x.(i))) row;
+            match l.Nn.Qnet.act with
+            | Nn.Qnet.Relu -> I.relu !acc
+            | Nn.Qnet.Sign -> I.sign_ !acc
+            | Nn.Qnet.Identity -> !acc)
+          l.Nn.Qnet.weights
+      in
+      cur := outs;
+      if l.Nn.Qnet.act = Nn.Qnet.Sign then running := 1)
+    net.Nn.Qnet.layers;
+  Array.map (fun (iv : I.t) -> (iv.I.lo, iv.I.hi)) !cur
 
 let interval_exists_flip net spec ~input ~label =
   let bounds = output_bounds net spec ~input in

@@ -3,42 +3,62 @@ type verdict =
   | Flip of Noise.vector
   | Unknown of Resil.Budget.reason
 
-(* Linear view of the noisy network for one input (see the interface):
-   pre_k = pre_const.(k) + sum_d pre_coef.(k).(d) * delta_d over noise
-   dimensions d (bias node first when enabled). For every adversary class
-   j <> label there is one margin
-     m_j = out_const.(j) + sum_k out_coef.(j).(k) * relu(pre_k)
-   and the input flips iff m_j < thr.(j) for some j. *)
+(* Test-only mutation hook for the differential fuzzer: when set, the
+   unstable-ReLU upper relaxation drops its offset (claiming
+   relu(pre) <= pre, false on negative pre) — the classic wrong-slope
+   triangle bug. Must stay [false] outside the mutation tests. *)
+let unsound_relaxation_for_tests = ref false
+
+(* Layered view of the noisy network for one input (see the interface).
+   Layer 0 pre-activations are exact affine forms over the noise
+   dimensions d (bias node first when enabled):
+     pre_k = pre_const.(k) + sum_d pre_coef.(k).(d) * delta_d.
+   Deeper layers are kept as integer weight/bias pairs (biases already
+   multiplied by the running scale their inputs carry); the margins
+     m_j = out_const.(j) + sum_k out_coef.(j).(k) * post_k
+   range over the last hidden layer's post-activations, and the input
+   flips iff m_j < thr.(j) for some adversary j. *)
+type slayer = {
+  w : int array array;
+  b : int array;  (* at the layer's input running scale *)
+  act : Nn.Qnet.act;
+}
+
 type model = {
   n_dims : int;
   pre_const : int array;
   pre_coef : int array array;
-  out_coef : int array array;   (* per adversary *)
+  act0 : Nn.Qnet.act;
+  mid : slayer array;  (* layers 1 .. L-2 *)
+  out_coef : int array array;  (* per adversary *)
   out_const : int array;
   thr : int array;
+  zeros : int array;  (* shared all-zero coefficient row, never mutated *)
 }
 
 let build (net : Nn.Qnet.t) (spec : Noise.spec) ~input ~label =
-  if Nn.Qnet.n_layers net <> 2 then invalid_arg "Bnb: two-layer networks only";
+  let n_layers = Nn.Qnet.n_layers net in
+  if n_layers < 2 then invalid_arg "Bnb: at least two layers required";
   let n_out = Nn.Qnet.out_dim net in
   if n_out < 2 then invalid_arg "Bnb: at least two outputs required";
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Bnb: input size mismatch";
   if label < 0 || label >= n_out then invalid_arg "Bnb: label out of range";
-  let layer1 = net.Nn.Qnet.layers.(0) in
-  let layer2 = net.Nn.Qnet.layers.(1) in
-  if not layer1.Nn.Qnet.relu then invalid_arg "Bnb: hidden layer must be ReLU";
-  if layer2.Nn.Qnet.relu then invalid_arg "Bnb: output layer must be identity";
+  let layers = net.Nn.Qnet.layers in
+  let out_layer = layers.(n_layers - 1) in
+  if out_layer.Nn.Qnet.act <> Nn.Qnet.Identity then
+    invalid_arg "Bnb: output layer must be identity";
   let scale = Noise.scale_of spec in
   let n_inputs = Array.length input in
   let bias_dim = if spec.Noise.bias_noise then 1 else 0 in
   let n_dims = n_inputs + bias_dim in
-  let n_hidden = Array.length layer1.Nn.Qnet.weights in
+  let layer0 = layers.(0) in
+  let n_hidden = Array.length layer0.Nn.Qnet.weights in
   let pre_const = Array.make n_hidden 0 in
   let pre_coef = Array.make_matrix n_hidden n_dims 0 in
   for k = 0 to n_hidden - 1 do
-    let b = layer1.Nn.Qnet.bias.(k) in
-    let row = layer1.Nn.Qnet.weights.(k) in
+    let b = layer0.Nn.Qnet.bias.(k) in
+    let row = layer0.Nn.Qnet.weights.(k) in
     let affine = ref (b * scale) in
     if spec.Noise.bias_noise then pre_coef.(k).(0) <- b;
     Array.iteri
@@ -51,6 +71,23 @@ let build (net : Nn.Qnet.t) (spec : Noise.spec) ~input ~label =
       row;
     pre_const.(k) <- !affine
   done;
+  (* Running scale: a Sign layer emits ±1 whatever its input magnitude,
+     so the scale carried by ReLU/Identity layers resets to 1 after it
+     (see Noise.apply). Each deeper bias enters at its input scale. *)
+  let running = ref (if layer0.Nn.Qnet.act = Nn.Qnet.Sign then 1 else scale) in
+  let mid =
+    Array.init (n_layers - 2) (fun i ->
+        let l = layers.(i + 1) in
+        let sl =
+          {
+            w = l.Nn.Qnet.weights;
+            b = Array.map (fun b -> b * !running) l.Nn.Qnet.bias;
+            act = l.Nn.Qnet.act;
+          }
+        in
+        if l.Nn.Qnet.act = Nn.Qnet.Sign then running := 1;
+        sl)
+  in
   let adversaries =
     List.filter (fun j -> j <> label) (List.init n_out Fun.id)
   in
@@ -58,14 +95,19 @@ let build (net : Nn.Qnet.t) (spec : Noise.spec) ~input ~label =
     Array.of_list
       (List.map
          (fun j ->
-           Array.init n_hidden (fun k ->
-               layer2.Nn.Qnet.weights.(label).(k) - layer2.Nn.Qnet.weights.(j).(k)))
+           Array.init
+             (Array.length out_layer.Nn.Qnet.weights.(label))
+             (fun k ->
+               out_layer.Nn.Qnet.weights.(label).(k)
+               - out_layer.Nn.Qnet.weights.(j).(k)))
          adversaries)
   in
   let out_const =
     Array.of_list
       (List.map
-         (fun j -> (layer2.Nn.Qnet.bias.(label) - layer2.Nn.Qnet.bias.(j)) * scale)
+         (fun j ->
+           (out_layer.Nn.Qnet.bias.(label) - out_layer.Nn.Qnet.bias.(j))
+           * !running)
          adversaries)
   in
   (* Ties go to the lower class index: against a higher class the label
@@ -74,18 +116,42 @@ let build (net : Nn.Qnet.t) (spec : Noise.spec) ~input ~label =
   let thr =
     Array.of_list (List.map (fun j -> if j > label then 0 else 1) adversaries)
   in
-  { n_dims; pre_const; pre_coef; out_coef; out_const; thr }
+  {
+    n_dims;
+    pre_const;
+    pre_coef;
+    act0 = layer0.Nn.Qnet.act;
+    mid;
+    out_coef;
+    out_const;
+    thr;
+    zeros = Array.make n_dims 0;
+  }
 
 let n_margins m = Array.length m.out_coef
 
-(* Hidden activations at a concrete noise point. *)
+(* Last-hidden-layer post-activations at a concrete noise point: exact
+   layered forward over the model. *)
 let hidden_at m point =
-  Array.mapi
-    (fun k const ->
-      let pre = ref const in
-      Array.iteri (fun d coef -> pre := !pre + (coef * point.(d))) m.pre_coef.(k);
-      if !pre > 0 then !pre else 0)
-    m.pre_const
+  let post0 =
+    Array.mapi
+      (fun k const ->
+        let pre = ref const in
+        Array.iteri
+          (fun d coef -> pre := !pre + (coef * point.(d)))
+          m.pre_coef.(k);
+        Nn.Qnet.apply_act m.act0 !pre)
+      m.pre_const
+  in
+  Array.fold_left
+    (fun h (l : slayer) ->
+      Array.mapi
+        (fun k row ->
+          let pre = ref l.b.(k) in
+          Array.iteri (fun i w -> pre := !pre + (w * h.(i))) row;
+          Nn.Qnet.apply_act l.act !pre)
+        l.w)
+    post0 m.mid
 
 let flips_at_point m point =
   let h = hidden_at m point in
@@ -98,80 +164,138 @@ let flips_at_point m point =
   in
   check 0
 
-(* Per-hidden-neuron pre-activation bounds over a box, shared by all
-   margins. *)
-let pre_bounds m ~lo ~hi =
-  Array.init (Array.length m.pre_const) (fun k ->
-      let coefs = m.pre_coef.(k) in
-      let pre_lo = ref m.pre_const.(k) and pre_hi = ref m.pre_const.(k) in
-      Array.iteri
-        (fun d a ->
-          if a >= 0 then begin
-            pre_lo := !pre_lo + (a * lo.(d));
-            pre_hi := !pre_hi + (a * hi.(d))
-          end
-          else begin
-            pre_lo := !pre_lo + (a * hi.(d));
-            pre_hi := !pre_hi + (a * lo.(d))
-          end)
-        coefs;
-      (!pre_lo, !pre_hi))
+(* ---------- symbolic bound propagation ---------- *)
 
-(* Bounds of margin [j] over a box. Stable ReLUs stay linear so their
-   noise coefficients recombine across neurons; unstable ReLUs use the
-   adaptive one-sided relaxations h >= pre, h >= 0, h <= pre_hi. *)
-let margin_bounds m pres j ~lo ~hi =
-  let lo_coef = Array.make m.n_dims 0 in
-  let hi_coef = Array.make m.n_dims 0 in
-  let lo_const = ref m.out_const.(j) and hi_const = ref m.out_const.(j) in
-  let add_linear coef_acc const_acc c k =
-    const_acc := !const_acc + (c * m.pre_const.(k));
-    Array.iteri (fun d a -> coef_acc.(d) <- coef_acc.(d) + (c * a)) m.pre_coef.(k)
-  in
+(* Per-node symbolic state over a box: one affine lower and one affine
+   upper form over the noise dimensions, plus the concrete bounds they
+   imply. Forms are combined layer by layer (positive weights take the
+   like-sided form, negative the opposite), so coefficients recombine and
+   cancel across neurons — the DeepPoly/ReluVal-style tightening that pure
+   interval propagation throws away. Coefficient arrays are read-only once
+   built; stable-linear nodes alias their pre-activation arrays and
+   constant nodes alias [m.zeros]. *)
+type sym = {
+  lo_c : int;
+  lo_k : int array;
+  up_c : int;
+  up_k : int array;
+  lob : int;  (* concrete bounds of the node value over the box *)
+  upb : int;
+}
+
+let eval_lower const coef ~lo ~hi =
+  let acc = ref const in
   Array.iteri
-    (fun k c ->
-      if c <> 0 then begin
-        let pre_lo, pre_hi = pres.(k) in
-        if pre_lo >= 0 then begin
-          add_linear lo_coef lo_const c k;
-          add_linear hi_coef hi_const c k
-        end
-        else if pre_hi <= 0 then ()
-        else begin
-          let keep_linear = pre_hi >= -pre_lo in
-          if c > 0 then begin
-            if keep_linear then add_linear lo_coef lo_const c k;
-            hi_const := !hi_const + (c * pre_hi)
-          end
-          else begin
-            lo_const := !lo_const + (c * pre_hi);
-            if keep_linear then add_linear hi_coef hi_const c k
-          end
-        end
+    (fun d a -> acc := !acc + (a * if a >= 0 then lo.(d) else hi.(d)))
+    coef;
+  !acc
+
+let eval_upper const coef ~lo ~hi =
+  let acc = ref const in
+  Array.iteri
+    (fun d a -> acc := !acc + (a * if a >= 0 then hi.(d) else lo.(d)))
+    coef;
+  !acc
+
+let const_sym m v = { lo_c = v; lo_k = m.zeros; up_c = v; up_k = m.zeros; lob = v; upb = v }
+
+(* Activation relaxation with integer-only coefficients. Stable nodes stay
+   linear (or constant); an unstable ReLU is relaxed one-sidedly with
+   slopes restricted to {0, 1} so the propagated forms stay integral:
+     upper: pre - lob   (valid since lob < 0)   or the constant upb,
+     lower: the pre lower form (relu(x) >= x)   or the constant 0,
+   picking the smaller-area side DeepPoly-style (linear iff upb >= -lob).
+   An unstable Sign collapses to the constant envelope [-1, 1]. *)
+let relax m act (s : sym) =
+  match act with
+  | Nn.Qnet.Identity -> s
+  | Nn.Qnet.Sign ->
+      if s.lob >= 0 then const_sym m 1
+      else if s.upb < 0 then const_sym m (-1)
+      else { lo_c = -1; lo_k = m.zeros; up_c = 1; up_k = m.zeros; lob = -1; upb = 1 }
+  | Nn.Qnet.Relu ->
+      if s.lob >= 0 then s
+      else if s.upb <= 0 then const_sym m 0
+      else begin
+        let keep_linear = s.upb >= -s.lob in
+        let lo_c, lo_k = if keep_linear then (s.lo_c, s.lo_k) else (0, m.zeros) in
+        let up_c, up_k =
+          if !unsound_relaxation_for_tests then (s.up_c, s.up_k)
+          else if keep_linear then (s.up_c - s.lob, s.up_k)
+          else (s.upb, m.zeros)
+        in
+        { lo_c; lo_k; up_c; up_k; lob = 0; upb = s.upb }
+      end
+
+(* Affine combination c . syms + const: positive coefficients pull the
+   like-sided form, negative ones the opposite side. *)
+let combine m coefs syms bias ~lo ~hi =
+  let lo_k = Array.make m.n_dims 0 and up_k = Array.make m.n_dims 0 in
+  let lo_c = ref bias and up_c = ref bias in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let s = syms.(i) in
+        lo_c := !lo_c + (c * s.lo_c);
+        up_c := !up_c + (c * s.up_c);
+        Array.iteri (fun d a -> lo_k.(d) <- lo_k.(d) + (c * a)) s.lo_k;
+        Array.iteri (fun d a -> up_k.(d) <- up_k.(d) + (c * a)) s.up_k
+      end
+      else if c < 0 then begin
+        let s = syms.(i) in
+        lo_c := !lo_c + (c * s.up_c);
+        up_c := !up_c + (c * s.lo_c);
+        Array.iteri (fun d a -> lo_k.(d) <- lo_k.(d) + (c * a)) s.up_k;
+        Array.iteri (fun d a -> up_k.(d) <- up_k.(d) + (c * a)) s.lo_k
       end)
-    m.out_coef.(j);
-  let bound coef base ~lower =
-    let acc = ref base in
-    Array.iteri
-      (fun d c ->
-        let pick_lo = if lower then c >= 0 else c < 0 in
-        acc := !acc + (c * if pick_lo then lo.(d) else hi.(d)))
-      coef;
-    !acc
+    coefs;
+  let lob = eval_lower !lo_c lo_k ~lo ~hi in
+  let upb = eval_upper !up_c up_k ~lo ~hi in
+  { lo_c = !lo_c; lo_k; up_c = !up_c; up_k; lob; upb }
+
+(* Post-activation symbolic state of the last hidden layer over a box. *)
+let propagate m ~lo ~hi =
+  let post0 =
+    Array.mapi
+      (fun k const ->
+        let coef = m.pre_coef.(k) in
+        let pre =
+          {
+            lo_c = const;
+            lo_k = coef;
+            up_c = const;
+            up_k = coef;
+            lob = eval_lower const coef ~lo ~hi;
+            upb = eval_upper const coef ~lo ~hi;
+          }
+        in
+        relax m m.act0 pre)
+      m.pre_const
   in
-  (bound lo_coef !lo_const ~lower:true, bound hi_coef !hi_const ~lower:false)
+  Array.fold_left
+    (fun post (l : slayer) ->
+      Array.mapi
+        (fun k row -> relax m l.act (combine m row post l.b.(k) ~lo ~hi))
+        l.w)
+    post0 m.mid
+
+(* Bounds of margin [j] over a box given the last hidden layer's symbolic
+   state. *)
+let margin_bounds m post j ~lo ~hi =
+  let s = combine m m.out_coef.(j) post m.out_const.(j) ~lo ~hi in
+  (s.lob, s.upb)
 
 (* Box classification: [`Robust] (no point flips), [`All_flip] (every
    point flips), or [`Split] with the worst lower-bound slack (used to
    order children). *)
 let classify m ~lo ~hi =
-  let pres = pre_bounds m ~lo ~hi in
+  let post = propagate m ~lo ~hi in
   let robust = ref true in
   let worst_slack = ref max_int in
   let all_flip = ref false in
   for j = 0 to n_margins m - 1 do
     if not !all_flip then begin
-      let d_lo, d_hi = margin_bounds m pres j ~lo ~hi in
+      let d_lo, d_hi = margin_bounds m post j ~lo ~hi in
       if d_hi < m.thr.(j) then all_flip := true
       else begin
         if d_lo < m.thr.(j) then robust := false;
@@ -200,7 +324,10 @@ let is_point ~lo ~hi =
   let rec go d = d >= Array.length lo || (lo.(d) = hi.(d) && go (d + 1)) in
   go 0
 
-let midpoint ~lo ~hi = Array.init (Array.length lo) (fun d -> (lo.(d) + hi.(d)) / 2)
+(* Floor division, matching [split]: plain (lo+hi)/2 truncates toward zero,
+   so on an all-negative range the `All_flip` witness midpoint would
+   disagree with the split geometry. *)
+let midpoint ~lo ~hi = Array.init (Array.length lo) (fun d -> (lo.(d) + hi.(d)) asr 1)
 
 let split ~lo ~hi =
   let d = widest_dim ~lo ~hi in
@@ -234,7 +361,7 @@ exception Budget_exceeded
 exception Stop of Resil.Budget.reason
 
 (* Budget poll at box granularity: one check every 64 boxes (a box
-   classification is itself O(hidden * dims * margins) work, so the
+   classification is itself O(neurons * dims) work per layer, so the
    amortized poll cost is negligible — the E18 bench measures it). *)
 let poll_budget budget boxes =
   match budget with

@@ -1,17 +1,24 @@
 (** Complete branch-and-bound analysis over the noise box.
 
     Exploits the structure the bit-blasted encoding ignores: for a fixed
-    test input every hidden pre-activation is an exact linear function of
-    the noise percentages, [pre_k = C_k + sum_i a_ki * d_i]. The engine
-    bounds the output margin with symbolic linear propagation (exact
-    through layer 1; unstable ReLUs relaxed to their interval, stable ones
-    kept linear so layer-2 noise coefficients recombine and cancel — the
-    ReluVal/Neurify-style tightening), prunes boxes proven robust or
-    proven all-flipping, and splits the widest noise dimension otherwise.
-    Terminates because boxes shrink to single points, which are evaluated
-    concretely.
+    test input every first-layer pre-activation is an exact linear
+    function of the noise percentages, [pre_k = C_k + sum_i a_ki * d_i].
+    The engine propagates DeepPoly-style symbolic bounds through every
+    layer: each node carries an affine lower and upper form over the noise
+    variables, stable ReLUs stay linear so coefficients recombine and
+    cancel downstream, and unstable ReLUs are relaxed one-sidedly with
+    integer slopes in {0, 1} — the upper line [pre - lob] or the constant
+    [upb], the lower the pre form or the constant 0, chosen by the
+    triangle-area rule (linear iff [upb >= -lob]). Sign nodes are exact
+    when their pre-activation interval is stable and collapse to the
+    [[-1, 1]] envelope otherwise. Boxes proven robust or all-flipping are
+    pruned; otherwise the widest noise dimension splits. Terminates
+    because boxes shrink to single points, which are evaluated concretely
+    through the exact layered forward.
 
-    Both the paper's relative-percent noise and the absolute model are
+    Any depth is supported; hidden layers may be ReLU, Sign (binarized
+    networks) or Identity, and the output layer must be Identity. Both
+    the paper's relative-percent noise and the absolute model are
     supported (the linear coefficients differ, nothing else).
 
     This is the workhorse complete backend for large noise ranges; the
@@ -42,9 +49,10 @@ val exists_flip :
   input:int array ->
   label:int ->
   verdict
-(** Two-layer ReLU/identity networks, any number of output classes
-    (multi-class robustness uses one margin per adversary class).
-    Any witness is validated against {!Noise.predict}.
+(** Any-depth ReLU/Sign/Identity networks with an Identity output layer,
+    any number of output classes (multi-class robustness uses one margin
+    per adversary class). Any witness is validated against
+    {!Noise.predict}.
 
     [box] restricts the search to per-node noise ranges (bias node first
     when the spec enables bias noise, then the input nodes); it must be
@@ -141,3 +149,12 @@ val count_flips :
   int * [ `Complete | `Truncated ]
 (** Number of flipping vectors, counting whole all-flipping boxes without
     enumerating them point by point ([limit] caps the count). *)
+
+(**/**)
+
+val unsound_relaxation_for_tests : bool ref
+(** Mutation hook for the differential fuzzer only: when set, the
+    unstable-ReLU upper relaxation drops its [-lob] offset (the classic
+    wrong-slope triangle bug), making the engine unsound in both
+    directions. The fuzz oracle must catch and shrink the disagreement;
+    every other caller must leave this [false]. *)

@@ -7,8 +7,6 @@ type t = {
 }
 
 let encode (net : Nn.Qnet.t) ~input (spec : Noise.spec) =
-  if Nn.Qnet.n_layers net <> 2 then
-    invalid_arg "Encode.encode: two-layer networks only";
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Encode.encode: input size mismatch";
   if spec.Noise.delta_lo > 0 || spec.Noise.delta_hi < 0 then
@@ -30,37 +28,39 @@ let encode (net : Nn.Qnet.t) ~input (spec : Noise.spec) =
         T.add (T.const (x * scale)) (T.mulc coeff (T.of_var input_vars.(i))))
       input
   in
-  let layer1 = net.Nn.Qnet.layers.(0) in
-  let layer2 = net.Nn.Qnet.layers.(1) in
-  let hidden =
-    Array.mapi
-      (fun k row ->
-        let b = layer1.Nn.Qnet.bias.(k) in
-        let bias_term =
-          match bias_var with
-          | Some d0 -> T.add (T.const (b * scale)) (T.mulc b (T.of_var d0))
-          | None -> T.const (b * scale)
-        in
-        let pre =
-          T.sum
-            (bias_term
-            :: List.init (Array.length row) (fun i -> T.mulc row.(i) noisy.(i)))
-        in
-        if layer1.Nn.Qnet.relu then T.relu pre else pre)
-      layer1.Nn.Qnet.weights
-  in
-  let outputs =
-    Array.mapi
-      (fun j row ->
-        let pre =
-          T.sum
-            (T.const (layer2.Nn.Qnet.bias.(j) * scale)
-            :: List.init (Array.length row) (fun k -> T.mulc row.(k) hidden.(k)))
-        in
-        if layer2.Nn.Qnet.relu then T.relu pre else pre)
-      layer2.Nn.Qnet.weights
-  in
-  { bias_var; input_vars; outputs }
+  (* Layer loop with the running scale of Noise.apply: each layer's bias
+     enters at the scale its inputs carry; a Sign layer's ±1 outputs reset
+     that scale to 1. The input-layer bias node is the only noisy bias. *)
+  let cur = ref noisy in
+  let running = ref scale in
+  Array.iteri
+    (fun li (l : Nn.Qnet.qlayer) ->
+      let x = !cur in
+      let outs =
+        Array.mapi
+          (fun k row ->
+            let b = l.Nn.Qnet.bias.(k) in
+            let bias_term =
+              match (li, bias_var) with
+              | 0, Some d0 ->
+                  T.add (T.const (b * !running)) (T.mulc b (T.of_var d0))
+              | _, (Some _ | None) -> T.const (b * !running)
+            in
+            let pre =
+              T.sum
+                (bias_term
+                :: List.init (Array.length row) (fun i -> T.mulc row.(i) x.(i)))
+            in
+            match l.Nn.Qnet.act with
+            | Nn.Qnet.Relu -> T.relu pre
+            | Nn.Qnet.Sign -> T.sign_ pre
+            | Nn.Qnet.Identity -> pre)
+          l.Nn.Qnet.weights
+      in
+      cur := outs;
+      if l.Nn.Qnet.act = Nn.Qnet.Sign then running := 1)
+    net.Nn.Qnet.layers;
+  { bias_var; input_vars; outputs = !cur }
 
 let noise_vars t =
   (match t.bias_var with Some v -> [ v ] | None -> [])

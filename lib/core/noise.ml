@@ -82,36 +82,45 @@ let to_string v =
     (String.concat "; "
        (Array.to_list (Array.map (Printf.sprintf "%+d") v.inputs)))
 
+(* The deep forward pass carries a per-layer running scale. Relative noise
+   is analysed in exact integers by scaling the whole input by 100
+   (x*(100 + d) instead of x*(1 + d/100)); ReLU and Identity are
+   positively homogeneous, so that factor persists layer to layer and each
+   layer's bias enters multiplied by the scale its inputs carry. A Sign
+   layer outputs ±1 whatever its input magnitude, so the scale resets to 1
+   after it. Absolute noise has scale 1 throughout. *)
 let apply (net : Nn.Qnet.t) spec ~input v =
-  if Nn.Qnet.n_layers net <> 2 then
-    invalid_arg "Noise.apply: two-layer networks only";
   if Array.length input <> Nn.Qnet.in_dim net then
     invalid_arg "Noise.apply: input size mismatch";
   if Array.length v.inputs <> Array.length input then
     invalid_arg "Noise.apply: noise vector size mismatch";
   let scale = scale_of spec in
-  let layer1 = net.Nn.Qnet.layers.(0) in
-  let layer2 = net.Nn.Qnet.layers.(1) in
   (* Relative: x*(100 + d); Absolute: x + d (scale = 1). *)
   let noisy =
     match spec.kind with
     | Relative -> Array.mapi (fun i x -> x * (scale + v.inputs.(i))) input
     | Absolute -> Array.mapi (fun i x -> x + v.inputs.(i)) input
   in
-  let hidden =
-    Array.mapi
-      (fun k row ->
-        let acc = ref (layer1.Nn.Qnet.bias.(k) * (scale + v.bias)) in
-        Array.iteri (fun i w -> acc := !acc + (w * noisy.(i))) row;
-        if layer1.Nn.Qnet.relu && !acc < 0 then 0 else !acc)
-      layer1.Nn.Qnet.weights
-  in
-  Array.mapi
-    (fun j row ->
-      let acc = ref (layer2.Nn.Qnet.bias.(j) * scale) in
-      Array.iteri (fun k w -> acc := !acc + (w * hidden.(k))) row;
-      if layer2.Nn.Qnet.relu && !acc < 0 then 0 else !acc)
-    layer2.Nn.Qnet.weights
+  let cur = ref noisy in
+  let running = ref scale in
+  Array.iteri
+    (fun li (l : Nn.Qnet.qlayer) ->
+      let x = !cur in
+      (* The paper's noise model perturbs the input-layer bias node only;
+         deeper biases are exact at the running scale. *)
+      let bias_factor = if li = 0 then !running + v.bias else !running in
+      let out =
+        Array.mapi
+          (fun k row ->
+            let acc = ref (l.Nn.Qnet.bias.(k) * bias_factor) in
+            Array.iteri (fun i w -> acc := !acc + (w * x.(i))) row;
+            Nn.Qnet.apply_act l.Nn.Qnet.act !acc)
+          l.Nn.Qnet.weights
+      in
+      cur := out;
+      if l.Nn.Qnet.act = Nn.Qnet.Sign then running := 1)
+    net.Nn.Qnet.layers;
+  !cur
 
 let predict net spec ~input v =
   let out = apply net spec ~input v in

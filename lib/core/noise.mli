@@ -66,8 +66,13 @@ val hash : vector -> int
 val to_string : vector -> string
 
 val apply : Nn.Qnet.t -> spec -> input:int array -> vector -> int array
-(** Noisy forward pass: output-node values at {!scale_of} the spec.
-    Two-layer ReLU/identity networks only. *)
+(** Noisy forward pass through any depth of ReLU/Sign/Identity layers.
+    Outputs are at the network's final running scale: {!scale_of} the spec
+    carried through ReLU/Identity layers (each layer's bias multiplied by
+    the scale its inputs arrive at), reset to 1 after a Sign layer, whose
+    ±1 outputs are scale-free. Argmax is unaffected by the positive
+    factor, so {!predict} agrees with the unscaled network at zero
+    noise. *)
 
 val predict : Nn.Qnet.t -> spec -> input:int array -> vector -> int
 (** Argmax of {!apply} (ties to the lower class, like the paper). *)

@@ -135,8 +135,11 @@ let median_of_medians l =
   | l -> median B.compare (List.map (median B.compare) (groups l))
 
 let count ?budget ?(epsilon = 0.8) ?(delta = 0.2) ?(seed = 0) f ~project =
-  if epsilon <= 0.0 then invalid_arg "Approx.count: epsilon must be positive";
-  if delta <= 0.0 || delta >= 1.0 then
+  (* Negated comparisons so NaN is rejected as well: [nan <= 0.0] is
+     false, so the positive-form checks would silently accept it. *)
+  if not (epsilon > 0.0) then
+    invalid_arg "Approx.count: epsilon must be positive";
+  if not (delta > 0.0 && delta < 1.0) then
     invalid_arg "Approx.count: delta must be in (0, 1)";
   let space = Space.of_projection f ~project in
   let session = Solve.open_session T.tru in

@@ -1,10 +1,11 @@
-type t = Relu | Sigmoid | Identity
+type t = Relu | Sigmoid | Identity | Sign
 
 let apply t x =
   match t with
   | Relu -> if x > 0. then x else 0.
   | Sigmoid -> 1. /. (1. +. exp (-.x))
   | Identity -> x
+  | Sign -> if x >= 0. then 1. else -1.
 
 let derivative t x =
   match t with
@@ -13,6 +14,12 @@ let derivative t x =
       let s = apply Sigmoid x in
       s *. (1. -. s)
   | Identity -> 1.
+  | Sign ->
+      (* Straight-through estimator: the true derivative is 0 almost
+         everywhere, which kills gradient descent; BNN training passes the
+         gradient through unchanged inside the unit window and clips it
+         outside (Courbariaux et al.). *)
+      if Float.abs x <= 1. then 1. else 0.
 
 let apply_vec t v = Tensor.Vec.map (apply t) v
 
@@ -22,8 +29,9 @@ let to_string = function
   | Relu -> "relu"
   | Sigmoid -> "sigmoid"
   | Identity -> "identity"
+  | Sign -> "sign"
 
 let equal a b =
   match (a, b) with
-  | Relu, Relu | Sigmoid, Sigmoid | Identity, Identity -> true
-  | (Relu | Sigmoid | Identity), _ -> false
+  | Relu, Relu | Sigmoid, Sigmoid | Identity, Identity | Sign, Sign -> true
+  | (Relu | Sigmoid | Identity | Sign), _ -> false

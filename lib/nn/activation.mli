@@ -3,15 +3,18 @@
     The paper's network uses ReLU in the hidden layer and maxpool (argmax
     selection) at the output; argmax is handled by {!Network.predict}, so
     the output layer itself is [Identity]. [Sigmoid] is provided for the
-    activation ablation. *)
+    activation ablation. [Sign] is the binarization activation (±1) used
+    to train networks destined for {!Quantize.binarize}. *)
 
-type t = Relu | Sigmoid | Identity
+type t = Relu | Sigmoid | Identity | Sign
 
 val apply : t -> float -> float
 
 val derivative : t -> float -> float
 (** Derivative with respect to the pre-activation, evaluated at the
-    pre-activation value. The ReLU derivative at exactly 0 is taken as 0. *)
+    pre-activation value. The ReLU derivative at exactly 0 is taken as 0.
+    [Sign] uses the straight-through estimator: 1 inside [[-1, 1]], 0
+    outside — the standard BNN training surrogate. *)
 
 val apply_vec : t -> Tensor.Vec.t -> Tensor.Vec.t
 val derivative_vec : t -> Tensor.Vec.t -> Tensor.Vec.t

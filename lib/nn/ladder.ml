@@ -1,0 +1,121 @@
+type family = Relu_quantized | Binarized
+
+let families = [ Relu_quantized; Binarized ]
+
+let family_to_string = function
+  | Relu_quantized -> "relu-quantized"
+  | Binarized -> "binarized"
+
+type rung = {
+  family : family;
+  n_inputs : int;
+  n_layers : int;
+  net : Network.t;
+  qnet : Qnet.t;
+  input : int array;
+  label : int;
+  fragile : int array;
+}
+
+let weight_bits = 6
+
+let hidden_width ~n_inputs =
+  if n_inputs <= 8 then 6 else if n_inputs <= 64 then 12 else 16
+
+let rung_id r =
+  Printf.sprintf "%s/%dx%d" (family_to_string r.family) r.n_inputs r.n_layers
+
+(* How many probe inputs to draw before keeping the widest-margin one. *)
+let n_candidates = 16
+
+(* Distinct SplitMix64 streams per rung: the shifts keep the grid's
+   parameters in disjoint bit ranges, so no two ladder rungs share a
+   stream even at equal seeds. *)
+let stream_key ~family ~n_inputs ~n_layers ~seed =
+  let tag = match family with Relu_quantized -> 1 | Binarized -> 2 in
+  seed lxor (tag lsl 48) lxor (n_layers lsl 40) lxor (n_inputs lsl 20)
+
+(* Noise-free margin of the predicted class over the runner-up. *)
+let margin qnet input =
+  let out = Qnet.forward qnet input in
+  let label = Qnet.predict qnet input in
+  let runner_up = ref min_int in
+  Array.iteri (fun j v -> if j <> label && v > !runner_up then runner_up := v) out;
+  out.(label) - !runner_up
+
+(* Walk the integer segment from [a] towards [b] (which the network
+   classifies differently) and return the last point still classified
+   like [a]: a boundary-adjacent input. Consecutive points differ by at
+   most one unit per component, so the returned point is within one grid
+   step of the decision boundary — the margin there is as small as the
+   integer input domain allows, and small noise deltas produce real
+   flips for the counting cross-check. *)
+let toward_boundary qnet a b =
+  let n = Array.length a in
+  let steps =
+    Array.fold_left max 1 (Array.init n (fun i -> abs (b.(i) - a.(i))))
+  in
+  let point k =
+    Array.init n (fun i ->
+        a.(i)
+        + int_of_float
+            (Float.round (float_of_int (k * (b.(i) - a.(i))) /. float_of_int steps)))
+  in
+  let la = Qnet.predict qnet a in
+  let lo = ref 0 and hi = ref steps in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if Qnet.predict qnet (point mid) = la then lo := mid else hi := mid
+  done;
+  point !lo
+
+let rung ~family ~n_inputs ~n_layers ~seed =
+  if n_inputs < 1 then invalid_arg "Ladder.rung: n_inputs must be >= 1";
+  if n_layers < 2 then invalid_arg "Ladder.rung: n_layers must be >= 2";
+  let rng = Util.Rng.create (stream_key ~family ~n_inputs ~n_layers ~seed) in
+  let width = hidden_width ~n_inputs in
+  let spec =
+    (n_inputs :: List.init (n_layers - 1) (fun _ -> width)) @ [ 2 ]
+  in
+  let hidden_activation =
+    match family with
+    | Relu_quantized -> Activation.Relu
+    | Binarized -> Activation.Sign
+  in
+  let net = Network.create ~rng ~spec ~hidden_activation in
+  let qnet =
+    match family with
+    | Relu_quantized -> Quantize.quantize net ~weight_bits
+    | Binarized -> Quantize.binarize net ~weight_bits
+  in
+  (* Probe inputs from one fixed-size draw, in the quantized Leukemia
+     inputs' value range: the widest-margin candidate plays the robust
+     test sample; the fragile sample bisects from the narrowest-margin
+     candidate toward the first differently-classified one (falling back
+     to the narrowest-margin candidate when the whole draw agrees). *)
+  let draw () = Array.init n_inputs (fun _ -> 1 + Util.Rng.int rng 60) in
+  let candidates = Array.init n_candidates (fun _ -> draw ()) in
+  let pick keep =
+    let best = ref candidates.(0) and best_m = ref (margin qnet candidates.(0)) in
+    Array.iter
+      (fun c ->
+        let m = margin qnet c in
+        if keep m !best_m then begin
+          best := c;
+          best_m := m
+        end)
+      candidates;
+    !best
+  in
+  let input = pick ( > ) in
+  let worst = pick ( < ) in
+  let fragile =
+    let la = Qnet.predict qnet worst in
+    match
+      Array.find_opt (fun c -> Qnet.predict qnet c <> la) candidates
+    with
+    | Some other -> toward_boundary qnet worst other
+    | None -> worst
+  in
+  { family; n_inputs; n_layers; net; qnet; input;
+    label = Qnet.predict qnet input; fragile }

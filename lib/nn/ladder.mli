@@ -1,0 +1,65 @@
+(** Deterministic networks for the E22 scaling ladder.
+
+    The ladder measures how the verification stack scales along two axes
+    the Leukemia case study cannot exercise: input width (6 gene-panel
+    inputs up to 784 image-sized inputs) and depth (2-4 weight layers),
+    for the two deployment families the quantizer supports — ReLU hidden
+    layers lowered with {!Quantize.quantize} and binarized (Sign) hidden
+    layers lowered with {!Quantize.binarize}.
+
+    Every rung is a pure function of [(family, n_inputs, n_layers, seed)]:
+    float weights come from a {!Util.Rng} stream (SplitMix64) keyed on all
+    four, the probe input is the best-margin candidate of a fixed-size
+    draw (random-init networks have no training signal, so picking the
+    widest noise-free margin stands in for "a correctly classified test
+    sample" — the setting of the paper's P2 query), and the label is the
+    quantized network's own noise-free prediction. A bench run over rungs
+    is therefore a deterministic regression gate, not a statistical one. *)
+
+type family =
+  | Relu_quantized
+      (** ReLU hidden layers, fixed-point quantized ({!Quantize.quantize}) *)
+  | Binarized
+      (** Sign hidden layers, binarized ({!Quantize.binarize}) *)
+
+val families : family list
+(** Both, [Relu_quantized] first. *)
+
+val family_to_string : family -> string
+(** ["relu-quantized"] / ["binarized"] — the names used in rung ids,
+    bench tables and [BENCH_ladder.json]. *)
+
+type rung = {
+  family : family;
+  n_inputs : int;
+  n_layers : int;  (** weight layers (>= 2); the last is Identity *)
+  net : Network.t;  (** the float network the quantized one came from *)
+  qnet : Qnet.t;  (** what the backends analyse *)
+  input : int array;
+      (** robust probe: the widest-margin candidate of the draw,
+          components in [1, 60] *)
+  label : int;  (** [Qnet.predict qnet input] — the noise-free verdict *)
+  fragile : int array;
+      (** fragile probe: a boundary-adjacent input, bisected along the
+          integer segment between two differently-classified candidates
+          of the same draw (the narrowest-margin candidate when the whole
+          draw agrees) — the input whose flip count the counting
+          cross-check enumerates *)
+}
+
+val weight_bits : int
+(** 6 — the quantization width every rung is lowered at. *)
+
+val hidden_width : n_inputs:int -> int
+(** Hidden-layer width: 6 for gene-panel-sized inputs (<= 8), 12 up to
+    64 inputs, 16 beyond — wide enough that bound propagation has real
+    work per layer, narrow enough that the 784-input rungs stay within a
+    bench budget. *)
+
+val rung_id : rung -> string
+(** ["<family>/<n_inputs>x<n_layers>"], e.g. ["binarized/64x3"]. *)
+
+val rung :
+  family:family -> n_inputs:int -> n_layers:int -> seed:int -> rung
+(** Build one rung. Raises [Invalid_argument] when [n_inputs < 1] or
+    [n_layers < 2]. *)

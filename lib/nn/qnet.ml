@@ -1,10 +1,31 @@
+type act = Relu | Sign | Identity
+
 type qlayer = {
   weights : int array array;
   bias : int array;
-  relu : bool;
+  act : act;
 }
 
 type t = { layers : qlayer array }
+
+let act_to_string = function
+  | Relu -> "relu"
+  | Sign -> "sign"
+  | Identity -> "identity"
+
+let act_of_string = function
+  | "relu" -> Some Relu
+  | "sign" -> Some Sign
+  | "identity" -> Some Identity
+  | _ -> None
+
+let act_equal (a : act) (b : act) = a = b
+
+let apply_act act pre =
+  match act with
+  | Relu -> if pre < 0 then 0 else pre
+  | Sign -> if pre >= 0 then 1 else -1
+  | Identity -> pre
 
 let layer_in_dim l =
   if Array.length l.weights = 0 then invalid_arg "Qnet: empty layer";
@@ -36,12 +57,15 @@ let out_dim t = layer_out_dim t.layers.(Array.length t.layers - 1)
 
 let n_layers t = Array.length t.layers
 
+let dims t =
+  in_dim t :: Array.to_list (Array.map layer_out_dim t.layers)
+
 let layer_forward l x =
   Array.mapi
     (fun k row ->
       let acc = ref l.bias.(k) in
       Array.iteri (fun i w -> acc := !acc + (w * x.(i))) row;
-      if l.relu && !acc < 0 then 0 else !acc)
+      apply_act l.act !acc)
     l.weights
 
 let forward t x =
@@ -93,12 +117,12 @@ let max_abs_params t =
 let equal a b =
   Array.length a.layers = Array.length b.layers
   && Array.for_all2
-       (fun la lb -> la.relu = lb.relu && la.weights = lb.weights && la.bias = lb.bias)
+       (fun la lb -> la.act = lb.act && la.weights = lb.weights && la.bias = lb.bias)
        a.layers b.layers
 
 (* Serialisation format:
      qnet <n_layers>
-     layer <out_dim> <in_dim> <relu|identity>
+     layer <out_dim> <in_dim> <relu|sign|identity>
      <in_dim ints>      (one line per output neuron)
      ...
      bias <out_dim ints>
@@ -110,7 +134,7 @@ let to_string t =
     (fun l ->
       Buffer.add_string buf
         (Printf.sprintf "layer %d %d %s\n" (layer_out_dim l) (layer_in_dim l)
-           (if l.relu then "relu" else "identity"));
+           (act_to_string l.act));
       Array.iter
         (fun row ->
           Buffer.add_string buf
@@ -152,15 +176,14 @@ let of_string text =
       | _ -> failwith "missing qnet header"
     in
     let read_layer () =
-      let out_dim, in_dim, relu =
+      let out_dim, in_dim, act =
         match words (next_line ()) with
         | [ "layer"; o; i; act ] ->
             ( int_of o,
               int_of i,
-              match act with
-              | "relu" -> true
-              | "identity" -> false
-              | other -> failwith ("unknown activation " ^ other) )
+              match act_of_string act with
+              | Some a -> a
+              | None -> failwith ("unknown activation " ^ act) )
         | _ -> failwith "missing layer header"
       in
       let weights =
@@ -177,7 +200,7 @@ let of_string text =
             b
         | _ -> failwith "missing bias row"
       in
-      { weights; bias; relu }
+      { weights; bias; act }
     in
     let layers = Array.init n_layers (fun _ -> read_layer ()) in
     if !pos <> Array.length lines then failwith "trailing input";
@@ -207,5 +230,5 @@ let pp fmt t =
     (fun i l ->
       Format.fprintf fmt "layer %d: %dx%d%s@." i (layer_out_dim l)
         (layer_in_dim l)
-        (if l.relu then " relu" else ""))
+        (match l.act with Identity -> "" | a -> " " ^ act_to_string a))
     t.layers

@@ -2,22 +2,44 @@
 
     The paper's SMV model computes over integers; we obtain the same kind
     of model by quantizing the trained float network ({!Quantize}). All
-    arithmetic here is exact native-int arithmetic: [n = b + W x], ReLU,
-    and argmax ("maxpool") at the output.
+    arithmetic here is exact native-int arithmetic: [n = b + W x], an
+    activation per layer, and argmax ("maxpool") at the output.
+
+    Three activations are supported. [Relu] and [Identity] are the
+    paper's; [Sign] is the binarized-network activation of Narodytska et
+    al. (*Verifying Properties of Binarized Deep Neural Networks*):
+    [sign(pre) = +1] when [pre >= 0], [-1] otherwise. Sign outputs are
+    scale-free (±1 whatever the input magnitude), which is what lets the
+    noise analysis carry a per-layer running scale through deep networks
+    (DESIGN.md §2) and lets the CNF encoding compile a sign neuron to a
+    single comparator.
 
     Uniform input scaling by a positive integer [m] commutes with
     FC/ReLU/argmax provided every bias is scaled by [m] too; {!scale_biases}
     implements that. The noise model uses it to stay in exact arithmetic:
     instead of [x + x*(d/100)] it analyses [100*x + x*d] on the
-    bias-scaled network (see DESIGN.md §2). *)
+    bias-scaled network (see DESIGN.md §2). Sign layers are positively
+    scale-invariant ([sign(m*x) = sign(x)] for [m > 0]), so the deep
+    analyses reset the running scale to 1 after each sign layer rather
+    than scaling downstream biases. *)
+
+type act = Relu | Sign | Identity
 
 type qlayer = {
   weights : int array array;  (** [out_dim][in_dim] *)
   bias : int array;           (** [out_dim] *)
-  relu : bool;                (** apply ReLU after the affine map *)
+  act : act;                  (** activation after the affine map *)
 }
 
 type t = { layers : qlayer array }
+
+val act_to_string : act -> string
+val act_of_string : string -> act option
+val act_equal : act -> act -> bool
+
+val apply_act : act -> int -> int
+(** Exact integer activation: ReLU clamps at 0, Sign maps to ±1 (ties at
+    0 to +1), Identity passes through. *)
 
 val create : qlayer array -> t
 (** Checks layer-to-layer dimension consistency; raises [Invalid_argument]
@@ -26,6 +48,9 @@ val create : qlayer array -> t
 val in_dim : t -> int
 val out_dim : t -> int
 val n_layers : t -> int
+
+val dims : t -> int list
+(** [in_dim; layer widths...] — e.g. [[5; 20; 2]] for the paper net. *)
 
 val forward : t -> int array -> int array
 (** Output-node values. *)
@@ -40,7 +65,9 @@ val predict : t -> int array -> int
 val scale_biases : t -> int -> t
 (** [scale_biases net m] multiplies every bias by [m] ([m > 0]); then
     [forward (scale_biases net m) (m*x) = m * forward net x] for
-    ReLU/identity layers, so predictions on [m]-scaled inputs match. *)
+    ReLU/identity layers, so predictions on [m]-scaled inputs match.
+    Not meaningful across [Sign] layers (their output is ±1 regardless of
+    scale); the deep noise analyses use a running scale instead. *)
 
 val max_abs_params : t -> int
 (** Largest absolute weight or bias — used for interval width bounds. *)

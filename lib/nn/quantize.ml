@@ -38,7 +38,62 @@ let quantize (net : Network.t) ~weight_bits =
         let bias_scale = s *. !accumulated in
         let bias = Array.map (fun b -> round_to_int (b *. bias_scale)) l.Layer.bias in
         accumulated := !accumulated *. s;
-        { Qnet.weights; bias; relu = i < n - 1 })
+        let act = if i < n - 1 then Qnet.Relu else Qnet.Identity in
+        { Qnet.weights; bias; act })
+      net.Network.layers
+  in
+  Qnet.create qlayers
+
+let mean_abs_weight (l : Layer.t) =
+  let m = Tensor.Mat.to_rows l.Layer.weights in
+  let sum, count =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun (s, c) w -> (s +. Float.abs w, c + 1)) acc row)
+      (0., 0) m
+  in
+  Stdlib.max 1e-9 (sum /. float_of_int (Stdlib.max 1 count))
+
+let binarize (net : Network.t) ~weight_bits =
+  let n = Array.length net.Network.layers in
+  if n < 2 then invalid_arg "Quantize.binarize: need at least two layers";
+  Array.iteri
+    (fun i (l : Layer.t) ->
+      let expected = if i = n - 1 then Activation.Identity else Activation.Sign in
+      if not (Activation.equal l.Layer.activation expected) then
+        invalid_arg "Quantize.binarize: network must be Sign hidden / Identity output")
+    net.Network.layers;
+  if weight_bits < 2 || weight_bits > 20 then
+    invalid_arg "Quantize.binarize: weight_bits out of [2, 20]";
+  let cap = float_of_int ((1 lsl (weight_bits - 1)) - 1) in
+  let qlayers =
+    Array.mapi
+      (fun i (l : Layer.t) ->
+        if i < n - 1 then begin
+          (* Sign layers: weights collapse to ±1 and, because sign is
+             invariant under positive scaling of its argument, dividing the
+             whole pre-activation by the mean weight magnitude preserves
+             the float layer's decision up to rounding — only the bias
+             needs re-expressing on the ±1 weight scale. *)
+          let alpha = mean_abs_weight l in
+          let weights =
+            Array.map (Array.map (fun w -> if w >= 0. then 1 else -1))
+              (Tensor.Mat.to_rows l.Layer.weights)
+          in
+          let bias = Array.map (fun b -> round_to_int (b /. alpha)) l.Layer.bias in
+          { Qnet.weights; bias; act = Qnet.Sign }
+        end
+        else begin
+          (* Output layer sees ±1 activations (unit scale), so weights and
+             biases share one fixed-point scale chosen from weight_bits. *)
+          let s = cap /. max_abs_weight l in
+          let weights =
+            Array.map (Array.map (fun w -> round_to_int (w *. s)))
+              (Tensor.Mat.to_rows l.Layer.weights)
+          in
+          let bias = Array.map (fun b -> round_to_int (b *. s)) l.Layer.bias in
+          { Qnet.weights; bias; act = Qnet.Identity }
+        end)
       net.Network.layers
   in
   Qnet.create qlayers

@@ -16,6 +16,15 @@ val quantize : Network.t -> weight_bits:int -> Qnet.t
 val layer_scales : Network.t -> weight_bits:int -> float array
 (** The per-layer weight scales [s_l] that {!quantize} uses. *)
 
+val binarize : Network.t -> weight_bits:int -> Qnet.t
+(** Binarize a network trained with [Sign] hidden activations (Identity
+    output): hidden weights collapse to ±1 (the sign of the float weight)
+    and hidden biases are re-expressed on that scale via the layer's mean
+    weight magnitude — sound because sign is invariant under positive
+    scaling of its pre-activation. The output layer, whose inputs are the
+    ±1 sign activations, is fixed-point quantized at [weight_bits] like
+    {!quantize}. Raises [Invalid_argument] on other activation patterns. *)
+
 val agreement :
   Network.t -> Qnet.t -> inputs:int array array -> float
 (** Fraction of inputs on which the float and quantized networks predict

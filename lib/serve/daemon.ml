@@ -176,6 +176,15 @@ let handle_query t ~digest ~query ~budget : Protocol.reply =
                     Atomic.incr t.served;
                     Obs.Metrics.incr m_served;
                     Protocol.Answer { cached = false; answer }
+                | exception Invalid_argument msg ->
+                    (* The engines reject unsupported shapes (single-output
+                       networks, non-identity output layers, ...) with
+                       Invalid_argument: that is the client's query, not a
+                       daemon fault, and must come back as a typed
+                       protocol error — never escape a worker domain raw. *)
+                    Atomic.incr t.failed;
+                    Obs.Metrics.incr m_failed;
+                    Protocol.Protocol_error ("unsupported query: " ^ msg)
                 | exception e ->
                     Atomic.incr t.failed;
                     Obs.Metrics.incr m_failed;

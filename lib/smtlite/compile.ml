@@ -37,6 +37,7 @@ let rec interval t (term : Term.term) =
         | Term.Mulc (c, a) -> Interval.mulc c (interval t a)
         | Term.Neg a -> Interval.neg (interval t a)
         | Term.Relu a -> Interval.relu (interval t a)
+        | Term.Sign a -> Interval.sign_ (interval t a)
         | Term.Max (a, b) -> Interval.max_ (interval t a) (interval t b)
         | Term.Ite (_, a, b) -> Interval.hull (interval t a) (interval t b)
       in
@@ -87,6 +88,22 @@ and compile_term t (term : Term.term) =
         | Term.Relu a ->
             let ba = compile_term t a in
             resize (Bv.relu t.cnf ba) w
+        | Term.Sign a ->
+            (* Native sign-CNF: one comparator per neuron, no arithmetic.
+               A stable neuron (interval analysis already fixes the sign)
+               folds to a constant; otherwise the result is the 2-bit
+               two's-complement vector [1; a < 0] — lsb always set, sign
+               bit the comparator literal — i.e. 01 = +1, 11 = -1. *)
+            let ia = interval t a in
+            if ia.Interval.lo >= 0 then Bv.const t.cnf ~width:w 1
+            else if ia.Interval.hi < 0 then Bv.const t.cnf ~width:w (-1)
+            else
+              let ba = compile_term t a in
+              let wa = Bv.width ba + 1 in
+              let neg_lit =
+                Bv.slt t.cnf (resize ba wa) (Bv.const t.cnf ~width:wa 0)
+              in
+              resize (Bv.of_bits [| Cnf.btrue t.cnf; neg_lit |]) w
         | Term.Max (a, b) ->
             let ba = compile_term t a and bb = compile_term t b in
             let wc = max (Bv.width ba) (Bv.width bb) in

@@ -22,6 +22,11 @@ let mulc c a =
 
 let relu a = { lo = max 0 a.lo; hi = max 0 a.hi }
 
+let sign_ a =
+  if a.lo >= 0 then { lo = 1; hi = 1 }
+  else if a.hi < 0 then { lo = -1; hi = -1 }
+  else { lo = -1; hi = 1 }
+
 let max_ a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
 
 let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
@@ -53,6 +58,7 @@ let term_interval ?(env = default_env) term =
           | Term.Mulc (c, a) -> mulc c (go a)
           | Term.Neg a -> neg (go a)
           | Term.Relu a -> relu (go a)
+          | Term.Sign a -> sign_ (go a)
           | Term.Max (a, b) -> max_ (go a) (go b)
           | Term.Ite (_, a, b) -> hull (go a) (go b)
         in
@@ -76,6 +82,7 @@ let formula_decide ?(env = default_env) formula =
           | Term.Mulc (c, a) -> mulc c (go_t a)
           | Term.Neg a -> neg (go_t a)
           | Term.Relu a -> relu (go_t a)
+          | Term.Sign a -> sign_ (go_t a)
           | Term.Max (a, b) -> max_ (go_t a) (go_t b)
           | Term.Ite (c, a, b) -> (
               match go_f c with

@@ -19,6 +19,10 @@ val sub : t -> t -> t
 val neg : t -> t
 val mulc : int -> t -> t
 val relu : t -> t
+val sign_ : t -> t
+(** Sign image: [{1}] when the interval is non-negative, [{-1}] when it is
+    negative, [[-1, 1]] when it straddles 0. *)
+
 val max_ : t -> t -> t
 val hull : t -> t -> t
 val width_for : t -> int

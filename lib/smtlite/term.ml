@@ -10,6 +10,7 @@ and node =
   | Mulc of int * term
   | Neg of term
   | Relu of term
+  | Sign of term
   | Max of term * term
   | Ite of formula * term * term
 
@@ -70,6 +71,11 @@ let mulc c a =
 
 let relu a =
   match a.node with Const x -> const (max 0 x) | _ -> mk (Relu a)
+
+let sign_ a =
+  match a.node with
+  | Const x -> const (if x >= 0 then 1 else -1)
+  | _ -> mk (Sign a)
 
 let max_ a b =
   match (a.node, b.node) with
@@ -141,6 +147,7 @@ let rec eval_term asg t =
   | Mulc (c, a) -> c * eval_term asg a
   | Neg a -> -eval_term asg a
   | Relu a -> max 0 (eval_term asg a)
+  | Sign a -> if eval_term asg a >= 0 then 1 else -1
   | Max (a, b) -> max (eval_term asg a) (eval_term asg b)
   | Ite (c, a, b) -> if eval_formula asg c then eval_term asg a else eval_term asg b
 
@@ -162,7 +169,7 @@ let vars_of_term t =
     | Const _ -> acc
     | Var v -> M.add v.vid v acc
     | Add (a, b) | Sub (a, b) | Max (a, b) -> go_t (go_t acc a) b
-    | Mulc (_, a) | Neg a | Relu a -> go_t acc a
+    | Mulc (_, a) | Neg a | Relu a | Sign a -> go_t acc a
     | Ite (c, a, b) -> go_t (go_t (go_f acc c) a) b
   and go_f acc (f : formula) =
     match f.fnode with
@@ -180,7 +187,7 @@ let vars_of_formula f =
     | Const _ -> acc
     | Var v -> M.add v.vid v acc
     | Add (a, b) | Sub (a, b) | Max (a, b) -> go_t (go_t acc a) b
-    | Mulc (_, a) | Neg a | Relu a -> go_t acc a
+    | Mulc (_, a) | Neg a | Relu a | Sign a -> go_t acc a
     | Ite (c, a, b) -> go_t (go_t (go_f acc c) a) b
   and go_f acc (f : formula) =
     match f.fnode with
@@ -200,6 +207,7 @@ let rec pp_term fmt t =
   | Mulc (c, a) -> Format.fprintf fmt "(%d * %a)" c pp_term a
   | Neg a -> Format.fprintf fmt "(- %a)" pp_term a
   | Relu a -> Format.fprintf fmt "relu(%a)" pp_term a
+  | Sign a -> Format.fprintf fmt "sign(%a)" pp_term a
   | Max (a, b) -> Format.fprintf fmt "max(%a, %a)" pp_term a pp_term b
   | Ite (c, a, b) ->
       Format.fprintf fmt "(if %a then %a else %a)" pp_formula c pp_term a pp_term b

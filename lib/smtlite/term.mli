@@ -22,6 +22,7 @@ and node =
   | Mulc of int * term  (** constant * term *)
   | Neg of term
   | Relu of term
+  | Sign of term  (** +1 when the argument is >= 0, -1 otherwise *)
   | Max of term * term
   | Ite of formula * term * term
 
@@ -47,6 +48,10 @@ val sub : term -> term -> term
 val mulc : int -> term -> term
 val neg : term -> term
 val relu : term -> term
+val sign_ : term -> term
+(** [sign_ t] is +1 when [t >= 0], -1 otherwise — the binarized-network
+    activation. Compiles to a single comparator, not an arithmetic chain. *)
+
 val max_ : term -> term -> term
 val ite : formula -> term -> term -> term
 val sum : term list -> term

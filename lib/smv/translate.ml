@@ -33,6 +33,11 @@ let check (net : Nn.Qnet.t) config =
     invalid_arg "Translate: noise range must contain 0";
   if Nn.Qnet.n_layers net <> 2 then
     invalid_arg "Translate: two-layer networks only";
+  if
+    (not (Nn.Qnet.act_equal net.Nn.Qnet.layers.(0).Nn.Qnet.act Nn.Qnet.Relu))
+    || not
+         (Nn.Qnet.act_equal net.Nn.Qnet.layers.(1).Nn.Qnet.act Nn.Qnet.Identity)
+  then invalid_arg "Translate: ReLU hidden and identity output only";
   if config.samples = [] then invalid_arg "Translate: no samples";
   List.iter
     (fun (features, label) ->

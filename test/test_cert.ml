@@ -361,12 +361,12 @@ let small_qnet () =
       {
         Nn.Qnet.weights = [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
         bias = [| 55; -31; 12; -7 |];
-        relu = true;
+        act = Nn.Qnet.Relu;
       };
       {
         Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
         bias = [| 13; 0 |];
-        relu = false;
+        act = Nn.Qnet.Identity;
       };
     |]
 

@@ -195,6 +195,80 @@ let test_mutation_raising_backend_reported () =
        (fun (f : Check.Oracle.failure) -> f.backend = "smt")
        result.Check.Oracle.failures)
 
+let test_mutation_unsound_relaxation_caught () =
+  (* A wrong triangle slope inside the engine itself: the unstable-ReLU
+     upper relaxation loses its -lob offset, making the symbolic bounds
+     unsound. The trigger needs coefficient cancellation across unstable
+     neurons — h1 = relu(d), h2 = relu(-d) and the margin 1 - h1 - h2:
+     the mutated upper forms d and -d cancel to the vacuous bound
+     h1 + h2 <= 0, so the whole box is claimed Robust even though d = ±2
+     flips (true h1 + h2 = |d|). Random fuzz corpora essentially never
+     build this shape (0/400 in a seeded sweep), which is exactly why the
+     mutation hook plus a directed case is the regression test. *)
+  let net =
+    Nn.Qnet.create
+      [|
+        {
+          Nn.Qnet.weights = [| [| 1 |]; [| -1 |] |];
+          bias = [| 0; 0 |];
+          act = Nn.Qnet.Relu;
+        };
+        {
+          Nn.Qnet.weights = [| [| -1; -1 |]; [| 0; 0 |] |];
+          bias = [| 1; 0 |];
+          act = Nn.Qnet.Identity;
+        };
+      |]
+  in
+  let spec = N.absolute ~delta:2 ~bias_noise:false in
+  let case =
+    {
+      Case.id = 0;
+      seed = 0;
+      net;
+      input = [| 0 |];
+      label = Nn.Qnet.predict net [| 0 |];
+      spec;
+    }
+  in
+  let fails c =
+    (Check.Oracle.check_case ~check_parallel:false ~check_certificate:false
+       ~check_portfolio:false ~check_count:false c)
+      .Check.Oracle.failures
+    <> []
+  in
+  Alcotest.(check bool) "sound engine passes the trigger case" false (fails case);
+  Fun.protect
+    ~finally:(fun () -> Fannet.Bnb.unsound_relaxation_for_tests := false)
+    (fun () ->
+      Fannet.Bnb.unsound_relaxation_for_tests := true;
+      let result =
+        Check.Oracle.check_case ~check_parallel:false ~check_certificate:false
+          ~check_portfolio:false ~check_count:false case
+      in
+      Alcotest.(check bool) "wrong slope caught" true
+        (result.Check.Oracle.failures <> []);
+      Alcotest.(check bool) "complete-agreement failure names bnb" true
+        (List.exists
+           (fun (f : Check.Oracle.failure) ->
+             f.property = "complete-agreement" && f.backend = "bnb")
+           result.Check.Oracle.failures);
+      (* The fuzz driver end to end: the mutated engine must be reported
+         with a shrunk reproducer that still fails under the mutation. *)
+      let report = Check.Fuzz.run_cases ~master_seed:0 [ case ] in
+      (match report.Check.Fuzz.case_failures with
+      | [ cf ] ->
+          Alcotest.(check bool) "shrunk case still fails" true
+            (cf.shrunk_failures <> []);
+          Alcotest.(check bool) "shrunk case no larger" true
+            (Case.size cf.shrunk <= Case.size cf.case);
+          Alcotest.(check bool) "shrunk reproducer still fails standalone" true
+            (fails cf.shrunk)
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected exactly one case failure, got %d"
+               (List.length l))))
+
 (* ---------- shrinking ---------- *)
 
 let test_shrink_candidates_strictly_smaller () =
@@ -284,6 +358,8 @@ let () =
           Alcotest.test_case "unsound interval caught" `Quick test_mutation_unsound_interval_caught;
           Alcotest.test_case "bogus witness caught" `Quick test_mutation_bogus_witness_caught;
           Alcotest.test_case "raising backend reported" `Quick test_mutation_raising_backend_reported;
+          Alcotest.test_case "unsound relaxation caught" `Quick
+            test_mutation_unsound_relaxation_caught;
         ] );
       ( "shrink",
         [

@@ -225,6 +225,35 @@ let test_approx_deterministic_per_seed () =
   let run seed = (Count.Approx.count ~seed f ~project:[ x; y ]).Count.Approx.estimate in
   Alcotest.check bigcount "same seed, same estimate" (run 3) (run 3)
 
+let test_approx_rejects_bad_parameters () =
+  (* ε = 0, negative, or NaN and δ outside (0, 1) must be rejected up
+     front with a typed Invalid_argument — not fed into the XOR round
+     computation, where ε = 0 divides by zero and a NaN δ silently
+     passes positive-form comparisons. *)
+  let x = T.var ~name:"x" ~lo:0 ~hi:7 in
+  let f = T.ge (T.of_var x) (T.const 0) in
+  let expect_invalid name run =
+    match run () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  List.iter
+    (fun epsilon ->
+      expect_invalid
+        (Printf.sprintf "epsilon %f" epsilon)
+        (fun () -> Count.Approx.count ~epsilon f ~project:[ x ]))
+    [ 0.0; -1.0; Float.nan ];
+  List.iter
+    (fun delta ->
+      expect_invalid
+        (Printf.sprintf "delta %f" delta)
+        (fun () -> Count.Approx.count ~delta f ~project:[ x ]))
+    [ 0.0; 1.0; -0.5; 1.5; Float.nan ];
+  (* The boundary-legal parameters still work. *)
+  let r = Count.Approx.count ~epsilon:0.1 ~delta:0.99 f ~project:[ x ] in
+  Alcotest.(check bool) "legal parameters accepted" true
+    (r.Count.Approx.status = Count.Exact.Decided)
+
 (* ---------- parallel determinism ---------- *)
 
 let test_jobs_determinism () =
@@ -384,6 +413,8 @@ let () =
         [
           Alcotest.test_case "exact shortcut" `Quick test_approx_exact_shortcut;
           Alcotest.test_case "(eps,delta) envelope" `Quick test_approx_envelope;
+          Alcotest.test_case "rejects bad parameters" `Quick
+            test_approx_rejects_bad_parameters;
           Alcotest.test_case "deterministic per seed" `Quick
             test_approx_deterministic_per_seed;
         ] );

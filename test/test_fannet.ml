@@ -10,8 +10,8 @@ module B = Fannet.Backend
 let tiny_qnet () =
   Nn.Qnet.create
     [|
-      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
-      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; act = Nn.Qnet.Relu };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; act = Nn.Qnet.Identity };
     |]
 
 (* Random small network generator for property tests: 2-3 inputs, 2-4
@@ -29,8 +29,8 @@ let qnet_gen =
   let net =
     Nn.Qnet.create
       [|
-        { Nn.Qnet.weights = w1; bias = b1; relu = true };
-        { Nn.Qnet.weights = w2; bias = b2; relu = false };
+        { Nn.Qnet.weights = w1; bias = b1; act = Nn.Qnet.Relu };
+        { Nn.Qnet.weights = w2; bias = b2; act = Nn.Qnet.Identity };
       |]
   in
   return (net, input)
@@ -88,8 +88,8 @@ let test_apply_hand_computed () =
   let net =
     Nn.Qnet.create
       [|
-        { Nn.Qnet.weights = [| [| 2 |] |]; bias = [| 3 |]; relu = true };
-        { Nn.Qnet.weights = [| [| 1 |]; [| -1 |] |]; bias = [| 0; 0 |]; relu = false };
+        { Nn.Qnet.weights = [| [| 2 |] |]; bias = [| 3 |]; act = Nn.Qnet.Relu };
+        { Nn.Qnet.weights = [| [| 1 |]; [| -1 |] |]; bias = [| 0; 0 |]; act = Nn.Qnet.Identity };
       |]
   in
   (* x = 10, noise +7% on the input, +0 bias:
@@ -220,6 +220,88 @@ let prop_backends_agree =
           let smt = verdict_flips (B.exists_flip B.Smt net spec ~input ~label) in
           explicit = bnb && explicit = smt)
         [ (1, false); (2, false); (2, true) ])
+
+(* Deep (3-4 layer) and binarized networks built from a recorded seed
+   through Util.Rng, so a property failure prints one replayable int.
+   One network in three is fully binarized (all-Sign hidden layers,
+   weights in {-1, 1}); the rest mix ReLU and Sign hidden layers. *)
+let deep_net_of_seed seed =
+  let module R = Util.Rng in
+  let rng = R.create seed in
+  let depth = R.int_in rng 3 4 in
+  let binarized = R.int rng 3 = 0 in
+  let n_in = R.int_in rng 2 3 in
+  let dims =
+    Array.init (depth + 1) (fun i ->
+        if i = 0 then n_in else if i = depth then 2 else R.int_in rng 2 3)
+  in
+  let weight () =
+    if binarized then if R.bool rng then 1 else -1 else R.int_in rng (-8) 8
+  in
+  let net =
+    Nn.Qnet.create
+      (Array.init depth (fun li ->
+           let rows = dims.(li + 1) and cols = dims.(li) in
+           let last = li = depth - 1 in
+           {
+             Nn.Qnet.weights =
+               Array.init rows (fun _ -> Array.init cols (fun _ -> weight ()));
+             bias = Array.init rows (fun _ -> R.int_in rng (-20) 20);
+             act =
+               (if last then Nn.Qnet.Identity
+                else if binarized || R.int rng 3 = 0 then Nn.Qnet.Sign
+                else Nn.Qnet.Relu);
+           }))
+  in
+  let input = Array.init n_in (fun _ -> R.int_in rng 1 60) in
+  (net, input)
+
+let arb_deep_seed =
+  QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+
+let prop_deep_backends_agree =
+  QCheck.Test.make ~name:"deep/binarized: bnb = explicit = smt" ~count:40
+    arb_deep_seed (fun seed ->
+      let net, input = deep_net_of_seed seed in
+      let label = Nn.Qnet.predict net input in
+      List.for_all
+        (fun (delta, bias_noise) ->
+          let spec = N.symmetric ~delta ~bias_noise in
+          let explicit =
+            verdict_flips
+              (B.exists_flip (B.Explicit { limit = 1_000_000 }) net spec ~input ~label)
+          in
+          let bnb = verdict_flips (B.exists_flip B.Bnb net spec ~input ~label) in
+          let smt = verdict_flips (B.exists_flip B.Smt net spec ~input ~label) in
+          explicit = bnb && explicit = smt)
+        [ (1, false); (2, true) ])
+
+let test_bnb_midpoint_floor_negative_box () =
+  (* Regression: the box midpoint used truncating division, which rounds
+     toward zero on negative coordinates — the All_flip witness on this
+     all-negative box came back as -2 where floor semantics give -3, and
+     splits near the boundary could produce an empty child box. The
+     network makes every point of the restricted box [-4,-1] flip (o0 =
+     x + d > 0 = o1 while the claimed label is 1), so the verdict is the
+     box midpoint itself. *)
+  let net =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Identity };
+        {
+          Nn.Qnet.weights = [| [| 1 |]; [| 0 |] |];
+          bias = [| 0; 0 |];
+          act = Nn.Qnet.Identity;
+        };
+      |]
+  in
+  let spec = N.absolute ~delta:4 ~bias_noise:false in
+  match
+    Fannet.Bnb.exists_flip ~box:[| (-4, -1) |] net spec ~input:[| 10 |] ~label:1
+  with
+  | Fannet.Bnb.Flip v ->
+      Alcotest.(check (array int)) "floor midpoint" [| -3 |] v.N.inputs
+  | Fannet.Bnb.Robust | Fannet.Bnb.Unknown _ -> Alcotest.fail "expected a flip"
 
 let prop_interval_sound_wrt_explicit =
   QCheck.Test.make ~name:"interval Robust implies explicit Robust" ~count:100
@@ -409,8 +491,8 @@ let qnet3_gen =
   let net =
     Nn.Qnet.create
       [|
-        { Nn.Qnet.weights = w1; bias = b1; relu = true };
-        { Nn.Qnet.weights = w2; bias = b2; relu = false };
+        { Nn.Qnet.weights = w1; bias = b1; act = Nn.Qnet.Relu };
+        { Nn.Qnet.weights = w2; bias = b2; act = Nn.Qnet.Identity };
       |]
   in
   return (net, input)
@@ -718,8 +800,8 @@ let test_boundary_never_flips () =
   let net =
     Nn.Qnet.create
       [|
-        { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; relu = true };
-        { Nn.Qnet.weights = [| [| 100 |]; [| -100 |] |]; bias = [| 0; 0 |]; relu = false };
+        { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Relu };
+        { Nn.Qnet.weights = [| [| 100 |]; [| -100 |] |]; bias = [| 0; 0 |]; act = Nn.Qnet.Identity };
       |]
   in
   let inputs = Array.map (fun x -> (x, Nn.Qnet.predict net x)) [| [| 40 |]; [| 60 |] |] in
@@ -1145,6 +1227,9 @@ let () =
       ( "backends",
         [
           QCheck_alcotest.to_alcotest prop_backends_agree;
+          QCheck_alcotest.to_alcotest prop_deep_backends_agree;
+          Alcotest.test_case "midpoint floors on negative boxes" `Quick
+            test_bnb_midpoint_floor_negative_box;
           QCheck_alcotest.to_alcotest prop_interval_sound_wrt_explicit;
           QCheck_alcotest.to_alcotest prop_cascade_agrees_bnb;
           Alcotest.test_case "cascade stats" `Quick test_cascade_stats_accounting;

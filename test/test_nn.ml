@@ -218,8 +218,8 @@ let test_normalize_fold_equivalence () =
 let hand_qnet () =
   Nn.Qnet.create
     [|
-      { Nn.Qnet.weights = [| [| 2; -1 |]; [| 1; 1 |] |]; bias = [| 0; -3 |]; relu = true };
-      { Nn.Qnet.weights = [| [| 1; 0 |]; [| 0; 1 |] |]; bias = [| 0; 0 |]; relu = false };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| 1; 1 |] |]; bias = [| 0; -3 |]; act = Nn.Qnet.Relu };
+      { Nn.Qnet.weights = [| [| 1; 0 |]; [| 0; 1 |] |]; bias = [| 0; 0 |]; act = Nn.Qnet.Identity };
     |]
 
 let test_qnet_forward () =
@@ -250,14 +250,14 @@ let test_qnet_create_validation () =
     (fun () ->
       ignore
         (Nn.Qnet.create
-           [| { Nn.Qnet.weights = [| [| 1; 2 |]; [| 1 |] |]; bias = [| 0; 0 |]; relu = false } |]));
+           [| { Nn.Qnet.weights = [| [| 1; 2 |]; [| 1 |] |]; bias = [| 0; 0 |]; act = Nn.Qnet.Identity } |]));
   Alcotest.check_raises "dim mismatch"
     (Invalid_argument "Qnet.create: inter-layer dimension mismatch") (fun () ->
       ignore
         (Nn.Qnet.create
            [|
-             { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; relu = true };
-             { Nn.Qnet.weights = [| [| 1; 1 |] |]; bias = [| 0 |]; relu = false };
+             { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Relu };
+             { Nn.Qnet.weights = [| [| 1; 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Identity };
            |]))
 
 let prop_qnet_bias_scaling =
@@ -359,16 +359,21 @@ let prop_qnet_serialization =
            (pair (int_range 1 4) (int_range (-1000) 1000))))
     (fun (n_in, (n_hidden, seedish)) ->
       let rng = Util.Rng.create (abs seedish) in
-      let layer out_dim in_dim relu =
+      let layer out_dim in_dim act =
         {
           Nn.Qnet.weights =
             Array.init out_dim (fun _ ->
                 Array.init in_dim (fun _ -> Util.Rng.int_in rng (-999) 999));
           bias = Array.init out_dim (fun _ -> Util.Rng.int_in rng (-99) 99);
-          relu;
+          act;
         }
       in
-      let q = Nn.Qnet.create [| layer n_hidden n_in true; layer 2 n_hidden false |] in
+      let q =
+        Nn.Qnet.create
+          [|
+            layer n_hidden n_in Nn.Qnet.Relu; layer 2 n_hidden Nn.Qnet.Identity;
+          |]
+      in
       match Nn.Qnet.of_string (Nn.Qnet.to_string q) with
       | Ok q2 -> Nn.Qnet.equal q q2
       | Error _ -> false)

@@ -25,20 +25,20 @@ let toy_qnet () =
       {
         Nn.Qnet.weights = [| [| 31; -22 |]; [| -13; 41 |]; [| 17; 9 |]; [| -25; 14 |] |];
         bias = [| 55; -31; 12; -7 |];
-        relu = true;
+        act = Nn.Qnet.Relu;
       };
       {
         Nn.Qnet.weights = [| [| 21; -33; 11; -9 |]; [| -20; 31; -12; 10 |] |];
         bias = [| 13; 0 |];
-        relu = false;
+        act = Nn.Qnet.Identity;
       };
     |]
 
 let tiny_qnet () =
   Nn.Qnet.create
     [|
-      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
-      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; act = Nn.Qnet.Relu };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; act = Nn.Qnet.Identity };
     |]
 
 (* Both output rows identical, bias 5 vs 0: output 0 wins for every
@@ -47,8 +47,8 @@ let tiny_qnet () =
 let constant_qnet () =
   Nn.Qnet.create
     [|
-      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
-      { Nn.Qnet.weights = [| [| 2; 3 |]; [| 2; 3 |] |]; bias = [| 5; 0 |]; relu = false };
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; act = Nn.Qnet.Relu };
+      { Nn.Qnet.weights = [| [| 2; 3 |]; [| 2; 3 |] |]; bias = [| 5; 0 |]; act = Nn.Qnet.Identity };
     |]
 
 let test_daemon ?(workers = 2) ?(cap = 4) ?(cache_cap = 64) () =
@@ -658,6 +658,59 @@ let test_daemon_unknown_digest () =
   Alcotest.(check int) "accounting identity" s.P.submitted
     (s.P.served + s.P.rejected + s.P.failed)
 
+let test_daemon_unsupported_shape_typed_error () =
+  (* An engine rejecting an unsupported network shape (here a
+     single-output network, which the branch-and-bound engine refuses)
+     raises Invalid_argument inside a worker domain. That must come back
+     as a typed Protocol_error reply — never a raw exception escaping the
+     domain — and the daemon must stay healthy afterwards. *)
+  let one_out =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 1; 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Relu };
+        { Nn.Qnet.weights = [| [| 1 |] |]; bias = [| 0 |]; act = Nn.Qnet.Identity };
+      |]
+  in
+  with_daemon @@ fun d ->
+  with_client d @@ fun c ->
+  let digest = ok (C.load c one_out) in
+  let q =
+    P.Exists_flip
+      {
+        backend = B.Bnb;
+        spec = N.symmetric ~delta:1 ~bias_noise:false;
+        input = [| 1; 2 |];
+        label = 0;
+      }
+  in
+  (match ok (C.query c ~digest q) with
+  | P.Protocol_error msg ->
+      Alcotest.(check bool) "reply names the unsupported query" true
+        (contains msg "unsupported query")
+  | r ->
+      Alcotest.failf "wanted Protocol_error, got %s"
+        (P.encode_reply { rid = 0; reply = r }));
+  (* Same connection, well-formed query: the worker pool survived. *)
+  let digest2 = ok (C.load c (tiny_qnet ())) in
+  let q2 =
+    P.Exists_flip
+      {
+        backend = B.Bnb;
+        spec = N.symmetric ~delta:1 ~bias_noise:false;
+        input = [| 5; 9 |];
+        label = Nn.Qnet.predict (tiny_qnet ()) [| 5; 9 |];
+      }
+  in
+  (match ok (C.query c ~digest:digest2 q2) with
+  | P.Answer _ -> ()
+  | r ->
+      Alcotest.failf "daemon unhealthy after typed error: %s"
+        (P.encode_reply { rid = 0; reply = r }));
+  let s = D.stats d in
+  Alcotest.(check int) "typed error counted as failed" 1 s.P.failed;
+  Alcotest.(check int) "accounting identity" s.P.submitted
+    (s.P.served + s.P.rejected + s.P.failed)
+
 let test_daemon_budget_answers_not_cached () =
   with_daemon @@ fun d ->
   with_client d @@ fun c ->
@@ -1061,6 +1114,8 @@ let () =
         [
           Alcotest.test_case "survives malformed input" `Quick test_daemon_survives_garbage;
           Alcotest.test_case "unknown digest" `Quick test_daemon_unknown_digest;
+          Alcotest.test_case "unsupported shape typed error" `Quick
+            test_daemon_unsupported_shape_typed_error;
           Alcotest.test_case "budget answers not cached" `Quick
             test_daemon_budget_answers_not_cached;
         ] );

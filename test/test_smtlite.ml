@@ -38,6 +38,25 @@ let test_eval_term () =
     (T.eval_term [ (v, 1) ]
        (T.ite (T.gt (T.of_var v) (T.const 0)) (T.const 7) (T.const (-7))))
 
+let test_sign_semantics () =
+  (match (T.sign_ (T.const (-7))).T.node with
+  | T.Const (-1) -> ()
+  | _ -> Alcotest.fail "sign fold negative");
+  (match (T.sign_ (T.const 0)).T.node with
+  | T.Const 1 -> ()
+  | _ -> Alcotest.fail "sign(0) = 1");
+  let v = T.var ~name:"x" ~lo:(-10) ~hi:10 in
+  Alcotest.(check int) "eval negative" (-1)
+    (T.eval_term [ (v, -3) ] (T.sign_ (T.of_var v)));
+  Alcotest.(check int) "eval zero" 1
+    (T.eval_term [ (v, 0) ] (T.sign_ (T.of_var v)));
+  Alcotest.(check bool) "interval stable positive" true
+    (I.sign_ (I.make 0 5) = I.make 1 1);
+  Alcotest.(check bool) "interval stable negative" true
+    (I.sign_ (I.make (-5) (-1)) = I.make (-1) (-1));
+  Alcotest.(check bool) "interval unstable" true
+    (I.sign_ (I.make (-5) 5) = I.make (-1) 1)
+
 let test_eval_formula () =
   let v = T.var ~name:"x" ~lo:0 ~hi:10 in
   let f = T.and_ [ T.ge (T.of_var v) (T.const 2); T.lt (T.of_var v) (T.const 5) ] in
@@ -153,6 +172,27 @@ let test_check_relu_case_split () =
   | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat");
   Alcotest.(check bool) "relu never negative" true
     (S.check (T.eq (T.relu (T.of_var x)) (T.const (-1))) = S.Unsat)
+
+let test_check_sign_case_split () =
+  (* sign(x) = -1 forces x < 0 (even restricted near the boundary);
+     sign never takes the value 0. *)
+  let x = T.var ~name:"x" ~lo:(-10) ~hi:10 in
+  (match
+     S.check
+       (T.and_
+          [
+            T.eq (T.sign_ (T.of_var x)) (T.const (-1));
+            T.ge (T.of_var x) (T.const (-1));
+          ])
+   with
+  | S.Sat model -> Alcotest.(check int) "x=-1" (-1) (T.lookup model x)
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat");
+  (match S.check (T.eq (T.sign_ (T.of_var x)) (T.const 1)) with
+  | S.Sat model ->
+      Alcotest.(check bool) "x >= 0" true (T.lookup model x >= 0)
+  | S.Unsat | S.Unknown _ -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "sign never 0" true
+    (S.check (T.eq (T.sign_ (T.of_var x)) (T.const 0)) = S.Unsat)
 
 let test_check_bounds_respected () =
   let x = T.var ~name:"x" ~lo:3 ~hi:7 in
@@ -309,6 +349,7 @@ let () =
         [
           Alcotest.test_case "constant folding" `Quick test_const_folding;
           Alcotest.test_case "eval term" `Quick test_eval_term;
+          Alcotest.test_case "sign semantics" `Quick test_sign_semantics;
           Alcotest.test_case "eval formula" `Quick test_eval_formula;
           Alcotest.test_case "vars_of_formula" `Quick test_vars_of_formula;
         ] );
@@ -324,6 +365,7 @@ let () =
           Alcotest.test_case "simple sat" `Quick test_check_simple_sat;
           Alcotest.test_case "simple unsat" `Quick test_check_simple_unsat;
           Alcotest.test_case "relu case split" `Quick test_check_relu_case_split;
+          Alcotest.test_case "sign case split" `Quick test_check_sign_case_split;
           Alcotest.test_case "bounds respected" `Quick test_check_bounds_respected;
           Alcotest.test_case "linear system" `Quick test_check_linear_system;
           Alcotest.test_case "wide range" `Quick test_wide_range_var;

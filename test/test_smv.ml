@@ -238,8 +238,8 @@ let tiny_qnet () =
   (* 2 inputs, 2 hidden (relu), 2 outputs. *)
   Nn.Qnet.create
     [|
-      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; relu = true };
-      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; relu = false };
+      { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; act = Nn.Qnet.Relu };
+      { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; act = Nn.Qnet.Identity };
     |]
 
 let test_translate_validates () =
@@ -262,7 +262,24 @@ let test_translate_rejects_bad_input () =
     (fun () ->
       ignore
         (Smv.Translate.network_program net
-           (Smv.Translate.symmetric ~delta:1 ~bias_noise:false ~samples:[])))
+           (Smv.Translate.symmetric ~delta:1 ~bias_noise:false ~samples:[])));
+  (* A binarized 2-layer net passes the layer-count check but the emitted
+     DEFINEs hard-code relu hidden / identity output: it must be rejected,
+     not silently mistranslated. *)
+  let bnn =
+    Nn.Qnet.create
+      [|
+        { Nn.Qnet.weights = [| [| 3; -2 |]; [| -1; 2 |] |]; bias = [| 1; 0 |]; act = Nn.Qnet.Sign };
+        { Nn.Qnet.weights = [| [| 2; -1 |]; [| -1; 2 |] |]; bias = [| 0; 1 |]; act = Nn.Qnet.Identity };
+      |]
+  in
+  Alcotest.check_raises "binarized"
+    (Invalid_argument "Translate: ReLU hidden and identity output only")
+    (fun () ->
+      ignore
+        (Smv.Translate.network_program bnn
+           (Smv.Translate.symmetric ~delta:1 ~bias_noise:false
+              ~samples:[ ([| 5; 9 |], 0) ])))
 
 let explore_net net config =
   explore_ok (Smv.Translate.network_program net config)

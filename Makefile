@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve bench-count bench-ladder fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke ladder-smoke fmt clean
+.PHONY: build test check bench bench-smoke bench-cert bench-robust bench-obs bench-parallel bench-serve bench-count bench-ladder fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke chaos-smoke count-smoke ladder-smoke fmt clean
 
 build:
 	dune build
@@ -11,7 +11,7 @@ test:
 # one end-to-end certified verdict, an instrumented profile run whose
 # metrics snapshot must self-validate, and the parallel-engine
 # no-regression gate (work stealing, warm sessions, portfolio).
-check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke count-smoke ladder-smoke bench-parallel
+check: build test fuzz-smoke certify-smoke metrics-smoke faults-smoke serve-smoke chaos-smoke count-smoke ladder-smoke bench-parallel
 
 # Differential fuzzing subset for CI (< 10 s): 200 random cases, fixed
 # seed, fails with a shrunk reproducer on any backend disagreement.
@@ -58,6 +58,16 @@ metrics-smoke:
 # mismatch.
 serve-smoke:
 	dune exec bin/fannet_cli.exe -- serve --self-test
+
+# Crash-isolation smoke (~10 s): a supervised fannetd (2 worker
+# processes) under an armed kill schedule — 16 concurrent clients, every
+# 7th query receipt _exits the worker mid-flight. Asserts the accounting
+# identity, at least one observed death and restart, no untyped client
+# failure, and that a daemon restarted on the same journal serves every
+# journaled answer bit-identically from the recovered cache (certified
+# answers re-checked by lib/cert). Exit 2 on any violation.
+chaos-smoke:
+	dune exec bin/fannet_cli.exe -- serve --chaos-test
 
 # Model-counting smoke (~15 s): exact counts against brute-force
 # enumeration, fannet-count-cert/1 certificates re-checked by the

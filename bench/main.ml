@@ -1941,18 +1941,19 @@ module SP = Serve.Protocol
    with the bit-identity of cached certified verdicts asserted on the
    encoded answer bytes. *)
 let bench_serve ?(smoke = false) ~out () =
-  section "E20 bench_serve (fannetd: qps, latency, cache + warm contrast)";
   let net = small_qnet () in
   let sinput = [| 112; 87 |] in
   let slabel = Nn.Qnet.predict net sinput in
-  let serve_daemon ~workers ~cap ~cache_cap =
+  let serve_daemon ?(procs = 0) ?store_path ~workers ~cap ~cache_cap_bytes () =
     Serve.Daemon.run
       {
         Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
         workers;
         cap;
-        cache_cap;
+        cache_cap_bytes;
         timeout_ceiling_s = None;
+        procs;
+        store_path;
       }
   in
   let with_conn d f =
@@ -1974,6 +1975,156 @@ let bench_serve ?(smoke = false) ~out () =
           ^ SP.encode_reply { SP.rid = 0; reply = r })
     | Error e -> failwith ("E20: query failed: " ^ e)
   in
+  (* =============================================================== *)
+  (* E23: crash isolation. Runs FIRST — the supervised fleet forks    *)
+  (* worker processes, and Unix.fork is refused for the lifetime of   *)
+  (* an OCaml 5 process once any domain has been created in it, so    *)
+  (* these measurements must precede every in-process daemon below.   *)
+  (* =============================================================== *)
+  section "E23 bench_serve (crash isolation: kill schedule, journal recovery)";
+  let e23 =
+    let store_path = Filename.temp_file "fannet_bench_chaos" ".store" in
+    Sys.remove store_path;
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists store_path then Sys.remove store_path)
+    @@ fun () ->
+    let kill_every = 5 in
+    let n_clients = if smoke then 8 else 16 in
+    let per_client = if smoke then 4 else 8 in
+    let query_for k j =
+      let input = [| 100 + (per_client * k) + j; 80 - k |] in
+      let label = Nn.Qnet.predict net input in
+      let spec d' = Fannet.Noise.symmetric ~delta:d' ~bias_noise:false in
+      match j mod 3 with
+      | 0 ->
+          SP.Exists_flip
+            { backend = Fannet.Backend.Bnb; spec = spec (1 + (j mod 2)); input; label }
+      | 1 -> SP.Certify { spec = spec 2; input; label }
+      | _ ->
+          SP.Tolerance
+            { backend = Fannet.Backend.Bnb; bias_noise = false; max_delta = 4; input; label }
+    in
+    Resil.Faultpoint.clear ();
+    Resil.Faultpoint.arm (Printf.sprintf "serve.worker.kill%%%d" kill_every);
+    let d =
+      serve_daemon ~procs:2 ~workers:2 ~cap:64 ~cache_cap_bytes:(1 lsl 26)
+        ~store_path ()
+    in
+    let reference = query_for 0 1 (* a certify query; journaled below *) in
+    let availability, deaths, restarts, wall_s, reference_bytes =
+      Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
+      let digest = with_conn d load in
+      let decided = Atomic.make 0 and untyped = Atomic.make 0 in
+      let ref_bytes = ref "" in
+      let t0 = Obs.Clock.now_ns () in
+      let client k () =
+        with_conn d @@ fun c ->
+        for j = 0 to per_client - 1 do
+          match Serve.Client.query c ~digest ~retries:5 (query_for k j) with
+          | Ok (SP.Answer { answer; _ }) when SP.answer_decided answer ->
+              Atomic.incr decided;
+              if k = 0 && j = 1 then
+                ref_bytes := Util.Json.to_string (SP.answer_json answer)
+          | Ok (SP.Answer _ | SP.Overloaded _ | SP.Server_error _) -> ()
+          | Ok _ | Error _ -> Atomic.incr untyped
+        done
+      in
+      let threads = Array.init n_clients (fun k -> Thread.create (client k) ()) in
+      Array.iter Thread.join threads;
+      let wall_s = Obs.Clock.elapsed_s ~since:t0 in
+      (* The reference certify must end the soak journaled, and
+         certificate replies are far larger than bare verdicts — they
+         essentially never win the race against a receipt-triggered
+         kill. Ask again with the soak traffic quiesced: the schedule
+         still kills every [kill_every] receipts, but these retries are
+         now the only receipts, so at most one death interrupts them. *)
+      (if !ref_bytes = "" then
+         with_conn d (fun c ->
+             match Serve.Client.query c ~digest ~retries:8 (query_for 0 1) with
+             | Ok (SP.Answer { answer; _ }) when SP.answer_decided answer ->
+                 ref_bytes := Util.Json.to_string (SP.answer_json answer)
+             | Ok _ -> failwith "E23: post-soak reference certify did not decide"
+             | Error e -> failwith ("E23: post-soak reference certify: " ^ e)));
+      if Atomic.get untyped > 0 then
+        failwith "E23: untyped client failure under the kill schedule";
+      let s = Serve.Daemon.stats d in
+      if s.SP.submitted <> s.SP.served + s.SP.rejected + s.SP.failed then
+        failwith "E23: served + rejected + failed <> submitted under chaos";
+      let restarts, deaths =
+        match Serve.Daemon.supervisor_stats d with
+        | Some rd -> rd
+        | None -> failwith "E23: supervised daemon reports no fleet stats"
+      in
+      if deaths < 1 then failwith "E23: the kill schedule never fired";
+      let availability =
+        float_of_int (Atomic.get decided) /. float_of_int (n_clients * per_client)
+      in
+      if availability <= 0. then failwith "E23: no query survived the kill schedule";
+      (availability, deaths, restarts, wall_s, !ref_bytes)
+    in
+    Resil.Faultpoint.clear ();
+    (* Restart-recovery latency: reopening the journal and warming the
+       cache is part of Daemon.run. *)
+    let t0 = Obs.Clock.now_ns () in
+    let d2 = serve_daemon ~workers:2 ~cap:8 ~cache_cap_bytes:(1 lsl 26) ~store_path () in
+    let recovery_ms = 1e3 *. Obs.Clock.elapsed_s ~since:t0 in
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop d2) @@ fun () ->
+    let recovered =
+      match Serve.Daemon.store_stats d2 with
+      | Some st -> st.Serve.Store.recovered
+      | None -> failwith "E23: restarted daemon reports no store stats"
+    in
+    if recovered < 1 then failwith "E23: journal recovered no records";
+    with_conn d2 @@ fun c ->
+    let digest = load c in
+    (* Warm-loss vs store-hit: the restart lost every warm session, but a
+       journaled answer is a cache hit — no recompute at all. *)
+    let store_hit_ms, cached, hit_answer = timed_query c ~digest reference in
+    if not cached then failwith "E23: journaled answer missed the recovered cache";
+    if
+      reference_bytes <> ""
+      && reference_bytes <> Util.Json.to_string (SP.answer_json hit_answer)
+    then failwith "E23: recovered answer not bit-identical to its pre-crash bytes";
+    let fresh =
+      SP.Certify
+        {
+          spec = Fannet.Noise.symmetric ~delta:2 ~bias_noise:false;
+          input = [| 7; 93 |];
+          label = Nn.Qnet.predict net [| 7; 93 |];
+        }
+    in
+    let recompute_ms, cached_fresh, _ = timed_query c ~digest fresh in
+    if cached_fresh then failwith "E23: a never-journaled query cannot hit the cache";
+    if store_hit_ms >= recompute_ms then
+      failwith
+        (Printf.sprintf "E23: store hit (%.3f ms) not faster than recompute (%.2f ms)"
+           store_hit_ms recompute_ms);
+    Printf.printf
+      "kill every %d: availability %.1f%%, %d deaths, %d restarts, %.2f s wall\n"
+      kill_every (100. *. availability) deaths restarts wall_s;
+    Printf.printf
+      "restart: %d records recovered in %.2f ms; store hit %.3f ms vs %.2f ms recompute\n"
+      recovered recovery_ms store_hit_ms recompute_ms;
+    Util.Json.Obj
+      [
+        ("kill_every", Util.Json.Int kill_every);
+        ("clients", Util.Json.Int n_clients);
+        ("queries", Util.Json.Int (n_clients * per_client));
+        ("availability", Util.Json.Float availability);
+        ("worker_deaths", Util.Json.Int deaths);
+        ("worker_restarts", Util.Json.Int restarts);
+        ("wall_s", Util.Json.Float wall_s);
+        ( "recovery",
+          Util.Json.Obj
+            [
+              ("recovered_records", Util.Json.Int recovered);
+              ("open_ms", Util.Json.Float recovery_ms);
+              ("store_hit_ms", Util.Json.Float store_hit_ms);
+              ("recompute_ms", Util.Json.Float recompute_ms);
+            ] );
+      ]
+  in
+  section "E20 bench_serve (fannetd: qps, latency, cache + warm contrast)";
   (* --- cold / warm-session contrast ------------------------------ *)
   (* One resident worker, cache disabled: the first tolerance query pays
      the full bit-blast (cold); the repeat reuses the worker domain's
@@ -1992,7 +2143,7 @@ let bench_serve ?(smoke = false) ~out () =
   let reps = if smoke then 3 else 5 in
   let colds = Array.make reps infinity and warms = Array.make reps infinity in
   for r = 0 to reps - 1 do
-    let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap:0 in
+    let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap_bytes:0 () in
     Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
     with_conn d @@ fun c ->
     let digest = load c in
@@ -2005,7 +2156,7 @@ let bench_serve ?(smoke = false) ~out () =
   let minimum a = Array.fold_left min a.(0) a in
   let cold_ms = minimum colds and warm_ms = minimum warms in
   (* --- cache-hit contrast + certified bit-identity --------------- *)
-  let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap:64 in
+  let d = serve_daemon ~workers:1 ~cap:8 ~cache_cap_bytes:(1 lsl 26) () in
   let cache_hit_ms, cert_bit_identical =
     Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
     with_conn d @@ fun c ->
@@ -2056,7 +2207,7 @@ let bench_serve ?(smoke = false) ~out () =
   let workers = max 2 (min 4 (Util.Parallel.default_jobs ())) in
   let n_clients = if smoke then 8 else 16 in
   let per_client = if smoke then 25 else 100 in
-  let d = serve_daemon ~workers ~cap:64 ~cache_cap:256 in
+  let d = serve_daemon ~workers ~cap:64 ~cache_cap_bytes:(1 lsl 26) () in
   let wall_s, lat_ms, stats =
     Fun.protect ~finally:(fun () -> Serve.Daemon.stop d) @@ fun () ->
     let digest = with_conn d load in
@@ -2102,8 +2253,9 @@ let bench_serve ?(smoke = false) ~out () =
   let json =
     Util.Json.Obj
       [
-        ("schema", Util.Json.String "fannet.bench_serve/1");
+        ("schema", Util.Json.String "fannet.bench_serve/2");
         ("smoke", Util.Json.Bool smoke);
+        ("crash_isolation", e23);
         ("workers", Util.Json.Int workers);
         ("clients", Util.Json.Int n_clients);
         ("queries_per_client", Util.Json.Int per_client);
@@ -2142,7 +2294,7 @@ let bench_serve ?(smoke = false) ~out () =
   match Util.Json.parse_file out with
   | Ok reread
     when Util.Json.member "schema" reread
-         = Some (Util.Json.String "fannet.bench_serve/1") ->
+         = Some (Util.Json.String "fannet.bench_serve/2") ->
       Printf.printf "%s written and re-parsed OK\n" out
   | Ok _ -> failwith (Printf.sprintf "E20: %s lost its schema tag" out)
   | Error e -> failwith (Printf.sprintf "E20: %s failed to parse: %s" out e)
@@ -2290,12 +2442,16 @@ let () =
        BENCH_cert.json are emitted and parse. *)
     print_endline "FANNet bench smoke (parallel engine)";
     print_endline "====================================";
+    (* The serving section runs first: E23 forks supervised worker
+       processes, and OCaml 5 refuses Unix.fork once any domain has
+       ever been created — every other section below spins up the
+       domain pool. *)
+    bench_serve ~smoke:true ~out:"BENCH_serve.json" ();
     let p = Fannet.Pipeline.run ~config:Fannet.Pipeline.fast_config () in
     bench_parallel ~smoke p ~out;
     bench_cert ~smoke:true ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:true ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:true ~out:"BENCH_robust.json" ();
-    bench_serve ~smoke:true ~out:"BENCH_serve.json" ();
     bench_count ~smoke:true ~out:"BENCH_count.json" ();
     bench_ladder ~smoke:true ~out:"BENCH_ladder.json" ();
     print_endline "\nSmoke bench completed."
@@ -2303,6 +2459,11 @@ let () =
   else begin
     print_endline "FANNet reproduction benchmarks";
     print_endline "==============================";
+    (* Serving first: E23 forks supervised worker processes, and
+       OCaml 5 refuses Unix.fork once any domain has ever been
+       created — the pipeline and every later section spin up the
+       domain pool. *)
+    bench_serve ~smoke:false ~out:"BENCH_serve.json" ();
     let p, pipeline_s = time_of (fun () -> Fannet.Pipeline.run ()) in
     Printf.printf "pipeline (dataset -> mRMR -> train -> fold -> quantize): %.2fs\n"
       pipeline_s;
@@ -2324,7 +2485,6 @@ let () =
     bench_cert ~smoke:false ~out:"BENCH_cert.json" ();
     bench_obs ~smoke:false ~out:"BENCH_obs.json" ();
     bench_robust ~smoke:false ~out:"BENCH_robust.json" ();
-    bench_serve ~smoke:false ~out:"BENCH_serve.json" ();
     bench_count ~smoke:false ~out:"BENCH_count.json" ();
     bench_ladder ~smoke:false ~out:"BENCH_ladder.json" ();
     timing_suite p;

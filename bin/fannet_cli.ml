@@ -962,8 +962,10 @@ let serve_self_test () =
         Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
         workers = 2;
         cap = 4;
-        cache_cap = 64;
+        cache_cap_bytes = 1 lsl 26;
         timeout_ceiling_s = Some 60.;
+        procs = 0;
+        store_path = None;
       }
   in
   let addr = Serve.Daemon.address d in
@@ -1065,6 +1067,184 @@ let serve_self_test () =
   Printf.printf "serve self-test OK: %d submitted, %d served, %d cache hits\n" s.submitted
     s.served s.cache_hits
 
+(* The chaos soak behind `make chaos-smoke`: a supervised daemon (two
+   worker processes) with a verdict journal and an armed kill schedule —
+   every 7th query receipt _exits a worker mid-flight — under 16
+   concurrent clients. Every client must get a typed reply, the
+   accounting identity must hold and workers must actually have died and
+   been restarted. Then the daemon restarts on the same journal and
+   every answer recorded before the crash must come back as a cache hit,
+   byte-identical, certificates re-validated by the independent lib/cert
+   checker. Exit 2 on any mismatch. *)
+let serve_chaos_test () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "serve chaos-test FAILED: %s\n%!" m;
+        exit 2)
+      fmt
+  in
+  let expect name ok = if not ok then fail "%s" name in
+  let store_path = Filename.temp_file "fannet_chaos" ".store" in
+  Sys.remove store_path;
+  let qnet = serve_toy_qnet () in
+  let cfg =
+    {
+      Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
+      workers = 2;
+      cap = 32;
+      cache_cap_bytes = 1 lsl 26;
+      timeout_ceiling_s = Some 60.;
+      procs = 2;
+      store_path = Some store_path;
+    }
+  in
+  Resil.Faultpoint.clear ();
+  (* armed before the fork, so every worker process inherits the
+     schedule (each with its own hit counter) *)
+  Resil.Faultpoint.arm "serve.worker.kill%7";
+  let d = Serve.Daemon.run cfg in
+  let addr = Serve.Daemon.address d in
+  let digest =
+    let c = Serve.Client.connect addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match Serve.Client.load c qnet with
+    | Ok dg -> dg
+    | Error e -> fail "load: %s" e
+  in
+  (* Distinct queries per client (input offset + delta sweep), so the
+     cache cannot absorb the load before the kill schedule fires.  Deltas
+     stay small: this is a smoke under `make check`, and the expensive
+     certified-count round-trip is already exercised by the test
+     battery. *)
+  let queries_for i =
+    let input = [| 112 + i; 87 - i |] in
+    let label = Nn.Qnet.predict qnet input in
+    let spec delta = Fannet.Noise.symmetric ~delta ~bias_noise:false in
+    [
+      Serve.Protocol.Exists_flip
+        { backend = Fannet.Backend.Bnb; spec = spec (1 + (i mod 2)); input; label };
+      Serve.Protocol.Tolerance
+        { backend = Fannet.Backend.Bnb; bias_noise = false; max_delta = 3 + (i mod 2); input; label };
+      Serve.Protocol.Sensitivity { spec = spec 1; input; label };
+      Serve.Protocol.Certify { spec = spec (1 + (i mod 2)); input; label };
+    ]
+  in
+  let clients = 16 in
+  let recorded = ref [] (* (query, answer bytes, answer) — decided only *)
+  and untyped = ref [] (* connection-level failures: must stay empty *)
+  and lock = Mutex.create () in
+  let client_thread i () =
+    let c = Serve.Client.connect addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    List.iter
+      (fun q ->
+        match Serve.Client.query ~retries:4 c ~digest q with
+        | Ok (Serve.Protocol.Answer { answer; _ })
+          when Serve.Protocol.answer_decided answer ->
+            let bytes = Util.Json.to_string (Serve.Protocol.answer_json answer) in
+            Mutex.lock lock;
+            recorded := (q, bytes, answer) :: !recorded;
+            Mutex.unlock lock
+        | Ok _ -> () (* typed: overloaded / server-error after retries / undecided *)
+        | Error e ->
+            Mutex.lock lock;
+            untyped := Printf.sprintf "client %d: %s" i e :: !untyped;
+            Mutex.unlock lock)
+      (queries_for i)
+  in
+  let threads = List.init clients (fun i -> Thread.create (client_thread i) ()) in
+  List.iter Thread.join threads;
+  (match !untyped with
+  | [] -> ()
+  | e :: _ -> fail "untyped client failure under chaos: %s" e);
+  let s = Serve.Daemon.stats d in
+  expect "accounting identity under chaos"
+    (s.Serve.Protocol.served + s.rejected + s.failed = s.submitted);
+  let restarts, deaths =
+    match Serve.Daemon.supervisor_stats d with
+    | Some rd -> rd
+    | None -> fail "supervised daemon reports no supervisor stats"
+  in
+  expect "the kill schedule killed at least one worker" (deaths >= 1);
+  expect "at least one worker was restarted" (restarts >= 1);
+  expect "some decided answers were recorded" (!recorded <> []);
+  (* Certificate-bearing replies are orders of magnitude larger than bare
+     verdicts (they embed the whole proof), so their multi-chunk writes
+     rarely win the race against a receipt-triggered kill: the worker's
+     receive loop keeps counting queries while a domain streams the
+     certificate and _exits mid-frame.  Record one certified answer once
+     the soak traffic stops instead.  Clearing here steers only workers
+     spawned from now on (the parent replays its fault table at spawn);
+     live workers keep their schedule, so the retries ride through at
+     most one residual kill — a worker only dies every seventh receipt,
+     and with the soak finished these retries are the only receipts
+     left. *)
+  Resil.Faultpoint.clear ();
+  (let input = [| 99; 99 |] in
+   let label = Nn.Qnet.predict qnet input in
+   let q =
+     Serve.Protocol.Certify
+       { spec = Fannet.Noise.symmetric ~delta:1 ~bias_noise:false; input; label }
+   in
+   let c = Serve.Client.connect addr in
+   Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+   match Serve.Client.query ~retries:8 c ~digest q with
+   | Ok (Serve.Protocol.Answer { answer; _ })
+     when Serve.Protocol.answer_decided answer -> (
+       match answer with
+       | Serve.Protocol.Certified _ ->
+           recorded :=
+             (q, Util.Json.to_string (Serve.Protocol.answer_json answer), answer)
+             :: !recorded
+       | _ -> fail "post-chaos certify decided without a certificate")
+   | Ok _ -> fail "post-chaos certify did not decide"
+   | Error e -> fail "post-chaos certify: %s" e);
+  Serve.Daemon.stop d;
+  (* Restart on the same journal: every recorded answer must come back
+     as a store-recovered cache hit, bit-identical. *)
+  let d2 = Serve.Daemon.run { cfg with addr = Serve.Daemon.Tcp ("127.0.0.1", 0) } in
+  (match Serve.Daemon.store_stats d2 with
+  | Some st -> expect "journal recovered records" (st.Serve.Store.recovered > 0)
+  | None -> fail "restarted daemon reports no store stats");
+  let c = Serve.Client.connect (Serve.Daemon.address d2) in
+  (match Serve.Client.load c qnet with
+  | Ok dg -> expect "canonical digest stable across restart" (String.equal dg digest)
+  | Error e -> fail "reload: %s" e);
+  List.iter
+    (fun (q, bytes, _) ->
+      match Serve.Client.query c ~digest q with
+      | Ok (Serve.Protocol.Answer { cached; answer }) ->
+          expect "recovered answer is a cache hit" cached;
+          expect "recovered answer byte-identical to its pre-crash bytes"
+            (String.equal bytes
+               (Util.Json.to_string (Serve.Protocol.answer_json answer)));
+          (match answer with
+          | Serve.Protocol.Certified { verdict; cert } -> (
+              let input, label, spec =
+                match q with
+                | Serve.Protocol.Certify { input; label; spec } -> (input, label, spec)
+                | _ -> fail "certified answer for a non-certify query"
+              in
+              match
+                Fannet.Backend.check_certified qnet spec ~input ~label
+                  { Fannet.Backend.cv_verdict = verdict; cv_cert = cert }
+              with
+              | Ok () -> ()
+              | Error e -> fail "recovered certificate INVALID: %s" e)
+          | _ -> ())
+      | Ok _ -> fail "recovered query got a non-answer reply"
+      | Error e -> fail "recovered query: %s" e)
+    !recorded;
+  Serve.Client.close c;
+  Serve.Daemon.stop d2;
+  (try Sys.remove store_path with Sys_error _ -> ());
+  Printf.printf
+    "serve chaos-test OK: %d clients, %d submitted, %d served, %d worker deaths, \
+     %d restarts, %d answers recovered bit-identically\n"
+    clients s.Serve.Protocol.submitted s.served deaths restarts
+    (List.length !recorded)
+
 let serve_cmd =
   let workers_arg =
     let doc = "Resident worker domains (default: the machine's job count)." in
@@ -1078,12 +1258,32 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "cap" ] ~docv:"N" ~doc)
   in
   let cache_arg =
-    let doc = "Verdict-cache entries (LRU); 0 disables caching." in
-    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
+    let doc =
+      "Verdict-cache budget in bytes (LRU, entries weighted by their \
+       encoded answer size — certificates dominate); 0 disables caching."
+    in
+    Arg.(value & opt int (16 * 1024 * 1024) & info [ "cache" ] ~docv:"BYTES" ~doc)
   in
   let ceiling_arg =
     let doc = "Clamp client-requested budgets to at most $(docv) seconds." in
     Arg.(value & opt (some float) None & info [ "timeout-ceiling" ] ~docv:"SEC" ~doc)
+  in
+  let procs_arg =
+    let doc =
+      "Supervised worker processes (crash-only mode): fork the compute pool \
+       into $(docv) processes sharded by network digest, restart crashed \
+       workers with exponential backoff behind a restart-storm circuit \
+       breaker. 0 (default) keeps the legacy in-process pool."
+    in
+    Arg.(value & opt int 0 & info [ "procs" ] ~docv:"N" ~doc)
+  in
+  let store_arg =
+    let doc =
+      "Persistent verdict journal (fannet-store/1) at $(docv): decided \
+       answers are written through and recovered — bit-identical, \
+       certificates re-validated — when the daemon restarts."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE" ~doc)
   in
   let self_test =
     let doc =
@@ -1093,9 +1293,19 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "self-test" ] ~doc)
   in
-  let run socket tcp workers cap cache ceiling self_test =
+  let chaos_test =
+    let doc =
+      "Run the chaos soak: a supervised daemon with a verdict journal under \
+       an armed worker-kill schedule and 16 concurrent clients, then a \
+       restart that must recover every cached answer bit-identically — what \
+       $(b,make chaos-smoke) runs. Exit 0 = all checks passed."
+    in
+    Arg.(value & flag & info [ "chaos-test" ] ~doc)
+  in
+  let run socket tcp workers cap cache ceiling procs store self_test chaos_test =
     with_clean_errors @@ fun () ->
     if self_test then serve_self_test ()
+    else if chaos_test then serve_chaos_test ()
     else begin
       Obs.Report.enable ();
       let workers = Option.value workers ~default:(Util.Parallel.default_jobs ()) in
@@ -1104,8 +1314,10 @@ let serve_cmd =
           Serve.Daemon.addr = resolve_addr socket tcp;
           workers;
           cap = Option.value cap ~default:(4 * workers);
-          cache_cap = cache;
+          cache_cap_bytes = cache;
           timeout_ceiling_s = ceiling;
+          procs;
+          store_path = store;
         }
       in
       let d = Serve.Daemon.run cfg in
@@ -1123,14 +1335,16 @@ let serve_cmd =
   in
   let doc =
     "Run $(b,fannetd), the verification daemon: fannet-wire/1 over a Unix or \
-     TCP socket, an LRU verdict cache, warm per-worker solver sessions, typed \
-     overload rejections and an HTTP-style $(b,GET /metrics) scrape on the \
-     same port. Stop with SIGINT/SIGTERM or a client $(b,shutdown) request."
+     TCP socket, an LRU verdict cache (optionally journaled to disk with \
+     $(b,--store)), warm per-worker solver sessions (optionally in supervised \
+     worker processes with $(b,--procs)), typed overload rejections and an \
+     HTTP-style $(b,GET /metrics) scrape on the same port. Stop with \
+     SIGINT/SIGTERM or a client $(b,shutdown) request."
   in
   Cmd.v (Cmd.info "serve" ~doc ~exits)
     Term.(
       const run $ socket_arg $ tcp_arg $ workers_arg $ cap_arg $ cache_arg
-      $ ceiling_arg $ self_test)
+      $ ceiling_arg $ procs_arg $ store_arg $ self_test $ chaos_test)
 
 let query_cmd =
   let kind_arg =
@@ -1168,8 +1382,16 @@ let query_cmd =
     let doc = "True label of the input (default: the model's own prediction)." in
     Arg.(value & opt (some int) None & info [ "label" ] ~docv:"L" ~doc)
   in
+  let retries_arg =
+    let doc =
+      "Resend a query up to $(docv) extra times (jittered exponential \
+       backoff) while the daemon answers $(b,overloaded) or a transient \
+       $(b,server-error) — e.g. a supervised worker restarting."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
   let run socket tcp kind model input_vec label_opt delta max_delta no_bias_noise
-      backend timeout =
+      backend timeout retries =
     with_clean_errors @@ fun () ->
     let c = Serve.Client.connect (resolve_addr socket tcp) in
     Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
@@ -1218,7 +1440,7 @@ let query_cmd =
                 { spec; input; label; mode = Serve.Protocol.Count_exact { certify = true } }
         in
         let budget = { Serve.Protocol.timeout_s = timeout; conflicts = None } in
-        (match orfail (Serve.Client.query ~budget c ~digest query) with
+        (match orfail (Serve.Client.query ~budget ~retries c ~digest query) with
         | Serve.Protocol.Overloaded { in_flight; cap } ->
             Printf.eprintf "daemon overloaded (%d in flight, cap %d) — retry later\n%!"
               in_flight cap;
@@ -1294,7 +1516,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc ~exits)
     Term.(
       const run $ socket_arg $ tcp_arg $ kind_arg $ model_arg $ input_vec_arg
-      $ label_arg $ delta $ max_delta $ no_bias_noise $ backend $ timeout_arg)
+      $ label_arg $ delta $ max_delta $ no_bias_noise $ backend $ timeout_arg
+      $ retries_arg)
 
 (* ---------- count: quantitative robustness via model counting ---------- *)
 
@@ -1392,8 +1615,10 @@ let count_self_test () =
         Serve.Daemon.addr = Serve.Daemon.Tcp ("127.0.0.1", 0);
         workers = 2;
         cap = 4;
-        cache_cap = 64;
+        cache_cap_bytes = 1 lsl 26;
         timeout_ceiling_s = Some 60.;
+        procs = 0;
+        store_path = None;
       }
   in
   let c = Serve.Client.connect (Serve.Daemon.address d) in

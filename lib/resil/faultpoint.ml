@@ -1,4 +1,4 @@
-type trigger = Always | Nth of int
+type trigger = Always | Nth of int | Every of int
 
 (* site -> (trigger, hits so far). Guarded by [lock]; [any] is the
    lock-free fast path checked before touching the table. *)
@@ -7,17 +7,22 @@ let lock = Mutex.create ()
 let any = Atomic.make false
 
 let parse_one spec =
-  match String.index_opt spec '@' with
-  | None -> (spec, Always)
-  | Some i ->
-      let name = String.sub spec 0 i in
-      let k = String.sub spec (i + 1) (String.length spec - i - 1) in
-      (match int_of_string_opt k with
-      | Some n when n >= 1 -> (name, Nth n)
-      | _ ->
-          invalid_arg
-            (Printf.sprintf "Faultpoint: bad trigger %S (want site or site@k)"
-               spec))
+  let split sep =
+    match String.index_opt spec sep with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.sub spec 0 i,
+            int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  match (split '@', split '%') with
+  | Some (name, Some n), _ when n >= 1 -> (name, Nth n)
+  | _, Some (name, Some n) when n >= 1 -> (name, Every n)
+  | None, None -> (spec, Always)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Faultpoint: bad trigger %S (want site, site@k or site%%k)" spec)
 
 let arm spec =
   String.split_on_char ',' spec
@@ -48,7 +53,10 @@ let hit name =
       | None -> false
       | Some (trig, hits) ->
           incr hits;
-          (match trig with Always -> true | Nth k -> !hits = k)
+          (match trig with
+          | Always -> true
+          | Nth k -> !hits = k
+          | Every k -> !hits mod k = 0)
     in
     Mutex.unlock lock;
     fire
@@ -61,3 +69,18 @@ let armed () =
   let names = Hashtbl.fold (fun name _ acc -> name :: acc) table [] in
   Mutex.unlock lock;
   List.sort compare names
+
+let snapshot () =
+  Mutex.lock lock;
+  let specs =
+    Hashtbl.fold
+      (fun name (trig, _) acc ->
+        (match trig with
+        | Always -> name
+        | Nth k -> Printf.sprintf "%s@%d" name k
+        | Every k -> Printf.sprintf "%s%%%d" name k)
+        :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  String.concat "," (List.sort compare specs)

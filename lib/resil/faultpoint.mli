@@ -9,15 +9,24 @@
 
     Spec syntax (comma-separated): [site] fires on every hit;
     [site@k] fires on the k-th hit only (1-based), letting tests strike
-    mid-enumeration. Example:
-    [FANNET_FAULTS=sat.oom,ckpt.torn@2].
+    mid-enumeration; [site%k] fires periodically on every k-th hit
+    (hits k, 2k, 3k, ...), the shape a kill schedule wants. Example:
+    [FANNET_FAULTS=sat.oom,ckpt.torn@2,serve.worker.kill%7].
 
-    Known sites (the fault matrix exercised by [test/test_resil.ml]):
-    - ["sat.oom"]        — solver raises [Out_of_memory] at solve entry
-    - ["worker.raise"]   — a parallel worker body raises mid-batch
-    - ["ckpt.torn"]      — checkpoint write is torn (no atomic rename)
-    - ["corpus.corrupt"] — corpus JSON is truncated before parsing
-    - ["backend.unknown"]— a backend query returns [Unknown] *)
+    Known sites (the fault matrix exercised by [test/test_resil.ml]
+    and [test/test_serve.ml]):
+    - ["sat.oom"]            — solver raises [Out_of_memory] at solve entry
+    - ["worker.raise"]       — a parallel worker body raises mid-batch
+    - ["ckpt.torn"]          — checkpoint write is torn (no atomic rename)
+    - ["corpus.corrupt"]     — corpus JSON is truncated before parsing
+    - ["backend.unknown"]    — a backend query returns [Unknown]
+    - ["serve.worker.raise"] — a daemon compute job raises mid-query
+    - ["serve.worker.kill"]  — a supervised worker process dies ([_exit 137])
+                               mid-query, as if OOM-killed
+    - ["serve.store.torn"]   — a verdict-store append writes half a record
+                               and stops, as if the daemon crashed mid-write
+    - ["serve.conn.reset"]   — a client connection is reset (fd closed)
+                               just before a reply is sent *)
 
 val arm : string -> unit
 (** Arm sites programmatically from a spec string (same syntax as
@@ -36,3 +45,10 @@ val guard : string -> exn -> unit
 
 val armed : unit -> string list
 (** Currently armed site names (sorted), for diagnostics. *)
+
+val snapshot : unit -> string
+(** The armed table as a spec string {!arm} accepts (sorted,
+    comma-separated; [""] when nothing is armed). Hit counters are not
+    part of the snapshot — re-arming starts them at zero. Lets a
+    supervising process replicate its fault schedule into a fresh
+    worker. *)

@@ -72,8 +72,32 @@ let load c net =
   | Ok (Protocol.Server_error e) -> Error e
   | Ok _ -> Error "unexpected reply to Load"
 
-let query ?(budget = Protocol.no_budget) c ~digest q =
-  rpc c (Protocol.Query { digest; query = q; budget })
+(* Transient replies worth another attempt: admission-control pushback
+   and server errors (the latter covers a supervised worker dying
+   mid-query, which a restart fixes). Protocol errors are the client's
+   own fault and never retried. *)
+let transient = function
+  | Protocol.Overloaded _ | Protocol.Server_error _ -> true
+  | _ -> false
+
+let query ?(budget = Protocol.no_budget) ?(retries = 0) ?(retry_base_s = 0.05)
+    c ~digest q =
+  let rng = lazy (Util.Rng.create (Unix.getpid () + (c.next_rid * 7919))) in
+  let rec go attempt last =
+    if attempt > retries then last
+    else begin
+      (if attempt > 0 then
+         (* full jitter on an exponential ramp: sleep in
+            [0.5, 1.5) x base x 2^(attempt-1), so a herd of rejected
+            clients does not return in lockstep *)
+         let base = retry_base_s *. (2.0 ** float_of_int (attempt - 1)) in
+         Thread.delay (base *. (0.5 +. Util.Rng.float (Lazy.force rng))));
+      match rpc c (Protocol.Query { digest; query = q; budget }) with
+      | Ok reply as r when transient reply -> go (attempt + 1) r
+      | r -> r
+    end
+  in
+  go 0 (Error "unreachable: zero attempts")
 
 let ping c =
   match rpc c Protocol.Ping with

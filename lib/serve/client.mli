@@ -27,8 +27,18 @@ val load : conn -> Nn.Qnet.t -> (string, string) result
 
 val query :
   ?budget:Protocol.budget_spec ->
+  ?retries:int ->
+  ?retry_base_s:float ->
   conn -> digest:string -> Protocol.query ->
   (Protocol.reply, string) result
+(** One query, resent up to [retries] extra times (default 0) while the
+    daemon answers with a transient reply — [Overloaded] admission
+    pushback or a [Server_error] such as a supervised worker dying
+    mid-query. Attempt [n] sleeps a jittered exponential backoff first:
+    uniform in [0.5, 1.5) × [retry_base_s] (default 50 ms) × 2^(n-1),
+    so a herd of rejected clients does not return in lockstep. The last
+    transient reply is returned when the cap runs out; protocol errors
+    and connection failures are never retried. *)
 
 val ping : conn -> (unit, string) result
 val shutdown : conn -> (unit, string) result

@@ -1,8 +1,12 @@
 (* The daemon: accept thread + one systhread per connection for I/O,
-   a resident Pool of worker domains for compute. Systhreads all share
-   one domain, so blocking socket reads cost nothing in compute terms;
-   the solver work runs on the pool, one job per worker domain, where
-   warm Fannet.Warm sessions accumulate in that domain's DLS. *)
+   and compute either on a resident in-process Pool of worker domains
+   (procs = 0) or on supervised worker processes (procs > 0, see
+   Supervisor) — crash-only mode, where the accept loop stays
+   single-domain and small and a worker crash is an event, not an
+   outage. Systhreads all share one domain, so blocking socket reads
+   cost nothing in compute terms; the solver work runs where warm
+   Fannet.Warm sessions accumulate (a pool worker domain's DLS, or a
+   worker process's own pool). *)
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -10,8 +14,10 @@ type config = {
   addr : addr;
   workers : int;
   cap : int;
-  cache_cap : int;
+  cache_cap_bytes : int;
   timeout_ceiling_s : float option;
+  procs : int;
+  store_path : string option;
 }
 
 let default_config =
@@ -20,8 +26,10 @@ let default_config =
     addr = Unix_path "fannetd.sock";
     workers;
     cap = 4 * workers;
-    cache_cap = 1024;
+    cache_cap_bytes = 16 * 1024 * 1024;
     timeout_ceiling_s = None;
+    procs = 0;
+    store_path = None;
   }
 
 (* Obs mirrors of the always-on atomics; recording is a no-op while the
@@ -32,14 +40,23 @@ let m_rejected = Obs.Metrics.counter "serve.rejected"
 let m_failed = Obs.Metrics.counter "serve.failed"
 let m_cache_hits = Obs.Metrics.counter "serve.cache.hits"
 let m_cache_misses = Obs.Metrics.counter "serve.cache.misses"
+let m_store_recovered = Obs.Metrics.counter "serve.store.recovered"
+let m_store_dropped = Obs.Metrics.counter "serve.store.dropped"
+let m_worker_deaths = Obs.Metrics.counter "serve.worker.deaths"
+let m_worker_restarts = Obs.Metrics.counter "serve.worker.restarts"
 let h_query = Obs.Metrics.histogram "serve.query_s"
+
+(* Compute backend: the legacy in-process pool, or the supervised
+   worker-process fleet. *)
+type compute = In_process of Pool.t | Supervised of Supervisor.t
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound : addr;
   unlink_path : string option;
-  pool : Pool.t;
+  compute : compute;
+  store : Store.t option;
   cache : Protocol.answer Lru.t;
   nets : (string, Nn.Qnet.t) Hashtbl.t;
   nets_lock : Mutex.t;
@@ -120,14 +137,16 @@ let execute net ~budget (q : Protocol.query) : Protocol.answer =
               }
         | Error reason -> Error reason)
 
+let clamp_timeout t timeout_s =
+  match (timeout_s, t.cfg.timeout_ceiling_s) with
+  | None, ceiling -> ceiling
+  | (Some _ as x), None -> x
+  | Some x, Some c -> Some (Float.min x c)
+
 let budget_of t (b : Protocol.budget_spec) =
-  let timeout_s =
-    match (b.Protocol.timeout_s, t.cfg.timeout_ceiling_s) with
-    | None, ceiling -> ceiling
-    | (Some _ as x), None -> x
-    | Some x, Some c -> Some (Float.min x c)
-  in
-  Resil.Budget.create ?timeout_s ?conflicts:b.Protocol.conflicts
+  Resil.Budget.create
+    ?timeout_s:(clamp_timeout t b.Protocol.timeout_s)
+    ?conflicts:b.Protocol.conflicts
     ~token:(Resil.Budget.link t.stop_token) ()
 
 let find_net t digest =
@@ -136,14 +155,71 @@ let find_net t digest =
   Mutex.unlock t.nets_lock;
   r
 
+(* Weigh cache entries by the bytes of the encoded answer sub-document —
+   the thing a cache hit actually holds on to (certificates dominate). *)
+let answer_weight answer =
+  String.length (Util.Json.to_string (Protocol.answer_json answer))
+
+(* A decided answer enters the LRU and, write-through, the journal. *)
+let cache_answer t key answer =
+  if Protocol.answer_decided answer then begin
+    Lru.add ~weight:(answer_weight answer) t.cache key answer;
+    match t.store with Some s -> Store.append s ~key answer | None -> ()
+  end
+
+let served_answer t key answer =
+  cache_answer t key answer;
+  Atomic.incr t.served;
+  Obs.Metrics.incr m_served;
+  Protocol.Answer { cached = false; answer }
+
+let failed_reply t reply =
+  Atomic.incr t.failed;
+  Obs.Metrics.incr m_failed;
+  reply
+
+(* Run one admitted query on the compute backend and account for the
+   outcome. *)
+let compute_query t ~key ~digest ~query ~budget net : Protocol.reply =
+  let since = Obs.Clock.now_ns () in
+  match t.compute with
+  | In_process pool -> (
+      let budget = budget_of t budget in
+      match Pool.run pool (fun () -> execute net ~budget query) with
+      | answer ->
+          Obs.Metrics.observe h_query (Obs.Clock.elapsed_s ~since);
+          served_answer t key answer
+      | exception Invalid_argument msg ->
+          (* The engines reject unsupported shapes (single-output
+             networks, non-identity output layers, ...) with
+             Invalid_argument: that is the client's query, not a
+             daemon fault, and must come back as a typed
+             protocol error — never escape a worker domain raw. *)
+          failed_reply t (Protocol.Protocol_error ("unsupported query: " ^ msg))
+      | exception e -> failed_reply t (Protocol.Server_error (Printexc.to_string e)))
+  | Supervised sup -> (
+      (* clamp here — the worker process builds its budget from the spec
+         verbatim, and cannot share the parent's cancellation token *)
+      let budget =
+        { budget with Protocol.timeout_s = clamp_timeout t budget.Protocol.timeout_s }
+      in
+      match Supervisor.query sup ~digest ~query ~budget with
+      | Ok (Protocol.Answer { answer; _ }) ->
+          Obs.Metrics.observe h_query (Obs.Clock.elapsed_s ~since);
+          served_answer t key answer
+      | Ok ((Protocol.Protocol_error _ | Protocol.Server_error _) as reply) ->
+          failed_reply t reply
+      | Ok _ -> failed_reply t (Protocol.Server_error "unexpected worker reply")
+      | Error msg ->
+          (* worker died mid-query / restarting / circuit open: a typed
+             server error the client may retry — never a dead daemon *)
+          failed_reply t (Protocol.Server_error msg))
+
 let handle_query t ~digest ~query ~budget : Protocol.reply =
   Atomic.incr t.submitted;
   Obs.Metrics.incr m_submitted;
   match find_net t digest with
-  | None ->
-      Atomic.incr t.failed;
-      Obs.Metrics.incr m_failed;
-      Protocol.Server_error ("unknown network digest " ^ digest)
+  | None -> failed_reply t (Protocol.Server_error ("unknown network digest " ^ digest))
   | Some net -> (
       let key = Protocol.query_key ~digest query in
       match Lru.find t.cache key with
@@ -154,10 +230,11 @@ let handle_query t ~digest ~query ~budget : Protocol.reply =
           Protocol.Answer { cached = true; answer }
       | None ->
           Obs.Metrics.incr m_cache_misses;
-          (* Admission: claim a slot before touching the pool so the
-             reject path never queues work. *)
+          (* Admission: claim a slot before touching the compute backend
+             so the reject path never queues work; a stopping daemon
+             admits nothing (its journal may already be closed). *)
           let n = Atomic.fetch_and_add t.in_flight 1 in
-          if n >= t.cfg.cap then begin
+          if n >= t.cfg.cap || Atomic.get t.stopping then begin
             Atomic.decr t.in_flight;
             Atomic.incr t.rejected;
             Obs.Metrics.incr m_rejected;
@@ -166,29 +243,7 @@ let handle_query t ~digest ~query ~budget : Protocol.reply =
           else
             Fun.protect
               ~finally:(fun () -> Atomic.decr t.in_flight)
-              (fun () ->
-                let budget = budget_of t budget in
-                let since = Obs.Clock.now_ns () in
-                match Pool.run t.pool (fun () -> execute net ~budget query) with
-                | answer ->
-                    Obs.Metrics.observe h_query (Obs.Clock.elapsed_s ~since);
-                    if Protocol.answer_decided answer then Lru.add t.cache key answer;
-                    Atomic.incr t.served;
-                    Obs.Metrics.incr m_served;
-                    Protocol.Answer { cached = false; answer }
-                | exception Invalid_argument msg ->
-                    (* The engines reject unsupported shapes (single-output
-                       networks, non-identity output layers, ...) with
-                       Invalid_argument: that is the client's query, not a
-                       daemon fault, and must come back as a typed
-                       protocol error — never escape a worker domain raw. *)
-                    Atomic.incr t.failed;
-                    Obs.Metrics.incr m_failed;
-                    Protocol.Protocol_error ("unsupported query: " ^ msg)
-                | exception e ->
-                    Atomic.incr t.failed;
-                    Obs.Metrics.incr m_failed;
-                    Protocol.Server_error (Printexc.to_string e)))
+              (fun () -> compute_query t ~key ~digest ~query ~budget net))
 
 let handle_load t ~network : Protocol.reply =
   match Nn.Qnet.of_string network with
@@ -196,15 +251,26 @@ let handle_load t ~network : Protocol.reply =
   | Ok net ->
       (* Digest the canonical re-serialisation, not the upload bytes, so
          two textual variants of the same network share cache entries. *)
-      let digest = Digest.to_hex (Digest.string (Nn.Qnet.to_string net)) in
+      let canonical = Nn.Qnet.to_string net in
+      let digest = Digest.to_hex (Digest.string canonical) in
       Mutex.lock t.nets_lock;
       Hashtbl.replace t.nets digest net;
       Mutex.unlock t.nets_lock;
+      (match t.compute with
+      | Supervised sup -> Supervisor.load sup ~digest ~network:canonical
+      | In_process _ -> ());
       Protocol.Loaded { digest }
 
 (* ---------- connection handling ---------- *)
 
 let send fd (env : Protocol.reply_envelope) =
+  if Resil.Faultpoint.hit "serve.conn.reset" then begin
+    (* chaos: the client connection drops just before the reply goes
+       out — the daemon-side accounting already happened, the client
+       sees a reset, the daemon must shrug *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+    raise (Unix.Unix_error (Unix.ECONNRESET, "send", "injected serve.conn.reset"))
+  end;
   Wire.write_frame fd (Protocol.encode_reply env)
 
 let write_all fd s =
@@ -275,6 +341,11 @@ let dispatch t fd rid (request : Protocol.request) =
       let stop_fn = !stop_ref in
       ignore (Thread.create (fun () -> stop_fn t) ());
       false
+  | Protocol.Set_faults _ ->
+      (* supervisor-internal control traffic, not a client op *)
+      send fd
+        { rid; reply = Protocol.Protocol_error "set-faults is not a client request" };
+      true
 
 let rec serve_frames t fd ~first =
   let frame =
@@ -397,15 +468,51 @@ let run cfg =
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let cfg = { cfg with workers = Stdlib.max 1 cfg.workers; cap = Stdlib.max 1 cfg.cap } in
-  let listen_fd, bound, unlink_path = bind_listen cfg.addr in
+  (* Supervised mode forks the compute fleet FIRST, while this process
+     is still single-domain with no listening socket or journal to
+     inherit — the in-process pool (which spawns domains, making later
+     forks undefined) exists only in legacy mode. *)
+  let compute =
+    if cfg.procs > 0 then
+      Supervised (Supervisor.create ~procs:cfg.procs ~workers:cfg.workers ~execute ())
+    else In_process (Pool.create ~workers:cfg.workers)
+  in
+  let listen_fd, bound, unlink_path =
+    try bind_listen cfg.addr
+    with e ->
+      (match compute with Supervised s -> Supervisor.stop s | In_process p -> Pool.shutdown p);
+      raise e
+  in
+  let cache = Lru.create ~cap:cfg.cache_cap_bytes in
+  let store =
+    match cfg.store_path with
+    | None -> None
+    | Some path -> (
+        match Store.open_ ~path with
+        | Error _ -> None (* an unreadable journal must not block serving *)
+        | Ok (s, recovered) ->
+            (* warm the cache with recovered answers: every one of them
+               was re-validated by Store (certificates through lib/cert),
+               and re-encodes bit-identically because the cache stores
+               the decoded value and the codec is deterministic *)
+            List.iter
+              (fun (key, answer) ->
+                Lru.add ~weight:(answer_weight answer) cache key answer)
+              recovered;
+            let st = Store.stats s in
+            Obs.Metrics.add m_store_recovered st.Store.recovered;
+            Obs.Metrics.add m_store_dropped st.Store.dropped;
+            Some s)
+  in
   let t =
     {
       cfg;
       listen_fd;
       bound;
       unlink_path;
-      pool = Pool.create ~workers:cfg.workers;
-      cache = Lru.create ~cap:cfg.cache_cap;
+      compute;
+      store;
+      cache;
       nets = Hashtbl.create 8;
       nets_lock = Mutex.create ();
       stop_token = Resil.Budget.token ();
@@ -446,7 +553,18 @@ let stop ?(grace_s = 30.) t =
         Thread.delay 0.005
       done
     end;
-    Pool.shutdown t.pool;
+    (* Close the journal BEFORE tearing down connections (whose Bye
+       replies may still be flushing) or compute: Store.close serialises
+       with any in-flight append or compaction under the store lock, so
+       a SIGTERM-driven stop can never leave a mid-compaction tail —
+       admission is already off, so nothing new will try to append. *)
+    (match t.store with Some s -> Store.close s | None -> ());
+    (match t.compute with
+    | In_process pool -> Pool.shutdown pool
+    | Supervised sup ->
+        Obs.Metrics.add m_worker_deaths (Supervisor.deaths sup);
+        Obs.Metrics.add m_worker_restarts (Supervisor.restarts sup);
+        Supervisor.stop sup);
     (try Unix.close t.listen_fd with _ -> ());
     (* Wake connection threads blocked in a frame read; each closes its
        own fd on the way out. *)
@@ -482,3 +600,12 @@ let wait t =
     Condition.wait t.done_c t.done_m
   done;
   Mutex.unlock t.done_m
+
+let store_stats t = Option.map Store.stats t.store
+
+let supervisor_stats t =
+  match t.compute with
+  | Supervised sup -> Some (Supervisor.restarts sup, Supervisor.deaths sup)
+  | In_process _ -> None
+
+let cache_weight t = Lru.total_weight t.cache

@@ -38,16 +38,32 @@ type addr =
 
 type config = {
   addr : addr;
-  workers : int;       (** resident worker domains (>= 1) *)
+  workers : int;       (** worker domains (>= 1), per process when supervised *)
   cap : int;           (** admission cap on concurrent queries (>= 1) *)
-  cache_cap : int;     (** LRU verdict-cache entries; 0 disables caching *)
+  cache_cap_bytes : int;
+      (** LRU verdict-cache budget in encoded-answer bytes (certificates
+          dominate memory, not entry count); 0 disables caching *)
   timeout_ceiling_s : float option;
       (** clamp applied to client-requested budgets; [None] = no ceiling *)
+  procs : int;
+      (** supervised worker processes; 0 = legacy in-process pool.
+          With [procs > 0] the compute fleet is forked ({!Supervisor}):
+          this process keeps exactly one domain, queries are sharded by
+          network digest, and a worker crash becomes a typed
+          [server-error] reply plus a supervised restart — never a dead
+          daemon *)
+  store_path : string option;
+      (** persistent verdict journal ([fannet-store/1], see {!Store});
+          decided answers are written through, and on start the journal
+          is recovered into the cache — bit-identical bytes, certificates
+          re-validated by [lib/cert] — so a restart costs warm sessions
+          but not certified verdicts. [None] = memory only *)
 }
 
 val default_config : config
 (** Unix socket ["fannetd.sock"], workers = {!Util.Parallel.default_jobs},
-    cap = [4 × workers], cache 1024, no timeout ceiling. *)
+    cap = [4 × workers], cache 16 MiB, no timeout ceiling, in-process
+    compute, no journal. *)
 
 type t
 
@@ -63,11 +79,25 @@ val address : t -> addr
 val stats : t -> Protocol.server_stats
 
 val stop : ?grace_s:float -> t -> unit
-(** Graceful shutdown: stop accepting, wait up to [grace_s] (default 30)
+(** Graceful shutdown: stop accepting (and stop admitting — late
+    queries get a typed [Overloaded]), wait up to [grace_s] (default 30)
     for in-flight queries to drain, then fire the shutdown cancellation
-    token (linked into every query budget) and wait again, shut the
-    worker pool down, close every connection, and join all threads.
-    Idempotent. A Unix-socket file created by [run] is removed. *)
+    token (linked into every query budget) and wait again, close the
+    verdict journal — before any connection teardown, so a [SIGTERM]
+    mid-compaction can never leave a non-recoverable tail — then shut
+    the compute backend down (pool drain, or supervised children
+    reaped), close every connection, and join all threads. Idempotent.
+    A Unix-socket file created by [run] is removed. *)
+
+val store_stats : t -> Store.stats option
+(** Journal counters ([None] without [store_path]). *)
+
+val supervisor_stats : t -> (int * int) option
+(** [(restarts, deaths)] of the supervised fleet ([None] when
+    [procs = 0]). *)
+
+val cache_weight : t -> int
+(** Resident verdict-cache weight in encoded-answer bytes. *)
 
 val wait : t -> unit
 (** Block until the daemon has fully stopped (via {!stop} or a client's

@@ -1,9 +1,16 @@
 (* Bounded LRU: hash table into an intrusive doubly-linked list ordered
-   by recency (head = most recent). One mutex per cache. *)
+   by recency (head = most recent). One mutex per cache.
+
+   Capacity is a weight budget, not an entry count: each entry carries a
+   weight (default 1, so a weightless caller gets entry-count semantics)
+   and the tail is evicted until the total fits. The daemon weighs
+   entries by encoded payload bytes — certificates dominate, and a
+   handful of certified answers can outweigh thousands of verdicts. *)
 
 type 'a node = {
   key : string;
   mutable value : 'a;
+  mutable weight : int;
   mutable prev : 'a node option;
   mutable next : 'a node option;
 }
@@ -13,6 +20,7 @@ type 'a t = {
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
+  mutable total_weight : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -22,9 +30,10 @@ type 'a t = {
 let create ~cap =
   {
     capacity = cap;
-    tbl = Hashtbl.create (Stdlib.max 16 cap);
+    tbl = Hashtbl.create (Stdlib.max 16 (Stdlib.min cap 4096));
     head = None;
     tail = None;
+    total_weight = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -52,6 +61,20 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.total_weight <- t.total_weight - n.weight
+
+let evict_to_fit t =
+  while t.total_weight > t.capacity do
+    match t.tail with
+    | Some lru ->
+        drop t lru;
+        t.evictions <- t.evictions + 1
+    | None -> t.total_weight <- 0 (* unreachable: weights are positive *)
+  done
+
 let find t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl key with
@@ -64,28 +87,38 @@ let find t key =
           t.misses <- t.misses + 1;
           None)
 
-let add t key value =
+let add ?(weight = 1) t key value =
+  let weight = Stdlib.max 1 weight in
   if t.capacity > 0 then
     locked t (fun () ->
-        match Hashtbl.find_opt t.tbl key with
-        | Some n ->
-            n.value <- value;
-            unlink t n;
-            push_front t n
-        | None ->
-            (if Hashtbl.length t.tbl >= t.capacity then
-               match t.tail with
-               | Some lru ->
-                   unlink t lru;
-                   Hashtbl.remove t.tbl lru.key;
-                   t.evictions <- t.evictions + 1
-               | None -> ());
-            let n = { key; value; prev = None; next = None } in
-            push_front t n;
-            Hashtbl.add t.tbl key n)
+        if weight > t.capacity then
+          (* the value can never fit; an older value under the same key
+             is now stale and must not survive it *)
+          match Hashtbl.find_opt t.tbl key with
+          | Some n ->
+              drop t n;
+              t.evictions <- t.evictions + 1
+          | None -> ()
+        else begin
+          (match Hashtbl.find_opt t.tbl key with
+          | Some n ->
+              n.value <- value;
+              t.total_weight <- t.total_weight - n.weight + weight;
+              n.weight <- weight;
+              unlink t n;
+              push_front t n
+          | None ->
+              let n = { key; value; weight; prev = None; next = None } in
+              push_front t n;
+              Hashtbl.add t.tbl key n;
+              t.total_weight <- t.total_weight + weight);
+          evict_to_fit t
+        end)
 
 let length t = locked t (fun () -> Hashtbl.length t.tbl)
 
 let cap t = t.capacity
+
+let total_weight t = locked t (fun () -> t.total_weight)
 
 let stats t = locked t (fun () -> (t.hits, t.misses, t.evictions))

@@ -44,6 +44,7 @@ type request =
   | Metrics
   | Ping
   | Shutdown
+  | Set_faults of { spec : string }
 
 type req_envelope = { rid : int; request : request }
 
@@ -436,6 +437,8 @@ let request_json = function
   | Metrics -> J.Obj [ ("op", J.String "metrics") ]
   | Ping -> J.Obj [ ("op", J.String "ping") ]
   | Shutdown -> J.Obj [ ("op", J.String "shutdown") ]
+  | Set_faults { spec } ->
+      J.Obj [ ("op", J.String "set-faults"); ("spec", J.String spec) ]
 
 let request_of_json j =
   match as_string (field "op" j) with
@@ -454,6 +457,7 @@ let request_of_json j =
   | "metrics" -> Metrics
   | "ping" -> Ping
   | "shutdown" -> Shutdown
+  | "set-faults" -> Set_faults { spec = as_string (field "spec" j) }
   | s -> bad "unknown request op %S" s
 
 let envelope_json ~tag ~rid body =
@@ -673,6 +677,12 @@ let decode_reply s =
       let rid, body = check_envelope ~tag:"rep" j in
       { rid; reply = reply_of_json body })
     s
+
+(* Total variant of the raising decoder above, exported for the verdict
+   store which must treat journal payloads as untrusted bytes. Shadows
+   the internal one after its last internal use. *)
+let answer_of_json j =
+  try Ok (answer_of_json j) with Bad msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Cacheability and equality                                           *)

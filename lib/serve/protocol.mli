@@ -71,6 +71,12 @@ type request =
   | Metrics  (** scrape: server stats + [fannet.obs/1] snapshot *)
   | Ping
   | Shutdown  (** graceful: drain in-flight queries, then stop *)
+  | Set_faults of { spec : string }
+      (** supervisor-internal: replace the worker's armed fault table
+          with [spec] ({!Resil.Faultpoint.arm} syntax; [""] clears).
+          Sent parent-to-worker at every (re)spawn so the chaos
+          schedule tracks the parent's current table; the public daemon
+          rejects it with a [Protocol_error] *)
 
 type req_envelope = { rid : int; request : request }
 
@@ -135,6 +141,10 @@ val decode_reply : string -> (reply_envelope, string) result
 val answer_json : answer -> Util.Json.t
 (** The [answer] sub-document exactly as [encode_reply] embeds it — the
     bytes the bench compares for cache-hit bit-identity. *)
+
+val answer_of_json : Util.Json.t -> (answer, string) result
+(** Total inverse of {!answer_json}, for consumers (the verdict store)
+    that must treat persisted payloads as untrusted bytes. *)
 
 val query_key : digest:string -> query -> string
 (** Canonical cache key: network digest × the deterministic JSON

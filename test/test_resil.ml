@@ -120,6 +120,23 @@ let test_faultpoint_nth_hit () =
       Alcotest.(check bool) "hit 3 fires" true (F.hit "ckpt.torn");
       Alcotest.(check bool) "hit 4" false (F.hit "ckpt.torn"))
 
+let test_faultpoint_every_hit () =
+  with_clean_faults (fun () ->
+      F.arm "serve.worker.kill%3";
+      let fired =
+        List.init 9 (fun _ -> F.hit "serve.worker.kill")
+      in
+      Alcotest.(check (list bool))
+        "fires on every 3rd hit"
+        [ false; false; true; false; false; true; false; false; true ]
+        fired;
+      (* bad specs are rejected, not silently ignored *)
+      Alcotest.(check bool) "bad spec rejected" true
+        (try
+           F.arm "serve.worker.kill%0";
+           false
+         with Invalid_argument _ -> true))
+
 let test_faultpoint_guard () =
   with_clean_faults (fun () ->
       F.guard "worker.raise" (Failure "should not fire");
@@ -650,6 +667,7 @@ let () =
         [
           Alcotest.test_case "arming" `Quick test_faultpoint_arming;
           Alcotest.test_case "nth hit" `Quick test_faultpoint_nth_hit;
+          Alcotest.test_case "every kth hit" `Quick test_faultpoint_every_hit;
           Alcotest.test_case "guard" `Quick test_faultpoint_guard;
         ] );
       ( "checkpoint",

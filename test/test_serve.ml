@@ -51,18 +51,21 @@ let constant_qnet () =
       { Nn.Qnet.weights = [| [| 2; 3 |]; [| 2; 3 |] |]; bias = [| 5; 0 |]; act = Nn.Qnet.Identity };
     |]
 
-let test_daemon ?(workers = 2) ?(cap = 4) ?(cache_cap = 64) () =
+let test_daemon ?(workers = 2) ?(cap = 4) ?(cache_cap_bytes = 1 lsl 20) ?(procs = 0)
+    ?store_path () =
   D.run
     {
       D.addr = D.Tcp ("127.0.0.1", 0);
       workers;
       cap;
-      cache_cap;
+      cache_cap_bytes;
       timeout_ceiling_s = Some 60.;
+      procs;
+      store_path;
     }
 
-let with_daemon ?workers ?cap ?cache_cap f =
-  let d = test_daemon ?workers ?cap ?cache_cap () in
+let with_daemon ?workers ?cap ?cache_cap_bytes ?procs ?store_path f =
+  let d = test_daemon ?workers ?cap ?cache_cap_bytes ?procs ?store_path () in
   Fun.protect ~finally:(fun () -> D.stop d) (fun () -> f d)
 
 let with_client d f =
@@ -812,7 +815,7 @@ let test_differential_cold_warm () =
   (* cache_cap = 0 and a single worker: the first answer is cold, the
      second reuses the worker domain's warm sessions; neither may come
      from the cache. *)
-  with_daemon ~workers:1 ~cache_cap:0 @@ fun d ->
+  with_daemon ~workers:1 ~cache_cap_bytes:0 @@ fun d ->
   with_client d @@ fun c ->
   let digest = ok (C.load c net) in
   List.iter
@@ -834,7 +837,7 @@ let test_differential_cold_warm () =
 
 let test_differential_cache_hit_and_certificates () =
   let net = toy_qnet () in
-  with_daemon ~workers:2 ~cache_cap:64 @@ fun d ->
+  with_daemon ~workers:2 ~cache_cap_bytes:(1 lsl 26) @@ fun d ->
   with_client d @@ fun c ->
   let digest = ok (C.load c net) in
   let input = [| 112; 87 |] in
@@ -884,7 +887,7 @@ let poll_until ?(timeout_s = 5.0) what pred =
   go ()
 
 let test_daemon_overload_rejection () =
-  with_daemon ~workers:2 ~cap:2 ~cache_cap:0 @@ fun d ->
+  with_daemon ~workers:2 ~cap:2 ~cache_cap_bytes:0 @@ fun d ->
   let net = constant_qnet () in
   let digest = with_client d (fun c -> ok (C.load c net)) in
   (* Two queries that provably hold their slots: the constant network
@@ -937,7 +940,7 @@ let test_daemon_soak_under_faults () =
      one worker body raise mid-soak and one solver OOM. *)
   F.arm "serve.worker.raise@5";
   F.arm "sat.oom@3";
-  with_daemon ~workers:2 ~cap:4 ~cache_cap:32 @@ fun d ->
+  with_daemon ~workers:2 ~cap:4 ~cache_cap_bytes:(1 lsl 26) @@ fun d ->
   let net = toy_qnet () in
   let digest = with_client d (fun c -> ok (C.load c net)) in
   let n_clients = 16 and per_client = 6 in
@@ -1073,6 +1076,345 @@ let test_warm_lru_multi_domain () =
 
 (* ================================================================== *)
 
+(* ================================================================== *)
+(* Wire short reads: every byte offset                                 *)
+(* ================================================================== *)
+
+(* Satellite of the crash-isolation work: a peer that dies after k bytes
+   — for every k — must decode to a typed Closed/Truncated, never an
+   exception and never a bogus Ok. Exhaustive where the QCheck property
+   above only samples cut points, and exercised through both the
+   string-level and the blocking-fd codecs. *)
+let test_wire_short_read_every_offset () =
+  let frame = W.encode "chaos payload \x00\xff\x01 with binary bytes" in
+  let n = String.length frame in
+  for k = 0 to n - 1 do
+    (match W.decode (String.sub frame 0 k) with
+    | Error W.Closed when k = 0 -> ()
+    | Error W.Truncated when k > 0 -> ()
+    | Ok _ -> Alcotest.failf "string prefix %d/%d decoded" k n
+    | Error e ->
+        Alcotest.failf "string prefix %d/%d: wrong error %s" k n (W.error_to_string e));
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> Unix.close b) @@ fun () ->
+    let wrote = if k = 0 then 0 else Unix.write_substring a frame 0 k in
+    Alcotest.(check int) "short write delivered" k wrote;
+    Unix.close a;
+    match W.read_frame b with
+    | Error W.Closed when k = 0 -> ()
+    | Error W.Truncated when k > 0 -> ()
+    | Ok _ -> Alcotest.failf "fd prefix %d/%d decoded" k n
+    | Error e ->
+        Alcotest.failf "fd prefix %d/%d: wrong error %s" k n (W.error_to_string e)
+  done
+
+(* ================================================================== *)
+(* LRU byte weighting                                                  *)
+(* ================================================================== *)
+
+let test_lru_byte_weights () =
+  let l = Serve.Lru.create ~cap:100 in
+  Serve.Lru.add ~weight:40 l "a" 1;
+  Serve.Lru.add ~weight:40 l "b" 2;
+  Alcotest.(check int) "two resident" 80 (Serve.Lru.total_weight l);
+  (* 40 + 40 + 40 > 100: the least recently used entry goes. *)
+  Serve.Lru.add ~weight:40 l "c" 3;
+  Alcotest.(check bool) "a evicted" true (Serve.Lru.find l "a" = None);
+  Alcotest.(check int) "weight fits again" 80 (Serve.Lru.total_weight l);
+  (* Recency is per-find: bump b, then overflow — c must be the victim. *)
+  ignore (Serve.Lru.find l "b");
+  Serve.Lru.add ~weight:30 l "d" 4;
+  Alcotest.(check bool) "c evicted" true (Serve.Lru.find l "c" = None);
+  Alcotest.(check bool) "b kept" true (Serve.Lru.find l "b" = Some 2);
+  Alcotest.(check int) "70 resident" 70 (Serve.Lru.total_weight l);
+  (* Overwrite at a new weight adjusts the total exactly. *)
+  Serve.Lru.add ~weight:10 l "d" 5;
+  Alcotest.(check int) "overwrite reweighs" 50 (Serve.Lru.total_weight l);
+  Alcotest.(check bool) "overwrite value" true (Serve.Lru.find l "d" = Some 5);
+  let _, _, ev_before = Serve.Lru.stats l in
+  (* Heavier than the whole budget: not inserted, and it must drop the
+     stale value cached under the same key rather than serve it. *)
+  Serve.Lru.add ~weight:1000 l "d" 6;
+  Alcotest.(check bool) "oversized not inserted" true (Serve.Lru.find l "d" = None);
+  Serve.Lru.add ~weight:1000 l "zz" 7;
+  Alcotest.(check bool) "oversized new key dropped" true (Serve.Lru.find l "zz" = None);
+  Alcotest.(check int) "only b resident" 40 (Serve.Lru.total_weight l);
+  let _, _, ev_after = Serve.Lru.stats l in
+  Alcotest.(check int) "stale-drop counted as eviction" (ev_before + 1) ev_after;
+  (* Weightless callers keep entry-count semantics: default weight 1. *)
+  let l1 = Serve.Lru.create ~cap:2 in
+  Serve.Lru.add l1 "x" 1;
+  Serve.Lru.add l1 "y" 2;
+  Serve.Lru.add l1 "z" 3;
+  Alcotest.(check int) "count semantics" 2 (Serve.Lru.length l1);
+  Alcotest.(check int) "weight = entries" 2 (Serve.Lru.total_weight l1)
+
+(* ================================================================== *)
+(* Persistent verdict store                                            *)
+(* ================================================================== *)
+
+let with_store_path f =
+  let path = Filename.temp_file "fannet_store_test" ".jnl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let answer_bytes a = J.to_string (P.answer_json a)
+
+(* Three cheap decided answers, distinct per key. *)
+let store_entries net =
+  let input = [| 112; 87 |] in
+  let label = Nn.Qnet.predict net input in
+  List.map
+    (fun d ->
+      let q =
+        P.Exists_flip
+          { backend = B.Bnb; spec = N.symmetric ~delta:d ~bias_noise:false; input; label }
+      in
+      (Printf.sprintf "k%d" d, direct_answer net q))
+    [ 1; 2; 3 ]
+
+let test_store_roundtrip () =
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let entries = store_entries net in
+  let t, recovered0 = ok (Serve.Store.open_ ~path) in
+  Alcotest.(check int) "fresh journal is empty" 0 (List.length recovered0);
+  List.iter (fun (k, a) -> Serve.Store.append t ~key:k a) entries;
+  (* Re-appending a key supersedes: k1 now maps to k3's answer. *)
+  let a3 = List.assoc "k3" entries in
+  Serve.Store.append t ~key:"k1" a3;
+  Serve.Store.close t;
+  let t2, recovered = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t2) @@ fun () ->
+  Alcotest.(check int) "last-wins: three live records" 3 (List.length recovered);
+  let st = Serve.Store.stats t2 in
+  Alcotest.(check int) "recovered" 3 st.Serve.Store.recovered;
+  Alcotest.(check int) "nothing dropped" 0 st.Serve.Store.dropped;
+  Alcotest.(check int) "nothing truncated" 0 st.Serve.Store.truncated_bytes;
+  Alcotest.(check string)
+    "k1 superseded, bit-identical" (answer_bytes a3)
+    (answer_bytes (List.assoc "k1" recovered));
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (k ^ " byte-identical")
+        (answer_bytes (List.assoc k entries))
+        (answer_bytes (List.assoc k recovered)))
+    [ "k2"; "k3" ]
+
+let test_store_torn_tail () =
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let entries = store_entries net in
+  let t, _ = ok (Serve.Store.open_ ~path) in
+  List.iter (fun (k, a) -> Serve.Store.append t ~key:k a) entries;
+  Serve.Store.close t;
+  (* Tear the last record mid-payload, as a crash mid-write would. *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full - 7)));
+  let t2, recovered = ok (Serve.Store.open_ ~path) in
+  Alcotest.(check int) "torn record shed" 2 (List.length recovered);
+  let st = Serve.Store.stats t2 in
+  Alcotest.(check bool) "torn bytes counted" true (st.Serve.Store.truncated_bytes > 0);
+  Alcotest.(check int) "framing damage is not a drop" 0 st.Serve.Store.dropped;
+  Serve.Store.close t2;
+  (* The open truncated the file in place: a second recovery is clean. *)
+  let t3, recovered3 = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t3) @@ fun () ->
+  Alcotest.(check int) "truncation is idempotent" 2 (List.length recovered3);
+  Alcotest.(check int) "no further truncation" 0
+    (Serve.Store.stats t3).Serve.Store.truncated_bytes
+
+let test_store_invalid_record_dropped () =
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let entries = store_entries net in
+  let t, _ = ok (Serve.Store.open_ ~path) in
+  List.iter (fun (k, a) -> Serve.Store.append t ~key:k a) entries;
+  Serve.Store.close t;
+  (* A record that frames correctly — length and checksum both good —
+     but whose payload is not a valid key/answer document. Framing
+     integrity and semantic validity are independent defences: this one
+     must be dropped individually, not treated as a torn tail. *)
+  let payload = {|{"key":"kbad","answer":{"kind":"from-the-future"}}|} in
+  let record =
+    Printf.sprintf "%d %016Lx\n%s\n" (String.length payload)
+      (Resil.Ckpt.fnv1a64 payload) payload
+  in
+  let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+  Out_channel.output_string oc record;
+  Out_channel.close oc;
+  let t2, recovered = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t2) @@ fun () ->
+  Alcotest.(check int) "good records survive" 3 (List.length recovered);
+  let st = Serve.Store.stats t2 in
+  Alcotest.(check int) "bad record dropped" 1 st.Serve.Store.dropped;
+  Alcotest.(check int) "not torn" 0 st.Serve.Store.truncated_bytes;
+  Alcotest.(check bool) "dropped key absent" true
+    (not (List.mem_assoc "kbad" recovered))
+
+let test_store_torn_faultpoint () =
+  with_clean_faults @@ fun () ->
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let entries = store_entries net in
+  let k1, a1 = List.nth entries 0 and k2, a2 = List.nth entries 1 in
+  let t, _ = ok (Serve.Store.open_ ~path) in
+  Serve.Store.append t ~key:k1 a1;
+  (* The armed fault writes half the next record and disables the
+     store — the daemon-crash-mid-write simulation. *)
+  F.arm "serve.store.torn";
+  Serve.Store.append t ~key:k2 a2;
+  F.clear ();
+  (* Disabled: further appends are silently dropped, close is safe. *)
+  Serve.Store.append t ~key:"k-after" a1;
+  Serve.Store.close t;
+  let t2, recovered = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t2) @@ fun () ->
+  Alcotest.(check int) "exactly the torn record shed" 1 (List.length recovered);
+  Alcotest.(check string) "survivor bit-identical" (answer_bytes a1)
+    (answer_bytes (List.assoc k1 recovered));
+  Alcotest.(check bool) "torn bytes counted" true
+    ((Serve.Store.stats t2).Serve.Store.truncated_bytes > 0)
+
+let test_store_compaction () =
+  with_store_path @@ fun path ->
+  let net = tiny_qnet () in
+  let input = [| 1; 2 |] in
+  let label = Nn.Qnet.predict net input in
+  let a =
+    direct_answer net
+      (P.Exists_flip
+         { backend = B.Bnb; spec = N.symmetric ~delta:1 ~bias_noise:false; input; label })
+  in
+  let t, _ = ok (Serve.Store.open_ ~path) in
+  (* One key re-appended: live_bytes stays a single record while the
+     file grows, so the max(64 KiB, 2 × live) threshold must trip. *)
+  let appends = ref 0 in
+  while (Serve.Store.stats t).Serve.Store.compactions = 0 && !appends < 5_000 do
+    Serve.Store.append t ~key:"k" a;
+    incr appends
+  done;
+  let st = Serve.Store.stats t in
+  Alcotest.(check bool) "compaction triggered" true (st.Serve.Store.compactions >= 1);
+  Alcotest.(check bool) "journal rewritten small" true
+    (st.Serve.Store.file_bytes < 65_536);
+  Serve.Store.close t;
+  let t2, recovered = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t2) @@ fun () ->
+  Alcotest.(check int) "one live record" 1 (List.length recovered);
+  Alcotest.(check string) "live record bit-identical" (answer_bytes a)
+    (answer_bytes (List.assoc "k" recovered))
+
+(* ================================================================== *)
+(* Supervised daemon + persistent store                                *)
+(* ================================================================== *)
+
+(* Cheap subset of the differential battery for process-pool runs. *)
+let supervised_queries net =
+  List.filter
+    (fun (name, _) ->
+      List.mem name [ "exists-flip bnb"; "tolerance"; "certify" ])
+    (differential_queries net)
+
+let test_daemon_store_write_through_and_recovery () =
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let queries = supervised_queries net in
+  let digest0, recorded =
+    let d = test_daemon ~cache_cap_bytes:(1 lsl 26) ~store_path:path () in
+    Fun.protect ~finally:(fun () -> D.stop d) @@ fun () ->
+    with_client d @@ fun c ->
+    let digest = ok (C.load c net) in
+    let recorded =
+      List.map
+        (fun (name, q) ->
+          let _, a = answer_of_reply name (ok (C.query c ~digest q)) in
+          (name, q, answer_bytes a))
+        queries
+    in
+    (match D.store_stats d with
+    | Some st ->
+        Alcotest.(check int) "every decided answer journaled"
+          (List.length queries) st.Serve.Store.appends
+    | None -> Alcotest.fail "store stats must be exposed");
+    Alcotest.(check bool) "cache weighs its bytes" true (D.cache_weight d > 0);
+    (digest, recorded)
+  in
+  (* Cold restart on the same journal: answers come back from the
+     recovered cache, bit-identical, certificates re-validated. *)
+  let d = test_daemon ~cache_cap_bytes:(1 lsl 26) ~store_path:path () in
+  Fun.protect ~finally:(fun () -> D.stop d) @@ fun () ->
+  (match D.store_stats d with
+  | Some st ->
+      Alcotest.(check int) "all records recovered" (List.length queries)
+        st.Serve.Store.recovered;
+      Alcotest.(check int) "none dropped" 0 st.Serve.Store.dropped
+  | None -> Alcotest.fail "store stats must be exposed");
+  Alcotest.(check bool) "recovered answers weigh in" true (D.cache_weight d > 0);
+  with_client d @@ fun c ->
+  let digest = ok (C.load c net) in
+  Alcotest.(check string) "digest stable across restart" digest0 digest;
+  List.iter
+    (fun (name, q, bytes) ->
+      let cached, a = answer_of_reply name (ok (C.query c ~digest q)) in
+      Alcotest.(check bool) (name ^ ": served from recovered store") true cached;
+      Alcotest.(check string) (name ^ ": bit-identical across restart") bytes
+        (answer_bytes a);
+      match (q, a) with
+      | P.Certify { spec; input; label }, P.Certified { verdict; cert } -> (
+          match
+            B.check_certified net spec ~input ~label
+              { B.cv_verdict = verdict; cv_cert = cert }
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "recovered certificate rejected: %s" e)
+      | _ -> ())
+    recorded
+
+let test_daemon_store_torn_shutdown () =
+  with_clean_faults @@ fun () ->
+  with_store_path @@ fun path ->
+  let net = toy_qnet () in
+  let input = [| 112; 87 |] in
+  let label = Nn.Qnet.predict net input in
+  let query_d d' =
+    P.Exists_flip
+      { backend = B.Bnb; spec = N.symmetric ~delta:d' ~bias_noise:false; input; label }
+  in
+  let survivor =
+    let d = test_daemon ~store_path:path () in
+    Fun.protect ~finally:(fun () -> D.stop d) @@ fun () ->
+    with_client d @@ fun c ->
+    let digest = ok (C.load c net) in
+    let _, a1 = answer_of_reply "q1" (ok (C.query c ~digest (query_d 1))) in
+    (* The next append tears mid-record and disables the journal; the
+       daemon must keep serving from memory, and the stop path — which
+       closes the store before any connection teardown — must stay
+       clean. *)
+    F.arm "serve.store.torn";
+    (match answer_of_reply "q2" (ok (C.query c ~digest (query_d 2))) with
+    | false, _ -> ()
+    | true, _ -> Alcotest.fail "q2 cannot be cached");
+    (match answer_of_reply "q3" (ok (C.query c ~digest (query_d 3))) with
+    | false, _ -> ()
+    | true, _ -> Alcotest.fail "q3 cannot be cached");
+    answer_bytes a1
+  in
+  F.clear ();
+  (* Recovery sheds exactly the torn record; the first answer survives
+     bit-identically. *)
+  let t, recovered = ok (Serve.Store.open_ ~path) in
+  Fun.protect ~finally:(fun () -> Serve.Store.close t) @@ fun () ->
+  Alcotest.(check int) "only the pre-tear record lives" 1 (List.length recovered);
+  Alcotest.(check bool) "torn tail truncated" true
+    ((Serve.Store.stats t).Serve.Store.truncated_bytes > 0);
+  Alcotest.(check string) "survivor bit-identical" survivor
+    (answer_bytes (snd (List.hd recovered)))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "serve"
@@ -1086,6 +1428,8 @@ let () =
           Alcotest.test_case "bad magic" `Quick test_wire_bad_magic;
           Alcotest.test_case "oversized" `Quick test_wire_oversized;
           Alcotest.test_case "encode cap" `Quick test_wire_encode_cap;
+          Alcotest.test_case "short read at every offset" `Quick
+            test_wire_short_read_every_offset;
         ] );
       ( "protocol",
         [
@@ -1103,6 +1447,17 @@ let () =
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "overwrite bumps" `Quick test_lru_overwrite_bumps;
           Alcotest.test_case "cap zero" `Quick test_lru_cap_zero;
+          Alcotest.test_case "byte weights" `Quick test_lru_byte_weights;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "journal roundtrip, last-wins" `Quick test_store_roundtrip;
+          Alcotest.test_case "torn tail truncated" `Quick test_store_torn_tail;
+          Alcotest.test_case "framed-but-invalid dropped" `Quick
+            test_store_invalid_record_dropped;
+          Alcotest.test_case "serve.store.torn faultpoint" `Quick
+            test_store_torn_faultpoint;
+          Alcotest.test_case "self-compaction" `Quick test_store_compaction;
         ] );
       ( "pool",
         [
@@ -1130,6 +1485,13 @@ let () =
           Alcotest.test_case "deterministic overload rejection" `Quick
             test_daemon_overload_rejection;
           Alcotest.test_case "16 clients under faults" `Quick test_daemon_soak_under_faults;
+        ] );
+      ( "crash-isolation",
+        [
+          Alcotest.test_case "store write-through + recovery" `Quick
+            test_daemon_store_write_through_and_recovery;
+          Alcotest.test_case "shutdown with a torn journal" `Quick
+            test_daemon_store_torn_shutdown;
         ] );
       ( "warm-lru",
         [
